@@ -1,0 +1,249 @@
+(* Benchmark & reproduction harness.
+
+   Two halves:
+   1. Artifact regeneration — re-runs every experiment from the paper's
+      evaluation section (Tables 1-4, Figures 2-7) and prints each in a
+      shape comparable to the original (see EXPERIMENTS.md for the
+      paper-vs-measured record).
+   2. Bechamel micro-benchmarks — one Test per paper artifact, timing the
+      computational kernel that regenerating it leans on.
+
+   Environment knobs:
+     DS_BENCH_BUDGET=quick|default   iteration budgets (default: default)
+     DS_BENCH_SKIP_SLOW=1            skip Figure 4 and Figures 5-7 sweeps
+     DS_BENCH_SAMPLES=<n>            override Figure 2 sample count *)
+
+open Dependable_storage
+module E = Experiments
+module Money = Units.Money
+module Summary = Cost.Summary
+module Likelihood = Failure.Likelihood
+module Design_solver = Solver.Design_solver
+
+let fmt = Format.std_formatter
+
+let section title = Format.fprintf fmt "@.=== %s ===@.@." title
+
+let budgets =
+  match Sys.getenv_opt "DS_BENCH_BUDGET" with
+  | Some "quick" -> E.Budgets.quick
+  | _ -> E.Budgets.default
+
+(* Figures 4-7 cover many solver runs; a trimmed budget keeps the full
+   harness in minutes while preserving the trends. *)
+let sweep_budgets =
+  { budgets with
+    E.Budgets.solver =
+      { budgets.E.Budgets.solver with
+        Design_solver.refit_rounds = 6; depth = 4 };
+    human_attempts = 12;
+    random_attempts = 60 }
+
+let skip_slow = Sys.getenv_opt "DS_BENCH_SKIP_SLOW" = Some "1"
+
+let samples =
+  match Option.map int_of_string_opt (Sys.getenv_opt "DS_BENCH_SAMPLES") with
+  | Some (Some n) when n > 0 -> n
+  | _ -> budgets.E.Budgets.space_samples
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.fprintf fmt "@.[%s took %.1fs]@." label (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Artifact regeneration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let catalogs () =
+  section "Catalogs (Tables 1-3)";
+  E.Report.table1 fmt ();
+  Format.fprintf fmt "@.";
+  E.Report.table2 fmt ();
+  Format.fprintf fmt "@.";
+  E.Report.table3 fmt ()
+
+let table4_and_figure3 () =
+  section "Table 4 + Figure 3 (peer-sites case study)";
+  let entries = timed "figure 3" (fun () -> E.Compare.run_peer ~budgets ()) in
+  (match timed "table 4" (fun () -> E.Case_study.run ~budgets ()) with
+   | Some candidate ->
+     E.Report.table4 fmt (E.Case_study.rows_of_candidate candidate);
+     Format.fprintf fmt "@.design tool solution: %a@." Solver.Candidate.pp
+       candidate
+   | None -> Format.fprintf fmt "table 4: no feasible design@.");
+  Format.fprintf fmt "@.";
+  E.Report.figure3 fmt entries;
+  entries
+
+let figure2 entries =
+  section "Figure 2 (solution-space distribution, peer sites)";
+  let stats =
+    timed
+      (Printf.sprintf "figure 2 (%d samples)" samples)
+      (fun () ->
+         E.Space_sampler.sample ~seed:7 ~samples (E.Envs.peer_sites ())
+           (E.Envs.peer_apps ()) Likelihood.default)
+  in
+  let marks =
+    List.filter_map
+      (fun (e : E.Compare.entry) ->
+         Option.map
+           (fun s -> (e.E.Compare.label, Money.to_dollars (Summary.total s)))
+           e.E.Compare.summary)
+      entries
+  in
+  E.Report.figure2 fmt stats ~bins:14 ~marks
+
+let figure4 () =
+  section "Figure 4 (scalability, four fully connected sites)";
+  if skip_slow then Format.fprintf fmt "skipped (DS_BENCH_SKIP_SLOW=1)@."
+  else
+    let points =
+      timed "figure 4" (fun () ->
+          E.Scalability.run ~budgets:sweep_budgets ~rounds:[ 1; 2; 3; 4; 5; 6 ] ())
+    in
+    E.Report.figure4 fmt points
+
+let sensitivity axis label =
+  section label;
+  if skip_slow then Format.fprintf fmt "skipped (DS_BENCH_SKIP_SLOW=1)@."
+  else
+    let points =
+      timed label (fun () -> E.Sensitivity.run ~budgets:sweep_budgets axis)
+    in
+    E.Report.sensitivity fmt axis points
+
+let frontier () =
+  section "Frontier (outlay vs penalty trade-off; not in the paper)";
+  if skip_slow then Format.fprintf fmt "skipped (DS_BENCH_SKIP_SLOW=1)@."
+  else begin
+    let points = timed "frontier" (fun () -> E.Frontier.run_peer ~budgets ()) in
+    E.Frontier.pp fmt points
+  end
+
+let ablations () =
+  section "Ablations (tool design choices; not in the paper)";
+  let run title f = E.Ablation.pp fmt ~title (f ()); Format.fprintf fmt "@." in
+  run "Design-solver stages (peer sites)" (fun () ->
+      E.Ablation.solver_stages ~budgets ());
+  run "Refit search shape: breadth x depth (peer sites)" (fun () ->
+      E.Ablation.search_shape ~budgets ());
+  run "Configuration-solver features (peer sites)" (fun () ->
+      E.Ablation.config_features ~budgets ());
+  run "Vault staleness semantics (fixed all-tape design)" (fun () ->
+      E.Ablation.vault_modes ~budgets ());
+  run "Recovery scheduling policies (fixed all-tape design)" (fun () ->
+      E.Ablation.scheduling_policies ~budgets ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic feasible design to benchmark kernels on. *)
+let kernel_fixture () =
+  let env = E.Envs.peer_sites () in
+  let apps = E.Envs.peer_apps () in
+  let rec build seed =
+    let rng = Prng.Rng.of_int seed in
+    match Heuristics.Random_search.sample_design rng env apps with
+    | Some design ->
+      (match Design.Provision.minimum design with
+       | Ok prov -> (design, prov)
+       | Error _ -> build (seed + 1))
+    | None -> build (seed + 1)
+  in
+  build 99
+
+let bechamel_suite () =
+  section "Microbenchmarks (bechamel)";
+  let open Bechamel in
+  let design, prov = kernel_fixture () in
+  let likelihood = Likelihood.default in
+  let scen =
+    { Failure.Scenario.scope = Failure.Scenario.Site_disaster 1;
+      annual_rate = 0.2 }
+  in
+  let quick_solver_params =
+    { Design_solver.default_params with
+      Design_solver.refit_rounds = 0; depth = 1; breadth = 1;
+      stage1_restarts = 1;
+      options =
+        { Solver.Config_solver.search_options with
+          Solver.Config_solver.max_growth_steps = 1 } }
+  in
+  let tests =
+    [ Test.make ~name:"table4:design-solver-greedy"
+        (Staged.stage (fun () ->
+             ignore
+               (Design_solver.solve ~params:quick_solver_params
+                  (E.Envs.peer_sites ()) (E.Envs.peer_apps ()) likelihood)));
+      Test.make ~name:"figure2:sample+evaluate"
+        (Staged.stage
+           (let rng = Prng.Rng.of_int 5 in
+            fun () ->
+              match
+                Heuristics.Random_search.sample_design rng (E.Envs.peer_sites ())
+                  (E.Envs.peer_apps ())
+              with
+              | Some d -> ignore (Cost.Evaluate.design d likelihood)
+              | None -> ()));
+      Test.make ~name:"figure3:config-solver"
+        (Staged.stage (fun () ->
+             ignore
+               (Solver.Config_solver.solve
+                  ~options:Solver.Config_solver.search_options design likelihood)));
+      Test.make ~name:"figure4:minimum-provision"
+        (Staged.stage (fun () -> ignore (Design.Provision.minimum design)));
+      Test.make ~name:"figure5:penalty-evaluation"
+        (Staged.stage (fun () ->
+             ignore (Cost.Penalty.expected_annual prov likelihood)));
+      Test.make ~name:"figure6:recovery-simulation"
+        (Staged.stage (fun () -> ignore (Recovery.Simulate.scenario prov scen)));
+      Test.make ~name:"figure7:scenario-enumeration"
+        (Staged.stage (fun () ->
+             ignore (Failure.Scenario.enumerate likelihood design))) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Format.fprintf fmt "%-32s %16s@." "kernel" "time/run";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg [ instance ] test in
+       let analyzed = Analyze.all ols instance results in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              if est >= 1e6 then
+                Format.fprintf fmt "%-32s %13.2f ms@." name (est /. 1e6)
+              else Format.fprintf fmt "%-32s %13.1f ns@." name est
+            | _ -> Format.fprintf fmt "%-32s %16s@." name "(no estimate)")
+         analyzed)
+    tests
+
+let () =
+  Format.fprintf fmt "dependable-storage reproduction harness@.";
+  Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
+    (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
+    samples
+    (if skip_slow then ", slow sweeps skipped" else "");
+  let t0 = Unix.gettimeofday () in
+  catalogs ();
+  let entries = table4_and_figure3 () in
+  figure2 entries;
+  figure4 ();
+  sensitivity E.Sensitivity.Object_failure
+    "Figure 5 (sensitivity: data-object failure likelihood)";
+  sensitivity E.Sensitivity.Array_failure
+    "Figure 6 (sensitivity: disk-array failure likelihood)";
+  sensitivity E.Sensitivity.Site_failure
+    "Figure 7 (sensitivity: site-disaster likelihood)";
+  frontier ();
+  ablations ();
+  bechamel_suite ();
+  Format.fprintf fmt "@.total harness time: %.1fs@." (Unix.gettimeofday () -. t0)

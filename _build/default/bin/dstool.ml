@@ -1,0 +1,538 @@
+(* dstool: command-line front end for the dependable-storage design tool.
+
+   Subcommands mirror the paper's workflow: print the catalogs, solve an
+   environment, compare heuristics, sample the solution space, and run
+   the scalability / sensitivity sweeps. *)
+
+open Dependable_storage
+open Cmdliner
+module E = Experiments
+module Likelihood = Failure.Likelihood
+module Design_solver = Solver.Design_solver
+module Candidate = Solver.Candidate
+
+let fmt = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let env_conv =
+  let parse = function
+    | "peer" -> Ok `Peer
+    | "quad" -> Ok `Quad
+    | s -> Error (`Msg (Printf.sprintf "unknown environment %S (peer|quad)" s))
+  in
+  let print ppf = function
+    | `Peer -> Format.pp_print_string ppf "peer"
+    | `Quad -> Format.pp_print_string ppf "quad"
+  in
+  Arg.conv (parse, print)
+
+let env_term =
+  Arg.(value & opt env_conv `Peer
+       & info [ "env" ] ~docv:"ENV"
+           ~doc:"Environment: $(b,peer) (two peer sites, Section 4.3) or \
+                 $(b,quad) (four fully connected sites, Sections 4.4-4.5).")
+
+let apps_term =
+  Arg.(value & opt (some int) None
+       & info [ "apps" ] ~docv:"N"
+           ~doc:"Number of applications (cycling through the Table 1 \
+                 classes). Defaults to 8 for peer, 16 for quad.")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let budget_conv =
+  let parse = function
+    | "quick" -> Ok E.Budgets.quick
+    | "default" -> Ok E.Budgets.default
+    | s -> Error (`Msg (Printf.sprintf "unknown budget %S (quick|default)" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<budget>")
+
+let budget_term =
+  Arg.(value & opt budget_conv E.Budgets.default
+       & info [ "budget" ] ~docv:"BUDGET"
+           ~doc:"Iteration budget: $(b,quick) or $(b,default).")
+
+let rate_term name doc =
+  Arg.(value & opt (some float) None & info [ name ] ~docv:"PER_YEAR" ~doc)
+
+let likelihood_term =
+  let combine obj arr site =
+    let d = Likelihood.default in
+    Likelihood.v
+      ~data_object_per_year:
+        (Option.value ~default:d.Likelihood.data_object_per_year obj)
+      ~array_per_year:(Option.value ~default:d.Likelihood.array_per_year arr)
+      ~site_per_year:(Option.value ~default:d.Likelihood.site_per_year site)
+  in
+  Term.(const combine
+        $ rate_term "object-rate" "Data-object failures per year (default 1/3)."
+        $ rate_term "array-rate" "Disk-array failures per year (default 1/3)."
+        $ rate_term "site-rate" "Site disasters per year (default 1/5).")
+
+let resolve_env env apps =
+  match env with
+  | `Peer ->
+    let workloads =
+      match apps with
+      | None -> E.Envs.peer_apps ()
+      | Some n -> Workload.Workload_catalog.mix ~count:n
+    in
+    (E.Envs.peer_sites (), workloads)
+  | `Quad ->
+    let n = Option.value ~default:16 apps in
+    (E.Envs.quad_sites (), Workload.Workload_catalog.mix ~count:n)
+
+(* ------------------------------------------------------------------ *)
+(* catalogs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let catalogs_cmd =
+  let run () =
+    E.Report.table1 fmt ();
+    Format.fprintf fmt "@.";
+    E.Report.table2 fmt ();
+    Format.fprintf fmt "@.";
+    E.Report.table3 fmt ()
+  in
+  Cmd.v (Cmd.info "catalogs" ~doc:"Print the Table 1-3 catalogs.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_solution (candidate : Candidate.t) =
+  E.Report.table4 fmt (E.Case_study.rows_of_candidate candidate);
+  Format.fprintf fmt "@.%a@." Cost.Summary.pp (Candidate.summary candidate);
+  Format.fprintf fmt "@.annual outlay breakdown:@.";
+  List.iter
+    (fun (name, m) ->
+       Format.fprintf fmt "  %-16s %s@." name (Units.Money.to_string m))
+    (Cost.Outlay.breakdown candidate.Candidate.eval.Cost.Evaluate.provision);
+  Format.fprintf fmt "@.expected annual penalties per application:@.";
+  List.iter
+    (fun (p : Cost.Penalty.per_app) ->
+       Format.fprintf fmt "  %-12s outage %10s  loss %10s@."
+         p.Cost.Penalty.app.Workload.App.name
+         (Units.Money.to_string p.Cost.Penalty.outage)
+         (Units.Money.to_string p.Cost.Penalty.loss))
+    candidate.Candidate.eval.Cost.Evaluate.penalty.Cost.Penalty.by_app
+
+let output_term =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the chosen design to FILE (re-read it with \
+                 $(b,dstool audit --design)).")
+
+let solve_cmd =
+  let run env apps seed budget likelihood output =
+    let env, workloads = resolve_env env apps in
+    let budget = E.Budgets.with_seed budget seed in
+    match
+      Design_solver.solve ~params:budget.E.Budgets.solver env workloads
+        likelihood
+    with
+    | Some outcome ->
+      print_solution outcome.Design_solver.best;
+      Format.fprintf fmt "@.service levels achieved:@.%a" Cost.Slo_report.pp
+        (Cost.Slo_report.of_evaluation
+           outcome.Design_solver.best.Candidate.eval);
+      Format.fprintf fmt
+        "@.search: %d configuration-solver calls, %d refit rounds, refit %s@."
+        outcome.Design_solver.evaluations outcome.Design_solver.refit_rounds_run
+        (if outcome.Design_solver.improved_by_refit then
+           "improved the greedy design"
+         else "kept the greedy design");
+      (match output with
+       | None -> `Ok ()
+       | Some path ->
+         (match
+            Design.Design_io.write_file path
+              outcome.Design_solver.best.Candidate.design
+          with
+          | Ok () ->
+            Format.fprintf fmt "design written to %s@." path;
+            `Ok ()
+          | Error msg -> `Error (false, msg)))
+    | None -> `Error (false, "no feasible design found")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run the automated design tool on an environment and print the \
+             chosen data protection design.")
+    Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
+               $ likelihood_term $ output_term))
+
+(* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let design_term =
+    Arg.(required & opt (some string) None
+         & info [ "design" ] ~docv:"FILE"
+             ~doc:"Design file written by $(b,dstool solve --output).")
+  in
+  let run env apps likelihood path =
+    let env, workloads = resolve_env env apps in
+    match Design.Design_io.read_file env workloads path with
+    | Error msg -> `Error (false, msg)
+    | Ok design ->
+      (match Cost.Evaluate.design design likelihood with
+       | Error e ->
+         `Error
+           (false,
+            Format.asprintf "design is infeasible: %a"
+              Design.Provision.pp_infeasibility e)
+       | Ok eval ->
+         Format.fprintf fmt "%a@.@." Cost.Summary.pp eval.Cost.Evaluate.summary;
+         Format.fprintf fmt "lint:@.%a@." Design.Lint.pp
+           (Design.Lint.check design);
+         Format.fprintf fmt "service levels achieved:@.%a@." Cost.Slo_report.pp
+           (Cost.Slo_report.of_evaluation eval);
+         Format.fprintf fmt "per-scenario recovery:@.";
+         List.iter
+           (fun ((scen : Failure.Scenario.t), outcomes) ->
+              if outcomes <> [] then begin
+                Format.fprintf fmt "  %a:@." Failure.Scenario.pp scen;
+                List.iter
+                  (fun o -> Format.fprintf fmt "    %a@." Recovery.Outcome.pp o)
+                  outcomes
+              end)
+           eval.Cost.Evaluate.penalty.Cost.Penalty.details;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Evaluate a saved design: cost, achieved RTO/RPO per \
+             application, and the per-scenario recovery log.")
+    Term.(ret (const run $ env_term $ apps_term $ likelihood_term $ design_term))
+
+(* ------------------------------------------------------------------ *)
+(* risk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let risk_cmd =
+  let design_term =
+    Arg.(value & opt (some string) None
+         & info [ "design" ] ~docv:"FILE"
+             ~doc:"Saved design to analyze (default: solve first).")
+  in
+  let years_term =
+    Arg.(value & opt int 10_000
+         & info [ "years" ] ~docv:"N" ~doc:"Simulated years.")
+  in
+  let run env apps seed budget likelihood design years =
+    let env, workloads = resolve_env env apps in
+    let provision =
+      match design with
+      | Some path ->
+        (match Design.Design_io.read_file env workloads path with
+         | Error msg -> Error msg
+         | Ok design ->
+           (match Design.Provision.minimum design with
+            | Ok prov -> Ok prov
+            | Error e ->
+              Error
+                (Format.asprintf "design is infeasible: %a"
+                   Design.Provision.pp_infeasibility e)))
+      | None ->
+        let budget = E.Budgets.with_seed budget seed in
+        (match
+           Design_solver.solve ~params:budget.E.Budgets.solver env workloads
+             likelihood
+         with
+         | Some outcome ->
+           Ok outcome.Design_solver.best.Candidate.eval.Cost.Evaluate.provision
+         | None -> Error "no feasible design found")
+    in
+    match provision with
+    | Error msg -> `Error (false, msg)
+    | Ok prov ->
+      let rng = Prng.Rng.of_int seed in
+      let sim = Risk.Year_sim.simulate ~years rng prov likelihood in
+      Format.fprintf fmt "%a@." Risk.Year_sim.pp sim;
+      let analytic = Cost.Penalty.expected_annual prov likelihood in
+      Format.fprintf fmt "analytic expectation: %s@."
+        (Units.Money.to_string
+           (Units.Money.add analytic.Cost.Penalty.outage_total
+              analytic.Cost.Penalty.loss_total));
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "risk"
+       ~doc:"Monte Carlo distribution of annual penalty cost for a design \
+             (tail risk beyond the expected-value objective).")
+    Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
+               $ likelihood_term $ design_term $ years_term))
+
+(* ------------------------------------------------------------------ *)
+(* ablate                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_cmd =
+  let which_conv =
+    let parse = function
+      | "stages" -> Ok `Stages
+      | "config" -> Ok `Config
+      | "vault" -> Ok `Vault
+      | "scheduling" -> Ok `Scheduling
+      | "all" -> Ok `All
+      | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown ablation %S (stages|config|vault|scheduling|all)" s))
+    in
+    Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<ablation>")
+  in
+  let which_term =
+    Arg.(value & pos 0 which_conv `All
+         & info [] ~docv:"WHICH" ~doc:"stages, config, vault, scheduling or all.")
+  in
+  let run seed budget which =
+    let budgets = E.Budgets.with_seed budget seed in
+    let sections =
+      [ (`Stages, "Design-solver stages (peer sites)",
+         fun () -> E.Ablation.solver_stages ~budgets ());
+        (`Stages, "Refit search shape: breadth x depth (peer sites)",
+         fun () -> E.Ablation.search_shape ~budgets ());
+        (`Config, "Configuration-solver features (peer sites)",
+         fun () -> E.Ablation.config_features ~budgets ());
+        (`Vault, "Vault staleness semantics (peer sites)",
+         fun () -> E.Ablation.vault_modes ~budgets ());
+        (`Scheduling, "Recovery scheduling policies (fixed design)",
+         fun () -> E.Ablation.scheduling_policies ~budgets ()) ]
+    in
+    List.iter
+      (fun (tag, title, f) ->
+         if which = `All || which = tag then begin
+           E.Ablation.pp fmt ~title (f ());
+           Format.fprintf fmt "@."
+         end)
+      sections
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Ablation studies of the tool's own design choices.")
+    Term.(const run $ seed_term $ budget_term $ which_term)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let metaheuristics_term =
+    Arg.(value & flag
+         & info [ "metaheuristics" ]
+             ~doc:"Also run the simulated-annealing and tabu-search \
+                   baselines (related-work comparisons, not in the paper).")
+  in
+  let run env apps seed budget likelihood metaheuristics =
+    let env, workloads = resolve_env env apps in
+    let budget = E.Budgets.with_seed budget seed in
+    let entries =
+      E.Compare.run ~budgets:budget ~metaheuristics env workloads likelihood
+    in
+    E.Report.figure3 fmt entries
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare the design tool with the human and random heuristics \
+             (Figure 3).")
+    Term.(const run $ env_term $ apps_term $ seed_term $ budget_term
+          $ likelihood_term $ metaheuristics_term)
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_cmd =
+  let samples_term =
+    Arg.(value & opt int 20_000
+         & info [ "samples" ] ~docv:"N" ~doc:"Number of random designs.")
+  in
+  let bins_term =
+    Arg.(value & opt int 14
+         & info [ "bins" ] ~docv:"B" ~doc:"Histogram buckets.")
+  in
+  let run env apps seed samples bins likelihood =
+    let env, workloads = resolve_env env apps in
+    let stats = E.Space_sampler.sample ~seed ~samples env workloads likelihood in
+    E.Report.figure2 fmt stats ~bins ~marks:[]
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Sample the solution space and print the cost distribution \
+             (Figure 2).")
+    Term.(const run $ env_term $ apps_term $ seed_term $ samples_term
+          $ bins_term $ likelihood_term)
+
+(* ------------------------------------------------------------------ *)
+(* scale                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scale_cmd =
+  let rounds_term =
+    Arg.(value & opt (list int) [ 1; 2; 3; 4; 5 ]
+         & info [ "rounds" ] ~docv:"R1,R2,..."
+             ~doc:"Scaling rounds (4 applications each).")
+  in
+  let run seed budget rounds =
+    let budget = E.Budgets.with_seed budget seed in
+    let points = E.Scalability.run ~budgets:budget ~rounds () in
+    E.Report.figure4 fmt points
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Scalability experiment on four fully connected sites (Figure 4).")
+    Term.(const run $ seed_term $ budget_term $ rounds_term)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_cmd =
+  let axis_conv =
+    let parse = function
+      | "object" -> Ok E.Sensitivity.Object_failure
+      | "array" -> Ok E.Sensitivity.Array_failure
+      | "site" -> Ok E.Sensitivity.Site_failure
+      | s ->
+        Error (`Msg (Printf.sprintf "unknown axis %S (object|array|site)" s))
+    in
+    Arg.conv
+      (parse, fun ppf a -> Format.pp_print_string ppf (E.Sensitivity.axis_name a))
+  in
+  let axis_term =
+    Arg.(required & pos 0 (some axis_conv) None
+         & info [] ~docv:"AXIS" ~doc:"Swept axis: object, array or site.")
+  in
+  let apps_count_term =
+    Arg.(value & opt int 16 & info [ "apps" ] ~docv:"N" ~doc:"Applications.")
+  in
+  let run seed budget axis apps =
+    let budget = E.Budgets.with_seed budget seed in
+    let points = E.Sensitivity.run ~budgets:budget ~apps axis in
+    E.Report.sensitivity fmt axis points
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Failure-likelihood sensitivity sweeps (Figures 5-7).")
+    Term.(const run $ seed_term $ budget_term $ axis_term $ apps_count_term)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let diff_cmd =
+  let file_term idx name =
+    Arg.(required & pos idx (some string) None
+         & info [] ~docv:name ~doc:(name ^ " design file."))
+  in
+  let run env apps before_path after_path =
+    let env, workloads = resolve_env env apps in
+    match
+      Design.Design_io.read_file env workloads before_path,
+      Design.Design_io.read_file env workloads after_path
+    with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok before, Ok after ->
+      (match Design.Design_io.diff before after with
+       | [] -> Format.fprintf fmt "designs are identical@."; `Ok ()
+       | changes ->
+         List.iter
+           (fun c -> Format.fprintf fmt "%a@." Design.Design_io.pp_change c)
+           changes;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two saved designs application by application.")
+    Term.(ret (const run $ env_term $ apps_term $ file_term 0 "BEFORE"
+               $ file_term 1 "AFTER"))
+
+(* ------------------------------------------------------------------ *)
+(* frontier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let frontier_cmd =
+  let multipliers_term =
+    Arg.(value & opt (list float) E.Frontier.default_multipliers
+         & info [ "multipliers" ] ~docv:"M1,M2,..."
+             ~doc:"Risk-aversion multipliers applied to the penalty rates.")
+  in
+  let run env apps seed budget likelihood multipliers =
+    let env, workloads = resolve_env env apps in
+    let budget = E.Budgets.with_seed budget seed in
+    let points =
+      E.Frontier.run ~budgets:budget ~multipliers env workloads likelihood
+    in
+    Format.fprintf fmt "Outlay / penalty trade-off frontier:@.";
+    E.Frontier.pp fmt points
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Sweep a risk-aversion multiplier and trace the outlay vs \
+             expected-penalty trade-off frontier.")
+    Term.(const run $ env_term $ apps_term $ seed_term $ budget_term
+          $ likelihood_term $ multipliers_term)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let float_opt name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"X" ~doc)
+  in
+  let run seed iops writes skew hours scale =
+    let profile =
+      { Trace.Synth.default with
+        Trace.Synth.mean_iops = iops;
+        write_fraction = writes;
+        zipf_skew = skew;
+        duration = Units.Time.hours hours }
+    in
+    match Trace.Synth.validate profile with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      let trace = Trace.Synth.generate (Prng.Rng.of_int seed) profile in
+      let c = Trace.Characterize.analyze trace in
+      Format.fprintf fmt "%a@." Trace.Trace.pp trace;
+      Format.fprintf fmt "%a@." Trace.Characterize.pp c;
+      let app =
+        Trace.Characterize.to_app ~id:1 ~name:"traced" ~class_tag:"T"
+          ~outage_per_hour:(Units.Money.k 100.)
+          ~loss_per_hour:(Units.Money.k 100.) ~scale c
+      in
+      Format.fprintf fmt "as a Table 1 row (at $100K/hr penalties):@.%a@."
+        Workload.App.pp_row app;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Generate a synthetic cello-like I/O trace and derive the \
+             workload characteristics the design tool consumes.")
+    Term.(ret (const run $ seed_term
+               $ float_opt "iops" 120. "Mean request rate (1/s)."
+               $ float_opt "writes" 0.4 "Write fraction in [0,1]."
+               $ float_opt "skew" 0.8 "Zipf popularity skew."
+               $ float_opt "hours" 2. "Trace duration in hours."
+               $ float_opt "scale" 1. "Scale factor for the derived app."))
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "automated design of dependable storage solutions (DSN'06)" in
+  Cmd.group
+    (Cmd.info "dstool" ~version:"1.0.0" ~doc)
+    [ catalogs_cmd; solve_cmd; audit_cmd; compare_cmd; sample_cmd; scale_cmd;
+      sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd; trace_cmd;
+      diff_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Cost Dependable_storage Design Failure Float Format List Protection Resources Units Workload

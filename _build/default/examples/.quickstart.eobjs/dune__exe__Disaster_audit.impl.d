@@ -1,0 +1,1 @@
+examples/disaster_audit.ml: Cost Dependable_storage Experiments Failure Format List Prng Recovery Risk Solver Units Workload

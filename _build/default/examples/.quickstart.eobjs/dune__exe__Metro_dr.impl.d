@@ -1,0 +1,1 @@
+examples/metro_dr.ml: Cost Dependable_storage Design Failure Format List Option Protection Resources Solver Workload

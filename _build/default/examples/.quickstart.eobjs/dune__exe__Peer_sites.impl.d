@@ -1,0 +1,1 @@
+examples/peer_sites.ml: Dependable_storage Design Experiments Format List Protection Solver Sys

@@ -1,0 +1,1 @@
+examples/peer_sites.mli:

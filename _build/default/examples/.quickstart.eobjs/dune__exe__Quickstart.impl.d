@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Dependable_storage Design Failure Format List Resources Solver Units Workload

@@ -1,0 +1,1 @@
+examples/sla_contracts.ml: Cost Dependable_storage Experiments Failure Format List Solver Units Workload

@@ -1,0 +1,1 @@
+examples/trace_characterization.ml: Cost Dependable_storage Design Failure Format List Prng Resources Solver Trace Units Workload

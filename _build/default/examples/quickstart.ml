@@ -1,0 +1,57 @@
+(* Quickstart: protect two applications across two data centers.
+
+   Build an environment, describe the workloads and their business
+   requirements, run the automated design tool, and read the result.
+
+     dune exec examples/quickstart.exe *)
+
+open Dependable_storage
+module Money = Units.Money
+module Size = Units.Size
+module Rate = Units.Rate
+
+let () =
+  (* Two sites, each with two disk-array bays and a tape library,
+     connected by up to 32 high-class (20 MB/s) links. *)
+  let env =
+    Resources.Env.fully_connected ~name:"quickstart" ~site_count:2
+      ~bays_per_site:2 ~array_models:Resources.Device_catalog.array_models
+      ~tape_models:Resources.Device_catalog.tape_models
+      ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+      ~compute_slots_per_site:4 ()
+  in
+
+  (* An order-processing database where outage and data loss both hurt,
+     and an analytics warehouse that tolerates a stale restore. *)
+  let orders =
+    Workload.App.v ~id:1 ~name:"orders-db" ~class_tag:"B"
+      ~outage_per_hour:(Money.m 2.) ~loss_per_hour:(Money.m 1.)
+      ~data_size:(Size.gb 800.)
+      ~avg_update:(Rate.mb_per_sec 4.) ~peak_update:(Rate.mb_per_sec 30.)
+      ~avg_access:(Rate.mb_per_sec 35.) ()
+  in
+  let analytics =
+    Workload.App.v ~id:2 ~name:"analytics" ~class_tag:"S"
+      ~outage_per_hour:(Money.k 2.) ~loss_per_hour:(Money.k 1.)
+      ~data_size:(Size.gb 2000.)
+      ~avg_update:(Rate.mb_per_sec 1.) ~peak_update:(Rate.mb_per_sec 8.)
+      ~avg_access:(Rate.mb_per_sec 10.) ()
+  in
+
+  (* Failure expectations: fat-finger errors yearly, an array failure
+     every four years, a site disaster every twenty. *)
+  let likelihood =
+    Failure.Likelihood.v ~data_object_per_year:1. ~array_per_year:0.25
+      ~site_per_year:0.05
+  in
+
+  match Solver.Design_solver.solve env [ orders; analytics ] likelihood with
+  | None -> prerr_endline "no feasible design"
+  | Some outcome ->
+    let best = outcome.Solver.Design_solver.best in
+    Format.printf "chosen design:@.";
+    List.iter
+      (fun asg -> Format.printf "  %a@." Design.Assignment.pp asg)
+      (Design.Design.assignments best.Solver.Candidate.design);
+    Format.printf "@.annual cost: %a@." Cost.Summary.pp
+      (Solver.Candidate.summary best)

@@ -1,0 +1,1 @@
+lib/cost/evaluate.ml: Ds_design Ds_failure Ds_units Ds_workload List Outlay Penalty Result Summary

@@ -1,0 +1,1 @@
+lib/cost/evaluate.mli: Ds_design Ds_failure Ds_recovery Ds_units Ds_workload Format Penalty Summary

@@ -1,0 +1,1 @@
+lib/cost/outlay.ml: Ds_design Ds_protection Ds_resources Ds_units Ds_workload List Option

@@ -1,0 +1,1 @@
+lib/cost/outlay.mli: Ds_design Ds_units Ds_workload

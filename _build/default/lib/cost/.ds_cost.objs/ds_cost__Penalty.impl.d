@@ -1,0 +1,1 @@
+lib/cost/penalty.ml: Ds_design Ds_failure Ds_recovery Ds_units Ds_workload Hashtbl List

@@ -1,0 +1,1 @@
+lib/cost/sla.ml: Ds_design Ds_failure Ds_recovery Ds_units Ds_workload Hashtbl List

@@ -1,0 +1,1 @@
+lib/cost/sla.mli: Ds_design Ds_failure Ds_recovery Ds_units Ds_workload

@@ -1,0 +1,1 @@
+lib/cost/slo_report.ml: Ds_design Ds_failure Ds_recovery Ds_units Ds_workload Evaluate Float Format List Penalty

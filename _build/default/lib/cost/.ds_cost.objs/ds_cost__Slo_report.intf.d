@@ -1,0 +1,1 @@
+lib/cost/slo_report.mli: Ds_units Ds_workload Evaluate Format

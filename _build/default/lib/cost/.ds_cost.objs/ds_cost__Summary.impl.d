@@ -1,0 +1,1 @@
+lib/cost/summary.ml: Ds_units Format

@@ -1,0 +1,1 @@
+lib/cost/summary.mli: Ds_units Format

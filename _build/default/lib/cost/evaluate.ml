@@ -1,0 +1,37 @@
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Design = Ds_design.Design
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+
+type t = {
+  provision : Provision.t;
+  summary : Summary.t;
+  penalty : Penalty.t;
+}
+
+let provisioned ?params prov likelihood =
+  let penalty = Penalty.expected_annual ?params prov likelihood in
+  let summary =
+    Summary.v ~outlay:(Outlay.annual prov) ~outage:penalty.Penalty.outage_total
+      ~loss:penalty.Penalty.loss_total
+  in
+  { provision = prov; summary; penalty }
+
+let design ?params design likelihood =
+  Result.map (fun prov -> provisioned ?params prov likelihood)
+    (Provision.minimum design)
+
+let total t = Summary.total t.summary
+
+let app_burden t app_id =
+  let penalties =
+    List.fold_left
+      (fun acc (p : Penalty.per_app) ->
+         if p.app.App.id = app_id then Money.add acc (Money.add p.outage p.loss)
+         else acc)
+      Money.zero t.penalty.Penalty.by_app
+  in
+  Money.add penalties (Outlay.app_share t.provision app_id)
+
+let pp ppf t = Summary.pp ppf t.summary

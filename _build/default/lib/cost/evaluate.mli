@@ -1,0 +1,35 @@
+(** Full evaluation of a candidate design: provision it, simulate every
+    failure scenario, and cost the result. This is the objective function
+    shared by the design solver, the configuration solver and the baseline
+    heuristics. *)
+
+module Money = Ds_units.Money
+module Design = Ds_design.Design
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+
+type t = {
+  provision : Provision.t;
+  summary : Summary.t;
+  penalty : Penalty.t;
+}
+
+val provisioned :
+  ?params:Ds_recovery.Recovery_params.t -> Provision.t -> Likelihood.t -> t
+(** Evaluate an already-provisioned design. *)
+
+val design :
+  ?params:Ds_recovery.Recovery_params.t ->
+  Design.t ->
+  Likelihood.t ->
+  (t, Provision.infeasibility) result
+(** Evaluate at minimum provisioning. *)
+
+val total : t -> Money.t
+
+val app_burden : t -> Ds_workload.App.id -> Money.t
+(** Penalties plus an outlay share attributed to the application — the
+    weight used to pick reconfiguration victims ("biased towards
+    applications that contribute the most towards the overall cost"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Link_model = Ds_resources.Link_model
+module Device_catalog = Ds_resources.Device_catalog
+module Slot = Ds_resources.Slot
+module Site = Ds_resources.Site
+module Env = Ds_resources.Env
+module Design = Ds_design.Design
+module Demand = Ds_design.Demand
+module Assignment = Ds_design.Assignment
+module Provision = Ds_design.Provision
+
+let sites_cost prov =
+  let used = Design.used_sites prov.Provision.design in
+  Money.scale (float_of_int (List.length used)) Device_catalog.site_cost
+
+let arrays_cost prov =
+  Slot.Array_slot.Map.fold
+    (fun slot units acc ->
+       match Design.array_model prov.Provision.design slot with
+       | Some model -> Money.add acc (Array_model.purchase_cost model ~units)
+       | None -> acc)
+    prov.Provision.array_units Money.zero
+
+let tapes_cost prov =
+  Slot.Tape_slot.Map.fold
+    (fun slot drives acc ->
+       match Design.tape_model prov.Provision.design slot with
+       | Some model ->
+         let cartridges =
+           Option.value ~default:0
+             (Slot.Tape_slot.Map.find_opt slot prov.Provision.tape_cartridges)
+         in
+         Money.add acc (Tape_model.purchase_cost model ~drives ~cartridges)
+       | None -> acc)
+    prov.Provision.tape_drives Money.zero
+
+let links_cost prov =
+  let model = prov.Provision.design.Design.env.Env.link_model in
+  Slot.Pair.Map.fold
+    (fun _ units acc -> Money.add acc (Link_model.purchase_cost model ~units))
+    prov.Provision.link_units Money.zero
+
+let compute_cost prov =
+  Site.Id_map.fold
+    (fun _ n acc ->
+       Money.add acc (Money.scale (float_of_int n) Device_catalog.compute_cost))
+    prov.Provision.compute Money.zero
+
+let purchase prov =
+  Money.sum
+    [ sites_cost prov; arrays_cost prov; tapes_cost prov; links_cost prov;
+      compute_cost prov ]
+
+let annualize price =
+  Money.amortize price ~lifetime_years:Device_catalog.device_lifetime_years
+
+let annual prov = annualize (purchase prov)
+
+let breakdown prov =
+  [ ("sites", annualize (sites_cost prov));
+    ("disk arrays", annualize (arrays_cost prov));
+    ("tape libraries", annualize (tapes_cost prov));
+    ("network links", annualize (links_cost prov));
+    ("compute", annualize (compute_cost prov)) ]
+
+(* Attribution: each device's annual cost is split among the assignments
+   using it, in proportion to capacity demand (arrays, tapes) or bandwidth
+   demand (links); compute and a per-resident share of site cost go to the
+   apps directly. *)
+let app_share prov app_id =
+  let design = prov.Provision.design in
+  match Design.find design app_id with
+  | None -> Money.zero
+  | Some asg ->
+    let demand = prov.Provision.demand in
+    let frac num den = if Size.is_zero den then 0. else Size.div num den in
+    let array_part slot contribution =
+      match Design.array_model design slot,
+            Slot.Array_slot.Map.find_opt slot prov.Provision.array_units with
+      | Some model, Some units ->
+        let total = (Demand.array_use demand slot).Demand.capacity in
+        let f = frac contribution.Demand.capacity total in
+        Money.scale f (annualize (Array_model.purchase_cost model ~units))
+      | _ -> Money.zero
+    in
+    let primary_share = array_part asg.Assignment.primary (Demand.primary_contribution asg) in
+    let mirror_share =
+      match asg.Assignment.mirror with
+      | Some slot -> array_part slot (Demand.mirror_contribution asg)
+      | None -> Money.zero
+    in
+    let tape_share =
+      match asg.Assignment.backup with
+      | Some slot ->
+        (match Design.tape_model design slot,
+               Slot.Tape_slot.Map.find_opt slot prov.Provision.tape_drives with
+         | Some model, Some drives ->
+           let cartridges =
+             Option.value ~default:0
+               (Slot.Tape_slot.Map.find_opt slot prov.Provision.tape_cartridges)
+           in
+           let total = (Demand.tape_use demand slot).Demand.tape_capacity in
+           let own =
+             match asg.Assignment.technique.Ds_protection.Technique.backup with
+             | Some chain -> Ds_protection.Backup.tape_space chain asg.Assignment.app
+             | None -> Size.zero
+           in
+           Money.scale (frac own total)
+             (annualize (Tape_model.purchase_cost model ~drives ~cartridges))
+         | _ -> Money.zero)
+      | None -> Money.zero
+    in
+    let link_share =
+      let model = design.Design.env.Env.link_model in
+      let pair_share pair own_rate =
+        match Slot.Pair.Map.find_opt pair prov.Provision.link_units with
+        | Some units ->
+          let total = Demand.link_use demand pair in
+          let f =
+            if Rate.is_zero total then 0. else Rate.div own_rate total
+          in
+          Money.scale f (annualize (Link_model.purchase_cost model ~units))
+        | None -> Money.zero
+      in
+      let mirror_link =
+        match Assignment.mirror_pair asg, asg.Assignment.technique.Ds_protection.Technique.mirror with
+        | Some pair, Some m ->
+          pair_share pair (Ds_protection.Mirror.network_demand m asg.Assignment.app)
+        | _ -> Money.zero
+      in
+      let backup_link =
+        match Assignment.backup_pair asg, asg.Assignment.technique.Ds_protection.Technique.backup with
+        | Some pair, Some chain ->
+          pair_share pair (Ds_protection.Backup.tape_bandwidth_demand chain asg.Assignment.app)
+        | _ -> Money.zero
+      in
+      Money.add mirror_link backup_link
+    in
+    let compute_share =
+      let n =
+        1 + (if Ds_protection.Technique.needs_standby_compute asg.Assignment.technique then 1 else 0)
+      in
+      annualize (Money.scale (float_of_int n) Device_catalog.compute_cost)
+    in
+    Money.sum [ primary_share; mirror_share; tape_share; link_share; compute_share ]

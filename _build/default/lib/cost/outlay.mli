@@ -1,0 +1,24 @@
+(** Infrastructure outlay costing (Section 2.3 / Table 3).
+
+    Counts every provisioned device: site facility costs, array enclosures
+    plus disks, tape robots plus drives and cartridges, link units, and
+    compute instances. Purchase prices are amortized over the device
+    lifetime (three years) to an annual figure. *)
+
+module Money = Ds_units.Money
+module Provision = Ds_design.Provision
+
+val purchase : Provision.t -> Money.t
+(** Unamortized total purchase price. *)
+
+val annual : Provision.t -> Money.t
+(** [purchase /. lifetime]: the yearly outlay used in solution costs. *)
+
+val breakdown : Provision.t -> (string * Money.t) list
+(** Named annual components (sites, arrays, tapes, links, compute). *)
+
+val app_share : Provision.t -> Ds_workload.App.id -> Money.t
+(** A rough attribution of the annual outlay to one application,
+    proportional to its capacity/bandwidth demand on each device it
+    touches. Used to bias reconfiguration toward the costliest apps; not
+    part of the solution cost itself. *)

@@ -1,0 +1,58 @@
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Design = Ds_design.Design
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+module Scenario = Ds_failure.Scenario
+module Outcome = Ds_recovery.Outcome
+module Simulate = Ds_recovery.Simulate
+
+type per_app = {
+  app : App.t;
+  outage : Money.t;
+  loss : Money.t;
+}
+
+type t = {
+  outage_total : Money.t;
+  loss_total : Money.t;
+  by_app : per_app list;
+  details : (Scenario.t * Outcome.t list) list;
+}
+
+let of_outcome ~annual_rate (o : Outcome.t) =
+  let outage =
+    Money.penalty ~rate_per_hour:o.app.App.outage_penalty_rate o.recovery_time
+  in
+  let loss =
+    Money.penalty ~rate_per_hour:o.app.App.loss_penalty_rate o.loss_time
+  in
+  (Money.scale annual_rate outage, Money.scale annual_rate loss)
+
+let expected_annual ?params prov likelihood =
+  let details = Simulate.all ?params prov likelihood in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Ds_design.Assignment.t) ->
+       Hashtbl.replace tbl a.app.App.id (a.app, Money.zero, Money.zero))
+    (Design.assignments prov.Provision.design);
+  List.iter
+    (fun ((scen : Scenario.t), outcomes) ->
+       List.iter
+         (fun (o : Outcome.t) ->
+            let outage, loss = of_outcome ~annual_rate:scen.annual_rate o in
+            match Hashtbl.find_opt tbl o.app.App.id with
+            | Some (app, acc_outage, acc_loss) ->
+              Hashtbl.replace tbl o.app.App.id
+                (app, Money.add acc_outage outage, Money.add acc_loss loss)
+            | None -> Hashtbl.replace tbl o.app.App.id (o.app, outage, loss))
+         outcomes)
+    details;
+  let by_app =
+    Hashtbl.fold (fun _ (app, outage, loss) acc -> { app; outage; loss } :: acc)
+      tbl []
+    |> List.sort (fun a b -> App.compare a.app b.app)
+  in
+  let outage_total = Money.sum (List.map (fun p -> p.outage) by_app) in
+  let loss_total = Money.sum (List.map (fun p -> p.loss) by_app) in
+  { outage_total; loss_total; by_app; details }

@@ -1,0 +1,34 @@
+(** Expected annual penalty costs (Sections 2.4-2.5).
+
+    Every failure scenario is simulated; each affected application's data
+    outage and recent-data-loss penalties (hourly rate x duration) are
+    weighted by the scenario's annual likelihood and summed. *)
+
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+module Scenario = Ds_failure.Scenario
+module Outcome = Ds_recovery.Outcome
+
+type per_app = {
+  app : App.t;
+  outage : Money.t;  (** Expected annual outage penalty for this app. *)
+  loss : Money.t;  (** Expected annual recent-data-loss penalty. *)
+}
+
+type t = {
+  outage_total : Money.t;
+  loss_total : Money.t;
+  by_app : per_app list;  (** Sorted by app id; every assigned app listed. *)
+  details : (Scenario.t * Outcome.t list) list;  (** Raw simulation log. *)
+}
+
+val expected_annual :
+  ?params:Ds_recovery.Recovery_params.t ->
+  Provision.t ->
+  Likelihood.t ->
+  t
+
+val of_outcome : annual_rate:float -> Outcome.t -> Money.t * Money.t
+(** [(outage, loss)] contribution of one simulated outcome, weighted. *)

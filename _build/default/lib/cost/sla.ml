@@ -1,0 +1,99 @@
+module Time = Ds_units.Time
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+module Scenario = Ds_failure.Scenario
+module Outcome = Ds_recovery.Outcome
+module Simulate = Ds_recovery.Simulate
+
+(* Segments as (boundary, hourly rate), boundaries strictly increasing;
+   [beyond] applies past the last boundary. *)
+type curve = {
+  segments : (Time.t * Money.t) list;
+  beyond : Money.t;
+}
+
+let linear ~rate_per_hour = { segments = []; beyond = rate_per_hour }
+
+let stepped segments ~beyond =
+  let rec check prev = function
+    | [] -> ()
+    | (boundary, _) :: rest ->
+      (match prev with
+       | Some p when Time.compare boundary p <= 0 ->
+         invalid_arg "Sla.stepped: boundaries must be strictly increasing"
+       | _ -> ());
+      check (Some boundary) rest
+  in
+  check None segments;
+  { segments; beyond }
+
+let with_grace window curve =
+  if Time.is_zero window then curve
+  else begin
+    let shifted =
+      List.map (fun (b, r) -> (Time.add b window, r)) curve.segments
+    in
+    { curve with segments = (window, Money.zero) :: shifted }
+  end
+
+let year = Time.years 1.
+
+let cost curve duration =
+  let duration = Time.min duration year in
+  let rec go start remaining acc = function
+    | [] -> Money.add acc (Money.penalty ~rate_per_hour:curve.beyond remaining)
+    | (boundary, rate) :: rest ->
+      let span = Time.sub boundary start in
+      let charged = Time.min remaining span in
+      let acc = Money.add acc (Money.penalty ~rate_per_hour:rate charged) in
+      let remaining = Time.sub remaining charged in
+      if Time.is_zero remaining then acc else go boundary remaining acc rest
+  in
+  go Time.zero duration Money.zero curve.segments
+
+type contract = { outage : curve; loss : curve }
+
+let paper_contract (app : App.t) =
+  { outage = linear ~rate_per_hour:app.App.outage_penalty_rate;
+    loss = linear ~rate_per_hour:app.App.loss_penalty_rate }
+
+type repriced = {
+  app : App.t;
+  outage : Money.t;
+  loss : Money.t;
+}
+
+let expected_annual ?params ~contracts prov likelihood =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((scen : Scenario.t), outcomes) ->
+       List.iter
+         (fun (o : Outcome.t) ->
+            let (contract : contract) = contracts o.Outcome.app in
+            let outage =
+              Money.scale scen.Scenario.annual_rate
+                (cost contract.outage o.Outcome.recovery_time)
+            in
+            let loss =
+              Money.scale scen.Scenario.annual_rate
+                (cost contract.loss o.Outcome.loss_time)
+            in
+            let app_id = o.Outcome.app.App.id in
+            match Hashtbl.find_opt tbl app_id with
+            | Some (app, acc_outage, acc_loss) ->
+              Hashtbl.replace tbl app_id
+                (app, Money.add acc_outage outage, Money.add acc_loss loss)
+            | None -> Hashtbl.add tbl app_id (o.Outcome.app, outage, loss))
+         outcomes)
+    (Simulate.all ?params prov likelihood);
+  let by_app =
+    Hashtbl.fold (fun _ (app, outage, loss) acc -> { app; outage; loss } :: acc)
+      tbl []
+    |> List.sort (fun a b -> App.compare a.app b.app)
+  in
+  let total =
+    Money.sum (List.map (fun r -> Money.add r.outage r.loss) by_app)
+  in
+  (by_app, total)

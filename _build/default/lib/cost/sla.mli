@@ -1,0 +1,59 @@
+(** Nonlinear SLA penalty contracts.
+
+    The paper charges penalties linearly: rate x duration. Real contracts
+    are tiered — the first minutes of an outage are free (grace), the
+    next hours cost something, and beyond a breach point the rate jumps.
+    This module re-prices a design's simulated recovery behaviour under
+    piecewise-constant-rate contracts, as a what-if layer: the core
+    objective stays the paper's linear model.
+
+    A {!curve} is a sequence of (boundary, hourly rate) segments: the
+    first rate applies up to the first boundary, and so on; [beyond]
+    applies past the last boundary. Cost is the integral of the rate over
+    the duration, so curves with higher rates always cost more and cost
+    is monotone in duration. *)
+
+module Time = Ds_units.Time
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+
+type curve
+
+val linear : rate_per_hour:Money.t -> curve
+(** The paper's model: one rate forever. *)
+
+val stepped : (Time.t * Money.t) list -> beyond:Money.t -> curve
+(** [stepped [(b1, r1); (b2, r2)] ~beyond] charges [r1] per hour until
+    [b1], [r2] until [b2], and [beyond] afterwards. Boundaries must be
+    strictly increasing. @raise Invalid_argument otherwise. *)
+
+val with_grace : Time.t -> curve -> curve
+(** Prepend a free period: no penalty accrues during the grace window. *)
+
+val cost : curve -> Time.t -> Money.t
+(** Integral of the rate over the duration (infinite durations are capped
+    at one year, like the linear model). *)
+
+type contract = { outage : curve; loss : curve }
+
+val paper_contract : App.t -> contract
+(** The app's linear Table 1 rates. *)
+
+type repriced = {
+  app : App.t;
+  outage : Money.t;  (** Expected annual outage penalty under the contract. *)
+  loss : Money.t;
+}
+
+val expected_annual :
+  ?params:Ds_recovery.Recovery_params.t ->
+  contracts:(App.t -> contract) ->
+  Provision.t ->
+  Likelihood.t ->
+  repriced list * Money.t
+(** Re-price every simulated outcome under per-app contracts; returns the
+    per-app expectations and the grand total. With
+    [~contracts:paper_contract] this reproduces
+    {!Penalty.expected_annual}'s totals (asserted in the tests). *)

@@ -1,0 +1,75 @@
+module Time = Ds_units.Time
+module App = Ds_workload.App
+module Design = Ds_design.Design
+module Scenario = Ds_failure.Scenario
+module Outcome = Ds_recovery.Outcome
+
+type entry = {
+  app : App.t;
+  rto : Time.t;
+  rpo : Time.t;
+  worst_scenario : string;
+  expected_downtime : Time.t;
+  expected_loss : Time.t;
+}
+
+type t = entry list
+
+let of_evaluation (eval : Evaluate.t) =
+  let details = eval.Evaluate.penalty.Penalty.details in
+  let apps = Design.apps eval.Evaluate.provision.Ds_design.Provision.design in
+  List.map
+    (fun app ->
+       let entry =
+         List.fold_left
+           (fun acc ((scen : Scenario.t), outcomes) ->
+              List.fold_left
+                (fun acc (o : Outcome.t) ->
+                   if o.Outcome.app.App.id <> app.App.id then acc
+                   else begin
+                     let acc =
+                       if Time.compare o.Outcome.recovery_time acc.rto > 0 then
+                         { acc with
+                           rto = o.Outcome.recovery_time;
+                           worst_scenario =
+                             Format.asprintf "%a" Scenario.pp_scope
+                               scen.Scenario.scope }
+                       else acc
+                     in
+                     { acc with
+                       rpo = Time.max acc.rpo o.Outcome.loss_time;
+                       expected_downtime =
+                         Time.add acc.expected_downtime
+                           (Time.scale scen.Scenario.annual_rate
+                              (Time.min o.Outcome.recovery_time (Time.years 1.)));
+                       expected_loss =
+                         Time.add acc.expected_loss
+                           (Time.scale scen.Scenario.annual_rate
+                              (Time.min o.Outcome.loss_time (Time.years 1.))) }
+                   end)
+                acc outcomes)
+           { app; rto = Time.zero; rpo = Time.zero; worst_scenario = "-";
+             expected_downtime = Time.zero; expected_loss = Time.zero }
+           details
+       in
+       entry)
+    apps
+  |> List.sort (fun a b -> App.compare a.app b.app)
+
+let availability entry =
+  let year = Time.to_hours (Time.years 1.) in
+  1. -. (Float.min year (Time.to_hours entry.expected_downtime) /. year)
+
+let pp ppf t =
+  Format.fprintf ppf "%-12s %10s %10s %12s %10s  %s@." "app" "RTO" "RPO"
+    "downtime/yr" "avail" "worst case";
+  List.iter
+    (fun entry ->
+       Format.fprintf ppf "%-12s %10s %10s %12s %9.4f%%  %s@."
+         entry.app.App.name
+         (Time.to_string entry.rto)
+         (Time.to_string entry.rpo)
+         (Time.to_string entry.expected_downtime)
+         (100. *. availability entry)
+         entry.worst_scenario)
+    t

@@ -1,0 +1,34 @@
+(** Service-level summary of a provisioned design: the RTO/RPO view an
+    architect reads off the tool's output.
+
+    For each application, over every simulated failure scenario:
+    - RTO (recovery time objective actually achieved): the worst-case
+      recovery time;
+    - RPO (recovery point objective): the worst-case recent-data-loss
+      window;
+    - expected annual downtime and loss-exposure hours (likelihood-
+      weighted sums). *)
+
+module Time = Ds_units.Time
+module App = Ds_workload.App
+
+type entry = {
+  app : App.t;
+  rto : Time.t;
+  rpo : Time.t;
+  worst_scenario : string;  (** Scope achieving the RTO. *)
+  expected_downtime : Time.t;  (** Per year. *)
+  expected_loss : Time.t;  (** Hours of lost updates per year, expected. *)
+}
+
+type t = entry list
+
+val of_evaluation : Evaluate.t -> t
+(** Sorted by application id; every assigned app appears (apps untouched
+    by any scenario report zeroes). *)
+
+val availability : entry -> float
+(** Fraction of the year the app is expected to be up: 1 - downtime/year. *)
+
+val pp : Format.formatter -> t -> unit
+(** A per-app table with RTO, RPO, expected downtime and availability. *)

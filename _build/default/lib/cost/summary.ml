@@ -1,0 +1,25 @@
+module Money = Ds_units.Money
+
+type t = {
+  outlay : Money.t;
+  outage_penalty : Money.t;
+  loss_penalty : Money.t;
+}
+
+let zero = { outlay = Money.zero; outage_penalty = Money.zero; loss_penalty = Money.zero }
+
+let v ~outlay ~outage ~loss = { outlay; outage_penalty = outage; loss_penalty = loss }
+
+let total t = Money.sum [ t.outlay; t.outage_penalty; t.loss_penalty ]
+
+let add a b =
+  { outlay = Money.add a.outlay b.outlay;
+    outage_penalty = Money.add a.outage_penalty b.outage_penalty;
+    loss_penalty = Money.add a.loss_penalty b.loss_penalty }
+
+let compare_total a b = Money.compare (total a) (total b)
+
+let pp ppf t =
+  Format.fprintf ppf "total %a (outlay %a, outage %a, loss %a)"
+    Money.pp (total t) Money.pp t.outlay Money.pp t.outage_penalty
+    Money.pp t.loss_penalty

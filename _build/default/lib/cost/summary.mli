@@ -1,0 +1,17 @@
+(** Annualized solution cost: outlays plus expected penalties
+    (Section 2.5). *)
+
+module Money = Ds_units.Money
+
+type t = {
+  outlay : Money.t;  (** Amortized annual infrastructure cost. *)
+  outage_penalty : Money.t;  (** Expected annual data-outage penalty. *)
+  loss_penalty : Money.t;  (** Expected annual recent-data-loss penalty. *)
+}
+
+val zero : t
+val v : outlay:Money.t -> outage:Money.t -> loss:Money.t -> t
+val total : t -> Money.t
+val add : t -> t -> t
+val compare_total : t -> t -> int
+val pp : Format.formatter -> t -> unit

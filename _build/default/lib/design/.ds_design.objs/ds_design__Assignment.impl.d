@@ -1,0 +1,1 @@
+lib/design/assignment.ml: Ds_protection Ds_resources Ds_workload Format Int List Option

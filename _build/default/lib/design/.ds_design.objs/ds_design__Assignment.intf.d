@@ -1,0 +1,1 @@
+lib/design/assignment.mli: Ds_protection Ds_resources Ds_workload Format

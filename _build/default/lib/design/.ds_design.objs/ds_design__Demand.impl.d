@@ -1,0 +1,1 @@
+lib/design/demand.ml: Assignment Design Ds_protection Ds_resources Ds_units Ds_workload Format List Option

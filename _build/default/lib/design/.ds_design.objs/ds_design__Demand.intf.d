@@ -1,0 +1,1 @@
+lib/design/demand.mli: Assignment Design Ds_resources Ds_units Format

@@ -1,0 +1,1 @@
+lib/design/design.ml: Assignment Ds_protection Ds_resources Ds_workload Format Fun Int List Option Printf Result

@@ -1,0 +1,1 @@
+lib/design/design.mli: Assignment Ds_resources Ds_workload Format

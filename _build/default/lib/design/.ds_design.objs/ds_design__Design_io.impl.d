@@ -1,0 +1,1 @@
+lib/design/design_io.ml: Assignment Buffer Design Ds_protection Ds_resources Ds_units Ds_workload Format Fun Int List Printf Result String

@@ -1,0 +1,1 @@
+lib/design/design_io.mli: Design Ds_resources Ds_workload Format

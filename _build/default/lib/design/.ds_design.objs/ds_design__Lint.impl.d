@@ -1,0 +1,1 @@
+lib/design/lint.ml: Assignment Demand Design Ds_protection Ds_resources Ds_units Ds_workload Format Int List Printf

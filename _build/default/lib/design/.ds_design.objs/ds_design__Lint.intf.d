@@ -1,0 +1,1 @@
+lib/design/lint.mli: Design Ds_workload Format

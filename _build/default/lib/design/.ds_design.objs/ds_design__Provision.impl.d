@@ -1,0 +1,1 @@
+lib/design/provision.ml: Demand Design Ds_resources Ds_units Format List Option Result

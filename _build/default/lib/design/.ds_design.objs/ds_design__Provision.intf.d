@@ -1,0 +1,1 @@
+lib/design/provision.mli: Demand Design Ds_resources Ds_units Format

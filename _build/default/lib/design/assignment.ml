@@ -1,0 +1,64 @@
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Slot = Ds_resources.Slot
+
+type t = {
+  app : App.t;
+  technique : Technique.t;
+  primary : Slot.Array_slot.t;
+  mirror : Slot.Array_slot.t option;
+  backup : Slot.Tape_slot.t option;
+}
+
+let check ~technique ~primary ~mirror ~backup =
+  (match Technique.has_mirror technique, mirror with
+   | true, None -> invalid_arg "Assignment.v: mirroring technique needs a mirror slot"
+   | false, Some _ -> invalid_arg "Assignment.v: mirror slot without a mirroring technique"
+   | true, Some (m : Slot.Array_slot.t) ->
+     if m.site = primary.Slot.Array_slot.site then
+       invalid_arg "Assignment.v: mirror must be at a different site"
+   | false, None -> ());
+  match Technique.has_backup technique, backup with
+  | true, None -> invalid_arg "Assignment.v: backup technique needs a tape slot"
+  | false, Some _ -> invalid_arg "Assignment.v: tape slot without a backup technique"
+  | _ -> ()
+
+let v ~app ~technique ~primary ?mirror ?backup () =
+  check ~technique ~primary ~mirror ~backup;
+  { app; technique; primary; mirror; backup }
+
+let mirror_pair t =
+  Option.map
+    (fun (m : Slot.Array_slot.t) ->
+       Slot.Pair.v t.primary.Slot.Array_slot.site m.site)
+    t.mirror
+
+let backup_pair t =
+  match t.backup with
+  | Some (b : Slot.Tape_slot.t) when b.site <> t.primary.Slot.Array_slot.site ->
+    Some (Slot.Pair.v t.primary.Slot.Array_slot.site b.site)
+  | _ -> None
+
+let sites_used t =
+  let sites =
+    t.primary.Slot.Array_slot.site
+    :: (match t.mirror with Some m -> [ m.Slot.Array_slot.site ] | None -> [])
+    @ (match t.backup with Some b -> [ b.Slot.Tape_slot.site ] | None -> [])
+  in
+  List.sort_uniq Int.compare sites
+
+let with_technique t technique =
+  check ~technique ~primary:t.primary ~mirror:t.mirror ~backup:t.backup;
+  { t with technique }
+
+let pp ppf t =
+  Format.fprintf ppf "%a <- %a @@ %a%a%a"
+    App.pp t.app Technique.pp t.technique Slot.Array_slot.pp t.primary
+    (fun ppf -> function
+       | Some m -> Format.fprintf ppf " mirror:%a" Slot.Array_slot.pp m
+       | None -> ())
+    t.mirror
+    (fun ppf -> function
+       | Some b -> Format.fprintf ppf " tape:%a" Slot.Tape_slot.pp b
+       | None -> ())
+    t.backup

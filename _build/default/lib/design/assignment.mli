@@ -1,0 +1,49 @@
+(** One application's protection assignment: the technique protecting it
+    and the slots its copies live on.
+
+    The primary copy lives on a disk array bay; a mirror (when the
+    technique has one) lives on a bay at a different, connected site; the
+    backup chain (when present) uses a tape library slot — normally at the
+    primary site, but remote backup is allowed and simply routes backup
+    and restore traffic over the inter-site link. *)
+
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Slot = Ds_resources.Slot
+
+type t = {
+  app : App.t;
+  technique : Technique.t;
+  primary : Slot.Array_slot.t;
+  mirror : Slot.Array_slot.t option;
+  backup : Slot.Tape_slot.t option;
+}
+
+val v :
+  app:App.t ->
+  technique:Technique.t ->
+  primary:Slot.Array_slot.t ->
+  ?mirror:Slot.Array_slot.t ->
+  ?backup:Slot.Tape_slot.t ->
+  unit ->
+  t
+(** Checks structural consistency: a mirror slot is given iff the
+    technique mirrors, at a site different from the primary's; a backup
+    slot is given iff the technique has a backup chain.
+    @raise Invalid_argument otherwise. *)
+
+val mirror_pair : t -> Slot.Pair.t option
+(** The site pair carrying mirror traffic, when the mirror is remote. *)
+
+val backup_pair : t -> Slot.Pair.t option
+(** The site pair carrying backup traffic, when the tape library is not at
+    the primary site. *)
+
+val sites_used : t -> Ds_resources.Site.id list
+(** Deduplicated sites touched by this assignment. *)
+
+val with_technique : t -> Technique.t -> t
+(** Swap technique; slots must already be consistent with the new
+    technique's needs. @raise Invalid_argument if not. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module App = Ds_workload.App
+module Mirror = Ds_protection.Mirror
+module Backup = Ds_protection.Backup
+module Technique = Ds_protection.Technique
+module Slot = Ds_resources.Slot
+module Site = Ds_resources.Site
+
+type array_use = { capacity : Size.t; bandwidth : Rate.t }
+type tape_use = { tape_capacity : Size.t; tape_bandwidth : Rate.t }
+
+type t = {
+  arrays : array_use Slot.Array_slot.Map.t;
+  tapes : tape_use Slot.Tape_slot.Map.t;
+  links : Rate.t Slot.Pair.Map.t;
+  compute : int Site.Id_map.t;
+}
+
+let zero_array = { capacity = Size.zero; bandwidth = Rate.zero }
+let zero_tape = { tape_capacity = Size.zero; tape_bandwidth = Rate.zero }
+
+let add_array m slot use =
+  let prev = Option.value ~default:zero_array (Slot.Array_slot.Map.find_opt slot m) in
+  Slot.Array_slot.Map.add slot
+    { capacity = Size.add prev.capacity use.capacity;
+      bandwidth = Rate.add prev.bandwidth use.bandwidth }
+    m
+
+let add_tape m slot use =
+  let prev = Option.value ~default:zero_tape (Slot.Tape_slot.Map.find_opt slot m) in
+  Slot.Tape_slot.Map.add slot
+    { tape_capacity = Size.add prev.tape_capacity use.tape_capacity;
+      tape_bandwidth = Rate.add prev.tape_bandwidth use.tape_bandwidth }
+    m
+
+let add_link m pair rate =
+  let prev = Option.value ~default:Rate.zero (Slot.Pair.Map.find_opt pair m) in
+  Slot.Pair.Map.add pair (Rate.add prev rate) m
+
+let add_compute m site n =
+  let prev = Option.value ~default:0 (Site.Id_map.find_opt site m) in
+  Site.Id_map.add site (prev + n) m
+
+let primary_contribution (asg : Assignment.t) =
+  let app = asg.app in
+  let snapshot_space =
+    match asg.technique.Technique.backup with
+    | Some chain -> Backup.snapshot_space chain app
+    | None -> Size.zero
+  in
+  { capacity = Size.add app.App.data_size snapshot_space;
+    bandwidth = app.App.avg_access_rate }
+
+let mirror_contribution (asg : Assignment.t) =
+  match asg.technique.Technique.mirror with
+  | None -> zero_array
+  | Some m ->
+    { capacity = asg.app.App.data_size;
+      bandwidth = Mirror.network_demand m asg.app }
+
+let tape_contribution (asg : Assignment.t) =
+  match asg.technique.Technique.backup with
+  | None -> zero_tape
+  | Some chain ->
+    { tape_capacity = Backup.tape_space chain asg.app;
+      tape_bandwidth = Backup.tape_bandwidth_demand chain asg.app }
+
+let backup_link_rate (asg : Assignment.t) =
+  match asg.technique.Technique.backup with
+  | None -> Rate.zero
+  | Some chain -> Backup.tape_bandwidth_demand chain asg.app
+
+let fold_assignment acc (asg : Assignment.t) =
+  let acc = { acc with arrays = add_array acc.arrays asg.primary (primary_contribution asg) } in
+  let acc =
+    match asg.mirror with
+    | None -> acc
+    | Some slot ->
+      let acc = { acc with arrays = add_array acc.arrays slot (mirror_contribution asg) } in
+      (match Assignment.mirror_pair asg with
+       | Some pair ->
+         let rate =
+           match asg.technique.Technique.mirror with
+           | Some m -> Mirror.network_demand m asg.app
+           | None -> Rate.zero
+         in
+         { acc with links = add_link acc.links pair rate }
+       | None -> acc)
+  in
+  let acc =
+    match asg.backup with
+    | None -> acc
+    | Some slot ->
+      let acc = { acc with tapes = add_tape acc.tapes slot (tape_contribution asg) } in
+      (match Assignment.backup_pair asg with
+       | Some pair -> { acc with links = add_link acc.links pair (backup_link_rate asg) }
+       | None -> acc)
+  in
+  let acc =
+    { acc with
+      compute = add_compute acc.compute asg.primary.Slot.Array_slot.site 1 }
+  in
+  if Technique.needs_standby_compute asg.technique then
+    match asg.mirror with
+    | Some m -> { acc with compute = add_compute acc.compute m.Slot.Array_slot.site 1 }
+    | None -> acc
+  else acc
+
+let empty =
+  { arrays = Slot.Array_slot.Map.empty;
+    tapes = Slot.Tape_slot.Map.empty;
+    links = Slot.Pair.Map.empty;
+    compute = Site.Id_map.empty }
+
+let of_assignments _design assignments = List.fold_left fold_assignment empty assignments
+
+let of_design design = of_assignments design (Design.assignments design)
+
+let array_use t slot =
+  Option.value ~default:zero_array (Slot.Array_slot.Map.find_opt slot t.arrays)
+
+let tape_use t slot =
+  Option.value ~default:zero_tape (Slot.Tape_slot.Map.find_opt slot t.tapes)
+
+let link_use t pair =
+  Option.value ~default:Rate.zero (Slot.Pair.Map.find_opt pair t.links)
+
+let compute_use t site = Option.value ~default:0 (Site.Id_map.find_opt site t.compute)
+
+let pp ppf t =
+  Slot.Array_slot.Map.iter (fun slot use ->
+      Format.fprintf ppf "  %a: %a cap, %a bw@," Slot.Array_slot.pp slot
+        Size.pp use.capacity Rate.pp use.bandwidth)
+    t.arrays;
+  Slot.Tape_slot.Map.iter (fun slot use ->
+      Format.fprintf ppf "  %a: %a cap, %a bw@," Slot.Tape_slot.pp slot
+        Size.pp use.tape_capacity Rate.pp use.tape_bandwidth)
+    t.tapes;
+  Slot.Pair.Map.iter (fun pair rate ->
+      Format.fprintf ppf "  %a: %a@," Slot.Pair.pp pair Rate.pp rate)
+    t.links;
+  Site.Id_map.iter (fun site n -> Format.fprintf ppf "  s%d: %d compute@," site n)
+    t.compute

@@ -1,0 +1,196 @@
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Slot = Ds_resources.Slot
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Env = Ds_resources.Env
+
+type t = {
+  env : Env.t;
+  array_models : Array_model.t Slot.Array_slot.Map.t;
+  tape_models : Tape_model.t Slot.Tape_slot.Map.t;
+  assignments : Assignment.t list;
+}
+
+let empty env =
+  { env;
+    array_models = Slot.Array_slot.Map.empty;
+    tape_models = Slot.Tape_slot.Map.empty;
+    assignments = [] }
+
+let find t app_id =
+  List.find_opt (fun (a : Assignment.t) -> a.app.App.id = app_id) t.assignments
+
+let in_env t (slot : Slot.Array_slot.t) =
+  slot.bay >= 0 && slot.bay < t.env.Env.bays_per_site
+  && List.mem slot.site (Env.site_ids t.env)
+
+let tape_in_env t (slot : Slot.Tape_slot.t) =
+  t.env.Env.tape_slots_per_site > 0 && List.mem slot.site (Env.site_ids t.env)
+
+let install_array_model models slot model =
+  match Slot.Array_slot.Map.find_opt slot models with
+  | None -> Ok (Slot.Array_slot.Map.add slot model models)
+  | Some installed ->
+    if Array_model.equal installed model then Ok models
+    else Error (Printf.sprintf "slot %s already runs model %s"
+                  (Format.asprintf "%a" Slot.Array_slot.pp slot)
+                  installed.Array_model.name)
+
+let install_tape_model models slot model =
+  match Slot.Tape_slot.Map.find_opt slot models with
+  | None -> Ok (Slot.Tape_slot.Map.add slot model models)
+  | Some installed ->
+    if Tape_model.equal installed model then Ok models
+    else Error (Printf.sprintf "tape slot %s already runs model %s"
+                  (Format.asprintf "%a" Slot.Tape_slot.pp slot)
+                  installed.Tape_model.name)
+
+let ( let* ) = Result.bind
+
+let add t (asg : Assignment.t) ~primary_model ?mirror_model ?tape_model () =
+  let* () =
+    if Option.is_some (find t asg.app.App.id) then
+      Error (Printf.sprintf "app %d already assigned" asg.app.App.id)
+    else Ok ()
+  in
+  let* () =
+    if in_env t asg.primary then Ok ()
+    else Error "primary slot outside the environment"
+  in
+  let* () =
+    match asg.mirror with
+    | None -> Ok ()
+    | Some m ->
+      if not (in_env t m) then Error "mirror slot outside the environment"
+      else if not (Env.connected t.env asg.primary.Slot.Array_slot.site
+                     m.Slot.Array_slot.site)
+      then Error "mirror site not connected to the primary site"
+      else begin
+        (* Synchronous mirroring is distance-bounded when the environment
+           caps it (writes pay a round trip per update). *)
+        let is_sync =
+          match asg.technique.Ds_protection.Technique.mirror with
+          | Some { Ds_protection.Mirror.sync = Ds_protection.Mirror.Synchronous; _ } ->
+            true
+          | _ -> false
+        in
+        if is_sync
+        && not (Env.sync_mirror_allowed t.env asg.primary.Slot.Array_slot.site
+                  m.Slot.Array_slot.site)
+        then Error "sync mirror exceeds the environment's distance cap"
+        else Ok ()
+      end
+  in
+  let* () =
+    match asg.backup with
+    | None -> Ok ()
+    | Some b ->
+      if not (tape_in_env t b) then Error "tape slot outside the environment"
+      else if b.Slot.Tape_slot.site <> asg.primary.Slot.Array_slot.site
+              && not (Env.connected t.env asg.primary.Slot.Array_slot.site
+                        b.Slot.Tape_slot.site)
+      then Error "remote tape site not connected to the primary site"
+      else Ok ()
+  in
+  let* array_models = install_array_model t.array_models asg.primary primary_model in
+  let* array_models =
+    match asg.mirror, mirror_model with
+    | None, _ -> Ok array_models
+    | Some m, Some model -> install_array_model array_models m model
+    | Some m, None ->
+      if Slot.Array_slot.Map.mem m array_models then Ok array_models
+      else Error "mirror slot needs a model"
+  in
+  let* tape_models =
+    match asg.backup, tape_model with
+    | None, _ -> Ok t.tape_models
+    | Some b, Some model -> install_tape_model t.tape_models b model
+    | Some b, None ->
+      if Slot.Tape_slot.Map.mem b t.tape_models then Ok t.tape_models
+      else Error "tape slot needs a model"
+  in
+  let assignments =
+    List.sort
+      (fun (a : Assignment.t) (b : Assignment.t) -> App.compare a.app b.app)
+      (asg :: t.assignments)
+  in
+  Ok { t with array_models; tape_models; assignments }
+
+let array_slot_referenced assignments slot =
+  List.exists (fun (a : Assignment.t) ->
+      Slot.Array_slot.equal a.primary slot
+      || (match a.mirror with
+          | Some m -> Slot.Array_slot.equal m slot
+          | None -> false))
+    assignments
+
+let tape_slot_referenced assignments slot =
+  List.exists (fun (a : Assignment.t) ->
+      match a.backup with
+      | Some b -> Slot.Tape_slot.equal b slot
+      | None -> false)
+    assignments
+
+let remove t app_id =
+  let assignments =
+    List.filter (fun (a : Assignment.t) -> a.app.App.id <> app_id) t.assignments
+  in
+  let array_models =
+    Slot.Array_slot.Map.filter
+      (fun slot _ -> array_slot_referenced assignments slot)
+      t.array_models
+  in
+  let tape_models =
+    Slot.Tape_slot.Map.filter
+      (fun slot _ -> tape_slot_referenced assignments slot)
+      t.tape_models
+  in
+  { t with assignments; array_models; tape_models }
+
+let apps t = List.map (fun (a : Assignment.t) -> a.app) t.assignments
+let assignments t = t.assignments
+let size t = List.length t.assignments
+
+let array_model t slot = Slot.Array_slot.Map.find_opt slot t.array_models
+let tape_model t slot = Slot.Tape_slot.Map.find_opt slot t.tape_models
+
+let used_array_slots t =
+  Slot.Array_slot.Map.bindings t.array_models
+  |> List.map fst
+  |> List.filter (array_slot_referenced t.assignments)
+
+let used_tape_slots t =
+  Slot.Tape_slot.Map.bindings t.tape_models
+  |> List.map fst
+  |> List.filter (tape_slot_referenced t.assignments)
+
+let used_pairs t =
+  List.concat_map (fun (a : Assignment.t) ->
+      List.filter_map Fun.id [ Assignment.mirror_pair a; Assignment.backup_pair a ])
+    t.assignments
+  |> List.sort_uniq Slot.Pair.compare
+
+let used_sites t =
+  List.concat_map Assignment.sites_used t.assignments
+  |> List.sort_uniq Int.compare
+
+let residents t slot =
+  List.filter (fun (a : Assignment.t) ->
+      Slot.Array_slot.equal a.primary slot
+      || (match a.mirror with
+          | Some m -> Slot.Array_slot.equal m slot
+          | None -> false))
+    t.assignments
+
+let primaries_on t slot =
+  List.filter (fun (a : Assignment.t) -> Slot.Array_slot.equal a.primary slot)
+    t.assignments
+
+let primaries_at_site t site =
+  List.filter (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site = site)
+    t.assignments
+
+let pp ppf t =
+  Format.fprintf ppf "design(%s, %d apps)@," t.env.Env.name (size t);
+  List.iter (fun a -> Format.fprintf ppf "  %a@," Assignment.pp a) t.assignments

@@ -1,0 +1,69 @@
+(** A (possibly partial) candidate design: which applications are placed
+    where, with which techniques, and which device model populates each
+    used slot.
+
+    Nodes of the design solver's search graph are values of this type
+    (Section 3.1). A design is {e partial} while some applications are
+    still unassigned; the configuration solver only runs on designs, and
+    costing runs on full designs. *)
+
+module App = Ds_workload.App
+module Slot = Ds_resources.Slot
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Env = Ds_resources.Env
+
+type t = private {
+  env : Env.t;
+  array_models : Array_model.t Slot.Array_slot.Map.t;
+  (** The model installed in each populated bay. All apps on a bay share
+      its model. *)
+  tape_models : Tape_model.t Slot.Tape_slot.Map.t;
+  assignments : Assignment.t list;  (** Sorted by application id. *)
+}
+
+val empty : Env.t -> t
+
+val add :
+  t ->
+  Assignment.t ->
+  primary_model:Array_model.t ->
+  ?mirror_model:Array_model.t ->
+  ?tape_model:Tape_model.t ->
+  unit ->
+  (t, string) result
+(** Adds an application's assignment, installing models into any slot not
+    yet populated. Errors (as [Error reason]) when: the app is already
+    assigned; a slot is outside the environment; mirror sites are not
+    connected to the primary site; or a supplied model conflicts with the
+    model already installed in a shared slot (the installed model wins —
+    callers pass the same model to agree, or get an error). *)
+
+val remove : t -> App.id -> t
+(** Removes the app's assignment (no-op if absent) and uninstalls models
+    from slots no longer referenced by anyone. *)
+
+val find : t -> App.id -> Assignment.t option
+val apps : t -> App.t list
+val assignments : t -> Assignment.t list
+val size : t -> int
+
+val array_model : t -> Slot.Array_slot.t -> Array_model.t option
+val tape_model : t -> Slot.Tape_slot.t -> Tape_model.t option
+
+val used_array_slots : t -> Slot.Array_slot.t list
+(** Slots referenced by at least one assignment (primary or mirror). *)
+
+val used_tape_slots : t -> Slot.Tape_slot.t list
+val used_pairs : t -> Slot.Pair.t list
+(** Site pairs carrying mirror or backup traffic. *)
+
+val used_sites : t -> Ds_resources.Site.id list
+
+val residents : t -> Slot.Array_slot.t -> Assignment.t list
+(** Assignments whose primary or mirror lives on the slot. *)
+
+val primaries_on : t -> Slot.Array_slot.t -> Assignment.t list
+val primaries_at_site : t -> Ds_resources.Site.id -> Assignment.t list
+
+val pp : Format.formatter -> t -> unit

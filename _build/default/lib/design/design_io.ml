@@ -1,0 +1,314 @@
+module App = Ds_workload.App
+module Time = Ds_units.Time
+module Backup = Ds_protection.Backup
+module Technique = Ds_protection.Technique
+module Technique_catalog = Ds_protection.Technique_catalog
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Device_catalog = Ds_resources.Device_catalog
+module Env = Ds_resources.Env
+module Slot = Ds_resources.Slot
+
+let assignment_line (asg : Assignment.t) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "app %d technique %d primary %d %d" asg.app.App.id
+       asg.technique.Technique.id asg.primary.Slot.Array_slot.site
+       asg.primary.Slot.Array_slot.bay);
+  (match asg.mirror with
+   | Some (m : Slot.Array_slot.t) ->
+     Buffer.add_string buf (Printf.sprintf " mirror %d %d" m.site m.bay)
+   | None -> ());
+  (match asg.backup with
+   | Some (b : Slot.Tape_slot.t) ->
+     Buffer.add_string buf (Printf.sprintf " backup %d" b.site)
+   | None -> ());
+  (match asg.technique.Technique.backup with
+   | Some chain ->
+     Buffer.add_string buf
+       (Printf.sprintf " snapshot-h %g tape-d %g fulls %d"
+          (Time.to_hours chain.Backup.snapshot_win)
+          (Time.to_days chain.Backup.tape_win)
+          chain.Backup.tape_fulls_every)
+   | None -> ());
+  Buffer.contents buf
+
+let to_string design =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "design %s\n" design.Design.env.Env.name);
+  Slot.Array_slot.Map.iter
+    (fun (slot : Slot.Array_slot.t) (model : Array_model.t) ->
+       Buffer.add_string buf
+         (Printf.sprintf "array-model %d %d %s\n" slot.site slot.bay model.name))
+    design.Design.array_models;
+  Slot.Tape_slot.Map.iter
+    (fun (slot : Slot.Tape_slot.t) (model : Tape_model.t) ->
+       Buffer.add_string buf
+         (Printf.sprintf "tape-model %d %s\n" slot.site model.name))
+    design.Design.tape_models;
+  List.iter
+    (fun asg -> Buffer.add_string buf (assignment_line asg ^ "\n"))
+    (Design.assignments design);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parse_state = {
+  mutable array_models : (Slot.Array_slot.t * Array_model.t) list;
+  mutable tape_models : (Slot.Tape_slot.t * Tape_model.t) list;
+  mutable design : Design.t;
+}
+
+let ( let* ) = Result.bind
+
+let fail line msg = Error (Printf.sprintf "line %d: %s" line msg)
+
+let int_of line what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail line (Printf.sprintf "bad %s %S" what s)
+
+let float_of line what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail line (Printf.sprintf "bad %s %S" what s)
+
+(* Parse the optional trailing clauses of an app line. *)
+let rec parse_clauses line acc = function
+  | [] -> Ok acc
+  | "mirror" :: site :: bay :: rest ->
+    let* site = int_of line "mirror site" site in
+    let* bay = int_of line "mirror bay" bay in
+    parse_clauses line
+      (`Mirror (Slot.Array_slot.v ~site ~bay) :: acc) rest
+  | "backup" :: site :: rest ->
+    let* site = int_of line "backup site" site in
+    parse_clauses line (`Backup (Slot.Tape_slot.v ~site) :: acc) rest
+  | "snapshot-h" :: h :: rest ->
+    let* h = float_of line "snapshot window" h in
+    if h <= 0. then fail line "snapshot window must be positive"
+    else parse_clauses line (`Snapshot (Time.hours h) :: acc) rest
+  | "tape-d" :: d :: rest ->
+    let* d = float_of line "tape window" d in
+    if d <= 0. then fail line "tape window must be positive"
+    else parse_clauses line (`Tape (Time.days d) :: acc) rest
+  | "fulls" :: n :: rest ->
+    let* n = int_of line "fulls cycle" n in
+    if n < 1 then fail line "fulls cycle must be positive"
+    else parse_clauses line (`Fulls n :: acc) rest
+  | token :: _ -> fail line (Printf.sprintf "unexpected token %S" token)
+
+let find_clause clauses pick = List.find_map pick clauses
+
+let parse_app_line line apps state tokens =
+  match tokens with
+  | id :: "technique" :: tid :: "primary" :: psite :: pbay :: rest ->
+    let* id = int_of line "app id" id in
+    let* tid = int_of line "technique id" tid in
+    let* psite = int_of line "primary site" psite in
+    let* pbay = int_of line "primary bay" pbay in
+    let* app =
+      match List.find_opt (fun (a : App.t) -> a.App.id = id) apps with
+      | Some app -> Ok app
+      | None -> fail line (Printf.sprintf "unknown application id %d" id)
+    in
+    let* technique =
+      match Technique_catalog.of_id tid with
+      | Some t -> Ok t
+      | None -> fail line (Printf.sprintf "unknown technique id %d" tid)
+    in
+    let* clauses = parse_clauses line [] rest in
+    let technique =
+      match technique.Technique.backup with
+      | None -> technique
+      | Some chain ->
+        let chain =
+          match find_clause clauses (function `Snapshot w -> Some w | _ -> None) with
+          | Some w -> Backup.with_snapshot_win chain w
+          | None -> chain
+        in
+        let chain =
+          match find_clause clauses (function `Tape w -> Some w | _ -> None) with
+          | Some w -> Backup.with_tape_win chain w
+          | None -> chain
+        in
+        let chain =
+          match find_clause clauses (function `Fulls n -> Some n | _ -> None) with
+          | Some n -> Backup.with_fulls_every chain n
+          | None -> chain
+        in
+        Technique.with_backup_chain technique chain
+    in
+    let primary = Slot.Array_slot.v ~site:psite ~bay:pbay in
+    let mirror = find_clause clauses (function `Mirror m -> Some m | _ -> None) in
+    let backup = find_clause clauses (function `Backup b -> Some b | _ -> None) in
+    let* asg =
+      try Ok (Assignment.v ~app ~technique ~primary ?mirror ?backup ())
+      with Invalid_argument msg -> fail line msg
+    in
+    let model_for slot =
+      List.find_map
+        (fun (s, m) -> if Slot.Array_slot.equal s slot then Some m else None)
+        state.array_models
+    in
+    let* primary_model =
+      match model_for primary with
+      | Some m -> Ok m
+      | None -> fail line "no array-model declared for the primary slot"
+    in
+    let* mirror_model =
+      match mirror with
+      | None -> Ok None
+      | Some slot ->
+        (match model_for slot with
+         | Some m -> Ok (Some m)
+         | None -> fail line "no array-model declared for the mirror slot")
+    in
+    let* tape_model =
+      match backup with
+      | None -> Ok None
+      | Some slot ->
+        (match
+           List.find_map
+             (fun (s, m) -> if Slot.Tape_slot.equal s slot then Some m else None)
+             state.tape_models
+         with
+         | Some m -> Ok (Some m)
+         | None -> fail line "no tape-model declared for the backup slot")
+    in
+    (match
+       Design.add state.design asg ~primary_model ?mirror_model ?tape_model ()
+     with
+     | Ok design ->
+       state.design <- design;
+       Ok ()
+     | Error msg -> fail line msg)
+  | _ -> fail line "malformed app line"
+
+let parse_line apps state line_no line =
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> Ok ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
+  | [ "design"; _name ] -> Ok ()
+  | [ "array-model"; site; bay; model ] ->
+    let* site = int_of line_no "site" site in
+    let* bay = int_of line_no "bay" bay in
+    (match Device_catalog.array_model_of_name model with
+     | Some m ->
+       state.array_models <-
+         (Slot.Array_slot.v ~site ~bay, m) :: state.array_models;
+       Ok ()
+     | None -> fail line_no (Printf.sprintf "unknown array model %S" model))
+  | [ "tape-model"; site; model ] ->
+    let* site = int_of line_no "site" site in
+    (match Device_catalog.tape_model_of_name model with
+     | Some m ->
+       state.tape_models <- (Slot.Tape_slot.v ~site, m) :: state.tape_models;
+       Ok ()
+     | None -> fail line_no (Printf.sprintf "unknown tape model %S" model))
+  | "app" :: rest -> parse_app_line line_no apps state rest
+  | token :: _ -> fail line_no (Printf.sprintf "unknown directive %S" token)
+
+let of_string env apps text =
+  let state =
+    { array_models = []; tape_models = []; design = Design.empty env }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no = function
+    | [] -> Ok state.design
+    | line :: rest ->
+      let* () = parse_line apps state line_no line in
+      go (line_no + 1) rest
+  in
+  go 1 lines
+
+let write_file path design =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string design));
+    Ok ()
+  with Sys_error msg -> Error msg
+
+type change =
+  | Added of Ds_workload.App.id
+  | Removed of Ds_workload.App.id
+  | Technique_changed of Ds_workload.App.id * string * string
+  | Placement_changed of Ds_workload.App.id * string * string
+
+let technique_signature (asg : Assignment.t) =
+  let windows =
+    match asg.technique.Technique.backup with
+    | Some chain ->
+      Printf.sprintf " [snap %gh, tape %gd, fulls %d]"
+        (Time.to_hours chain.Backup.snapshot_win)
+        (Time.to_days chain.Backup.tape_win)
+        chain.Backup.tape_fulls_every
+    | None -> ""
+  in
+  Technique.describe asg.technique ^ windows
+
+let placement_signature (asg : Assignment.t) =
+  let mirror =
+    match asg.mirror with
+    | Some m -> Format.asprintf " mirror %a" Slot.Array_slot.pp m
+    | None -> ""
+  in
+  let backup =
+    match asg.backup with
+    | Some b -> Format.asprintf " tape %a" Slot.Tape_slot.pp b
+    | None -> ""
+  in
+  Format.asprintf "primary %a%s%s" Slot.Array_slot.pp asg.primary mirror backup
+
+let diff before after =
+  let ids design =
+    List.map (fun (a : Assignment.t) -> a.app.App.id) (Design.assignments design)
+  in
+  let all_ids = List.sort_uniq Int.compare (ids before @ ids after) in
+  List.concat_map
+    (fun id ->
+       match Design.find before id, Design.find after id with
+       | None, Some _ -> [ Added id ]
+       | Some _, None -> [ Removed id ]
+       | None, None -> []
+       | Some old_asg, Some new_asg ->
+         let technique =
+           let o = technique_signature old_asg
+           and n = technique_signature new_asg in
+           if String.equal o n then [] else [ Technique_changed (id, o, n) ]
+         in
+         let placement =
+           let o = placement_signature old_asg
+           and n = placement_signature new_asg in
+           if String.equal o n then [] else [ Placement_changed (id, o, n) ]
+         in
+         technique @ placement)
+    all_ids
+
+let pp_change ppf = function
+  | Added id -> Format.fprintf ppf "app %d: added" id
+  | Removed id -> Format.fprintf ppf "app %d: removed" id
+  | Technique_changed (id, o, n) ->
+    Format.fprintf ppf "app %d: technique %s -> %s" id o n
+  | Placement_changed (id, o, n) ->
+    Format.fprintf ppf "app %d: placement %s -> %s" id o n
+
+let read_file env apps path =
+  try
+    let ic = open_in path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string env apps text
+  with Sys_error msg -> Error msg

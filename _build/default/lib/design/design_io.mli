@@ -1,0 +1,46 @@
+(** Textual round-tripping of designs.
+
+    A deployed design is an operational artifact — architects keep it in
+    version control, re-audit it when failure likelihoods change, and
+    diff the tool's proposals. The format is line-oriented and stable:
+
+    {v
+    design peer-sites
+    array-model 1 0 XP1200
+    tape-model 1 TapeLib-H
+    app 1 technique 3 primary 1 0 mirror 2 0 backup 1 snapshot-h 12 tape-d 7
+    app 4 technique 9 primary 1 0 backup 1
+    v}
+
+    Parsing needs context — the environment and the application
+    catalog — because a design only references applications by id. *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+
+val to_string : Design.t -> string
+
+val of_string :
+  Env.t -> App.t list -> string -> (Design.t, string) result
+(** Rebuilds a design against the given environment and applications.
+    Errors name the offending line. Unknown app ids, technique ids,
+    device models, malformed slots and constraint violations (via
+    {!Design.add}) are all reported. *)
+
+val write_file : string -> Design.t -> (unit, string) result
+val read_file :
+  Env.t -> App.t list -> string -> (Design.t, string) result
+
+type change =
+  | Added of App.id
+  | Removed of App.id
+  | Technique_changed of App.id * string * string  (** old, new names. *)
+  | Placement_changed of App.id * string * string
+      (** old, new placements (primary/mirror/backup slots). *)
+
+val diff : Design.t -> Design.t -> change list
+(** Per-application differences from the first design to the second,
+    sorted by application id. Window retuning on an unchanged technique
+    type counts as a technique change (the name carries the windows). *)
+
+val pp_change : Format.formatter -> change -> unit

@@ -1,0 +1,140 @@
+module Money = Ds_units.Money
+module Size = Ds_units.Size
+module App = Ds_workload.App
+module Category = Ds_workload.Category
+module Technique = Ds_protection.Technique
+module Tape_model = Ds_resources.Tape_model
+module Array_model = Ds_resources.Array_model
+module Slot = Ds_resources.Slot
+
+type severity = Advice | Warning
+
+type finding = {
+  severity : severity;
+  app : App.id option;
+  message : string;
+}
+
+let warning ?app message = { severity = Warning; app; message }
+let advice ?app message = { severity = Advice; app; message }
+
+(* A loss rate above this with no point-in-time copy is a standing
+   invitation for an unrecoverable fat-finger incident. *)
+let pit_loss_threshold = Money.k 100.
+
+let app_findings (asg : Assignment.t) =
+  let app = asg.app in
+  let technique = asg.technique in
+  let missing_pit =
+    if (not (Technique.has_backup technique))
+    && Money.compare app.App.loss_penalty_rate pit_loss_threshold >= 0
+    then
+      [ warning ~app:app.App.id
+          (Printf.sprintf
+             "%s risks %s/hr of data loss but has no point-in-time copy: a \
+              corrupting error replicates through the mirror and nothing \
+              can roll it back"
+             app.App.name
+             (Money.to_string app.App.loss_penalty_rate)) ]
+    else []
+  in
+  let under_classed =
+    let required = App.category app in
+    let provided = Technique.category technique in
+    if not (Category.covers provided required) then
+      [ warning ~app:app.App.id
+          (Printf.sprintf "%s is a %s-class application on %s-class protection"
+             app.App.name
+             (Category.to_string required)
+             (Category.to_string provided)) ]
+    else []
+  in
+  let outage_exposure =
+    if Money.compare app.App.outage_penalty_rate (Money.m 1.) >= 0
+    && not (Technique.needs_standby_compute technique)
+    then
+      [ advice ~app:app.App.id
+          (Printf.sprintf
+             "%s pays %s/hr of downtime but recovers by reconstruction; \
+              failover would cut outages to minutes"
+             app.App.name
+             (Money.to_string app.App.outage_penalty_rate)) ]
+    else []
+  in
+  missing_pit @ under_classed @ outage_exposure
+
+let concentration_findings design =
+  let sites =
+    Design.assignments design
+    |> List.map (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site)
+    |> List.sort_uniq Int.compare
+  in
+  match Design.assignments design with
+  | [] | [ _ ] -> []
+  | assignments when List.length sites = 1 ->
+    [ warning
+        (Printf.sprintf
+           "all %d primary copies sit at one site: a single disaster takes \
+            every application down at once"
+           (List.length assignments)) ]
+  | _ -> []
+
+let capacity_findings design =
+  let demand = Demand.of_design design in
+  let arrays =
+    Design.used_array_slots design
+    |> List.filter_map (fun slot ->
+        match Design.array_model design slot with
+        | None -> None
+        | Some model ->
+          let use = Demand.array_use demand slot in
+          let frac =
+            Size.div use.Demand.capacity (Array_model.total_capacity model)
+          in
+          if frac > 0.8 then
+            Some
+              (advice
+                 (Format.asprintf
+                    "array %a is %.0f%% full at deployment: no headroom \
+                     for growth" Slot.Array_slot.pp slot (100. *. frac)))
+          else None)
+  in
+  let tapes =
+    Design.used_tape_slots design
+    |> List.filter_map (fun slot ->
+        match Design.tape_model design slot with
+        | None -> None
+        | Some model ->
+          let use = Demand.tape_use demand slot in
+          let frac =
+            Size.div use.Demand.tape_capacity (Tape_model.total_capacity model)
+          in
+          if frac > 0.8 then
+            Some
+              (advice
+                 (Format.asprintf
+                    "tape library %a is %.0f%% full at deployment"
+                    Slot.Tape_slot.pp slot (100. *. frac)))
+          else None)
+  in
+  arrays @ tapes
+
+let check design =
+  let findings =
+    List.concat_map app_findings (Design.assignments design)
+    @ concentration_findings design
+    @ capacity_findings design
+  in
+  let rank f = match f.severity with Warning -> 0 | Advice -> 1 in
+  List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %s"
+    (match f.severity with Warning -> "warning" | Advice -> "advice")
+    f.message
+
+let pp ppf findings =
+  match findings with
+  | [] -> Format.fprintf ppf "no findings@."
+  | findings ->
+    List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) findings

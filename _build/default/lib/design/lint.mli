@@ -1,0 +1,26 @@
+(** Design lint: advisory findings a storage architect would flag in
+    review, beyond the hard feasibility checks.
+
+    Hard constraints live in {!Design.add} and {!Provision.minimum}; lint
+    covers the judgment calls: an expensive-to-lose application with no
+    point-in-time copy, protection weaker than the app's class warrants,
+    everything riding on one site, a library or array close to its
+    capacity ceiling. Warnings never block — the solver occasionally has
+    good reasons (a lint-clean design can still be the cheaper one) — but
+    they surface risk concentrations for a human to sign off on. *)
+
+module App = Ds_workload.App
+
+type severity = Advice | Warning
+
+type finding = {
+  severity : severity;
+  app : App.id option;  (** [None] for design-wide findings. *)
+  message : string;
+}
+
+val check : Design.t -> finding list
+(** All findings, warnings first. Empty for an unremarkable design. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> finding list -> unit

@@ -1,0 +1,212 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Link_model = Ds_resources.Link_model
+module Env = Ds_resources.Env
+module Slot = Ds_resources.Slot
+module Site = Ds_resources.Site
+
+type t = {
+  design : Design.t;
+  demand : Demand.t;
+  array_units : int Slot.Array_slot.Map.t;
+  tape_drives : int Slot.Tape_slot.Map.t;
+  tape_cartridges : int Slot.Tape_slot.Map.t;
+  link_units : int Slot.Pair.Map.t;
+  compute : int Site.Id_map.t;
+}
+
+type infeasibility =
+  | Array_capacity of Slot.Array_slot.t
+  | Array_bandwidth of Slot.Array_slot.t
+  | Tape_capacity of Slot.Tape_slot.t
+  | Tape_bandwidth of Slot.Tape_slot.t
+  | Link_bandwidth of Slot.Pair.t
+  | Compute_slots of Site.id
+  | Missing_model of string
+
+let pp_infeasibility ppf = function
+  | Array_capacity s ->
+    Format.fprintf ppf "array %a out of capacity" Slot.Array_slot.pp s
+  | Array_bandwidth s ->
+    Format.fprintf ppf "array %a out of bandwidth" Slot.Array_slot.pp s
+  | Tape_capacity s ->
+    Format.fprintf ppf "tape %a out of cartridge slots" Slot.Tape_slot.pp s
+  | Tape_bandwidth s ->
+    Format.fprintf ppf "tape %a out of drive bays" Slot.Tape_slot.pp s
+  | Link_bandwidth p ->
+    Format.fprintf ppf "link %a out of units" Slot.Pair.pp p
+  | Compute_slots s -> Format.fprintf ppf "site s%d out of compute slots" s
+  | Missing_model what -> Format.fprintf ppf "missing model for %s" what
+
+let ( let* ) = Result.bind
+
+let minimum design =
+  let env = design.Design.env in
+  let demand = Demand.of_design design in
+  let* array_units =
+    List.fold_left
+      (fun acc slot ->
+         let* acc = acc in
+         match Design.array_model design slot with
+         | None ->
+           Error (Missing_model (Format.asprintf "%a" Slot.Array_slot.pp slot))
+         | Some model ->
+           let use = Demand.array_use demand slot in
+           if Rate.(model.Array_model.max_bw < use.Demand.bandwidth) then
+             Error (Array_bandwidth slot)
+           else
+             let n_cap = Array_model.units_for_capacity model use.Demand.capacity in
+             let n_bw = Array_model.units_for_bw model use.Demand.bandwidth in
+             let units = max n_cap n_bw in
+             if units > model.Array_model.max_units then Error (Array_capacity slot)
+             else Ok (Slot.Array_slot.Map.add slot units acc))
+      (Ok Slot.Array_slot.Map.empty)
+      (Design.used_array_slots design)
+  in
+  let* tapes =
+    List.fold_left
+      (fun acc slot ->
+         let* drives_map, carts_map = acc in
+         match Design.tape_model design slot with
+         | None ->
+           Error (Missing_model (Format.asprintf "%a" Slot.Tape_slot.pp slot))
+         | Some model ->
+           let use = Demand.tape_use demand slot in
+           let drives = Tape_model.drives_for_bw model use.Demand.tape_bandwidth in
+           if drives > model.Tape_model.max_drives then Error (Tape_bandwidth slot)
+           else
+             let carts =
+               Tape_model.cartridges_for_capacity model use.Demand.tape_capacity
+             in
+             if carts > model.Tape_model.max_cartridges then
+               Error (Tape_capacity slot)
+             else
+               Ok (Slot.Tape_slot.Map.add slot (max 1 drives) drives_map,
+                   Slot.Tape_slot.Map.add slot carts carts_map))
+      (Ok (Slot.Tape_slot.Map.empty, Slot.Tape_slot.Map.empty))
+      (Design.used_tape_slots design)
+  in
+  let tape_drives, tape_cartridges = tapes in
+  let* link_units =
+    List.fold_left
+      (fun acc pair ->
+         let* acc = acc in
+         let model = env.Env.link_model in
+         let rate = Demand.link_use demand pair in
+         let units = Link_model.units_for_bw model rate in
+         let units = max 1 units in
+         if units > env.Env.max_link_units then Error (Link_bandwidth pair)
+         else Ok (Slot.Pair.Map.add pair units acc))
+      (Ok Slot.Pair.Map.empty)
+      (Design.used_pairs design)
+  in
+  let* compute =
+    List.fold_left
+      (fun acc site ->
+         let* acc = acc in
+         let n = Demand.compute_use demand site in
+         if n > env.Env.compute_slots_per_site then Error (Compute_slots site)
+         else if n = 0 then Ok acc
+         else Ok (Site.Id_map.add site n acc))
+      (Ok Site.Id_map.empty)
+      (Env.site_ids env)
+  in
+  Ok { design; demand; array_units; tape_drives; tape_cartridges; link_units; compute }
+
+let array_bw t slot =
+  match Design.array_model t.design slot,
+        Slot.Array_slot.Map.find_opt slot t.array_units with
+  | Some model, Some units -> Array_model.bw_of_units model units
+  | _ -> Rate.zero
+
+let tape_bw t slot =
+  match Design.tape_model t.design slot,
+        Slot.Tape_slot.Map.find_opt slot t.tape_drives with
+  | Some model, Some drives -> Tape_model.bw_of_drives model drives
+  | _ -> Rate.zero
+
+let link_bw t pair =
+  match Slot.Pair.Map.find_opt pair t.link_units with
+  | Some units -> Link_model.bw_of_units t.design.Design.env.Env.link_model units
+  | None -> Rate.zero
+
+type growth =
+  | Grow_array of Slot.Array_slot.t
+  | Grow_tape_drive of Slot.Tape_slot.t
+  | Grow_link of Slot.Pair.t
+
+let pp_growth ppf = function
+  | Grow_array s -> Format.fprintf ppf "+1 disk @@ %a" Slot.Array_slot.pp s
+  | Grow_tape_drive s -> Format.fprintf ppf "+1 drive @@ %a" Slot.Tape_slot.pp s
+  | Grow_link p -> Format.fprintf ppf "+1 link @@ %a" Slot.Pair.pp p
+
+let grow t = function
+  | Grow_array slot ->
+    (match Design.array_model t.design slot,
+           Slot.Array_slot.Map.find_opt slot t.array_units with
+     | Some model, Some units ->
+       (* Adding disks beyond the controller ceiling adds no bandwidth. *)
+       if units >= model.Array_model.max_units
+       || Rate.equal (Array_model.bw_of_units model units) model.Array_model.max_bw
+       then None
+       else
+         Some { t with array_units = Slot.Array_slot.Map.add slot (units + 1) t.array_units }
+     | _ -> None)
+  | Grow_tape_drive slot ->
+    (match Design.tape_model t.design slot,
+           Slot.Tape_slot.Map.find_opt slot t.tape_drives with
+     | Some model, Some drives ->
+       if drives >= model.Tape_model.max_drives then None
+       else
+         Some { t with tape_drives = Slot.Tape_slot.Map.add slot (drives + 1) t.tape_drives }
+     | _ -> None)
+  | Grow_link pair ->
+    (match Slot.Pair.Map.find_opt pair t.link_units with
+     | Some units ->
+       if units >= t.design.Design.env.Env.max_link_units then None
+       else Some { t with link_units = Slot.Pair.Map.add pair (units + 1) t.link_units }
+     | None -> None)
+
+let growth_moves t =
+  let arrays =
+    Slot.Array_slot.Map.bindings t.array_units
+    |> List.filter_map (fun (slot, _) ->
+        match grow t (Grow_array slot) with
+        | Some _ -> Some (Grow_array slot)
+        | None -> None)
+  in
+  let drives =
+    Slot.Tape_slot.Map.bindings t.tape_drives
+    |> List.filter_map (fun (slot, _) ->
+        match grow t (Grow_tape_drive slot) with
+        | Some _ -> Some (Grow_tape_drive slot)
+        | None -> None)
+  in
+  let links =
+    Slot.Pair.Map.bindings t.link_units
+    |> List.filter_map (fun (pair, _) ->
+        match grow t (Grow_link pair) with
+        | Some _ -> Some (Grow_link pair)
+        | None -> None)
+  in
+  arrays @ drives @ links
+
+let pp ppf t =
+  Slot.Array_slot.Map.iter (fun slot units ->
+      Format.fprintf ppf "  %a: %d disks@," Slot.Array_slot.pp slot units)
+    t.array_units;
+  Slot.Tape_slot.Map.iter (fun slot drives ->
+      let carts =
+        Option.value ~default:0 (Slot.Tape_slot.Map.find_opt slot t.tape_cartridges)
+      in
+      Format.fprintf ppf "  %a: %d drives, %d cartridges@," Slot.Tape_slot.pp slot
+        drives carts)
+    t.tape_drives;
+  Slot.Pair.Map.iter (fun pair units ->
+      Format.fprintf ppf "  %a: %d links@," Slot.Pair.pp pair units)
+    t.link_units;
+  Site.Id_map.iter (fun site n ->
+      Format.fprintf ppf "  s%d: %d compute@," site n)
+    t.compute

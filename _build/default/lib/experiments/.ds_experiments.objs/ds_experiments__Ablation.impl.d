@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Budgets Ds_cost Ds_design Ds_failure Ds_prng Ds_protection Ds_recovery Ds_resources Ds_sim Ds_solver Ds_units Ds_workload Envs Format List Option Printf

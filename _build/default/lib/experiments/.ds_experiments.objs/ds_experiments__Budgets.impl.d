@@ -1,0 +1,1 @@
+lib/experiments/budgets.ml: Ds_solver

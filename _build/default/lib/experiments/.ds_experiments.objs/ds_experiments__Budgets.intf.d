@@ -1,0 +1,1 @@
+lib/experiments/budgets.mli: Ds_solver

@@ -1,0 +1,1 @@
+lib/experiments/case_study.ml: Budgets Ds_design Ds_failure Ds_protection Ds_resources Ds_solver Ds_workload Envs Int List Option

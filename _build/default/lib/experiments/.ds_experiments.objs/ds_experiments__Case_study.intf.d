@@ -1,0 +1,1 @@
+lib/experiments/case_study.mli: Budgets Ds_resources Ds_solver Ds_workload

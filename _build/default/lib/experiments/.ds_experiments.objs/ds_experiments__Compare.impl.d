@@ -1,0 +1,1 @@
+lib/experiments/compare.ml: Budgets Ds_cost Ds_failure Ds_heuristics Ds_resources Ds_solver Ds_units Ds_workload Envs Fun List Option String

@@ -1,0 +1,1 @@
+lib/experiments/compare.mli: Budgets Ds_cost Ds_failure Ds_resources Ds_workload

@@ -1,0 +1,1 @@
+lib/experiments/envs.ml: Ds_resources Ds_workload List

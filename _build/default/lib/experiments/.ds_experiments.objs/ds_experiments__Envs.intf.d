@@ -1,0 +1,1 @@
+lib/experiments/envs.mli: Ds_resources Ds_workload

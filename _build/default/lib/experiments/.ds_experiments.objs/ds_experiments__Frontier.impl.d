@@ -1,0 +1,1 @@
+lib/experiments/frontier.ml: Budgets Ds_cost Ds_design Ds_failure Ds_resources Ds_solver Ds_units Ds_workload Envs Format List

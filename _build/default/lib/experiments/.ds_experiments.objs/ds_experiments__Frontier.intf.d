@@ -1,0 +1,1 @@
+lib/experiments/frontier.mli: Budgets Ds_failure Ds_resources Ds_units Ds_workload Format

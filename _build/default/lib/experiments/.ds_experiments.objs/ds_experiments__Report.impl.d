@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Case_study Compare Ds_cost Ds_protection Ds_resources Ds_units Ds_workload Format List Printf Scalability Sensitivity Space_sampler String

@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Case_study Compare Format Scalability Sensitivity Space_sampler

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Budgets Compare Ds_cost Ds_failure Ds_units Envs List Option String

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Budgets Ds_cost Ds_failure Ds_solver Ds_units Envs List Option

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.mli: Budgets Ds_cost Ds_failure Ds_units

@@ -1,0 +1,1 @@
+lib/experiments/space_sampler.ml: Array Ds_cost Ds_failure Ds_heuristics Ds_prng Ds_resources Ds_units Ds_workload Float

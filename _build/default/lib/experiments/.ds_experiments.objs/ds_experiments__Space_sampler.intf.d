@@ -1,0 +1,1 @@
+lib/experiments/space_sampler.mli: Ds_failure Ds_resources Ds_workload

@@ -1,0 +1,159 @@
+module Money = Ds_units.Money
+module Likelihood = Ds_failure.Likelihood
+module Recovery_params = Ds_recovery.Recovery_params
+module Engine = Ds_sim.Engine
+module Evaluate = Ds_cost.Evaluate
+module Candidate = Ds_solver.Candidate
+module Config_solver = Ds_solver.Config_solver
+module Design_solver = Ds_solver.Design_solver
+module Reconfigure = Ds_solver.Reconfigure
+module Rng = Ds_prng.Rng
+
+type row = {
+  label : string;
+  total : Money.t option;
+  detail : string;
+}
+
+let likelihood = Likelihood.default
+
+let of_candidate label detail = function
+  | Some c -> { label; total = Some (Candidate.cost c); detail }
+  | None -> { label; total = None; detail }
+
+let solver_stages ?(budgets = Budgets.default) () =
+  let env = Envs.peer_sites () in
+  let apps = Envs.peer_apps () in
+  let params = budgets.Budgets.solver in
+  let rng = Rng.of_int params.Design_solver.seed in
+  let state =
+    Reconfigure.state ~options:params.Design_solver.options ~rng likelihood
+  in
+  let greedy = Design_solver.greedy state params env apps in
+  let refit =
+    Option.map (fun start -> fst (Design_solver.refit state params start)) greedy
+  in
+  let full =
+    Design_solver.solve ~params env apps likelihood
+    |> Option.map (fun o -> o.Design_solver.best)
+  in
+  [ of_candidate "greedy only" "stage 1, search-grade configuration" greedy;
+    of_candidate "greedy + refit" "stages 1-2, search-grade configuration" refit;
+    of_candidate "full (with polish)" "stages 1-2 + full configuration polish"
+      full ]
+
+(* Breadth x depth shapes with comparable per-round work (b x (1 + d x b)
+   nodes): deep-and-narrow, the paper's 3 x 5, and shallow-and-wide. *)
+let search_shape ?(budgets = Budgets.default) () =
+  let env = Envs.peer_sites () in
+  let apps = Envs.peer_apps () in
+  List.map
+    (fun (breadth, depth) ->
+       let params =
+         { budgets.Budgets.solver with
+           Design_solver.breadth; depth }
+       in
+       let label = Printf.sprintf "b=%d, d=%d" breadth depth in
+       match Design_solver.solve ~params env apps likelihood with
+       | Some outcome ->
+         { label;
+           total = Some (Candidate.cost outcome.Design_solver.best);
+           detail =
+             Printf.sprintf "%d configuration-solver calls"
+               outcome.Design_solver.evaluations }
+       | None -> { label; total = None; detail = "" })
+    [ (1, 12); (3, 5); (5, 3); (8, 1) ]
+
+let config_features ?(budgets = Budgets.default) () =
+  let env = Envs.peer_sites () in
+  let apps = Envs.peer_apps () in
+  let solve options label detail =
+    let params = { budgets.Budgets.solver with Design_solver.options } in
+    Design_solver.solve ~params env apps likelihood
+    |> Option.map (fun o -> o.Design_solver.best)
+    |> of_candidate label detail
+  in
+  let base = Config_solver.search_options in
+  [ solve { base with Config_solver.window_scope = Config_solver.Skip;
+                      max_growth_steps = 0 }
+      "minimum provisioning" "no window search, no resource growth";
+    solve { base with Config_solver.window_scope = Config_solver.Skip }
+      "growth only" "no window search";
+    solve { base with Config_solver.max_growth_steps = 0 }
+      "windows only" "no resource growth";
+    solve base "windows + growth" "the full configuration solver" ]
+
+(* A fixed all-tape design: every peer-sites app protected by tape backup
+   alone, primaries split across the sites. After a site disaster these
+   apps can only recover from the vault, so the two staleness semantics
+   produce visibly different loss penalties. *)
+let all_tape_design () =
+  let env = Envs.peer_sites () in
+  let slot site = Ds_resources.Slot.Array_slot.v ~site ~bay:0 in
+  let tape site = Ds_resources.Slot.Tape_slot.v ~site in
+  List.fold_left
+    (fun design (app : Ds_workload.App.t) ->
+       let site = 1 + (app.Ds_workload.App.id mod 2) in
+       let asg =
+         Ds_design.Assignment.v ~app
+           ~technique:Ds_protection.Technique_catalog.tape_backup
+           ~primary:(slot site) ~backup:(tape site) ()
+       in
+       match
+         Ds_design.Design.add design asg
+           ~primary_model:Ds_resources.Device_catalog.xp1200
+           ~tape_model:Ds_resources.Device_catalog.tape_high ()
+       with
+       | Ok design -> design
+       | Error msg -> invalid_arg msg)
+    (Ds_design.Design.empty env)
+    (Envs.peer_apps ())
+
+let vault_modes ?budgets:_ () =
+  let design = all_tape_design () in
+  List.map
+    (fun (mode, label, detail) ->
+       let params =
+         { Recovery_params.default with Recovery_params.vault_mode = mode }
+       in
+       match Evaluate.design ~params design likelihood with
+       | Ok eval -> { label; total = Some (Evaluate.total eval); detail }
+       | Error _ -> { label; total = None; detail })
+    [ (Recovery_params.Cycle, "vault: cycle",
+       "staleness includes the 28-day vault cycle (faithful Table 2)");
+      (Recovery_params.Continuous, "vault: continuous",
+       "every tape full couriered within a day") ]
+
+let scheduling_policies ?budgets:_ () =
+  (* Fix the all-tape design: after an array failure or site disaster,
+     the four co-located applications (distinct priorities, distinct
+     dataset sizes) restore one after another from the shared tape
+     library, so the serialization order directly moves the outage
+     penalties. *)
+  let design = all_tape_design () in
+  List.map
+    (fun (policy, label, detail) ->
+       let params =
+         { Recovery_params.default with Recovery_params.scheduling = policy }
+       in
+       match Evaluate.design ~params design likelihood with
+       | Ok eval -> { label; total = Some (Evaluate.total eval); detail }
+       | Error _ -> { label; total = None; detail })
+    [ (Engine.Priority, "priority (paper)",
+       "serialized by penalty-rate priority");
+      (Engine.Fifo, "fifo", "submission order");
+      (Engine.Smallest_first, "smallest first",
+       "least total recovery work first") ]
+
+let pp ppf ~title rows =
+  Format.fprintf ppf "%s@." title;
+  List.iter
+    (fun row ->
+       match row.total with
+       | Some m ->
+         Format.fprintf ppf "  %-24s %12s  %s@." row.label (Money.to_string m)
+           row.detail
+       | None ->
+         Format.fprintf ppf "  %-24s %12s  %s@." row.label "infeasible"
+           row.detail)
+    rows

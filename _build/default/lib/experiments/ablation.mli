@@ -1,0 +1,38 @@
+(** Ablation studies on the design choices of the tool itself.
+
+    Not in the paper's evaluation, but each one isolates a mechanism the
+    paper argues for (or explicitly simplifies):
+
+    - {!solver_stages}: what the stage-2 refit search and the final
+      configuration polish buy over greedy best-fit alone (Section 3.1's
+      two-stage argument);
+    - {!config_features}: what the configuration solver's window search
+      and add-resources loop contribute (Section 3.2);
+    - {!vault_modes}: the two readings of Table 2's vault row (DESIGN.md);
+    - {!scheduling_policies}: the paper's priority serialization vs FIFO
+      and smallest-first recovery scheduling (the Section 3.2.2
+      simplification), evaluated on a fixed design. *)
+
+module Money = Ds_units.Money
+
+type row = {
+  label : string;
+  total : Money.t option;  (** [None] when infeasible. *)
+  detail : string;
+}
+
+val solver_stages : ?budgets:Budgets.t -> unit -> row list
+
+val search_shape : ?budgets:Budgets.t -> unit -> row list
+(** Sweep the refit search's breadth x depth (the paper's b = 3, d = 5
+    against narrower and wider shapes) at a matched budget of
+    roughly-constant evaluations; reports cost and configuration-solver
+    calls. Tests the paper's claim that exploring "a much larger space at
+    each local region" is what makes the unstructured design space
+    tractable. *)
+
+val config_features : ?budgets:Budgets.t -> unit -> row list
+val vault_modes : ?budgets:Budgets.t -> unit -> row list
+val scheduling_policies : ?budgets:Budgets.t -> unit -> row list
+
+val pp : Format.formatter -> title:string -> row list -> unit

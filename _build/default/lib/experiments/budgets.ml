@@ -1,0 +1,25 @@
+module Design_solver = Ds_solver.Design_solver
+
+type t = {
+  solver : Design_solver.params;
+  human_attempts : int;
+  random_attempts : int;
+  space_samples : int;
+}
+
+let default =
+  { solver = Design_solver.default_params;
+    human_attempts = 30;
+    random_attempts = 150;
+    space_samples = 20_000 }
+
+let quick =
+  { solver =
+      { Design_solver.default_params with
+        Design_solver.refit_rounds = 4; depth = 3; stage1_restarts = 3 };
+    human_attempts = 10;
+    random_attempts = 40;
+    space_samples = 4_000 }
+
+let with_seed t seed =
+  { t with solver = { t.solver with Design_solver.seed } }

@@ -1,0 +1,18 @@
+(** Iteration budgets for the experiment harness.
+
+    The paper runs every heuristic for thirty minutes of 2006-era CPU; we
+    replace wall-clock budgets with deterministic iteration budgets so
+    results are reproducible and machine-independent (see DESIGN.md).
+    [default] aims at paper-comparable quality; [quick] keeps the full
+    benchmark suite fast. *)
+
+type t = {
+  solver : Ds_solver.Design_solver.params;
+  human_attempts : int;
+  random_attempts : int;
+  space_samples : int;  (** Random designs for the Figure 2 histogram. *)
+}
+
+val default : t
+val quick : t
+val with_seed : t -> int -> t

@@ -1,0 +1,46 @@
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Site = Ds_resources.Site
+module Slot = Ds_resources.Slot
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+module Likelihood = Ds_failure.Likelihood
+module Candidate = Ds_solver.Candidate
+module Design_solver = Ds_solver.Design_solver
+
+type row = {
+  app : App.t;
+  technique : string;
+  primary_site : Site.id;
+  array_sites : Site.id list;
+  tape_sites : Site.id list;
+  uses_network : bool;
+}
+
+let row_of_assignment (asg : Assignment.t) =
+  let array_sites =
+    asg.primary.Slot.Array_slot.site
+    :: (match asg.mirror with
+        | Some m -> [ m.Slot.Array_slot.site ]
+        | None -> [])
+    |> List.sort_uniq Int.compare
+  in
+  let tape_sites =
+    match asg.backup with Some b -> [ b.Slot.Tape_slot.site ] | None -> []
+  in
+  { app = asg.app;
+    technique = Technique.describe asg.technique;
+    primary_site = asg.primary.Slot.Array_slot.site;
+    array_sites;
+    tape_sites;
+    uses_network =
+      Option.is_some (Assignment.mirror_pair asg)
+      || Option.is_some (Assignment.backup_pair asg) }
+
+let rows_of_candidate (c : Candidate.t) =
+  List.map row_of_assignment (Design.assignments c.Candidate.design)
+
+let run ?(budgets = Budgets.default) () =
+  Design_solver.solve ~params:budgets.Budgets.solver (Envs.peer_sites ())
+    (Envs.peer_apps ()) Likelihood.default
+  |> Option.map (fun o -> o.Design_solver.best)

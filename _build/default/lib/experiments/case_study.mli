@@ -1,0 +1,21 @@
+(** The peer-sites case study solution (Table 4): which technique and
+    which devices the design tool picks for each of the eight
+    applications. *)
+
+module App = Ds_workload.App
+module Site = Ds_resources.Site
+module Candidate = Ds_solver.Candidate
+
+type row = {
+  app : App.t;
+  technique : string;  (** Paper-style name, e.g. "Async mirror (F) with backup". *)
+  primary_site : Site.id;
+  array_sites : Site.id list;  (** Sites where the app occupies an array. *)
+  tape_sites : Site.id list;  (** Sites whose tape library it uses. *)
+  uses_network : bool;
+}
+
+val rows_of_candidate : Candidate.t -> row list
+
+val run : ?budgets:Budgets.t -> unit -> Candidate.t option
+(** Solve the peer-sites case study with the design tool. *)

@@ -1,0 +1,62 @@
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Likelihood = Ds_failure.Likelihood
+module Summary = Ds_cost.Summary
+module Money = Ds_units.Money
+module Candidate = Ds_solver.Candidate
+module Design_solver = Ds_solver.Design_solver
+module Human = Ds_heuristics.Human
+module Random_search = Ds_heuristics.Random_search
+module Heuristic_result = Ds_heuristics.Heuristic_result
+
+type entry = {
+  label : string;
+  summary : Summary.t option;
+}
+
+let of_candidate label = function
+  | Some c -> { label; summary = Some (Candidate.summary c) }
+  | None -> { label; summary = None }
+
+let run ?(budgets = Budgets.default) ?(metaheuristics = false) env apps
+    likelihood =
+  let solver_entry =
+    Design_solver.solve ~params:budgets.Budgets.solver env apps likelihood
+    |> Option.map (fun o -> o.Design_solver.best)
+    |> of_candidate "design tool"
+  in
+  let seed = budgets.Budgets.solver.Design_solver.seed in
+  let random_entry =
+    (Random_search.run ~attempts:budgets.Budgets.random_attempts ~seed:(seed + 1)
+       env apps likelihood).Heuristic_result.best
+    |> of_candidate "random"
+  in
+  let human_entry =
+    (Human.run ~attempts:budgets.Budgets.human_attempts ~seed:(seed + 2) env apps
+       likelihood).Heuristic_result.best
+    |> of_candidate "human"
+  in
+  let extras =
+    if not metaheuristics then []
+    else
+      [ (Ds_heuristics.Annealing.run ~seed:(seed + 3) env apps likelihood)
+          .Heuristic_result.best
+        |> of_candidate "annealing";
+        (Ds_heuristics.Tabu.run ~seed:(seed + 4) env apps likelihood)
+          .Heuristic_result.best
+        |> of_candidate "tabu" ]
+  in
+  [ solver_entry; random_entry; human_entry ] @ extras
+
+let run_peer ?budgets () =
+  run ?budgets (Envs.peer_sites ()) (Envs.peer_apps ()) Likelihood.default
+
+let total_of entries label =
+  List.find_opt (fun e -> String.equal e.label label) entries
+  |> Fun.flip Option.bind (fun e -> e.summary)
+  |> Option.map (fun s -> Money.to_dollars (Summary.total s))
+
+let ratio entries ~baseline label =
+  match total_of entries baseline, total_of entries label with
+  | Some base, Some target when target > 0. -> Some (base /. target)
+  | _ -> None

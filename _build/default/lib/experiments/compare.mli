@@ -1,0 +1,31 @@
+(** Heuristic comparison (Figure 3): outlay, data-loss penalty and outage
+    penalty of the design tool, the human heuristic and the random
+    heuristic on the same environment. *)
+
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Likelihood = Ds_failure.Likelihood
+module Summary = Ds_cost.Summary
+
+type entry = {
+  label : string;
+  summary : Summary.t option;  (** [None] when no feasible design found. *)
+}
+
+val run :
+  ?budgets:Budgets.t ->
+  ?metaheuristics:bool ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  entry list
+(** Entries in order: design tool, random, human — plus simulated
+    annealing and tabu search when [metaheuristics] is set (the
+    related-work baselines, not part of the paper's Figure 3). *)
+
+val run_peer : ?budgets:Budgets.t -> unit -> entry list
+(** Figure 3's setting: the peer-sites case study. *)
+
+val ratio : entry list -> baseline:string -> string -> float option
+(** Cost of [baseline] divided by cost of the named entry (how many times
+    cheaper the named entry is). *)

@@ -1,0 +1,22 @@
+module Env = Ds_resources.Env
+module Catalog = Ds_resources.Device_catalog
+module App = Ds_workload.App
+module W = Ds_workload.Workload_catalog
+
+let peer_sites () =
+  Env.fully_connected ~name:"peer-sites" ~site_count:2 ~bays_per_site:2
+    ~array_models:Catalog.array_models ~tape_models:Catalog.tape_models
+    ~link_model:Catalog.link_high ~max_link_units:32 ~compute_slots_per_site:8 ()
+
+let table4_order = [ W.central_banking; W.consumer_banking; W.web_service; W.student_accounts ]
+
+let peer_apps () =
+  List.init 8 (fun i ->
+      W.instantiate (List.nth table4_order (i mod 4)) ~id:(i + 1))
+
+let quad_sites () =
+  Env.fully_connected ~name:"quad-sites" ~site_count:4 ~bays_per_site:2
+    ~array_models:Catalog.array_models ~tape_models:Catalog.tape_models
+    ~link_model:Catalog.link_high ~max_link_units:16 ~compute_slots_per_site:8 ()
+
+let scaled_apps ~rounds = W.balanced_rounds ~rounds

@@ -1,0 +1,22 @@
+(** The paper's experimental environments (Sections 4.3-4.5). *)
+
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+
+val peer_sites : unit -> Env.t
+(** Two peer sites, each the secondary for the other (Section 4.3): two
+    array bays and one tape library per site, up to 32 high-class link
+    units between them, compute for eight applications per site. *)
+
+val peer_apps : unit -> App.t list
+(** The eight case-study applications in Table 4 order:
+    B, C, W, S, B, C, W, S. *)
+
+val quad_sites : unit -> Env.t
+(** Four fully connected sites (Sections 4.4-4.5): two array bays and one
+    tape library per site, six inter-site link bundles (every pair), eight
+    compute slots per site. *)
+
+val scaled_apps : rounds:int -> App.t list
+(** Four applications per round, one from each Table 1 class — the
+    Figure 4 scaling unit. *)

@@ -1,0 +1,33 @@
+(** The outlay / penalty trade-off frontier.
+
+    Architects rarely want a single optimum; they ask "what does buying
+    down risk cost?". This experiment sweeps a risk-aversion multiplier
+    over the applications' penalty rates, re-solves at each setting, and
+    re-prices every resulting design at the {e true} (multiplier 1) rates.
+    The result traces how much extra outlay each increment of penalty
+    reduction costs — the tool's answer to over- vs under-engineering
+    (the failure modes of the ad hoc approach the paper opens with). *)
+
+module Money = Ds_units.Money
+
+type point = {
+  aversion : float;  (** Penalty-rate multiplier the solver optimized for. *)
+  outlay : Money.t;  (** Annual outlay of the chosen design. *)
+  true_penalty : Money.t;  (** Its expected penalties at the real rates. *)
+}
+
+val default_multipliers : float list
+(** 0.25, 0.5, 1, 2, 4. *)
+
+val run :
+  ?budgets:Budgets.t ->
+  ?multipliers:float list ->
+  Ds_resources.Env.t ->
+  Ds_workload.App.t list ->
+  Ds_failure.Likelihood.t ->
+  point list
+(** Infeasible settings are skipped. *)
+
+val run_peer : ?budgets:Budgets.t -> unit -> point list
+
+val pp : Format.formatter -> point list -> unit

@@ -1,0 +1,124 @@
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Summary = Ds_cost.Summary
+
+let table1 ppf () =
+  Format.fprintf ppf
+    "Table 1. Application business requirements and workload characteristics@.";
+  Format.fprintf ppf "%-3s %-22s %-2s %10s %10s %8s %9s %9s %9s %s@." "id"
+    "name" "cl" "outage/hr" "loss/hr" "size" "avg-upd" "peak-upd" "access"
+    "category";
+  List.iter
+    (fun app -> Format.fprintf ppf "%a@." App.pp_row app)
+    (Ds_workload.Workload_catalog.mix ~count:4)
+
+let table2 ppf () =
+  Format.fprintf ppf "Table 2. Data protection techniques@.";
+  Ds_protection.Technique_catalog.pp_table ppf ()
+
+let table3 ppf () =
+  Format.fprintf ppf "Table 3. Resource description (unamortized)@.";
+  Ds_resources.Device_catalog.pp_table ppf ()
+
+let site_list sites =
+  String.concat "," (List.map (fun s -> Printf.sprintf "P%d" s) sites)
+
+let table4 ppf rows =
+  Format.fprintf ppf
+    "Table 4. Data protection solution chosen by the design tool@.";
+  Format.fprintf ppf "%-4s %-3s %-32s %-8s %-10s %-8s %-7s@." "app" "cls"
+    "technique" "primary" "arrays" "tapelib" "network";
+  List.iter
+    (fun (row : Case_study.row) ->
+       Format.fprintf ppf "%-4d %-3s %-32s %-8s %-10s %-8s %-7s@."
+         row.Case_study.app.App.id row.Case_study.app.App.class_tag
+         row.Case_study.technique
+         (Printf.sprintf "P%d" row.Case_study.primary_site)
+         (site_list row.Case_study.array_sites)
+         (site_list row.Case_study.tape_sites)
+         (if row.Case_study.uses_network then "yes" else "-"))
+    rows
+
+let bar width count max_count =
+  let len =
+    if max_count = 0 then 0 else count * width / max_count
+  in
+  String.make len '#'
+
+let figure2 ppf stats ~bins ~marks =
+  Format.fprintf ppf
+    "Figure 2. Distribution of random solution costs (%d feasible, %d infeasible)@."
+    (Array.length stats.Space_sampler.costs) stats.Space_sampler.infeasible;
+  let hist = Space_sampler.histogram ~bins stats in
+  let max_count = Array.fold_left max 0 hist.Space_sampler.counts in
+  Array.iteri
+    (fun i count ->
+       Format.fprintf ppf "%10s - %10s | %-50s %d@."
+         (Money.to_string (Money.dollars hist.Space_sampler.bucket_lo.(i)))
+         (Money.to_string (Money.dollars hist.Space_sampler.bucket_hi.(i)))
+         (bar 50 count max_count) count)
+    hist.Space_sampler.counts;
+  (match Space_sampler.spread stats with
+   | Some spread -> Format.fprintf ppf "cost spread (max/min): %.1fx@." spread
+   | None -> ());
+  List.iter
+    (fun (label, cost) ->
+       Format.fprintf ppf "%s lands at percentile %.2f%% (cost %s)@." label
+         (100. *. Space_sampler.percentile_of stats cost)
+         (Money.to_string (Money.dollars cost)))
+    marks
+
+let figure3 ppf entries =
+  Format.fprintf ppf "Figure 3. Solution cost by heuristic@.";
+  Format.fprintf ppf "%-12s %12s %12s %12s %12s@." "heuristic" "outlay"
+    "loss-pen" "outage-pen" "total";
+  List.iter
+    (fun (e : Compare.entry) ->
+       match e.Compare.summary with
+       | Some s ->
+         Format.fprintf ppf "%-12s %12s %12s %12s %12s@." e.Compare.label
+           (Money.to_string s.Summary.outlay)
+           (Money.to_string s.Summary.loss_penalty)
+           (Money.to_string s.Summary.outage_penalty)
+           (Money.to_string (Summary.total s))
+       | None ->
+         Format.fprintf ppf "%-12s %12s@." e.Compare.label "infeasible")
+    entries;
+  (match Compare.ratio entries ~baseline:"human" "design tool" with
+   | Some r -> Format.fprintf ppf "design tool is %.2fx cheaper than human@." r
+   | None -> ());
+  match Compare.ratio entries ~baseline:"random" "design tool" with
+  | Some r -> Format.fprintf ppf "design tool is %.2fx cheaper than random@." r
+  | None -> ()
+
+let opt_money ppf = function
+  | Some m -> Format.fprintf ppf "%12s" (Money.to_string m)
+  | None -> Format.fprintf ppf "%12s" "infeasible"
+
+let figure4 ppf points =
+  Format.fprintf ppf "Figure 4. Scalability (four fully connected sites)@.";
+  Format.fprintf ppf "%-6s %12s %12s %12s@." "apps" "design" "random" "human";
+  List.iter
+    (fun (p : Scalability.point) ->
+       Format.fprintf ppf "%-6d %a %a %a@." p.Scalability.apps opt_money
+         p.Scalability.design_tool opt_money p.Scalability.random opt_money
+         p.Scalability.human)
+    points
+
+let sensitivity ppf axis points =
+  Format.fprintf ppf "Sensitivity to the likelihood of %s@."
+    (Sensitivity.axis_name axis);
+  Format.fprintf ppf "%-14s %12s %12s %12s %12s@." "events/yr" "outlay"
+    "loss-pen" "outage-pen" "total";
+  List.iter
+    (fun (p : Sensitivity.point) ->
+       match p.Sensitivity.summary with
+       | Some s ->
+         Format.fprintf ppf "%-14.4g %12s %12s %12s %12s@." p.Sensitivity.rate
+           (Money.to_string s.Summary.outlay)
+           (Money.to_string s.Summary.loss_penalty)
+           (Money.to_string s.Summary.outage_penalty)
+           (Money.to_string (Summary.total s))
+       | None ->
+         Format.fprintf ppf "%-14.4g %12s@." p.Sensitivity.rate "infeasible")
+    points

@@ -1,0 +1,29 @@
+(** Text renderers that print each reproduced artifact in a shape
+    comparable to the paper's tables and figures. *)
+
+val table1 : Format.formatter -> unit -> unit
+(** Application classes (Table 1). *)
+
+val table2 : Format.formatter -> unit -> unit
+(** Data protection technique catalog (Table 2). *)
+
+val table3 : Format.formatter -> unit -> unit
+(** Device catalog (Table 3). *)
+
+val table4 : Format.formatter -> Case_study.row list -> unit
+(** Chosen peer-sites solution (Table 4). *)
+
+val figure2 :
+  Format.formatter -> Space_sampler.stats -> bins:int -> marks:(string * float) list -> unit
+(** Cost-distribution histogram with heuristic solutions marked at their
+    percentile (Figure 2). *)
+
+val figure3 : Format.formatter -> Compare.entry list -> unit
+(** Stacked cost comparison of the heuristics (Figure 3). *)
+
+val figure4 : Format.formatter -> Scalability.point list -> unit
+(** Cost vs number of applications (Figure 4). *)
+
+val sensitivity :
+  Format.formatter -> Sensitivity.axis -> Sensitivity.point list -> unit
+(** Cost vs failure likelihood (Figures 5-7). *)

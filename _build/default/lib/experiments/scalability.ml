@@ -1,0 +1,29 @@
+module Money = Ds_units.Money
+module Likelihood = Ds_failure.Likelihood
+module Summary = Ds_cost.Summary
+
+type point = {
+  apps : int;
+  design_tool : Money.t option;
+  random : Money.t option;
+  human : Money.t option;
+}
+
+let total entry =
+  Option.map Summary.total entry.Compare.summary
+
+let find entries label =
+  List.find_opt (fun (e : Compare.entry) -> String.equal e.Compare.label label)
+    entries
+
+let run ?(budgets = Budgets.default) ?(rounds = [ 1; 2; 3; 4; 5 ]) () =
+  let env = Envs.quad_sites () in
+  List.map
+    (fun round ->
+       let apps = Envs.scaled_apps ~rounds:round in
+       let entries = Compare.run ~budgets env apps Likelihood.default in
+       { apps = List.length apps;
+         design_tool = Option.bind (find entries "design tool") total;
+         random = Option.bind (find entries "random") total;
+         human = Option.bind (find entries "human") total })
+    rounds

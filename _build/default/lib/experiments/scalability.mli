@@ -1,0 +1,16 @@
+(** Scalability experiment (Figure 4): solution cost of each heuristic as
+    applications scale four at a time (one per Table 1 class) in a fixed
+    four-site environment. *)
+
+module Money = Ds_units.Money
+
+type point = {
+  apps : int;
+  design_tool : Money.t option;  (** [None]: no feasible design found. *)
+  random : Money.t option;
+  human : Money.t option;
+}
+
+val run : ?budgets:Budgets.t -> ?rounds:int list -> unit -> point list
+(** Default rounds 1..5 (4 to 20 applications). Every heuristic gets the
+    same iteration budgets at every scale. *)

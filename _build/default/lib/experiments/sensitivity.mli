@@ -1,0 +1,31 @@
+(** Failure-likelihood sensitivity (Figures 5, 6 and 7).
+
+    Sixteen applications on four fully connected sites; one failure class
+    rate is swept while the others stay at the Section 4.5 baseline (data
+    object twice a year, disk array once in five years, site disaster once
+    in twenty years). *)
+
+module Money = Ds_units.Money
+module Likelihood = Ds_failure.Likelihood
+
+type axis = Object_failure | Array_failure | Site_failure
+
+val axis_name : axis -> string
+
+val default_rates : axis -> float list
+(** The paper's sweep, in events per year:
+    data object from twice a year down to once in ten years;
+    disk array from once in two years down to once in twenty;
+    site disaster from once in five years down to once in fifty. *)
+
+val likelihood_for : axis -> float -> Likelihood.t
+(** Baseline likelihoods with the swept axis overridden. *)
+
+type point = {
+  rate : float;  (** Events per year on the swept axis. *)
+  summary : Ds_cost.Summary.t option;  (** [None]: infeasible. *)
+}
+
+val run : ?budgets:Budgets.t -> ?rates:float list -> ?apps:int -> axis -> point list
+(** Runs the design tool at each rate (default: the paper's sweep,
+    16 applications). *)

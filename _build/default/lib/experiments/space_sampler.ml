@@ -1,0 +1,80 @@
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Likelihood = Ds_failure.Likelihood
+module Money = Ds_units.Money
+module Evaluate = Ds_cost.Evaluate
+module Rng = Ds_prng.Rng
+module Random_search = Ds_heuristics.Random_search
+
+type stats = {
+  costs : float array;
+  infeasible : int;
+}
+
+let sample ?(seed = 7) ~samples env apps likelihood =
+  let rng = Rng.of_int seed in
+  let costs = ref [] in
+  let infeasible = ref 0 in
+  for _ = 1 to samples do
+    match Random_search.sample_design rng env apps with
+    | None -> incr infeasible
+    | Some design ->
+      (match Evaluate.design design likelihood with
+       | Ok eval ->
+         costs := Money.to_dollars (Evaluate.total eval) :: !costs
+       | Error _ -> incr infeasible)
+  done;
+  let costs = Array.of_list !costs in
+  Array.sort Float.compare costs;
+  { costs; infeasible = !infeasible }
+
+type histogram = {
+  bucket_lo : float array;
+  bucket_hi : float array;
+  counts : int array;
+}
+
+let histogram ~bins stats =
+  if bins < 1 then invalid_arg "Space_sampler.histogram: bins < 1";
+  let n = Array.length stats.costs in
+  if n = 0 then invalid_arg "Space_sampler.histogram: no feasible samples";
+  let lo = stats.costs.(0) and hi = stats.costs.(n - 1) in
+  let lo = Float.max lo 1. in
+  let hi = Float.max hi (lo *. 1.0001) in
+  let log_lo = log lo and log_hi = log hi in
+  let width = (log_hi -. log_lo) /. float_of_int bins in
+  let bucket_lo = Array.init bins (fun i -> exp (log_lo +. width *. float_of_int i)) in
+  let bucket_hi =
+    Array.init bins (fun i -> exp (log_lo +. width *. float_of_int (i + 1)))
+  in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun cost ->
+       let idx =
+         if cost <= lo then 0
+         else
+           let raw = int_of_float ((log cost -. log_lo) /. width) in
+           min (bins - 1) (max 0 raw)
+       in
+       counts.(idx) <- counts.(idx) + 1)
+    stats.costs;
+  { bucket_lo; bucket_hi; counts }
+
+let percentile_of stats cost =
+  let n = Array.length stats.costs in
+  if n = 0 then 0.
+  else begin
+    (* costs is sorted: binary search for the first element >= cost. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if stats.costs.(mid) < cost then search (mid + 1) hi else search lo mid
+    in
+    float_of_int (search 0 n) /. float_of_int n
+  end
+
+let spread stats =
+  let n = Array.length stats.costs in
+  if n = 0 || stats.costs.(0) <= 0. then None
+  else Some (stats.costs.(n - 1) /. stats.costs.(0))

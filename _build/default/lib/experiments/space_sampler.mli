@@ -1,0 +1,42 @@
+(** Solution-space sampling (Figure 2): the empirical distribution of
+    random solution costs.
+
+    The optimum is intractable, so the paper estimates solution quality by
+    randomly sampling a large collection of designs and placing the
+    heuristics' solutions within the empirical cost distribution. The
+    paper samples ~10^8 designs; the sample count here is configurable
+    (DESIGN.md documents the reduction) — the distribution's shape
+    (multi-modal, an order of magnitude of spread) is already stable at
+    tens of thousands of samples. *)
+
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Likelihood = Ds_failure.Likelihood
+
+type stats = {
+  costs : float array;  (** Feasible solution costs, dollars, sorted. *)
+  infeasible : int;  (** Sampled designs that violated constraints. *)
+}
+
+val sample :
+  ?seed:int -> samples:int -> Env.t -> App.t list -> Likelihood.t -> stats
+(** Uniform random designs evaluated at minimum provisioning (no resource
+    growth — raw points of the space, as in the paper's sampling). *)
+
+type histogram = {
+  bucket_lo : float array;  (** Left edge of each (log-spaced) bucket. *)
+  bucket_hi : float array;
+  counts : int array;
+}
+
+val histogram : bins:int -> stats -> histogram
+(** Log-spaced histogram of the feasible costs.
+    @raise Invalid_argument when there are no feasible samples or
+    [bins < 1]. *)
+
+val percentile_of : stats -> float -> float
+(** [percentile_of stats cost] is the fraction of sampled solutions
+    cheaper than [cost] (0 = cheapest percentile). *)
+
+val spread : stats -> float option
+(** max/min cost ratio across the feasible samples. *)

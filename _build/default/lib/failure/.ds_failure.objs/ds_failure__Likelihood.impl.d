@@ -1,0 +1,1 @@
+lib/failure/likelihood.ml: Float Format

@@ -1,0 +1,1 @@
+lib/failure/likelihood.mli: Format

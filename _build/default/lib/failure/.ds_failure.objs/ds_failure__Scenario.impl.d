@@ -1,0 +1,1 @@
+lib/failure/scenario.ml: Ds_design Ds_resources Ds_workload Format Likelihood List

@@ -1,0 +1,1 @@
+lib/failure/scenario.mli: Ds_design Ds_resources Ds_workload Format Likelihood

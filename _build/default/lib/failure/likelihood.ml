@@ -1,0 +1,31 @@
+type t = {
+  data_object_per_year : float;
+  array_per_year : float;
+  site_per_year : float;
+}
+
+let check r =
+  if not (Float.is_finite r) || r < 0. then
+    invalid_arg "Likelihood: rates must be finite and non-negative";
+  r
+
+let v ~data_object_per_year ~array_per_year ~site_per_year =
+  { data_object_per_year = check data_object_per_year;
+    array_per_year = check array_per_year;
+    site_per_year = check site_per_year }
+
+let per_years n =
+  if n <= 0. then invalid_arg "Likelihood.per_years: need a positive period";
+  1. /. n
+
+let default =
+  v ~data_object_per_year:(per_years 3.) ~array_per_year:(per_years 3.)
+    ~site_per_year:(per_years 5.)
+
+let sensitivity_base =
+  v ~data_object_per_year:2. ~array_per_year:(per_years 5.)
+    ~site_per_year:(per_years 20.)
+
+let pp ppf t =
+  Format.fprintf ppf "object %.3g/yr, array %.3g/yr, site %.3g/yr"
+    t.data_object_per_year t.array_per_year t.site_per_year

@@ -1,0 +1,30 @@
+(** Annualized failure likelihoods (Sections 2.4, 4.2 and 4.5).
+
+    Each class of failure is described by its expected frequency per year.
+    A "once in three years" likelihood is the rate 1/3. *)
+
+type t = {
+  data_object_per_year : float;
+      (** Loss/corruption of one application's data due to human or
+          software error; strikes each application independently. *)
+  array_per_year : float;  (** Hardware failure of one disk array. *)
+  site_per_year : float;  (** Disaster taking out a whole site. *)
+}
+
+val v :
+  data_object_per_year:float -> array_per_year:float -> site_per_year:float -> t
+(** @raise Invalid_argument on negative or non-finite rates. *)
+
+val per_years : float -> float
+(** [per_years n] is the rate "once in [n] years".
+    @raise Invalid_argument when [n <= 0]. *)
+
+val default : t
+(** Case-study setting (Section 4.2): data object once in 3 years, disk
+    array once in 3 years, site disaster once in 5 years. *)
+
+val sensitivity_base : t
+(** Sensitivity-analysis baseline (Section 4.5): data object twice a year,
+    disk array once in 5 years, site disaster once in 20 years. *)
+
+val pp : Format.formatter -> t -> unit

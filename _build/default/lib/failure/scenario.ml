@@ -1,0 +1,70 @@
+module App = Ds_workload.App
+module Slot = Ds_resources.Slot
+module Site = Ds_resources.Site
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+
+type scope =
+  | Data_object of App.id
+  | Array_failure of Slot.Array_slot.t
+  | Site_disaster of Site.id
+
+type t = { scope : scope; annual_rate : float }
+
+let hits scope (asg : Assignment.t) =
+  match scope with
+  | Data_object id -> asg.app.App.id = id
+  | Array_failure slot -> Slot.Array_slot.equal asg.primary slot
+  | Site_disaster site -> asg.primary.Slot.Array_slot.site = site
+
+let affected design scope = List.filter (hits scope) (Design.assignments design)
+
+let unaffected design scope =
+  List.filter (fun a -> not (hits scope a)) (Design.assignments design)
+
+let destroys_array scope (slot : Slot.Array_slot.t) =
+  match scope with
+  | Data_object _ -> false
+  | Array_failure failed -> Slot.Array_slot.equal failed slot
+  | Site_disaster site -> slot.site = site
+
+let destroys_tape scope (slot : Slot.Tape_slot.t) =
+  match scope with
+  | Data_object _ | Array_failure _ -> false
+  | Site_disaster site -> slot.site = site
+
+let destroys_site scope site =
+  match scope with
+  | Site_disaster failed -> failed = site
+  | Data_object _ | Array_failure _ -> false
+
+let enumerate (lk : Likelihood.t) design =
+  let object_scenarios =
+    List.map
+      (fun (asg : Assignment.t) ->
+         { scope = Data_object asg.app.App.id;
+           annual_rate = lk.data_object_per_year })
+      (Design.assignments design)
+  in
+  let array_scenarios =
+    Design.used_array_slots design
+    |> List.filter_map (fun slot ->
+        if Design.primaries_on design slot = [] then None
+        else Some { scope = Array_failure slot; annual_rate = lk.array_per_year })
+  in
+  let site_scenarios =
+    Design.used_sites design
+    |> List.filter_map (fun site ->
+        if Design.primaries_at_site design site = [] then None
+        else Some { scope = Site_disaster site; annual_rate = lk.site_per_year })
+  in
+  object_scenarios @ array_scenarios @ site_scenarios
+
+let pp_scope ppf = function
+  | Data_object id -> Format.fprintf ppf "data-object failure of app %d" id
+  | Array_failure slot ->
+    Format.fprintf ppf "failure of array %a" Slot.Array_slot.pp slot
+  | Site_disaster site -> Format.fprintf ppf "disaster at site s%d" site
+
+let pp ppf t =
+  Format.fprintf ppf "%a (%.3g/yr)" pp_scope t.scope t.annual_rate

@@ -1,0 +1,39 @@
+(** Failure scenarios: a failure scope plus its annual likelihood
+    (Section 2.4).
+
+    Scenarios are enumerated against a concrete design: one data-object
+    failure per application, one array failure per populated bay, one
+    disaster per used site. Applications are {e affected} by a scenario
+    when their primary copy falls inside its scope; unaffected
+    applications keep running and keep their resources. *)
+
+module App = Ds_workload.App
+module Slot = Ds_resources.Slot
+module Site = Ds_resources.Site
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+
+type scope =
+  | Data_object of App.id
+  | Array_failure of Slot.Array_slot.t
+  | Site_disaster of Site.id
+
+type t = { scope : scope; annual_rate : float }
+
+val enumerate : Likelihood.t -> Design.t -> t list
+(** Scenarios with at least one affected application; array and site
+    scenarios cover every bay / site hosting a primary copy. *)
+
+val affected : Design.t -> scope -> Assignment.t list
+(** Assignments whose primary copy is hit by the scope. *)
+
+val unaffected : Design.t -> scope -> Assignment.t list
+
+val destroys_array : scope -> Slot.Array_slot.t -> bool
+(** Whether the scope physically destroys the given array (and the
+    snapshots inside it). *)
+
+val destroys_tape : scope -> Slot.Tape_slot.t -> bool
+val destroys_site : scope -> Site.id -> bool
+val pp_scope : Format.formatter -> scope -> unit
+val pp : Format.formatter -> t -> unit

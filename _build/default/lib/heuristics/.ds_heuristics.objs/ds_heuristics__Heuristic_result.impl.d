@@ -1,0 +1,1 @@
+lib/heuristics/heuristic_result.ml: Ds_solver Format

@@ -1,0 +1,1 @@
+lib/heuristics/heuristic_result.mli: Ds_solver Format

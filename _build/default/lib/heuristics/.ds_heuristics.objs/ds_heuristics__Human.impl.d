@@ -1,0 +1,1 @@
+lib/heuristics/human.ml: Array Ds_design Ds_failure Ds_prng Ds_protection Ds_resources Ds_solver Ds_units Ds_workload Heuristic_result Int List Option

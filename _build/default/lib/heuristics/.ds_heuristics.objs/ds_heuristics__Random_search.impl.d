@@ -1,0 +1,1 @@
+lib/heuristics/random_search.ml: Ds_design Ds_failure Ds_prng Ds_protection Ds_resources Ds_solver Ds_workload Heuristic_result

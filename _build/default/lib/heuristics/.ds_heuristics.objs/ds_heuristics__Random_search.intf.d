@@ -1,0 +1,1 @@
+lib/heuristics/random_search.mli: Ds_design Ds_failure Ds_prng Ds_resources Ds_solver Ds_workload Heuristic_result

@@ -1,0 +1,1 @@
+lib/heuristics/tabu.mli: Ds_failure Ds_resources Ds_solver Ds_workload Heuristic_result

@@ -1,0 +1,36 @@
+(** A simulated-annealing baseline.
+
+    The paper's related-work section argues that classic local-search
+    metaheuristics (simulated annealing, tabu search) are hampered by the
+    design space's lack of structure, which motivates its wider
+    breadth-times-depth exploration. This baseline makes that comparison
+    concrete: uniform random single-application reconfigurations, accepted
+    when cheaper or with probability [exp (-delta / temperature)], under a
+    geometric cooling schedule. The incumbent never leaves the feasible
+    region; the best design seen is returned. *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+type params = {
+  iterations : int;  (** Accept/reject steps after the initial design. *)
+  initial_temperature : float;
+      (** In dollars: a cost increase of this size is accepted with
+          probability 1/e at the start. *)
+  cooling : float;  (** Geometric factor per step, in (0, 1). *)
+}
+
+val default_params : params
+(** 400 iterations, $20M initial temperature, 0.99 cooling. *)
+
+val run :
+  ?options:Ds_solver.Config_solver.options ->
+  ?params:params ->
+  seed:int ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  Heuristic_result.t
+(** Starts from the first feasible uniform-random design (counted in
+    [attempts]); returns the best design encountered. *)

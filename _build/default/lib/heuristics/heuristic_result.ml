@@ -1,0 +1,27 @@
+module Candidate = Ds_solver.Candidate
+
+type t = {
+  best : Candidate.t option;
+  attempts : int;
+  feasible : int;
+}
+
+let empty = { best = None; attempts = 0; feasible = 0 }
+
+let consider t outcome =
+  match outcome with
+  | None -> { t with attempts = t.attempts + 1 }
+  | Some candidate ->
+    let best =
+      match t.best with
+      | None -> Some candidate
+      | Some incumbent -> Some (Candidate.better incumbent candidate)
+    in
+    { best; attempts = t.attempts + 1; feasible = t.feasible + 1 }
+
+let pp ppf t =
+  match t.best with
+  | None -> Format.fprintf ppf "no feasible design in %d attempts" t.attempts
+  | Some best ->
+    Format.fprintf ppf "%a (%d/%d attempts feasible)" Candidate.pp best
+      t.feasible t.attempts

@@ -1,0 +1,15 @@
+(** Common result shape for the baseline heuristics. *)
+
+module Candidate = Ds_solver.Candidate
+
+type t = {
+  best : Candidate.t option;  (** Cheapest feasible solution found. *)
+  attempts : int;  (** Complete designs generated. *)
+  feasible : int;  (** How many of them were feasible. *)
+}
+
+val empty : t
+val consider : t -> Candidate.t option -> t
+(** Count an attempt; keep the candidate if it beats the incumbent. *)
+
+val pp : Format.formatter -> t -> unit

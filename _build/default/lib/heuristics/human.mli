@@ -1,0 +1,34 @@
+(** The "human heuristic" (Section 4.1): an emulated storage architect.
+
+    The architect buckets applications, techniques and devices into gold /
+    silver / bronze, gives each application a technique drawn uniformly
+    from its own class, places applications spread uniformly across sites
+    (round-robin in randomized priority order), matches device tiers to
+    application classes (gold on the high-end array, and so on), and then
+    lets the configuration solver fill in the parameters. Infeasible
+    layouts cause a restart; after a bounded number of attempts the
+    cheapest feasible solution is returned. *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+val class_array_model :
+  Env.t -> Ds_workload.Category.t -> Ds_resources.Array_model.t
+(** The tier-matched array model for an application class, falling back to
+    the nearest tier the environment offers. *)
+
+val design_once :
+  Ds_prng.Rng.t -> Env.t -> App.t list -> Ds_design.Design.t option
+(** One architect-style design (before the configuration solver); exposed
+    for tests and diagnostics. *)
+
+val run :
+  ?options:Ds_solver.Config_solver.options ->
+  ?attempts:int ->
+  seed:int ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  Heuristic_result.t
+(** [attempts] complete designs (default 30), best kept. *)

@@ -1,0 +1,41 @@
+module App = Ds_workload.App
+module Technique_catalog = Ds_protection.Technique_catalog
+module Env = Ds_resources.Env
+module Design = Ds_design.Design
+module Likelihood = Ds_failure.Likelihood
+module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
+module Layout = Ds_solver.Layout
+module Config_solver = Ds_solver.Config_solver
+
+let sample_design rng env apps =
+  let rec place design = function
+    | [] -> Some design
+    | app :: rest ->
+      let technique = Sample.choose rng Technique_catalog.all in
+      (match Layout.choose_uniform rng design app technique with
+       | None -> None
+       | Some choice ->
+         (match Layout.apply design choice with
+          | Ok design -> place design rest
+          | Error _ -> None))
+  in
+  place (Design.empty env) apps
+
+let run ?(options = Config_solver.default_options) ?(attempts = 100) ~seed env
+    apps likelihood =
+  let rng = Rng.of_int seed in
+  let rec loop result remaining =
+    if remaining = 0 then result
+    else
+      let outcome =
+        match sample_design rng env apps with
+        | None -> None
+        | Some design ->
+          (match Config_solver.solve ~options design likelihood with
+           | Ok candidate -> Some candidate
+           | Error _ -> None)
+      in
+      loop (Heuristic_result.consider result outcome) (remaining - 1)
+  in
+  loop Heuristic_result.empty attempts

@@ -1,0 +1,28 @@
+(** The random heuristic (Section 4): uniform random complete designs,
+    keep the cheapest feasible one.
+
+    Each attempt draws, for every application, a technique uniformly from
+    the full Table 2 catalog and a uniformly random structurally-valid
+    layout, then runs the configuration solver. Random designs are quick
+    to test for feasibility, which is why this baseline still finds
+    feasible solutions at scales where the guided searches get stuck
+    (Section 4.4). *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+val sample_design :
+  Ds_prng.Rng.t -> Env.t -> App.t list -> Ds_design.Design.t option
+(** One uniform random complete design ([None] when some app has no
+    structurally valid placement, e.g. a mirror in a one-site world). *)
+
+val run :
+  ?options:Ds_solver.Config_solver.options ->
+  ?attempts:int ->
+  seed:int ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  Heuristic_result.t
+(** [attempts] random designs (default 100), best kept. *)

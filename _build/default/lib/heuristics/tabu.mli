@@ -1,0 +1,31 @@
+(** A tabu-search baseline (Glover), the other classic local-search
+    metaheuristic the paper's related work discusses.
+
+    Each iteration evaluates a set of neighbors (uniform random
+    reconfigurations of non-tabu applications), moves to the best one
+    even when it is worse than the incumbent — that is what lets tabu
+    search climb out of local minima — and marks the reconfigured
+    application tabu for [tenure] iterations. An aspiration rule admits a
+    tabu move that beats the best design seen so far. *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+type params = {
+  iterations : int;
+  neighbors : int;  (** Candidate moves evaluated per iteration. *)
+  tenure : int;  (** Iterations an application stays tabu. *)
+}
+
+val default_params : params
+(** 120 iterations, 4 neighbors, tenure 3. *)
+
+val run :
+  ?options:Ds_solver.Config_solver.options ->
+  ?params:params ->
+  seed:int ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  Heuristic_result.t

@@ -1,0 +1,78 @@
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* David Stafford's "Mix13" variant of the MurmurHash3 finalizer; the
+   standard SplitMix64 output function. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Mix used to derive gammas; result is forced odd. The popcount check from
+   the reference implementation guards against weak (low-entropy) gammas. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor (Int64.logxor z (Int64.shift_right_logical z 33)) 1L in
+  let popcount x =
+    let rec go acc x = if Int64.equal x 0L then acc
+      else go (acc + 1) (Int64.logand x (Int64.sub x 1L)) in
+    go 0 x
+  in
+  if popcount (Int64.logxor z (Int64.shift_right_logical z 1)) < 24
+  then Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
+let create seed = { state = seed; gamma = golden_gamma }
+
+let of_int seed = create (Int64.of_int seed)
+
+let next_seed g =
+  g.state <- Int64.add g.state g.gamma;
+  g.state
+
+let next_int64 g = mix64 (next_seed g)
+
+let split g =
+  let state' = mix64 (next_seed g) in
+  let gamma' = mix_gamma (next_seed g) in
+  { state = state'; gamma = gamma' }
+
+let copy g = { state = g.state; gamma = g.gamma }
+
+let bits30 g =
+  Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n land (n - 1) = 0 then bits30 g land (n - 1)
+  else
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec draw () =
+      let r = bits30 g in
+      let v = r mod n in
+      if r - v + (n - 1) < 0 then draw () else v
+    in
+    if n <= 1 lsl 30 then draw ()
+    else
+      let hi = Int64.shift_right_logical (next_int64 g) 1 in
+      Int64.to_int (Int64.rem hi (Int64.of_int n))
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 uniform bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float g bound =
+  if not (bound > 0. && Float.is_finite bound) then
+    invalid_arg "Rng.float: bound must be positive and finite";
+  unit_float g *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let pp ppf g = Format.fprintf ppf "rng{state=%Lx; gamma=%Lx}" g.state g.gamma

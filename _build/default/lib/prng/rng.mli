@@ -1,0 +1,54 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The design tool's heuristics are randomized (biased technique selection,
+    randomized refit search, random baseline). To make experiments
+    reproducible and independent of OCaml's global [Random] state, all
+    randomness flows through explicit generator values of type {!t}.
+
+    The core is SplitMix64 (Steele, Lea & Flood, OOPSLA'14): a 64-bit
+    counter advanced by a per-stream odd increment ("gamma"), whose output
+    is a bijective finalizer of the counter. Splitting derives a new,
+    statistically independent stream from the parent. *)
+
+type t
+(** A mutable generator. Values produced by the same seed in the same call
+    order are identical across runs and platforms. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator from a 64-bit seed. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose future
+    outputs are independent of [g]'s. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy replays [g]'s future. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniform non-negative bits, as an [int]. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. [bound] must be positive
+    and finite. @raise Invalid_argument otherwise. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the internal state (for debugging test failures). *)

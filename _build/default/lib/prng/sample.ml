@@ -1,0 +1,58 @@
+let choose_array g arr =
+  if Array.length arr = 0 then invalid_arg "Sample.choose_array: empty";
+  arr.(Rng.int g (Array.length arr))
+
+let choose g = function
+  | [] -> invalid_arg "Sample.choose: empty list"
+  | items -> choose_array g (Array.of_list items)
+
+let choose_opt g = function
+  | [] -> None
+  | items -> Some (choose g items)
+
+let weighted_index g weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sample.weighted_index: empty";
+  let total = Array.fold_left (fun acc w ->
+      if w < 0. || Float.is_nan w then
+        invalid_arg "Sample.weighted_index: negative or NaN weight"
+      else acc +. w)
+      0. weights
+  in
+  if total <= 0. then Rng.int g n
+  else begin
+    let target = Rng.float g total in
+    let rec scan i acc =
+      if i = n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if target < acc then i else scan (i + 1) acc
+    in
+    scan 0 0.
+  end
+
+let weighted g items =
+  if items = [] then invalid_arg "Sample.weighted: empty list";
+  let arr = Array.of_list items in
+  let idx = weighted_index g (Array.map snd arr) in
+  fst arr.(idx)
+
+let shuffle g items =
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let take_distinct g n items =
+  if n <= 0 then []
+  else
+    let shuffled = shuffle g items in
+    List.filteri (fun i _ -> i < n) shuffled
+
+let bernoulli g p =
+  let p = Float.max 0. (Float.min 1. p) in
+  Rng.unit_float g < p

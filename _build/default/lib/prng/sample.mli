@@ -1,0 +1,33 @@
+(** Sampling combinators over {!Rng}.
+
+    These implement the biased random choices used throughout the design
+    solver: uniform picks, penalty-weighted application selection,
+    cost-biased technique selection and utilization-biased device layout. *)
+
+val choose : Rng.t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty list. *)
+
+val choose_opt : Rng.t -> 'a list -> 'a option
+(** Uniform choice; [None] on an empty list. *)
+
+val choose_array : Rng.t -> 'a array -> 'a
+(** Uniform choice from an array. @raise Invalid_argument if empty. *)
+
+val weighted : Rng.t -> ('a * float) list -> 'a
+(** [weighted g items] picks an element with probability proportional to
+    its (non-negative) weight. Zero-weight elements are never chosen unless
+    every weight is zero, in which case the choice is uniform.
+    @raise Invalid_argument on an empty list or a negative weight. *)
+
+val weighted_index : Rng.t -> float array -> int
+(** Index form of {!weighted}. *)
+
+val shuffle : Rng.t -> 'a list -> 'a list
+(** Fisher-Yates shuffle; uniform over permutations. *)
+
+val take_distinct : Rng.t -> int -> 'a list -> 'a list
+(** [take_distinct g n items] draws up to [n] distinct elements (by
+    position), uniformly without replacement. *)
+
+val bernoulli : Rng.t -> float -> bool
+(** [bernoulli g p] is true with probability [p] (clamped to [0,1]). *)

@@ -1,0 +1,1 @@
+lib/protection/backup.ml: Ds_units Ds_workload Format

@@ -1,0 +1,1 @@
+lib/protection/backup.mli: Ds_units Ds_workload Format

@@ -1,0 +1,1 @@
+lib/protection/mirror.ml: Ds_units Ds_workload Format

@@ -1,0 +1,1 @@
+lib/protection/mirror.mli: Ds_units Ds_workload Format

@@ -1,0 +1,1 @@
+lib/protection/recovery_mode.mli: Format

@@ -1,0 +1,1 @@
+lib/protection/technique.ml: Backup Ds_workload Format Int Mirror Option Printf Recovery_mode

@@ -1,0 +1,1 @@
+lib/protection/technique.mli: Backup Ds_workload Format Mirror Recovery_mode

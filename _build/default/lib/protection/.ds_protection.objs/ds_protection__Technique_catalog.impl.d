@@ -1,0 +1,1 @@
+lib/protection/technique_catalog.ml: Backup Ds_workload Format List Mirror Recovery_mode Technique

@@ -1,0 +1,1 @@
+lib/protection/technique_catalog.mli: Ds_workload Format Technique

@@ -1,0 +1,88 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module App = Ds_workload.App
+
+type t = {
+  snapshot_win : Time.t;
+  snapshot_retained : int;
+  tape_win : Time.t;
+  tape_fulls_every : int;
+  tape_retained : int;
+  backup_window : Time.t;
+  vault_win : Time.t;
+  vault_prop : Time.t;
+}
+
+let default =
+  { snapshot_win = Time.hours 12.;
+    snapshot_retained = 2;
+    tape_win = Time.days 7.;
+    tape_fulls_every = 1;
+    tape_retained = 2;
+    backup_window = Time.hours 12.;
+    vault_win = Time.days 28.;
+    vault_prop = Time.days 1. }
+
+let with_snapshot_win t w =
+  if Time.is_zero w then invalid_arg "Backup.with_snapshot_win: zero window";
+  { t with snapshot_win = w }
+
+let with_tape_win t w =
+  if Time.is_zero w then invalid_arg "Backup.with_tape_win: zero window";
+  { t with tape_win = w }
+
+let with_fulls_every t n =
+  if n < 1 then invalid_arg "Backup.with_fulls_every: cycle must be positive";
+  { t with tape_fulls_every = n }
+
+let incremental_size t (app : App.t) =
+  Size.min app.App.data_size
+    (Rate.volume_in app.App.unique_update_rate t.tape_win)
+
+let snapshot_space t (app : App.t) =
+  (* Copy-on-write: each retained snapshot holds the updates unique to its
+     window, never more than the full dataset. *)
+  let per_snapshot =
+    Size.min app.data_size (Rate.volume_in app.unique_update_rate t.snapshot_win)
+  in
+  Size.scale (float_of_int t.snapshot_retained) per_snapshot
+
+let tape_space t (app : App.t) =
+  let incrementals =
+    Size.scale (float_of_int (t.tape_fulls_every - 1)) (incremental_size t app)
+  in
+  Size.scale (float_of_int t.tape_retained) (Size.add app.data_size incrementals)
+
+let restore_volume t (app : App.t) =
+  let expected_incrementals = float_of_int (t.tape_fulls_every - 1) /. 2. in
+  Size.add app.data_size
+    (Size.scale expected_incrementals (incremental_size t app))
+
+let tape_bandwidth_demand t (app : App.t) =
+  let bytes = Size.to_bytes app.data_size in
+  Rate.bytes_per_sec (bytes /. Time.to_seconds t.backup_window)
+
+let snapshot_staleness t = t.snapshot_win
+
+let tape_staleness t ~propagation =
+  Time.add t.snapshot_win (Time.add t.tape_win propagation)
+
+let vault_staleness t ~propagation =
+  Time.add (tape_staleness t ~propagation) (Time.add t.vault_win t.vault_prop)
+
+let equal a b =
+  Time.equal a.snapshot_win b.snapshot_win
+  && a.snapshot_retained = b.snapshot_retained
+  && Time.equal a.tape_win b.tape_win
+  && a.tape_fulls_every = b.tape_fulls_every
+  && a.tape_retained = b.tape_retained
+  && Time.equal a.backup_window b.backup_window
+  && Time.equal a.vault_win b.vault_win
+  && Time.equal a.vault_prop b.vault_prop
+
+let pp ppf t =
+  Format.fprintf ppf "backup{snap %a x%d; tape %a (full/%d) x%d; vault %a +%a}"
+    Time.pp t.snapshot_win t.snapshot_retained
+    Time.pp t.tape_win t.tape_fulls_every t.tape_retained
+    Time.pp t.vault_win Time.pp t.vault_prop

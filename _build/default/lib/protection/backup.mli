@@ -1,0 +1,77 @@
+(** The snapshot / tape backup / offsite vault chain (Table 2).
+
+    Every backup-bearing technique in the paper maintains the same
+    three-level chain under the primary (or mirror): array-internal
+    snapshots every [snapshot_win] (12 h), full backups to a tape library
+    every [tape_win] (7 days) propagated at tape bandwidth, and cartridges
+    cycled to an offsite vault every [vault_win] (28 days) with a
+    [vault_prop] (1 day) courier delay.
+
+    Snapshots are space-efficient copy-on-write copies internal to the
+    primary disk array: cheap, fast to restore, but they die with the
+    array. Tape backups survive array failures; the vault survives site
+    disasters. *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+
+type t = {
+  snapshot_win : Time.t;
+  snapshot_retained : int;  (** How many snapshots are kept on the array. *)
+  tape_win : Time.t;  (** Interval between successive backups to tape. *)
+  tape_fulls_every : int;
+      (** Backup schedule (Section 1: "whether the backups will be full
+          or incremental"): every [tape_fulls_every]-th backup is a full,
+          the rest are incrementals capturing the updates unique to the
+          interval. [1] = every backup is a full (Table 2's default). *)
+  tape_retained : int;  (** Backup cycles kept in the library. *)
+  backup_window : Time.t;  (** A full backup must finish within this window
+                               ("backups complete overnight"). *)
+  vault_win : Time.t;
+  vault_prop : Time.t;
+}
+
+val default : t
+(** Table 2 values: 12 h snapshots (2 retained), 7-day fulls (2 retained,
+    no incrementals), 12 h backup window, 28-day vault cycle, 1 day in
+    transit. *)
+
+val with_snapshot_win : t -> Time.t -> t
+val with_tape_win : t -> Time.t -> t
+val with_fulls_every : t -> int -> t
+(** @raise Invalid_argument when the cycle length is not positive. *)
+
+val incremental_size : t -> Ds_workload.App.t -> Size.t
+(** Data an incremental captures: the app's unique updates over one
+    backup interval, never more than the dataset. *)
+
+val snapshot_space : t -> Ds_workload.App.t -> Size.t
+(** Extra capacity the retained snapshots occupy on the primary array:
+    copy-on-write space, bounded by the dataset size per snapshot. *)
+
+val tape_space : t -> Ds_workload.App.t -> Size.t
+(** Library capacity for the retained backup cycles: each cycle is one
+    full plus its incrementals. *)
+
+val tape_bandwidth_demand : t -> Ds_workload.App.t -> Rate.t
+(** Drive bandwidth needed so a full backup completes within
+    [backup_window]. *)
+
+val restore_volume : t -> Ds_workload.App.t -> Size.t
+(** Data read back when restoring from tape: the full, plus the expected
+    number of incrementals to replay (half a cycle). *)
+
+val snapshot_staleness : t -> Time.t
+(** Worst-case age of the freshest snapshot: one snapshot window. *)
+
+val tape_staleness : t -> propagation:Time.t -> Time.t
+(** Worst-case age of the freshest tape full: snapshot window + tape window
+    + time to write the backup ([propagation]). *)
+
+val vault_staleness : t -> propagation:Time.t -> Time.t
+(** Worst-case age of the freshest vaulted copy: tape staleness + vault
+    cycle + courier time. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+module Time = Ds_units.Time
+module Rate = Ds_units.Rate
+
+type sync = Synchronous | Asynchronous
+
+type t = { sync : sync; acc_win : Time.t }
+
+let synchronous = { sync = Synchronous; acc_win = Time.minutes 0.5 }
+
+let asynchronous = { sync = Asynchronous; acc_win = Time.minutes 10. }
+
+let network_demand t (app : Ds_workload.App.t) =
+  match t.sync with
+  | Synchronous -> app.peak_update_rate
+  | Asynchronous -> app.avg_update_rate
+
+let staleness t = t.acc_win
+
+let to_string t =
+  match t.sync with Synchronous -> "sync" | Asynchronous -> "async"
+
+let equal a b = a.sync = b.sync && Time.equal a.acc_win b.acc_win
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,33 @@
+(** Inter-array remote mirroring (level 1 of the protection hierarchy).
+
+    A mirror keeps a remote copy nearly current. Synchronous mirroring
+    applies every update before acknowledging (worst-case staleness one
+    batch window, 0.5 min in Table 2; network sized for the *peak* update
+    rate). Asynchronous mirroring batches updates (10 min accumulation;
+    network sized for the *average* update rate). Propagation is bound by
+    the provisioned network bandwidth ("n/w" in Table 2). *)
+
+module Time = Ds_units.Time
+module Rate = Ds_units.Rate
+
+type sync = Synchronous | Asynchronous
+
+type t = { sync : sync; acc_win : Time.t }
+
+val synchronous : t
+(** 0.5 min accumulation window (Table 2). *)
+
+val asynchronous : t
+(** 10 min accumulation window (Table 2). *)
+
+val network_demand : t -> Ds_workload.App.t -> Rate.t
+(** Link bandwidth the mirror consumes in normal operation: the app's peak
+    update rate when synchronous, average update rate when asynchronous. *)
+
+val staleness : t -> Time.t
+(** Upper bound on how out-of-date the mirror copy is: its accumulation
+    window (propagation is subsumed by the bandwidth sizing above). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

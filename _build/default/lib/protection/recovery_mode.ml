@@ -1,0 +1,18 @@
+type t = Failover | Reconstruct
+
+let all = [ Failover; Reconstruct ]
+
+let to_string = function Failover -> "failover" | Reconstruct -> "reconstruct"
+
+let short = function Failover -> "F" | Reconstruct -> "R"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "failover" | "f" -> Some Failover
+  | "reconstruct" | "r" -> Some Reconstruct
+  | _ -> None
+
+let rank = function Failover -> 0 | Reconstruct -> 1
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+let pp ppf t = Format.pp_print_string ppf (to_string t)

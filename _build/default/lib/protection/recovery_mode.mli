@@ -1,0 +1,19 @@
+(** How an application resumes after a failure of its primary copy.
+
+    Failover transfers computation to the site holding a secondary mirror
+    (fast, needs standby compute and an up-to-date mirror; a background
+    fail-back follows and is not charged as outage). Reconstruction
+    repairs the failed resources and copies consistent data back onto the
+    primary, leaving computation in place. *)
+
+type t = Failover | Reconstruct
+
+val all : t list
+val to_string : t -> string
+val short : t -> string
+(** "F" / "R", as in Table 2 and Table 4 of the paper. *)
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+module Category = Ds_workload.Category
+
+type t = {
+  id : int;
+  name : string;
+  mirror : Mirror.t option;
+  recovery : Recovery_mode.t;
+  backup : Backup.t option;
+}
+
+let describe_parts mirror recovery backup =
+  match mirror, backup with
+  | None, None -> invalid_arg "Technique.v: technique protects nothing"
+  | None, Some _ -> "Tape backup"
+  | Some m, b ->
+    let kind = match m.Mirror.sync with
+      | Mirror.Synchronous -> "Sync mirror"
+      | Mirror.Asynchronous -> "Async mirror"
+    in
+    let suffix = match b with Some _ -> " with backup" | None -> "" in
+    Printf.sprintf "%s (%s)%s" kind (Recovery_mode.short recovery) suffix
+
+let v ~id ?mirror ~recovery ?backup () =
+  (match mirror, recovery with
+   | None, Recovery_mode.Failover ->
+     invalid_arg "Technique.v: failover requires a mirror"
+   | _ -> ());
+  { id; name = describe_parts mirror recovery backup; mirror; recovery; backup }
+
+let category t =
+  match t.mirror, t.recovery with
+  | Some _, Recovery_mode.Failover -> Category.Gold
+  | Some _, Recovery_mode.Reconstruct -> Category.Silver
+  | None, _ -> Category.Bronze
+
+let has_mirror t = Option.is_some t.mirror
+let has_backup t = Option.is_some t.backup
+let uses_network = has_mirror
+let uses_tape = has_backup
+
+let needs_standby_compute t =
+  has_mirror t && Recovery_mode.equal t.recovery Recovery_mode.Failover
+
+let with_backup_chain t chain =
+  match t.backup with None -> t | Some _ -> { t with backup = Some chain }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let describe t = t.name
+let pp ppf t = Format.pp_print_string ppf t.name

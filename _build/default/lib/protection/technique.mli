@@ -1,0 +1,57 @@
+(** Data protection techniques: the rows of Table 2.
+
+    A technique combines an optional remote mirror (with a recovery mode —
+    failover or reconstruction) and an optional snapshot/tape/vault backup
+    chain. The paper's catalog has nine techniques: {sync, async} mirror x
+    {failover, reconstruct} x {with, without} backup, plus tape backup
+    alone.
+
+    Techniques are classed gold / silver / bronze by the protection they
+    offer (Section 3.1.3): mirroring with failover is gold, mirroring with
+    reconstruction is silver, backup alone is bronze. *)
+
+module Category = Ds_workload.Category
+
+type t = {
+  id : int;
+  name : string;
+  mirror : Mirror.t option;
+  recovery : Recovery_mode.t;
+  (** Meaningful only when [mirror] is present; backup-only techniques
+      always reconstruct. *)
+  backup : Backup.t option;
+}
+
+val v :
+  id:int -> ?mirror:Mirror.t -> recovery:Recovery_mode.t ->
+  ?backup:Backup.t -> unit -> t
+(** Builds a technique and derives its [name].
+    @raise Invalid_argument for the empty technique (no mirror, no backup)
+    or a failover technique without a mirror. *)
+
+val category : t -> Category.t
+(** Gold for mirror+failover, Silver for mirror+reconstruct, Bronze for
+    backup alone. *)
+
+val has_mirror : t -> bool
+val has_backup : t -> bool
+val uses_network : t -> bool
+(** True iff the technique needs an inter-site link (i.e. has a mirror). *)
+
+val uses_tape : t -> bool
+(** True iff the technique needs a tape library (i.e. has a backup chain). *)
+
+val needs_standby_compute : t -> bool
+(** True iff recovery is failover (standby compute at the mirror site). *)
+
+val with_backup_chain : t -> Backup.t -> t
+(** Replace the backup parameters (configuration-solver window search);
+    identity if the technique has no backup. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** By id. *)
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string
+(** Paper-style name, e.g. "Async mirror (F) with backup". *)

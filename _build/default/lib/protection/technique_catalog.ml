@@ -1,0 +1,62 @@
+module Category = Ds_workload.Category
+
+let backup = Backup.default
+
+let sync_failover_backup =
+  Technique.v ~id:1 ~mirror:Mirror.synchronous ~recovery:Recovery_mode.Failover
+    ~backup ()
+
+let sync_reconstruct_backup =
+  Technique.v ~id:2 ~mirror:Mirror.synchronous ~recovery:Recovery_mode.Reconstruct
+    ~backup ()
+
+let async_failover_backup =
+  Technique.v ~id:3 ~mirror:Mirror.asynchronous ~recovery:Recovery_mode.Failover
+    ~backup ()
+
+let async_reconstruct_backup =
+  Technique.v ~id:4 ~mirror:Mirror.asynchronous ~recovery:Recovery_mode.Reconstruct
+    ~backup ()
+
+let sync_failover =
+  Technique.v ~id:5 ~mirror:Mirror.synchronous ~recovery:Recovery_mode.Failover ()
+
+let sync_reconstruct =
+  Technique.v ~id:6 ~mirror:Mirror.synchronous ~recovery:Recovery_mode.Reconstruct ()
+
+let async_failover =
+  Technique.v ~id:7 ~mirror:Mirror.asynchronous ~recovery:Recovery_mode.Failover ()
+
+let async_reconstruct =
+  Technique.v ~id:8 ~mirror:Mirror.asynchronous ~recovery:Recovery_mode.Reconstruct ()
+
+let tape_backup = Technique.v ~id:9 ~recovery:Recovery_mode.Reconstruct ~backup ()
+
+let all =
+  [ sync_failover_backup; sync_reconstruct_backup;
+    async_failover_backup; async_reconstruct_backup;
+    sync_failover; sync_reconstruct;
+    async_failover; async_reconstruct;
+    tape_backup ]
+
+let of_id id = List.find_opt (fun t -> t.Technique.id = id) all
+
+let in_class c =
+  List.filter (fun t -> Category.equal (Technique.category t) c) all
+
+let eligible_for c =
+  List.filter (fun t -> Category.covers (Technique.category t) c) all
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-30s %-6s %-8s %-6s %-6s@."
+    "technique" "class" "recovery" "mirror" "backup";
+  List.iter (fun t ->
+      Format.fprintf ppf "%-30s %-6s %-8s %-6s %-6s@."
+        (Technique.describe t)
+        (Category.to_string (Technique.category t))
+        (Recovery_mode.to_string t.Technique.recovery)
+        (match t.Technique.mirror with
+         | Some m -> Mirror.to_string m
+         | None -> "-")
+        (if Technique.has_backup t then "yes" else "-"))
+    all

@@ -1,0 +1,27 @@
+(** The nine-technique catalog of Table 2. *)
+
+val sync_failover_backup : Technique.t
+val sync_reconstruct_backup : Technique.t
+val async_failover_backup : Technique.t
+val async_reconstruct_backup : Technique.t
+val sync_failover : Technique.t
+val sync_reconstruct : Technique.t
+val async_failover : Technique.t
+val async_reconstruct : Technique.t
+val tape_backup : Technique.t
+
+val all : Technique.t list
+(** Table 2 order. *)
+
+val of_id : int -> Technique.t option
+
+val in_class : Ds_workload.Category.t -> Technique.t list
+(** Techniques whose class exactly matches. *)
+
+val eligible_for : Ds_workload.Category.t -> Technique.t list
+(** Techniques of the given class {e or better} — what the design solver
+    and the human heuristic consider for an application of that class
+    (Section 3.1.3). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Render the catalog as a Table 2-style listing. *)

@@ -1,0 +1,1 @@
+lib/recovery/copy_source.ml: Ds_design Ds_failure Ds_protection Ds_units Format List Recovery_params

@@ -1,0 +1,1 @@
+lib/recovery/copy_source.mli: Ds_design Ds_failure Ds_units Format Recovery_params

@@ -1,0 +1,1 @@
+lib/recovery/outcome.ml: Copy_source Ds_units Ds_workload Format

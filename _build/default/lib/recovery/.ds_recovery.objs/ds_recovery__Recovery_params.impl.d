@@ -1,0 +1,1 @@
+lib/recovery/recovery_params.ml: Ds_sim Ds_units Format

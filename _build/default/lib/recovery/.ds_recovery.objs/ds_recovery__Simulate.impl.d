@@ -1,0 +1,1 @@
+lib/recovery/simulate.ml: Copy_source Ds_design Ds_failure Ds_protection Ds_resources Ds_sim Ds_units Ds_workload Format List Option Outcome Recovery_params

@@ -1,0 +1,1 @@
+lib/recovery/simulate.mli: Ds_design Ds_failure Ds_units Outcome Recovery_params

@@ -1,0 +1,74 @@
+module Time = Ds_units.Time
+module Mirror_t = Ds_protection.Mirror
+module Backup = Ds_protection.Backup
+module Technique = Ds_protection.Technique
+module Assignment = Ds_design.Assignment
+module Scenario = Ds_failure.Scenario
+
+type kind = Mirror | Snapshot | Tape | Vault
+
+type t = { kind : kind; staleness : Time.t }
+
+let kind_rank = function Mirror -> 0 | Snapshot -> 1 | Tape -> 2 | Vault -> 3
+
+let vault_staleness (params : Recovery_params.t) chain ~propagation =
+  match params.vault_mode with
+  | Recovery_params.Cycle -> Backup.vault_staleness chain ~propagation
+  | Recovery_params.Continuous ->
+    Time.add (Backup.tape_staleness chain ~propagation)
+      chain.Backup.vault_prop
+
+let surviving ~params ~tape_propagation (asg : Assignment.t) scope =
+  let technique = asg.technique in
+  let mirror_copies =
+    match technique.Technique.mirror, scope with
+    (* Corruption replicates through the mirror. *)
+    | Some _, Scenario.Data_object _ -> []
+    | Some m, (Scenario.Array_failure _ | Scenario.Site_disaster _) ->
+      (* The mirror is at a different site by construction, so an array or
+         primary-site failure never destroys it. *)
+      [ { kind = Mirror; staleness = Mirror_t.staleness m } ]
+    | None, _ -> []
+  in
+  let backup_copies =
+    match technique.Technique.backup, asg.backup with
+    | None, _ | _, None -> []
+    | Some chain, Some tape_slot ->
+      let snapshot =
+        if Scenario.destroys_array scope asg.primary then []
+        else [ { kind = Snapshot; staleness = Backup.snapshot_staleness chain } ]
+      in
+      let tape =
+        if Scenario.destroys_tape scope tape_slot then []
+        else
+          [ { kind = Tape;
+              staleness = Backup.tape_staleness chain ~propagation:tape_propagation } ]
+      in
+      let vault =
+        [ { kind = Vault;
+            staleness = vault_staleness params chain ~propagation:tape_propagation } ]
+      in
+      snapshot @ tape @ vault
+  in
+  mirror_copies @ backup_copies
+
+let best copies =
+  List.fold_left
+    (fun acc copy ->
+       match acc with
+       | None -> Some copy
+       | Some incumbent ->
+         let c = Time.compare copy.staleness incumbent.staleness in
+         if c < 0 || (c = 0 && kind_rank copy.kind < kind_rank incumbent.kind)
+         then Some copy
+         else acc)
+    None copies
+
+let kind_to_string = function
+  | Mirror -> "mirror"
+  | Snapshot -> "snapshot"
+  | Tape -> "tape"
+  | Vault -> "vault"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (stale %a)" (kind_to_string t.kind) Time.pp t.staleness

@@ -1,0 +1,43 @@
+(** Which secondary copies survive a failure, and how stale each is.
+
+    The recovery hierarchy keeps up to four secondary copies of an
+    application's data: the remote mirror, array-internal snapshots, tape
+    fulls in a library, and vaulted cartridges offsite. A failure scope
+    destroys some of them:
+
+    - a {e data object failure} (human/software error) corrupts the
+      primary {e and} its mirror — corruption replicates — leaving only
+      point-in-time copies (snapshot, tape, vault);
+    - an {e array failure} destroys the primary array and the snapshots
+      inside it, leaving mirror, tape and vault;
+    - a {e site disaster} destroys everything at the primary site —
+      snapshots, and the tape library if it is local — leaving the remote
+      mirror, a remote tape library if the design used one, and the vault.
+
+    Staleness is the worst-case age of the copy (Section 3.2.1: the
+    configuration determines "an upper bound on the staleness"). *)
+
+module Time = Ds_units.Time
+module Assignment = Ds_design.Assignment
+module Scenario = Ds_failure.Scenario
+
+type kind = Mirror | Snapshot | Tape | Vault
+
+type t = { kind : kind; staleness : Time.t }
+
+val surviving :
+  params:Recovery_params.t ->
+  tape_propagation:Time.t ->
+  Assignment.t ->
+  Scenario.scope ->
+  t list
+(** All copies of the assignment that remain usable under the scope.
+    [tape_propagation] is the time a full backup takes to land on tape
+    with the provisioned drives (bounds tape staleness). *)
+
+val best : t list -> t option
+(** The minimum-staleness copy — the one the configuration solver recovers
+    from (ties prefer the faster-restoring kind, in declaration order). *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+module Time = Ds_units.Time
+module App = Ds_workload.App
+
+type mode =
+  | Failed_over
+  | Restored of Copy_source.kind
+  | Unrecoverable
+
+type t = {
+  app : App.t;
+  mode : mode;
+  recovery_time : Time.t;
+  loss_time : Time.t;
+}
+
+let mode_to_string = function
+  | Failed_over -> "failover"
+  | Restored kind -> "restore from " ^ Copy_source.kind_to_string kind
+  | Unrecoverable -> "unrecoverable"
+
+let pp ppf t =
+  Format.fprintf ppf "%a: %s, outage %a, loss %a" App.pp t.app
+    (mode_to_string t.mode) Time.pp t.recovery_time Time.pp t.loss_time

@@ -1,0 +1,21 @@
+(** Per-application result of recovering from one failure scenario. *)
+
+module Time = Ds_units.Time
+module App = Ds_workload.App
+
+type mode =
+  | Failed_over  (** Computation moved to the mirror site. *)
+  | Restored of Copy_source.kind  (** Data copied back from that copy. *)
+  | Unrecoverable
+      (** No usable secondary copy: manual reconstruction, full recent-data
+          loss exposure. *)
+
+type t = {
+  app : App.t;
+  mode : mode;
+  recovery_time : Time.t;  (** Data outage: failure to application resumption. *)
+  loss_time : Time.t;  (** Recent data loss: age of the recovered data. *)
+}
+
+val mode_to_string : mode -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+module Time = Ds_units.Time
+
+type vault_staleness_mode = Cycle | Continuous
+
+type t = {
+  detection : Time.t;
+  failover : Time.t;
+  array_repair : Time.t;
+  site_rebuild : Time.t;
+  site_reconfig : Time.t;
+  mirror_promote : Time.t;
+  vault_fetch : Time.t;
+  manual_rebuild : Time.t;
+  loss_horizon : Time.t;
+  vault_mode : vault_staleness_mode;
+  scheduling : Ds_sim.Engine.policy;
+}
+
+let default =
+  { detection = Time.minutes 5.;
+    failover = Time.minutes 10.;
+    array_repair = Time.hours 12.;
+    site_rebuild = Time.days 7.;
+    site_reconfig = Time.hours 24.;
+    mirror_promote = Time.hours 2.;
+    vault_fetch = Time.days 1.;
+    manual_rebuild = Time.hours 48.;
+    loss_horizon = Time.years 1.;
+    vault_mode = Cycle;
+    scheduling = Ds_sim.Engine.Priority }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "detect %a, failover %a, array repair %a, site rebuild %a, vault fetch %a"
+    Time.pp t.detection Time.pp t.failover Time.pp t.array_repair
+    Time.pp t.site_rebuild Time.pp t.vault_fetch

@@ -1,0 +1,212 @@
+module Time = Ds_units.Time
+module Rate = Ds_units.Rate
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Slot = Ds_resources.Slot
+module Assignment = Ds_design.Assignment
+module Design = Ds_design.Design
+module Demand = Ds_design.Demand
+module Provision = Ds_design.Provision
+module Scenario = Ds_failure.Scenario
+module Likelihood = Ds_failure.Likelihood
+module Engine = Ds_sim.Engine
+
+let tape_propagation prov (asg : Assignment.t) =
+  match asg.backup with
+  | None -> Time.zero
+  | Some tape_slot ->
+    Rate.transfer_time asg.app.App.data_size (Provision.tape_bw prov tape_slot)
+
+(* Exclusive-device handles, one per physical device touched by recovery. *)
+type devices = {
+  engine : Engine.t;
+  mutable arrays : (Slot.Array_slot.t * Engine.resource) list;
+  mutable tapes : (Slot.Tape_slot.t * Engine.resource) list;
+  mutable links : (Slot.Pair.t * Engine.resource) list;
+}
+
+let array_device d slot =
+  match List.find_opt (fun (s, _) -> Slot.Array_slot.equal s slot) d.arrays with
+  | Some (_, r) -> r
+  | None ->
+    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Array_slot.pp slot) in
+    d.arrays <- (slot, r) :: d.arrays;
+    r
+
+let tape_device d slot =
+  match List.find_opt (fun (s, _) -> Slot.Tape_slot.equal s slot) d.tapes with
+  | Some (_, r) -> r
+  | None ->
+    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Tape_slot.pp slot) in
+    d.tapes <- (slot, r) :: d.tapes;
+    r
+
+let link_device d pair =
+  match List.find_opt (fun (p, _) -> Slot.Pair.equal p pair) d.links with
+  | Some (_, r) -> r
+  | None ->
+    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Pair.pp pair) in
+    d.links <- (pair, r) :: d.links;
+    r
+
+let scenario ?(params = Recovery_params.default) prov (scen : Scenario.t) =
+  let design = prov.Provision.design in
+  let scope = scen.Scenario.scope in
+  let affected = Scenario.affected design scope in
+  if affected = [] then []
+  else begin
+    let unaffected = Scenario.unaffected design scope in
+    let residual = Demand.of_assignments design unaffected in
+    let avail_array slot =
+      Rate.sub (Provision.array_bw prov slot)
+        (Demand.array_use residual slot).Demand.bandwidth
+    in
+    let avail_tape slot =
+      Rate.sub (Provision.tape_bw prov slot)
+        (Demand.tape_use residual slot).Demand.tape_bandwidth
+    in
+    let avail_link pair =
+      Rate.sub (Provision.link_bw prov pair) (Demand.link_use residual pair)
+    in
+    let devices =
+      { engine = Engine.create ~policy:params.Recovery_params.scheduling ();
+        arrays = []; tapes = []; links = [] }
+    in
+    let repair_delay =
+      match scope with
+      | Scenario.Data_object _ -> Time.zero
+      | Scenario.Array_failure _ -> params.Recovery_params.array_repair
+      | Scenario.Site_disaster _ -> params.Recovery_params.site_rebuild
+    in
+    (* Decide each app's recovery plan, then submit all jobs and run once,
+       so competing restores contend in the shared engine. *)
+    let plans =
+      List.map
+        (fun (asg : Assignment.t) ->
+           let copies =
+             Copy_source.surviving ~params
+               ~tape_propagation:(tape_propagation prov asg) asg scope
+           in
+           let best = Copy_source.best copies in
+           let detection = Engine.Delay params.Recovery_params.detection in
+           let plan =
+             match best with
+             | None ->
+               let stages =
+                 [ detection; Engine.Delay repair_delay;
+                   Engine.Delay params.Recovery_params.manual_rebuild ]
+               in
+               (asg, Outcome.Unrecoverable, params.Recovery_params.loss_horizon,
+                stages)
+             | Some copy ->
+               let loss = copy.Copy_source.staleness in
+               (match copy.Copy_source.kind with
+                | Copy_source.Mirror
+                  when Technique.needs_standby_compute asg.technique ->
+                  (asg, Outcome.Failed_over, loss,
+                   [ detection; Engine.Delay params.Recovery_params.failover ])
+                | Copy_source.Mirror ->
+                  let mirror_slot = Option.get asg.mirror in
+                  (match scope with
+                   | Scenario.Site_disaster _ ->
+                     (* Reconstruction at the secondary site: procure and
+                        reconfigure compute there, promote the mirror to
+                        primary. No bulk copy — the data is already on the
+                        surviving array. Fail-back runs in the background
+                        once the site is rebuilt. *)
+                     (asg, Outcome.Restored copy.Copy_source.kind, loss,
+                      [ detection;
+                        Engine.Delay params.Recovery_params.site_reconfig;
+                        Engine.Hold ([ array_device devices mirror_slot ],
+                                     params.Recovery_params.mirror_promote) ])
+                   | Scenario.Data_object _ | Scenario.Array_failure _ ->
+                     (* Repair the array, then copy the dataset back over
+                        the inter-site link. *)
+                     let pair = Option.get (Assignment.mirror_pair asg) in
+                     let bw =
+                       Rate.min (avail_array mirror_slot)
+                         (Rate.min (avail_link pair) (avail_array asg.primary))
+                     in
+                     let duration = Rate.transfer_time asg.app.App.data_size bw in
+                     let held =
+                       [ array_device devices mirror_slot;
+                         link_device devices pair;
+                         array_device devices asg.primary ]
+                     in
+                     (asg, Outcome.Restored copy.Copy_source.kind, loss,
+                      [ detection; Engine.Delay repair_delay;
+                        Engine.Hold (held, duration) ]))
+                | Copy_source.Snapshot ->
+                  let bw = avail_array asg.primary in
+                  let duration = Rate.transfer_time asg.app.App.data_size bw in
+                  (asg, Outcome.Restored copy.Copy_source.kind, loss,
+                   [ detection; Engine.Delay repair_delay;
+                     Engine.Hold ([ array_device devices asg.primary ], duration) ])
+                | Copy_source.Tape | Copy_source.Vault ->
+                  let tape_slot = Option.get asg.backup in
+                  let link = Assignment.backup_pair asg in
+                  let bw =
+                    let base =
+                      Rate.min (avail_tape tape_slot) (avail_array asg.primary)
+                    in
+                    match link with
+                    | Some pair -> Rate.min base (avail_link pair)
+                    | None -> base
+                  in
+                  (* Incremental schedules replay the full plus half a
+                     cycle of incrementals on average. *)
+                  let volume =
+                    match asg.technique.Technique.backup with
+                    | Some chain ->
+                      Ds_protection.Backup.restore_volume chain asg.app
+                    | None -> asg.app.App.data_size
+                  in
+                  let duration = Rate.transfer_time volume bw in
+                  let held =
+                    (tape_device devices tape_slot
+                     :: array_device devices asg.primary
+                     :: (match link with
+                         | Some pair -> [ link_device devices pair ]
+                         | None -> []))
+                  in
+                  let fetch =
+                    match copy.Copy_source.kind with
+                    | Copy_source.Vault ->
+                      [ Engine.Delay params.Recovery_params.vault_fetch ]
+                    | _ -> []
+                  in
+                  (asg, Outcome.Restored copy.Copy_source.kind, loss,
+                   ([ detection; Engine.Delay repair_delay ]
+                    @ fetch @ [ Engine.Hold (held, duration) ])))
+           in
+           plan)
+        affected
+    in
+    let jobs =
+      List.map
+        (fun (asg, mode, loss, stages) ->
+           let priority =
+             Ds_units.Money.to_dollars (App.penalty_rate_sum asg.Assignment.app)
+           in
+           let id =
+             Engine.submit devices.engine
+               ~name:(Format.asprintf "%a" App.pp asg.Assignment.app)
+               ~priority stages
+           in
+           (asg, mode, loss, id))
+        plans
+    in
+    Engine.run devices.engine;
+    List.map
+      (fun ((asg : Assignment.t), mode, loss, id) ->
+         { Outcome.app = asg.app;
+           mode;
+           recovery_time = Engine.completion_time devices.engine id;
+           loss_time = loss })
+      jobs
+  end
+
+let all ?(params = Recovery_params.default) prov likelihood =
+  let design = prov.Provision.design in
+  Scenario.enumerate likelihood design
+  |> List.map (fun scen -> (scen, scenario ~params prov scen))

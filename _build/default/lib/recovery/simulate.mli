@@ -1,0 +1,43 @@
+(** The multi-application recovery simulator (Section 3.2.2).
+
+    Given a provisioned design and a failure scenario, determines — for
+    every affected application — how it recovers, how long its data is
+    unavailable and how much recent data it loses. Applications unaffected
+    by the failure keep running with their normal resource demands; only
+    the {e leftover} bandwidth of each device is available to recovery.
+    Competing recovery operations serialize on shared devices in priority
+    order, where an application's priority is the sum of its penalty rates
+    — exactly the paper's scheduling assumption.
+
+    Recovery paths, by surviving copy:
+    - mirror + failover technique: restart at the mirror site
+      (detection + failover delay; fail-back runs in the background and is
+      not charged);
+    - mirror + reconstruction: repair/rebuild the failed hardware, then
+      copy the dataset back over the inter-site link;
+    - snapshot: roll back within the primary array;
+    - tape: repair hardware, then restore from the library (crossing the
+      link when the library is remote);
+    - vault: additionally wait for the courier to return cartridges;
+    - nothing survived: manual reconstruction, a full loss horizon. *)
+
+module Time = Ds_units.Time
+module Provision = Ds_design.Provision
+module Scenario = Ds_failure.Scenario
+module Likelihood = Ds_failure.Likelihood
+
+val tape_propagation : Provision.t -> Ds_design.Assignment.t -> Time.t
+(** Time a full backup takes with the provisioned drives (used both for
+    tape staleness and vault cut-off). Zero for backup-less techniques. *)
+
+val scenario :
+  ?params:Recovery_params.t -> Provision.t -> Scenario.t -> Outcome.t list
+(** Outcomes for every application affected by the scenario (empty when
+    none are). *)
+
+val all :
+  ?params:Recovery_params.t ->
+  Provision.t ->
+  Likelihood.t ->
+  (Scenario.t * Outcome.t list) list
+(** Every scenario enumerated for the design, simulated. *)

@@ -1,0 +1,1 @@
+lib/resources/array_model.ml: Ds_units Float Format String Tier

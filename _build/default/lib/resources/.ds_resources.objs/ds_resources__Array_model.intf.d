@@ -1,0 +1,1 @@
+lib/resources/array_model.mli: Ds_units Format Tier

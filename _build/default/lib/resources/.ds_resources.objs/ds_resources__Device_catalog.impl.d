@@ -1,0 +1,1 @@
+lib/resources/device_catalog.ml: Array_model Ds_units Format Link_model List String Tape_model Tier

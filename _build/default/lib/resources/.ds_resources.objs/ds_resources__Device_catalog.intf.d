@@ -1,0 +1,1 @@
+lib/resources/device_catalog.mli: Array_model Ds_units Format Link_model Tape_model

@@ -1,0 +1,1 @@
+lib/resources/env.ml: Array_model Format Link_model List Printf Site Slot Tape_model

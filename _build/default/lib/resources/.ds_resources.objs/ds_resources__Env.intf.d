@@ -1,0 +1,1 @@
+lib/resources/env.mli: Array_model Format Link_model Site Slot Tape_model

@@ -1,0 +1,1 @@
+lib/resources/link_model.mli: Ds_units Format Tier

@@ -1,0 +1,1 @@
+lib/resources/site.ml: Float Format Int Map Set

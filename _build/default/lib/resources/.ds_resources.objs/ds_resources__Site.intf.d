@@ -1,0 +1,1 @@
+lib/resources/site.mli: Format Map Set

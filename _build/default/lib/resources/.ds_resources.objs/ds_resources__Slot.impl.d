@@ -1,0 +1,1 @@
+lib/resources/slot.ml: Format Int Map Set Site

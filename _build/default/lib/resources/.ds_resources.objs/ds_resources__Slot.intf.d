@@ -1,0 +1,1 @@
+lib/resources/slot.mli: Format Map Set Site

@@ -1,0 +1,1 @@
+lib/resources/tape_model.ml: Ds_units Float Format String Tier

@@ -1,0 +1,1 @@
+lib/resources/tape_model.mli: Ds_units Format Tier

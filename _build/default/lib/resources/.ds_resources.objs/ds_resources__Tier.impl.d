@@ -1,0 +1,1 @@
+lib/resources/tier.ml: Format Int

@@ -1,0 +1,40 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  fixed_cost : Money.t;
+  max_bw : Rate.t;
+  unit_cost : Money.t;
+  max_units : int;
+  unit_capacity : Size.t;
+  unit_bw : Rate.t;
+}
+
+let bw_of_units t n =
+  if n <= 0 then Rate.zero
+  else Rate.min t.max_bw (Rate.scale (float_of_int n) t.unit_bw)
+
+let units_for_capacity t size = Size.units_needed size ~per_unit:t.unit_capacity
+
+let units_for_bw t demand =
+  if Rate.is_zero demand then 0
+  else if Rate.(t.max_bw < demand) then t.max_units + 1
+  else
+    let per_unit = Rate.to_bytes_per_sec t.unit_bw in
+    let n = int_of_float (Float.ceil (Rate.to_bytes_per_sec demand /. per_unit)) in
+    max 1 n
+
+let purchase_cost t ~units =
+  if units < 0 then invalid_arg "Array_model.purchase_cost: negative units";
+  Money.add t.fixed_cost (Money.scale (float_of_int units) t.unit_cost)
+
+let total_capacity t = Size.scale (float_of_int t.max_units) t.unit_capacity
+
+let equal a b = String.equal a.name b.name
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a, %d x %a, %a)"
+    t.name Tier.pp t.tier t.max_units Size.pp t.unit_capacity Rate.pp t.max_bw

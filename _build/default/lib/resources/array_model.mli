@@ -1,0 +1,38 @@
+(** Disk array models (Table 3).
+
+    An array has a fixed enclosure cost and is populated with discrete
+    capacity units (143 GB disks). Each disk contributes bandwidth up to
+    the array-wide controller limit: [n] disks deliver
+    [min (n * unit_bw) max_bw]. *)
+
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  fixed_cost : Money.t;
+  max_bw : Rate.t;  (** Controller (array-wide) bandwidth ceiling. *)
+  unit_cost : Money.t;  (** Price of one capacity unit (disk). *)
+  max_units : int;
+  unit_capacity : Size.t;
+  unit_bw : Rate.t;  (** Bandwidth each populated unit contributes. *)
+}
+
+val bw_of_units : t -> int -> Rate.t
+(** Deliverable bandwidth with [n] units populated. *)
+
+val units_for_capacity : t -> Size.t -> int
+(** Minimum units to hold the given capacity (not clamped to [max_units]). *)
+
+val units_for_bw : t -> Rate.t -> int
+(** Minimum units to deliver the given bandwidth; [max_units + 1] if the
+    demand exceeds even the controller ceiling (i.e. infeasible). *)
+
+val purchase_cost : t -> units:int -> Money.t
+(** Fixed cost + units. *)
+
+val total_capacity : t -> Size.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

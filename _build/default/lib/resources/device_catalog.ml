@@ -1,0 +1,112 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+let xp1200 : Array_model.t =
+  { name = "XP1200";
+    tier = Tier.High;
+    fixed_cost = Money.k 375.;
+    max_bw = Rate.mb_per_sec 512.;
+    unit_cost = Money.dollars 8723.;
+    max_units = 1024;
+    unit_capacity = Size.gb 143.;
+    unit_bw = Rate.mb_per_sec 25. }
+
+let eva8000 : Array_model.t =
+  { name = "EVA800";
+    tier = Tier.Med;
+    fixed_cost = Money.k 123.;
+    max_bw = Rate.mb_per_sec 256.;
+    unit_cost = Money.dollars 3720.;
+    max_units = 512;
+    unit_capacity = Size.gb 143.;
+    unit_bw = Rate.mb_per_sec 10. }
+
+let msa1500 : Array_model.t =
+  { name = "MSA1500";
+    tier = Tier.Low;
+    fixed_cost = Money.k 123.;
+    max_bw = Rate.mb_per_sec 128.;
+    unit_cost = Money.dollars 3720.;
+    max_units = 128;
+    unit_capacity = Size.gb 143.;
+    unit_bw = Rate.mb_per_sec 8. }
+
+let array_models = [ xp1200; eva8000; msa1500 ]
+
+let tape_high : Tape_model.t =
+  { name = "TapeLib-H";
+    tier = Tier.High;
+    fixed_cost = Money.k 141.;
+    drive_cost = Money.dollars 18_400.;
+    max_drives = 24;
+    drive_bw = Rate.mb_per_sec 120.;
+    cartridge_cost = Money.dollars 50.;
+    max_cartridges = 720;
+    cartridge_capacity = Size.gb 60. }
+
+let tape_med : Tape_model.t =
+  { name = "TapeLib-M";
+    tier = Tier.Med;
+    fixed_cost = Money.k 76.;
+    drive_cost = Money.dollars 10_400.;
+    max_drives = 4;
+    drive_bw = Rate.mb_per_sec 120.;
+    cartridge_cost = Money.dollars 50.;
+    max_cartridges = 120;
+    cartridge_capacity = Size.gb 60. }
+
+let tape_models = [ tape_high; tape_med ]
+
+let link_high : Link_model.t =
+  { name = "Net-H";
+    tier = Tier.High;
+    unit_cost = Money.k 500.;
+    max_units = 32;
+    unit_bw = Rate.mb_per_sec 20. }
+
+let link_med : Link_model.t =
+  { name = "Net-M";
+    tier = Tier.Med;
+    unit_cost = Money.k 200.;
+    max_units = 16;
+    unit_bw = Rate.mb_per_sec 10. }
+
+let link_models = [ link_high; link_med ]
+
+let compute_cost = Money.k 125.
+
+let site_cost = Money.m 1.
+
+let device_lifetime_years = 3.
+
+let array_model_of_name name =
+  List.find_opt (fun (m : Array_model.t) -> String.equal m.name name) array_models
+
+let tape_model_of_name name =
+  List.find_opt (fun (m : Tape_model.t) -> String.equal m.name name) tape_models
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-10s %-5s %10s %10s %8s %10s %10s@."
+    "model" "class" "fixed" "unit-cost" "units" "unit-cap" "unit-bw";
+  List.iter (fun (m : Array_model.t) ->
+      Format.fprintf ppf "%-10s %-5s %10s %10s %8d %10s %10s@."
+        m.name (Tier.to_string m.tier)
+        (Money.to_string m.fixed_cost) (Money.to_string m.unit_cost)
+        m.max_units (Size.to_string m.unit_capacity) (Rate.to_string m.unit_bw))
+    array_models;
+  List.iter (fun (m : Tape_model.t) ->
+      Format.fprintf ppf "%-10s %-5s %10s %10s %8d %10s %10s@."
+        m.name (Tier.to_string m.tier)
+        (Money.to_string m.fixed_cost) (Money.to_string m.drive_cost)
+        m.max_drives (Size.to_string m.cartridge_capacity)
+        (Rate.to_string m.drive_bw))
+    tape_models;
+  List.iter (fun (m : Link_model.t) ->
+      Format.fprintf ppf "%-10s %-5s %10s %10s %8d %10s %10s@."
+        m.name (Tier.to_string m.tier) "-" (Money.to_string m.unit_cost)
+        m.max_units "-" (Rate.to_string m.unit_bw))
+    link_models;
+  Format.fprintf ppf "%-10s %-5s %10s@." "Compute" "high"
+    (Money.to_string compute_cost);
+  Format.fprintf ppf "%-10s %-5s %10s@." "Site" "-" (Money.to_string site_cost)

@@ -1,0 +1,48 @@
+(** The concrete device catalog of Table 3. *)
+
+module Money = Ds_units.Money
+
+val xp1200 : Array_model.t
+(** High-end disk array: $375K enclosure, 512 MB/s controller,
+    1024 x 143 GB disks at $8,723 each, 25 MB/s per disk. *)
+
+val eva8000 : Array_model.t
+(** Mid-range disk array (EVA800 in the paper): $123K, 256 MB/s,
+    512 disks, 10 MB/s per disk. *)
+
+val msa1500 : Array_model.t
+(** Low-end disk array: $123K, 128 MB/s, 128 disks, 8 MB/s per disk. *)
+
+val array_models : Array_model.t list
+
+val tape_high : Tape_model.t
+(** $141K robot, up to 24 drives at $18,400 (120 MB/s each),
+    720 x 60 GB cartridges. *)
+
+val tape_med : Tape_model.t
+(** $76K robot, up to 4 drives at $10,400, 120 x 60 GB cartridges. *)
+
+val tape_models : Tape_model.t list
+
+val link_high : Link_model.t
+(** Up to 32 x 20 MB/s links at $500K each. *)
+
+val link_med : Link_model.t
+(** Up to 16 x 10 MB/s links at $200K each. *)
+
+val link_models : Link_model.t list
+
+val compute_cost : Money.t
+(** One compute instance (hosts one application): $125K. *)
+
+val site_cost : Money.t
+(** Fixed facility cost of operating a data-center site: $1M. *)
+
+val device_lifetime_years : float
+(** Purchase prices are amortized over three years (Section 2.5). *)
+
+val array_model_of_name : string -> Array_model.t option
+val tape_model_of_name : string -> Tape_model.t option
+
+val pp_table : Format.formatter -> unit -> unit
+(** Table 3-style listing of every device model. *)

@@ -1,0 +1,113 @@
+type t = {
+  name : string;
+  sites : Site.t list;
+  bays_per_site : int;
+  array_models : Array_model.t list;
+  tape_slots_per_site : int;
+  tape_models : Tape_model.t list;
+  link_model : Link_model.t;
+  max_link_units : int;
+  links : Slot.Pair.t list;
+  compute_slots_per_site : int;
+  max_sync_distance_km : float option;
+}
+
+let v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
+    ~tape_slots_per_site ~tape_models ~link_model ~max_link_units ~links
+    ~compute_slots_per_site () =
+  if sites = [] then invalid_arg "Env.v: no sites";
+  if bays_per_site < 0 || tape_slots_per_site < 0 || compute_slots_per_site < 0
+  then invalid_arg "Env.v: negative slot count";
+  if bays_per_site > 0 && array_models = [] then
+    invalid_arg "Env.v: array bays but no array models";
+  if tape_slots_per_site > 0 && tape_models = [] then
+    invalid_arg "Env.v: tape slots but no tape models";
+  if max_link_units > link_model.Link_model.max_units then
+    invalid_arg "Env.v: max_link_units exceeds the link model's ceiling";
+  let known id = List.exists (fun (s : Site.t) -> s.id = id) sites in
+  List.iter (fun pair ->
+      let a, b = Slot.Pair.endpoints pair in
+      if not (known a && known b) then
+        invalid_arg "Env.v: link endpoint is not a site")
+    links;
+  { name; sites; bays_per_site; array_models; tape_slots_per_site; tape_models;
+    link_model; max_link_units; links; compute_slots_per_site;
+    max_sync_distance_km }
+
+let make_sites ?(locations = []) site_count =
+  List.init site_count (fun i ->
+      Site.v ?location:(List.nth_opt locations i) ~id:(i + 1)
+        ~name:(Printf.sprintf "S%d" (i + 1)) ())
+
+let fully_connected ?locations ?max_sync_distance_km ~name ~site_count
+    ~bays_per_site ~array_models ~tape_models ~link_model ~max_link_units
+    ~compute_slots_per_site () =
+  if site_count < 1 then invalid_arg "Env.fully_connected: need a site";
+  let sites = make_sites ?locations site_count in
+  let links =
+    List.concat_map (fun (a : Site.t) ->
+        List.filter_map (fun (b : Site.t) ->
+            if a.id < b.id then Some (Slot.Pair.v a.id b.id) else None)
+          sites)
+      sites
+  in
+  v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
+    ~tape_slots_per_site:1 ~tape_models ~link_model ~max_link_units ~links
+    ~compute_slots_per_site ()
+
+let chain ?locations ?max_sync_distance_km ~name ~site_count ~bays_per_site
+    ~array_models ~tape_models ~link_model ~max_link_units
+    ~compute_slots_per_site () =
+  if site_count < 1 then invalid_arg "Env.chain: need a site";
+  let sites = make_sites ?locations site_count in
+  let links =
+    List.init (max 0 (site_count - 1)) (fun i -> Slot.Pair.v (i + 1) (i + 2))
+  in
+  v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
+    ~tape_slots_per_site:1 ~tape_models ~link_model ~max_link_units ~links
+    ~compute_slots_per_site ()
+
+let site_ids t = List.map (fun (s : Site.t) -> s.id) t.sites
+
+let site t id = List.find (fun (s : Site.t) -> s.id = id) t.sites
+
+let connected t a b =
+  a <> b && List.exists (Slot.Pair.equal (Slot.Pair.v a b)) t.links
+
+let array_slots t =
+  List.concat_map (fun (s : Site.t) ->
+      List.init t.bays_per_site (fun bay -> Slot.Array_slot.v ~site:s.id ~bay))
+    t.sites
+
+let tape_slots t =
+  if t.tape_slots_per_site = 0 then []
+  else List.map (fun (s : Site.t) -> Slot.Tape_slot.v ~site:s.id) t.sites
+
+let pairs t = t.links
+
+let peers_of t id =
+  List.filter_map (fun pair ->
+      if Slot.Pair.mem id pair then
+        let a, b = Slot.Pair.endpoints pair in
+        Some (if a = id then b else a)
+      else None)
+    t.links
+
+let distance_km t a b =
+  match
+    List.find_opt (fun (s : Site.t) -> s.id = a) t.sites,
+    List.find_opt (fun (s : Site.t) -> s.id = b) t.sites
+  with
+  | Some sa, Some sb -> Site.distance_km sa sb
+  | _ -> None
+
+let sync_mirror_allowed t a b =
+  match t.max_sync_distance_km, distance_km t a b with
+  | Some cap, Some dist -> dist <= cap
+  | None, _ | _, None -> true
+
+let pp ppf t =
+  Format.fprintf ppf
+    "env %s: %d sites, %d bays/site, %d tape slots/site, %d links, %d compute/site"
+    t.name (List.length t.sites) t.bays_per_site t.tape_slots_per_site
+    (List.length t.links) t.compute_slots_per_site

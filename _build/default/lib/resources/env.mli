@@ -1,0 +1,97 @@
+(** Environments: the resource topology a design must fit into.
+
+    An environment fixes the available sites, how many disk-array bays and
+    tape-library positions each site offers, which device models may
+    populate them, the link class and the maximum number of link units per
+    connected site pair, and per-site compute slots (Section 2.3: "maximum
+    number of permitted devices among all sites"). *)
+
+type t = {
+  name : string;
+  sites : Site.t list;
+  bays_per_site : int;
+  array_models : Array_model.t list;  (** Models allowed in a bay. *)
+  tape_slots_per_site : int;  (** 0 or 1 in the paper's scenarios. *)
+  tape_models : Tape_model.t list;
+  link_model : Link_model.t;
+  max_link_units : int;  (** Per connected pair. *)
+  links : Slot.Pair.t list;  (** Connected site pairs. *)
+  compute_slots_per_site : int;
+  max_sync_distance_km : float option;
+      (** Synchronous mirroring adds a round trip to every write, so real
+          deployments cap its distance. When set, sync-mirror assignments
+          between located sites farther apart than this are rejected
+          (asynchronous mirroring is unaffected). [None] = no cap. *)
+}
+
+val v :
+  ?max_sync_distance_km:float ->
+  name:string ->
+  sites:Site.t list ->
+  bays_per_site:int ->
+  array_models:Array_model.t list ->
+  tape_slots_per_site:int ->
+  tape_models:Tape_model.t list ->
+  link_model:Link_model.t ->
+  max_link_units:int ->
+  links:Slot.Pair.t list ->
+  compute_slots_per_site:int ->
+  unit ->
+  t
+(** Checks the environment is self-consistent (at least one site, models
+    non-empty when slots exist, link endpoints exist, link units within the
+    model's ceiling). @raise Invalid_argument otherwise. *)
+
+val fully_connected :
+  ?locations:(float * float) list ->
+  ?max_sync_distance_km:float ->
+  name:string ->
+  site_count:int ->
+  bays_per_site:int ->
+  array_models:Array_model.t list ->
+  tape_models:Tape_model.t list ->
+  link_model:Link_model.t ->
+  max_link_units:int ->
+  compute_slots_per_site:int ->
+  unit ->
+  t
+(** All site pairs connected; sites named S1..Sn with ids 1..n. *)
+
+val chain :
+  ?locations:(float * float) list ->
+  ?max_sync_distance_km:float ->
+  name:string ->
+  site_count:int ->
+  bays_per_site:int ->
+  array_models:Array_model.t list ->
+  tape_models:Tape_model.t list ->
+  link_model:Link_model.t ->
+  max_link_units:int ->
+  compute_slots_per_site:int ->
+  unit ->
+  t
+(** Sites in a line — S1-S2-...-Sn, links only between neighbors. Models
+    campus or metro topologies where only adjacent sites have dark fiber;
+    mirrors can then only target a neighbor. *)
+
+val site_ids : t -> Site.id list
+val site : t -> Site.id -> Site.t
+(** @raise Not_found for an unknown id. *)
+
+val connected : t -> Site.id -> Site.id -> bool
+val array_slots : t -> Slot.Array_slot.t list
+(** Every bay of every site. *)
+
+val tape_slots : t -> Slot.Tape_slot.t list
+val pairs : t -> Slot.Pair.t list
+val peers_of : t -> Site.id -> Site.id list
+(** Sites connected to the given site. *)
+
+val distance_km : t -> Site.id -> Site.id -> float option
+(** Distance between two sites when both are located. *)
+
+val sync_mirror_allowed : t -> Site.id -> Site.id -> bool
+(** Whether a synchronous mirror between the sites respects
+    [max_sync_distance_km] (always true when no cap or no locations). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  unit_cost : Money.t;
+  max_units : int;
+  unit_bw : Rate.t;
+}
+
+let bw_of_units t n =
+  if n <= 0 then Rate.zero else Rate.scale (float_of_int n) t.unit_bw
+
+let units_for_bw t demand =
+  if Rate.is_zero demand then 0
+  else
+    let per_unit = Rate.to_bytes_per_sec t.unit_bw in
+    let n = int_of_float (Float.ceil (Rate.to_bytes_per_sec demand /. per_unit)) in
+    if n > t.max_units then t.max_units + 1 else max 1 n
+
+let purchase_cost t ~units =
+  if units < 0 then invalid_arg "Link_model.purchase_cost: negative units";
+  Money.scale (float_of_int units) t.unit_cost
+
+let max_bw t = bw_of_units t t.max_units
+
+let equal a b = String.equal a.name b.name
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a, %d x %a)" t.name Tier.pp t.tier t.max_units
+    Rate.pp t.unit_bw

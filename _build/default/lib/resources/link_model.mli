@@ -1,0 +1,25 @@
+(** Inter-site network link classes (Table 3).
+
+    Bandwidth between two sites is provisioned in discrete link units
+    (20 MB/s High, 10 MB/s Med), each with a per-unit cost covering the
+    circuit, interfaces and contracts. There is no fixed cost. *)
+
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  unit_cost : Money.t;
+  max_units : int;  (** Maximum link units between one site pair. *)
+  unit_bw : Rate.t;
+}
+
+val bw_of_units : t -> int -> Rate.t
+val units_for_bw : t -> Rate.t -> int
+(** Minimum units for the demand; [max_units + 1] when infeasible. *)
+
+val purchase_cost : t -> units:int -> Money.t
+val max_bw : t -> Rate.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  location : (float * float) option;
+}
+
+let v ?location ~id ~name () = { id; name; location }
+
+let distance_km a b =
+  match a.location, b.location with
+  | Some (ax, ay), Some (bx, by) ->
+    Some (Float.hypot (ax -. bx) (ay -. by))
+  | _ -> None
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Format.pp_print_string ppf t.name
+
+module Id_map = Map.Make (Int)
+module Id_set = Set.Make (Int)

@@ -1,0 +1,25 @@
+(** Data center sites. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  location : (float * float) option;
+      (** Optional planar coordinates in kilometres, for distance-bounded
+          techniques (synchronous mirroring degrades with latency, so real
+          deployments cap its distance). [None] = distance unknown, no
+          constraint applies. *)
+}
+
+val v : ?location:float * float -> id:id -> name:string -> unit -> t
+
+val distance_km : t -> t -> float option
+(** Euclidean distance when both sites have locations. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Id_map : Map.S with type key = id
+module Id_set : Set.S with type elt = id

@@ -1,0 +1,60 @@
+module Array_slot = struct
+  module T = struct
+    type t = { site : Site.id; bay : int }
+
+    let compare a b =
+      match Int.compare a.site b.site with
+      | 0 -> Int.compare a.bay b.bay
+      | c -> c
+  end
+
+  include T
+
+  let v ~site ~bay =
+    if bay < 0 then invalid_arg "Array_slot.v: negative bay";
+    { site; bay }
+
+  let equal a b = compare a b = 0
+  let pp ppf t = Format.fprintf ppf "s%d/bay%d" t.site t.bay
+
+  module Map = Map.Make (T)
+  module Set = Set.Make (T)
+end
+
+module Tape_slot = struct
+  module T = struct
+    type t = { site : Site.id }
+
+    let compare a b = Int.compare a.site b.site
+  end
+
+  include T
+
+  let v ~site = { site }
+  let equal a b = compare a b = 0
+  let pp ppf t = Format.fprintf ppf "s%d/tape" t.site
+
+  module Map = Map.Make (T)
+end
+
+module Pair = struct
+  module T = struct
+    type t = Site.id * Site.id
+
+    let compare (a1, a2) (b1, b2) =
+      match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+  end
+
+  include T
+
+  let v a b =
+    if a = b then invalid_arg "Pair.v: a link needs two distinct sites";
+    if a < b then (a, b) else (b, a)
+
+  let endpoints t = t
+  let mem site (a, b) = site = a || site = b
+  let equal a b = compare a b = 0
+  let pp ppf (a, b) = Format.fprintf ppf "s%d<->s%d" a b
+
+  module Map = Map.Make (T)
+end

@@ -1,0 +1,49 @@
+(** Device slots: the places where the design may install a device.
+
+    An environment offers a fixed topology of {e potential} devices — array
+    bays, a tape library position per site, bundles of network links
+    between site pairs. A candidate design decides which slots to populate,
+    with which model; the configuration solver decides how many discrete
+    units (disks, drives, cartridges, links) each populated slot gets. *)
+
+module Array_slot : sig
+  type t = { site : Site.id; bay : int }
+
+  val v : site:Site.id -> bay:int -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Tape_slot : sig
+  type t = { site : Site.id }
+
+  val v : site:Site.id -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+end
+
+module Pair : sig
+  type t
+  (** An unordered site pair, normalized so [(a, b)] and [(b, a)] are
+      equal. *)
+
+  val v : Site.id -> Site.id -> t
+  (** @raise Invalid_argument if both endpoints are the same site. *)
+
+  val endpoints : t -> Site.id * Site.id
+  (** Smaller id first. *)
+
+  val mem : Site.id -> t -> bool
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+end

@@ -1,0 +1,46 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  fixed_cost : Money.t;
+  drive_cost : Money.t;
+  max_drives : int;
+  drive_bw : Rate.t;
+  cartridge_cost : Money.t;
+  max_cartridges : int;
+  cartridge_capacity : Size.t;
+}
+
+let bw_of_drives t n =
+  if n <= 0 then Rate.zero else Rate.scale (float_of_int n) t.drive_bw
+
+let drives_for_bw t demand =
+  if Rate.is_zero demand then 0
+  else
+    let per_drive = Rate.to_bytes_per_sec t.drive_bw in
+    let n = int_of_float (Float.ceil (Rate.to_bytes_per_sec demand /. per_drive)) in
+    if n > t.max_drives then t.max_drives + 1 else max 1 n
+
+let cartridges_for_capacity t size =
+  Size.units_needed size ~per_unit:t.cartridge_capacity
+
+let purchase_cost t ~drives ~cartridges =
+  if drives < 0 || cartridges < 0 then
+    invalid_arg "Tape_model.purchase_cost: negative units";
+  Money.sum
+    [ t.fixed_cost;
+      Money.scale (float_of_int drives) t.drive_cost;
+      Money.scale (float_of_int cartridges) t.cartridge_cost ]
+
+let total_capacity t =
+  Size.scale (float_of_int t.max_cartridges) t.cartridge_capacity
+
+let equal a b = String.equal a.name b.name
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a, %d drives x %a, %d slots x %a)"
+    t.name Tier.pp t.tier t.max_drives Rate.pp t.drive_bw
+    t.max_cartridges Size.pp t.cartridge_capacity

@@ -1,0 +1,33 @@
+(** Tape library models (Table 3).
+
+    A library has a fixed robot/enclosure cost, up to [max_drives] tape
+    drives (the bandwidth units, 120 MB/s each) and up to [max_cartridges]
+    cartridge slots (the capacity units, 60 GB each). Following DESIGN.md,
+    the incremental Table 3 cost is charged per drive; cartridges carry a
+    small media cost. *)
+
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  name : string;
+  tier : Tier.t;
+  fixed_cost : Money.t;
+  drive_cost : Money.t;
+  max_drives : int;
+  drive_bw : Rate.t;
+  cartridge_cost : Money.t;
+  max_cartridges : int;
+  cartridge_capacity : Size.t;
+}
+
+val bw_of_drives : t -> int -> Rate.t
+val drives_for_bw : t -> Rate.t -> int
+(** Minimum drives for the demand; [max_drives + 1] when infeasible. *)
+
+val cartridges_for_capacity : t -> Size.t -> int
+val purchase_cost : t -> drives:int -> cartridges:int -> Money.t
+val total_capacity : t -> Size.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+type t = High | Med | Low
+
+let all = [ High; Med; Low ]
+let rank = function High -> 0 | Med -> 1 | Low -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let to_string = function High -> "high" | Med -> "med" | Low -> "low"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,12 @@
+(** Device capability classes (the "Class" column of Table 3). *)
+
+type t = High | Med | Low
+
+val all : t list
+val rank : t -> int
+(** High = 0, Med = 1, Low = 2. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

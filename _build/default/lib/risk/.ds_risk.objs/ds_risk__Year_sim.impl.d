@@ -1,0 +1,1 @@
+lib/risk/year_sim.ml: Array Ds_cost Ds_design Ds_failure Ds_prng Ds_recovery Ds_units Float Format List

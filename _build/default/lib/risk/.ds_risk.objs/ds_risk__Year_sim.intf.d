@@ -1,0 +1,1 @@
+lib/risk/year_sim.mli: Ds_design Ds_failure Ds_prng Ds_recovery Ds_units Format

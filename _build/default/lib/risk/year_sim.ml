@@ -1,0 +1,105 @@
+module Money = Ds_units.Money
+module Rng = Ds_prng.Rng
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+module Scenario = Ds_failure.Scenario
+module Penalty = Ds_cost.Penalty
+module Simulate = Ds_recovery.Simulate
+
+type yearly = {
+  outage : Money.t;
+  loss : Money.t;
+  events : int;
+}
+
+type t = {
+  years : yearly array;
+  mean : Money.t;
+  p50 : Money.t;
+  p90 : Money.t;
+  p99 : Money.t;
+  worst : Money.t;
+  quiet_fraction : float;
+}
+
+(* Knuth's Poisson sampler; scenario rates here are at most a few per
+   year, where it is both exact and fast. *)
+let poisson rng lambda =
+  if lambda <= 0. then 0
+  else begin
+    let limit = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. Rng.unit_float rng in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+
+let sorted_totals years =
+  let totals =
+    Array.map (fun y -> Money.to_dollars (Money.add y.outage y.loss)) years
+  in
+  Array.sort Float.compare totals;
+  totals
+
+let percentile_of_sorted totals q =
+  let n = Array.length totals in
+  let idx = int_of_float (q *. float_of_int (n - 1)) in
+  Money.dollars totals.(max 0 (min (n - 1) idx))
+
+let simulate ?params ?(years = 10_000) rng prov likelihood =
+  if years <= 0 then invalid_arg "Year_sim.simulate: years must be positive";
+  (* The recovery simulation is deterministic per scenario: run each once
+     and reuse its per-event penalty. *)
+  let design = prov.Provision.design in
+  let per_event =
+    Scenario.enumerate likelihood design
+    |> List.map (fun (scen : Scenario.t) ->
+        let outcomes = Simulate.scenario ?params prov scen in
+        let outage, loss =
+          List.fold_left
+            (fun (outage, loss) outcome ->
+               (* annual_rate = 1: the raw per-event penalty. *)
+               let o, l = Penalty.of_outcome ~annual_rate:1. outcome in
+               (Money.add outage o, Money.add loss l))
+            (Money.zero, Money.zero) outcomes
+        in
+        (scen.Scenario.annual_rate, outage, loss))
+  in
+  let run_year () =
+    List.fold_left
+      (fun acc (rate, outage, loss) ->
+         let k = poisson rng rate in
+         if k = 0 then acc
+         else
+           { outage = Money.add acc.outage (Money.scale (float_of_int k) outage);
+             loss = Money.add acc.loss (Money.scale (float_of_int k) loss);
+             events = acc.events + k })
+      { outage = Money.zero; loss = Money.zero; events = 0 }
+      per_event
+  in
+  let years_arr = Array.init years (fun _ -> run_year ()) in
+  let totals = sorted_totals years_arr in
+  let sum = Array.fold_left ( +. ) 0. totals in
+  let quiet =
+    Array.fold_left (fun acc y -> if y.events = 0 then acc + 1 else acc) 0
+      years_arr
+  in
+  { years = years_arr;
+    mean = Money.dollars (sum /. float_of_int years);
+    p50 = percentile_of_sorted totals 0.5;
+    p90 = percentile_of_sorted totals 0.9;
+    p99 = percentile_of_sorted totals 0.99;
+    worst = Money.dollars totals.(Array.length totals - 1);
+    quiet_fraction = float_of_int quiet /. float_of_int years }
+
+let percentile t q =
+  if q < 0. || q > 1. then invalid_arg "Year_sim.percentile: q outside [0, 1]";
+  percentile_of_sorted (sorted_totals t.years) q
+
+let pp ppf t =
+  Format.fprintf ppf
+    "annual penalty over %d simulated years: mean %a, median %a, p90 %a, \
+     p99 %a, worst %a; %.1f%% quiet years"
+    (Array.length t.years) Money.pp t.mean Money.pp t.p50 Money.pp t.p90
+    Money.pp t.p99 Money.pp t.worst (100. *. t.quiet_fraction)

@@ -1,0 +1,50 @@
+(** Monte Carlo risk analysis of a provisioned design.
+
+    The paper's objective uses {e expected} annual penalties (likelihood-
+    weighted sums). Expectations hide tail risk: a design whose expected
+    penalty is $2M/yr may still face a 1-in-20 year costing $40M. This
+    module simulates many years — failure events arrive as independent
+    Poisson processes per scenario, each event charged the penalties from
+    the deterministic recovery simulation — and reports the distribution
+    of annual penalty cost.
+
+    It doubles as a cross-check of the analytic model: the sample mean
+    converges to {!Ds_cost.Penalty.expected_annual}'s total (a property
+    the test suite asserts). *)
+
+module Money = Ds_units.Money
+module Rng = Ds_prng.Rng
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+
+type yearly = {
+  outage : Money.t;
+  loss : Money.t;
+  events : int;  (** Failure events that struck during the year. *)
+}
+
+type t = {
+  years : yearly array;  (** One entry per simulated year, in order. *)
+  mean : Money.t;  (** Mean annual penalty (outage + loss). *)
+  p50 : Money.t;
+  p90 : Money.t;
+  p99 : Money.t;
+  worst : Money.t;
+  quiet_fraction : float;  (** Years with no failure events at all. *)
+}
+
+val simulate :
+  ?params:Ds_recovery.Recovery_params.t ->
+  ?years:int ->
+  Rng.t ->
+  Provision.t ->
+  Likelihood.t ->
+  t
+(** Default 10,000 years. Deterministic for a given generator state.
+    @raise Invalid_argument when [years <= 0]. *)
+
+val percentile : t -> float -> Money.t
+(** [percentile t 0.95] is the 95th percentile of annual penalty cost.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Ds_units Float Int List

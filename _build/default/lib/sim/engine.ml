@@ -1,0 +1,187 @@
+module Time = Ds_units.Time
+
+type resource = {
+  owner : int;
+  rname : string;
+  mutable busy : bool;
+}
+
+type stage =
+  | Delay of Time.t
+  | Hold of resource list * Time.t
+
+type state = Idle | Sleeping | Holding | Blocked | Done
+
+type job = {
+  jid : int;
+  jname : string;
+  priority : float;
+  stages : stage array;
+  mutable idx : int;
+  mutable wake : float;
+  mutable held : resource list;
+  mutable state : state;
+  mutable completion : float;
+}
+
+type job_id = int
+
+type policy = Priority | Fifo | Smallest_first
+
+type t = {
+  eid : int;
+  policy : policy;
+  mutable jobs : job list;  (* reverse submission order *)
+  mutable next_jid : int;
+  mutable ran : bool;
+}
+
+let next_eid = ref 0
+
+let create ?(policy = Priority) () =
+  incr next_eid;
+  { eid = !next_eid; policy; jobs = []; next_jid = 0; ran = false }
+
+let resource t name = { owner = t.eid; rname = name; busy = false }
+
+let check_stage t = function
+  | Delay d ->
+    if Float.is_nan (Time.to_seconds d) then invalid_arg "Engine: NaN duration"
+  | Hold (resources, d) ->
+    if Float.is_nan (Time.to_seconds d) then invalid_arg "Engine: NaN duration";
+    List.iter (fun r ->
+        if r.owner <> t.eid then invalid_arg "Engine: foreign resource")
+      resources
+
+let submit t ~name ~priority stages =
+  if t.ran then invalid_arg "Engine.submit: engine already ran";
+  if Float.is_nan priority then invalid_arg "Engine.submit: NaN priority";
+  List.iter (check_stage t) stages;
+  let jid = t.next_jid in
+  t.next_jid <- jid + 1;
+  let job =
+    { jid; jname = name; priority; stages = Array.of_list stages;
+      idx = 0; wake = Float.nan; held = []; state = Idle;
+      completion = Float.nan }
+  in
+  t.jobs <- job :: t.jobs;
+  jid
+
+(* Distinct resources of a hold set (a device listed twice is held once). *)
+let distinct resources =
+  List.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [] resources
+
+let run t =
+  if t.ran then ()
+  else begin
+    t.ran <- true;
+    let total_work job =
+      Array.fold_left
+        (fun acc -> function
+           | Delay d | Hold (_, d) -> acc +. Time.to_seconds d)
+        0. job.stages
+    in
+    let compare_jobs a b =
+      let tie = Int.compare a.jid b.jid in
+      match t.policy with
+      | Priority ->
+        (match Float.compare b.priority a.priority with 0 -> tie | c -> c)
+      | Fifo -> tie
+      | Smallest_first ->
+        (match Float.compare (total_work a) (total_work b) with
+         | 0 -> tie
+         | c -> c)
+    in
+    let order = List.sort compare_jobs t.jobs in
+    let now = ref 0. in
+    (* Let every runnable job start its next stage; loop to a fixpoint
+       because a zero-length stage finishes immediately and enables the
+       next one. Grants scan in priority order. *)
+    let settle () =
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun job ->
+             match job.state with
+             | Sleeping | Holding | Done -> ()
+             | Idle | Blocked ->
+               if job.idx >= Array.length job.stages then begin
+                 job.state <- Done;
+                 job.completion <- !now;
+                 changed := true
+               end
+               else begin
+                 match job.stages.(job.idx) with
+                 | Delay d ->
+                   job.wake <- !now +. Time.to_seconds d;
+                   job.state <- Sleeping;
+                   changed := true
+                 | Hold (resources, d) ->
+                   let resources = distinct resources in
+                   if List.for_all (fun r -> not r.busy) resources then begin
+                     List.iter (fun r -> r.busy <- true) resources;
+                     job.held <- resources;
+                     job.wake <- !now +. Time.to_seconds d;
+                     job.state <- Holding;
+                     changed := true
+                   end
+                   else if job.state = Idle then begin
+                     job.state <- Blocked;
+                     changed := true
+                   end
+               end)
+          order
+      done
+    in
+    let finished () =
+      List.for_all (fun job -> job.state = Done) order
+    in
+    settle ();
+    while not (finished ()) do
+      let next =
+        List.fold_left
+          (fun acc job ->
+             match job.state with
+             | Sleeping | Holding -> Float.min acc job.wake
+             | Idle | Blocked | Done -> acc)
+          Float.infinity order
+      in
+      if Float.is_finite next then begin
+        now := next;
+        List.iter
+          (fun job ->
+             match job.state with
+             | (Sleeping | Holding) when job.wake <= !now ->
+               List.iter (fun r -> r.busy <- false) job.held;
+               job.held <- [];
+               job.idx <- job.idx + 1;
+               job.state <- Idle
+             | _ -> ())
+          order;
+        settle ()
+      end
+      else begin
+        (* Either a stage has infinite duration, or (impossibly) everyone
+           is blocked. Remaining jobs never finish. *)
+        List.iter
+          (fun job ->
+             if job.state <> Done then begin
+               job.state <- Done;
+               job.completion <- Float.infinity
+             end)
+          order
+      end
+    done
+  end
+
+let find_job t jid = List.find (fun job -> job.jid = jid) t.jobs
+
+let completion_time t jid =
+  run t;
+  Time.seconds (find_job t jid).completion
+
+let results t =
+  run t;
+  List.rev t.jobs
+  |> List.map (fun job -> (job.jname, Time.seconds job.completion))

@@ -1,0 +1,1 @@
+lib/solver/candidate.ml: Ds_cost Ds_design Ds_units Format List

@@ -1,0 +1,1 @@
+lib/solver/candidate.mli: Ds_cost Ds_design Ds_units Format

@@ -1,0 +1,1 @@
+lib/solver/config_solver.ml: Candidate Ds_cost Ds_design Ds_failure Ds_protection Ds_recovery Ds_units Ds_workload List Option

@@ -1,0 +1,1 @@
+lib/solver/config_solver.mli: Candidate Ds_design Ds_failure Ds_recovery Ds_units Ds_workload

@@ -1,0 +1,1 @@
+lib/solver/design_solver.ml: Candidate Config_solver Ds_design Ds_failure Ds_prng Ds_resources Ds_units Ds_workload Fun List Reconfigure

@@ -1,0 +1,1 @@
+lib/solver/design_solver.mli: Candidate Config_solver Ds_failure Ds_resources Ds_workload Reconfigure

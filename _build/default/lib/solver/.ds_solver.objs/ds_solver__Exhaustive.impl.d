@@ -1,0 +1,1 @@
+lib/solver/exhaustive.ml: Candidate Config_solver Ds_design Ds_failure Ds_protection Ds_resources Ds_workload List Option

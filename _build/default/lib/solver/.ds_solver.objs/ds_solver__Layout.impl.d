@@ -1,0 +1,1 @@
+lib/solver/layout.ml: Ds_design Ds_prng Ds_protection Ds_resources Ds_units Ds_workload Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/solver/layout.mli: Ds_design Ds_prng Ds_protection Ds_resources Ds_workload

@@ -1,0 +1,1 @@
+lib/solver/reconfigure.ml: Candidate Config_solver Ds_cost Ds_design Ds_failure Ds_prng Ds_protection Ds_units Ds_workload Float Layout List Option

@@ -1,0 +1,1 @@
+lib/solver/reconfigure.mli: Candidate Config_solver Ds_design Ds_failure Ds_prng Ds_protection Ds_workload Layout

@@ -1,0 +1,21 @@
+module Money = Ds_units.Money
+module Design = Ds_design.Design
+module Evaluate = Ds_cost.Evaluate
+
+type t = { design : Design.t; eval : Evaluate.t }
+
+let v design eval = { design; eval }
+
+let cost t = Evaluate.total t.eval
+
+let summary t = t.eval.Evaluate.summary
+
+let better a b = if Money.compare (cost a) (cost b) <= 0 then a else b
+
+let best_of = function
+  | [] -> None
+  | first :: rest -> Some (List.fold_left better first rest)
+
+let pp ppf t =
+  Format.fprintf ppf "candidate(%d apps): %a" (Design.size t.design)
+    Ds_cost.Summary.pp (summary t)

@@ -1,0 +1,18 @@
+(** A fully evaluated candidate solution: a design plus its provisioning,
+    simulation results and cost. Nodes in the design solver's search graph
+    carry these. *)
+
+module Money = Ds_units.Money
+module Design = Ds_design.Design
+module Evaluate = Ds_cost.Evaluate
+
+type t = { design : Design.t; eval : Evaluate.t }
+
+val v : Design.t -> Evaluate.t -> t
+val cost : t -> Money.t
+val summary : t -> Ds_cost.Summary.t
+val better : t -> t -> t
+(** The cheaper of the two (first wins ties). *)
+
+val best_of : t list -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+module Time = Ds_units.Time
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Backup = Ds_protection.Backup
+module Technique = Ds_protection.Technique
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+module Evaluate = Ds_cost.Evaluate
+
+type window_scope =
+  | All_apps
+  | Only of App.id list
+  | Skip
+
+type options = {
+  window_scope : window_scope;
+  snapshot_menu : Time.t list;
+  tape_menu : Time.t list;
+  fulls_menu : int list;
+  max_growth_steps : int;
+  recovery : Ds_recovery.Recovery_params.t;
+}
+
+let default_options =
+  { window_scope = All_apps;
+    snapshot_menu = [ Time.hours 6.; Time.hours 12.; Time.hours 24. ];
+    tape_menu = [ Time.days 1.; Time.days 3.5; Time.days 7.; Time.days 14. ];
+    fulls_menu = [ 1; 7 ];
+    max_growth_steps = 24;
+    recovery = Ds_recovery.Recovery_params.default }
+
+let search_options =
+  { default_options with window_scope = Only []; max_growth_steps = 6 }
+
+(* Swap one app's backup windows inside a design. Rebuilding through
+   Design.remove/add keeps the model bookkeeping consistent. *)
+let with_windows design (asg : Assignment.t) ~snapshot_win ~tape_win ~fulls_every =
+  match asg.technique.Technique.backup with
+  | None -> Ok design
+  | Some chain ->
+    let chain =
+      Backup.with_fulls_every
+        (Backup.with_tape_win (Backup.with_snapshot_win chain snapshot_win)
+           tape_win)
+        fulls_every
+    in
+    let technique = Technique.with_backup_chain asg.technique chain in
+    let primary_model = Design.array_model design asg.primary in
+    let mirror_model =
+      Option.bind asg.mirror (fun slot -> Design.array_model design slot)
+    in
+    let tape_model =
+      Option.bind asg.backup (fun slot -> Design.tape_model design slot)
+    in
+    (match primary_model with
+     | None -> Error "missing primary model"
+     | Some primary_model ->
+       let design = Design.remove design asg.app.App.id in
+       Design.add design
+         (Assignment.v ~app:asg.app ~technique ~primary:asg.primary
+            ?mirror:asg.mirror ?backup:asg.backup ())
+         ~primary_model ?mirror_model ?tape_model ())
+
+let evaluate ~options design likelihood =
+  Evaluate.design ~params:options.recovery design likelihood
+
+(* Coordinate-descent over the window menus, one app at a time in
+   descending penalty order; each combination is evaluated against the
+   full candidate (Section 3.2: exhaustive search over the discretized
+   ranges). *)
+let optimize_windows ~options design likelihood current_eval =
+  let scope_ids =
+    match options.window_scope with
+    | All_apps ->
+      List.map (fun (a : Assignment.t) -> a.app.App.id) (Design.assignments design)
+    | Only ids -> ids
+    | Skip -> []
+  in
+  let candidates =
+    Design.assignments design
+    |> List.filter (fun (a : Assignment.t) ->
+        Technique.has_backup a.technique && List.mem a.app.App.id scope_ids)
+    |> List.sort (fun (a : Assignment.t) (b : Assignment.t) ->
+        Money.compare (App.penalty_rate_sum b.app) (App.penalty_rate_sum a.app))
+  in
+  let combos =
+    List.concat_map
+      (fun snapshot_win ->
+         List.concat_map
+           (fun tape_win ->
+              List.map (fun fulls_every -> (snapshot_win, tape_win, fulls_every))
+                options.fulls_menu)
+           options.tape_menu)
+      options.snapshot_menu
+  in
+  List.fold_left
+    (fun (design, eval) (asg : Assignment.t) ->
+       List.fold_left
+         (fun (best_design, best_eval) (snapshot_win, tape_win, fulls_every) ->
+            match
+              with_windows best_design asg ~snapshot_win ~tape_win ~fulls_every
+            with
+            | Error _ -> (best_design, best_eval)
+            | Ok trial ->
+              (match evaluate ~options trial likelihood with
+               | Error _ -> (best_design, best_eval)
+               | Ok trial_eval ->
+                 if Money.compare (Evaluate.total trial_eval)
+                      (Evaluate.total best_eval) < 0
+                 then (trial, trial_eval)
+                 else (best_design, best_eval)))
+         (design, eval) combos)
+    (design, current_eval) candidates
+
+(* Add one resource unit at a time while it reduces total cost
+   (Section 3.2.2: "continues to add resources until it no longer
+   produces any cost savings"). *)
+let grow_resources ~options eval likelihood =
+  let recovery = options.recovery in
+  let rec loop eval steps =
+    if steps >= options.max_growth_steps then eval
+    else begin
+      let moves = Provision.growth_moves eval.Evaluate.provision in
+      let improved =
+        List.fold_left
+          (fun best move ->
+             match Provision.grow eval.Evaluate.provision move with
+             | None -> best
+             | Some prov ->
+               let trial = Evaluate.provisioned ~params:recovery prov likelihood in
+               let better_than_incumbent =
+                 match best with
+                 | Some incumbent ->
+                   Money.compare (Evaluate.total trial) (Evaluate.total incumbent) < 0
+                 | None ->
+                   Money.compare (Evaluate.total trial) (Evaluate.total eval) < 0
+               in
+               if better_than_incumbent then Some trial else best)
+          None moves
+      in
+      match improved with
+      | Some better -> loop better (steps + 1)
+      | None -> eval
+    end
+  in
+  loop eval 0
+
+let solve ?(options = default_options) design likelihood =
+  match evaluate ~options design likelihood with
+  | Error _ as e -> e
+  | Ok eval ->
+    let design, eval = optimize_windows ~options design likelihood eval in
+    let eval = grow_resources ~options eval likelihood in
+    Ok (Candidate.v design eval)

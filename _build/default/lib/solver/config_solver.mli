@@ -1,0 +1,49 @@
+(** The configuration solver (Section 3.2).
+
+    Completes a design chosen by the design solver: searches the
+    discretized configuration-parameter space (snapshot and backup
+    frequencies, in policy-sized increments) and sizes the discrete
+    resources, starting from the minimum feasible provisioning and adding
+    units (links, tape drives, disks) as long as the shorter recovery
+    times they buy save more in penalties than they cost in outlay. *)
+
+module Time = Ds_units.Time
+module App = Ds_workload.App
+module Design = Ds_design.Design
+module Provision = Ds_design.Provision
+module Likelihood = Ds_failure.Likelihood
+
+type window_scope =
+  | All_apps  (** Re-optimize windows of every backup-bearing app. *)
+  | Only of App.id list  (** Just these (the apps a search step touched). *)
+  | Skip  (** Keep current windows. *)
+
+type options = {
+  window_scope : window_scope;
+  snapshot_menu : Time.t list;  (** Candidate snapshot windows. *)
+  tape_menu : Time.t list;  (** Candidate backup intervals. *)
+  fulls_menu : int list;
+      (** Candidate backup schedules: every n-th backup is a full
+          (1 = fulls only; 7 = weekly full + daily incrementals when
+          paired with a 1-day interval). *)
+  max_growth_steps : int;  (** Resource-addition iterations. *)
+  recovery : Ds_recovery.Recovery_params.t;
+}
+
+val default_options : options
+(** Windows for all apps from menus {6 h, 12 h, 24 h} x {1 d, 3.5 d, 7 d,
+    14 d} x fulls-every {1, 7}; up to 24 growth steps; default recovery
+    parameters. *)
+
+val search_options : options
+(** Cheaper setting for use inside the design solver's inner loop:
+    windows only for touched apps, 6 growth steps. *)
+
+val solve :
+  ?options:options ->
+  Design.t ->
+  Likelihood.t ->
+  (Candidate.t, Provision.infeasibility) result
+(** Optimize configuration parameters and provisioning for the design;
+    returns the completed candidate or the constraint that makes the
+    design infeasible. *)

@@ -1,0 +1,146 @@
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Design = Ds_design.Design
+module Likelihood = Ds_failure.Likelihood
+module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
+
+type params = {
+  breadth : int;
+  depth : int;
+  refit_rounds : int;
+  patience : int;
+  stage1_restarts : int;
+  seed : int;
+  options : Config_solver.options;
+  polish : Config_solver.options option;
+}
+
+let default_params =
+  { breadth = 3;
+    depth = 5;
+    refit_rounds = 12;
+    patience = 3;
+    stage1_restarts = 5;
+    seed = 42;
+    options = Config_solver.search_options;
+    polish = Some Config_solver.default_options }
+
+type outcome = {
+  best : Candidate.t;
+  evaluations : int;
+  refit_rounds_run : int;
+  improved_by_refit : bool;
+}
+
+(* Stage 1. Applications with stringent requirements are placed first —
+   the draw is weighted by the sum of penalty rates. *)
+let greedy state params env apps =
+  let rec attempt restart =
+    if restart > params.stage1_restarts then None
+    else begin
+      let rec place design = function
+        | [] -> Some design
+        | unassigned ->
+          let weights =
+            List.map
+              (fun app -> (app, Money.to_dollars (App.penalty_rate_sum app)))
+              unassigned
+          in
+          let app = Sample.weighted state.Reconfigure.rng weights in
+          (match Reconfigure.assign_best state design app with
+           | Some candidate ->
+             place candidate.Candidate.design
+               (List.filter (fun a -> a.App.id <> app.App.id) unassigned)
+           | None -> None)
+      in
+      match place (Design.empty env) apps with
+      | Some design ->
+        (* The per-step candidates were evaluated against partial designs;
+           re-evaluate the complete one. *)
+        (match
+           Config_solver.solve ~options:params.options design
+             state.Reconfigure.likelihood
+         with
+         | Ok candidate -> Some candidate
+         | Error _ -> attempt (restart + 1))
+      | None -> attempt (restart + 1)
+    end
+  in
+  attempt 0
+
+(* One depth-first probe from a neighbor (the inner while-loop of
+   Algorithm 1): at each level evaluate [breadth] reconfigurations, step
+   to the best when it improves, and remember the best node seen. *)
+let probe state params start =
+  let rec descend current best level =
+    if level >= params.depth then best
+    else begin
+      let children =
+        List.init params.breadth (fun _ -> Reconfigure.reconfigure state current)
+        |> List.filter_map Fun.id
+      in
+      match Candidate.best_of children with
+      | None -> best
+      | Some child ->
+        let next =
+          if Money.compare (Candidate.cost child) (Candidate.cost current) < 0
+          then child
+          else current
+        in
+        descend next (Candidate.better best next) (level + 1)
+    end
+  in
+  descend start start 0
+
+let refit state params start =
+  let rec rounds current best round without_improvement =
+    if round >= params.refit_rounds || without_improvement >= params.patience
+    then (best, round)
+    else begin
+      let branch_best =
+        List.init params.breadth (fun _ ->
+            match Reconfigure.reconfigure state current with
+            | Some neighbor -> Some (probe state params neighbor)
+            | None -> None)
+        |> List.filter_map Fun.id
+        |> Candidate.best_of
+      in
+      match branch_best with
+      | None -> (best, round + 1)
+      | Some candidate ->
+        if Money.compare (Candidate.cost candidate) (Candidate.cost best) < 0
+        then rounds candidate candidate (round + 1) 0
+        else rounds best best (round + 1) (without_improvement + 1)
+    end
+  in
+  rounds start start 0 0
+
+let solve ?(params = default_params) env apps likelihood =
+  let rng = Rng.of_int params.seed in
+  let state = Reconfigure.state ~options:params.options ~rng likelihood in
+  match greedy state params env apps with
+  | None -> None
+  | Some greedy_best ->
+    let refined, rounds_run = refit state params greedy_best in
+    let best = Candidate.better refined greedy_best in
+    (* Final polish: the search ran with cheap configuration options; give
+       the winning design the full window search and growth budget. *)
+    let best =
+      match params.polish with
+      | None -> best
+      | Some options ->
+        (match
+           Config_solver.solve ~options best.Candidate.design
+             state.Reconfigure.likelihood
+         with
+         | Ok polished -> Candidate.better polished best
+         | Error _ -> best)
+    in
+    Some
+      { best;
+        evaluations = state.Reconfigure.evaluations;
+        refit_rounds_run = rounds_run;
+        improved_by_refit =
+          Money.compare (Candidate.cost refined) (Candidate.cost greedy_best) < 0 }

@@ -1,0 +1,55 @@
+(** The design solver (Section 3.1, Algorithm 1).
+
+    Stage 1 — greedy best-fit: starting from an empty design, repeatedly
+    pick an unassigned application (probability weighted by its penalty
+    rates, favoring stringent apps), try every eligible data protection
+    technique for it and keep the cheapest. Restart when the remaining
+    apps cannot be placed.
+
+    Stage 2 — refit: randomized local search around the greedy design.
+    Each round explores [breadth] neighbors; from each neighbor a
+    depth-first walk of [depth] levels evaluates [breadth] random
+    reconfigurations per level and descends into the best. The best node
+    seen replaces the incumbent; rounds without improvement count toward a
+    patience limit, after which the search stops (local optimum). The
+    whole search can be restarted; randomization makes every restart
+    explore differently, which is how the heuristic escapes local minima. *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+type params = {
+  breadth : int;  (** [b] in Algorithm 1; the paper uses 3. *)
+  depth : int;  (** [d] in Algorithm 1; the paper uses 5. *)
+  refit_rounds : int;  (** Max refit iterations ([rfgCnt] limit). *)
+  patience : int;  (** Stop after this many rounds without improvement. *)
+  stage1_restarts : int;  (** Greedy restarts when placement gets stuck. *)
+  seed : int;
+  options : Config_solver.options;
+  polish : Config_solver.options option;
+      (** Configuration options for the final pass over the winning
+          design; [None] skips the polish (used by ablations and by tests
+          comparing against ground truth at matched strength). *)
+}
+
+val default_params : params
+(** b = 3, d = 5, 12 refit rounds, patience 3, 5 restarts, seed 42,
+    search-grade configuration options, full-strength final polish. *)
+
+type outcome = {
+  best : Candidate.t;
+  evaluations : int;  (** Configuration-solver invocations performed. *)
+  refit_rounds_run : int;
+  improved_by_refit : bool;  (** Whether stage 2 beat the greedy design. *)
+}
+
+val greedy : Reconfigure.state -> params -> Env.t -> App.t list -> Candidate.t option
+(** Stage 1 only (exposed for tests and ablations). *)
+
+val refit : Reconfigure.state -> params -> Candidate.t -> Candidate.t * int
+(** Stage 2 only: returns the refined candidate and rounds run. *)
+
+val solve : ?params:params -> Env.t -> App.t list -> Likelihood.t -> outcome option
+(** The full design tool. [None] when no feasible complete design was
+    found within the restart budget. *)

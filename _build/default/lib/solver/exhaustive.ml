@@ -1,0 +1,123 @@
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Technique_catalog = Ds_protection.Technique_catalog
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Env = Ds_resources.Env
+module Slot = Ds_resources.Slot
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+module Likelihood = Ds_failure.Likelihood
+
+type result = {
+  best : Candidate.t option;
+  explored : int;
+  truncated : bool;
+}
+
+(* Candidate (slot, model) pairs honoring already-installed models. *)
+let primary_options design =
+  let env = design.Design.env in
+  List.concat_map
+    (fun slot ->
+       match Design.array_model design slot with
+       | Some model -> [ (slot, model) ]
+       | None -> List.map (fun model -> (slot, model)) env.Env.array_models)
+    (Env.array_slots env)
+
+let mirror_options design (primary : Slot.Array_slot.t) =
+  let env = design.Design.env in
+  primary_options design
+  |> List.filter (fun ((slot : Slot.Array_slot.t), _) ->
+      slot.site <> primary.site && Env.connected env primary.site slot.site)
+
+let tape_options design (primary : Slot.Array_slot.t) =
+  let env = design.Design.env in
+  List.concat_map
+    (fun (slot : Slot.Tape_slot.t) ->
+       if slot.site <> primary.site && not (Env.connected env primary.site slot.site)
+       then []
+       else
+         match Design.tape_model design slot with
+         | Some model -> [ (slot, model) ]
+         | None -> List.map (fun model -> (slot, model)) env.Env.tape_models)
+    (Env.tape_slots env)
+
+let solve ?(options = Config_solver.search_options) ?(max_nodes = 200_000) env
+    apps likelihood =
+  let best = ref None in
+  let explored = ref 0 in
+  let truncated = ref false in
+  let consider design =
+    if !explored >= max_nodes then truncated := true
+    else begin
+      incr explored;
+      match Config_solver.solve ~options design likelihood with
+      | Error _ -> ()
+      | Ok candidate ->
+        (match !best with
+         | None -> best := Some candidate
+         | Some incumbent -> best := Some (Candidate.better incumbent candidate))
+    end
+  in
+  let rec place design = function
+    | [] -> consider design
+    | app :: rest ->
+      List.iter
+        (fun technique ->
+           List.iter
+             (fun (primary, primary_model) ->
+                let mirrors =
+                  if Technique.has_mirror technique then
+                    List.map (fun m -> Some m) (mirror_options design primary)
+                  else [ None ]
+                in
+                let tapes =
+                  if Technique.has_backup technique then
+                    List.map (fun t -> Some t) (tape_options design primary)
+                  else [ None ]
+                in
+                List.iter
+                  (fun mirror ->
+                     List.iter
+                       (fun tape ->
+                          if not !truncated then begin
+                            let asg =
+                              Assignment.v ~app ~technique ~primary
+                                ?mirror:(Option.map fst mirror)
+                                ?backup:(Option.map fst tape) ()
+                            in
+                            match
+                              Design.add design asg ~primary_model
+                                ?mirror_model:(Option.map snd mirror)
+                                ?tape_model:(Option.map snd tape) ()
+                            with
+                            | Ok design -> place design rest
+                            | Error _ -> ()
+                          end)
+                       tapes)
+                  mirrors)
+             (primary_options design))
+        (Technique_catalog.eligible_for (App.category app))
+  in
+  place (Design.empty env) apps;
+  { best = !best; explored = !explored; truncated = !truncated }
+
+let space_size env apps =
+  let bays = float_of_int (List.length (Env.array_slots env)) in
+  let models = float_of_int (List.length env.Env.array_models) in
+  let tapes =
+    float_of_int (List.length (Env.tape_slots env))
+    *. float_of_int (max 1 (List.length env.Env.tape_models))
+  in
+  let per_app (app : App.t) =
+    Technique_catalog.eligible_for (App.category app)
+    |> List.fold_left
+      (fun acc technique ->
+         let primaries = bays *. models in
+         let mirrors = if Technique.has_mirror technique then bays *. models else 1. in
+         let backups = if Technique.has_backup technique then tapes else 1. in
+         acc +. (primaries *. mirrors *. backups))
+      0.
+  in
+  List.fold_left (fun acc app -> acc *. per_app app) 1. apps

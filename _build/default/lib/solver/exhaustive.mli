@@ -1,0 +1,39 @@
+(** Exhaustive enumeration over the design space — ground truth for tiny
+    instances.
+
+    The paper notes the optimum is intractable for realistic instances
+    (the space is ~(d^a)^t), so solution quality is judged against random
+    samples. For {e tiny} instances, though, full enumeration is feasible
+    and gives an exact yardstick: tests assert the heuristic design
+    solver lands within a small factor of the true optimum.
+
+    Enumeration walks applications in order; for each, every eligible
+    technique x primary (bay, model) x mirror x tape-library placement
+    consistent with the models already installed. Every complete design
+    is completed by the configuration solver (with the same options as
+    the heuristic under test, so the comparison is apples-to-apples). *)
+
+module App = Ds_workload.App
+module Env = Ds_resources.Env
+module Likelihood = Ds_failure.Likelihood
+
+type result = {
+  best : Candidate.t option;  (** Cheapest feasible complete design. *)
+  explored : int;  (** Complete designs evaluated. *)
+  truncated : bool;  (** True when [max_nodes] stopped the enumeration. *)
+}
+
+val solve :
+  ?options:Config_solver.options ->
+  ?max_nodes:int ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  result
+(** [max_nodes] bounds the number of complete designs evaluated
+    (default 200,000). *)
+
+val space_size : Env.t -> App.t list -> float
+(** Upper-bound estimate of the number of complete designs (ignoring
+    model-consistency pruning) — the paper's x^t intuition, used in docs
+    and tests. *)

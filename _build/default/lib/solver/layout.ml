@@ -1,0 +1,270 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module App = Ds_workload.App
+module Mirror = Ds_protection.Mirror
+module Technique = Ds_protection.Technique
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Env = Ds_resources.Env
+module Slot = Ds_resources.Slot
+module Design = Ds_design.Design
+module Demand = Ds_design.Demand
+module Assignment = Ds_design.Assignment
+module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
+
+module History = struct
+  type t = {
+    counts : (App.id * Slot.Array_slot.t, int) Hashtbl.t;
+    trials : (App.id, int) Hashtbl.t;
+  }
+
+  let create () = { counts = Hashtbl.create 64; trials = Hashtbl.create 16 }
+
+  let record t app_id slot =
+    let key = (app_id, slot) in
+    Hashtbl.replace t.counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key));
+    Hashtbl.replace t.trials app_id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.trials app_id))
+
+  let usage t app_id slot =
+    match Hashtbl.find_opt t.trials app_id with
+    | None | Some 0 -> 0.
+    | Some trials ->
+      let count =
+        Option.value ~default:0 (Hashtbl.find_opt t.counts (app_id, slot))
+      in
+      float_of_int count /. float_of_int trials
+end
+
+type choice = {
+  assignment : Assignment.t;
+  primary_model : Array_model.t;
+  mirror_model : Array_model.t option;
+  tape_model : Tape_model.t option;
+}
+
+let apply design choice =
+  Design.add design choice.assignment ~primary_model:choice.primary_model
+    ?mirror_model:choice.mirror_model ?tape_model:choice.tape_model ()
+
+(* Fraction of the array's capacity/bandwidth already spoken for. *)
+let array_util design demand slot (model : Array_model.t) =
+  ignore design;
+  let use = Demand.array_use demand slot in
+  let cap_util = Size.div use.Demand.capacity (Array_model.total_capacity model) in
+  let bw_util = Rate.div use.Demand.bandwidth model.Array_model.max_bw in
+  Float.min 1. (Float.max cap_util bw_util)
+
+let array_fits demand slot (model : Array_model.t) ~capacity ~bandwidth =
+  let use = Demand.array_use demand slot in
+  let cap_left = Size.sub (Array_model.total_capacity model) use.Demand.capacity in
+  let bw_left = Rate.sub model.Array_model.max_bw use.Demand.bandwidth in
+  Size.(capacity <= cap_left) && Rate.(bandwidth <= bw_left)
+
+(* Candidate (slot, model) pairs for an array copy: a populated bay offers
+   its installed model; an empty bay offers every allowed model. *)
+let array_candidates design =
+  let env = design.Design.env in
+  List.concat_map
+    (fun slot ->
+       match Design.array_model design slot with
+       | Some model -> [ (slot, model) ]
+       | None -> List.map (fun model -> (slot, model)) env.Env.array_models)
+    (Env.array_slots env)
+
+let enumerate_primaries design (app : App.t) =
+  let demand = Demand.of_design design in
+  List.filter
+    (fun (slot, model) ->
+       array_fits demand slot model ~capacity:app.App.data_size
+         ~bandwidth:app.App.avg_access_rate)
+    (array_candidates design)
+
+let weight_of ~alpha history design demand app_id (slot, model) =
+  let util = array_util design demand slot model in
+  let usage = History.usage history app_id slot in
+  (* Keep every candidate reachable: floor the weight just above zero. *)
+  Float.max 0.01 ((alpha *. (1. -. util)) +. ((1. -. alpha) *. (1. -. usage)))
+
+(* Prefer devices already opened in the design ("currently unused
+   resources are excluded, unless the resource list is empty"). *)
+let prefer_populated design candidates =
+  let populated =
+    List.filter (fun (slot, _) -> Design.array_model design slot <> None)
+      candidates
+  in
+  if populated = [] then candidates else populated
+
+let tape_candidates design ~primary_site =
+  let env = design.Design.env in
+  let reachable site =
+    site = primary_site || Env.connected env primary_site site
+  in
+  List.concat_map
+    (fun (slot : Slot.Tape_slot.t) ->
+       if not (reachable slot.site) then []
+       else
+         match Design.tape_model design slot with
+         | Some model -> [ (slot, model) ]
+         | None -> List.map (fun model -> (slot, model)) env.Env.tape_models)
+    (Env.tape_slots env)
+
+(* Compute slots left at a site under the current demand. *)
+let compute_left design demand site =
+  design.Design.env.Env.compute_slots_per_site - Demand.compute_use demand site
+
+let tape_fits design demand (slot : Slot.Tape_slot.t) (model : Tape_model.t)
+    ~capacity ~bandwidth =
+  ignore design;
+  let use = Demand.tape_use demand slot in
+  let cap_left =
+    Size.sub (Tape_model.total_capacity model) use.Demand.tape_capacity
+  in
+  let bw_left =
+    Rate.sub
+      (Tape_model.bw_of_drives model model.Tape_model.max_drives)
+      use.Demand.tape_bandwidth
+  in
+  Size.(capacity <= cap_left) && Rate.(bandwidth <= bw_left)
+
+let choose ?(alpha = 0.9) rng history design (app : App.t) technique =
+  let demand = Demand.of_design design in
+  let primaries =
+    enumerate_primaries design app
+    |> List.filter (fun ((slot : Slot.Array_slot.t), _) ->
+        compute_left design demand slot.site >= 1)
+  in
+  let primaries = prefer_populated design primaries in
+  if primaries = [] then None
+  else begin
+    let weights =
+      List.map
+        (fun cand ->
+           (cand, weight_of ~alpha history design demand app.App.id cand))
+        primaries
+    in
+    let (primary_slot, primary_model) = Sample.weighted rng weights in
+    History.record history app.App.id primary_slot;
+    let mirror =
+      if not (Technique.has_mirror technique) then Some None
+      else begin
+        let mirror_bw =
+          match technique.Technique.mirror with
+          | Some m -> Mirror.network_demand m app
+          | None -> Rate.zero
+        in
+        let needs_standby = Technique.needs_standby_compute technique in
+        let is_sync =
+          match technique.Technique.mirror with
+          | Some { Mirror.sync = Mirror.Synchronous; _ } -> true
+          | _ -> false
+        in
+        let eligible =
+          array_candidates design
+          |> List.filter (fun ((slot : Slot.Array_slot.t), model) ->
+              slot.site <> primary_slot.Slot.Array_slot.site
+              && Env.connected design.Design.env primary_slot.Slot.Array_slot.site
+                   slot.site
+              && ((not is_sync)
+                  || Env.sync_mirror_allowed design.Design.env
+                       primary_slot.Slot.Array_slot.site slot.site)
+              && array_fits demand slot model ~capacity:app.App.data_size
+                   ~bandwidth:mirror_bw
+              && ((not needs_standby) || compute_left design demand slot.site >= 1))
+          |> prefer_populated design
+        in
+        if eligible = [] then None
+        else
+          let weights =
+            List.map
+              (fun cand ->
+                 (cand, weight_of ~alpha history design demand app.App.id cand))
+              eligible
+          in
+          Some (Some (Sample.weighted rng weights))
+      end
+    in
+    let tape =
+      if not (Technique.has_backup technique) then Some None
+      else begin
+        let chain = Option.get technique.Technique.backup in
+        let capacity = Ds_protection.Backup.tape_space chain app in
+        let bandwidth = Ds_protection.Backup.tape_bandwidth_demand chain app in
+        let eligible =
+          tape_candidates design
+            ~primary_site:primary_slot.Slot.Array_slot.site
+          |> List.filter (fun (slot, model) ->
+              tape_fits design demand slot model ~capacity ~bandwidth)
+        in
+        (* Local libraries avoid burning link bandwidth on backups; weight
+           them up strongly but keep remote ones reachable. *)
+        let weights =
+          List.map
+            (fun ((slot : Slot.Tape_slot.t), model) ->
+               let local =
+                 slot.site = primary_slot.Slot.Array_slot.site
+               in
+               (((slot, model) : Slot.Tape_slot.t * Tape_model.t),
+                if local then 4. else 1.))
+            eligible
+        in
+        if weights = [] then None else Some (Some (Sample.weighted rng weights))
+      end
+    in
+    match mirror, tape with
+    | None, _ | _, None -> None
+    | Some mirror, Some tape ->
+      let assignment =
+        Assignment.v ~app ~technique ~primary:primary_slot
+          ?mirror:(Option.map fst mirror)
+          ?backup:(Option.map fst tape) ()
+      in
+      Some
+        { assignment;
+          primary_model;
+          mirror_model = Option.map snd mirror;
+          tape_model = Option.map snd tape }
+  end
+
+let choose_uniform rng design (app : App.t) technique =
+  let primaries = array_candidates design in
+  if primaries = [] then None
+  else begin
+    let (primary_slot, primary_model) = Sample.choose rng primaries in
+    let mirror =
+      if not (Technique.has_mirror technique) then Some None
+      else
+        let eligible =
+          array_candidates design
+          |> List.filter (fun ((slot : Slot.Array_slot.t), _) ->
+              slot.site <> primary_slot.Slot.Array_slot.site
+              && Env.connected design.Design.env
+                   primary_slot.Slot.Array_slot.site slot.site)
+        in
+        if eligible = [] then None else Some (Some (Sample.choose rng eligible))
+    in
+    let tape =
+      if not (Technique.has_backup technique) then Some None
+      else
+        let eligible =
+          tape_candidates design
+            ~primary_site:primary_slot.Slot.Array_slot.site
+        in
+        if eligible = [] then None else Some (Some (Sample.choose rng eligible))
+    in
+    match mirror, tape with
+    | None, _ | _, None -> None
+    | Some mirror, Some tape ->
+      let assignment =
+        Assignment.v ~app ~technique ~primary:primary_slot
+          ?mirror:(Option.map fst mirror)
+          ?backup:(Option.map fst tape) ()
+      in
+      Some
+        { assignment;
+          primary_model;
+          mirror_model = Option.map snd mirror;
+          tape_model = Option.map snd tape }
+  end

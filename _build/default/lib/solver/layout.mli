@@ -1,0 +1,65 @@
+(** Biased random layout selection (Section 3.1.3).
+
+    Given a partial design and an application with a chosen technique,
+    picks the devices its copies will live on. Selection probability of a
+    device is proportional to
+
+    [alpha * (1 - util) + (1 - alpha) * (1 - usage)]
+
+    where [util] is the device's current utilization (encouraging load
+    balance) and [usage] is the fraction of past layouts of this app that
+    used the device (encouraging diversity across reconfigurations).
+    [alpha] is close to one, as in the paper. Already-used devices are
+    preferred over opening new ones unless none fit. *)
+
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Array_model = Ds_resources.Array_model
+module Tape_model = Ds_resources.Tape_model
+module Slot = Ds_resources.Slot
+module Design = Ds_design.Design
+module Assignment = Ds_design.Assignment
+module Rng = Ds_prng.Rng
+
+module History : sig
+  type t
+  (** Mutable record of which devices each application has been laid out
+      on across the search, for the diversity bias. *)
+
+  val create : unit -> t
+  val record : t -> App.id -> Slot.Array_slot.t -> unit
+  val usage : t -> App.id -> Slot.Array_slot.t -> float
+  (** Fraction of this app's past layouts using the slot; 0 before any. *)
+end
+
+type choice = {
+  assignment : Assignment.t;
+  primary_model : Array_model.t;
+  mirror_model : Array_model.t option;
+  tape_model : Tape_model.t option;
+}
+
+val apply : Design.t -> choice -> (Design.t, string) result
+(** Add the chosen assignment (and models) to the design. *)
+
+val choose :
+  ?alpha:float ->
+  Rng.t ->
+  History.t ->
+  Design.t ->
+  App.t ->
+  Technique.t ->
+  choice option
+(** Biased layout for the app under the technique; [None] when no
+    placement fits (e.g. no connected site has room for a mirror). Records
+    the primary choice in the history. *)
+
+val choose_uniform : Rng.t -> Design.t -> App.t -> Technique.t -> choice option
+(** Uniform layout over all structurally valid placements — the random
+    heuristic's generator (no fit pre-filtering beyond structure). *)
+
+val enumerate_primaries :
+  Design.t -> App.t -> (Slot.Array_slot.t * Array_model.t) list
+(** Every (slot, model) that could host the app's primary copy with room
+    to spare: populated slots keep their installed model; empty bays are
+    offered once per allowed model. *)

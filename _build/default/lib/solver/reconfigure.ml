@@ -1,0 +1,93 @@
+module Money = Ds_units.Money
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Technique_catalog = Ds_protection.Technique_catalog
+module Design = Ds_design.Design
+module Likelihood = Ds_failure.Likelihood
+module Evaluate = Ds_cost.Evaluate
+module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
+
+type state = {
+  rng : Rng.t;
+  history : Layout.History.t;
+  likelihood : Likelihood.t;
+  options : Config_solver.options;
+  mutable evaluations : int;
+}
+
+let state ?(options = Config_solver.search_options) ~rng likelihood =
+  { rng; history = Layout.History.create (); likelihood; options;
+    evaluations = 0 }
+
+let eligible_techniques app =
+  Technique_catalog.eligible_for (App.category app)
+
+let scoped_options state (app : App.t) =
+  match state.options.Config_solver.window_scope with
+  | Config_solver.Only _ ->
+    { state.options with Config_solver.window_scope = Config_solver.Only [ app.App.id ] }
+  | Config_solver.All_apps | Config_solver.Skip -> state.options
+
+let place_with_technique state design app technique =
+  match Layout.choose state.rng state.history design app technique with
+  | None -> None
+  | Some choice ->
+    (match Layout.apply design choice with
+     | Error _ -> None
+     | Ok design ->
+       state.evaluations <- state.evaluations + 1;
+       (match
+          Config_solver.solve ~options:(scoped_options state app) design
+            state.likelihood
+        with
+        | Ok candidate -> Some candidate
+        | Error _ -> None))
+
+let assign_best state design app =
+  eligible_techniques app
+  |> List.filter_map (place_with_technique state design app)
+  |> Candidate.best_of
+
+(* Victim selection: weight each assigned app by its burden (penalties +
+   outlay share), so expensive apps are reconfigured more often. *)
+let pick_victim state (candidate : Candidate.t) =
+  let weights =
+    Design.apps candidate.Candidate.design
+    |> List.map (fun app ->
+        (app,
+         Money.to_dollars (Evaluate.app_burden candidate.Candidate.eval app.App.id)))
+  in
+  match weights with
+  | [] -> None
+  | _ -> Some (Sample.weighted state.rng weights)
+
+let reconfigure state (candidate : Candidate.t) =
+  match pick_victim state candidate with
+  | None -> None
+  | Some app ->
+    let stripped = Design.remove candidate.Candidate.design app.App.id in
+    let attempts =
+      eligible_techniques app
+      |> List.filter_map (fun technique ->
+          Option.map (fun c -> (technique, c))
+            (place_with_technique state stripped app technique))
+    in
+    (match attempts with
+     | [] -> None
+     | attempts ->
+       (* Bias toward inexpensive techniques: p(dpt) proportional to
+          1 - cost/sum (degenerates to uniform for a single option). *)
+       let costs = List.map (fun (_, c) -> Candidate.cost c) attempts in
+       let total = Money.sum costs in
+       let weights =
+         List.map
+           (fun (_, c) ->
+              let share =
+                if Money.is_zero total then 0.
+                else Money.div (Candidate.cost c) total
+              in
+              (c, Float.max 0.01 (1. -. share)))
+           attempts
+       in
+       Some (Sample.weighted state.rng weights))

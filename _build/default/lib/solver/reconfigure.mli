@@ -1,0 +1,46 @@
+(** The reconfiguration step (Section 3.1.3): one edge of the design
+    graph.
+
+    Reconfiguring picks a victim application (biased toward the ones
+    contributing most to overall cost), strips it from the design, and
+    gives it a fresh technique and layout. The technique is drawn from the
+    app's class or better, with probability biased toward inexpensive
+    options: technique [dpt] is chosen with probability proportional to
+    [1 - cost dpt / sum of costs] over the eligible techniques, each cost
+    measured as the incremental cost in the context of the full candidate
+    solution. *)
+
+module App = Ds_workload.App
+module Technique = Ds_protection.Technique
+module Design = Ds_design.Design
+module Likelihood = Ds_failure.Likelihood
+module Rng = Ds_prng.Rng
+
+type state = {
+  rng : Rng.t;
+  history : Layout.History.t;
+  likelihood : Likelihood.t;
+  options : Config_solver.options;
+  mutable evaluations : int;  (** Config-solver invocations, for reporting. *)
+}
+
+val state :
+  ?options:Config_solver.options -> rng:Rng.t -> Likelihood.t -> state
+
+val eligible_techniques : App.t -> Technique.t list
+(** The app's class or better, from the Table 2 catalog. *)
+
+val place_with_technique :
+  state -> Design.t -> App.t -> Technique.t -> Candidate.t option
+(** Lay the app out under the given technique (biased layout) and complete
+    the design with the configuration solver. [None] when no placement is
+    feasible. *)
+
+val assign_best : state -> Design.t -> App.t -> Candidate.t option
+(** Greedy best-fit step (stage 1): try {e every} eligible technique and
+    keep the cheapest completed candidate. *)
+
+val reconfigure : state -> Candidate.t -> Candidate.t option
+(** One design-graph edge: re-protect a burden-biased victim app with a
+    cost-biased technique and a fresh biased layout. [None] when the move
+    fails to produce a feasible candidate. *)

@@ -1,0 +1,1 @@
+lib/trace/characterize.ml: Ds_units Ds_workload Float Format Hashtbl Io_record List Trace

@@ -1,0 +1,1 @@
+lib/trace/characterize.mli: Ds_units Ds_workload Format Trace

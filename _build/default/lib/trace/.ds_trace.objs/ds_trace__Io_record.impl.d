@@ -1,0 +1,1 @@
+lib/trace/io_record.ml: Ds_units Format

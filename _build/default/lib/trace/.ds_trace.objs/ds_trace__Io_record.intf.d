@@ -1,0 +1,1 @@
+lib/trace/io_record.mli: Ds_units Format

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Ds_prng Ds_units Float Io_record Trace

@@ -1,0 +1,1 @@
+lib/trace/synth.mli: Ds_prng Ds_units Trace

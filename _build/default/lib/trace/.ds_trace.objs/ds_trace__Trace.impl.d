@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Ds_units Format Io_record List

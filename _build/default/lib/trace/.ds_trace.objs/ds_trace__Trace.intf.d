@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Ds_units Format Io_record

@@ -1,0 +1,62 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+module App = Ds_workload.App
+
+type t = {
+  footprint : Size.t;
+  avg_access_rate : Rate.t;
+  avg_update_rate : Rate.t;
+  peak_update_rate : Rate.t;
+  unique_update_rate : Rate.t;
+  write_fraction : float;
+}
+
+let analyze ?(peak_window = Time.minutes 1.) trace =
+  let duration_s = Float.max 1. (Time.to_seconds (Trace.duration trace)) in
+  let written = Size.to_bytes (Trace.bytes_written trace) in
+  let read = Size.to_bytes (Trace.bytes_read trace) in
+  let window_s = Time.to_seconds peak_window in
+  let peak = ref 0. in
+  let unique_total = ref 0. in
+  let block_bytes = Size.to_bytes (Trace.block_size trace) in
+  Trace.iter_windows ~window:peak_window trace ~f:(fun ~start:_ batch ->
+      let bytes = ref 0. in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (r : Io_record.t) ->
+           if Io_record.is_write r then begin
+             bytes := !bytes +. Size.to_bytes r.Io_record.size;
+             if not (Hashtbl.mem seen r.Io_record.block) then begin
+               Hashtbl.add seen r.Io_record.block ();
+               unique_total := !unique_total +. block_bytes
+             end
+           end)
+        batch;
+      peak := Float.max !peak (!bytes /. window_s));
+  let total = written +. read in
+  { footprint = Trace.footprint trace;
+    avg_access_rate = Rate.bytes_per_sec (total /. duration_s);
+    avg_update_rate = Rate.bytes_per_sec (written /. duration_s);
+    peak_update_rate = Rate.bytes_per_sec (Float.max !peak (written /. duration_s));
+    unique_update_rate = Rate.bytes_per_sec (!unique_total /. duration_s);
+    write_fraction = (if total = 0. then 0. else written /. total) }
+
+let to_app ~id ~name ~class_tag ~outage_per_hour ~loss_per_hour ?(scale = 1.) t =
+  if scale <= 0. then invalid_arg "Characterize.to_app: scale must be positive";
+  let growth_headroom = 1.3 in
+  App.v ~id ~name ~class_tag ~outage_per_hour ~loss_per_hour
+    ~data_size:(Size.scale (scale *. growth_headroom) t.footprint)
+    ~avg_update:(Rate.scale scale t.avg_update_rate)
+    ~peak_update:(Rate.scale scale t.peak_update_rate)
+    ~unique_update:(Rate.min (Rate.scale scale t.avg_update_rate)
+                      (Rate.scale scale t.unique_update_rate))
+    ~avg_access:(Rate.scale scale t.avg_access_rate) ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "footprint %a; access %a; update avg %a / peak %a / unique %a; %.0f%% writes"
+    Size.pp t.footprint Rate.pp t.avg_access_rate Rate.pp t.avg_update_rate
+    Rate.pp t.peak_update_rate Rate.pp t.unique_update_rate
+    (100. *. t.write_fraction)

@@ -1,0 +1,46 @@
+(** Trace characterization: from a block trace to the workload numbers
+    the design tool consumes (Section 2.2).
+
+    - {e average access rate} (reads + writes) sizes primary array
+      bandwidth and failover compute;
+    - {e average update rate} sizes asynchronous mirror links;
+    - {e peak update rate} (the busiest window) sizes synchronous mirror
+      links;
+    - {e unique update rate} (distinct bytes dirtied per window) sizes
+      snapshot space and periodic-copy bandwidth;
+    - {e footprint} sizes capacity. *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type t = {
+  footprint : Size.t;
+  avg_access_rate : Rate.t;
+  avg_update_rate : Rate.t;
+  peak_update_rate : Rate.t;  (** Max over {!analyze}'s [peak_window]s. *)
+  unique_update_rate : Rate.t;
+      (** Distinct blocks dirtied per window x block size / window. *)
+  write_fraction : float;
+}
+
+val analyze : ?peak_window:Time.t -> Trace.t -> t
+(** Default peak window: one minute. @raise Invalid_argument on a zero
+    window. *)
+
+val to_app :
+  id:Ds_workload.App.id ->
+  name:string ->
+  class_tag:string ->
+  outage_per_hour:Money.t ->
+  loss_per_hour:Money.t ->
+  ?scale:float ->
+  t ->
+  Ds_workload.App.t
+(** Attach business requirements to a characterization, optionally
+    scaling all magnitudes (the paper uses "scaled versions of the
+    cello2002 workload"). Capacity is padded 30% above the observed
+    footprint for growth, as a provisioning tool would. *)
+
+val pp : Format.formatter -> t -> unit

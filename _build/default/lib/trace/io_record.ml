@@ -1,0 +1,25 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+
+type op = Read | Write
+
+type t = {
+  time : Time.t;
+  op : op;
+  block : int;
+  size : Size.t;
+}
+
+let v ~time ~op ~block ~size =
+  if block < 0 then invalid_arg "Io_record.v: negative block address";
+  if Size.is_zero size then invalid_arg "Io_record.v: empty request";
+  { time; op; block; size }
+
+let is_write t = t.op = Write
+
+let compare_time a b = Time.compare a.time b.time
+
+let pp ppf t =
+  Format.fprintf ppf "%a %s blk=%d %a" Time.pp t.time
+    (match t.op with Read -> "R" | Write -> "W")
+    t.block Size.pp t.size

@@ -1,0 +1,26 @@
+(** One block-level I/O request.
+
+    The paper's workload characteristics (Table 1) are "based on scaled
+    versions of the cello2002 workload" — a block I/O trace. This module
+    and its siblings provide the trace substrate: synthetic cello-like
+    traces and the analysis that turns a trace into the per-application
+    characteristics the design tool needs (Section 2.2). *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+
+type op = Read | Write
+
+type t = {
+  time : Time.t;  (** Offset from the start of the trace. *)
+  op : op;
+  block : int;  (** Logical block address. *)
+  size : Size.t;  (** Request length in bytes. *)
+}
+
+val v : time:Time.t -> op:op -> block:int -> size:Size.t -> t
+(** @raise Invalid_argument on a negative block or zero size. *)
+
+val is_write : t -> bool
+val compare_time : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
+
+type profile = {
+  duration : Time.t;
+  mean_iops : float;
+  write_fraction : float;
+  request_size : Size.t;
+  blocks : int;
+  zipf_skew : float;
+  diurnal_swing : float;
+  burst_factor : float;
+  burst_fraction : float;
+}
+
+let default =
+  { duration = Time.hours 12.;
+    mean_iops = 120.;
+    write_fraction = 0.4;
+    request_size = Size.bytes 8192.;
+    blocks = 262_144;  (* 2 GiB at 8 KiB *)
+    zipf_skew = 0.8;
+    diurnal_swing = 0.6;
+    burst_factor = 10.;
+    burst_fraction = 0.05 }
+
+let validate p =
+  if Time.is_zero p.duration then Error "duration must be positive"
+  else if not (p.mean_iops > 0.) then Error "mean_iops must be positive"
+  else if p.write_fraction < 0. || p.write_fraction > 1. then
+    Error "write_fraction must be in [0, 1]"
+  else if Size.is_zero p.request_size then Error "request_size must be positive"
+  else if p.blocks <= 0 then Error "blocks must be positive"
+  else if p.zipf_skew < 0. then Error "zipf_skew must be non-negative"
+  else if p.diurnal_swing < 0. || p.diurnal_swing >= 1. then
+    Error "diurnal_swing must be in [0, 1)"
+  else if p.burst_factor < 1. then Error "burst_factor must be >= 1"
+  else if p.burst_fraction < 0. || p.burst_fraction > 1. then
+    Error "burst_fraction must be in [0, 1]"
+  else Ok ()
+
+(* Approximate Zipf sampling by inverse-transform over a power-law
+   density: u^(1/(1-s)) concentrates mass on low indices for s in (0,1);
+   for s = 0 it degenerates to uniform. Exact Zipf normalization is not
+   needed — only a realistic hot/cold skew. *)
+let sample_block rng p =
+  if p.zipf_skew = 0. then Rng.int rng p.blocks
+  else begin
+    let u = Rng.unit_float rng in
+    let exponent = 1. /. (1. -. Float.min p.zipf_skew 0.99) in
+    let frac = Float.min (Float.pow u exponent) 1. in
+    min (p.blocks - 1) (int_of_float (frac *. float_of_int p.blocks))
+  end
+
+(* Requests are generated minute by minute: each minute gets an intensity
+   (diurnal x burst) and a Poisson-ish request count, then uniform
+   arrival offsets inside the minute. *)
+let generate rng p =
+  (match validate p with Ok () -> () | Error msg -> invalid_arg ("Synth.generate: " ^ msg));
+  let minute = 60. in
+  let total = Time.to_seconds p.duration in
+  let minutes = max 1 (int_of_float (Float.ceil (total /. minute))) in
+  let day = 86_400. in
+  let records = ref [] in
+  for m = 0 to minutes - 1 do
+    let start = float_of_int m *. minute in
+    let diurnal =
+      1. +. (p.diurnal_swing *. sin (2. *. Float.pi *. start /. day))
+    in
+    let burst =
+      if Sample.bernoulli rng p.burst_fraction then p.burst_factor else 1.
+    in
+    let lambda = p.mean_iops *. minute *. diurnal *. burst in
+    (* A cheap Poisson approximation: uniform integer in [0.5, 1.5) x
+       lambda. The analysis only needs realistic aggregate rates, not an
+       exact arrival process. *)
+    let count =
+      int_of_float (lambda *. (0.5 +. Rng.unit_float rng))
+    in
+    for _ = 1 to count do
+      let at = start +. (Rng.unit_float rng *. minute) in
+      if at <= total then begin
+        let op =
+          if Sample.bernoulli rng p.write_fraction then Io_record.Write
+          else Io_record.Read
+        in
+        let block = sample_block rng p in
+        records :=
+          Io_record.v ~time:(Time.seconds at) ~op ~block ~size:p.request_size
+          :: !records
+      end
+    done
+  done;
+  (* Guarantee non-emptiness even for degenerate profiles. *)
+  let records =
+    match !records with
+    | [] ->
+      [ Io_record.v ~time:Time.zero ~op:Io_record.Read ~block:0
+          ~size:p.request_size ]
+    | rs -> rs
+  in
+  Trace.v ~block_size:p.request_size records

@@ -1,0 +1,40 @@
+(** Synthetic cello-like trace generation.
+
+    The original cello2002 traces are HP-internal; this generator produces
+    block I/O streams with the properties the design tool's
+    characterization depends on (DESIGN.md documents the substitution):
+
+    - a configurable read/write mix;
+    - diurnal intensity (sinusoidal day/night load) plus burst episodes,
+      giving a real peak-to-average update ratio;
+    - Zipf-like block popularity, so repeated writes hit hot blocks and
+      the {e unique} update rate is well below the raw update rate —
+      exactly what makes snapshots space-efficient. *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rng = Ds_prng.Rng
+
+type profile = {
+  duration : Time.t;  (** Trace length. *)
+  mean_iops : float;  (** Average request arrival rate (1/s). *)
+  write_fraction : float;  (** Fraction of requests that are writes. *)
+  request_size : Size.t;  (** Fixed request length. *)
+  blocks : int;  (** Volume size in blocks. *)
+  zipf_skew : float;  (** Popularity skew; 0 = uniform, ~1 = heavily hot. *)
+  diurnal_swing : float;
+      (** Relative day/night amplitude in [0, 1); 0 = flat load. *)
+  burst_factor : float;  (** Intensity multiplier during bursts (>= 1). *)
+  burst_fraction : float;  (** Fraction of windows that burst. *)
+}
+
+val default : profile
+(** A cello-like OLTP mix: 12 h, 120 IOPS, 40% writes, 8 KiB requests,
+    2 GiB footprint, skewed popularity, moderate diurnal swing, 10x
+    bursts in 5% of minutes. *)
+
+val validate : profile -> (unit, string) result
+
+val generate : Rng.t -> profile -> Trace.t
+(** Deterministic for a given generator state.
+    @raise Invalid_argument when the profile fails {!validate}. *)

@@ -1,0 +1,64 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+
+type t = {
+  records : Io_record.t array;
+  block_size : Size.t;
+}
+
+let v ~block_size records =
+  if records = [] then invalid_arg "Trace.v: empty trace";
+  if Size.is_zero block_size then invalid_arg "Trace.v: zero block size";
+  let records = Array.of_list records in
+  Array.sort Io_record.compare_time records;
+  { records; block_size }
+
+let records t = t.records
+let block_size t = t.block_size
+let length t = Array.length t.records
+
+let duration t = t.records.(Array.length t.records - 1).Io_record.time
+
+let sum_bytes t keep =
+  Array.fold_left
+    (fun acc (r : Io_record.t) ->
+       if keep r then Size.add acc r.Io_record.size else acc)
+    Size.zero t.records
+
+let bytes_read t = sum_bytes t (fun r -> not (Io_record.is_write r))
+let bytes_written t = sum_bytes t Io_record.is_write
+
+let footprint t =
+  let top =
+    Array.fold_left (fun acc (r : Io_record.t) -> max acc r.Io_record.block) 0
+      t.records
+  in
+  Size.scale (float_of_int (top + 1)) t.block_size
+
+let iter_windows ~window t ~f =
+  if Time.is_zero window then invalid_arg "Trace.iter_windows: zero window";
+  let w = Time.to_seconds window in
+  let current = ref [] in
+  let current_idx = ref 0 in
+  let flush () =
+    match !current with
+    | [] -> ()
+    | batch ->
+      f ~start:(Time.seconds (float_of_int !current_idx *. w)) (List.rev batch);
+      current := []
+  in
+  Array.iter
+    (fun (r : Io_record.t) ->
+       let idx = int_of_float (Time.to_seconds r.Io_record.time /. w) in
+       if idx <> !current_idx then begin
+         flush ();
+         current_idx := idx
+       end;
+       current := r :: !current)
+    t.records;
+  flush ()
+
+let pp ppf t =
+  Format.fprintf ppf "trace(%d requests over %a, footprint %a)" (length t)
+    Time.pp (duration t) Size.pp (footprint t)

@@ -1,0 +1,32 @@
+(** An I/O trace: a time-ordered sequence of block requests plus the
+    block size of the traced volume. *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+
+type t
+
+val v : block_size:Size.t -> Io_record.t list -> t
+(** Sorts the records by time. @raise Invalid_argument on an empty trace
+    or a zero block size. *)
+
+val records : t -> Io_record.t array
+(** Time-ordered. *)
+
+val block_size : t -> Size.t
+val length : t -> int
+val duration : t -> Time.t
+(** Timestamp of the last request (traces start at zero). *)
+
+val bytes_read : t -> Size.t
+val bytes_written : t -> Size.t
+val footprint : t -> Size.t
+(** Capacity touched: (highest block + 1) x block size. *)
+
+val iter_windows :
+  window:Time.t -> t -> f:(start:Time.t -> Io_record.t list -> unit) -> unit
+(** Partition the trace into consecutive fixed-length windows and apply
+    [f] to each non-empty one. @raise Invalid_argument on a zero window. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/units/time.ml: Float Format

@@ -1,0 +1,1 @@
+lib/units/time.mli: Format

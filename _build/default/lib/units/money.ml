@@ -1,0 +1,46 @@
+type t = float
+
+let zero = 0.
+let dollars d =
+  if Float.is_nan d then invalid_arg "Money.dollars: NaN";
+  if d < 0. then invalid_arg "Money.dollars: negative amount";
+  d
+let k x = dollars (x *. 1e3)
+let m x = dollars (x *. 1e6)
+
+let to_dollars t = t
+
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let scale f t =
+  if f < 0. then invalid_arg "Money.scale: negative factor";
+  f *. t
+let div a b = if b = 0. then raise Division_by_zero else a /. b
+let sum = List.fold_left ( +. ) 0.
+
+let hours_per_year = 8760.
+
+let penalty ~rate_per_hour duration =
+  let h = Time.to_hours duration in
+  let h = if Float.is_finite h then Float.min h hours_per_year else hours_per_year in
+  rate_per_hour *. h
+
+let amortize price ~lifetime_years =
+  if lifetime_years <= 0. then invalid_arg "Money.amortize: lifetime must be positive";
+  price /. lifetime_years
+
+let min = Float.min
+let max = Float.max
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let is_zero t = t = 0.
+
+let pp ppf t =
+  if t >= 1e9 then Format.fprintf ppf "$%.4gB" (t /. 1e9)
+  else if t >= 1e6 then Format.fprintf ppf "$%.4gM" (t /. 1e6)
+  else if t >= 1e3 then Format.fprintf ppf "$%.4gK" (t /. 1e3)
+  else Format.fprintf ppf "$%.4g" t
+
+let to_string t = Format.asprintf "%a" pp t

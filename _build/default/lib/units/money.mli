@@ -1,0 +1,48 @@
+(** Dollar amounts: outlays, penalties and penalty rates.
+
+    Penalty rates are dollars per hour ({!per_hour} builds the hourly
+    amount; {!penalty} multiplies a rate by a duration). *)
+
+type t
+
+val zero : t
+val dollars : float -> t
+val k : float -> t
+(** Thousands of dollars. *)
+
+val m : float -> t
+(** Millions of dollars. *)
+
+val to_dollars : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Clamped at {!zero}; the model has no negative costs. *)
+
+val scale : float -> t -> t
+val div : t -> t -> float
+(** Ratio. @raise Division_by_zero on a zero divisor. *)
+
+val sum : t list -> t
+
+val penalty : rate_per_hour:t -> Time.t -> t
+(** [penalty ~rate_per_hour duration] is the cost accrued over [duration]
+    at an hourly rate. Infinite durations give a one-year cap: penalties in
+    the model are annual expectations, so a year of accrual is the maximum
+    chargeable exposure. *)
+
+val amortize : t -> lifetime_years:float -> t
+(** Annual share of a purchase price amortized over its lifetime. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [$1.23M] / [$45.6K] / [$789]. *)
+
+val to_string : t -> string

@@ -1,0 +1,37 @@
+type t = float
+
+let zero = 0.
+let bytes_per_sec r =
+  if Float.is_nan r then invalid_arg "Rate.bytes_per_sec: NaN";
+  if r < 0. then invalid_arg "Rate.bytes_per_sec: negative rate";
+  r
+let mb_per_sec x = bytes_per_sec (x *. 1e6)
+
+let to_bytes_per_sec r = r
+let to_mb_per_sec r = r /. 1e6
+
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let scale k r =
+  if k < 0. then invalid_arg "Rate.scale: negative factor";
+  k *. r
+let div a b = if b = 0. then raise Division_by_zero else a /. b
+
+let transfer_time size rate =
+  let size = Size.to_bytes size in
+  if size = 0. then Time.zero
+  else if rate = 0. then Time.infinity
+  else Time.seconds (size /. rate)
+
+let volume_in rate window = Size.bytes (rate *. Time.to_seconds window)
+
+let min = Float.min
+let max = Float.max
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let is_zero r = r = 0.
+
+let pp ppf r = Format.fprintf ppf "%.4gMB/s" (to_mb_per_sec r)
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,39 @@
+(** Data transfer rates (bandwidth).
+
+    Application update/access rates and device/link bandwidths.
+    Represented as bytes per second in a float. *)
+
+type t
+
+val zero : t
+val bytes_per_sec : float -> t
+val mb_per_sec : float -> t
+
+val to_bytes_per_sec : t -> float
+val to_mb_per_sec : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Clamped at {!zero}. *)
+
+val scale : float -> t -> t
+val div : t -> t -> float
+(** Ratio. @raise Division_by_zero on a zero divisor. *)
+
+val transfer_time : Size.t -> t -> Time.t
+(** [transfer_time size rate] is the time to move [size] at [rate];
+    {!Time.infinity} when [rate] is zero and [size] is positive. *)
+
+val volume_in : t -> Time.t -> Size.t
+(** [volume_in rate window] is the data produced at [rate] over [window]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,41 @@
+type t = float
+
+let zero = 0.
+let bytes b =
+  if Float.is_nan b then invalid_arg "Size.bytes: NaN";
+  if b < 0. then invalid_arg "Size.bytes: negative size";
+  b
+let mb x = bytes (x *. 1e6)
+let gb x = bytes (x *. 1e9)
+let tb x = bytes (x *. 1e12)
+
+let to_bytes s = s
+let to_mb s = s /. 1e6
+let to_gb s = s /. 1e9
+
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let scale k s =
+  if k < 0. then invalid_arg "Size.scale: negative factor";
+  k *. s
+let div a b = if b = 0. then raise Division_by_zero else a /. b
+
+let units_needed total ~per_unit =
+  if per_unit = 0. then raise Division_by_zero;
+  int_of_float (Float.ceil (total /. per_unit))
+
+let min = Float.min
+let max = Float.max
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let is_zero s = s = 0.
+
+let pp ppf s =
+  if s < 1e6 then Format.fprintf ppf "%.3gB" s
+  else if s < 1e9 then Format.fprintf ppf "%.4gMB" (to_mb s)
+  else if s < 1e12 then Format.fprintf ppf "%.4gGB" (to_gb s)
+  else Format.fprintf ppf "%.4gTB" (s /. 1e12)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,41 @@
+(** Data sizes.
+
+    Dataset capacities, copy sizes and device capacity units. Represented
+    as bytes in a float (datasets here are hundreds of GB; float precision
+    is ample). *)
+
+type t
+
+val zero : t
+val bytes : float -> t
+val mb : float -> t
+val gb : float -> t
+val tb : float -> t
+
+val to_bytes : t -> float
+val to_mb : t -> float
+val to_gb : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Clamped at {!zero}. *)
+
+val scale : float -> t -> t
+val div : t -> t -> float
+(** Ratio of two sizes. @raise Division_by_zero on a zero divisor. *)
+
+val units_needed : t -> per_unit:t -> int
+(** [units_needed total ~per_unit] is the number of discrete device units
+    (disks, cartridges) needed to hold [total]: [ceil (total / per_unit)].
+    @raise Division_by_zero if [per_unit] is zero. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,43 @@
+type t = float
+
+let zero = 0.
+let seconds s =
+  if Float.is_nan s then invalid_arg "Time.seconds: NaN";
+  if s < 0. then invalid_arg "Time.seconds: negative duration";
+  s
+let minutes m = seconds (m *. 60.)
+let hours h = seconds (h *. 3600.)
+let days d = seconds (d *. 86_400.)
+let weeks w = seconds (w *. 7. *. 86_400.)
+let years y = seconds (y *. 365. *. 86_400.)
+let infinity = Float.infinity
+
+let to_seconds t = t
+let to_minutes t = t /. 60.
+let to_hours t = t /. 3600.
+let to_days t = t /. 86_400.
+let to_years t = t /. (365. *. 86_400.)
+
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let scale k t =
+  if k < 0. then invalid_arg "Time.scale: negative factor";
+  k *. t
+let div a b = if b = 0. then raise Division_by_zero else a /. b
+let min = Float.min
+let max = Float.max
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let is_finite = Float.is_finite
+let is_zero t = t = 0.
+
+let pp ppf t =
+  if not (Float.is_finite t) then Format.fprintf ppf "forever"
+  else if t < 120. then Format.fprintf ppf "%.3gs" t
+  else if t < 2. *. 3600. then Format.fprintf ppf "%.3gmin" (to_minutes t)
+  else if t < 2. *. 86_400. then Format.fprintf ppf "%.3gh" (to_hours t)
+  else Format.fprintf ppf "%.4gd" (to_days t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,47 @@
+(** Durations.
+
+    All windows, recovery times and data-loss times in the model are
+    durations. The representation is seconds in a float; the abstract type
+    stops accidental mixing with sizes, rates and dollar amounts. *)
+
+type t
+
+val zero : t
+val seconds : float -> t
+val minutes : float -> t
+val hours : float -> t
+val days : float -> t
+val weeks : float -> t
+val years : float -> t
+(** One year is 365 days (8760 hours); the paper quotes annual rates. *)
+
+val infinity : t
+(** Used for "never recoverable" sentinel computations. *)
+
+val to_seconds : t -> float
+val to_minutes : t -> float
+val to_hours : t -> float
+val to_days : t -> float
+val to_years : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] clamps at {!zero}: durations are never negative. *)
+
+val scale : float -> t -> t
+val div : t -> t -> float
+(** Ratio of two durations. @raise Division_by_zero on a zero divisor. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val is_finite : t -> bool
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-friendly: picks seconds/minutes/hours/days as appropriate. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workload/app.ml: Category Ds_units Format Int Option

@@ -1,0 +1,1 @@
+lib/workload/app.mli: Category Ds_units Format

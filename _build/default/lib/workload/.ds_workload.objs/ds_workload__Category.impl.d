@@ -1,0 +1,1 @@
+lib/workload/category.ml: Ds_units Format Int String

@@ -1,0 +1,1 @@
+lib/workload/category.mli: Ds_units Format

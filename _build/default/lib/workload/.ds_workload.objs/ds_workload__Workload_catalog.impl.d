@@ -1,0 +1,1 @@
+lib/workload/workload_catalog.ml: App Array Ds_prng Ds_units List Printf String

@@ -1,0 +1,1 @@
+lib/workload/workload_catalog.mli: App Ds_prng Ds_units

@@ -1,0 +1,58 @@
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  class_tag : string;
+  outage_penalty_rate : Money.t;
+  loss_penalty_rate : Money.t;
+  data_size : Size.t;
+  avg_update_rate : Rate.t;
+  peak_update_rate : Rate.t;
+  unique_update_rate : Rate.t;
+  avg_access_rate : Rate.t;
+}
+
+let v ~id ~name ~class_tag ~outage_per_hour ~loss_per_hour ~data_size ~avg_update
+    ~peak_update ?unique_update ~avg_access () =
+  if Size.is_zero data_size then invalid_arg "App.v: empty dataset";
+  if Rate.(peak_update < avg_update) then
+    invalid_arg "App.v: peak update rate below average update rate";
+  let unique_update = Option.value ~default:avg_update unique_update in
+  if Rate.(avg_update < unique_update) then
+    invalid_arg "App.v: unique update rate above average update rate";
+  { id; name; class_tag;
+    outage_penalty_rate = outage_per_hour;
+    loss_penalty_rate = loss_per_hour;
+    data_size;
+    avg_update_rate = avg_update;
+    peak_update_rate = peak_update;
+    unique_update_rate = unique_update;
+    avg_access_rate = avg_access }
+
+let penalty_rate_sum t = Money.add t.outage_penalty_rate t.loss_penalty_rate
+
+let category t = Category.classify_penalty (penalty_rate_sum t)
+
+let compare a b = Int.compare a.id b.id
+
+let equal a b = a.id = b.id
+
+let pp ppf t =
+  Format.fprintf ppf "app#%d(%s:%s)" t.id t.class_tag t.name
+
+let pp_row ppf t =
+  Format.fprintf ppf "%-3d %-22s %-2s %10s %10s %8s %9s %9s %9s %s"
+    t.id t.name t.class_tag
+    (Money.to_string t.outage_penalty_rate)
+    (Money.to_string t.loss_penalty_rate)
+    (Size.to_string t.data_size)
+    (Rate.to_string t.avg_update_rate)
+    (Rate.to_string t.peak_update_rate)
+    (Rate.to_string t.avg_access_rate)
+    (Category.to_string (category t))

@@ -1,0 +1,65 @@
+(** Application workloads (Table 1).
+
+    An application is described by its business requirements — hourly
+    penalty rates for data outage and for recent data loss — and by its
+    data access characteristics: dataset size, average and peak
+    (non-unique) update rates, and average access (read + write) rate.
+    These drive the capacity and bandwidth demands of each data protection
+    technique (Section 2.2). *)
+
+module Time = Ds_units.Time
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  class_tag : string;  (** Workload class mnemonic from the paper: B, W, C or S. *)
+  outage_penalty_rate : Money.t;  (** $/hr of data unavailability. *)
+  loss_penalty_rate : Money.t;  (** $/hr of recent updates lost. *)
+  data_size : Size.t;
+  avg_update_rate : Rate.t;  (** Average non-unique update rate. *)
+  peak_update_rate : Rate.t;  (** Peak non-unique update rate. *)
+  unique_update_rate : Rate.t;
+      (** Rate at which {e distinct} data is dirtied — what periodic
+          copies (snapshots, incremental backups) must capture
+          (Section 2.2). At most the average update rate; equal to it
+          when no better estimate exists (Table 1 does not list it). *)
+  avg_access_rate : Rate.t;  (** Average read + write rate. *)
+}
+
+val v :
+  id:id ->
+  name:string ->
+  class_tag:string ->
+  outage_per_hour:Money.t ->
+  loss_per_hour:Money.t ->
+  data_size:Size.t ->
+  avg_update:Rate.t ->
+  peak_update:Rate.t ->
+  ?unique_update:Rate.t ->
+  avg_access:Rate.t ->
+  unit ->
+  t
+(** Smart constructor; checks that peak update rate >= average update
+    rate >= unique update rate (defaulted to the average) and that the
+    dataset is non-empty. @raise Invalid_argument otherwise. *)
+
+val penalty_rate_sum : t -> Money.t
+(** Outage + loss rate: the app's priority for recovery scheduling and its
+    weight for the solver's randomized selection. *)
+
+val category : t -> Category.t
+(** Service class derived from {!penalty_rate_sum}
+    via {!Category.classify_penalty}. *)
+
+val compare : t -> t -> int
+(** By id. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_row : Format.formatter -> t -> unit
+(** One Table 1-style row. *)

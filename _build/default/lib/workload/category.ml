@@ -1,0 +1,34 @@
+module Money = Ds_units.Money
+
+type t = Gold | Silver | Bronze
+
+let all = [ Gold; Silver; Bronze ]
+
+let rank = function Gold -> 0 | Silver -> 1 | Bronze -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let equal a b = rank a = rank b
+
+let covers provided required = rank provided <= rank required
+
+(* Thresholds chosen so that Table 1's labels come out right:
+   B ($10M/hr) -> Gold; W, C ($5.005M/hr) -> Silver; S ($10K/hr) -> Bronze. *)
+let gold_threshold = Money.m 8.
+let silver_threshold = Money.k 100.
+
+let classify_penalty rate_sum =
+  if Money.compare rate_sum gold_threshold >= 0 then Gold
+  else if Money.compare rate_sum silver_threshold >= 0 then Silver
+  else Bronze
+
+let to_string = function Gold -> "gold" | Silver -> "silver" | Bronze -> "bronze"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "gold" -> Some Gold
+  | "silver" -> Some Silver
+  | "bronze" -> Some Bronze
+  | _ -> None
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,35 @@
+(** Application / technique / resource service classes.
+
+    The paper's heuristics — and real storage architects — bucket
+    applications, data protection techniques and devices into gold, silver
+    and bronze classes. Applications are classified by fixed thresholds on
+    the sum of their penalty rates (Section 3.1.3). *)
+
+type t = Gold | Silver | Bronze
+
+val all : t list
+(** In descending order of service level: [Gold; Silver; Bronze]. *)
+
+val rank : t -> int
+(** Gold = 0, Silver = 1, Bronze = 2 (lower is better service). *)
+
+val compare : t -> t -> int
+(** Orders by service level, best (Gold) first. *)
+
+val equal : t -> t -> bool
+
+val covers : t -> t -> bool
+(** [covers provided required] is true when class [provided] offers the
+    same or better service than [required]: Gold covers everything, Bronze
+    only Bronze. *)
+
+val classify_penalty : Ds_units.Money.t -> t
+(** Classify an application by the sum of its hourly penalty rates:
+    Gold at or above $1M/hr, Silver at or above $100K/hr, else Bronze.
+    (Table 1: central banking sums to $10M/hr -> Gold; web service and
+    consumer banking to ~$5M/hr -> the paper labels them Silver, so the
+    Gold threshold used here is $8M/hr.) *)
+
+val of_string : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Size = Ds_units.Size
+module Rate = Ds_units.Rate
+module Money = Ds_units.Money
+module Rng = Ds_prng.Rng
+
+type spec = {
+  class_tag : string;
+  description : string;
+  outage_per_hour : Money.t;
+  loss_per_hour : Money.t;
+  data_size : Size.t;
+  avg_update : Rate.t;
+  peak_update : Rate.t;
+  avg_access : Rate.t;
+}
+
+(* Table 1 of the paper, verbatim. *)
+
+let central_banking =
+  { class_tag = "B";
+    description = "central banking: zero data loss, zero outage";
+    outage_per_hour = Money.m 5.;
+    loss_per_hour = Money.m 5.;
+    data_size = Size.gb 1300.;
+    avg_update = Rate.mb_per_sec 5.;
+    peak_update = Rate.mb_per_sec 50.;
+    avg_access = Rate.mb_per_sec 50. }
+
+let web_service =
+  { class_tag = "W";
+    description = "company web service: zero outage, modest loss";
+    outage_per_hour = Money.m 5.;
+    loss_per_hour = Money.k 5.;
+    data_size = Size.gb 4300.;
+    avg_update = Rate.mb_per_sec 2.;
+    peak_update = Rate.mb_per_sec 20.;
+    avg_access = Rate.mb_per_sec 20. }
+
+let consumer_banking =
+  { class_tag = "C";
+    description = "consumer banking: zero loss, modest outage";
+    outage_per_hour = Money.k 5.;
+    loss_per_hour = Money.m 5.;
+    data_size = Size.gb 4300.;
+    avg_update = Rate.mb_per_sec 1.;
+    peak_update = Rate.mb_per_sec 10.;
+    avg_access = Rate.mb_per_sec 10. }
+
+let student_accounts =
+  { class_tag = "S";
+    description = "student accounts: tolerant to loss and outage";
+    outage_per_hour = Money.k 5.;
+    loss_per_hour = Money.k 5.;
+    data_size = Size.gb 500.;
+    avg_update = Rate.mb_per_sec 0.5;
+    peak_update = Rate.mb_per_sec 5.;
+    avg_access = Rate.mb_per_sec 5. }
+
+let all_specs = [ central_banking; web_service; consumer_banking; student_accounts ]
+
+let spec_of_tag tag =
+  List.find_opt (fun s -> String.equal s.class_tag tag) all_specs
+
+let instantiate spec ~id =
+  App.v ~id
+    ~name:(Printf.sprintf "%s%d" spec.class_tag id)
+    ~class_tag:spec.class_tag
+    ~outage_per_hour:spec.outage_per_hour
+    ~loss_per_hour:spec.loss_per_hour
+    ~data_size:spec.data_size
+    ~avg_update:spec.avg_update
+    ~peak_update:spec.peak_update
+    ~avg_access:spec.avg_access ()
+
+let mix ~count =
+  if count < 0 then invalid_arg "Workload_catalog.mix: negative count";
+  let specs = Array.of_list all_specs in
+  List.init count (fun i -> instantiate specs.(i mod Array.length specs) ~id:(i + 1))
+
+let balanced_rounds ~rounds = mix ~count:(4 * rounds)
+
+let jittered rng spec ~id ~spread =
+  if spread < 0. then invalid_arg "Workload_catalog.jittered: negative spread";
+  let factor () =
+    let lo = 1. /. (1. +. spread) in
+    let hi = 1. +. spread in
+    lo +. Rng.unit_float rng *. (hi -. lo)
+  in
+  let scale_money v = Money.scale (factor ()) v in
+  let scale_size v = Size.scale (factor ()) v in
+  let upd = Rate.scale (factor ()) spec.avg_update in
+  let peak = Rate.max upd (Rate.scale (factor ()) spec.peak_update) in
+  App.v ~id
+    ~name:(Printf.sprintf "%s%d~" spec.class_tag id)
+    ~class_tag:spec.class_tag
+    ~outage_per_hour:(scale_money spec.outage_per_hour)
+    ~loss_per_hour:(scale_money spec.loss_per_hour)
+    ~data_size:(scale_size spec.data_size)
+    ~avg_update:upd
+    ~peak_update:peak
+    ~avg_access:(Rate.max peak (Rate.scale (factor ()) spec.avg_access)) ()

@@ -1,0 +1,44 @@
+(** The four application classes of Table 1 and workload-mix generators.
+
+    Class mnemonics follow the paper: central banking (B), company web
+    service (W), consumer banking (C) and student accounts (S). The
+    scaling experiments (Figure 4) grow the environment "four applications
+    at a time, one from each class". *)
+
+type spec = {
+  class_tag : string;
+  description : string;
+  outage_per_hour : Ds_units.Money.t;
+  loss_per_hour : Ds_units.Money.t;
+  data_size : Ds_units.Size.t;
+  avg_update : Ds_units.Rate.t;
+  peak_update : Ds_units.Rate.t;
+  avg_access : Ds_units.Rate.t;
+}
+
+val central_banking : spec
+val web_service : spec
+val consumer_banking : spec
+val student_accounts : spec
+
+val all_specs : spec list
+(** [B; W; C; S], paper order. *)
+
+val spec_of_tag : string -> spec option
+
+val instantiate : spec -> id:App.id -> App.t
+(** Named instance [<tag><id>] of a class. *)
+
+val mix : count:int -> App.t list
+(** [mix ~count] builds [count] applications cycling through the classes
+    in paper order (B, W, C, S, B, ...), ids from 1. *)
+
+val balanced_rounds : rounds:int -> App.t list
+(** [balanced_rounds ~rounds] is [mix ~count:(4 * rounds)]: the Figure 4
+    scaling unit of one application per class. *)
+
+val jittered :
+  Ds_prng.Rng.t -> spec -> id:App.id -> spread:float -> App.t
+(** A randomized variant of a class: each magnitude is scaled by a factor
+    uniform in [\[1/(1+spread), 1+spread\]]. Used by property tests and the
+    synthetic-workload examples. [spread] must be non-negative. *)

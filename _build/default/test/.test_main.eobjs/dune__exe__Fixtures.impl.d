@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Dependable_storage Design Protection Resources Workload

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Dependable_storage Design Failure Fixtures Float List Money Protection Rate Recovery Resources Result Size Time Workload

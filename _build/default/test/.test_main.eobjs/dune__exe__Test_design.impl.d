@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Dependable_storage Design Fixtures List Money Protection Rate Resources Size String Workload

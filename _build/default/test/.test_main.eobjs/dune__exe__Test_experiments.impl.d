@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cost Dependable_storage Experiments Failure Float Format List Resources Solver String Units Workload

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Dependable_storage Design Failure Fixtures List Workload

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Dependable_storage Design Ds_experiments Failure Fixtures Heuristics List Money Option Prng Protection Resources Solver Workload

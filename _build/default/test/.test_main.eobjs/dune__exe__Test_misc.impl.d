@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dependable_storage Design Experiments Failure Fixtures Format List Money Protection Rate Recovery Resources Size Solver String Time Workload

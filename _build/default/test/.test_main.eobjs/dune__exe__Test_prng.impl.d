@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dependable_storage Fun Int Int64 List QCheck2 QCheck_alcotest Rng Sample

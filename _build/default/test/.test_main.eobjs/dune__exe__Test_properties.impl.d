@@ -1,0 +1,1 @@
+test/test_properties.ml: Cost Dependable_storage Design Ds_experiments Failure Float Heuristics List Money Option Prng QCheck2 QCheck_alcotest Rate Recovery Resources Size String Time Workload

@@ -1,0 +1,1 @@
+test/test_protection.ml: Alcotest Backup Dependable_storage Float Int List Mirror Money QCheck2 QCheck_alcotest Rate Recovery_mode Size Technique Technique_catalog Time

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Dependable_storage Design Failure Fixtures Float List Protection QCheck2 QCheck_alcotest Recovery Resources Time Workload

@@ -1,0 +1,1 @@
+test/test_resources.ml: Alcotest Array_model Dependable_storage Device_catalog Env Link_model List Money QCheck2 QCheck_alcotest Rate Site Size Slot Tape_model

@@ -1,0 +1,1 @@
+test/test_risk.ml: Alcotest Cost Dependable_storage Design Ds_experiments Failure Fixtures Float Heuristics Money Option Printf Prng Resources Risk Solver

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dependable_storage Float List QCheck2 QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Dependable_storage Design Ds_experiments Failure Fixtures Hashtbl List Money Option Prng Protection Resources Result Solver String Workload

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Dependable_storage Hashtbl List Money Prng Rate Result Size Time Trace Workload

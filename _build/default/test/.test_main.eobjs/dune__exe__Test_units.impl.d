@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Dependable_storage Float Money QCheck2 QCheck_alcotest Rate Size String Time

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest App Category Dependable_storage Int List Money Rate Size Workload_catalog

@@ -1,0 +1,165 @@
+(* Tests for ds_cost: outlays, expected penalties, full evaluation. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module D = Design.Design
+module Provision = Design.Provision
+module Likelihood = Failure.Likelihood
+module Outlay = Cost.Outlay
+module Penalty = Cost.Penalty
+module Summary = Cost.Summary
+module Evaluate = Cost.Evaluate
+module Outcome = Recovery.Outcome
+module Copy_source = Recovery.Copy_source
+module App = Workload.App
+module T = Protection.Technique_catalog
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let dollars m = Money.to_dollars m
+
+let prov_of design = Fixtures.feasible (Provision.minimum design)
+
+let summary_tests =
+  [ Alcotest.test_case "total sums the components" `Quick (fun () ->
+        let s = Summary.v ~outlay:(Money.m 1.) ~outage:(Money.m 2.) ~loss:(Money.m 3.) in
+        check_float "6M" 6e6 (dollars (Summary.total s)));
+    Alcotest.test_case "add and compare" `Quick (fun () ->
+        let a = Summary.v ~outlay:(Money.m 1.) ~outage:Money.zero ~loss:Money.zero in
+        let b = Summary.v ~outlay:(Money.m 2.) ~outage:Money.zero ~loss:Money.zero in
+        check_bool "a < b" true (Summary.compare_total a b < 0);
+        check_float "sum" 3e6 (dollars (Summary.total (Summary.add a b)))) ]
+
+let outlay_tests =
+  [ Alcotest.test_case "annual = purchase / 3" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        check_float "amortized" (dollars (Outlay.purchase prov) /. 3.)
+          (dollars (Outlay.annual prov)));
+    Alcotest.test_case "purchase covers all component classes" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let parts = Outlay.breakdown prov in
+        Alcotest.(check (list string)) "names"
+          [ "sites"; "disk arrays"; "tape libraries"; "network links"; "compute" ]
+          (List.map fst parts);
+        (* Two sites, two arrays, one tape lib, one link pair, 3 compute. *)
+        let get name = dollars (List.assoc name parts) in
+        check_float "sites" (2e6 /. 3.) (get "sites");
+        check_bool "arrays positive" true (get "disk arrays" > 0.);
+        check_bool "tapes positive" true (get "tape libraries" > 0.);
+        check_float "one link" (500_000. /. 3.) (get "network links");
+        check_float "compute: 2 primaries + 1 standby" (3. *. 125_000. /. 3.)
+          (get "compute");
+        let sum = List.fold_left (fun acc (_, m) -> acc +. dollars m) 0. parts in
+        check_bool "breakdown sums to annual" true
+          (Float.abs (sum -. dollars (Outlay.annual prov)) < 1.));
+    Alcotest.test_case "breakdown reacts to provisioning growth" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let pair = Resources.Slot.Pair.v 1 2 in
+        match Provision.grow prov (Provision.Grow_link pair) with
+        | Some grown ->
+          check_bool "more links cost more" true
+            (dollars (Outlay.annual grown) > dollars (Outlay.annual prov))
+        | None -> Alcotest.fail "grow failed");
+    Alcotest.test_case "app_share positive and bounded" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let share1 = dollars (Outlay.app_share prov 1) in
+        let share4 = dollars (Outlay.app_share prov 4) in
+        check_bool "positive" true (share1 > 0. && share4 > 0.);
+        check_bool "B costs more than S" true (share1 > share4);
+        check_bool "bounded by total" true
+          (share1 +. share4 <= dollars (Outlay.annual prov) +. 1.));
+    Alcotest.test_case "app_share of unknown app is zero" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        check_float "zero" 0. (dollars (Outlay.app_share prov 99))) ]
+
+let penalty_tests =
+  [ Alcotest.test_case "of_outcome weights by annual rate" `Quick (fun () ->
+        let outcome =
+          { Outcome.app = Fixtures.b_app; mode = Outcome.Failed_over;
+            recovery_time = Time.hours 1.; loss_time = Time.hours 2. }
+        in
+        let outage, loss = Penalty.of_outcome ~annual_rate:0.5 outcome in
+        (* B: outage $5M/hr, loss $5M/hr. *)
+        check_float "outage" (5e6 *. 0.5) (dollars outage);
+        check_float "loss" (2. *. 5e6 *. 0.5) (dollars loss));
+    Alcotest.test_case "expected_annual covers every app" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let p = Penalty.expected_annual prov Likelihood.default in
+        Alcotest.(check (list int)) "apps" [ 1; 4 ]
+          (List.map (fun (x : Penalty.per_app) -> x.Penalty.app.App.id)
+             p.Penalty.by_app);
+        check_bool "totals positive" true
+          (dollars p.Penalty.outage_total > 0. && dollars p.Penalty.loss_total > 0.);
+        let sum_outage =
+          List.fold_left (fun acc (x : Penalty.per_app) -> acc +. dollars x.Penalty.outage)
+            0. p.Penalty.by_app
+        in
+        check_float "by_app sums to total" (dollars p.Penalty.outage_total) sum_outage);
+    Alcotest.test_case "higher likelihood means higher penalties" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let base = Penalty.expected_annual prov Likelihood.default in
+        let double =
+          Penalty.expected_annual prov
+            (Likelihood.v ~data_object_per_year:(2. /. 3.)
+               ~array_per_year:(2. /. 3.) ~site_per_year:0.4)
+        in
+        check_float "outage doubles" (2. *. dollars base.Penalty.outage_total)
+          (dollars double.Penalty.outage_total);
+        check_float "loss doubles" (2. *. dollars base.Penalty.loss_total)
+          (dollars double.Penalty.loss_total)) ]
+
+let evaluate_tests =
+  [ Alcotest.test_case "design evaluates at minimum provisioning" `Quick (fun () ->
+        match Evaluate.design (Fixtures.two_app_design ()) Likelihood.default with
+        | Ok eval ->
+          check_bool "total = summary" true
+            (Float.abs (dollars (Evaluate.total eval)
+                        -. dollars (Summary.total eval.Evaluate.summary)) < 1e-6)
+        | Error e ->
+          Alcotest.failf "infeasible: %a" Provision.pp_infeasibility e);
+    Alcotest.test_case "infeasible design reports the constraint" `Quick (fun () ->
+        let big =
+          App.v ~id:9 ~name:"huge" ~class_tag:"W" ~outage_per_hour:(Money.k 1.)
+            ~loss_per_hour:(Money.k 1.) ~data_size:(Size.tb 25.)
+            ~avg_update:(Rate.mb_per_sec 1.) ~peak_update:(Rate.mb_per_sec 2.)
+            ~avg_access:(Rate.mb_per_sec 5.) ()
+        in
+        let asg =
+          Design.Assignment.v ~app:big ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        let design =
+          Fixtures.ok
+            (D.add (D.empty (Fixtures.peer_env ())) asg
+               ~primary_model:Resources.Device_catalog.msa1500
+               ~tape_model:Resources.Device_catalog.tape_high ())
+        in
+        check_bool "error" true
+          (Result.is_error (Evaluate.design design Likelihood.default)));
+    Alcotest.test_case "app_burden includes penalties and outlay share" `Quick
+      (fun () ->
+         match Evaluate.design (Fixtures.two_app_design ()) Likelihood.default with
+         | Ok eval ->
+           let burden = dollars (Evaluate.app_burden eval 1) in
+           let share = dollars (Outlay.app_share eval.Evaluate.provision 1) in
+           check_bool "burden >= outlay share" true (burden >= share)
+         | Error _ -> Alcotest.fail "infeasible");
+    Alcotest.test_case "growing bandwidth cannot worsen penalties" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let base = Evaluate.provisioned prov Likelihood.default in
+        let pair = Resources.Slot.Pair.v 1 2 in
+        match Provision.grow prov (Provision.Grow_link pair) with
+        | Some grown ->
+          let after = Evaluate.provisioned grown Likelihood.default in
+          let penalties e =
+            dollars e.Evaluate.summary.Summary.outage_penalty
+            +. dollars e.Evaluate.summary.Summary.loss_penalty
+          in
+          check_bool "penalties not worse" true (penalties after <= penalties base +. 1e-6)
+        | None -> Alcotest.fail "grow failed") ]
+
+let suites =
+  [ ("cost.summary", summary_tests);
+    ("cost.outlay", outlay_tests);
+    ("cost.penalty", penalty_tests);
+    ("cost.evaluate", evaluate_tests) ]

@@ -1,0 +1,343 @@
+(* Tests for ds_design: assignments, designs, demand accounting and
+   discrete provisioning. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Slot = Resources.Slot
+module Device_catalog = Resources.Device_catalog
+module Array_model = Resources.Array_model
+module T = Protection.Technique_catalog
+module App = Workload.App
+module Assignment = Design.Assignment
+module D = Design.Design
+module Demand = Design.Demand
+module Provision = Design.Provision
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let assignment_tests =
+  [ Alcotest.test_case "mirror requires distinct site" `Quick (fun () ->
+        Alcotest.check_raises "same site"
+          (Invalid_argument "Assignment.v: mirror must be at a different site")
+          (fun () ->
+             ignore
+               (Assignment.v ~app:Fixtures.b_app ~technique:T.sync_failover
+                  ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 1 1) ())));
+    Alcotest.test_case "mirror presence must match technique" `Quick (fun () ->
+        Alcotest.check_raises "missing mirror"
+          (Invalid_argument "Assignment.v: mirroring technique needs a mirror slot")
+          (fun () ->
+             ignore
+               (Assignment.v ~app:Fixtures.b_app ~technique:T.sync_failover
+                  ~primary:(Fixtures.slot 1 0) ()));
+        Alcotest.check_raises "spurious mirror"
+          (Invalid_argument "Assignment.v: mirror slot without a mirroring technique")
+          (fun () ->
+             ignore
+               (Assignment.v ~app:Fixtures.b_app ~technique:T.tape_backup
+                  ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 2 0)
+                  ~backup:(Fixtures.tape 1) ())));
+    Alcotest.test_case "backup presence must match technique" `Quick (fun () ->
+        Alcotest.check_raises "missing tape"
+          (Invalid_argument "Assignment.v: backup technique needs a tape slot")
+          (fun () ->
+             ignore
+               (Assignment.v ~app:Fixtures.b_app ~technique:T.tape_backup
+                  ~primary:(Fixtures.slot 1 0) ())));
+    Alcotest.test_case "mirror_pair and backup_pair" `Quick (fun () ->
+        let asg =
+          Assignment.v ~app:Fixtures.b_app ~technique:T.async_failover_backup
+            ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 2 0)
+            ~backup:(Fixtures.tape 2) ()
+        in
+        check_bool "mirror pair" true
+          (Assignment.mirror_pair asg = Some (Slot.Pair.v 1 2));
+        check_bool "remote backup pair" true
+          (Assignment.backup_pair asg = Some (Slot.Pair.v 1 2));
+        let local =
+          Assignment.v ~app:Fixtures.b_app ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        check_bool "local backup has no pair" true
+          (Assignment.backup_pair local = None);
+        Alcotest.(check (list int)) "sites used" [ 1; 2 ]
+          (Assignment.sites_used asg));
+    Alcotest.test_case "with_technique validates" `Quick (fun () ->
+        let asg =
+          Assignment.v ~app:Fixtures.b_app ~technique:T.async_failover_backup
+            ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 2 0)
+            ~backup:(Fixtures.tape 1) ()
+        in
+        let swapped = Assignment.with_technique asg T.sync_reconstruct_backup in
+        check_bool "swapped" true
+          (Protection.Technique.equal swapped.Assignment.technique
+             T.sync_reconstruct_backup)) ]
+
+let design_tests =
+  [ Alcotest.test_case "add, find, remove round trip" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        check_int "two apps" 2 (D.size design);
+        check_bool "finds b" true (D.find design 1 <> None);
+        let design = D.remove design 1 in
+        check_int "one app" 1 (D.size design);
+        check_bool "gone" true (D.find design 1 = None));
+    Alcotest.test_case "duplicate app rejected" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        (match Fixtures.assign_full Fixtures.b_app design with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "duplicate accepted"));
+    Alcotest.test_case "model conflicts rejected" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        (* s1/bay0 runs an XP1200; try to put a C app there on an EVA. *)
+        let asg =
+          Assignment.v ~app:Fixtures.c_app ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        match
+          D.add design asg ~primary_model:Device_catalog.eva8000
+            ~tape_model:Device_catalog.tape_high ()
+        with
+        | Error msg -> check_bool "mentions model" true
+                         (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "conflicting model accepted");
+    Alcotest.test_case "shared slot keeps its model" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let asg =
+          Assignment.v ~app:Fixtures.c_app ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        let design =
+          Fixtures.ok
+            (D.add design asg ~primary_model:Device_catalog.xp1200
+               ~tape_model:Device_catalog.tape_high ())
+        in
+        check_bool "still XP" true
+          (match D.array_model design (Fixtures.slot 1 0) with
+           | Some m -> Array_model.equal m Device_catalog.xp1200
+           | None -> false));
+    Alcotest.test_case "remove prunes orphaned models" `Quick (fun () ->
+        let design = D.empty (Fixtures.peer_env ()) in
+        let design = Fixtures.ok (Fixtures.assign_full Fixtures.b_app design) in
+        let design = D.remove design Fixtures.b_app.App.id in
+        check_bool "model gone" true (D.array_model design (Fixtures.slot 1 0) = None);
+        check_bool "mirror model gone" true (D.array_model design (Fixtures.slot 2 0) = None);
+        check_bool "tape model gone" true (D.tape_model design (Fixtures.tape 1) = None));
+    Alcotest.test_case "disconnected mirror rejected" `Quick (fun () ->
+        (* Environment with two sites and no links. *)
+        let env =
+          Resources.Env.v ~name:"islands"
+            ~sites:[ Resources.Site.v ~id:1 ~name:"A" (); Resources.Site.v ~id:2 ~name:"B" () ]
+            ~bays_per_site:1 ~array_models:Device_catalog.array_models
+            ~tape_slots_per_site:1 ~tape_models:Device_catalog.tape_models
+            ~link_model:Device_catalog.link_high ~max_link_units:4 ~links:[]
+            ~compute_slots_per_site:4 ()
+        in
+        let asg =
+          Assignment.v ~app:Fixtures.b_app ~technique:T.sync_failover
+            ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 2 0) ()
+        in
+        match D.add (D.empty env) asg ~primary_model:Device_catalog.xp1200
+                ~mirror_model:Device_catalog.xp1200 () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "disconnected mirror accepted");
+    Alcotest.test_case "used slots, pairs, sites" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        check_int "array slots" 2 (List.length (D.used_array_slots design));
+        check_int "tape slots" 1 (List.length (D.used_tape_slots design));
+        check_int "pairs" 1 (List.length (D.used_pairs design));
+        Alcotest.(check (list int)) "sites" [ 1; 2 ] (D.used_sites design));
+    Alcotest.test_case "primaries and residents" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        check_int "primaries on s1/bay0" 2
+          (List.length (D.primaries_on design (Fixtures.slot 1 0)));
+        check_int "residents of s2/bay0 (mirror)" 1
+          (List.length (D.residents design (Fixtures.slot 2 0)));
+        check_int "primaries at site 1" 2
+          (List.length (D.primaries_at_site design 1));
+        check_int "primaries at site 2" 0
+          (List.length (D.primaries_at_site design 2))) ]
+
+let demand_tests =
+  [ Alcotest.test_case "primary demand includes snapshots" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        let use = Demand.array_use demand (Fixtures.slot 1 0) in
+        (* B (1300 GB) + S (500 GB) + their snapshot space. *)
+        check_bool "capacity over raw data" true
+          Size.(Size.gb 1800. < use.Demand.capacity);
+        (* Access bandwidth: B 50 + S 5. *)
+        check_float "bandwidth" 55. (Rate.to_mb_per_sec use.Demand.bandwidth));
+    Alcotest.test_case "mirror demand uses update rates" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        let use = Demand.array_use demand (Fixtures.slot 2 0) in
+        check_float "capacity = dataset" 1300. (Size.to_gb use.Demand.capacity);
+        (* async mirror: average update rate of B = 5 MB/s. *)
+        check_float "bw = avg update" 5. (Rate.to_mb_per_sec use.Demand.bandwidth));
+    Alcotest.test_case "sync mirror uses peak rate" `Quick (fun () ->
+        let design = D.empty (Fixtures.peer_env ()) in
+        let design =
+          Fixtures.ok
+            (Fixtures.assign_full ~technique:T.sync_failover_backup Fixtures.b_app
+               design)
+        in
+        let demand = Demand.of_design design in
+        check_float "link = peak" 50.
+          (Rate.to_mb_per_sec (Demand.link_use demand (Slot.Pair.v 1 2))));
+    Alcotest.test_case "link demand for async mirror" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        check_float "avg update" 5.
+          (Rate.to_mb_per_sec (Demand.link_use demand (Slot.Pair.v 1 2))));
+    Alcotest.test_case "tape demand" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        let use = Demand.tape_use demand (Fixtures.tape 1) in
+        (* Two retained fulls each for B and S: 2*(1300+500) GB. *)
+        check_float "capacity" 3600. (Size.to_gb use.Demand.tape_capacity);
+        check_bool "bandwidth positive" true Rate.(Rate.zero < use.Demand.tape_bandwidth));
+    Alcotest.test_case "compute: primary plus failover standby" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        (* B and S primaries at site 1; B is failover so a standby at 2. *)
+        check_int "site 1" 2 (Demand.compute_use demand 1);
+        check_int "site 2" 1 (Demand.compute_use demand 2));
+    Alcotest.test_case "of_assignments subsets" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let only_b =
+          List.filter (fun (a : Assignment.t) -> a.Assignment.app.App.id = 1)
+            (D.assignments design)
+        in
+        let demand = Demand.of_assignments design only_b in
+        let use = Demand.array_use demand (Fixtures.slot 1 0) in
+        check_float "only B bandwidth" 50. (Rate.to_mb_per_sec use.Demand.bandwidth));
+    Alcotest.test_case "zero for untouched devices" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let demand = Demand.of_design design in
+        let use = Demand.array_use demand (Fixtures.slot 2 1) in
+        check_bool "zero" true (Size.is_zero use.Demand.capacity);
+        check_int "no compute at site 9" 0 (Demand.compute_use demand 9)) ]
+
+let provision_tests =
+  [ Alcotest.test_case "minimum covers demand" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let demand = prov.Provision.demand in
+        let use = Demand.array_use demand (Fixtures.slot 1 0) in
+        check_bool "bw covered" true
+          Rate.(use.Demand.bandwidth <= Provision.array_bw prov (Fixtures.slot 1 0));
+        let units =
+          Slot.Array_slot.Map.find (Fixtures.slot 1 0) prov.Provision.array_units
+        in
+        check_bool "capacity covered" true
+          Size.(use.Demand.capacity
+                <= Size.scale (float_of_int units) (Size.gb 143.)));
+    Alcotest.test_case "tape provisioning" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let drives = Slot.Tape_slot.Map.find (Fixtures.tape 1) prov.Provision.tape_drives in
+        check_bool "at least one drive" true (drives >= 1);
+        let carts =
+          Slot.Tape_slot.Map.find (Fixtures.tape 1) prov.Provision.tape_cartridges
+        in
+        check_int "cartridges for 3600GB" 60 carts);
+    Alcotest.test_case "link provisioning" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let units = Slot.Pair.Map.find (Slot.Pair.v 1 2) prov.Provision.link_units in
+        (* 5 MB/s async mirror -> one 20 MB/s link. *)
+        check_int "one link" 1 units);
+    Alcotest.test_case "infeasible when capacity exceeded" `Quick (fun () ->
+        (* S-class data on an MSA1500 is fine; a 100x web service is not. *)
+        let big =
+          App.v ~id:9 ~name:"huge" ~class_tag:"W" ~outage_per_hour:(Money.k 1.)
+            ~loss_per_hour:(Money.k 1.) ~data_size:(Size.tb 25.)
+            ~avg_update:(Rate.mb_per_sec 1.) ~peak_update:(Rate.mb_per_sec 2.)
+            ~avg_access:(Rate.mb_per_sec 5.) ()
+        in
+        let asg =
+          Assignment.v ~app:big ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        let design =
+          Fixtures.ok
+            (D.add (D.empty (Fixtures.peer_env ())) asg
+               ~primary_model:Device_catalog.msa1500
+               ~tape_model:Device_catalog.tape_high ())
+        in
+        match Provision.minimum design with
+        | Error (Provision.Array_capacity _) -> ()
+        | Error e ->
+          Alcotest.failf "wrong error: %a" Provision.pp_infeasibility e
+        | Ok _ -> Alcotest.fail "should be infeasible");
+    Alcotest.test_case "infeasible when compute exhausted" `Quick (fun () ->
+        let env =
+          Resources.Env.fully_connected ~name:"tiny" ~site_count:2 ~bays_per_site:2
+            ~array_models:Device_catalog.array_models
+            ~tape_models:Device_catalog.tape_models
+            ~link_model:Device_catalog.link_high ~max_link_units:32
+            ~compute_slots_per_site:1 ()
+        in
+        let design = D.empty env in
+        let design = Fixtures.ok (Fixtures.assign_tape_only Fixtures.s_app design) in
+        let asg =
+          Assignment.v ~app:Fixtures.c_app ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        let design =
+          Fixtures.ok
+            (D.add design asg ~primary_model:Device_catalog.xp1200
+               ~tape_model:Device_catalog.tape_high ())
+        in
+        match Provision.minimum design with
+        | Error (Provision.Compute_slots 1) -> ()
+        | Error e -> Alcotest.failf "wrong error: %a" Provision.pp_infeasibility e
+        | Ok _ -> Alcotest.fail "should be infeasible");
+    Alcotest.test_case "grow adds one unit, respects limits" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let pair = Slot.Pair.v 1 2 in
+        let before = Slot.Pair.Map.find pair prov.Provision.link_units in
+        (match Provision.grow prov (Provision.Grow_link pair) with
+         | Some grown ->
+           check_int "one more" (before + 1)
+             (Slot.Pair.Map.find pair grown.Provision.link_units)
+         | None -> Alcotest.fail "grow failed");
+        (* Saturate the pair and check grow refuses. *)
+        let rec saturate p =
+          match Provision.grow p (Provision.Grow_link pair) with
+          | Some p -> saturate p
+          | None -> p
+        in
+        let full = saturate prov in
+        check_int "at env max" 32 (Slot.Pair.Map.find pair full.Provision.link_units));
+    Alcotest.test_case "growth_moves lists live devices" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let moves = Provision.growth_moves prov in
+        check_bool "has array move" true
+          (List.exists (function Provision.Grow_array _ -> true | _ -> false) moves);
+        check_bool "has link move" true
+          (List.exists (function Provision.Grow_link _ -> true | _ -> false) moves);
+        check_bool "has drive move" true
+          (List.exists (function Provision.Grow_tape_drive _ -> true | _ -> false) moves));
+    Alcotest.test_case "array grow stops at controller ceiling" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let prov = Fixtures.feasible (Provision.minimum design) in
+        let slot = Fixtures.slot 1 0 in
+        let rec saturate p =
+          match Provision.grow p (Provision.Grow_array slot) with
+          | Some p -> saturate p
+          | None -> p
+        in
+        let full = saturate prov in
+        check_float "at 512MB/s" 512.
+          (Rate.to_mb_per_sec (Provision.array_bw full slot))) ]
+
+let suites =
+  [ ("design.assignment", assignment_tests);
+    ("design.design", design_tests);
+    ("design.demand", demand_tests);
+    ("design.provision", provision_tests) ]

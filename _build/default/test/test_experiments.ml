@@ -1,0 +1,215 @@
+(* Tests for the experiment harness: environments, sampling, comparisons,
+   sensitivity sweeps and report rendering. *)
+
+open Dependable_storage
+module E = Experiments
+module App = Workload.App
+module Env = Resources.Env
+module Likelihood = Failure.Likelihood
+module Summary = Cost.Summary
+module Money = Units.Money
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A tiny budget so the whole experiment pipeline stays test-sized. *)
+let tiny =
+  { E.Budgets.solver =
+      { E.Budgets.quick.E.Budgets.solver with
+        Solver.Design_solver.refit_rounds = 1;
+        depth = 1;
+        breadth = 2;
+        stage1_restarts = 2 };
+    human_attempts = 4;
+    random_attempts = 6;
+    space_samples = 200 }
+
+let env_tests =
+  [ Alcotest.test_case "peer sites match Section 4.3" `Quick (fun () ->
+        let env = E.Envs.peer_sites () in
+        check_int "two sites" 2 (List.length env.Env.sites);
+        check_int "32 links" 32 env.Env.max_link_units;
+        check_int "eight compute" 8 env.Env.compute_slots_per_site;
+        check_int "two bays" 2 env.Env.bays_per_site);
+    Alcotest.test_case "peer apps in Table 4 order" `Quick (fun () ->
+        let apps = E.Envs.peer_apps () in
+        Alcotest.(check (list string)) "order"
+          [ "B"; "C"; "W"; "S"; "B"; "C"; "W"; "S" ]
+          (List.map (fun a -> a.App.class_tag) apps));
+    Alcotest.test_case "quad sites fully connected" `Quick (fun () ->
+        let env = E.Envs.quad_sites () in
+        check_int "four sites" 4 (List.length env.Env.sites);
+        check_int "six pairs" 6 (List.length (Env.pairs env)));
+    Alcotest.test_case "scaled apps" `Quick (fun () ->
+        check_int "3 rounds = 12 apps" 12
+          (List.length (E.Envs.scaled_apps ~rounds:3))) ]
+
+let sampler_tests =
+  [ Alcotest.test_case "sampling yields feasible and infeasible designs" `Quick
+      (fun () ->
+         let stats =
+           E.Space_sampler.sample ~seed:3 ~samples:300 (E.Envs.peer_sites ())
+             (E.Envs.peer_apps ()) Likelihood.default
+         in
+         let feasible = Array.length stats.E.Space_sampler.costs in
+         check_int "all accounted" 300 (feasible + stats.E.Space_sampler.infeasible);
+         check_bool "some feasible" true (feasible > 10);
+         check_bool "costs sorted" true
+           (let ok = ref true in
+            Array.iteri
+              (fun i c ->
+                 if i > 0 && c < stats.E.Space_sampler.costs.(i - 1) then ok := false)
+              stats.E.Space_sampler.costs;
+            !ok));
+    Alcotest.test_case "histogram covers every sample" `Quick (fun () ->
+        let stats =
+          E.Space_sampler.sample ~seed:4 ~samples:300 (E.Envs.peer_sites ())
+            (E.Envs.peer_apps ()) Likelihood.default
+        in
+        let hist = E.Space_sampler.histogram ~bins:10 stats in
+        let total = Array.fold_left ( + ) 0 hist.E.Space_sampler.counts in
+        check_int "all bucketed" (Array.length stats.E.Space_sampler.costs) total;
+        check_int "ten buckets" 10 (Array.length hist.E.Space_sampler.counts));
+    Alcotest.test_case "percentile_of is monotone" `Quick (fun () ->
+        let stats =
+          E.Space_sampler.sample ~seed:5 ~samples:200 (E.Envs.peer_sites ())
+            (E.Envs.peer_apps ()) Likelihood.default
+        in
+        let n = Array.length stats.E.Space_sampler.costs in
+        let min_cost = stats.E.Space_sampler.costs.(0) in
+        let max_cost = stats.E.Space_sampler.costs.(n - 1) in
+        check_bool "min at 0" true (E.Space_sampler.percentile_of stats min_cost <= 0.01);
+        check_bool "beyond max at 1" true
+          (E.Space_sampler.percentile_of stats (max_cost +. 1.) >= 0.999);
+        check_bool "ordered" true
+          (E.Space_sampler.percentile_of stats min_cost
+           <= E.Space_sampler.percentile_of stats max_cost));
+    Alcotest.test_case "spread exceeds an order of magnitude (Figure 2)" `Quick
+      (fun () ->
+         let stats =
+           E.Space_sampler.sample ~seed:6 ~samples:500 (E.Envs.peer_sites ())
+             (E.Envs.peer_apps ()) Likelihood.default
+         in
+         match E.Space_sampler.spread stats with
+         | Some spread -> check_bool "10x+" true (spread > 10.)
+         | None -> Alcotest.fail "no spread") ]
+
+let compare_tests =
+  [ Alcotest.test_case "figure 3 ordering: design tool wins" `Slow (fun () ->
+        let entries = E.Compare.run_peer ~budgets:tiny () in
+        check_int "three entries" 3 (List.length entries);
+        let total label =
+          List.find (fun (e : E.Compare.entry) -> e.E.Compare.label = label) entries
+          |> fun e ->
+          match e.E.Compare.summary with
+          | Some s -> Money.to_dollars (Summary.total s)
+          | None -> Float.infinity
+        in
+        check_bool "design beats random" true (total "design tool" <= total "random");
+        check_bool "design beats human" true (total "design tool" <= total "human"));
+    Alcotest.test_case "ratio helper" `Quick (fun () ->
+        let mk label dollars =
+          { E.Compare.label;
+            summary =
+              Some (Summary.v ~outlay:(Money.dollars dollars) ~outage:Money.zero
+                      ~loss:Money.zero) }
+        in
+        let entries = [ mk "design tool" 100.; mk "human" 300. ] in
+        (match E.Compare.ratio entries ~baseline:"human" "design tool" with
+         | Some r -> Alcotest.(check (float 1e-9)) "3x" 3. r
+         | None -> Alcotest.fail "no ratio");
+        check_bool "missing entry" true
+          (E.Compare.ratio entries ~baseline:"random" "design tool" = None)) ]
+
+let case_study_tests =
+  [ Alcotest.test_case "table 4 rows are complete and consistent" `Slow (fun () ->
+        match E.Case_study.run ~budgets:tiny () with
+        | None -> Alcotest.fail "no solution"
+        | Some candidate ->
+          let rows = E.Case_study.rows_of_candidate candidate in
+          check_int "eight rows" 8 (List.length rows);
+          List.iter
+            (fun (row : E.Case_study.row) ->
+               check_bool "primary among array sites" true
+                 (List.mem row.E.Case_study.primary_site row.E.Case_study.array_sites);
+               (* Mirrored apps occupy arrays at two sites and the link. *)
+               if List.length row.E.Case_study.array_sites > 1 then
+                 check_bool "mirror implies network" true row.E.Case_study.uses_network)
+            rows) ]
+
+let sensitivity_tests =
+  [ Alcotest.test_case "axis metadata" `Quick (fun () ->
+        Alcotest.(check string) "object" "data object failure"
+          (E.Sensitivity.axis_name E.Sensitivity.Object_failure);
+        check_int "object sweep" 6
+          (List.length (E.Sensitivity.default_rates E.Sensitivity.Object_failure));
+        check_int "disk sweep" 5
+          (List.length (E.Sensitivity.default_rates E.Sensitivity.Array_failure)));
+    Alcotest.test_case "likelihood_for overrides one axis" `Quick (fun () ->
+        let l = E.Sensitivity.likelihood_for E.Sensitivity.Site_failure 0.5 in
+        Alcotest.(check (float 1e-9)) "site" 0.5 l.Likelihood.site_per_year;
+        Alcotest.(check (float 1e-9)) "object kept" 2. l.Likelihood.data_object_per_year;
+        let l2 = E.Sensitivity.likelihood_for E.Sensitivity.Array_failure 0.25 in
+        Alcotest.(check (float 1e-9)) "array" 0.25 l2.Likelihood.array_per_year);
+    Alcotest.test_case "sweep runs on a small workload" `Slow (fun () ->
+        let points =
+          E.Sensitivity.run ~budgets:tiny ~rates:[ 2.; 0.5 ] ~apps:4
+            E.Sensitivity.Object_failure
+        in
+        check_int "two points" 2 (List.length points);
+        List.iter
+          (fun (p : E.Sensitivity.point) ->
+             check_bool "feasible" true (p.E.Sensitivity.summary <> None))
+          points) ]
+
+let frontier_tests =
+  [ Alcotest.test_case "frontier repricing uses true rates" `Slow (fun () ->
+        let points =
+          E.Frontier.run ~budgets:tiny ~multipliers:[ 1. ]
+            (E.Envs.peer_sites ()) (E.Envs.peer_apps ()) Likelihood.default
+        in
+        match points with
+        | [ p ] ->
+          check_bool "multiplier recorded" true (p.E.Frontier.aversion = 1.);
+          check_bool "outlay positive" true
+            (Money.to_dollars p.E.Frontier.outlay > 0.);
+          check_bool "penalty positive" true
+            (Money.to_dollars p.E.Frontier.true_penalty > 0.)
+        | other -> Alcotest.failf "expected one point, got %d" (List.length other));
+    Alcotest.test_case "frontier renders" `Quick (fun () ->
+        let points =
+          [ { E.Frontier.aversion = 1.; outlay = Money.m 2.;
+              true_penalty = Money.m 10. } ]
+        in
+        let s = Format.asprintf "%a" E.Frontier.pp points in
+        check_bool "non-empty" true (String.length s > 0)) ]
+
+let report_tests =
+  [ Alcotest.test_case "catalog tables render" `Quick (fun () ->
+        let render f = Format.asprintf "%a" f () in
+        check_bool "table1" true (String.length (render E.Report.table1) > 100);
+        check_bool "table2" true (String.length (render E.Report.table2) > 100);
+        check_bool "table3" true (String.length (render E.Report.table3) > 100));
+    Alcotest.test_case "figure renderers do not fail on edge inputs" `Quick
+      (fun () ->
+         let entries =
+           [ { E.Compare.label = "design tool"; summary = None };
+             { E.Compare.label = "human"; summary = None } ]
+         in
+         let s = Format.asprintf "%a" (fun ppf () -> E.Report.figure3 ppf entries) () in
+         check_bool "renders infeasible" true (String.length s > 0);
+         let pts =
+           [ { E.Scalability.apps = 4; design_tool = Some (Money.m 1.);
+               random = None; human = None } ]
+         in
+         let s = Format.asprintf "%a" (fun ppf () -> E.Report.figure4 ppf pts) () in
+         check_bool "figure4" true (String.length s > 0)) ]
+
+let suites =
+  [ ("experiments.envs", env_tests);
+    ("experiments.sampler", sampler_tests);
+    ("experiments.compare", compare_tests);
+    ("experiments.case_study", case_study_tests);
+    ("experiments.sensitivity", sensitivity_tests);
+    ("experiments.frontier", frontier_tests);
+    ("experiments.report", report_tests) ]

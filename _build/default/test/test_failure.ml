@@ -1,0 +1,109 @@
+(* Tests for ds_failure: likelihoods, scenario enumeration, scopes. *)
+
+open Dependable_storage
+module Likelihood = Failure.Likelihood
+module Scenario = Failure.Scenario
+module App = Workload.App
+module Assignment = Design.Assignment
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let likelihood_tests =
+  [ Alcotest.test_case "per_years" `Quick (fun () ->
+        check_float "1/3" (1. /. 3.) (Likelihood.per_years 3.);
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Likelihood.per_years: need a positive period")
+          (fun () -> ignore (Likelihood.per_years 0.)));
+    Alcotest.test_case "paper defaults" `Quick (fun () ->
+        let d = Likelihood.default in
+        check_float "object 1/3" (1. /. 3.) d.Likelihood.data_object_per_year;
+        check_float "array 1/3" (1. /. 3.) d.Likelihood.array_per_year;
+        check_float "site 1/5" (1. /. 5.) d.Likelihood.site_per_year);
+    Alcotest.test_case "sensitivity baseline (Section 4.5)" `Quick (fun () ->
+        let d = Likelihood.sensitivity_base in
+        check_float "object 2/yr" 2. d.Likelihood.data_object_per_year;
+        check_float "array 1/5" 0.2 d.Likelihood.array_per_year;
+        check_float "site 1/20" 0.05 d.Likelihood.site_per_year);
+    Alcotest.test_case "negative rates rejected" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Likelihood: rates must be finite and non-negative")
+          (fun () ->
+             ignore
+               (Likelihood.v ~data_object_per_year:(-1.) ~array_per_year:0.1
+                  ~site_per_year:0.1))) ]
+
+let scenario_tests =
+  [ Alcotest.test_case "enumeration covers apps, arrays, sites" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let scenarios = Scenario.enumerate Likelihood.default design in
+        (* 2 object failures + 1 array with primaries + 1 site with
+           primaries. The mirror-only array at site 2 hosts no primary. *)
+        check_int "count" 4 (List.length scenarios);
+        let count p = List.length (List.filter p scenarios) in
+        check_int "object scenarios" 2
+          (count (fun s -> match s.Scenario.scope with
+               | Scenario.Data_object _ -> true | _ -> false));
+        check_int "array scenarios" 1
+          (count (fun s -> match s.Scenario.scope with
+               | Scenario.Array_failure _ -> true | _ -> false));
+        check_int "site scenarios" 1
+          (count (fun s -> match s.Scenario.scope with
+               | Scenario.Site_disaster _ -> true | _ -> false)));
+    Alcotest.test_case "rates attached per class" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let scenarios = Scenario.enumerate Likelihood.default design in
+        List.iter
+          (fun s ->
+             let expected =
+               match s.Scenario.scope with
+               | Scenario.Data_object _ -> 1. /. 3.
+               | Scenario.Array_failure _ -> 1. /. 3.
+               | Scenario.Site_disaster _ -> 1. /. 5.
+             in
+             check_float "rate" expected s.Scenario.annual_rate)
+          scenarios);
+    Alcotest.test_case "affected apps per scope" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let affected scope = List.length (Scenario.affected design scope) in
+        check_int "object failure hits one app" 1
+          (affected (Scenario.Data_object 1));
+        check_int "array failure hits both primaries" 2
+          (affected (Scenario.Array_failure (Fixtures.slot 1 0)));
+        check_int "mirror array failure hits no primary" 0
+          (affected (Scenario.Array_failure (Fixtures.slot 2 0)));
+        check_int "site 1 disaster hits both" 2
+          (affected (Scenario.Site_disaster 1));
+        check_int "site 2 disaster hits none" 0
+          (affected (Scenario.Site_disaster 2)));
+    Alcotest.test_case "affected + unaffected partition" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let scope = Scenario.Data_object 1 in
+        check_int "partition" 2
+          (List.length (Scenario.affected design scope)
+           + List.length (Scenario.unaffected design scope)));
+    Alcotest.test_case "destroys_array" `Quick (fun () ->
+        let s10 = Fixtures.slot 1 0 and s20 = Fixtures.slot 2 0 in
+        check_bool "object failure destroys nothing" false
+          (Scenario.destroys_array (Scenario.Data_object 1) s10);
+        check_bool "array failure destroys itself" true
+          (Scenario.destroys_array (Scenario.Array_failure s10) s10);
+        check_bool "array failure spares others" false
+          (Scenario.destroys_array (Scenario.Array_failure s10) s20);
+        check_bool "site disaster destroys its arrays" true
+          (Scenario.destroys_array (Scenario.Site_disaster 1) s10);
+        check_bool "site disaster spares remote arrays" false
+          (Scenario.destroys_array (Scenario.Site_disaster 1) s20));
+    Alcotest.test_case "destroys_tape only on site disaster" `Quick (fun () ->
+        let t1 = Fixtures.tape 1 in
+        check_bool "object" false (Scenario.destroys_tape (Scenario.Data_object 1) t1);
+        check_bool "array" false
+          (Scenario.destroys_tape (Scenario.Array_failure (Fixtures.slot 1 0)) t1);
+        check_bool "site" true (Scenario.destroys_tape (Scenario.Site_disaster 1) t1);
+        check_bool "other site" false
+          (Scenario.destroys_tape (Scenario.Site_disaster 2) t1)) ]
+
+let suites =
+  [ ("failure.likelihood", likelihood_tests);
+    ("failure.scenario", scenario_tests) ]

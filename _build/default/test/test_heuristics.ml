@@ -1,0 +1,145 @@
+(* Tests for the human and random baseline heuristics. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module App = Workload.App
+module Category = Workload.Category
+module Technique = Protection.Technique
+module D = Design.Design
+module Likelihood = Failure.Likelihood
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Human = Heuristics.Human
+module Random_search = Heuristics.Random_search
+module Heuristic_result = Heuristics.Heuristic_result
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Likelihood.default
+
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 2;
+    window_scope = Config_solver.Skip }
+
+let result_tests =
+  [ Alcotest.test_case "consider keeps the cheaper candidate" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let candidate =
+          match Config_solver.solve ~options:fast_options design likelihood with
+          | Ok c -> c
+          | Error _ -> Alcotest.fail "infeasible"
+        in
+        let r = Heuristic_result.empty in
+        let r = Heuristic_result.consider r None in
+        check_int "attempt counted" 1 r.Heuristic_result.attempts;
+        check_int "not feasible" 0 r.Heuristic_result.feasible;
+        let r = Heuristic_result.consider r (Some candidate) in
+        check_int "two attempts" 2 r.Heuristic_result.attempts;
+        check_int "one feasible" 1 r.Heuristic_result.feasible;
+        check_bool "kept" true (r.Heuristic_result.best <> None)) ]
+
+let human_tests =
+  [ Alcotest.test_case "class model mapping" `Quick (fun () ->
+        let env = Fixtures.peer_env () in
+        Alcotest.(check string) "gold -> XP" "XP1200"
+          (Human.class_array_model env Category.Gold).Resources.Array_model.name;
+        Alcotest.(check string) "silver -> EVA" "EVA800"
+          (Human.class_array_model env Category.Silver).Resources.Array_model.name;
+        Alcotest.(check string) "bronze -> MSA" "MSA1500"
+          (Human.class_array_model env Category.Bronze).Resources.Array_model.name);
+    Alcotest.test_case "design_once builds a complete class-matched design"
+      `Quick (fun () ->
+          let rng = Rng.of_int 31 in
+          let apps = Ds_experiments.Envs.peer_apps () in
+          match Human.design_once rng (Fixtures.peer_env ()) apps with
+          | None -> Alcotest.fail "no design"
+          | Some design ->
+            check_int "all apps" 8 (D.size design);
+            (* Gold and silver apps are mirrored with backup; bronze apps
+               are tape-only. *)
+            List.iter
+              (fun (asg : Design.Assignment.t) ->
+                 let category = App.category asg.Design.Assignment.app in
+                 let technique = asg.Design.Assignment.technique in
+                 check_bool "backup everywhere" true (Technique.has_backup technique);
+                 match category with
+                 | Category.Gold ->
+                   check_bool "gold fails over" true
+                     (Technique.needs_standby_compute technique)
+                 | Category.Silver ->
+                   check_bool "silver mirrors" true (Technique.has_mirror technique);
+                   check_bool "silver reconstructs" false
+                     (Technique.needs_standby_compute technique)
+                 | Category.Bronze ->
+                   check_bool "bronze tape-only" false (Technique.has_mirror technique))
+              (D.assignments design));
+    Alcotest.test_case "primaries spread across the sites" `Quick (fun () ->
+        let rng = Rng.of_int 32 in
+        let apps = Ds_experiments.Envs.peer_apps () in
+        match Human.design_once rng (Fixtures.peer_env ()) apps with
+        | None -> Alcotest.fail "no design"
+        | Some design ->
+          check_int "half at site 1" 4 (List.length (D.primaries_at_site design 1));
+          check_int "half at site 2" 4 (List.length (D.primaries_at_site design 2)));
+    Alcotest.test_case "run returns a feasible best on peer sites" `Slow (fun () ->
+        let result =
+          Human.run ~options:fast_options ~attempts:10 ~seed:33
+            (Fixtures.peer_env ()) (Ds_experiments.Envs.peer_apps ()) likelihood
+        in
+        check_int "attempts" 10 result.Heuristic_result.attempts;
+        check_bool "found one" true (result.Heuristic_result.best <> None));
+    Alcotest.test_case "run is deterministic per seed" `Slow (fun () ->
+        let cost seed =
+          (Human.run ~options:fast_options ~attempts:5 ~seed (Fixtures.peer_env ())
+             (Ds_experiments.Envs.peer_apps ()) likelihood).Heuristic_result.best
+          |> Option.map (fun c -> Money.to_dollars (Candidate.cost c))
+        in
+        Alcotest.(check (option (float 1e-3))) "same" (cost 7) (cost 7)) ]
+
+let random_tests =
+  [ Alcotest.test_case "sample_design is structurally complete" `Quick (fun () ->
+        let rng = Rng.of_int 41 in
+        let apps = Ds_experiments.Envs.peer_apps () in
+        let complete = ref 0 in
+        for _ = 1 to 20 do
+          match Random_search.sample_design rng (Fixtures.peer_env ()) apps with
+          | Some design ->
+            incr complete;
+            check_int "all apps" 8 (D.size design)
+          | None -> ()
+        done;
+        check_bool "usually completes" true (!complete >= 15));
+    Alcotest.test_case "run keeps the minimum-cost candidate" `Slow (fun () ->
+        let result =
+          Random_search.run ~options:fast_options ~attempts:30 ~seed:42
+            (Fixtures.peer_env ()) (Ds_experiments.Envs.peer_apps ()) likelihood
+        in
+        check_int "attempts" 30 result.Heuristic_result.attempts;
+        match result.Heuristic_result.best with
+        | None -> Alcotest.fail "nothing feasible in 30 tries"
+        | Some best ->
+          check_bool "feasible count sane" true
+            (result.Heuristic_result.feasible >= 1
+             && result.Heuristic_result.feasible <= 30);
+          check_bool "cost positive" true Money.(Money.zero < Candidate.cost best));
+    Alcotest.test_case "impossible environments yield no best" `Quick (fun () ->
+        let env =
+          Resources.Env.fully_connected ~name:"impossible" ~site_count:2
+            ~bays_per_site:2 ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+            ~compute_slots_per_site:0 ()
+        in
+        let result =
+          Random_search.run ~options:fast_options ~attempts:5 ~seed:43 env
+            (Ds_experiments.Envs.peer_apps ()) likelihood
+        in
+        check_bool "none" true (result.Heuristic_result.best = None)) ]
+
+let suites =
+  [ ("heuristics.result", result_tests);
+    ("heuristics.human", human_tests);
+    ("heuristics.random", random_tests) ]

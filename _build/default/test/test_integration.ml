@@ -1,0 +1,223 @@
+(* End-to-end integration tests: the full pipeline from workloads to
+   costed designs, cross-checking independent code paths against each
+   other (solver vs exhaustive, analytic vs Monte Carlo, save vs audit),
+   plus failure-injection cases that exercise the unhappy paths. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module App = Workload.App
+module W = Workload.Workload_catalog
+module Env = Resources.Env
+module D = Design.Design
+module Design_io = Design.Design_io
+module Provision = Design.Provision
+module Likelihood = Failure.Likelihood
+module Scenario = Failure.Scenario
+module Evaluate = Cost.Evaluate
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Design_solver = Solver.Design_solver
+module E = Experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Likelihood.default
+
+let fast_params =
+  { Design_solver.default_params with
+    Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
+    stage1_restarts = 3;
+    options =
+      { Config_solver.search_options with
+        Config_solver.max_growth_steps = 2;
+        window_scope = Config_solver.Skip };
+    polish = None }
+
+let pipeline_tests =
+  [ Alcotest.test_case "solve, save, reload, audit: identical cost" `Slow
+      (fun () ->
+         let env = E.Envs.peer_sites () in
+         let apps = E.Envs.peer_apps () in
+         match Design_solver.solve ~params:fast_params env apps likelihood with
+         | None -> Alcotest.fail "no design"
+         | Some outcome ->
+           let best = outcome.Design_solver.best in
+           let path = Filename.temp_file "dstool" ".design" in
+           (match Design_io.write_file path best.Candidate.design with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg);
+           (match Design_io.read_file env apps path with
+            | Error msg -> Alcotest.fail msg
+            | Ok reloaded ->
+              Sys.remove path;
+              (* Same design, same provisioning path, same cost. *)
+              (match
+                 Config_solver.solve ~options:fast_params.Design_solver.options
+                   reloaded likelihood
+               with
+               | Error _ -> Alcotest.fail "reloaded design infeasible"
+               | Ok candidate ->
+                 let direct =
+                   match
+                     Config_solver.solve
+                       ~options:fast_params.Design_solver.options
+                       best.Candidate.design likelihood
+                   with
+                   | Ok c -> Money.to_dollars (Candidate.cost c)
+                   | Error _ -> Alcotest.fail "original design infeasible"
+                 in
+                 Alcotest.(check (float 1e-3)) "same cost" direct
+                   (Money.to_dollars (Candidate.cost candidate)))));
+    Alcotest.test_case "solver beats both baselines on the case study" `Slow
+      (fun () ->
+         let budgets =
+           { E.Budgets.quick with E.Budgets.human_attempts = 8;
+             random_attempts = 20 }
+         in
+         let entries = E.Compare.run_peer ~budgets () in
+         let total label =
+           List.find (fun (e : E.Compare.entry) -> e.E.Compare.label = label)
+             entries
+           |> fun e ->
+           match e.E.Compare.summary with
+           | Some s -> Money.to_dollars (Cost.Summary.total s)
+           | None -> Float.infinity
+         in
+         check_bool "beats random" true (total "design tool" <= total "random");
+         check_bool "beats human" true (total "design tool" <= total "human"));
+    Alcotest.test_case "metaheuristic entries appear on demand" `Slow (fun () ->
+        let budgets =
+          { E.Budgets.solver = fast_params; human_attempts = 2;
+            random_attempts = 4; space_samples = 50 }
+        in
+        let entries =
+          E.Compare.run ~budgets ~metaheuristics:true (E.Envs.peer_sites ())
+            (E.Envs.peer_apps ()) likelihood
+        in
+        check_int "five entries" 5 (List.length entries);
+        Alcotest.(check (list string)) "labels"
+          [ "design tool"; "random"; "human"; "annealing"; "tabu" ]
+          (List.map (fun (e : E.Compare.entry) -> e.E.Compare.label) entries));
+    Alcotest.test_case "trace pipeline feeds the solver" `Slow (fun () ->
+        let rng = Rng.of_int 99 in
+        let profile =
+          { Trace.Synth.default with
+            Trace.Synth.duration = Time.minutes 30.; mean_iops = 50. }
+        in
+        let trace = Trace.Synth.generate rng profile in
+        let c = Trace.Characterize.analyze trace in
+        let app =
+          Trace.Characterize.to_app ~id:1 ~name:"traced" ~class_tag:"T"
+            ~outage_per_hour:(Money.k 100.) ~loss_per_hour:(Money.k 100.)
+            ~scale:10. c
+        in
+        match
+          Design_solver.solve ~params:fast_params (E.Envs.peer_sites ())
+            [ app ] likelihood
+        with
+        | Some outcome ->
+          check_int "placed" 1
+            (D.size outcome.Design_solver.best.Candidate.design)
+        | None -> Alcotest.fail "traced app not placeable") ]
+
+let failure_injection_tests =
+  [ Alcotest.test_case "zero-likelihood world has zero penalties" `Quick
+      (fun () ->
+         let quiet =
+           Likelihood.v ~data_object_per_year:0. ~array_per_year:0.
+             ~site_per_year:0.
+         in
+         let prov =
+           Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ()))
+         in
+         let eval = Evaluate.provisioned prov quiet in
+         check_bool "no outage penalty" true
+           (Money.is_zero eval.Evaluate.summary.Cost.Summary.outage_penalty);
+         check_bool "no loss penalty" true
+           (Money.is_zero eval.Evaluate.summary.Cost.Summary.loss_penalty);
+         check_bool "outlay remains" true
+           (Money.to_dollars eval.Evaluate.summary.Cost.Summary.outlay > 0.));
+    Alcotest.test_case "apocalyptic likelihoods stay finite" `Quick (fun () ->
+        let grim =
+          Likelihood.v ~data_object_per_year:100. ~array_per_year:100.
+            ~site_per_year:100.
+        in
+        let prov =
+          Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ()))
+        in
+        let eval = Evaluate.provisioned prov grim in
+        check_bool "finite" true
+          (Float.is_finite (Money.to_dollars (Evaluate.total eval))));
+    Alcotest.test_case "design with an unknown-slot reference fails to parse"
+      `Quick (fun () ->
+          (* bay 9 does not exist in a 2-bay environment. *)
+          let text =
+            "array-model 1 9 XP1200\n\
+             app 1 technique 9 primary 1 9 backup 1\n\
+             tape-model 1 TapeLib-H\n"
+          in
+          match
+            Design_io.of_string (E.Envs.peer_sites ()) [ Fixtures.b_app ] text
+          with
+          | Ok design ->
+            (* Parsing is structural; the environment check lands in
+               Design.add and must have rejected the slot. *)
+            check_int "not added" 0 (D.size design) |> ignore;
+            Alcotest.fail "out-of-env slot accepted"
+          | Error msg -> check_bool "mentions line" true (String.length msg > 0));
+    Alcotest.test_case "solver survives a workload that dwarfs one array"
+      `Quick (fun () ->
+          (* 30 TB exceeds an MSA1500 (18 TB) but fits the larger arrays:
+             the layout filter must route it to one of those. *)
+          let whale =
+            App.v ~id:1 ~name:"whale" ~class_tag:"W"
+              ~outage_per_hour:(Money.k 10.) ~loss_per_hour:(Money.k 10.)
+              ~data_size:(Size.tb 30.) ~avg_update:(Rate.mb_per_sec 2.)
+              ~peak_update:(Rate.mb_per_sec 10.)
+              ~avg_access:(Rate.mb_per_sec 20.) ()
+          in
+          match
+            Design_solver.solve ~params:fast_params (E.Envs.peer_sites ())
+              [ whale ] likelihood
+          with
+          | Some outcome ->
+            let design = outcome.Design_solver.best.Candidate.design in
+            List.iter
+              (fun slot ->
+                 match D.array_model design slot with
+                 | Some m ->
+                   check_bool "array large enough" true
+                     Size.(Size.tb 30.
+                           <= Resources.Array_model.total_capacity m)
+                 | None -> ())
+              (D.used_array_slots design)
+          | None -> Alcotest.fail "whale not placeable");
+    Alcotest.test_case "every scenario of a full design simulates cleanly"
+      `Slow (fun () ->
+          (* Fuzz: random feasible designs, all scenarios, no exceptions
+             and sane outcomes. *)
+          let rng = Rng.of_int 123 in
+          for _ = 1 to 10 do
+            match
+              Heuristics.Random_search.sample_design rng (E.Envs.peer_sites ())
+                (E.Envs.peer_apps ())
+            with
+            | None -> ()
+            | Some design ->
+              (match Provision.minimum design with
+               | Error _ -> ()
+               | Ok prov ->
+                 Recovery.Simulate.all prov likelihood
+                 |> List.iter (fun ((scen : Scenario.t), outcomes) ->
+                     check_int
+                       (Format.asprintf "outcomes for %a" Scenario.pp_scope
+                          scen.Scenario.scope)
+                       (List.length (Scenario.affected design scen.Scenario.scope))
+                       (List.length outcomes)))
+          done) ]
+
+let suites =
+  [ ("integration.pipeline", pipeline_tests);
+    ("integration.failure_injection", failure_injection_tests) ]

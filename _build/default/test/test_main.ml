@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "dependable_storage"
+    (List.concat
+       [ Test_units.suites;
+         Test_prng.suites;
+         Test_workload.suites;
+         Test_protection.suites;
+         Test_resources.suites;
+         Test_design.suites;
+         Test_sim.suites;
+         Test_failure.suites;
+         Test_recovery.suites;
+         Test_cost.suites;
+         Test_solver.suites;
+         Test_heuristics.suites;
+         Test_experiments.suites;
+         Test_trace.suites;
+         Test_risk.suites;
+         Test_properties.suites;
+         Test_sla.suites;
+         Test_integration.suites;
+         Test_misc.suites;
+         Test_extensions.suites ])

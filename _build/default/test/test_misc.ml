@@ -1,0 +1,124 @@
+(* Remaining surface coverage: budgets, report edge cases, pretty-printer
+   stability, and facade sanity. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module E = Experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let budget_tests =
+  [ Alcotest.test_case "with_seed only changes the seed" `Quick (fun () ->
+        let b = E.Budgets.with_seed E.Budgets.default 99 in
+        check_int "seed" 99 b.E.Budgets.solver.Solver.Design_solver.seed;
+        check_int "human attempts unchanged"
+          E.Budgets.default.E.Budgets.human_attempts b.E.Budgets.human_attempts;
+        check_int "random attempts unchanged"
+          E.Budgets.default.E.Budgets.random_attempts
+          b.E.Budgets.random_attempts);
+    Alcotest.test_case "quick budget is strictly smaller" `Quick (fun () ->
+        check_bool "refit rounds" true
+          (E.Budgets.quick.E.Budgets.solver.Solver.Design_solver.refit_rounds
+           < E.Budgets.default.E.Budgets.solver.Solver.Design_solver.refit_rounds);
+        check_bool "samples" true
+          (E.Budgets.quick.E.Budgets.space_samples
+           < E.Budgets.default.E.Budgets.space_samples)) ]
+
+let report_tests =
+  [ Alcotest.test_case "histogram rejects empty stats and bad bins" `Quick
+      (fun () ->
+         let empty = { E.Space_sampler.costs = [||]; infeasible = 5 } in
+         Alcotest.check_raises "no samples"
+           (Invalid_argument "Space_sampler.histogram: no feasible samples")
+           (fun () -> ignore (E.Space_sampler.histogram ~bins:4 empty));
+         let one = { E.Space_sampler.costs = [| 100. |]; infeasible = 0 } in
+         Alcotest.check_raises "bins"
+           (Invalid_argument "Space_sampler.histogram: bins < 1") (fun () ->
+               ignore (E.Space_sampler.histogram ~bins:0 one)));
+    Alcotest.test_case "histogram handles a single sample" `Quick (fun () ->
+        let one = { E.Space_sampler.costs = [| 1e6 |]; infeasible = 0 } in
+        let h = E.Space_sampler.histogram ~bins:3 one in
+        check_int "all in some bucket" 1
+          (Array.fold_left ( + ) 0 h.E.Space_sampler.counts));
+    Alcotest.test_case "spread of empty stats is None" `Quick (fun () ->
+        check_bool "none" true
+          (E.Space_sampler.spread { E.Space_sampler.costs = [||]; infeasible = 0 }
+           = None));
+    Alcotest.test_case "sensitivity report renders infeasible points" `Quick
+      (fun () ->
+         let pts = [ { E.Sensitivity.rate = 0.5; summary = None } ] in
+         let s =
+           Format.asprintf "%a"
+             (fun ppf pts ->
+                E.Report.sensitivity ppf E.Sensitivity.Array_failure pts)
+             pts
+         in
+         check_bool "mentions infeasible" true
+           (let rec contains i =
+              i + 10 <= String.length s
+              && (String.sub s i 10 = "infeasible" || contains (i + 1))
+            in
+            contains 0)) ]
+
+let pp_tests =
+  [ Alcotest.test_case "printers produce stable, non-empty text" `Quick
+      (fun () ->
+         let non_empty name s = check_bool name true (String.length s > 0) in
+         non_empty "time" (Time.to_string (Time.hours 3.));
+         non_empty "size" (Size.to_string (Size.gb 42.));
+         non_empty "rate" (Rate.to_string (Rate.mb_per_sec 7.));
+         non_empty "money" (Money.to_string (Money.m 1.5));
+         non_empty "app"
+           (Format.asprintf "%a" Workload.App.pp Fixtures.b_app);
+         non_empty "technique"
+           (Format.asprintf "%a" Protection.Technique.pp
+              Protection.Technique_catalog.tape_backup);
+         non_empty "backup"
+           (Format.asprintf "%a" Protection.Backup.pp Protection.Backup.default);
+         non_empty "env"
+           (Format.asprintf "%a" Resources.Env.pp (Fixtures.peer_env ()));
+         non_empty "design"
+           (Format.asprintf "%a" Design.Design.pp (Fixtures.two_app_design ()));
+         non_empty "likelihood"
+           (Format.asprintf "%a" Failure.Likelihood.pp Failure.Likelihood.default);
+         non_empty "recovery params"
+           (Format.asprintf "%a" Recovery.Recovery_params.pp
+              Recovery.Recovery_params.default));
+    Alcotest.test_case "infeasibility printer covers every constructor" `Quick
+      (fun () ->
+         let open Design.Provision in
+         List.iter
+           (fun inf ->
+              check_bool "prints" true
+                (String.length (Format.asprintf "%a" pp_infeasibility inf) > 0))
+           [ Array_capacity (Fixtures.slot 1 0);
+             Array_bandwidth (Fixtures.slot 1 0);
+             Tape_capacity (Fixtures.tape 1);
+             Tape_bandwidth (Fixtures.tape 1);
+             Link_bandwidth (Resources.Slot.Pair.v 1 2);
+             Compute_slots 1;
+             Missing_model "x" ]) ]
+
+let facade_tests =
+  [ Alcotest.test_case "facade modules are wired to the same catalogs" `Quick
+      (fun () ->
+         (* Table 2 catalog reachable both ways and identical. *)
+         check_int "techniques" 9
+           (List.length Protection.Technique_catalog.all);
+         check_int "array models" 3
+           (List.length Resources.Device_catalog.array_models);
+         check_int "tape models" 2
+           (List.length Resources.Device_catalog.tape_models);
+         check_int "workload classes" 4
+           (List.length Workload.Workload_catalog.all_specs));
+    Alcotest.test_case "default parameters match the paper" `Quick (fun () ->
+        let p = Solver.Design_solver.default_params in
+        check_int "b = 3" 3 p.Solver.Design_solver.breadth;
+        check_int "d = 5" 5 p.Solver.Design_solver.depth) ]
+
+let suites =
+  [ ("misc.budgets", budget_tests);
+    ("misc.report", report_tests);
+    ("misc.printers", pp_tests);
+    ("misc.facade", facade_tests) ]

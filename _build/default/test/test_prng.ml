@@ -1,0 +1,159 @@
+(* Tests for ds_prng: determinism, splitting, sampling distributions. *)
+
+open Dependable_storage.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:100 gen f)
+
+let rng_tests =
+  [ Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Rng.of_int 42 and b = Rng.of_int 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "next" (Rng.next_int64 a) (Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.of_int 1 and b = Rng.of_int 2 in
+        let differs = ref false in
+        for _ = 1 to 16 do
+          if not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)) then
+            differs := true
+        done;
+        check_bool "streams differ" true !differs);
+    Alcotest.test_case "copy replays the future" `Quick (fun () ->
+        let a = Rng.of_int 7 in
+        ignore (Rng.next_int64 a);
+        let b = Rng.copy a in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "replay" (Rng.next_int64 a) (Rng.next_int64 b)
+        done);
+    Alcotest.test_case "split streams are independent of parent" `Quick (fun () ->
+        let parent = Rng.of_int 9 in
+        let child = Rng.split parent in
+        (* Child and parent should not produce the same next values. *)
+        let same = Int64.equal (Rng.next_int64 parent) (Rng.next_int64 child) in
+        check_bool "differ" false same);
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let g = Rng.of_int 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int g 7 in
+          check_bool "in range" true (v >= 0 && v < 7)
+        done;
+        Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int g 0)));
+    Alcotest.test_case "int_in inclusive" `Quick (fun () ->
+        let g = Rng.of_int 4 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let v = Rng.int_in g 3 5 in
+          check_bool "range" true (v >= 3 && v <= 5);
+          if v = 3 then seen_lo := true;
+          if v = 5 then seen_hi := true
+        done;
+        check_bool "lo reachable" true !seen_lo;
+        check_bool "hi reachable" true !seen_hi);
+    Alcotest.test_case "unit_float in [0,1)" `Quick (fun () ->
+        let g = Rng.of_int 5 in
+        for _ = 1 to 1000 do
+          let v = Rng.unit_float g in
+          check_bool "in range" true (v >= 0. && v < 1.)
+        done);
+    Alcotest.test_case "float mean is near bound/2" `Quick (fun () ->
+        let g = Rng.of_int 6 in
+        let n = 20_000 in
+        let sum = ref 0. in
+        for _ = 1 to n do sum := !sum +. Rng.float g 10. done;
+        let mean = !sum /. float_of_int n in
+        check_bool "mean near 5" true (mean > 4.8 && mean < 5.2));
+    Alcotest.test_case "bool is roughly fair" `Quick (fun () ->
+        let g = Rng.of_int 8 in
+        let n = 20_000 in
+        let heads = ref 0 in
+        for _ = 1 to n do if Rng.bool g then incr heads done;
+        let frac = float_of_int !heads /. float_of_int n in
+        check_bool "fair" true (frac > 0.47 && frac < 0.53));
+    prop "int covers the full range eventually" QCheck2.Gen.(int_range 2 50)
+      (fun n ->
+         let g = Rng.of_int n in
+         let seen = Array.make n false in
+         for _ = 1 to n * 200 do seen.(Rng.int g n) <- true done;
+         Array.for_all Fun.id seen) ]
+
+let sample_tests =
+  [ Alcotest.test_case "choose singleton" `Quick (fun () ->
+        let g = Rng.of_int 1 in
+        check_int "only option" 5 (Sample.choose g [ 5 ]));
+    Alcotest.test_case "choose empty raises" `Quick (fun () ->
+        let g = Rng.of_int 1 in
+        Alcotest.check_raises "empty" (Invalid_argument "Sample.choose: empty list")
+          (fun () -> ignore (Sample.choose g [])));
+    Alcotest.test_case "choose_opt empty is None" `Quick (fun () ->
+        let g = Rng.of_int 1 in
+        check_bool "none" true (Sample.choose_opt g ([] : int list) = None));
+    Alcotest.test_case "weighted respects zero weights" `Quick (fun () ->
+        let g = Rng.of_int 2 in
+        for _ = 1 to 500 do
+          check_int "never zero-weight" 1
+            (Sample.weighted g [ (0, 0.); (1, 5.); (2, 0.) ])
+        done);
+    Alcotest.test_case "weighted all-zero falls back to uniform" `Quick (fun () ->
+        let g = Rng.of_int 3 in
+        let seen = Array.make 3 false in
+        for _ = 1 to 300 do
+          seen.(Sample.weighted g [ (0, 0.); (1, 0.); (2, 0.) ]) <- true
+        done;
+        check_bool "all reachable" true (Array.for_all Fun.id seen));
+    Alcotest.test_case "weighted follows proportions" `Quick (fun () ->
+        let g = Rng.of_int 4 in
+        let n = 30_000 in
+        let counts = Array.make 2 0 in
+        for _ = 1 to n do
+          let i = Sample.weighted g [ (0, 3.); (1, 1.) ] in
+          counts.(i) <- counts.(i) + 1
+        done;
+        let frac = float_of_int counts.(0) /. float_of_int n in
+        check_bool "three to one" true (frac > 0.72 && frac < 0.78));
+    Alcotest.test_case "weighted rejects negative" `Quick (fun () ->
+        let g = Rng.of_int 5 in
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Sample.weighted_index: negative or NaN weight")
+          (fun () -> ignore (Sample.weighted g [ (0, -1.) ])));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let g = Rng.of_int 6 in
+        let original = List.init 20 Fun.id in
+        let shuffled = Sample.shuffle g original in
+        Alcotest.(check (list int)) "same elements" original
+          (List.sort Int.compare shuffled));
+    Alcotest.test_case "shuffle eventually moves elements" `Quick (fun () ->
+        let g = Rng.of_int 7 in
+        let original = List.init 10 Fun.id in
+        let moved = ref false in
+        for _ = 1 to 20 do
+          if Sample.shuffle g original <> original then moved := true
+        done;
+        check_bool "moved" true !moved);
+    Alcotest.test_case "take_distinct" `Quick (fun () ->
+        let g = Rng.of_int 8 in
+        let taken = Sample.take_distinct g 3 [ 1; 2; 3; 4; 5 ] in
+        check_int "count" 3 (List.length taken);
+        check_int "distinct" 3 (List.length (List.sort_uniq Int.compare taken));
+        check_int "oversample clamps" 2
+          (List.length (Sample.take_distinct g 10 [ 1; 2 ]));
+        check_int "zero" 0 (List.length (Sample.take_distinct g 0 [ 1; 2 ])));
+    Alcotest.test_case "bernoulli extremes" `Quick (fun () ->
+        let g = Rng.of_int 9 in
+        for _ = 1 to 200 do
+          check_bool "p=1" true (Sample.bernoulli g 1.);
+          check_bool "p=0" false (Sample.bernoulli g 0.)
+        done);
+    prop "weighted_index in range"
+      QCheck2.Gen.(list_size (int_range 1 10) (float_range 0. 5.))
+      (fun ws ->
+         let g = Rng.of_int 11 in
+         let arr = Array.of_list ws in
+         let i = Sample.weighted_index g arr in
+         i >= 0 && i < Array.length arr) ]
+
+let suites = [ ("prng.rng", rng_tests); ("prng.sample", sample_tests) ]

@@ -1,0 +1,236 @@
+(* Cross-module properties over randomly generated designs.
+
+   A design generator (uniform random layouts over the peer-sites
+   environment) drives invariants that must hold for ANY design, not just
+   the handful of hand-built fixtures: demand decomposition, provisioning
+   coverage, growth monotonicity, scenario partitioning, serialization
+   round trips and evaluation determinism. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module App = Workload.App
+module Slot = Resources.Slot
+module Array_model = Resources.Array_model
+module Env = Resources.Env
+module D = Design.Design
+module Demand = Design.Demand
+module Provision = Design.Provision
+module Design_io = Design.Design_io
+module Likelihood = Failure.Likelihood
+module Scenario = Failure.Scenario
+module Copy_source = Recovery.Copy_source
+module Outcome = Recovery.Outcome
+module Evaluate = Cost.Evaluate
+module Outlay = Cost.Outlay
+module Random_search = Heuristics.Random_search
+
+let likelihood = Likelihood.default
+
+let apps = Ds_experiments.Envs.peer_apps ()
+
+(* Uniform random complete design from a seed; sample_design can fail
+   structurally only in degenerate environments, so retry. *)
+let design_of_seed seed =
+  let rec go attempt =
+    let rng = Rng.of_int (seed + (attempt * 7919)) in
+    match Random_search.sample_design rng (Ds_experiments.Envs.peer_sites ()) apps with
+    | Some design -> design
+    | None -> go (attempt + 1)
+  in
+  go 0
+
+(* Random design whose minimum provisioning is feasible. *)
+let feasible_of_seed seed =
+  let rec go attempt =
+    let design = design_of_seed (seed + (attempt * 104729)) in
+    match Provision.minimum design with
+    | Ok prov -> (design, prov)
+    | Error _ -> go (attempt + 1)
+  in
+  go 0
+
+let prop ?(count = 40) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count QCheck2.Gen.(int_range 0 1_000_000) f)
+
+let design_properties =
+  [ prop "every app assigned exactly once" (fun seed ->
+        let design = design_of_seed seed in
+        D.size design = List.length apps
+        && List.for_all
+          (fun (app : App.t) -> D.find design app.App.id <> None)
+          apps);
+    prop "used slots always carry a model" (fun seed ->
+        let design = design_of_seed seed in
+        List.for_all (fun slot -> D.array_model design slot <> None)
+          (D.used_array_slots design)
+        && List.for_all (fun slot -> D.tape_model design slot <> None)
+          (D.used_tape_slots design));
+    prop "remove then re-count" (fun seed ->
+        let design = design_of_seed seed in
+        let victim = List.nth apps (seed mod List.length apps) in
+        let removed = D.remove design victim.App.id in
+        D.size removed = D.size design - 1
+        && D.find removed victim.App.id = None);
+    prop "demand decomposes over assignment subsets" (fun seed ->
+        let design = design_of_seed seed in
+        let all = D.assignments design in
+        let split = List.partition (fun (a : Design.Assignment.t) ->
+            a.Design.Assignment.app.App.id mod 2 = 0) all in
+        let left = Demand.of_assignments design (fst split) in
+        let right = Demand.of_assignments design (snd split) in
+        let whole = Demand.of_design design in
+        List.for_all
+          (fun slot ->
+             let a = (Demand.array_use left slot).Demand.bandwidth in
+             let b = (Demand.array_use right slot).Demand.bandwidth in
+             let w = (Demand.array_use whole slot).Demand.bandwidth in
+             Float.abs (Rate.to_bytes_per_sec (Rate.add a b)
+                        -. Rate.to_bytes_per_sec w) < 1.)
+          (D.used_array_slots design)
+        && List.for_all
+          (fun pair ->
+             let a = Demand.link_use left pair in
+             let b = Demand.link_use right pair in
+             let w = Demand.link_use whole pair in
+             Float.abs (Rate.to_bytes_per_sec (Rate.add a b)
+                        -. Rate.to_bytes_per_sec w) < 1.)
+          (D.used_pairs design));
+    prop "serialization round-trips" (fun seed ->
+        let design = design_of_seed seed in
+        let text = Design_io.to_string design in
+        match Design_io.of_string (Ds_experiments.Envs.peer_sites ()) apps text with
+        | Ok parsed -> String.equal text (Design_io.to_string parsed)
+        | Error _ -> false) ]
+
+let provision_properties =
+  [ prop "minimum provisioning covers every demand" (fun seed ->
+        let design, prov = feasible_of_seed seed in
+        let demand = prov.Provision.demand in
+        let env = design.D.env in
+        List.for_all
+          (fun slot ->
+             let use = Demand.array_use demand slot in
+             let units = Slot.Array_slot.Map.find slot prov.Provision.array_units in
+             let model = Option.get (D.array_model design slot) in
+             Rate.(use.Demand.bandwidth <= Provision.array_bw prov slot)
+             && Size.(use.Demand.capacity
+                      <= Size.scale (float_of_int units)
+                        model.Array_model.unit_capacity)
+             && units <= model.Array_model.max_units)
+          (D.used_array_slots design)
+        && List.for_all
+          (fun pair ->
+             Rate.(Demand.link_use demand pair <= Provision.link_bw prov pair))
+          (D.used_pairs design)
+        && List.for_all
+          (fun site ->
+             Demand.compute_use demand site <= env.Env.compute_slots_per_site)
+          (Env.site_ids env));
+    prop "growth only increases outlay" ~count:20 (fun seed ->
+        let _, prov = feasible_of_seed seed in
+        List.for_all
+          (fun move ->
+             match Provision.grow prov move with
+             | None -> true
+             | Some grown ->
+               Money.(Outlay.annual prov <= Outlay.annual grown))
+          (Provision.growth_moves prov));
+    prop "array bandwidth never exceeds the controller" ~count:20 (fun seed ->
+        let design, prov = feasible_of_seed seed in
+        List.for_all
+          (fun slot ->
+             let model = Option.get (D.array_model design slot) in
+             Rate.(Provision.array_bw prov slot <= model.Array_model.max_bw))
+          (D.used_array_slots design)) ]
+
+let scenario_properties =
+  [ prop "affected and unaffected partition the assignments" (fun seed ->
+        let design = design_of_seed seed in
+        Scenario.enumerate likelihood design
+        |> List.for_all (fun (scen : Scenario.t) ->
+            let hit = Scenario.affected design scen.Scenario.scope in
+            let missed = Scenario.unaffected design scen.Scenario.scope in
+            List.length hit + List.length missed = D.size design
+            && hit <> []);
+        );
+    prop "every enumerated scenario has a positive rate" (fun seed ->
+        let design = design_of_seed seed in
+        Scenario.enumerate likelihood design
+        |> List.for_all (fun (s : Scenario.t) -> s.Scenario.annual_rate > 0.));
+    prop "best copy has minimal staleness" (fun seed ->
+        let design = design_of_seed seed in
+        let params = Recovery.Recovery_params.default in
+        Scenario.enumerate likelihood design
+        |> List.for_all (fun (scen : Scenario.t) ->
+            Scenario.affected design scen.Scenario.scope
+            |> List.for_all (fun asg ->
+                let copies =
+                  Copy_source.surviving ~params ~tape_propagation:(Time.hours 4.)
+                    asg scen.Scenario.scope
+                in
+                match Copy_source.best copies with
+                | None -> copies = []
+                | Some best ->
+                  List.for_all
+                    (fun c ->
+                       Time.(best.Copy_source.staleness <= c.Copy_source.staleness))
+                    copies))) ]
+
+let evaluation_properties =
+  [ prop "evaluation is deterministic" ~count:15 (fun seed ->
+        let _, prov = feasible_of_seed seed in
+        let run () = Money.to_dollars (Evaluate.total (Evaluate.provisioned prov likelihood)) in
+        Float.equal (run ()) (run ()));
+    prop "outage never beats detection; loss is bounded by the horizon"
+      ~count:15 (fun seed ->
+          let _, prov = feasible_of_seed seed in
+          let params = Recovery.Recovery_params.default in
+          Recovery.Simulate.all prov likelihood
+          |> List.for_all (fun (_, outcomes) ->
+              List.for_all
+                (fun (o : Outcome.t) ->
+                   Time.(params.Recovery.Recovery_params.detection
+                         <= o.Outcome.recovery_time)
+                   && Time.(o.Outcome.loss_time
+                            <= params.Recovery.Recovery_params.loss_horizon))
+                outcomes));
+    prop "uncontended object-failure recovery is monotone in array growth"
+      ~count:15 (fun seed ->
+          let design, prov = feasible_of_seed seed in
+          let asg = List.hd (D.assignments design) in
+          let scen =
+            { Scenario.scope =
+                Scenario.Data_object asg.Design.Assignment.app.App.id;
+              annual_rate = 1. }
+          in
+          let recovery p =
+            match Recovery.Simulate.scenario p scen with
+            | [ o ] -> Time.to_seconds o.Outcome.recovery_time
+            | _ -> 0.
+          in
+          match
+            Provision.grow prov
+              (Provision.Grow_array asg.Design.Assignment.primary)
+          with
+          | None -> true
+          | Some grown -> recovery grown <= recovery prov +. 1e-6);
+    prop "per-app penalties sum to the totals" ~count:15 (fun seed ->
+        let _, prov = feasible_of_seed seed in
+        let p = Cost.Penalty.expected_annual prov likelihood in
+        let sum get =
+          List.fold_left
+            (fun acc x -> acc +. Money.to_dollars (get x))
+            0. p.Cost.Penalty.by_app
+        in
+        Float.abs (sum (fun (x : Cost.Penalty.per_app) -> x.Cost.Penalty.outage)
+                   -. Money.to_dollars p.Cost.Penalty.outage_total) < 1.
+        && Float.abs (sum (fun (x : Cost.Penalty.per_app) -> x.Cost.Penalty.loss)
+                      -. Money.to_dollars p.Cost.Penalty.loss_total) < 1.) ]
+
+let suites =
+  [ ("props.design", design_properties);
+    ("props.provision", provision_properties);
+    ("props.scenario", scenario_properties);
+    ("props.evaluation", evaluation_properties) ]

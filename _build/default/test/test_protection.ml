@@ -1,0 +1,239 @@
+(* Tests for ds_protection: mirrors, backup chains, the Table 2 catalog. *)
+
+open Dependable_storage.Units
+open Dependable_storage.Protection
+module Category = Dependable_storage.Workload.Category
+module Workload_catalog = Dependable_storage.Workload.Workload_catalog
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let b_app = Workload_catalog.instantiate Workload_catalog.central_banking ~id:1
+
+let mirror_tests =
+  [ Alcotest.test_case "Table 2 windows" `Quick (fun () ->
+        check_float "sync 0.5min" 30. (Time.to_seconds (Mirror.staleness Mirror.synchronous));
+        check_float "async 10min" 600. (Time.to_seconds (Mirror.staleness Mirror.asynchronous)));
+    Alcotest.test_case "network demand: sync uses peak, async avg" `Quick (fun () ->
+        check_float "sync peak" 50.
+          (Rate.to_mb_per_sec (Mirror.network_demand Mirror.synchronous b_app));
+        check_float "async avg" 5.
+          (Rate.to_mb_per_sec (Mirror.network_demand Mirror.asynchronous b_app)));
+    Alcotest.test_case "to_string" `Quick (fun () ->
+        Alcotest.(check string) "sync" "sync" (Mirror.to_string Mirror.synchronous);
+        Alcotest.(check string) "async" "async" (Mirror.to_string Mirror.asynchronous)) ]
+
+let backup_tests =
+  [ Alcotest.test_case "Table 2 defaults" `Quick (fun () ->
+        let b = Backup.default in
+        check_float "snapshot 12h" 12. (Time.to_hours b.Backup.snapshot_win);
+        check_float "tape 7d" 7. (Time.to_days b.Backup.tape_win);
+        check_float "vault 28d" 28. (Time.to_days b.Backup.vault_win);
+        check_float "vault prop 1d" 1. (Time.to_days b.Backup.vault_prop));
+    Alcotest.test_case "staleness accumulates down the hierarchy" `Quick (fun () ->
+        let b = Backup.default in
+        let prop = Time.hours 2. in
+        let snap = Backup.snapshot_staleness b in
+        let tape = Backup.tape_staleness b ~propagation:prop in
+        let vault = Backup.vault_staleness b ~propagation:prop in
+        check_bool "snap < tape" true Time.(snap < tape);
+        check_bool "tape < vault" true Time.(tape < vault);
+        check_float "tape = snap+win+prop"
+          (Time.to_hours (Time.add snap (Time.add b.Backup.tape_win prop)))
+          (Time.to_hours tape));
+    Alcotest.test_case "snapshot space bounded by dataset" `Quick (fun () ->
+        let b = Backup.default in
+        let space = Backup.snapshot_space b b_app in
+        let bound = Size.scale (float_of_int b.Backup.snapshot_retained) b_app.data_size in
+        check_bool "bounded" true Size.(space <= bound);
+        check_bool "positive" true Size.(Size.zero < space));
+    Alcotest.test_case "tape space = retained fulls" `Quick (fun () ->
+        let b = Backup.default in
+        check_float "2 fulls" (2. *. 1300.)
+          (Size.to_gb (Backup.tape_space b b_app)));
+    Alcotest.test_case "tape bandwidth meets the backup window" `Quick (fun () ->
+        let b = Backup.default in
+        let bw = Backup.tape_bandwidth_demand b b_app in
+        let duration = Rate.transfer_time b_app.data_size bw in
+        check_bool "within window" true Time.(duration <= b.Backup.backup_window));
+    Alcotest.test_case "window setters validate" `Quick (fun () ->
+        Alcotest.check_raises "zero snapshot"
+          (Invalid_argument "Backup.with_snapshot_win: zero window") (fun () ->
+              ignore (Backup.with_snapshot_win Backup.default Time.zero));
+        let b = Backup.with_tape_win Backup.default (Time.days 14.) in
+        check_float "14d" 14. (Time.to_days b.Backup.tape_win));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"staleness monotone in snapshot window" ~count:100
+         QCheck2.Gen.(pair (float_range 1. 48.) (float_range 1. 48.))
+         (fun (h1, h2) ->
+            let lo = Float.min h1 h2 and hi = Float.max h1 h2 in
+            let s h =
+              Backup.snapshot_staleness
+                (Backup.with_snapshot_win Backup.default (Time.hours h))
+            in
+            Time.(s lo <= s hi))) ]
+
+let technique_tests =
+  [ Alcotest.test_case "catalog has the nine Table 2 rows" `Quick (fun () ->
+        check_int "nine" 9 (List.length Technique_catalog.all);
+        let ids = List.map (fun t -> t.Technique.id) Technique_catalog.all in
+        check_int "unique" 9 (List.length (List.sort_uniq Int.compare ids)));
+    Alcotest.test_case "classes per Section 3.1.3" `Quick (fun () ->
+        check_int "gold: mirror+failover" 4
+          (List.length (Technique_catalog.in_class Category.Gold));
+        check_int "silver: mirror+reconstruct" 4
+          (List.length (Technique_catalog.in_class Category.Silver));
+        check_int "bronze: backup alone" 1
+          (List.length (Technique_catalog.in_class Category.Bronze)));
+    Alcotest.test_case "eligible_for is class-or-better" `Quick (fun () ->
+        check_int "gold apps: gold only" 4
+          (List.length (Technique_catalog.eligible_for Category.Gold));
+        check_int "silver apps: gold+silver" 8
+          (List.length (Technique_catalog.eligible_for Category.Silver));
+        check_int "bronze apps: everything" 9
+          (List.length (Technique_catalog.eligible_for Category.Bronze)));
+    Alcotest.test_case "paper-style names" `Quick (fun () ->
+        Alcotest.(check string) "async F backup" "Async mirror (F) with backup"
+          (Technique.describe Technique_catalog.async_failover_backup);
+        Alcotest.(check string) "sync R backup" "Sync mirror (R) with backup"
+          (Technique.describe Technique_catalog.sync_reconstruct_backup);
+        Alcotest.(check string) "tape" "Tape backup"
+          (Technique.describe Technique_catalog.tape_backup));
+    Alcotest.test_case "standby compute only for failover" `Quick (fun () ->
+        check_bool "failover" true
+          (Technique.needs_standby_compute Technique_catalog.sync_failover_backup);
+        check_bool "reconstruct" false
+          (Technique.needs_standby_compute Technique_catalog.sync_reconstruct_backup);
+        check_bool "tape" false
+          (Technique.needs_standby_compute Technique_catalog.tape_backup));
+    Alcotest.test_case "structure predicates" `Quick (fun () ->
+        check_bool "tape has no mirror" false
+          (Technique.has_mirror Technique_catalog.tape_backup);
+        check_bool "tape uses tape" true
+          (Technique.uses_tape Technique_catalog.tape_backup);
+        check_bool "mirror-only has no backup" false
+          (Technique.has_backup Technique_catalog.sync_failover);
+        check_bool "mirror uses network" true
+          (Technique.uses_network Technique_catalog.sync_failover));
+    Alcotest.test_case "constructor validation" `Quick (fun () ->
+        Alcotest.check_raises "empty technique"
+          (Invalid_argument "Technique.v: technique protects nothing") (fun () ->
+              ignore (Technique.v ~id:99 ~recovery:Recovery_mode.Reconstruct ()));
+        Alcotest.check_raises "failover without mirror"
+          (Invalid_argument "Technique.v: failover requires a mirror") (fun () ->
+              ignore
+                (Technique.v ~id:99 ~recovery:Recovery_mode.Failover
+                   ~backup:Backup.default ())));
+    Alcotest.test_case "with_backup_chain replaces windows" `Quick (fun () ->
+        let chain = Backup.with_snapshot_win Backup.default (Time.hours 6.) in
+        let t = Technique.with_backup_chain Technique_catalog.tape_backup chain in
+        (match t.Technique.backup with
+         | Some b -> check_float "6h" 6. (Time.to_hours b.Backup.snapshot_win)
+         | None -> Alcotest.fail "backup disappeared");
+        let no_backup =
+          Technique.with_backup_chain Technique_catalog.sync_failover chain
+        in
+        check_bool "no-op on mirror-only" true
+          (no_backup.Technique.backup = None));
+    Alcotest.test_case "of_id" `Quick (fun () ->
+        check_bool "found" true (Technique_catalog.of_id 1 <> None);
+        check_bool "missing" true (Technique_catalog.of_id 42 = None));
+    Alcotest.test_case "recovery mode strings" `Quick (fun () ->
+        Alcotest.(check string) "F" "F" (Recovery_mode.short Recovery_mode.Failover);
+        Alcotest.(check string) "R" "R" (Recovery_mode.short Recovery_mode.Reconstruct);
+        check_bool "parse" true
+          (Recovery_mode.of_string "failover" = Some Recovery_mode.Failover)) ]
+
+(* An app with a unique update rate well below its raw update rate, as a
+   trace with hot blocks would produce. *)
+let hot_app =
+  Workload_catalog.instantiate Workload_catalog.web_service ~id:77
+  |> fun base ->
+  Dependable_storage.Workload.App.v ~id:77 ~name:"hot" ~class_tag:"W"
+    ~outage_per_hour:base.outage_penalty_rate
+    ~loss_per_hour:base.loss_penalty_rate ~data_size:base.data_size
+    ~avg_update:base.avg_update_rate ~peak_update:base.peak_update_rate
+    ~unique_update:(Rate.scale 0.1 base.avg_update_rate)
+    ~avg_access:base.avg_access_rate ()
+
+let incremental_tests =
+  [ Alcotest.test_case "default schedule is fulls-only" `Quick (fun () ->
+        check_int "every backup full" 1 Backup.default.Backup.tape_fulls_every);
+    Alcotest.test_case "with_fulls_every validates" `Quick (fun () ->
+        Alcotest.check_raises "zero cycle"
+          (Invalid_argument "Backup.with_fulls_every: cycle must be positive")
+          (fun () -> ignore (Backup.with_fulls_every Backup.default 0));
+        check_int "set" 7
+          (Backup.with_fulls_every Backup.default 7).Backup.tape_fulls_every);
+    Alcotest.test_case "incremental size follows the unique rate" `Quick
+      (fun () ->
+         let chain = Backup.with_tape_win Backup.default (Time.days 1.) in
+         let incr = Backup.incremental_size chain hot_app in
+         let expected =
+           Rate.volume_in hot_app.unique_update_rate (Time.days 1.)
+         in
+         check_float "unique volume" (Size.to_gb expected) (Size.to_gb incr);
+         check_bool "bounded by dataset" true Size.(incr <= hot_app.data_size));
+    Alcotest.test_case "incremental schedule stores fulls plus incrementals"
+      `Quick (fun () ->
+          let daily_incr =
+            Backup.with_fulls_every
+              (Backup.with_tape_win Backup.default (Time.days 1.)) 7
+          in
+          let weekly_full = Backup.default in
+          let space_incr = Backup.tape_space daily_incr hot_app in
+          let space_full = Backup.tape_space weekly_full hot_app in
+          (* Hot app dirties little unique data: the daily-incremental
+             cycle stays close to the fulls-only footprint. *)
+          check_bool "within 2x" true
+            Size.(space_incr <= Size.scale 2. space_full);
+          check_bool "more than fulls alone" true Size.(space_full <= space_incr));
+    Alcotest.test_case "daily incrementals slash tape staleness" `Quick
+      (fun () ->
+         let daily_incr =
+           Backup.with_fulls_every
+             (Backup.with_tape_win Backup.default (Time.days 1.)) 7
+         in
+         let stale_daily =
+           Backup.tape_staleness daily_incr ~propagation:(Time.hours 2.)
+         in
+         let stale_weekly =
+           Backup.tape_staleness Backup.default ~propagation:(Time.hours 2.)
+         in
+         check_bool "fresher" true Time.(stale_daily < stale_weekly));
+    Alcotest.test_case "restore volume includes expected replay" `Quick
+      (fun () ->
+         let chain =
+           Backup.with_fulls_every
+             (Backup.with_tape_win Backup.default (Time.days 1.)) 7
+         in
+         let v = Backup.restore_volume chain hot_app in
+         let full_only = Backup.restore_volume Backup.default hot_app in
+         check_float "fulls-only restores the dataset"
+           (Size.to_gb hot_app.data_size) (Size.to_gb full_only);
+         check_bool "incremental replays more" true Size.(full_only < v));
+    Alcotest.test_case "unique rate caps snapshot space" `Quick (fun () ->
+        let cold = Backup.snapshot_space Backup.default hot_app in
+        let raw =
+          Backup.snapshot_space Backup.default
+            (Workload_catalog.instantiate Workload_catalog.web_service ~id:78)
+        in
+        check_bool "hot app snapshots are smaller" true Size.(cold < raw));
+    Alcotest.test_case "unique rate above average rejected" `Quick (fun () ->
+        Alcotest.check_raises "too high"
+          (Invalid_argument "App.v: unique update rate above average update rate")
+          (fun () ->
+             ignore
+               (Dependable_storage.Workload.App.v ~id:1 ~name:"x" ~class_tag:"X"
+                  ~outage_per_hour:(Money.k 1.) ~loss_per_hour:(Money.k 1.)
+                  ~data_size:(Size.gb 1.) ~avg_update:(Rate.mb_per_sec 1.)
+                  ~peak_update:(Rate.mb_per_sec 2.)
+                  ~unique_update:(Rate.mb_per_sec 1.5)
+                  ~avg_access:(Rate.mb_per_sec 2.) ()))) ]
+
+let suites =
+  [ ("protection.mirror", mirror_tests);
+    ("protection.backup", backup_tests);
+    ("protection.incremental", incremental_tests);
+    ("protection.technique", technique_tests) ]

@@ -1,0 +1,144 @@
+(* Tests for ds_resources: device models, Table 3 catalog, environments. *)
+
+open Dependable_storage.Units
+open Dependable_storage.Resources
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let array_tests =
+  [ Alcotest.test_case "bandwidth capped by controller" `Quick (fun () ->
+        let m = Device_catalog.xp1200 in
+        check_float "1 disk" 25. (Rate.to_mb_per_sec (Array_model.bw_of_units m 1));
+        check_float "20 disks" 500. (Rate.to_mb_per_sec (Array_model.bw_of_units m 20));
+        check_float "capped" 512. (Rate.to_mb_per_sec (Array_model.bw_of_units m 100));
+        check_float "zero" 0. (Rate.to_mb_per_sec (Array_model.bw_of_units m 0)));
+    Alcotest.test_case "units_for_capacity" `Quick (fun () ->
+        let m = Device_catalog.xp1200 in
+        check_int "1300GB -> 10 disks" 10
+          (Array_model.units_for_capacity m (Size.gb 1300.));
+        check_int "zero" 0 (Array_model.units_for_capacity m Size.zero));
+    Alcotest.test_case "units_for_bw" `Quick (fun () ->
+        let m = Device_catalog.xp1200 in
+        check_int "50MB/s -> 2 disks" 2 (Array_model.units_for_bw m (Rate.mb_per_sec 50.));
+        check_int "zero" 0 (Array_model.units_for_bw m Rate.zero);
+        check_bool "beyond controller infeasible" true
+          (Array_model.units_for_bw m (Rate.mb_per_sec 600.) > m.Array_model.max_units));
+    Alcotest.test_case "purchase cost" `Quick (fun () ->
+        let m = Device_catalog.xp1200 in
+        check_float "fixed + disks" (375_000. +. 10. *. 8723.)
+          (Money.to_dollars (Array_model.purchase_cost m ~units:10)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"units_for_bw delivers the demand" ~count:200
+         QCheck2.Gen.(float_range 0.1 512.)
+         (fun mb ->
+            let m = Device_catalog.xp1200 in
+            let demand = Rate.mb_per_sec mb in
+            let n = Array_model.units_for_bw m demand in
+            n > m.Array_model.max_units
+            || Rate.(demand <= Array_model.bw_of_units m n))) ]
+
+let tape_tests =
+  [ Alcotest.test_case "drive bandwidth" `Quick (fun () ->
+        let m = Device_catalog.tape_high in
+        check_float "2 drives" 240. (Rate.to_mb_per_sec (Tape_model.bw_of_drives m 2)));
+    Alcotest.test_case "drives_for_bw caps at max" `Quick (fun () ->
+        let m = Device_catalog.tape_med in
+        check_int "240MB/s -> 2 drives" 2 (Tape_model.drives_for_bw m (Rate.mb_per_sec 240.));
+        check_bool "overflow flagged" true
+          (Tape_model.drives_for_bw m (Rate.mb_per_sec 1000.) > m.Tape_model.max_drives));
+    Alcotest.test_case "cartridges round up" `Quick (fun () ->
+        let m = Device_catalog.tape_high in
+        check_int "100GB -> 2 cartridges" 2
+          (Tape_model.cartridges_for_capacity m (Size.gb 100.)));
+    Alcotest.test_case "total capacity" `Quick (fun () ->
+        check_float "high lib 43.2TB" 43.2
+          (Size.to_bytes (Tape_model.total_capacity Device_catalog.tape_high) /. 1e12)) ]
+
+let link_tests =
+  [ Alcotest.test_case "units and bandwidth" `Quick (fun () ->
+        let m = Device_catalog.link_high in
+        check_float "3 units" 60. (Rate.to_mb_per_sec (Link_model.bw_of_units m 3));
+        check_int "45MB/s -> 3 units" 3 (Link_model.units_for_bw m (Rate.mb_per_sec 45.));
+        check_float "max" 640. (Rate.to_mb_per_sec (Link_model.max_bw m)));
+    Alcotest.test_case "cost is linear, no fixed part" `Quick (fun () ->
+        let m = Device_catalog.link_high in
+        check_float "zero" 0. (Money.to_dollars (Link_model.purchase_cost m ~units:0));
+        check_float "2 units" 1e6 (Money.to_dollars (Link_model.purchase_cost m ~units:2))) ]
+
+let catalog_tests =
+  [ Alcotest.test_case "Table 3 array prices" `Quick (fun () ->
+        check_float "XP fixed" 375_000.
+          (Money.to_dollars Device_catalog.xp1200.Array_model.fixed_cost);
+        check_float "EVA fixed" 123_000.
+          (Money.to_dollars Device_catalog.eva8000.Array_model.fixed_cost);
+        check_float "MSA disk" 3720.
+          (Money.to_dollars Device_catalog.msa1500.Array_model.unit_cost));
+    Alcotest.test_case "Table 3 counts" `Quick (fun () ->
+        check_int "XP disks" 1024 Device_catalog.xp1200.Array_model.max_units;
+        check_int "EVA disks" 512 Device_catalog.eva8000.Array_model.max_units;
+        check_int "MSA disks" 128 Device_catalog.msa1500.Array_model.max_units;
+        check_int "tape-high drives" 24 Device_catalog.tape_high.Tape_model.max_drives;
+        check_int "tape-med drives" 4 Device_catalog.tape_med.Tape_model.max_drives;
+        check_int "net-high units" 32 Device_catalog.link_high.Link_model.max_units);
+    Alcotest.test_case "fixed costs" `Quick (fun () ->
+        check_float "compute" 125_000. (Money.to_dollars Device_catalog.compute_cost);
+        check_float "site" 1e6 (Money.to_dollars Device_catalog.site_cost);
+        check_float "3yr life" 3. Device_catalog.device_lifetime_years);
+    Alcotest.test_case "lookup by name" `Quick (fun () ->
+        check_bool "XP1200" true (Device_catalog.array_model_of_name "XP1200" <> None);
+        check_bool "unknown" true (Device_catalog.array_model_of_name "ZZ" = None);
+        check_bool "tape" true (Device_catalog.tape_model_of_name "TapeLib-H" <> None)) ]
+
+let env_tests =
+  [ Alcotest.test_case "fully_connected shape" `Quick (fun () ->
+        let env =
+          Env.fully_connected ~name:"quad" ~site_count:4 ~bays_per_site:2
+            ~array_models:Device_catalog.array_models
+            ~tape_models:Device_catalog.tape_models
+            ~link_model:Device_catalog.link_high ~max_link_units:16
+            ~compute_slots_per_site:8 ()
+        in
+        check_int "sites" 4 (List.length env.Env.sites);
+        check_int "pairs" 6 (List.length (Env.pairs env));
+        check_int "array slots" 8 (List.length (Env.array_slots env));
+        check_int "tape slots" 4 (List.length (Env.tape_slots env));
+        check_bool "1-2 connected" true (Env.connected env 1 2);
+        check_bool "self not connected" false (Env.connected env 1 1);
+        check_int "peers of 1" 3 (List.length (Env.peers_of env 1)));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let site = Site.v ~id:1 ~name:"S1" () in
+        Alcotest.check_raises "no sites" (Invalid_argument "Env.v: no sites")
+          (fun () ->
+             ignore
+               (Env.v ~name:"x" ~sites:[] ~bays_per_site:1
+                  ~array_models:Device_catalog.array_models ~tape_slots_per_site:0
+                  ~tape_models:[] ~link_model:Device_catalog.link_high
+                  ~max_link_units:1 ~links:[] ~compute_slots_per_site:1 ()));
+        Alcotest.check_raises "too many link units"
+          (Invalid_argument "Env.v: max_link_units exceeds the link model's ceiling")
+          (fun () ->
+             ignore
+               (Env.v ~name:"x" ~sites:[ site ] ~bays_per_site:1
+                  ~array_models:Device_catalog.array_models ~tape_slots_per_site:0
+                  ~tape_models:[] ~link_model:Device_catalog.link_high
+                  ~max_link_units:33 ~links:[] ~compute_slots_per_site:1 ())));
+    Alcotest.test_case "slot and pair primitives" `Quick (fun () ->
+        let a = Slot.Pair.v 2 1 and b = Slot.Pair.v 1 2 in
+        check_bool "normalized" true (Slot.Pair.equal a b);
+        check_bool "mem" true (Slot.Pair.mem 1 a);
+        check_bool "not mem" false (Slot.Pair.mem 3 a);
+        Alcotest.check_raises "self pair"
+          (Invalid_argument "Pair.v: a link needs two distinct sites") (fun () ->
+              ignore (Slot.Pair.v 1 1));
+        let s1 = Slot.Array_slot.v ~site:1 ~bay:0 in
+        let s2 = Slot.Array_slot.v ~site:1 ~bay:1 in
+        check_bool "slots ordered" true (Slot.Array_slot.compare s1 s2 < 0)) ]
+
+let suites =
+  [ ("resources.array", array_tests);
+    ("resources.tape", tape_tests);
+    ("resources.link", link_tests);
+    ("resources.catalog", catalog_tests);
+    ("resources.env", env_tests) ]

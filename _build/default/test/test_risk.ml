@@ -1,0 +1,153 @@
+(* Tests for the Monte Carlo risk analyzer and the simulated-annealing
+   baseline. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module Provision = Design.Provision
+module Likelihood = Failure.Likelihood
+module Penalty = Cost.Penalty
+module Year_sim = Risk.Year_sim
+module Annealing = Heuristics.Annealing
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Heuristic_result = Heuristics.Heuristic_result
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Likelihood.default
+
+let prov_of design = Fixtures.feasible (Provision.minimum design)
+
+let risk_tests =
+  [ Alcotest.test_case "mean converges to the analytic expectation" `Slow
+      (fun () ->
+         let prov = prov_of (Fixtures.two_app_design ()) in
+         let analytic = Penalty.expected_annual prov likelihood in
+         let expected =
+           Money.to_dollars
+             (Money.add analytic.Penalty.outage_total analytic.Penalty.loss_total)
+         in
+         let sim =
+           Year_sim.simulate ~years:40_000 (Rng.of_int 11) prov likelihood
+         in
+         let mean = Money.to_dollars sim.Year_sim.mean in
+         check_bool
+           (Printf.sprintf "within 10%% (analytic %.3g, simulated %.3g)"
+              expected mean)
+           true
+           (Float.abs (mean -. expected) <= 0.1 *. expected));
+    Alcotest.test_case "percentiles are ordered" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let sim = Year_sim.simulate ~years:2_000 (Rng.of_int 12) prov likelihood in
+        check_bool "p50 <= p90" true Money.(sim.Year_sim.p50 <= sim.Year_sim.p90);
+        check_bool "p90 <= p99" true Money.(sim.Year_sim.p90 <= sim.Year_sim.p99);
+        check_bool "p99 <= worst" true Money.(sim.Year_sim.p99 <= sim.Year_sim.worst);
+        check_bool "mean between extremes" true
+          Money.(sim.Year_sim.mean <= sim.Year_sim.worst));
+    Alcotest.test_case "quiet years match the Poisson void probability" `Slow
+      (fun () ->
+         (* Total event rate for the two-app design: 2 object (1/3 each)
+            + 1 array (1/3) + 1 site (1/5) = 1.2/yr; P(no events) =
+            exp(-1.2) ~ 0.301. *)
+         let prov = prov_of (Fixtures.two_app_design ()) in
+         let sim =
+           Year_sim.simulate ~years:40_000 (Rng.of_int 13) prov likelihood
+         in
+         check_bool
+           (Printf.sprintf "quiet fraction %.3f near 0.301"
+              sim.Year_sim.quiet_fraction)
+           true
+           (Float.abs (sim.Year_sim.quiet_fraction -. exp (-1.2)) < 0.02));
+    Alcotest.test_case "deterministic per generator seed" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let run () =
+          (Year_sim.simulate ~years:500 (Rng.of_int 14) prov likelihood).Year_sim.mean
+        in
+        Alcotest.(check (float 1e-9)) "same mean"
+          (Money.to_dollars (run ())) (Money.to_dollars (run ())));
+    Alcotest.test_case "percentile argument validation" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let sim = Year_sim.simulate ~years:100 (Rng.of_int 15) prov likelihood in
+        check_bool "p0 <= p100" true
+          Money.(Year_sim.percentile sim 0. <= Year_sim.percentile sim 1.);
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Year_sim.percentile: q outside [0, 1]") (fun () ->
+              ignore (Year_sim.percentile sim 1.5));
+        Alcotest.check_raises "bad years"
+          (Invalid_argument "Year_sim.simulate: years must be positive")
+          (fun () ->
+             ignore (Year_sim.simulate ~years:0 (Rng.of_int 1) prov likelihood)));
+    Alcotest.test_case "tail risk exceeds the mean for rare failures" `Quick
+      (fun () ->
+         (* With ~1.2 events/yr, p99 years see several events: the tail
+            must sit well above the mean. *)
+         let prov = prov_of (Fixtures.two_app_design ()) in
+         let sim = Year_sim.simulate ~years:5_000 (Rng.of_int 16) prov likelihood in
+         check_bool "p99 > mean" true Money.(sim.Year_sim.mean < sim.Year_sim.p99)) ]
+
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 1;
+    window_scope = Config_solver.Skip }
+
+let annealing_tests =
+  [ Alcotest.test_case "parameter validation" `Quick (fun () ->
+        let bad params =
+          Alcotest.check_raises "invalid" (Invalid_argument "Annealing: cooling must be in (0, 1)")
+            (fun () ->
+               ignore
+                 (Annealing.run ~params ~seed:1 (Fixtures.peer_env ())
+                    [ Fixtures.s_app ] likelihood))
+        in
+        bad { Annealing.default_params with Annealing.cooling = 1.5 });
+    Alcotest.test_case "finds a feasible design and improves on the start"
+      `Slow (fun () ->
+          let apps = Ds_experiments.Envs.peer_apps () in
+          let params =
+            { Annealing.iterations = 60; initial_temperature = 20e6;
+              cooling = 0.95 }
+          in
+          let result =
+            Annealing.run ~options:fast_options ~params ~seed:21
+              (Fixtures.peer_env ()) apps likelihood
+          in
+          match result.Heuristic_result.best with
+          | None -> Alcotest.fail "no feasible design"
+          | Some best ->
+            check_int "all apps placed" 8
+              (Design.Design.size best.Candidate.design);
+            check_bool "feasible steps recorded" true
+              (result.Heuristic_result.feasible > 1));
+    Alcotest.test_case "deterministic per seed" `Slow (fun () ->
+        let apps = [ Fixtures.b_app; Fixtures.s_app ] in
+        let params =
+          { Annealing.iterations = 30; initial_temperature = 20e6;
+            cooling = 0.95 }
+        in
+        let cost () =
+          (Annealing.run ~options:fast_options ~params ~seed:22
+             (Fixtures.peer_env ()) apps likelihood).Heuristic_result.best
+          |> Option.map (fun c -> Money.to_dollars (Candidate.cost c))
+        in
+        Alcotest.(check (option (float 1e-3))) "same" (cost ()) (cost ()));
+    Alcotest.test_case "impossible environment yields none" `Quick (fun () ->
+        let env =
+          Resources.Env.fully_connected ~name:"impossible" ~site_count:2
+            ~bays_per_site:2 ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+            ~compute_slots_per_site:0 ()
+        in
+        let params =
+          { Annealing.iterations = 5; initial_temperature = 1e6; cooling = 0.9 }
+        in
+        let result =
+          Annealing.run ~options:fast_options ~params ~seed:23 env
+            [ Fixtures.s_app ] likelihood
+        in
+        check_bool "none" true (result.Heuristic_result.best = None)) ]
+
+let suites =
+  [ ("risk.year_sim", risk_tests); ("heuristics.annealing", annealing_tests) ]

@@ -1,0 +1,269 @@
+(* Tests for SLA penalty curves, the tabu-search baseline and the chain
+   topology. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Sla = Cost.Sla
+module Penalty = Cost.Penalty
+module Provision = Design.Provision
+module Likelihood = Failure.Likelihood
+module App = Workload.App
+module Tabu = Heuristics.Tabu
+module Config_solver = Solver.Config_solver
+module Candidate = Solver.Candidate
+module Heuristic_result = Heuristics.Heuristic_result
+module Env = Resources.Env
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_money = Alcotest.(check (float 1.))
+
+let likelihood = Likelihood.default
+
+let dollars m = Money.to_dollars m
+
+let curve_tests =
+  [ Alcotest.test_case "linear curve matches Money.penalty" `Quick (fun () ->
+        let curve = Sla.linear ~rate_per_hour:(Money.k 5.) in
+        List.iter
+          (fun hours ->
+             check_money (Printf.sprintf "%gh" hours)
+               (dollars (Money.penalty ~rate_per_hour:(Money.k 5.) (Time.hours hours)))
+               (dollars (Sla.cost curve (Time.hours hours))))
+          [ 0.; 0.5; 1.; 7.3; 100.; 9000. ]);
+    Alcotest.test_case "stepped curve integrates per segment" `Quick (fun () ->
+        (* $1K/hr for the first hour, $10K/hr until hour 3, $100K beyond. *)
+        let curve =
+          Sla.stepped
+            [ (Time.hours 1., Money.k 1.); (Time.hours 3., Money.k 10.) ]
+            ~beyond:(Money.k 100.)
+        in
+        check_money "30min" 500. (dollars (Sla.cost curve (Time.minutes 30.)));
+        check_money "1h" 1000. (dollars (Sla.cost curve (Time.hours 1.)));
+        check_money "2h" (1000. +. 10_000.) (dollars (Sla.cost curve (Time.hours 2.)));
+        check_money "5h" (1000. +. 20_000. +. 200_000.)
+          (dollars (Sla.cost curve (Time.hours 5.))));
+    Alcotest.test_case "grace period charges nothing early" `Quick (fun () ->
+        let curve =
+          Sla.with_grace (Time.hours 1.) (Sla.linear ~rate_per_hour:(Money.k 10.))
+        in
+        check_money "inside grace" 0. (dollars (Sla.cost curve (Time.minutes 30.)));
+        check_money "one hour past grace" 10_000.
+          (dollars (Sla.cost curve (Time.hours 2.))));
+    Alcotest.test_case "stepped validates boundaries" `Quick (fun () ->
+        Alcotest.check_raises "non-increasing"
+          (Invalid_argument "Sla.stepped: boundaries must be strictly increasing")
+          (fun () ->
+             ignore
+               (Sla.stepped
+                  [ (Time.hours 2., Money.k 1.); (Time.hours 1., Money.k 2.) ]
+                  ~beyond:Money.zero)));
+    Alcotest.test_case "cost caps at a year like the linear model" `Quick
+      (fun () ->
+         let curve = Sla.linear ~rate_per_hour:(Money.k 1.) in
+         check_money "infinite = year"
+           (dollars (Sla.cost curve (Time.years 1.)))
+           (dollars (Sla.cost curve Time.infinity)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"cost is monotone in duration" ~count:100
+         QCheck2.Gen.(pair (float_range 0. 2000.) (float_range 0. 2000.))
+         (fun (h1, h2) ->
+            let curve =
+              Sla.stepped
+                [ (Time.hours 4., Money.k 1.); (Time.hours 24., Money.k 20.) ]
+                ~beyond:(Money.k 80.)
+            in
+            let lo = Float.min h1 h2 and hi = Float.max h1 h2 in
+            Money.(Sla.cost curve (Time.hours lo) <= Sla.cost curve (Time.hours hi)))) ]
+
+let reprice_tests =
+  [ Alcotest.test_case "paper contracts reproduce the linear totals" `Quick
+      (fun () ->
+         let prov = Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ())) in
+         let linear = Penalty.expected_annual prov likelihood in
+         let _, total =
+           Sla.expected_annual ~contracts:Sla.paper_contract prov likelihood
+         in
+         check_money "same total"
+           (dollars (Money.add linear.Penalty.outage_total linear.Penalty.loss_total))
+           (dollars total));
+    Alcotest.test_case "a grace period can only reduce the bill" `Quick
+      (fun () ->
+         let prov = Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ())) in
+         let graceful (app : App.t) =
+           let c = Sla.paper_contract app in
+           { c with Sla.outage = Sla.with_grace (Time.hours 1.) c.Sla.outage }
+         in
+         let _, linear_total =
+           Sla.expected_annual ~contracts:Sla.paper_contract prov likelihood
+         in
+         let _, graced_total =
+           Sla.expected_annual ~contracts:graceful prov likelihood
+         in
+         check_bool "cheaper or equal" true Money.(graced_total <= linear_total));
+    Alcotest.test_case "breach steps can explode the bill" `Quick (fun () ->
+        let prov = Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ())) in
+        (* The S app restores from the vault after a site disaster —
+           days of outage — so a breach step at 24 h bites hard. *)
+        let breach (app : App.t) =
+          let c = Sla.paper_contract app in
+          { c with
+            Sla.outage =
+              Sla.stepped [ (Time.hours 24., app.App.outage_penalty_rate) ]
+                ~beyond:(Money.scale 100. app.App.outage_penalty_rate) }
+        in
+        let _, linear_total =
+          Sla.expected_annual ~contracts:Sla.paper_contract prov likelihood
+        in
+        let _, breach_total = Sla.expected_annual ~contracts:breach prov likelihood in
+        check_bool "more expensive" true Money.(linear_total < breach_total)) ]
+
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 1;
+    window_scope = Config_solver.Skip }
+
+let tabu_tests =
+  [ Alcotest.test_case "parameter validation" `Quick (fun () ->
+        Alcotest.check_raises "neighbors"
+          (Invalid_argument "Tabu: need at least one neighbor") (fun () ->
+              ignore
+                (Tabu.run
+                   ~params:{ Tabu.default_params with Tabu.neighbors = 0 }
+                   ~seed:1 (Fixtures.peer_env ()) [ Fixtures.s_app ] likelihood)));
+    Alcotest.test_case "finds a complete feasible design" `Slow (fun () ->
+        let params = { Tabu.iterations = 25; neighbors = 3; tenure = 3 } in
+        let result =
+          Tabu.run ~options:fast_options ~params ~seed:31 (Fixtures.peer_env ())
+            (Ds_experiments.Envs.peer_apps ()) likelihood
+        in
+        match result.Heuristic_result.best with
+        | None -> Alcotest.fail "no design"
+        | Some best ->
+          check_int "all apps" 8 (Design.Design.size best.Candidate.design));
+    Alcotest.test_case "deterministic per seed" `Slow (fun () ->
+        let params = { Tabu.iterations = 10; neighbors = 2; tenure = 2 } in
+        let cost () =
+          (Tabu.run ~options:fast_options ~params ~seed:32 (Fixtures.peer_env ())
+             [ Fixtures.b_app; Fixtures.s_app ] likelihood).Heuristic_result.best
+          |> Option.map (fun c -> Money.to_dollars (Candidate.cost c))
+        in
+        Alcotest.(check (option (float 1e-3))) "same" (cost ()) (cost ())) ]
+
+let chain_tests =
+  [ Alcotest.test_case "chain topology links neighbors only" `Quick (fun () ->
+        let env =
+          Env.chain ~name:"metro" ~site_count:4 ~bays_per_site:1
+            ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_med ~max_link_units:8
+            ~compute_slots_per_site:4 ()
+        in
+        check_int "three links" 3 (List.length (Env.pairs env));
+        check_bool "neighbors" true (Env.connected env 1 2);
+        check_bool "ends not connected" false (Env.connected env 1 4);
+        check_int "middle site has two peers" 2 (List.length (Env.peers_of env 2));
+        check_int "end site has one peer" 1 (List.length (Env.peers_of env 1)));
+    Alcotest.test_case "solver respects chain connectivity" `Slow (fun () ->
+        let env =
+          Env.chain ~name:"metro" ~site_count:3 ~bays_per_site:2
+            ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_high ~max_link_units:16
+            ~compute_slots_per_site:4 ()
+        in
+        let params =
+          { Solver.Design_solver.default_params with
+            Solver.Design_solver.refit_rounds = 1; depth = 1; breadth = 2;
+            options = fast_options; polish = None }
+        in
+        match
+          Solver.Design_solver.solve ~params env
+            [ Fixtures.b_app; Fixtures.c_app ] likelihood
+        with
+        | None -> Alcotest.fail "no design"
+        | Some outcome ->
+          List.iter
+            (fun (asg : Design.Assignment.t) ->
+               match asg.Design.Assignment.mirror with
+               | Some m ->
+                 check_bool "mirror on a connected site" true
+                   (Env.connected env
+                      asg.Design.Assignment.primary.Resources.Slot.Array_slot.site
+                      m.Resources.Slot.Array_slot.site)
+               | None -> ())
+            (Design.Design.assignments
+               outcome.Solver.Design_solver.best.Candidate.design)) ]
+
+(* Two sites 300 km apart with a 100 km synchronous-mirroring cap. *)
+let far_env () =
+  Env.fully_connected ~name:"far" ~site_count:2 ~bays_per_site:2
+    ~locations:[ (0., 0.); (300., 0.) ] ~max_sync_distance_km:100.
+    ~array_models:Resources.Device_catalog.array_models
+    ~tape_models:Resources.Device_catalog.tape_models
+    ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+    ~compute_slots_per_site:8 ()
+
+let distance_tests =
+  [ Alcotest.test_case "site distance computed from locations" `Quick (fun () ->
+        let env = far_env () in
+        (match Env.distance_km env 1 2 with
+         | Some d -> Alcotest.(check (float 1e-6)) "300km" 300. d
+         | None -> Alcotest.fail "no distance");
+        check_bool "unlocated sites have no distance" true
+          (Env.distance_km (Fixtures.peer_env ()) 1 2 = None));
+    Alcotest.test_case "sync allowed without a cap or locations" `Quick
+      (fun () ->
+         check_bool "no cap" true
+           (Env.sync_mirror_allowed (Fixtures.peer_env ()) 1 2));
+    Alcotest.test_case "far sync mirror rejected, async accepted" `Quick
+      (fun () ->
+         let env = far_env () in
+         check_bool "cap applies" false (Env.sync_mirror_allowed env 1 2);
+         let add technique =
+           let asg =
+             Design.Assignment.v ~app:Fixtures.b_app ~technique
+               ~primary:(Fixtures.slot 1 0) ~mirror:(Fixtures.slot 2 0)
+               ~backup:(Fixtures.tape 1) ()
+           in
+           Design.Design.add (Design.Design.empty env) asg
+             ~primary_model:Resources.Device_catalog.xp1200
+             ~mirror_model:Resources.Device_catalog.xp1200
+             ~tape_model:Resources.Device_catalog.tape_high ()
+         in
+         (match add Protection.Technique_catalog.sync_failover_backup with
+          | Error msg -> check_bool "mentions distance" true
+                           (String.length msg > 0)
+          | Ok _ -> Alcotest.fail "far sync mirror accepted");
+         match add Protection.Technique_catalog.async_failover_backup with
+         | Ok _ -> ()
+         | Error msg -> Alcotest.failf "async rejected: %s" msg);
+    Alcotest.test_case "solver only ever picks async mirrors across the gap"
+      `Slow (fun () ->
+          let params =
+            { Solver.Design_solver.default_params with
+              Solver.Design_solver.refit_rounds = 2; depth = 2; breadth = 2;
+              options = fast_options; polish = None }
+          in
+          match
+            Solver.Design_solver.solve ~params (far_env ())
+              (Ds_experiments.Envs.peer_apps ()) likelihood
+          with
+          | None -> Alcotest.fail "no design"
+          | Some outcome ->
+            List.iter
+              (fun (asg : Design.Assignment.t) ->
+                 match asg.Design.Assignment.technique.Protection.Technique.mirror with
+                 | Some m ->
+                   check_bool "async only" true
+                     (m.Protection.Mirror.sync = Protection.Mirror.Asynchronous)
+                 | None -> ())
+              (Design.Design.assignments
+                 outcome.Solver.Design_solver.best.Candidate.design)) ]
+
+let suites =
+  [ ("sla.curves", curve_tests);
+    ("sla.reprice", reprice_tests);
+    ("heuristics.tabu", tabu_tests);
+    ("resources.chain", chain_tests);
+    ("resources.distance", distance_tests) ]

@@ -1,0 +1,314 @@
+(* Tests for ds_solver: layout selection, configuration solver,
+   reconfiguration and the two-stage design solver. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module App = Workload.App
+module T = Protection.Technique_catalog
+module Technique = Protection.Technique
+module Slot = Resources.Slot
+module D = Design.Design
+module Likelihood = Failure.Likelihood
+module Layout = Solver.Layout
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Reconfigure = Solver.Reconfigure
+module Design_solver = Solver.Design_solver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Likelihood.default
+
+(* Cheap options keep the solver tests fast. *)
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 2;
+    window_scope = Config_solver.Skip }
+
+let fast_params =
+  { Design_solver.default_params with
+    Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
+    stage1_restarts = 2; options = fast_options }
+
+let layout_tests =
+  [ Alcotest.test_case "enumerate_primaries offers every fitting slot/model"
+      `Quick (fun () ->
+          let design = D.empty (Fixtures.peer_env ()) in
+          (* Empty design: 4 bays x 3 models, minus those too small. The
+             S app (500 GB, 5 MB/s) fits everything. *)
+          check_int "all combos" 12
+            (List.length (Layout.enumerate_primaries design Fixtures.s_app)));
+    Alcotest.test_case "populated slots keep their installed model" `Quick
+      (fun () ->
+         let design = Fixtures.two_app_design () in
+         let cands = Layout.enumerate_primaries design Fixtures.c_app in
+         let on_populated =
+           List.filter
+             (fun ((slot : Slot.Array_slot.t), _) ->
+                Slot.Array_slot.equal slot (Fixtures.slot 1 0))
+             cands
+         in
+         check_int "one option for a populated bay" 1 (List.length on_populated));
+    Alcotest.test_case "choose produces a valid, applicable layout" `Quick
+      (fun () ->
+         let rng = Rng.of_int 1 in
+         let history = Layout.History.create () in
+         let design = D.empty (Fixtures.peer_env ()) in
+         for _ = 1 to 50 do
+           match
+             Layout.choose rng history design Fixtures.b_app
+               T.async_failover_backup
+           with
+           | Some choice ->
+             let applied = Layout.apply design choice in
+             check_bool "applies" true (Result.is_ok applied)
+           | None -> Alcotest.fail "no layout found"
+         done);
+    Alcotest.test_case "choose honors technique structure" `Quick (fun () ->
+        let rng = Rng.of_int 2 in
+        let history = Layout.History.create () in
+        let design = D.empty (Fixtures.peer_env ()) in
+        (match Layout.choose rng history design Fixtures.s_app T.tape_backup with
+         | Some choice ->
+           check_bool "no mirror" true (choice.Layout.assignment.Design.Assignment.mirror = None);
+           check_bool "has tape" true (choice.Layout.assignment.Design.Assignment.backup <> None)
+         | None -> Alcotest.fail "no layout");
+        match Layout.choose rng history design Fixtures.b_app T.sync_failover with
+        | Some choice ->
+          check_bool "has mirror" true
+            (choice.Layout.assignment.Design.Assignment.mirror <> None);
+          check_bool "no tape" true
+            (choice.Layout.assignment.Design.Assignment.backup = None)
+        | None -> Alcotest.fail "no layout");
+    Alcotest.test_case "mirror always lands on a connected distinct site" `Quick
+      (fun () ->
+         let rng = Rng.of_int 3 in
+         let history = Layout.History.create () in
+         let design = D.empty (Fixtures.quad_env ()) in
+         for _ = 1 to 100 do
+           match
+             Layout.choose rng history design Fixtures.c_app
+               T.sync_reconstruct_backup
+           with
+           | Some choice ->
+             let asg = choice.Layout.assignment in
+             let p = asg.Design.Assignment.primary.Slot.Array_slot.site in
+             (match asg.Design.Assignment.mirror with
+              | Some m -> check_bool "distinct site" true (m.Slot.Array_slot.site <> p)
+              | None -> Alcotest.fail "mirror missing")
+           | None -> Alcotest.fail "no layout"
+         done);
+    Alcotest.test_case "no placement in a one-site world for mirrors" `Quick
+      (fun () ->
+         let env =
+           Resources.Env.fully_connected ~name:"solo" ~site_count:1
+             ~bays_per_site:2 ~array_models:Resources.Device_catalog.array_models
+             ~tape_models:Resources.Device_catalog.tape_models
+             ~link_model:Resources.Device_catalog.link_high ~max_link_units:4
+             ~compute_slots_per_site:8 ()
+         in
+         let rng = Rng.of_int 4 in
+         let history = Layout.History.create () in
+         check_bool "none" true
+           (Layout.choose rng history (D.empty env) Fixtures.b_app
+              T.sync_failover = None));
+    Alcotest.test_case "history usage fraction" `Quick (fun () ->
+        let history = Layout.History.create () in
+        let slot = Fixtures.slot 1 0 in
+        Alcotest.(check (float 1e-9)) "empty" 0. (Layout.History.usage history 1 slot);
+        Layout.History.record history 1 slot;
+        Layout.History.record history 1 (Fixtures.slot 1 1);
+        Alcotest.(check (float 1e-9)) "half" 0.5 (Layout.History.usage history 1 slot));
+    Alcotest.test_case "choose_uniform covers distinct placements" `Quick
+      (fun () ->
+         let rng = Rng.of_int 5 in
+         let design = D.empty (Fixtures.peer_env ()) in
+         let sites = Hashtbl.create 4 in
+         for _ = 1 to 200 do
+           match Layout.choose_uniform rng design Fixtures.s_app T.tape_backup with
+           | Some choice ->
+             Hashtbl.replace sites
+               choice.Layout.assignment.Design.Assignment.primary.Slot.Array_slot.site
+               ()
+           | None -> Alcotest.fail "no layout"
+         done;
+         check_int "both sites seen" 2 (Hashtbl.length sites)) ]
+
+let config_tests =
+  [ Alcotest.test_case "solve completes a feasible design" `Quick (fun () ->
+        match
+          Config_solver.solve ~options:fast_options (Fixtures.two_app_design ())
+            likelihood
+        with
+        | Ok candidate -> check_int "apps kept" 2 (D.size candidate.Candidate.design)
+        | Error e -> Alcotest.failf "infeasible: %a" Design.Provision.pp_infeasibility e);
+    Alcotest.test_case "growth never increases total cost" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let base =
+          match Config_solver.solve ~options:{ fast_options with Config_solver.max_growth_steps = 0 }
+                  design likelihood with
+          | Ok c -> Candidate.cost c
+          | Error _ -> Alcotest.fail "infeasible"
+        in
+        let grown =
+          match Config_solver.solve ~options:{ fast_options with Config_solver.max_growth_steps = 12 }
+                  design likelihood with
+          | Ok c -> Candidate.cost c
+          | Error _ -> Alcotest.fail "infeasible"
+        in
+        check_bool "growth helps or is neutral" true Money.(grown <= base));
+    Alcotest.test_case "window search helps or is neutral" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let skip =
+          match Config_solver.solve ~options:fast_options design likelihood with
+          | Ok c -> Candidate.cost c
+          | Error _ -> Alcotest.fail "infeasible"
+        in
+        let searched =
+          match
+            Config_solver.solve
+              ~options:{ fast_options with Config_solver.window_scope = Config_solver.All_apps }
+              design likelihood
+          with
+          | Ok c -> Candidate.cost c
+          | Error _ -> Alcotest.fail "infeasible"
+        in
+        check_bool "windows help" true Money.(searched <= skip));
+    Alcotest.test_case "infeasible design is rejected" `Quick (fun () ->
+        let env =
+          Resources.Env.fully_connected ~name:"tiny" ~site_count:2 ~bays_per_site:2
+            ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+            ~compute_slots_per_site:1 ()
+        in
+        let design = D.empty env in
+        let design = Fixtures.ok (Fixtures.assign_tape_only Fixtures.s_app design) in
+        let asg =
+          Design.Assignment.v ~app:Fixtures.c_app ~technique:T.tape_backup
+            ~primary:(Fixtures.slot 1 0) ~backup:(Fixtures.tape 1) ()
+        in
+        let design =
+          Fixtures.ok
+            (D.add design asg ~primary_model:Resources.Device_catalog.xp1200
+               ~tape_model:Resources.Device_catalog.tape_high ())
+        in
+        check_bool "rejected" true
+          (Result.is_error (Config_solver.solve ~options:fast_options design likelihood))) ]
+
+let reconfigure_tests =
+  [ Alcotest.test_case "eligible techniques follow the class ladder" `Quick
+      (fun () ->
+         check_int "gold app" 4
+           (List.length (Reconfigure.eligible_techniques Fixtures.b_app));
+         check_int "silver app" 8
+           (List.length (Reconfigure.eligible_techniques Fixtures.c_app));
+         check_int "bronze app" 9
+           (List.length (Reconfigure.eligible_techniques Fixtures.s_app)));
+    Alcotest.test_case "assign_best places an app feasibly" `Quick (fun () ->
+        let state =
+          Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 11) likelihood
+        in
+        let design = D.empty (Fixtures.peer_env ()) in
+        match Reconfigure.assign_best state design Fixtures.s_app with
+        | Some candidate ->
+          check_int "placed" 1 (D.size candidate.Candidate.design);
+          check_bool "evaluations counted" true (state.Reconfigure.evaluations > 0)
+        | None -> Alcotest.fail "no placement");
+    Alcotest.test_case "reconfigure keeps the app count" `Quick (fun () ->
+        let state =
+          Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 12) likelihood
+        in
+        match Config_solver.solve ~options:fast_options (Fixtures.two_app_design ()) likelihood with
+        | Error _ -> Alcotest.fail "infeasible start"
+        | Ok start ->
+          let reconfigured = ref 0 in
+          for _ = 1 to 10 do
+            match Reconfigure.reconfigure state start with
+            | Some next ->
+              incr reconfigured;
+              check_int "same apps" 2 (D.size next.Candidate.design)
+            | None -> ()
+          done;
+          check_bool "mostly succeeds" true (!reconfigured >= 5)) ]
+
+let peer_apps () = Ds_experiments.Envs.peer_apps ()
+
+let design_solver_tests =
+  [ Alcotest.test_case "greedy covers every application" `Slow (fun () ->
+        let state =
+          Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 21) likelihood
+        in
+        match
+          Design_solver.greedy state fast_params (Fixtures.peer_env ())
+            (peer_apps ())
+        with
+        | Some candidate -> check_int "all placed" 8 (D.size candidate.Candidate.design)
+        | None -> Alcotest.fail "greedy failed");
+    Alcotest.test_case "refit never worsens the incumbent" `Slow (fun () ->
+        let state =
+          Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 22) likelihood
+        in
+        match
+          Design_solver.greedy state fast_params (Fixtures.peer_env ())
+            (peer_apps ())
+        with
+        | None -> Alcotest.fail "greedy failed"
+        | Some start ->
+          let refined, _rounds = Design_solver.refit state fast_params start in
+          check_bool "no worse" true
+            Money.(Candidate.cost refined <= Candidate.cost start));
+    Alcotest.test_case "solve returns a complete feasible design" `Slow (fun () ->
+        match
+          Design_solver.solve ~params:fast_params (Fixtures.peer_env ())
+            (peer_apps ()) likelihood
+        with
+        | Some outcome ->
+          let c = outcome.Design_solver.best in
+          check_int "all apps" 8 (D.size c.Candidate.design);
+          check_bool "positive cost" true Money.(Money.zero < Candidate.cost c);
+          check_bool "evaluations counted" true (outcome.Design_solver.evaluations > 0)
+        | None -> Alcotest.fail "no feasible design");
+    Alcotest.test_case "solve is deterministic for a fixed seed" `Slow (fun () ->
+        let run () =
+          Design_solver.solve ~params:fast_params (Fixtures.peer_env ())
+            (peer_apps ()) likelihood
+          |> Option.map (fun o -> Money.to_dollars (Candidate.cost o.Design_solver.best))
+        in
+        Alcotest.(check (option (float 1e-3))) "same cost" (run ()) (run ()));
+    Alcotest.test_case "solve fails gracefully when impossible" `Quick (fun () ->
+        (* One compute slot per site cannot host 8 applications. *)
+        let env =
+          Resources.Env.fully_connected ~name:"impossible" ~site_count:2
+            ~bays_per_site:2 ~array_models:Resources.Device_catalog.array_models
+            ~tape_models:Resources.Device_catalog.tape_models
+            ~link_model:Resources.Device_catalog.link_high ~max_link_units:32
+            ~compute_slots_per_site:1 ()
+        in
+        check_bool "no design" true
+          (Design_solver.solve ~params:fast_params env (peer_apps ()) likelihood
+           = None));
+    Alcotest.test_case "high-outage apps get failover in the solution" `Slow
+      (fun () ->
+         match
+           Design_solver.solve ~params:fast_params (Fixtures.peer_env ())
+             (peer_apps ()) likelihood
+         with
+         | Some outcome ->
+           let design = outcome.Design_solver.best.Candidate.design in
+           (* Every B app (outage $5M/hr) should use failover. *)
+           List.iter
+             (fun (asg : Design.Assignment.t) ->
+                if String.equal asg.Design.Assignment.app.App.class_tag "B" then
+                  check_bool "B fails over" true
+                    (Technique.needs_standby_compute asg.Design.Assignment.technique))
+             (D.assignments design)
+         | None -> Alcotest.fail "no feasible design") ]
+
+let suites =
+  [ ("solver.layout", layout_tests);
+    ("solver.config", config_tests);
+    ("solver.reconfigure", reconfigure_tests);
+    ("solver.design_solver", design_solver_tests) ]

@@ -1,0 +1,194 @@
+(* Tests for the trace substrate: records, traces, synthesis and
+   characterization. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Io_record = Trace.Io_record
+module T = Trace.Trace
+module Synth = Trace.Synth
+module Characterize = Trace.Characterize
+module Rng = Prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let rec_at ?(op = Io_record.Write) ?(block = 0) ?(size = Size.bytes 4096.) t =
+  Io_record.v ~time:(Time.seconds t) ~op ~block ~size
+
+let record_tests =
+  [ Alcotest.test_case "constructor validation" `Quick (fun () ->
+        Alcotest.check_raises "negative block"
+          (Invalid_argument "Io_record.v: negative block address") (fun () ->
+              ignore (rec_at ~block:(-1) 0.));
+        Alcotest.check_raises "empty request"
+          (Invalid_argument "Io_record.v: empty request") (fun () ->
+              ignore (rec_at ~size:Size.zero 0.)));
+    Alcotest.test_case "predicates" `Quick (fun () ->
+        check_bool "write" true (Io_record.is_write (rec_at 0.));
+        check_bool "read" false (Io_record.is_write (rec_at ~op:Io_record.Read 0.));
+        check_bool "ordering" true
+          (Io_record.compare_time (rec_at 1.) (rec_at 2.) < 0)) ]
+
+let trace_tests =
+  [ Alcotest.test_case "records are sorted by time" `Quick (fun () ->
+        let t = T.v ~block_size:(Size.bytes 4096.) [ rec_at 5.; rec_at 1.; rec_at 3. ] in
+        let times = Array.map (fun r -> Time.to_seconds r.Io_record.time) (T.records t) in
+        Alcotest.(check (array (float 1e-9))) "sorted" [| 1.; 3.; 5. |] times);
+    Alcotest.test_case "empty trace rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Trace.v: empty trace")
+          (fun () -> ignore (T.v ~block_size:(Size.bytes 4096.) [])));
+    Alcotest.test_case "byte accounting" `Quick (fun () ->
+        let t =
+          T.v ~block_size:(Size.bytes 4096.)
+            [ rec_at ~op:Io_record.Read ~size:(Size.bytes 1000.) 0.;
+              rec_at ~size:(Size.bytes 2000.) 1.;
+              rec_at ~size:(Size.bytes 3000.) 2. ]
+        in
+        check_float "read" 1000. (Size.to_bytes (T.bytes_read t));
+        check_float "written" 5000. (Size.to_bytes (T.bytes_written t));
+        check_int "length" 3 (T.length t);
+        check_float "duration" 2. (Time.to_seconds (T.duration t)));
+    Alcotest.test_case "footprint from highest block" `Quick (fun () ->
+        let t =
+          T.v ~block_size:(Size.bytes 4096.) [ rec_at ~block:9 0.; rec_at ~block:3 1. ]
+        in
+        check_float "10 blocks" (10. *. 4096.) (Size.to_bytes (T.footprint t)));
+    Alcotest.test_case "iter_windows partitions without loss" `Quick (fun () ->
+        let records = List.init 100 (fun i -> rec_at (float_of_int i)) in
+        let t = T.v ~block_size:(Size.bytes 4096.) records in
+        let total = ref 0 in
+        let windows = ref 0 in
+        T.iter_windows ~window:(Time.seconds 10.) t ~f:(fun ~start:_ batch ->
+            incr windows;
+            total := !total + List.length batch);
+        check_int "all records" 100 !total;
+        check_int "ten windows" 10 !windows) ]
+
+let synth_tests =
+  [ Alcotest.test_case "default profile validates" `Quick (fun () ->
+        check_bool "ok" true (Synth.validate Synth.default = Ok ()));
+    Alcotest.test_case "validation catches bad profiles" `Quick (fun () ->
+        let bad f = Result.is_error (Synth.validate f) in
+        check_bool "write fraction" true
+          (bad { Synth.default with Synth.write_fraction = 1.5 });
+        check_bool "burst factor" true
+          (bad { Synth.default with Synth.burst_factor = 0.5 });
+        check_bool "iops" true (bad { Synth.default with Synth.mean_iops = 0. }));
+    Alcotest.test_case "generation is deterministic per seed" `Quick (fun () ->
+        let profile = { Synth.default with Synth.duration = Time.minutes 30. } in
+        let t1 = Synth.generate (Rng.of_int 5) profile in
+        let t2 = Synth.generate (Rng.of_int 5) profile in
+        check_int "same length" (T.length t1) (T.length t2);
+        check_float "same bytes"
+          (Size.to_bytes (T.bytes_written t1))
+          (Size.to_bytes (T.bytes_written t2)));
+    Alcotest.test_case "request volume tracks mean_iops" `Quick (fun () ->
+        let profile =
+          { Synth.default with
+            Synth.duration = Time.hours 1.; mean_iops = 50.;
+            diurnal_swing = 0.; burst_fraction = 0. }
+        in
+        let t = Synth.generate (Rng.of_int 6) profile in
+        let expected = 50. *. 3600. in
+        let actual = float_of_int (T.length t) in
+        check_bool "within 20%" true
+          (actual > 0.8 *. expected && actual < 1.2 *. expected));
+    Alcotest.test_case "write fraction respected" `Quick (fun () ->
+        let profile =
+          { Synth.default with Synth.duration = Time.hours 1.; write_fraction = 0.3 }
+        in
+        let t = Synth.generate (Rng.of_int 7) profile in
+        let writes =
+          Array.fold_left
+            (fun acc r -> if Io_record.is_write r then acc + 1 else acc)
+            0 (T.records t)
+        in
+        let frac = float_of_int writes /. float_of_int (T.length t) in
+        check_bool "near 0.3" true (frac > 0.25 && frac < 0.35));
+    Alcotest.test_case "zipf skew concentrates writes" `Quick (fun () ->
+        let gen skew =
+          Synth.generate (Rng.of_int 8)
+            { Synth.default with
+              Synth.duration = Time.minutes 30.; zipf_skew = skew }
+        in
+        let distinct t =
+          let seen = Hashtbl.create 1024 in
+          Array.iter
+            (fun (r : Io_record.t) ->
+               if Io_record.is_write r then
+                 Hashtbl.replace seen r.Io_record.block ())
+            (T.records t);
+          Hashtbl.length seen
+        in
+        check_bool "skew reduces distinct blocks" true
+          (distinct (gen 0.9) < distinct (gen 0.))) ]
+
+let characterize_tests =
+  [ Alcotest.test_case "hand-built trace has exact rates" `Quick (fun () ->
+        (* 10 writes of 1 MB and 10 reads of 1 MB over 100 s. *)
+        let records =
+          List.init 10 (fun i ->
+              rec_at ~size:(Size.mb 1.) ~block:i (float_of_int (i * 10)))
+          @ List.init 10 (fun i ->
+              rec_at ~op:Io_record.Read ~size:(Size.mb 1.) ~block:i
+                (float_of_int (i * 10) +. 5.))
+          @ [ rec_at ~size:(Size.mb 1.) ~block:0 100. ]
+        in
+        let t = T.v ~block_size:(Size.mb 1.) records in
+        let c = Characterize.analyze t in
+        check_float "avg update MB/s" 0.11 (Rate.to_mb_per_sec c.Characterize.avg_update_rate);
+        check_float "avg access MB/s" 0.21 (Rate.to_mb_per_sec c.Characterize.avg_access_rate);
+        check_bool "peak >= avg" true
+          Rate.(c.Characterize.avg_update_rate <= c.Characterize.peak_update_rate));
+    Alcotest.test_case "unique rate is below raw rate for hot blocks" `Quick
+      (fun () ->
+         (* Hammer one block: unique rate counts it once per window. *)
+         let records =
+           List.init 600 (fun i ->
+               rec_at ~size:(Size.bytes 4096.) ~block:0 (float_of_int i /. 10.))
+         in
+         let t = T.v ~block_size:(Size.bytes 4096.) records in
+         let c = Characterize.analyze t in
+         check_bool "unique << raw" true
+           Rate.(c.Characterize.unique_update_rate < c.Characterize.avg_update_rate));
+    Alcotest.test_case "to_app produces a valid application" `Quick (fun () ->
+        let t = Synth.generate (Rng.of_int 9) Synth.default in
+        let c = Characterize.analyze t in
+        let app =
+          Characterize.to_app ~id:7 ~name:"traced" ~class_tag:"T"
+            ~outage_per_hour:(Money.k 10.) ~loss_per_hour:(Money.k 10.) c
+        in
+        check_int "id" 7 app.Workload.App.id;
+        check_bool "peak >= avg" true
+          Rate.(app.Workload.App.avg_update_rate
+                <= app.Workload.App.peak_update_rate);
+        check_bool "capacity padded" true
+          Size.(c.Characterize.footprint < app.Workload.App.data_size));
+    Alcotest.test_case "scaling scales magnitudes" `Quick (fun () ->
+        let t = Synth.generate (Rng.of_int 10) Synth.default in
+        let c = Characterize.analyze t in
+        let base =
+          Characterize.to_app ~id:1 ~name:"x" ~class_tag:"T"
+            ~outage_per_hour:(Money.k 1.) ~loss_per_hour:(Money.k 1.) c
+        in
+        let big =
+          Characterize.to_app ~id:2 ~name:"y" ~class_tag:"T"
+            ~outage_per_hour:(Money.k 1.) ~loss_per_hour:(Money.k 1.) ~scale:4. c
+        in
+        check_float "4x data"
+          (4. *. Size.to_gb base.Workload.App.data_size)
+          (Size.to_gb big.Workload.App.data_size);
+        Alcotest.check_raises "bad scale"
+          (Invalid_argument "Characterize.to_app: scale must be positive")
+          (fun () ->
+             ignore
+               (Characterize.to_app ~id:3 ~name:"z" ~class_tag:"T"
+                  ~outage_per_hour:(Money.k 1.) ~loss_per_hour:(Money.k 1.)
+                  ~scale:0. c))) ]
+
+let suites =
+  [ ("trace.record", record_tests);
+    ("trace.trace", trace_tests);
+    ("trace.synth", synth_tests);
+    ("trace.characterize", characterize_tests) ]

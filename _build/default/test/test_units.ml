@@ -1,0 +1,158 @@
+(* Unit and property tests for ds_units: Time, Size, Rate, Money. *)
+
+open Dependable_storage.Units
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_raises_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* Generators *)
+let pos_float = QCheck2.Gen.float_range 0.001 1e9
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:200 gen f)
+
+let time_tests =
+  [ Alcotest.test_case "conversions round-trip" `Quick (fun () ->
+        check_float "minutes" 90. (Time.to_seconds (Time.minutes 1.5));
+        check_float "hours" 7200. (Time.to_seconds (Time.hours 2.));
+        check_float "days" 86400. (Time.to_seconds (Time.days 1.));
+        check_float "weeks" (7. *. 86400.) (Time.to_seconds (Time.weeks 1.));
+        check_float "years" (365. *. 86400.) (Time.to_seconds (Time.years 1.)));
+    Alcotest.test_case "to_x inverts of_x" `Quick (fun () ->
+        check_float "hours" 3.5 (Time.to_hours (Time.hours 3.5));
+        check_float "days" 2.25 (Time.to_days (Time.days 2.25));
+        check_float "minutes" 59. (Time.to_minutes (Time.minutes 59.));
+        check_float "years" 0.4 (Time.to_years (Time.years 0.4)));
+    Alcotest.test_case "negative duration rejected" `Quick (fun () ->
+        check_raises_invalid "negative" (fun () -> ignore (Time.seconds (-1.)));
+        check_raises_invalid "NaN" (fun () -> ignore (Time.seconds Float.nan)));
+    Alcotest.test_case "sub clamps at zero" `Quick (fun () ->
+        check_float "clamped" 0.
+          (Time.to_seconds (Time.sub (Time.hours 1.) (Time.hours 2.))));
+    Alcotest.test_case "infinity is not finite" `Quick (fun () ->
+        check_bool "finite" false (Time.is_finite Time.infinity);
+        check_bool "finite" true (Time.is_finite (Time.hours 1e6)));
+    Alcotest.test_case "zero is zero" `Quick (fun () ->
+        check_bool "zero" true (Time.is_zero Time.zero);
+        check_bool "eps" false (Time.is_zero (Time.seconds 0.1)));
+    Alcotest.test_case "min max compare" `Quick (fun () ->
+        let a = Time.hours 1. and b = Time.hours 2. in
+        check_bool "min" true (Time.equal a (Time.min a b));
+        check_bool "max" true (Time.equal b (Time.max a b));
+        check_bool "le" true Time.(a <= b);
+        check_bool "lt" true Time.(a < b));
+    Alcotest.test_case "div ratio" `Quick (fun () ->
+        check_float "ratio" 2. (Time.div (Time.hours 2.) (Time.hours 1.));
+        Alcotest.check_raises "by zero" Division_by_zero (fun () ->
+            ignore (Time.div (Time.hours 1.) Time.zero)));
+    Alcotest.test_case "pp picks sensible units" `Quick (fun () ->
+        let s t = Time.to_string t in
+        check_bool "seconds" true (String.length (s (Time.seconds 30.)) > 0);
+        Alcotest.(check string) "forever" "forever" (s Time.infinity));
+    prop "add is commutative" QCheck2.Gen.(pair pos_float pos_float)
+      (fun (a, b) ->
+         Time.equal
+           (Time.add (Time.seconds a) (Time.seconds b))
+           (Time.add (Time.seconds b) (Time.seconds a)));
+    prop "scale distributes over add" QCheck2.Gen.(triple (float_range 0. 100.) pos_float pos_float)
+      (fun (k, a, b) ->
+         let lhs = Time.scale k (Time.add (Time.seconds a) (Time.seconds b)) in
+         let rhs = Time.add (Time.scale k (Time.seconds a)) (Time.scale k (Time.seconds b)) in
+         Float.abs (Time.to_seconds lhs -. Time.to_seconds rhs)
+         <= 1e-6 *. Float.max 1. (Time.to_seconds lhs));
+    prop "sub never negative" QCheck2.Gen.(pair pos_float pos_float)
+      (fun (a, b) ->
+         Time.to_seconds (Time.sub (Time.seconds a) (Time.seconds b)) >= 0.) ]
+
+let size_tests =
+  [ Alcotest.test_case "conversions" `Quick (fun () ->
+        check_float "mb" 1e6 (Size.to_bytes (Size.mb 1.));
+        check_float "gb" 1e9 (Size.to_bytes (Size.gb 1.));
+        check_float "tb" 1e12 (Size.to_bytes (Size.tb 1.));
+        check_float "to_gb" 2.5 (Size.to_gb (Size.gb 2.5)));
+    Alcotest.test_case "units_needed rounds up" `Quick (fun () ->
+        Alcotest.(check int) "exact" 10
+          (Size.units_needed (Size.gb 1430.) ~per_unit:(Size.gb 143.));
+        Alcotest.(check int) "round up" 10
+          (Size.units_needed (Size.gb 1300.) ~per_unit:(Size.gb 143.));
+        Alcotest.(check int) "zero" 0
+          (Size.units_needed Size.zero ~per_unit:(Size.gb 143.));
+        Alcotest.check_raises "zero unit" Division_by_zero (fun () ->
+            ignore (Size.units_needed (Size.gb 1.) ~per_unit:Size.zero)));
+    Alcotest.test_case "negative rejected" `Quick (fun () ->
+        check_raises_invalid "negative" (fun () -> ignore (Size.bytes (-5.))));
+    Alcotest.test_case "sub clamps" `Quick (fun () ->
+        check_float "clamp" 0. (Size.to_bytes (Size.sub (Size.gb 1.) (Size.gb 2.))));
+    prop "units_needed covers the demand" QCheck2.Gen.(pair pos_float pos_float)
+      (fun (total, per_unit) ->
+         let n = Size.units_needed (Size.bytes total) ~per_unit:(Size.bytes per_unit) in
+         float_of_int n *. per_unit >= total -. 1e-6);
+    prop "units_needed is minimal" QCheck2.Gen.(pair pos_float pos_float)
+      (fun (total, per_unit) ->
+         let n = Size.units_needed (Size.bytes total) ~per_unit:(Size.bytes per_unit) in
+         n = 0 || float_of_int (n - 1) *. per_unit < total) ]
+
+let rate_tests =
+  [ Alcotest.test_case "transfer_time basics" `Quick (fun () ->
+        check_float "100MB at 10MB/s" 10.
+          (Time.to_seconds (Rate.transfer_time (Size.mb 100.) (Rate.mb_per_sec 10.)));
+        check_bool "zero rate is forever" false
+          (Time.is_finite (Rate.transfer_time (Size.mb 1.) Rate.zero));
+        check_float "zero size instant" 0.
+          (Time.to_seconds (Rate.transfer_time Size.zero Rate.zero)));
+    Alcotest.test_case "volume_in inverts transfer_time" `Quick (fun () ->
+        let size = Size.gb 13. and rate = Rate.mb_per_sec 25. in
+        let t = Rate.transfer_time size rate in
+        check_float "round trip" (Size.to_bytes size)
+          (Size.to_bytes (Rate.volume_in rate t)));
+    Alcotest.test_case "negative rejected" `Quick (fun () ->
+        check_raises_invalid "negative" (fun () -> ignore (Rate.mb_per_sec (-1.))));
+    prop "transfer_time is monotone decreasing in rate"
+      QCheck2.Gen.(triple pos_float pos_float pos_float)
+      (fun (size, r1, r2) ->
+         let lo = Float.min r1 r2 and hi = Float.max r1 r2 in
+         let t_lo = Rate.transfer_time (Size.bytes size) (Rate.bytes_per_sec lo) in
+         let t_hi = Rate.transfer_time (Size.bytes size) (Rate.bytes_per_sec hi) in
+         Time.(t_hi <= t_lo)) ]
+
+let money_tests =
+  [ Alcotest.test_case "constructors" `Quick (fun () ->
+        check_float "k" 5000. (Money.to_dollars (Money.k 5.));
+        check_float "m" 5e6 (Money.to_dollars (Money.m 5.)));
+    Alcotest.test_case "penalty accrues hourly" `Quick (fun () ->
+        check_float "2h at $5k" 10_000.
+          (Money.to_dollars
+             (Money.penalty ~rate_per_hour:(Money.k 5.) (Time.hours 2.))));
+    Alcotest.test_case "penalty caps at a year" `Quick (fun () ->
+        let yearly = Money.penalty ~rate_per_hour:(Money.k 1.) (Time.years 1.) in
+        let forever = Money.penalty ~rate_per_hour:(Money.k 1.) Time.infinity in
+        let decade = Money.penalty ~rate_per_hour:(Money.k 1.) (Time.years 10.) in
+        check_float "infinite = year" (Money.to_dollars yearly)
+          (Money.to_dollars forever);
+        check_float "decade = year" (Money.to_dollars yearly)
+          (Money.to_dollars decade));
+    Alcotest.test_case "amortize" `Quick (fun () ->
+        check_float "3yr" 100. (Money.to_dollars
+                                  (Money.amortize (Money.dollars 300.) ~lifetime_years:3.));
+        check_raises_invalid "zero lifetime" (fun () ->
+            ignore (Money.amortize (Money.dollars 1.) ~lifetime_years:0.)));
+    Alcotest.test_case "sum" `Quick (fun () ->
+        check_float "sum" 6.
+          (Money.to_dollars (Money.sum [ Money.dollars 1.; Money.dollars 2.; Money.dollars 3. ])));
+    Alcotest.test_case "pp formats magnitudes" `Quick (fun () ->
+        Alcotest.(check string) "millions" "$2.5M" (Money.to_string (Money.m 2.5));
+        Alcotest.(check string) "thousands" "$75K" (Money.to_string (Money.k 75.));
+        Alcotest.(check string) "billions" "$1.2B" (Money.to_string (Money.m 1200.)));
+    prop "penalty is monotone in duration" QCheck2.Gen.(pair pos_float pos_float)
+      (fun (h1, h2) ->
+         let lo = Float.min h1 h2 and hi = Float.max h1 h2 in
+         let p t = Money.penalty ~rate_per_hour:(Money.k 1.) (Time.hours t) in
+         Money.(p lo <= p hi)) ]
+
+let suites =
+  [ ("units.time", time_tests);
+    ("units.size", size_tests);
+    ("units.rate", rate_tests);
+    ("units.money", money_tests) ]

@@ -1,0 +1,125 @@
+(* Tests for ds_workload: categories, application model, Table 1 catalog. *)
+
+open Dependable_storage.Units
+open Dependable_storage.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let category_tests =
+  [ Alcotest.test_case "ordering" `Quick (fun () ->
+        check_bool "gold best" true (Category.compare Category.Gold Category.Silver < 0);
+        check_bool "silver better than bronze" true
+          (Category.compare Category.Silver Category.Bronze < 0));
+    Alcotest.test_case "covers" `Quick (fun () ->
+        check_bool "gold covers bronze" true (Category.covers Category.Gold Category.Bronze);
+        check_bool "gold covers gold" true (Category.covers Category.Gold Category.Gold);
+        check_bool "bronze does not cover silver" false
+          (Category.covers Category.Bronze Category.Silver));
+    Alcotest.test_case "classify matches Table 1 labels" `Quick (fun () ->
+        check_str "B gold" "gold"
+          (Category.to_string (Category.classify_penalty (Money.m 10.)));
+        check_str "W silver" "silver"
+          (Category.to_string (Category.classify_penalty (Money.m 5.005)));
+        check_str "S bronze" "bronze"
+          (Category.to_string (Category.classify_penalty (Money.k 10.))));
+    Alcotest.test_case "string round trip" `Quick (fun () ->
+        List.iter
+          (fun c ->
+             check_bool "round trip" true
+               (Category.of_string (Category.to_string c) = Some c))
+          Category.all;
+        check_bool "unknown" true (Category.of_string "platinum" = None)) ]
+
+let app_tests =
+  [ Alcotest.test_case "penalty sum" `Quick (fun () ->
+        let app = Workload_catalog.instantiate Workload_catalog.central_banking ~id:1 in
+        Alcotest.(check (float 1.)) "10M" 10e6
+          (Money.to_dollars (App.penalty_rate_sum app)));
+    Alcotest.test_case "category derived" `Quick (fun () ->
+        let b = Workload_catalog.instantiate Workload_catalog.central_banking ~id:1 in
+        let w = Workload_catalog.instantiate Workload_catalog.web_service ~id:2 in
+        let c = Workload_catalog.instantiate Workload_catalog.consumer_banking ~id:3 in
+        let s = Workload_catalog.instantiate Workload_catalog.student_accounts ~id:4 in
+        check_str "B" "gold" (Category.to_string (App.category b));
+        check_str "W" "silver" (Category.to_string (App.category w));
+        check_str "C" "silver" (Category.to_string (App.category c));
+        check_str "S" "bronze" (Category.to_string (App.category s)));
+    Alcotest.test_case "constructor validation" `Quick (fun () ->
+        let make ~peak ~avg =
+          App.v ~id:1 ~name:"x" ~class_tag:"X" ~outage_per_hour:(Money.k 1.)
+            ~loss_per_hour:(Money.k 1.) ~data_size:(Size.gb 1.)
+            ~avg_update:(Rate.mb_per_sec avg) ~peak_update:(Rate.mb_per_sec peak)
+            ~avg_access:(Rate.mb_per_sec 1.) ()
+        in
+        check_bool "valid" true (ignore (make ~peak:2. ~avg:1.); true);
+        Alcotest.check_raises "peak < avg"
+          (Invalid_argument "App.v: peak update rate below average update rate")
+          (fun () -> ignore (make ~peak:0.5 ~avg:1.)));
+    Alcotest.test_case "compare by id" `Quick (fun () ->
+        let a = Workload_catalog.instantiate Workload_catalog.central_banking ~id:1 in
+        let b = Workload_catalog.instantiate Workload_catalog.web_service ~id:2 in
+        check_bool "ordering" true (App.compare a b < 0);
+        check_bool "self" true (App.equal a a)) ]
+
+let catalog_tests =
+  [ Alcotest.test_case "Table 1 values" `Quick (fun () ->
+        let b = Workload_catalog.central_banking in
+        Alcotest.(check (float 1.)) "B size GB" 1300.
+          (Size.to_gb b.Workload_catalog.data_size);
+        Alcotest.(check (float 0.01)) "B avg update" 5.
+          (Rate.to_mb_per_sec b.Workload_catalog.avg_update);
+        Alcotest.(check (float 0.01)) "B peak update" 50.
+          (Rate.to_mb_per_sec b.Workload_catalog.peak_update);
+        let w = Workload_catalog.web_service in
+        Alcotest.(check (float 1.)) "W size GB" 4300.
+          (Size.to_gb w.Workload_catalog.data_size);
+        let s = Workload_catalog.student_accounts in
+        Alcotest.(check (float 1.)) "S size GB" 500.
+          (Size.to_gb s.Workload_catalog.data_size));
+    Alcotest.test_case "four specs in paper order" `Quick (fun () ->
+        check_int "count" 4 (List.length Workload_catalog.all_specs);
+        Alcotest.(check (list string)) "tags" [ "B"; "W"; "C"; "S" ]
+          (List.map (fun s -> s.Workload_catalog.class_tag)
+             Workload_catalog.all_specs));
+    Alcotest.test_case "spec_of_tag" `Quick (fun () ->
+        check_bool "B" true (Workload_catalog.spec_of_tag "B" <> None);
+        check_bool "unknown" true (Workload_catalog.spec_of_tag "Z" = None));
+    Alcotest.test_case "mix cycles classes, unique ids" `Quick (fun () ->
+        let apps = Workload_catalog.mix ~count:10 in
+        check_int "count" 10 (List.length apps);
+        let ids = List.map (fun a -> a.App.id) apps in
+        check_int "unique ids" 10 (List.length (List.sort_uniq Int.compare ids));
+        check_str "first is B" "B" ((List.nth apps 0).App.class_tag);
+        check_str "fifth is B again" "B" ((List.nth apps 4).App.class_tag));
+    Alcotest.test_case "balanced_rounds" `Quick (fun () ->
+        let apps = Workload_catalog.balanced_rounds ~rounds:3 in
+        check_int "12 apps" 12 (List.length apps);
+        let count tag =
+          List.length (List.filter (fun a -> a.App.class_tag = tag) apps)
+        in
+        List.iter (fun tag -> check_int tag 3 (count tag)) [ "B"; "W"; "C"; "S" ]);
+    Alcotest.test_case "jittered stays valid" `Quick (fun () ->
+        let rng = Dependable_storage.Prng.Rng.of_int 42 in
+        for i = 1 to 100 do
+          let app =
+            Workload_catalog.jittered rng Workload_catalog.central_banking ~id:i
+              ~spread:0.5
+          in
+          check_bool "peak >= avg" true
+            Rate.(app.App.avg_update_rate <= app.App.peak_update_rate)
+        done);
+    Alcotest.test_case "jittered rejects negative spread" `Quick (fun () ->
+        let rng = Dependable_storage.Prng.Rng.of_int 42 in
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Workload_catalog.jittered: negative spread")
+          (fun () ->
+             ignore
+               (Workload_catalog.jittered rng Workload_catalog.central_banking
+                  ~id:1 ~spread:(-0.1)))) ]
+
+let suites =
+  [ ("workload.category", category_tests);
+    ("workload.app", app_tests);
+    ("workload.catalog", catalog_tests) ]
