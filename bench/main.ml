@@ -11,7 +11,13 @@
    Environment knobs:
      DS_BENCH_BUDGET=quick|default   iteration budgets (default: default)
      DS_BENCH_SKIP_SLOW=1            skip Figure 4 and Figures 5-7 sweeps
-     DS_BENCH_SAMPLES=<n>            override Figure 2 sample count *)
+     DS_BENCH_SAMPLES=<n>            override Figure 2 sample count
+     DS_BENCH_JSON=<path>            where to write the machine-readable
+                                     results (default: BENCH_results.json)
+
+   Every section is timed through Obs' monotonic clock; per-section wall
+   times plus the instrumented solver/simulation counters land in
+   BENCH_results.json — the repo's perf trajectory record. *)
 
 open Dependable_storage
 module E = Experiments
@@ -46,11 +52,63 @@ let samples =
   | Some (Some n) when n > 0 -> n
   | _ -> budgets.E.Budgets.space_samples
 
+(* One Obs capability for the whole harness: sections time through its
+   registry's monotonic clock and the instrumented stack (the figure-3
+   solver + heuristics run) accumulates counters into the same registry. *)
+let obs = Obs.create ~metrics:true ()
+
+let sections : (string * float) list ref = ref []
+
 let timed label f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Metrics.now_s () in
   let r = f () in
-  Format.fprintf fmt "@.[%s took %.1fs]@." label (Unix.gettimeofday () -. t0);
+  let dt = Obs.Metrics.now_s () -. t0 in
+  sections := (label, dt) :: !sections;
+  (match Obs.metrics obs with
+   | Some reg -> Obs.Metrics.observe (Obs.Metrics.histogram reg "bench.section_s") dt
+   | None -> ());
+  Format.fprintf fmt "@.[%s took %.1fs]@." label dt;
   r
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_results ~total () =
+  let path =
+    Option.value ~default:"BENCH_results.json" (Sys.getenv_opt "DS_BENCH_JSON")
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"schema\":\"ds-bench/1\",";
+  Buffer.add_string buf
+    (Printf.sprintf "\"budget\":\"%s\",\"samples\":%d,\"skip_slow\":%b,"
+       (match Sys.getenv_opt "DS_BENCH_BUDGET" with
+        | Some b -> json_escape b
+        | None -> "default")
+       samples skip_slow);
+  Buffer.add_string buf "\"sections\":[";
+  List.iteri
+    (fun i (label, dt) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.3f}"
+            (json_escape label) dt))
+    (List.rev !sections);
+  Buffer.add_string buf "],";
+  (match Obs.metrics obs with
+   | Some reg ->
+     Buffer.add_string buf
+       (Printf.sprintf "\"metrics\":%s," (Obs.Metrics.to_json reg))
+   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "\"total_seconds\":%.3f}" total);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (Buffer.contents buf));
+  Format.fprintf fmt "results written to %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Artifact regeneration                                               *)
@@ -66,7 +124,11 @@ let catalogs () =
 
 let table4_and_figure3 () =
   section "Table 4 + Figure 3 (peer-sites case study)";
-  let entries = timed "figure 3" (fun () -> E.Compare.run_peer ~budgets ()) in
+  let entries =
+    timed "figure 3" (fun () ->
+        E.Compare.run ~budgets ~obs (E.Envs.peer_sites ()) (E.Envs.peer_apps ())
+          Likelihood.default)
+  in
   (match timed "table 4" (fun () -> E.Case_study.run ~budgets ()) with
    | Some candidate ->
      E.Report.table4 fmt (E.Case_study.rows_of_candidate candidate);
@@ -232,8 +294,8 @@ let () =
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
     samples
     (if skip_slow then ", slow sweeps skipped" else "");
-  let t0 = Unix.gettimeofday () in
-  catalogs ();
+  let t0 = Obs.Metrics.now_s () in
+  timed "catalogs" catalogs;
   let entries = table4_and_figure3 () in
   figure2 entries;
   figure4 ();
@@ -244,6 +306,8 @@ let () =
   sensitivity E.Sensitivity.Site_failure
     "Figure 7 (sensitivity: site-disaster likelihood)";
   frontier ();
-  ablations ();
-  bechamel_suite ();
-  Format.fprintf fmt "@.total harness time: %.1fs@." (Unix.gettimeofday () -. t0)
+  timed "ablations" ablations;
+  timed "microbenchmarks" bechamel_suite;
+  let total = Obs.Metrics.now_s () -. t0 in
+  Format.fprintf fmt "@.total harness time: %.1fs@." total;
+  write_results ~total ()

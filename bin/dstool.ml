@@ -44,6 +44,77 @@ let apps_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* Observability: --trace/--metrics/--progress build an Obs capability;
+   instrumentation is off (the noop sink) unless asked for, and never
+   changes results. *)
+
+let trace_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the run to FILE (load \
+                 it in chrome://tracing or ui.perfetto.dev) and print the \
+                 aggregated span tree.")
+
+let metrics_term =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect counters, gauges and duration histograms across \
+                 the search and simulation stack and print them at the end.")
+
+let progress_term =
+  Arg.(value & opt (some string) None
+       & info [ "progress" ] ~docv:"FILE"
+           ~doc:"Write the solver-convergence stream (incumbent cost vs \
+                 evaluations, stage transitions, refit accept/reject) to \
+                 FILE as CSV.")
+
+let obs_terms = Term.(const (fun t m p -> (t, m, p))
+                      $ trace_term $ metrics_term $ progress_term)
+
+let obs_of (trace, metrics, progress) =
+  if trace = None && (not metrics) && progress = None then Obs.noop
+  else
+    Obs.create ~metrics ~trace:(trace <> None) ~progress:(progress <> None) ()
+
+(* A bad path must not discard the run that produced the data: report
+   on stderr and keep going (the search result already printed). *)
+let write_file path contents =
+  try
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc contents);
+    true
+  with Sys_error reason ->
+    Printf.eprintf "dstool: cannot write %s: %s\n%!"
+      (if path = "" then "''" else path) reason;
+    false
+
+(* Emit whatever sinks were requested; shared by solve/compare/risk. *)
+let report_obs (trace, metrics, progress) obs =
+  (match trace, Obs.trace obs with
+   | Some path, Some collector ->
+     if write_file path (Obs.Trace.to_chrome_json collector) then
+       Format.fprintf fmt "@.span tree (%d spans; trace written to %s):@.%a"
+         (Obs.Trace.span_count collector) path Obs.Trace.pp_tree collector
+   | _ -> ());
+  (match progress, Obs.progress obs with
+   | Some path, Some stream ->
+     if write_file path (Obs.Progress.to_csv stream) then
+     Format.fprintf fmt
+       "@.progress: %d refit rounds accepted, %d rejected%s; CSV written \
+        to %s@."
+       (Obs.Progress.accepted_count stream)
+       (Obs.Progress.rejected_count stream)
+       (match Obs.Progress.best stream with
+        | Some best -> Printf.sprintf ", best $%.0f" best
+        | None -> "")
+       path
+   | _ -> ());
+  (match Obs.metrics obs with
+   | Some registry when metrics ->
+     Format.fprintf fmt "@.metrics:@.%a" Obs.Metrics.pp registry
+   | _ -> ())
+
 let budget_conv =
   let parse = function
     | "quick" -> Ok E.Budgets.quick
@@ -130,11 +201,12 @@ let output_term =
                  $(b,dstool audit --design)).")
 
 let solve_cmd =
-  let run env apps seed budget likelihood output =
+  let run env apps seed budget likelihood output obs_flags =
     let env, workloads = resolve_env env apps in
     let budget = E.Budgets.with_seed budget seed in
+    let obs = obs_of obs_flags in
     match
-      Design_solver.solve ~params:budget.E.Budgets.solver env workloads
+      Design_solver.solve ~params:budget.E.Budgets.solver ~obs env workloads
         likelihood
     with
     | Some outcome ->
@@ -148,6 +220,7 @@ let solve_cmd =
         (if outcome.Design_solver.improved_by_refit then
            "improved the greedy design"
          else "kept the greedy design");
+      report_obs obs_flags obs;
       (match output with
        | None -> `Ok ()
        | Some path ->
@@ -166,7 +239,7 @@ let solve_cmd =
        ~doc:"Run the automated design tool on an environment and print the \
              chosen data protection design.")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ output_term))
+               $ likelihood_term $ output_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -227,8 +300,9 @@ let risk_cmd =
     Arg.(value & opt int 10_000
          & info [ "years" ] ~docv:"N" ~doc:"Simulated years.")
   in
-  let run env apps seed budget likelihood design years =
+  let run env apps seed budget likelihood design years obs_flags =
     let env, workloads = resolve_env env apps in
+    let obs = obs_of obs_flags in
     let provision =
       match design with
       | Some path ->
@@ -244,8 +318,8 @@ let risk_cmd =
       | None ->
         let budget = E.Budgets.with_seed budget seed in
         (match
-           Design_solver.solve ~params:budget.E.Budgets.solver env workloads
-             likelihood
+           Design_solver.solve ~params:budget.E.Budgets.solver ~obs env
+             workloads likelihood
          with
          | Some outcome ->
            Ok outcome.Design_solver.best.Candidate.eval.Cost.Evaluate.provision
@@ -255,13 +329,14 @@ let risk_cmd =
     | Error msg -> `Error (false, msg)
     | Ok prov ->
       let rng = Prng.Rng.of_int seed in
-      let sim = Risk.Year_sim.simulate ~years rng prov likelihood in
+      let sim = Risk.Year_sim.simulate ~years ~obs rng prov likelihood in
       Format.fprintf fmt "%a@." Risk.Year_sim.pp sim;
       let analytic = Cost.Penalty.expected_annual prov likelihood in
       Format.fprintf fmt "analytic expectation: %s@."
         (Units.Money.to_string
            (Units.Money.add analytic.Cost.Penalty.outage_total
               analytic.Cost.Penalty.loss_total));
+      report_obs obs_flags obs;
       `Ok ()
   in
   Cmd.v
@@ -269,7 +344,7 @@ let risk_cmd =
        ~doc:"Monte Carlo distribution of annual penalty cost for a design \
              (tail risk beyond the expected-value objective).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ design_term $ years_term))
+               $ likelihood_term $ design_term $ years_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* ablate                                                              *)
@@ -333,20 +408,23 @@ let compare_cmd =
              ~doc:"Also run the simulated-annealing and tabu-search \
                    baselines (related-work comparisons, not in the paper).")
   in
-  let run env apps seed budget likelihood metaheuristics =
+  let run env apps seed budget likelihood metaheuristics obs_flags =
     let env, workloads = resolve_env env apps in
     let budget = E.Budgets.with_seed budget seed in
+    let obs = obs_of obs_flags in
     let entries =
-      E.Compare.run ~budgets:budget ~metaheuristics env workloads likelihood
+      E.Compare.run ~budgets:budget ~metaheuristics ~obs env workloads
+        likelihood
     in
-    E.Report.figure3 fmt entries
+    E.Report.figure3 fmt entries;
+    report_obs obs_flags obs
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare the design tool with the human and random heuristics \
              (Figure 3).")
     Term.(const run $ env_term $ apps_term $ seed_term $ budget_term
-          $ likelihood_term $ metaheuristics_term)
+          $ likelihood_term $ metaheuristics_term $ obs_terms)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)

@@ -130,4 +130,11 @@ module Trace = struct
   module Characterize = Ds_trace.Characterize
 end
 
+module Obs = Ds_obs.Obs
+(** Observability capability: metrics, span tracing and solver progress.
+    Pass [~obs:(Obs.create ~metrics:true ())] (or any sink combination)
+    to [Solver.Design_solver.solve], [Experiments.Compare.run],
+    [Risk.Year_sim.simulate], [Sim.Engine.create] and friends; the
+    default everywhere is the cost-free noop sink. *)
+
 module Experiments = Ds_experiments

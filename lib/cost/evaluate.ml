@@ -10,16 +10,17 @@ type t = {
   penalty : Penalty.t;
 }
 
-let provisioned ?params prov likelihood =
-  let penalty = Penalty.expected_annual ?params prov likelihood in
+let provisioned ?params ?obs prov likelihood =
+  (match obs with Some obs -> Ds_obs.Obs.incr obs "cost.evaluations" | None -> ());
+  let penalty = Penalty.expected_annual ?params ?obs prov likelihood in
   let summary =
     Summary.v ~outlay:(Outlay.annual prov) ~outage:penalty.Penalty.outage_total
       ~loss:penalty.Penalty.loss_total
   in
   { provision = prov; summary; penalty }
 
-let design ?params design likelihood =
-  Result.map (fun prov -> provisioned ?params prov likelihood)
+let design ?params ?obs design likelihood =
+  Result.map (fun prov -> provisioned ?params ?obs prov likelihood)
     (Provision.minimum design)
 
 let total t = Summary.total t.summary

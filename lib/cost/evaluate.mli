@@ -15,11 +15,18 @@ type t = {
 }
 
 val provisioned :
-  ?params:Ds_recovery.Recovery_params.t -> Provision.t -> Likelihood.t -> t
-(** Evaluate an already-provisioned design. *)
+  ?params:Ds_recovery.Recovery_params.t ->
+  ?obs:Ds_obs.Obs.t ->
+  Provision.t ->
+  Likelihood.t ->
+  t
+(** Evaluate an already-provisioned design. [obs] counts
+    [cost.evaluations] and flows into the recovery simulator; it never
+    changes the result. *)
 
 val design :
   ?params:Ds_recovery.Recovery_params.t ->
+  ?obs:Ds_obs.Obs.t ->
   Design.t ->
   Likelihood.t ->
   (t, Provision.infeasibility) result

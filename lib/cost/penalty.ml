@@ -29,8 +29,8 @@ let of_outcome ~annual_rate (o : Outcome.t) =
   in
   (Money.scale annual_rate outage, Money.scale annual_rate loss)
 
-let expected_annual ?params prov likelihood =
-  let details = Simulate.all ?params prov likelihood in
+let expected_annual ?params ?obs prov likelihood =
+  let details = Simulate.all ?params ?obs prov likelihood in
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun (a : Ds_design.Assignment.t) ->

@@ -26,9 +26,12 @@ type t = {
 
 val expected_annual :
   ?params:Ds_recovery.Recovery_params.t ->
+  ?obs:Ds_obs.Obs.t ->
   Provision.t ->
   Likelihood.t ->
   t
+(** [obs] is handed to the recovery simulator (device contention
+    metrics and spans); it never changes the result. *)
 
 val of_outcome : annual_rate:float -> Outcome.t -> Money.t * Money.t
 (** [(outage, loss)] contribution of one simulated outcome, weighted. *)

@@ -18,31 +18,31 @@ let of_candidate label = function
   | Some c -> { label; summary = Some (Candidate.summary c) }
   | None -> { label; summary = None }
 
-let run ?(budgets = Budgets.default) ?(metaheuristics = false) env apps
+let run ?(budgets = Budgets.default) ?(metaheuristics = false) ?obs env apps
     likelihood =
   let solver_entry =
-    Design_solver.solve ~params:budgets.Budgets.solver env apps likelihood
+    Design_solver.solve ~params:budgets.Budgets.solver ?obs env apps likelihood
     |> Option.map (fun o -> o.Design_solver.best)
     |> of_candidate "design tool"
   in
   let seed = budgets.Budgets.solver.Design_solver.seed in
   let random_entry =
-    (Random_search.run ~attempts:budgets.Budgets.random_attempts ~seed:(seed + 1)
-       env apps likelihood).Heuristic_result.best
+    (Random_search.run ~attempts:budgets.Budgets.random_attempts ?obs
+       ~seed:(seed + 1) env apps likelihood).Heuristic_result.best
     |> of_candidate "random"
   in
   let human_entry =
-    (Human.run ~attempts:budgets.Budgets.human_attempts ~seed:(seed + 2) env apps
-       likelihood).Heuristic_result.best
+    (Human.run ~attempts:budgets.Budgets.human_attempts ?obs ~seed:(seed + 2)
+       env apps likelihood).Heuristic_result.best
     |> of_candidate "human"
   in
   let extras =
     if not metaheuristics then []
     else
-      [ (Ds_heuristics.Annealing.run ~seed:(seed + 3) env apps likelihood)
+      [ (Ds_heuristics.Annealing.run ?obs ~seed:(seed + 3) env apps likelihood)
           .Heuristic_result.best
         |> of_candidate "annealing";
-        (Ds_heuristics.Tabu.run ~seed:(seed + 4) env apps likelihood)
+        (Ds_heuristics.Tabu.run ?obs ~seed:(seed + 4) env apps likelihood)
           .Heuristic_result.best
         |> of_candidate "tabu" ]
   in

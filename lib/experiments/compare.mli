@@ -15,6 +15,7 @@ type entry = {
 val run :
   ?budgets:Budgets.t ->
   ?metaheuristics:bool ->
+  ?obs:Ds_obs.Obs.t ->
   Env.t ->
   App.t list ->
   Likelihood.t ->

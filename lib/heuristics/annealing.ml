@@ -9,6 +9,7 @@ module Sample = Ds_prng.Sample
 module Candidate = Ds_solver.Candidate
 module Config_solver = Ds_solver.Config_solver
 module Layout = Ds_solver.Layout
+module Obs = Ds_obs.Obs
 
 type params = {
   iterations : int;
@@ -61,8 +62,9 @@ let initial rng options env apps likelihood ~max_tries =
   go 0
 
 let run ?(options = Config_solver.search_options) ?(params = default_params)
-    ~seed env apps likelihood =
+    ?(obs = Obs.noop) ~seed env apps likelihood =
   check params;
+  Obs.with_span obs "heuristic.annealing" @@ fun () ->
   let rng = Rng.of_int seed in
   let start, start_attempts =
     initial rng options env apps likelihood ~max_tries:50
@@ -76,10 +78,12 @@ let run ?(options = Config_solver.search_options) ?(params = default_params)
     let temperature = ref params.initial_temperature in
     let feasible = ref 1 in
     for _ = 1 to params.iterations do
+      Obs.incr obs "heuristic.annealing.attempts";
       (match neighbor rng options likelihood !current with
        | None -> ()
        | Some next ->
          incr feasible;
+         Obs.incr obs "heuristic.annealing.feasible";
          let delta =
            Money.to_dollars (Candidate.cost next)
            -. Money.to_dollars (Candidate.cost !current)

@@ -27,6 +27,7 @@ val default_params : params
 val run :
   ?options:Ds_solver.Config_solver.options ->
   ?params:params ->
+  ?obs:Ds_obs.Obs.t ->
   seed:int ->
   Env.t ->
   App.t list ->

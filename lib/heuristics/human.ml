@@ -13,6 +13,7 @@ module Likelihood = Ds_failure.Likelihood
 module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
 module Config_solver = Ds_solver.Config_solver
+module Obs = Ds_obs.Obs
 
 let class_tier = function
   | Category.Gold -> Tier.High
@@ -189,20 +190,25 @@ let build_design rng env apps =
 
 let design_once rng env apps = build_design rng env apps
 
-let run ?(options = Config_solver.default_options) ?(attempts = 30) ~seed env apps
-    likelihood =
+let run ?(options = Config_solver.default_options) ?(attempts = 30)
+    ?(obs = Obs.noop) ~seed env apps likelihood =
+  Obs.with_span obs "heuristic.human" @@ fun () ->
   let rng = Rng.of_int seed in
   let rec loop result remaining =
     if remaining = 0 then result
-    else
+    else begin
+      Obs.incr obs "heuristic.human.attempts";
       let outcome =
         match build_design rng env apps with
         | None -> None
         | Some design ->
-          (match Config_solver.solve ~options design likelihood with
-           | Ok candidate -> Some candidate
+          (match Config_solver.solve ~options ~obs design likelihood with
+           | Ok candidate ->
+             Obs.incr obs "heuristic.human.feasible";
+             Some candidate
            | Error _ -> None)
       in
       loop (Heuristic_result.consider result outcome) (remaining - 1)
+    end
   in
   loop Heuristic_result.empty attempts

@@ -26,9 +26,11 @@ val design_once :
 val run :
   ?options:Ds_solver.Config_solver.options ->
   ?attempts:int ->
+  ?obs:Ds_obs.Obs.t ->
   seed:int ->
   Env.t ->
   App.t list ->
   Likelihood.t ->
   Heuristic_result.t
-(** [attempts] complete designs (default 30), best kept. *)
+(** [attempts] complete designs (default 30), best kept. [obs] records a
+    [heuristic.human] span and attempt/feasible counters. *)

@@ -7,6 +7,7 @@ module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
 module Layout = Ds_solver.Layout
 module Config_solver = Ds_solver.Config_solver
+module Obs = Ds_obs.Obs
 
 let sample_design rng env apps =
   let rec place design = function
@@ -22,20 +23,25 @@ let sample_design rng env apps =
   in
   place (Design.empty env) apps
 
-let run ?(options = Config_solver.default_options) ?(attempts = 100) ~seed env
-    apps likelihood =
+let run ?(options = Config_solver.default_options) ?(attempts = 100)
+    ?(obs = Obs.noop) ~seed env apps likelihood =
+  Obs.with_span obs "heuristic.random" @@ fun () ->
   let rng = Rng.of_int seed in
   let rec loop result remaining =
     if remaining = 0 then result
-    else
+    else begin
+      Obs.incr obs "heuristic.random.attempts";
       let outcome =
         match sample_design rng env apps with
         | None -> None
         | Some design ->
-          (match Config_solver.solve ~options design likelihood with
-           | Ok candidate -> Some candidate
+          (match Config_solver.solve ~options ~obs design likelihood with
+           | Ok candidate ->
+             Obs.incr obs "heuristic.random.feasible";
+             Some candidate
            | Error _ -> None)
       in
       loop (Heuristic_result.consider result outcome) (remaining - 1)
+    end
   in
   loop Heuristic_result.empty attempts

@@ -20,9 +20,11 @@ val sample_design :
 val run :
   ?options:Ds_solver.Config_solver.options ->
   ?attempts:int ->
+  ?obs:Ds_obs.Obs.t ->
   seed:int ->
   Env.t ->
   App.t list ->
   Likelihood.t ->
   Heuristic_result.t
-(** [attempts] random designs (default 100), best kept. *)
+(** [attempts] random designs (default 100), best kept. [obs] records a
+    [heuristic.random] span and attempt/feasible counters. *)

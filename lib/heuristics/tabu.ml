@@ -9,6 +9,7 @@ module Sample = Ds_prng.Sample
 module Candidate = Ds_solver.Candidate
 module Config_solver = Ds_solver.Config_solver
 module Layout = Ds_solver.Layout
+module Obs = Ds_obs.Obs
 
 type params = {
   iterations : int;
@@ -45,8 +46,9 @@ let neighbor rng options likelihood (candidate : Candidate.t) app =
         | Error _ -> None))
 
 let run ?(options = Config_solver.search_options) ?(params = default_params)
-    ~seed env apps likelihood =
+    ?(obs = Obs.noop) ~seed env apps likelihood =
   check params;
+  Obs.with_span obs "heuristic.tabu" @@ fun () ->
   let rng = Rng.of_int seed in
   let rec initial tries =
     if tries >= 50 then (None, tries)
@@ -68,6 +70,7 @@ let run ?(options = Config_solver.search_options) ?(params = default_params)
     let best = ref start in
     let feasible = ref 1 in
     for iteration = 1 to params.iterations do
+      Obs.incr obs "heuristic.tabu.attempts";
       let candidates_apps = Design.apps !current.Candidate.design in
       let moves =
         List.init params.neighbors (fun _ ->

@@ -1,0 +1,144 @@
+type counter = { mutable n : int }
+
+type gauge = { mutable v : float }
+
+type histogram = {
+  mutable observed : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type registry = (string, instrument) Hashtbl.t
+
+let create () : registry = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let lookup reg name make select =
+  match Hashtbl.find_opt reg name with
+  | Some instr ->
+    (match select instr with
+     | Some x -> x
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Obs.Metrics: %S is already a %s" name
+            (kind_name instr)))
+  | None ->
+    let instr = make () in
+    Hashtbl.add reg name instr;
+    (match select instr with
+     | Some x -> x
+     | None -> assert false)
+
+let counter reg name =
+  lookup reg name
+    (fun () -> Counter { n = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge reg name =
+  lookup reg name
+    (fun () -> Gauge { v = 0. })
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram reg name =
+  lookup reg name
+    (fun () -> Histogram { observed = 0; sum = 0.; lo = 0.; hi = 0. })
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let count c = c.n
+
+let set g v = g.v <- v
+let gauge_add g dv = g.v <- g.v +. dv
+let value g = g.v
+
+let observe h s =
+  if not (Float.is_nan s || s < 0.) then begin
+    if h.observed = 0 then begin h.lo <- s; h.hi <- s end
+    else begin h.lo <- Float.min h.lo s; h.hi <- Float.max h.hi s end;
+    h.observed <- h.observed + 1;
+    h.sum <- h.sum +. s
+  end
+
+let observations h = h.observed
+let total h = h.sum
+let mean h = if h.observed = 0 then 0. else h.sum /. float_of_int h.observed
+let hist_min h = h.lo
+let hist_max h = h.hi
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let time h f =
+  let t0 = now_s () in
+  Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
+
+let names reg =
+  Hashtbl.fold (fun name _ acc -> name :: acc) reg []
+  |> List.sort String.compare
+
+let sorted reg =
+  List.map (fun name -> (name, Hashtbl.find reg name)) (names reg)
+
+let pp ppf reg =
+  List.iter
+    (fun (name, instr) ->
+       match instr with
+       | Counter c -> Format.fprintf ppf "%-44s %12d@." name c.n
+       | Gauge g -> Format.fprintf ppf "%-44s %12.6g@." name g.v
+       | Histogram h ->
+         Format.fprintf ppf
+           "%-44s n=%d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs@." name
+           h.observed h.sum (mean h) h.lo h.hi)
+    (sorted reg)
+
+(* JSON string escaping for instrument names. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.9g" x
+
+let to_json reg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, instr) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape name));
+       (match instr with
+        | Counter c -> Buffer.add_string buf (string_of_int c.n)
+        | Gauge g -> Buffer.add_string buf (json_float g.v)
+        | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count\":%d,\"total_s\":%s,\"mean_s\":%s,\"min_s\":%s,\"max_s\":%s}"
+               h.observed (json_float h.sum) (json_float (mean h))
+               (json_float h.lo) (json_float h.hi))))
+    (sorted reg);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Explicit-registry metrics: counters, gauges and duration histograms.
+
+    A registry is a flat name -> instrument table. Instruments are
+    created on first lookup and shared afterwards, so independent call
+    sites that agree on a name accumulate into the same cell. Lookups by
+    name hash once; hot paths should hold on to the returned instrument.
+
+    Time comes from the OS monotonic clock (CLOCK_MONOTONIC), never from
+    the wall clock, so histograms survive NTP steps. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+val counter : registry -> string -> counter
+(** Idempotent by name. @raise Invalid_argument if [name] is already
+    registered as a different instrument kind. *)
+
+val gauge : registry -> string -> gauge
+val histogram : registry -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+val value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one duration, in seconds. Negative or NaN samples are dropped. *)
+
+val observations : histogram -> int
+val total : histogram -> float
+val mean : histogram -> float
+(** 0 when empty. *)
+
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+(** 0 when empty. *)
+
+val now_s : unit -> float
+(** Monotonic time in seconds since an arbitrary origin. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and {!observe} its monotonic duration, exceptions
+    included. *)
+
+val names : registry -> string list
+(** Sorted registered names. *)
+
+val pp : Format.formatter -> registry -> unit
+(** Plain-text rendering, one instrument per line, sorted by name. *)
+
+val to_json : registry -> string
+(** JSON object keyed by instrument name; counters render as integers,
+    gauges as numbers, histograms as
+    [{"count":n,"total_s":t,"mean_s":m,"min_s":a,"max_s":b}]. *)

@@ -1,0 +1,58 @@
+(** Observability capability.
+
+    Every instrumented entry point in the solver / simulation stack takes
+    an [Obs.t], defaulting to {!noop}. The noop value carries no sinks:
+    every hook below reduces to a branch on an immutable [None] and
+    returns without allocating, so the uninstrumented path costs nothing
+    and instrumentation can never change results (hooks only ever read
+    solver state, never the RNG).
+
+    Sinks are opt-in per concern: {!Metrics} (counters / gauges /
+    duration histograms), {!Trace} (hierarchical spans, Chrome
+    trace-event export) and {!Progress} (solver convergence stream). *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Progress = Progress
+
+type t
+
+val noop : t
+(** The shared do-nothing capability; physically one value, compared
+    against with [==] nowhere — hooks just see its [None] sinks. *)
+
+val create : ?metrics:bool -> ?trace:bool -> ?progress:bool -> unit -> t
+(** Enable the requested sinks (all default to [false];
+    [create ()] is an all-off capability equivalent to {!noop}). *)
+
+val metrics : t -> Metrics.registry option
+val trace : t -> Trace.collector option
+val progress : t -> Progress.stream option
+
+val metrics_on : t -> bool
+(** [true] when a metrics registry is attached — guard for hooks that
+    would otherwise build instrument names on the hot path. *)
+
+(** {1 Metric hooks} — no-ops without a metrics sink. *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val gauge_add : t -> string -> float -> unit
+val gauge_set : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+(** Record a duration sample (seconds) into the named histogram. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Time the thunk into the named histogram; with no metrics sink this
+    is exactly [f ()]. *)
+
+(** {1 Span hooks} — no-ops without a trace sink. *)
+
+val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** {1 Progress hooks} — no-ops without a progress sink. *)
+
+val stage : t -> evaluations:int -> string -> unit
+val incumbent : t -> evaluations:int -> float -> unit
+val refit_accepted : t -> evaluations:int -> unit
+val refit_rejected : t -> evaluations:int -> unit

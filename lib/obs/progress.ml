@@ -1,0 +1,63 @@
+type event =
+  | Stage of string
+  | Incumbent of float
+  | Accepted
+  | Rejected
+
+type entry = {
+  evaluations : int;
+  event : event;
+}
+
+type stream = {
+  mutable rev_entries : entry list;
+  mutable best : float option;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+let create () = { rev_entries = []; best = None; accepted = 0; rejected = 0 }
+
+let push s evaluations event =
+  s.rev_entries <- { evaluations; event } :: s.rev_entries
+
+let stage s ~evaluations name = push s evaluations (Stage name)
+
+let incumbent s ~evaluations cost =
+  let improves =
+    match s.best with None -> true | Some best -> cost < best
+  in
+  if improves then begin
+    s.best <- Some cost;
+    push s evaluations (Incumbent cost)
+  end
+
+let accepted s ~evaluations =
+  s.accepted <- s.accepted + 1;
+  push s evaluations Accepted
+
+let rejected s ~evaluations =
+  s.rejected <- s.rejected + 1;
+  push s evaluations Rejected
+
+let entries s = List.rev s.rev_entries
+let best s = s.best
+let accepted_count s = s.accepted
+let rejected_count s = s.rejected
+
+let to_csv s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "evaluations,event,stage,cost\n";
+  List.iter
+    (fun e ->
+       let line =
+         match e.event with
+         | Stage name -> Printf.sprintf "%d,stage,%s,\n" e.evaluations name
+         | Incumbent cost ->
+           Printf.sprintf "%d,incumbent,,%.2f\n" e.evaluations cost
+         | Accepted -> Printf.sprintf "%d,accept,,\n" e.evaluations
+         | Rejected -> Printf.sprintf "%d,reject,,\n" e.evaluations
+       in
+       Buffer.add_string buf line)
+    (entries s);
+  Buffer.contents buf

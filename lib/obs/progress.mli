@@ -1,0 +1,44 @@
+(** Solver-convergence telemetry.
+
+    A stream records the design solver's trajectory against its
+    evaluation counter: stage transitions (greedy / refit / polish),
+    incumbent-cost improvements, and refit acceptance decisions. The CSV
+    export is the input for convergence plots; the incumbent column is
+    monotonically non-increasing by construction ({!incumbent} drops
+    samples that do not improve on the best seen). *)
+
+type event =
+  | Stage of string  (** Search stage transition. *)
+  | Incumbent of float  (** New best total cost, in dollars. *)
+  | Accepted  (** A refit round improved the incumbent. *)
+  | Rejected  (** A refit round failed to improve. *)
+
+type entry = {
+  evaluations : int;  (** Configuration-solver calls so far. *)
+  event : event;
+}
+
+type stream
+
+val create : unit -> stream
+
+val stage : stream -> evaluations:int -> string -> unit
+val incumbent : stream -> evaluations:int -> float -> unit
+(** Recorded only when strictly below the best recorded so far (the
+    first sample always records). *)
+
+val accepted : stream -> evaluations:int -> unit
+val rejected : stream -> evaluations:int -> unit
+
+val entries : stream -> entry list
+(** In recording order. *)
+
+val best : stream -> float option
+(** Lowest incumbent recorded. *)
+
+val accepted_count : stream -> int
+val rejected_count : stream -> int
+
+val to_csv : stream -> string
+(** Header [evaluations,event,stage,cost]; [stage] is populated on stage
+    rows, [cost] on incumbent rows. *)

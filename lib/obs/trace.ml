@@ -1,0 +1,112 @@
+type span = {
+  name : string;
+  args : (string * string) list;
+  start_ns : int64;  (* relative to the collector origin *)
+  dur_ns : int64;
+  depth : int;
+  path : string;  (* "/"-joined ancestor names, self included *)
+}
+
+type collector = {
+  origin : int64;
+  mutable stack : string list;  (* open span names, innermost first *)
+  mutable spans : span list;  (* completed, reverse completion order *)
+  mutable completed : int;
+}
+
+let create () =
+  { origin = Monotonic_clock.now (); stack = []; spans = []; completed = 0 }
+
+let rel c now = Int64.sub now c.origin
+
+let with_span c ?(args = []) name f =
+  let path =
+    match c.stack with
+    | [] -> name
+    | parent :: _ -> parent ^ "/" ^ name
+  in
+  let depth = List.length c.stack in
+  let start_ns = rel c (Monotonic_clock.now ()) in
+  c.stack <- path :: c.stack;
+  Fun.protect
+    ~finally:(fun () ->
+        let dur_ns = Int64.sub (rel c (Monotonic_clock.now ())) start_ns in
+        c.stack <- List.tl c.stack;
+        c.spans <- { name; args; start_ns; dur_ns; depth; path } :: c.spans;
+        c.completed <- c.completed + 1)
+    f
+
+let span_count c = c.completed
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | ch when Char.code ch < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+       | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let us ns = Int64.to_float ns /. 1e3
+
+let to_chrome_json c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "{\"name\":\"%s\",\"cat\":\"ds\",\"ph\":\"X\",\"ts\":%.3f,\
+             \"dur\":%.3f,\"pid\":1,\"tid\":1"
+            (escape s.name) (us s.start_ns) (us s.dur_ns));
+       (match s.args with
+        | [] -> ()
+        | args ->
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+               if j > 0 then Buffer.add_char buf ',';
+               Buffer.add_string buf
+                 (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+            args;
+          Buffer.add_char buf '}');
+       Buffer.add_char buf '}')
+    (List.rev c.spans);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* Aggregate completed spans by path. First-occurrence order (in span
+   start order) keeps the tree stable and readable. *)
+let pp_tree ppf c =
+  let spans =
+    List.rev c.spans
+    |> List.sort (fun a b -> Int64.compare a.start_ns b.start_ns)
+  in
+  let table : (string, int * int64) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+       match Hashtbl.find_opt table s.path with
+       | Some (n, total) ->
+         Hashtbl.replace table s.path (n + 1, Int64.add total s.dur_ns)
+       | None ->
+         Hashtbl.add table s.path (1, s.dur_ns);
+         order := (s.path, s.name, s.depth) :: !order)
+    spans;
+  List.iter
+    (fun (path, name, depth) ->
+       let n, total = Hashtbl.find table path in
+       Format.fprintf ppf "%s%-*s x%-6d %10.3f ms@."
+         (String.make (2 * depth) ' ')
+         (max 1 (36 - (2 * depth)))
+         name n
+         (Int64.to_float total /. 1e6))
+    (List.rev !order)

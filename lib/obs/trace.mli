@@ -1,0 +1,31 @@
+(** Hierarchical span tracing.
+
+    A collector records a tree of timed spans ({!with_span} nests by
+    dynamic scope). Export either as Chrome trace-event JSON — load the
+    file in [chrome://tracing] or [ui.perfetto.dev] — or as an
+    aggregated text tree (per path: call count and total self+child
+    time).
+
+    Timestamps come from the OS monotonic clock, relative to the
+    collector's creation. *)
+
+type collector
+
+val create : unit -> collector
+
+val with_span :
+  collector -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. The span closes when the thunk
+    returns or raises. [args] become the Chrome event's [args] payload. *)
+
+val span_count : collector -> int
+(** Completed spans recorded so far. *)
+
+val to_chrome_json : collector -> string
+(** The completed spans as a JSON array of complete ("ph":"X") trace
+    events, timestamps and durations in microseconds. *)
+
+val pp_tree : Format.formatter -> collector -> unit
+(** Aggregated tree: one line per distinct span path with call count and
+    total duration, indented by depth, children sorted by first
+    occurrence. *)

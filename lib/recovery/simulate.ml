@@ -10,6 +10,7 @@ module Provision = Ds_design.Provision
 module Scenario = Ds_failure.Scenario
 module Likelihood = Ds_failure.Likelihood
 module Engine = Ds_sim.Engine
+module Obs = Ds_obs.Obs
 
 let tape_propagation prov (asg : Assignment.t) =
   match asg.backup with
@@ -49,12 +50,15 @@ let link_device d pair =
     d.links <- (pair, r) :: d.links;
     r
 
-let scenario ?(params = Recovery_params.default) prov (scen : Scenario.t) =
+let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
+    (scen : Scenario.t) =
   let design = prov.Provision.design in
   let scope = scen.Scenario.scope in
   let affected = Scenario.affected design scope in
   if affected = [] then []
-  else begin
+  else Obs.with_span obs "recovery.scenario" @@ fun () -> begin
+    Obs.incr obs "recovery.scenarios";
+    Obs.add obs "recovery.affected" (List.length affected);
     let unaffected = Scenario.unaffected design scope in
     let residual = Demand.of_assignments design unaffected in
     let avail_array slot =
@@ -69,7 +73,7 @@ let scenario ?(params = Recovery_params.default) prov (scen : Scenario.t) =
       Rate.sub (Provision.link_bw prov pair) (Demand.link_use residual pair)
     in
     let devices =
-      { engine = Engine.create ~policy:params.Recovery_params.scheduling ();
+      { engine = Engine.create ~policy:params.Recovery_params.scheduling ~obs ();
         arrays = []; tapes = []; links = [] }
     in
     let repair_delay =
@@ -199,6 +203,9 @@ let scenario ?(params = Recovery_params.default) prov (scen : Scenario.t) =
     Engine.run devices.engine;
     List.map
       (fun ((asg : Assignment.t), mode, loss, id) ->
+         (match mode with
+          | Outcome.Unrecoverable -> Obs.incr obs "recovery.unrecoverable"
+          | _ -> ());
          { Outcome.app = asg.app;
            mode;
            recovery_time = Engine.completion_time devices.engine id;
@@ -206,7 +213,7 @@ let scenario ?(params = Recovery_params.default) prov (scen : Scenario.t) =
       jobs
   end
 
-let all ?(params = Recovery_params.default) prov likelihood =
+let all ?(params = Recovery_params.default) ?(obs = Obs.noop) prov likelihood =
   let design = prov.Provision.design in
   Scenario.enumerate likelihood design
-  |> List.map (fun scen -> (scen, scenario ~params prov scen))
+  |> List.map (fun scen -> (scen, scenario ~params ~obs prov scen))

@@ -22,6 +22,7 @@
     - nothing survived: manual reconstruction, a full loss horizon. *)
 
 module Time = Ds_units.Time
+module Obs = Ds_obs.Obs
 module Provision = Ds_design.Provision
 module Scenario = Ds_failure.Scenario
 module Likelihood = Ds_failure.Likelihood
@@ -31,12 +32,19 @@ val tape_propagation : Provision.t -> Ds_design.Assignment.t -> Time.t
     tape staleness and vault cut-off). Zero for backup-less techniques. *)
 
 val scenario :
-  ?params:Recovery_params.t -> Provision.t -> Scenario.t -> Outcome.t list
+  ?params:Recovery_params.t ->
+  ?obs:Obs.t ->
+  Provision.t ->
+  Scenario.t ->
+  Outcome.t list
 (** Outcomes for every application affected by the scenario (empty when
-    none are). *)
+    none are). [obs] feeds the shared engine's device metrics plus
+    [recovery.scenarios] / [recovery.affected] / [recovery.unrecoverable]
+    counters and a [recovery.scenario] span. *)
 
 val all :
   ?params:Recovery_params.t ->
+  ?obs:Obs.t ->
   Provision.t ->
   Likelihood.t ->
   (Scenario.t * Outcome.t list) list

@@ -5,6 +5,7 @@ module Likelihood = Ds_failure.Likelihood
 module Scenario = Ds_failure.Scenario
 module Penalty = Ds_cost.Penalty
 module Simulate = Ds_recovery.Simulate
+module Obs = Ds_obs.Obs
 
 type yearly = {
   outage : Money.t;
@@ -47,15 +48,17 @@ let percentile_of_sorted totals q =
   let idx = int_of_float (q *. float_of_int (n - 1)) in
   Money.dollars totals.(max 0 (min (n - 1) idx))
 
-let simulate ?params ?(years = 10_000) rng prov likelihood =
+let simulate ?params ?(years = 10_000) ?(obs = Obs.noop) rng prov likelihood =
   if years <= 0 then invalid_arg "Year_sim.simulate: years must be positive";
+  Obs.with_span obs "risk.year_sim" @@ fun () ->
+  Obs.add obs "risk.years" years;
   (* The recovery simulation is deterministic per scenario: run each once
      and reuse its per-event penalty. *)
   let design = prov.Provision.design in
   let per_event =
     Scenario.enumerate likelihood design
     |> List.map (fun (scen : Scenario.t) ->
-        let outcomes = Simulate.scenario ?params prov scen in
+        let outcomes = Simulate.scenario ?params ~obs prov scen in
         let outage, loss =
           List.fold_left
             (fun (outage, loss) outcome ->
@@ -79,6 +82,8 @@ let simulate ?params ?(years = 10_000) rng prov likelihood =
       per_event
   in
   let years_arr = Array.init years (fun _ -> run_year ()) in
+  Obs.add obs "risk.events"
+    (Array.fold_left (fun acc y -> acc + y.events) 0 years_arr);
   let totals = sorted_totals years_arr in
   let sum = Array.fold_left ( +. ) 0. totals in
   let quiet =

@@ -36,11 +36,15 @@ type t = {
 val simulate :
   ?params:Ds_recovery.Recovery_params.t ->
   ?years:int ->
+  ?obs:Ds_obs.Obs.t ->
   Rng.t ->
   Provision.t ->
   Likelihood.t ->
   t
-(** Default 10,000 years. Deterministic for a given generator state.
+(** Default 10,000 years. Deterministic for a given generator state;
+    [obs] (a [risk.year_sim] span, [risk.years] / [risk.events]
+    counters, and the per-scenario recovery simulation's metrics) never
+    affects the drawn sample.
     @raise Invalid_argument when [years <= 0]. *)
 
 val percentile : t -> float -> Money.t

@@ -1,4 +1,5 @@
 module Time = Ds_units.Time
+module Obs = Ds_obs.Obs
 
 type resource = {
   owner : int;
@@ -22,6 +23,7 @@ type job = {
   mutable held : resource list;
   mutable state : state;
   mutable completion : float;
+  mutable blocked_since : float;
 }
 
 type job_id = int
@@ -31,6 +33,7 @@ type policy = Priority | Fifo | Smallest_first
 type t = {
   eid : int;
   policy : policy;
+  obs : Obs.t;
   mutable jobs : job list;  (* reverse submission order *)
   mutable next_jid : int;
   mutable ran : bool;
@@ -38,9 +41,9 @@ type t = {
 
 let next_eid = ref 0
 
-let create ?(policy = Priority) () =
+let create ?(policy = Priority) ?(obs = Obs.noop) () =
   incr next_eid;
-  { eid = !next_eid; policy; jobs = []; next_jid = 0; ran = false }
+  { eid = !next_eid; policy; obs; jobs = []; next_jid = 0; ran = false }
 
 let resource t name = { owner = t.eid; rname = name; busy = false }
 
@@ -62,7 +65,7 @@ let submit t ~name ~priority stages =
   let job =
     { jid; jname = name; priority; stages = Array.of_list stages;
       idx = 0; wake = Float.nan; held = []; state = Idle;
-      completion = Float.nan }
+      completion = Float.nan; blocked_since = Float.nan }
   in
   t.jobs <- job :: t.jobs;
   jid
@@ -75,6 +78,11 @@ let run t =
   if t.ran then ()
   else begin
     t.ran <- true;
+    let metered = Obs.metrics_on t.obs in
+    if metered then begin
+      Obs.incr t.obs "sim.runs";
+      Obs.add t.obs "sim.jobs" (List.length t.jobs)
+    end;
     let total_work job =
       Array.fold_left
         (fun acc -> function
@@ -120,6 +128,23 @@ let run t =
                  | Hold (resources, d) ->
                    let resources = distinct resources in
                    if List.for_all (fun r -> not r.busy) resources then begin
+                     if metered then begin
+                       let dur = Time.to_seconds d in
+                       List.iter
+                         (fun r ->
+                            Obs.gauge_add t.obs ("sim.busy_s." ^ r.rname) dur)
+                         resources;
+                       if job.state = Blocked
+                       && not (Float.is_nan job.blocked_since) then begin
+                         let waited = !now -. job.blocked_since in
+                         Obs.observe t.obs "sim.queue_wait_s" waited;
+                         List.iter
+                           (fun r ->
+                              Obs.gauge_add t.obs ("sim.wait_s." ^ r.rname)
+                                waited)
+                           resources
+                       end
+                     end;
                      List.iter (fun r -> r.busy <- true) resources;
                      job.held <- resources;
                      job.wake <- !now +. Time.to_seconds d;
@@ -127,6 +152,7 @@ let run t =
                      changed := true
                    end
                    else if job.state = Idle then begin
+                     job.blocked_since <- !now;
                      job.state <- Blocked;
                      changed := true
                    end
@@ -153,6 +179,7 @@ let run t =
           (fun job ->
              match job.state with
              | (Sleeping | Holding) when job.wake <= !now ->
+               if metered then Obs.incr t.obs "sim.events";
                List.iter (fun r -> r.busy <- false) job.held;
                job.held <- [];
                job.idx <- job.idx + 1;

@@ -19,6 +19,7 @@
     All jobs are submitted at time zero; the engine is single-shot. *)
 
 module Time = Ds_units.Time
+module Obs = Ds_obs.Obs
 
 type t
 type resource
@@ -32,8 +33,12 @@ type policy =
           scheduling) — minimizes mean completion time, not weighted
           penalty. *)
 
-val create : ?policy:policy -> unit -> t
-(** Default scheduling policy: {!Priority}. *)
+val create : ?policy:policy -> ?obs:Obs.t -> unit -> t
+(** Default scheduling policy: {!Priority}. With a metrics-bearing [obs]
+    the run records [sim.runs], [sim.jobs], [sim.events] (stage
+    completions), a [sim.queue_wait_s] histogram, and per-resource
+    [sim.busy_s.<name>] / [sim.wait_s.<name>] gauges. Observation never
+    changes scheduling. *)
 
 val resource : t -> string -> resource
 (** A named exclusive device. Each call creates a fresh resource. *)

@@ -8,6 +8,7 @@ module Assignment = Ds_design.Assignment
 module Provision = Ds_design.Provision
 module Likelihood = Ds_failure.Likelihood
 module Evaluate = Ds_cost.Evaluate
+module Obs = Ds_obs.Obs
 
 type window_scope =
   | All_apps
@@ -63,14 +64,14 @@ let with_windows design (asg : Assignment.t) ~snapshot_win ~tape_win ~fulls_ever
             ?mirror:asg.mirror ?backup:asg.backup ())
          ~primary_model ?mirror_model ?tape_model ())
 
-let evaluate ~options design likelihood =
-  Evaluate.design ~params:options.recovery design likelihood
+let evaluate ~options ?obs design likelihood =
+  Evaluate.design ~params:options.recovery ?obs design likelihood
 
 (* Coordinate-descent over the window menus, one app at a time in
    descending penalty order; each combination is evaluated against the
    full candidate (Section 3.2: exhaustive search over the discretized
    ranges). *)
-let optimize_windows ~options design likelihood current_eval =
+let optimize_windows ~options ~obs design likelihood current_eval =
   let scope_ids =
     match options.window_scope with
     | All_apps ->
@@ -104,7 +105,8 @@ let optimize_windows ~options design likelihood current_eval =
             with
             | Error _ -> (best_design, best_eval)
             | Ok trial ->
-              (match evaluate ~options trial likelihood with
+              Obs.incr obs "config.window_trials";
+              (match evaluate ~options ~obs trial likelihood with
                | Error _ -> (best_design, best_eval)
                | Ok trial_eval ->
                  if Money.compare (Evaluate.total trial_eval)
@@ -117,7 +119,7 @@ let optimize_windows ~options design likelihood current_eval =
 (* Add one resource unit at a time while it reduces total cost
    (Section 3.2.2: "continues to add resources until it no longer
    produces any cost savings"). *)
-let grow_resources ~options eval likelihood =
+let grow_resources ~options ~obs eval likelihood =
   let recovery = options.recovery in
   let rec loop eval steps =
     if steps >= options.max_growth_steps then eval
@@ -129,7 +131,9 @@ let grow_resources ~options eval likelihood =
              match Provision.grow eval.Evaluate.provision move with
              | None -> best
              | Some prov ->
-               let trial = Evaluate.provisioned ~params:recovery prov likelihood in
+               let trial =
+                 Evaluate.provisioned ~params:recovery ~obs prov likelihood
+               in
                let better_than_incumbent =
                  match best with
                  | Some incumbent ->
@@ -141,16 +145,20 @@ let grow_resources ~options eval likelihood =
           None moves
       in
       match improved with
-      | Some better -> loop better (steps + 1)
+      | Some better ->
+        Obs.incr obs "config.growth_steps";
+        loop better (steps + 1)
       | None -> eval
     end
   in
   loop eval 0
 
-let solve ?(options = default_options) design likelihood =
-  match evaluate ~options design likelihood with
+let solve ?(options = default_options) ?(obs = Obs.noop) design likelihood =
+  Obs.with_span obs "config.solve" @@ fun () ->
+  Obs.incr obs "config.solves";
+  match evaluate ~options ~obs design likelihood with
   | Error _ as e -> e
   | Ok eval ->
-    let design, eval = optimize_windows ~options design likelihood eval in
-    let eval = grow_resources ~options eval likelihood in
+    let design, eval = optimize_windows ~options ~obs design likelihood eval in
+    let eval = grow_resources ~options ~obs eval likelihood in
     Ok (Candidate.v design eval)

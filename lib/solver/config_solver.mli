@@ -41,9 +41,13 @@ val search_options : options
 
 val solve :
   ?options:options ->
+  ?obs:Ds_obs.Obs.t ->
   Design.t ->
   Likelihood.t ->
   (Candidate.t, Provision.infeasibility) result
 (** Optimize configuration parameters and provisioning for the design;
     returns the completed candidate or the constraint that makes the
-    design infeasible. *)
+    design infeasible. [obs] records a [config.solve] span plus
+    [config.solves], [config.window_trials] and [config.growth_steps]
+    counters, and flows into the cost evaluator and recovery simulator;
+    it never changes the result. *)

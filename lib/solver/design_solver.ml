@@ -5,6 +5,7 @@ module Design = Ds_design.Design
 module Likelihood = Ds_failure.Likelihood
 module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
+module Obs = Ds_obs.Obs
 
 type params = {
   breadth : int;
@@ -34,12 +35,17 @@ type outcome = {
   improved_by_refit : bool;
 }
 
+let cost_dollars c = Money.to_dollars (Candidate.cost c)
+
 (* Stage 1. Applications with stringent requirements are placed first —
    the draw is weighted by the sum of penalty rates. *)
 let greedy state params env apps =
+  Obs.with_span state.Reconfigure.obs "solver.greedy" @@ fun () ->
+  let obs = state.Reconfigure.obs in
   let rec attempt restart =
     if restart > params.stage1_restarts then None
     else begin
+      if restart > 0 then Obs.incr obs "solver.stage1_restarts";
       let rec place design = function
         | [] -> Some design
         | unassigned ->
@@ -58,9 +64,11 @@ let greedy state params env apps =
       match place (Design.empty env) apps with
       | Some design ->
         (* The per-step candidates were evaluated against partial designs;
-           re-evaluate the complete one. *)
+           re-evaluate the complete one. This is search work like any
+           other config-solver call, so it counts as an evaluation. *)
+        Reconfigure.count_evaluation state;
         (match
-           Config_solver.solve ~options:params.options design
+           Config_solver.solve ~options:params.options ~obs design
              state.Reconfigure.likelihood
          with
          | Ok candidate -> Some candidate
@@ -74,9 +82,12 @@ let greedy state params env apps =
    Algorithm 1): at each level evaluate [breadth] reconfigurations, step
    to the best when it improves, and remember the best node seen. *)
 let probe state params start =
+  let obs = state.Reconfigure.obs in
+  Obs.incr obs "solver.probes";
   let rec descend current best level =
     if level >= params.depth then best
     else begin
+      Obs.incr obs "solver.probe_steps";
       let children =
         List.init params.breadth (fun _ -> Reconfigure.reconfigure state current)
         |> List.filter_map Fun.id
@@ -92,9 +103,14 @@ let probe state params start =
         descend next (Candidate.better best next) (level + 1)
     end
   in
-  descend start start 0
+  let final = descend start start 0 in
+  if Money.compare (Candidate.cost final) (Candidate.cost start) < 0 then
+    Obs.incr obs "solver.probe_improved";
+  final
 
 let refit state params start =
+  Obs.with_span state.Reconfigure.obs "solver.refit" @@ fun () ->
+  let obs = state.Reconfigure.obs in
   let rec rounds current best round without_improvement =
     if round >= params.refit_rounds || without_improvement >= params.patience
     then (best, round)
@@ -107,22 +123,37 @@ let refit state params start =
         |> List.filter_map Fun.id
         |> Candidate.best_of
       in
+      let evaluations = state.Reconfigure.evaluations in
       match branch_best with
-      | None -> (best, round + 1)
+      | None ->
+        Obs.refit_rejected obs ~evaluations;
+        (best, round + 1)
       | Some candidate ->
         if Money.compare (Candidate.cost candidate) (Candidate.cost best) < 0
-        then rounds candidate candidate (round + 1) 0
-        else rounds best best (round + 1) (without_improvement + 1)
+        then begin
+          Obs.refit_accepted obs ~evaluations;
+          Obs.incumbent obs ~evaluations (cost_dollars candidate);
+          rounds candidate candidate (round + 1) 0
+        end
+        else begin
+          Obs.refit_rejected obs ~evaluations;
+          rounds best best (round + 1) (without_improvement + 1)
+        end
     end
   in
   rounds start start 0 0
 
-let solve ?(params = default_params) env apps likelihood =
+let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
+  Obs.with_span obs "solver.solve" @@ fun () ->
   let rng = Rng.of_int params.seed in
-  let state = Reconfigure.state ~options:params.options ~rng likelihood in
+  let state = Reconfigure.state ~options:params.options ~obs ~rng likelihood in
+  Obs.stage obs ~evaluations:0 "greedy";
   match greedy state params env apps with
   | None -> None
   | Some greedy_best ->
+    Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
+      (cost_dollars greedy_best);
+    Obs.stage obs ~evaluations:state.Reconfigure.evaluations "refit";
     let refined, rounds_run = refit state params greedy_best in
     let best = Candidate.better refined greedy_best in
     (* Final polish: the search ran with cheap configuration options; give
@@ -131,13 +162,18 @@ let solve ?(params = default_params) env apps likelihood =
       match params.polish with
       | None -> best
       | Some options ->
+        Obs.stage obs ~evaluations:state.Reconfigure.evaluations "polish";
+        Reconfigure.count_evaluation state;
         (match
-           Config_solver.solve ~options best.Candidate.design
-             state.Reconfigure.likelihood
+           Obs.with_span obs "solver.polish" (fun () ->
+               Config_solver.solve ~options ~obs best.Candidate.design
+                 state.Reconfigure.likelihood)
          with
          | Ok polished -> Candidate.better polished best
          | Error _ -> best)
     in
+    Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
+      (cost_dollars best);
     Some
       { best;
         evaluations = state.Reconfigure.evaluations;

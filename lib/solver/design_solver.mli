@@ -39,7 +39,12 @@ val default_params : params
 
 type outcome = {
   best : Candidate.t;
-  evaluations : int;  (** Configuration-solver invocations performed. *)
+  evaluations : int;
+      (** Configuration-solver invocations performed — {e every} call
+          issued on behalf of the search: per-placement calls, the
+          complete-design re-evaluations of each stage-1 restart, refit
+          moves, and the final polish. Matches the [solver.evaluations]
+          metric when observability is on. *)
   refit_rounds_run : int;
   improved_by_refit : bool;  (** Whether stage 2 beat the greedy design. *)
 }
@@ -50,6 +55,18 @@ val greedy : Reconfigure.state -> params -> Env.t -> App.t list -> Candidate.t o
 val refit : Reconfigure.state -> params -> Candidate.t -> Candidate.t * int
 (** Stage 2 only: returns the refined candidate and rounds run. *)
 
-val solve : ?params:params -> Env.t -> App.t list -> Likelihood.t -> outcome option
+val solve :
+  ?params:params ->
+  ?obs:Ds_obs.Obs.t ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  outcome option
 (** The full design tool. [None] when no feasible complete design was
-    found within the restart budget. *)
+    found within the restart budget.
+
+    [obs] (default: the noop sink) records [solver.*] spans and counters,
+    the incumbent-cost-vs-evaluation progress stream, and flows down
+    through the configuration solver into the recovery simulator.
+    Instrumentation never touches the RNG: a fixed seed returns the
+    identical design with observability on or off. *)

@@ -7,18 +7,25 @@ module Likelihood = Ds_failure.Likelihood
 module Evaluate = Ds_cost.Evaluate
 module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
+module Obs = Ds_obs.Obs
 
 type state = {
   rng : Rng.t;
   history : Layout.History.t;
   likelihood : Likelihood.t;
   options : Config_solver.options;
+  obs : Obs.t;
   mutable evaluations : int;
 }
 
-let state ?(options = Config_solver.search_options) ~rng likelihood =
-  { rng; history = Layout.History.create (); likelihood; options;
+let state ?(options = Config_solver.search_options) ?(obs = Obs.noop) ~rng
+    likelihood =
+  { rng; history = Layout.History.create (); likelihood; options; obs;
     evaluations = 0 }
+
+let count_evaluation state =
+  state.evaluations <- state.evaluations + 1;
+  Obs.incr state.obs "solver.evaluations" 
 
 let eligible_techniques app =
   Technique_catalog.eligible_for (App.category app)
@@ -36,10 +43,10 @@ let place_with_technique state design app technique =
     (match Layout.apply design choice with
      | Error _ -> None
      | Ok design ->
-       state.evaluations <- state.evaluations + 1;
+       count_evaluation state;
        (match
-          Config_solver.solve ~options:(scoped_options state app) design
-            state.likelihood
+          Config_solver.solve ~options:(scoped_options state app)
+            ~obs:state.obs design state.likelihood
         with
         | Ok candidate -> Some candidate
         | Error _ -> None))

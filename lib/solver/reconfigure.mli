@@ -21,11 +21,23 @@ type state = {
   history : Layout.History.t;
   likelihood : Likelihood.t;
   options : Config_solver.options;
+  obs : Ds_obs.Obs.t;
   mutable evaluations : int;  (** Config-solver invocations, for reporting. *)
 }
 
 val state :
-  ?options:Config_solver.options -> rng:Rng.t -> Likelihood.t -> state
+  ?options:Config_solver.options ->
+  ?obs:Ds_obs.Obs.t ->
+  rng:Rng.t ->
+  Likelihood.t ->
+  state
+
+val count_evaluation : state -> unit
+(** Bump the configuration-solver call counter (and the
+    [solver.evaluations] metric). Every [Config_solver.solve] performed
+    on behalf of the design search must pass through this, wherever it
+    is issued, so [Design_solver.outcome.evaluations] counts all the
+    work done. *)
 
 val eligible_techniques : App.t -> Technique.t list
 (** The app's class or better, from the Table 2 catalog. *)

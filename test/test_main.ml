@@ -8,6 +8,7 @@ let () =
          Test_resources.suites;
          Test_design.suites;
          Test_sim.suites;
+         Test_obs.suites;
          Test_failure.suites;
          Test_recovery.suites;
          Test_cost.suites;

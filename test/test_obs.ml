@@ -1,0 +1,415 @@
+(* Tests for ds_obs: metrics registry semantics, span nesting and
+   Chrome-trace export, the progress stream, engine/simulator hooks, and
+   the guarantee that instrumentation never changes solver results. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Progress = Obs.Progress
+module Likelihood = Failure.Likelihood
+module Provision = Design.Provision
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Design_solver = Solver.Design_solver
+module Engine = Sim.Engine
+module Year_sim = Risk.Year_sim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON well-formedness checker (no JSON library in the      *)
+(* dependency set). Accepts the value grammar of RFC 8259.             *)
+(* ------------------------------------------------------------------ *)
+
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail ()
+  in
+  let literal word = String.iter (fun c -> expect c) word in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail ()
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+           advance (); go ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> fail ()
+           done;
+           go ()
+         | _ -> fail ())
+      | Some _ -> advance (); go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' -> seen := true; advance (); go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail ()
+    in
+    digits ();
+    (match peek () with
+     | Some '.' -> advance (); digits ()
+     | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+     | Some '{' ->
+       advance (); skip_ws ();
+       (match peek () with
+        | Some '}' -> advance ()
+        | _ ->
+          let rec members () =
+            skip_ws (); string_lit (); skip_ws (); expect ':'; value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail ()
+          in
+          members ())
+     | Some '[' ->
+       advance (); skip_ws ();
+       (match peek () with
+        | Some ']' -> advance ()
+        | _ ->
+          let rec elements () =
+            value (); skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail ()
+          in
+          elements ())
+     | Some '"' -> string_lit ()
+     | Some 't' -> literal "true"
+     | Some 'f' -> literal "false"
+     | Some 'n' -> literal "null"
+     | Some _ -> number ()
+     | None -> fail ());
+    skip_ws ()
+  in
+  try
+    value ();
+    !pos = n
+  with Exit -> false
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [ Alcotest.test_case "counters accumulate and are shared by name" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         let c = Metrics.counter reg "a.count" in
+         Metrics.incr c;
+         Metrics.add c 4;
+         (* A second lookup under the same name hits the same cell. *)
+         Metrics.incr (Metrics.counter reg "a.count");
+         check_int "value" 6 (Metrics.count c));
+    Alcotest.test_case "kind mismatch on a registered name raises" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         ignore (Metrics.counter reg "x");
+         Alcotest.check_raises "gauge over counter"
+           (Invalid_argument "Obs.Metrics: \"x\" is already a counter")
+           (fun () -> ignore (Metrics.gauge reg "x")));
+    Alcotest.test_case "histogram statistics" `Quick (fun () ->
+        let reg = Metrics.create () in
+        let h = Metrics.histogram reg "h" in
+        check_int "empty" 0 (Metrics.observations h);
+        Alcotest.(check (float 1e-9)) "empty mean" 0. (Metrics.mean h);
+        List.iter (Metrics.observe h) [ 0.5; 1.5; 1.0 ];
+        Metrics.observe h (-1.0) (* dropped *);
+        Metrics.observe h Float.nan (* dropped *);
+        check_int "count" 3 (Metrics.observations h);
+        Alcotest.(check (float 1e-9)) "total" 3.0 (Metrics.total h);
+        Alcotest.(check (float 1e-9)) "mean" 1.0 (Metrics.mean h);
+        Alcotest.(check (float 1e-9)) "min" 0.5 (Metrics.hist_min h);
+        Alcotest.(check (float 1e-9)) "max" 1.5 (Metrics.hist_max h));
+    Alcotest.test_case "time observes a positive duration" `Quick (fun () ->
+        let reg = Metrics.create () in
+        let h = Metrics.histogram reg "t" in
+        let r = Metrics.time h (fun () -> 42) in
+        check_int "result" 42 r;
+        check_int "observed" 1 (Metrics.observations h);
+        check_bool "non-negative" true (Metrics.total h >= 0.));
+    Alcotest.test_case "names are sorted; renderers cover every kind" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         Metrics.incr (Metrics.counter reg "b.counter");
+         Metrics.set (Metrics.gauge reg "a.gauge") 2.5;
+         Metrics.observe (Metrics.histogram reg "c.hist") 0.25;
+         Alcotest.(check (list string)) "sorted"
+           [ "a.gauge"; "b.counter"; "c.hist" ] (Metrics.names reg);
+         let text = Format.asprintf "%a" Metrics.pp reg in
+         List.iter
+           (fun needle -> check_bool needle true (contains text needle))
+           [ "a.gauge"; "b.counter"; "c.hist" ];
+         check_bool "json well-formed" true
+           (json_well_formed (Metrics.to_json reg)));
+    Alcotest.test_case "json escapes awkward names" `Quick (fun () ->
+        let reg = Metrics.create () in
+        Metrics.incr (Metrics.counter reg "weird \"name\"\\path");
+        check_bool "well-formed" true (json_well_formed (Metrics.to_json reg))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  [ Alcotest.test_case "spans nest, close on exception, and count" `Quick
+      (fun () ->
+         let c = Trace.create () in
+         let r =
+           Trace.with_span c "outer" (fun () ->
+               Trace.with_span c "inner" (fun () -> 1)
+               + Trace.with_span c "inner" (fun () -> 2))
+         in
+         check_int "result" 3 r;
+         (try Trace.with_span c "boom" (fun () -> failwith "boom")
+          with Failure _ -> ());
+         check_int "completed spans" 4 (Trace.span_count c));
+    Alcotest.test_case "chrome export is valid JSON with span names" `Quick
+      (fun () ->
+         let c = Trace.create () in
+         Trace.with_span c ~args:[ ("k", "v\"quoted\"") ] "outer" (fun () ->
+             Trace.with_span c "inner" (fun () -> ()));
+         let json = Trace.to_chrome_json c in
+         check_bool "well-formed" true (json_well_formed json);
+         List.iter
+           (fun needle -> check_bool needle true (contains json needle))
+           [ "\"ph\":\"X\""; "\"name\":\"outer\""; "\"name\":\"inner\"";
+             "\"ts\":"; "\"dur\":" ]);
+    Alcotest.test_case "tree aggregates repeated paths in order" `Quick
+      (fun () ->
+         let c = Trace.create () in
+         for _ = 1 to 3 do
+           Trace.with_span c "solve" (fun () ->
+               Trace.with_span c "step" (fun () -> ()))
+         done;
+         let tree = Format.asprintf "%a" Trace.pp_tree c in
+         check_bool "parent line" true (contains tree "solve");
+         check_bool "child aggregated x3" true (contains tree "x3");
+         check_bool "child indented" true (contains tree "  step")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Progress                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let progress_tests =
+  [ Alcotest.test_case "incumbent column is monotonically non-increasing"
+      `Quick (fun () ->
+          let s = Progress.create () in
+          Progress.stage s ~evaluations:0 "greedy";
+          Progress.incumbent s ~evaluations:5 100.;
+          Progress.incumbent s ~evaluations:6 120. (* worse: dropped *);
+          Progress.incumbent s ~evaluations:9 80.;
+          Progress.incumbent s ~evaluations:11 80. (* equal: dropped *);
+          let incumbents =
+            List.filter_map
+              (fun (e : Progress.entry) ->
+                 match e.Progress.event with
+                 | Progress.Incumbent c -> Some c
+                 | _ -> None)
+              (Progress.entries s)
+          in
+          Alcotest.(check (list (float 1e-9))) "kept" [ 100.; 80. ] incumbents;
+          Alcotest.(check (option (float 1e-9))) "best" (Some 80.)
+            (Progress.best s));
+    Alcotest.test_case "csv shape and accept/reject bookkeeping" `Quick
+      (fun () ->
+         let s = Progress.create () in
+         Progress.stage s ~evaluations:0 "greedy";
+         Progress.incumbent s ~evaluations:3 42.5;
+         Progress.accepted s ~evaluations:4;
+         Progress.rejected s ~evaluations:5;
+         check_int "accepted" 1 (Progress.accepted_count s);
+         check_int "rejected" 1 (Progress.rejected_count s);
+         let csv = Progress.to_csv s in
+         let lines = String.split_on_char '\n' (String.trim csv) in
+         check_int "lines" 5 (List.length lines);
+         check_string "header" "evaluations,event,stage,cost" (List.hd lines);
+         check_bool "stage row" true (List.mem "0,stage,greedy," lines);
+         check_bool "incumbent row" true (List.mem "3,incumbent,,42.50" lines);
+         check_bool "accept row" true (List.mem "4,accept,," lines);
+         check_bool "reject row" true (List.mem "5,reject,," lines)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hooks in the engine and the solver stack                            *)
+(* ------------------------------------------------------------------ *)
+
+let hook_tests =
+  [ Alcotest.test_case "engine records events, busy and queue wait" `Quick
+      (fun () ->
+         let obs = Obs.create ~metrics:true () in
+         let engine = Engine.create ~obs () in
+         let r = Engine.resource engine "dev" in
+         let hold d = Engine.Hold ([ r ], Time.hours d) in
+         let a = Engine.submit engine ~name:"a" ~priority:2. [ hold 1. ] in
+         let b = Engine.submit engine ~name:"b" ~priority:1. [ hold 1. ] in
+         Engine.run engine;
+         Alcotest.(check (float 1e-6)) "a done at 1h" 1.
+           (Time.to_hours (Engine.completion_time engine a));
+         Alcotest.(check (float 1e-6)) "b done at 2h" 2.
+           (Time.to_hours (Engine.completion_time engine b));
+         let reg = Option.get (Obs.metrics obs) in
+         check_int "jobs" 2 (Metrics.count (Metrics.counter reg "sim.jobs"));
+         check_int "events" 2 (Metrics.count (Metrics.counter reg "sim.events"));
+         Alcotest.(check (float 1e-6)) "busy 2h" (2. *. 3600.)
+           (Metrics.value (Metrics.gauge reg "sim.busy_s.dev"));
+         Alcotest.(check (float 1e-6)) "waited 1h" 3600.
+           (Metrics.value (Metrics.gauge reg "sim.wait_s.dev"));
+         check_int "one waiter" 1
+           (Metrics.observations (Metrics.histogram reg "sim.queue_wait_s")));
+    Alcotest.test_case "all-off capability behaves like noop" `Quick (fun () ->
+        let obs = Obs.create () in
+        check_bool "no metrics" true (Obs.metrics obs = None);
+        check_bool "metrics_on false" true (not (Obs.metrics_on obs));
+        (* Hooks are callable and inert on both. *)
+        List.iter
+          (fun o ->
+             Obs.incr o "x";
+             Obs.observe o "h" 0.5;
+             Obs.stage o ~evaluations:0 "s";
+             check_int "with_span passthrough" 7
+               (Obs.with_span o "span" (fun () -> 7));
+             check_int "time passthrough" 9 (Obs.time o "t" (fun () -> 9)))
+          [ obs; Obs.noop ]) ]
+
+(* Cheap search settings, mirroring test_solver's fast fixtures. *)
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 2;
+    window_scope = Config_solver.Skip }
+
+let fast_params =
+  { Design_solver.default_params with
+    Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
+    stage1_restarts = 2; options = fast_options }
+
+let solver_tests =
+  [ Alcotest.test_case
+      "same seed, identical design with instrumentation on vs off" `Slow
+      (fun () ->
+         let solve obs =
+           Design_solver.solve ~params:fast_params ~obs (Fixtures.peer_env ())
+             (Experiments.Envs.peer_apps ()) Likelihood.default
+         in
+         let plain = solve Obs.noop in
+         let full =
+           solve (Obs.create ~metrics:true ~trace:true ~progress:true ())
+         in
+         match plain, full with
+         | Some plain, Some full ->
+           check_string "identical design"
+             (Design.Design_io.to_string plain.Design_solver.best.Candidate.design)
+             (Design.Design_io.to_string full.Design_solver.best.Candidate.design);
+           Alcotest.(check (float 1e-6)) "identical cost"
+             (Money.to_dollars (Candidate.cost plain.Design_solver.best))
+             (Money.to_dollars (Candidate.cost full.Design_solver.best));
+           check_int "identical evaluation count" plain.Design_solver.evaluations
+             full.Design_solver.evaluations
+         | _ -> Alcotest.fail "solver found no design");
+    Alcotest.test_case
+      "outcome.evaluations matches the solver.evaluations metric" `Slow
+      (fun () ->
+         let obs = Obs.create ~metrics:true ~progress:true () in
+         match
+           Design_solver.solve ~params:fast_params ~obs (Fixtures.peer_env ())
+             (Experiments.Envs.peer_apps ()) Likelihood.default
+         with
+         | None -> Alcotest.fail "no design"
+         | Some outcome ->
+           let reg = Option.get (Obs.metrics obs) in
+           check_int "metric agrees" outcome.Design_solver.evaluations
+             (Metrics.count (Metrics.counter reg "solver.evaluations"));
+           (* Every counted evaluation is an actual configuration-solver
+              call, so the config.solves counter can never lag behind. *)
+           check_bool "no phantom evaluations" true
+             (outcome.Design_solver.evaluations
+              <= Metrics.count (Metrics.counter reg "config.solves"));
+           check_bool "recovery simulated" true
+             (Metrics.count (Metrics.counter reg "recovery.scenarios") > 0);
+           check_bool "engine ran" true
+             (Metrics.count (Metrics.counter reg "sim.runs") > 0);
+           (* Progress stream caught the stage transitions. *)
+           let stream = Option.get (Obs.progress obs) in
+           let stages =
+             List.filter_map
+               (fun (e : Progress.entry) ->
+                  match e.Progress.event with
+                  | Progress.Stage s -> Some s
+                  | _ -> None)
+               (Progress.entries stream)
+           in
+           check_bool "greedy stage" true (List.mem "greedy" stages);
+           check_bool "refit stage" true (List.mem "refit" stages);
+           check_bool "polish stage" true (List.mem "polish" stages));
+    Alcotest.test_case "risk simulation is obs-invariant" `Quick (fun () ->
+        let prov =
+          Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ()))
+        in
+        let run obs =
+          let rng = Rng.of_int 7 in
+          (Year_sim.simulate ~years:200 ?obs rng prov Likelihood.default)
+            .Year_sim.mean
+        in
+        let obs = Obs.create ~metrics:true ~trace:true () in
+        Alcotest.(check (float 1e-6)) "same mean"
+          (Money.to_dollars (run None))
+          (Money.to_dollars (run (Some obs)));
+        let reg = Option.get (Obs.metrics obs) in
+        check_int "years counted" 200
+          (Metrics.count (Metrics.counter reg "risk.years"))) ]
+
+let suites =
+  [ ("obs.metrics", metrics_tests);
+    ("obs.trace", trace_tests);
+    ("obs.progress", progress_tests);
+    ("obs.hooks", hook_tests);
+    ("obs.solver", solver_tests) ]
