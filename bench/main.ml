@@ -200,6 +200,57 @@ let ablations () =
       E.Ablation.scheduling_policies ~budgets ())
 
 (* ------------------------------------------------------------------ *)
+(* Configuration-solver memo cache                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Head-to-head: the same refit-heavy search with the memo cache off and
+   on. The refit stage revisits near-identical designs, which is exactly
+   where memoization pays; patience is raised past the round budget so
+   neither run stops early and both perform the same amount of search.
+   CI's bench-smoke job gates on "solver cached" beating "solver
+   uncached" in BENCH_results.json. *)
+let cache_speedup () =
+  section "Config-solver memo cache (cached vs uncached refit search)";
+  (* Deliberately not trimmed under DS_BENCH_BUDGET=quick: fewer rounds
+     shrink the hit-heavy tail of the search and understate the cache. *)
+  let refit_params =
+    { budgets.E.Budgets.solver with
+      Design_solver.breadth = 3; depth = 4; refit_rounds = 12;
+      patience = 13; polish = None }
+  in
+  let run label config_cache_size =
+    timed label (fun () ->
+        Design_solver.solve ~obs
+          ~params:{ refit_params with Design_solver.config_cache_size }
+          (E.Envs.peer_sites ()) (E.Envs.peer_apps ()) Likelihood.default)
+  in
+  let uncached = run "solver uncached" 0 in
+  let cached = run "solver cached" 8192 in
+  (match uncached, cached with
+   | Some u, Some c ->
+     let bytes o =
+       Design.Design_io.to_string o.Design_solver.best.Solver.Candidate.design
+     in
+     if bytes u <> bytes c
+        || u.Design_solver.evaluations <> c.Design_solver.evaluations
+     then begin
+       prerr_endline
+         "FATAL: memo cache changed the solver result (design or \
+          evaluation count differs)";
+       exit 1
+     end;
+     let seconds label = List.assoc label !sections in
+     Format.fprintf fmt
+       "cache transparency: OK (byte-identical designs, %d evaluations \
+        each)@.speedup: %.2fx (uncached %.1fs, cached %.1fs)@."
+       u.Design_solver.evaluations
+       (seconds "solver uncached" /. seconds "solver cached")
+       (seconds "solver uncached") (seconds "solver cached")
+   | _ ->
+     prerr_endline "FATAL: memo-cache benchmark found no feasible design";
+     exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +340,14 @@ let bechamel_suite () =
     tests
 
 let () =
+  (* Debug knob: run just the memo-cache head-to-head (the section CI's
+     bench-smoke job gates on) without the full artifact regeneration. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_CACHE" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    cache_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -307,6 +366,7 @@ let () =
     "Figure 7 (sensitivity: site-disaster likelihood)";
   frontier ();
   timed "ablations" ablations;
+  cache_speedup ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

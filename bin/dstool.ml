@@ -71,35 +71,52 @@ let progress_term =
 let obs_terms = Term.(const (fun t m p -> (t, m, p))
                       $ trace_term $ metrics_term $ progress_term)
 
+(* The configuration-solver memo cache is result-transparent (same seed,
+   byte-identical design), so it is on by default; the escape hatch
+   exists for debugging and for timing the uncached solver. *)
+let no_cache_term =
+  Arg.(value & flag
+       & info [ "no-config-cache" ]
+           ~doc:"Disable the configuration-solver memo cache. The cache \
+                 never changes results (a fixed seed yields the identical \
+                 design either way); disabling it only makes the search \
+                 slower. Useful for debugging and perf comparisons.")
+
+let apply_cache no_cache (budget : E.Budgets.t) =
+  if no_cache then
+    { budget with
+      E.Budgets.solver =
+        { budget.E.Budgets.solver with Design_solver.config_cache_size = 0 } }
+  else budget
+
 let obs_of (trace, metrics, progress) =
   if trace = None && (not metrics) && progress = None then Obs.noop
   else
     Obs.create ~metrics ~trace:(trace <> None) ~progress:(progress <> None) ()
 
-(* A bad path must not discard the run that produced the data: report
-   on stderr and keep going (the search result already printed). *)
-let write_file path contents =
-  try
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-        output_string oc contents);
-    true
-  with Sys_error reason ->
-    Printf.eprintf "dstool: cannot write %s: %s\n%!"
-      (if path = "" then "''" else path) reason;
-    false
-
-(* Emit whatever sinks were requested; shared by solve/compare/risk. *)
+(* Emit whatever sinks were requested; shared by solve/compare/risk.
+   A bad path must not discard the run that produced the data — the
+   search result already printed — but it must not exit 0 either, or CI
+   silently loses the artifact it asked for: failures surface as a
+   nonzero exit through the returned [Error]. *)
 let report_obs (trace, metrics, progress) obs =
+  let errors = ref [] in
+  let write path contents =
+    match Obs.write_file path contents with
+    | Ok () -> true
+    | Error reason ->
+      errors := reason :: !errors;
+      false
+  in
   (match trace, Obs.trace obs with
    | Some path, Some collector ->
-     if write_file path (Obs.Trace.to_chrome_json collector) then
+     if write path (Obs.Trace.to_chrome_json collector) then
        Format.fprintf fmt "@.span tree (%d spans; trace written to %s):@.%a"
          (Obs.Trace.span_count collector) path Obs.Trace.pp_tree collector
    | _ -> ());
   (match progress, Obs.progress obs with
    | Some path, Some stream ->
-     if write_file path (Obs.Progress.to_csv stream) then
+     if write path (Obs.Progress.to_csv stream) then
      Format.fprintf fmt
        "@.progress: %d refit rounds accepted, %d rejected%s; CSV written \
         to %s@."
@@ -113,7 +130,10 @@ let report_obs (trace, metrics, progress) obs =
   (match Obs.metrics obs with
    | Some registry when metrics ->
      Format.fprintf fmt "@.metrics:@.%a" Obs.Metrics.pp registry
-   | _ -> ())
+   | _ -> ());
+  match List.rev !errors with
+  | [] -> Ok ()
+  | errors -> Error (String.concat "; " errors)
 
 let budget_conv =
   let parse = function
@@ -201,9 +221,9 @@ let output_term =
                  $(b,dstool audit --design)).")
 
 let solve_cmd =
-  let run env apps seed budget likelihood output obs_flags =
+  let run env apps seed budget likelihood output no_cache obs_flags =
     let env, workloads = resolve_env env apps in
-    let budget = E.Budgets.with_seed budget seed in
+    let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
     let obs = obs_of obs_flags in
     match
       Design_solver.solve ~params:budget.E.Budgets.solver ~obs env workloads
@@ -220,18 +240,23 @@ let solve_cmd =
         (if outcome.Design_solver.improved_by_refit then
            "improved the greedy design"
          else "kept the greedy design");
-      report_obs obs_flags obs;
-      (match output with
-       | None -> `Ok ()
-       | Some path ->
-         (match
-            Design.Design_io.write_file path
-              outcome.Design_solver.best.Candidate.design
-          with
-          | Ok () ->
-            Format.fprintf fmt "design written to %s@." path;
-            `Ok ()
-          | Error msg -> `Error (false, msg)))
+      let obs_status = report_obs obs_flags obs in
+      let output_status =
+        match output with
+        | None -> Ok ()
+        | Some path ->
+          (match
+             Design.Design_io.write_file path
+               outcome.Design_solver.best.Candidate.design
+           with
+           | Ok () ->
+             Format.fprintf fmt "design written to %s@." path;
+             Ok ()
+           | Error msg -> Error msg)
+      in
+      (match obs_status, output_status with
+       | Ok (), Ok () -> `Ok ()
+       | Error msg, _ | _, Error msg -> `Error (false, msg))
     | None -> `Error (false, "no feasible design found")
   in
   Cmd.v
@@ -239,7 +264,7 @@ let solve_cmd =
        ~doc:"Run the automated design tool on an environment and print the \
              chosen data protection design.")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ output_term $ obs_terms))
+               $ likelihood_term $ output_term $ no_cache_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -300,7 +325,7 @@ let risk_cmd =
     Arg.(value & opt int 10_000
          & info [ "years" ] ~docv:"N" ~doc:"Simulated years.")
   in
-  let run env apps seed budget likelihood design years obs_flags =
+  let run env apps seed budget likelihood design years no_cache obs_flags =
     let env, workloads = resolve_env env apps in
     let obs = obs_of obs_flags in
     let provision =
@@ -316,7 +341,7 @@ let risk_cmd =
                 (Format.asprintf "design is infeasible: %a"
                    Design.Provision.pp_infeasibility e)))
       | None ->
-        let budget = E.Budgets.with_seed budget seed in
+        let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
         (match
            Design_solver.solve ~params:budget.E.Budgets.solver ~obs env
              workloads likelihood
@@ -336,15 +361,17 @@ let risk_cmd =
         (Units.Money.to_string
            (Units.Money.add analytic.Cost.Penalty.outage_total
               analytic.Cost.Penalty.loss_total));
-      report_obs obs_flags obs;
-      `Ok ()
+      (match report_obs obs_flags obs with
+       | Ok () -> `Ok ()
+       | Error msg -> `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "risk"
        ~doc:"Monte Carlo distribution of annual penalty cost for a design \
              (tail risk beyond the expected-value objective).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ design_term $ years_term $ obs_terms))
+               $ likelihood_term $ design_term $ years_term $ no_cache_term
+               $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* ablate                                                              *)
@@ -408,23 +435,26 @@ let compare_cmd =
              ~doc:"Also run the simulated-annealing and tabu-search \
                    baselines (related-work comparisons, not in the paper).")
   in
-  let run env apps seed budget likelihood metaheuristics obs_flags =
+  let run env apps seed budget likelihood metaheuristics no_cache obs_flags =
     let env, workloads = resolve_env env apps in
-    let budget = E.Budgets.with_seed budget seed in
+    let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
     let obs = obs_of obs_flags in
     let entries =
       E.Compare.run ~budgets:budget ~metaheuristics ~obs env workloads
         likelihood
     in
     E.Report.figure3 fmt entries;
-    report_obs obs_flags obs
+    match report_obs obs_flags obs with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare the design tool with the human and random heuristics \
              (Figure 3).")
-    Term.(const run $ env_term $ apps_term $ seed_term $ budget_term
-          $ likelihood_term $ metaheuristics_term $ obs_terms)
+    Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
+               $ likelihood_term $ metaheuristics_term $ no_cache_term
+               $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)

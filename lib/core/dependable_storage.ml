@@ -104,6 +104,7 @@ end
 
 module Solver = struct
   module Candidate = Ds_solver.Candidate
+  module Memo = Ds_solver.Memo
   module Layout = Ds_solver.Layout
   module Config_solver = Ds_solver.Config_solver
   module Reconfigure = Ds_solver.Reconfigure

@@ -47,6 +47,24 @@ let sites_used t =
   in
   List.sort_uniq Int.compare sites
 
+let equal a b =
+  App.equal a.app b.app
+  && Technique.equal_config a.technique b.technique
+  && Slot.Array_slot.equal a.primary b.primary
+  && Option.equal Slot.Array_slot.equal a.mirror b.mirror
+  && Option.equal Slot.Tape_slot.equal a.backup b.backup
+
+let fingerprint t =
+  Printf.sprintf "a%d<-%s@%d.%d%s%s" t.app.App.id
+    (Technique.fingerprint t.technique)
+    t.primary.Slot.Array_slot.site t.primary.Slot.Array_slot.bay
+    (match t.mirror with
+     | Some (m : Slot.Array_slot.t) -> Printf.sprintf "|m%d.%d" m.site m.bay
+     | None -> "")
+    (match t.backup with
+     | Some (b : Slot.Tape_slot.t) -> Printf.sprintf "|t%d" b.site
+     | None -> "")
+
 let with_technique t technique =
   check ~technique ~primary:t.primary ~mirror:t.mirror ~backup:t.backup;
   { t with technique }

@@ -42,6 +42,13 @@ val backup_pair : t -> Slot.Pair.t option
 val sites_used : t -> Ds_resources.Site.id list
 (** Deduplicated sites touched by this assignment. *)
 
+val equal : t -> t -> bool
+(** Structural equality: same app (by id), technique configuration
+    (id, mirror, recovery mode {e and} backup chain) and slots. *)
+
+val fingerprint : t -> string
+(** Canonical encoding; equal fingerprints iff {!equal} holds. *)
+
 val with_technique : t -> Technique.t -> t
 (** Swap technique; slots must already be consistent with the new
     technique's needs. @raise Invalid_argument if not. *)

@@ -191,6 +191,42 @@ let primaries_at_site t site =
   List.filter (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site = site)
     t.assignments
 
+(* Structural equality over everything the configuration solver reads:
+   the environment (by name; environments are fixed within a run), the
+   installed models, and the assignments with their full technique
+   configuration. Assignments are kept sorted by app id, so plain list
+   equality is order-insensitive with respect to insertion history. *)
+let equal a b =
+  String.equal a.env.Env.name b.env.Env.name
+  && Slot.Array_slot.Map.equal Array_model.equal a.array_models b.array_models
+  && Slot.Tape_slot.Map.equal Tape_model.equal a.tape_models b.tape_models
+  && List.equal Assignment.equal a.assignments b.assignments
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "d{";
+  Buffer.add_string buf t.env.Env.name;
+  Buffer.add_string buf "|";
+  Slot.Array_slot.Map.iter
+    (fun (slot : Slot.Array_slot.t) (model : Array_model.t) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%d.%d=%s;" slot.site slot.bay model.Array_model.name))
+    t.array_models;
+  Buffer.add_string buf "|";
+  Slot.Tape_slot.Map.iter
+    (fun (slot : Slot.Tape_slot.t) (model : Tape_model.t) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%d=%s;" slot.site model.Tape_model.name))
+    t.tape_models;
+  Buffer.add_string buf "|";
+  List.iter
+    (fun asg ->
+       Buffer.add_string buf (Assignment.fingerprint asg);
+       Buffer.add_char buf ';')
+    t.assignments;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
 let pp ppf t =
   Format.fprintf ppf "design(%s, %d apps)@," t.env.Env.name (size t);
   List.iter (fun a -> Format.fprintf ppf "  %a@," Assignment.pp a) t.assignments

@@ -66,4 +66,19 @@ val residents : t -> Slot.Array_slot.t -> Assignment.t list
 val primaries_on : t -> Slot.Array_slot.t -> Assignment.t list
 val primaries_at_site : t -> Ds_resources.Site.id -> Assignment.t list
 
+val equal : t -> t -> bool
+(** Structural equality over everything that determines a design's
+    evaluation: environment (by name), installed models (by name per
+    slot) and assignments ({!Assignment.equal}, including the full
+    backup-chain configuration). Insensitive to construction order —
+    semantically identical designs produced by different refit walks
+    compare equal. *)
+
+val fingerprint : t -> string
+(** Canonical string encoding of the design: [fingerprint a =
+    fingerprint b] iff [equal a b]. Used (with the likelihood and
+    configuration-option fingerprints) as the configuration-solver
+    memo-cache key, so collisions would silently corrupt search results —
+    the encoding is a full injective serialization, not a hash. *)
+
 val pp : Format.formatter -> t -> unit

@@ -26,6 +26,15 @@ let sensitivity_base =
   v ~data_object_per_year:2. ~array_per_year:(per_years 5.)
     ~site_per_year:(per_years 20.)
 
+let equal a b =
+  Float.equal a.data_object_per_year b.data_object_per_year
+  && Float.equal a.array_per_year b.array_per_year
+  && Float.equal a.site_per_year b.site_per_year
+
+let fingerprint t =
+  Printf.sprintf "l{%h;%h;%h}" t.data_object_per_year t.array_per_year
+    t.site_per_year
+
 let pp ppf t =
   Format.fprintf ppf "object %.3g/yr, array %.3g/yr, site %.3g/yr"
     t.data_object_per_year t.array_per_year t.site_per_year

@@ -27,4 +27,11 @@ val sensitivity_base : t
 (** Sensitivity-analysis baseline (Section 4.5): data object twice a year,
     disk array once in 5 years, site disaster once in 20 years. *)
 
+val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Canonical encoding of the three rates (exact [%h] floats): equal
+    fingerprints iff {!equal} holds. One of the components of the
+    configuration-solver memo-cache key. *)
+
 val pp : Format.formatter -> t -> unit

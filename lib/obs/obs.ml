@@ -75,3 +75,14 @@ let refit_rejected t ~evaluations =
   match t.progress with
   | None -> ()
   | Some s -> Progress.rejected s ~evaluations
+
+let write_file path contents =
+  try
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc contents);
+    Ok ()
+  with Sys_error reason ->
+    Error
+      (Printf.sprintf "cannot write %s: %s"
+         (if path = "" then "''" else path) reason)

@@ -56,3 +56,11 @@ val stage : t -> evaluations:int -> string -> unit
 val incumbent : t -> evaluations:int -> float -> unit
 val refit_accepted : t -> evaluations:int -> unit
 val refit_rejected : t -> evaluations:int -> unit
+
+(** {1 Sink export} *)
+
+val write_file : string -> string -> (unit, string) result
+(** [write_file path contents] writes a sink export (Chrome trace JSON,
+    progress CSV, metrics dump) to [path]. An unwritable path returns
+    [Error reason] rather than raising, so callers can both keep the run's
+    printed results and exit nonzero — CI must see the failure. *)

@@ -81,6 +81,13 @@ let equal a b =
   && Time.equal a.vault_win b.vault_win
   && Time.equal a.vault_prop b.vault_prop
 
+let fingerprint t =
+  Printf.sprintf "b{%h*%d;%h/%d*%d;%h;%h+%h}"
+    (Time.to_seconds t.snapshot_win) t.snapshot_retained
+    (Time.to_seconds t.tape_win) t.tape_fulls_every t.tape_retained
+    (Time.to_seconds t.backup_window)
+    (Time.to_seconds t.vault_win) (Time.to_seconds t.vault_prop)
+
 let pp ppf t =
   Format.fprintf ppf "backup{snap %a x%d; tape %a (full/%d) x%d; vault %a +%a}"
     Time.pp t.snapshot_win t.snapshot_retained

@@ -74,4 +74,11 @@ val vault_staleness : t -> propagation:Time.t -> Time.t
     cycle + courier time. *)
 
 val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Canonical encoding of every chain parameter (exact [%h] float
+    encodings): two chains have equal fingerprints iff {!equal} holds.
+    The configuration solver mutates backup windows while a technique
+    keeps its id, so the memo-cache key must hash the chain itself. *)
+
 val pp : Format.formatter -> t -> unit

@@ -21,4 +21,8 @@ let to_string t =
 
 let equal a b = a.sync = b.sync && Time.equal a.acc_win b.acc_win
 
+let fingerprint t =
+  (* %h prints the exact bit pattern, so distinct windows never collide. *)
+  Printf.sprintf "m{%s;%h}" (to_string t) (Time.to_seconds t.acc_win)
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)

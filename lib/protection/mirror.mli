@@ -30,4 +30,10 @@ val staleness : t -> Time.t
 
 val to_string : t -> string
 val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Canonical encoding of the mirror parameters: two mirrors have equal
+    fingerprints iff {!equal} holds. Feeds the design fingerprint used to
+    key the configuration-solver memo cache. *)
+
 val pp : Format.formatter -> t -> unit

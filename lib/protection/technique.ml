@@ -47,5 +47,19 @@ let with_backup_chain t chain =
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
 
+(* Same id is not enough once the window search has run: the search swaps
+   backup chains inside a technique without changing its id. *)
+let equal_config a b =
+  a.id = b.id
+  && Option.equal Mirror.equal a.mirror b.mirror
+  && Recovery_mode.equal a.recovery b.recovery
+  && Option.equal Backup.equal a.backup b.backup
+
+let fingerprint t =
+  Printf.sprintf "t%d{%s;%s;%s}" t.id
+    (match t.mirror with Some m -> Mirror.fingerprint m | None -> "-")
+    (Recovery_mode.short t.recovery)
+    (match t.backup with Some b -> Backup.fingerprint b | None -> "-")
+
 let describe t = t.name
 let pp ppf t = Format.pp_print_string ppf t.name

@@ -52,6 +52,15 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 (** By id. *)
 
+val equal_config : t -> t -> bool
+(** Id {e and} configuration equality: same id, mirror parameters,
+    recovery mode and backup chain. Distinguishes same-id techniques
+    whose backup windows were retuned by the configuration solver. *)
+
+val fingerprint : t -> string
+(** Canonical encoding (id, mirror, recovery mode, backup chain): equal
+    fingerprints iff {!equal_config} holds. *)
+
 val pp : Format.formatter -> t -> unit
 val describe : t -> string
 (** Paper-style name, e.g. "Async mirror (F) with backup". *)

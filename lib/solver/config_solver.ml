@@ -15,6 +15,8 @@ type window_scope =
   | Only of App.id list
   | Skip
 
+type cache = (Candidate.t, Provision.infeasibility) result Memo.t
+
 type options = {
   window_scope : window_scope;
   snapshot_menu : Time.t list;
@@ -22,6 +24,7 @@ type options = {
   fulls_menu : int list;
   max_growth_steps : int;
   recovery : Ds_recovery.Recovery_params.t;
+  memo : cache option;
 }
 
 let default_options =
@@ -30,10 +33,59 @@ let default_options =
     tape_menu = [ Time.days 1.; Time.days 3.5; Time.days 7.; Time.days 14. ];
     fulls_menu = [ 1; 7 ];
     max_growth_steps = 24;
-    recovery = Ds_recovery.Recovery_params.default }
+    recovery = Ds_recovery.Recovery_params.default;
+    memo = None }
 
 let search_options =
   { default_options with window_scope = Only []; max_growth_steps = 6 }
+
+let create_cache ?(size = 1024) () : cache = Memo.create ~capacity:size ()
+
+(* ------------------------------------------------------------------ *)
+(* Memo-cache keys. The solver is a pure function of (options, design,
+   likelihood) — it never touches the RNG — so a canonical fingerprint
+   of those three inputs keys its results exactly. Every option field
+   that changes the result is encoded; the [memo] field itself is not
+   part of the key.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scope_fingerprint = function
+  | All_apps -> "A"
+  | Skip -> "S"
+  | Only ids ->
+    "O" ^ String.concat "," (List.map string_of_int (List.sort Int.compare ids))
+
+let recovery_fingerprint (r : Ds_recovery.Recovery_params.t) =
+  Printf.sprintf "r{%h;%h;%h;%h;%h;%h;%h;%h;%h;%s;%s}"
+    (Time.to_seconds r.detection) (Time.to_seconds r.failover)
+    (Time.to_seconds r.array_repair) (Time.to_seconds r.site_rebuild)
+    (Time.to_seconds r.site_reconfig) (Time.to_seconds r.mirror_promote)
+    (Time.to_seconds r.vault_fetch) (Time.to_seconds r.manual_rebuild)
+    (Time.to_seconds r.loss_horizon)
+    (match r.vault_mode with
+     | Ds_recovery.Recovery_params.Cycle -> "c"
+     | Ds_recovery.Recovery_params.Continuous -> "k")
+    (match r.scheduling with
+     | Ds_sim.Engine.Priority -> "p"
+     | Ds_sim.Engine.Fifo -> "f"
+     | Ds_sim.Engine.Smallest_first -> "s")
+
+let time_menu menu =
+  String.concat "," (List.map (fun t -> Printf.sprintf "%h" (Time.to_seconds t)) menu)
+
+let options_fingerprint o =
+  Printf.sprintf "o{%s|%s|%s|%s|%d|%s}"
+    (scope_fingerprint o.window_scope)
+    (time_menu o.snapshot_menu) (time_menu o.tape_menu)
+    (String.concat "," (List.map string_of_int o.fulls_menu))
+    o.max_growth_steps
+    (recovery_fingerprint o.recovery)
+
+let cache_key ~options design likelihood =
+  String.concat "#"
+    [ options_fingerprint options;
+      Likelihood.fingerprint likelihood;
+      Design.fingerprint design ]
 
 (* Swap one app's backup windows inside a design. Rebuilding through
    Design.remove/add keeps the model bookkeeping consistent. *)
@@ -153,12 +205,27 @@ let grow_resources ~options ~obs eval likelihood =
   in
   loop eval 0
 
-let solve ?(options = default_options) ?(obs = Obs.noop) design likelihood =
-  Obs.with_span obs "config.solve" @@ fun () ->
-  Obs.incr obs "config.solves";
+let solve_fresh ~options ~obs design likelihood =
   match evaluate ~options ~obs design likelihood with
   | Error _ as e -> e
   | Ok eval ->
     let design, eval = optimize_windows ~options ~obs design likelihood eval in
     let eval = grow_resources ~options ~obs eval likelihood in
     Ok (Candidate.v design eval)
+
+let solve ?(options = default_options) ?(obs = Obs.noop) design likelihood =
+  Obs.with_span obs "config.solve" @@ fun () ->
+  Obs.incr obs "config.solves";
+  match options.memo with
+  | None -> solve_fresh ~options ~obs design likelihood
+  | Some memo ->
+    let key = cache_key ~options design likelihood in
+    (match Memo.find memo key with
+     | Some result ->
+       Obs.incr obs "config.cache_hits";
+       result
+     | None ->
+       Obs.incr obs "config.cache_misses";
+       let result = solve_fresh ~options ~obs design likelihood in
+       if Memo.add memo key result then Obs.incr obs "config.cache_evictions";
+       result)

@@ -18,6 +18,13 @@ type window_scope =
   | Only of App.id list  (** Just these (the apps a search step touched). *)
   | Skip  (** Keep current windows. *)
 
+type cache = (Candidate.t, Provision.infeasibility) result Memo.t
+(** Evaluation memo cache. [solve] is a pure function of its inputs (it
+    never draws from the RNG), so results are cached under a canonical
+    fingerprint of (options, design, likelihood): a hit returns the exact
+    value a fresh solve would compute, making the cache result-transparent
+    — a fixed seed yields a byte-identical design with it on or off. *)
+
 type options = {
   window_scope : window_scope;
   snapshot_menu : Time.t list;  (** Candidate snapshot windows. *)
@@ -28,7 +35,20 @@ type options = {
           paired with a 1-day interval). *)
   max_growth_steps : int;  (** Resource-addition iterations. *)
   recovery : Ds_recovery.Recovery_params.t;
+  memo : cache option;
+      (** Share previously computed results. The design solver installs
+          one cache per solve, shared by the greedy, refit and polish
+          stages; [None] (the default) recomputes every call. Option
+          fields are part of the key, so callers with different menus or
+          scopes can safely share one cache. *)
 }
+
+val create_cache : ?size:int -> unit -> cache
+(** A fresh bounded LRU cache (default bound: 1024 entries). *)
+
+val options_fingerprint : options -> string
+(** Canonical encoding of every result-affecting option field (the [memo]
+    field is excluded). Exposed for tests. *)
 
 val default_options : options
 (** Windows for all apps from menus {6 h, 12 h, 24 h} x {1 d, 3.5 d, 7 d,
@@ -50,4 +70,11 @@ val solve :
     design infeasible. [obs] records a [config.solve] span plus
     [config.solves], [config.window_trials] and [config.growth_steps]
     counters, and flows into the cost evaluator and recovery simulator;
-    it never changes the result. *)
+    it never changes the result.
+
+    With [options.memo] set, results are memoized on the canonical
+    (options, design, likelihood) fingerprint: hits return the cached
+    candidate and skip the window search, growth loop and recovery
+    simulations entirely. [config.cache_hits], [config.cache_misses] and
+    [config.cache_evictions] counters record the cache's behavior
+    ([cache_hits + cache_misses = config.solves] when the cache is on). *)

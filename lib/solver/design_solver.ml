@@ -16,6 +16,7 @@ type params = {
   seed : int;
   options : Config_solver.options;
   polish : Config_solver.options option;
+  config_cache_size : int;
 }
 
 let default_params =
@@ -26,7 +27,8 @@ let default_params =
     stage1_restarts = 5;
     seed = 42;
     options = Config_solver.search_options;
-    polish = Some Config_solver.default_options }
+    polish = Some Config_solver.default_options;
+    config_cache_size = 1024 }
 
 type outcome = {
   best : Candidate.t;
@@ -68,7 +70,7 @@ let greedy state params env apps =
            other config-solver call, so it counts as an evaluation. *)
         Reconfigure.count_evaluation state;
         (match
-           Config_solver.solve ~options:params.options ~obs design
+           Config_solver.solve ~options:state.Reconfigure.options ~obs design
              state.Reconfigure.likelihood
          with
          | Ok candidate -> Some candidate
@@ -146,7 +148,16 @@ let refit state params start =
 let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
   Obs.with_span obs "solver.solve" @@ fun () ->
   let rng = Rng.of_int params.seed in
-  let state = Reconfigure.state ~options:params.options ~obs ~rng likelihood in
+  (* One evaluation cache for the whole solve: greedy, refit and polish
+     all hit the same entries. The cache is result-transparent (the
+     configuration solver is RNG-free), so this changes wall time only. *)
+  let memo =
+    if params.config_cache_size > 0 then
+      Some (Config_solver.create_cache ~size:params.config_cache_size ())
+    else None
+  in
+  let options = { params.options with Config_solver.memo } in
+  let state = Reconfigure.state ~options ~obs ~rng likelihood in
   Obs.stage obs ~evaluations:0 "greedy";
   match greedy state params env apps with
   | None -> None
@@ -161,9 +172,10 @@ let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
     let best =
       match params.polish with
       | None -> best
-      | Some options ->
+      | Some polish_options ->
         Obs.stage obs ~evaluations:state.Reconfigure.evaluations "polish";
         Reconfigure.count_evaluation state;
+        let options = { polish_options with Config_solver.memo } in
         (match
            Obs.with_span obs "solver.polish" (fun () ->
                Config_solver.solve ~options ~obs best.Candidate.design

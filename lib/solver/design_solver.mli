@@ -31,11 +31,20 @@ type params = {
       (** Configuration options for the final pass over the winning
           design; [None] skips the polish (used by ablations and by tests
           comparing against ground truth at matched strength). *)
+  config_cache_size : int;
+      (** LRU bound of the per-solve configuration-solver memo cache.
+          The refit stage re-evaluates near-identical designs; the cache
+          returns the recorded result for (design, likelihood, options)
+          keys already solved. One cache is created per [solve] and
+          shared by the greedy, refit and polish stages. [0] disables
+          caching ([dstool --no-config-cache]). Result-transparent
+          either way: a fixed seed yields a byte-identical design. *)
 }
 
 val default_params : params
 (** b = 3, d = 5, 12 refit rounds, patience 3, 5 restarts, seed 42,
-    search-grade configuration options, full-strength final polish. *)
+    search-grade configuration options, full-strength final polish,
+    1024-entry configuration-solver cache. *)
 
 type outcome = {
   best : Candidate.t;
@@ -66,7 +75,9 @@ val solve :
     found within the restart budget.
 
     [obs] (default: the noop sink) records [solver.*] spans and counters,
-    the incumbent-cost-vs-evaluation progress stream, and flows down
-    through the configuration solver into the recovery simulator.
-    Instrumentation never touches the RNG: a fixed seed returns the
-    identical design with observability on or off. *)
+    the incumbent-cost-vs-evaluation progress stream, the
+    [config.cache_hits] / [config.cache_misses] / [config.cache_evictions]
+    memo-cache counters, and flows down through the configuration solver
+    into the recovery simulator. Instrumentation never touches the RNG: a
+    fixed seed returns the identical design with observability on or off,
+    and with the configuration cache on or off. *)

@@ -1,0 +1,95 @@
+(* Bounded LRU memo table, string-keyed.
+
+   Hashtbl for lookup plus an intrusive doubly-linked list for recency:
+   find and add are O(1), eviction pops the list tail. Keys are the
+   canonical fingerprints produced by Design/Likelihood/Config_solver, so
+   a hit is guaranteed to carry the value computed for semantically
+   identical inputs. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* eviction candidate *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity must be positive";
+  { capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let add t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    node.value <- value;
+    unlink t node;
+    push_front t node;
+    false
+  | None ->
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node;
+    if Hashtbl.length t.tbl > t.capacity then begin
+      (match t.tail with
+       | Some lru ->
+         unlink t lru;
+         Hashtbl.remove t.tbl lru.key;
+         t.evictions <- t.evictions + 1
+       | None -> ());
+      true
+    end
+    else false
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,35 @@
+(** Bounded LRU memoization table for solver evaluation results.
+
+    String-keyed (keys are the canonical fingerprints of the inputs —
+    see [Ds_design.Design.fingerprint]), with O(1) find/add and
+    least-recently-used eviction once the capacity is exceeded. The
+    design solver creates one per solve and shares it across the greedy,
+    refit and polish stages through [Config_solver.options].
+
+    Not thread-safe: one cache per solver run, like the RNG. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh empty cache holding at most [capacity] (default 1024)
+    entries. @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; refreshes the entry's recency and counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> bool
+(** Insert (or refresh) a binding; evicts the least-recently-used entry
+    when the capacity is exceeded. Returns [true] iff an eviction
+    happened. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+(** Lifetime counters, mirrored into the [config.cache_*] metrics by the
+    configuration solver when observability is on. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (counters are kept). *)

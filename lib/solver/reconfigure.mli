@@ -21,6 +21,11 @@ type state = {
   history : Layout.History.t;
   likelihood : Likelihood.t;
   options : Config_solver.options;
+      (** Search-grade configuration options. When the design solver
+          installed a memo cache ([options.memo]), every reconfiguration
+          step's configuration solve flows through it — including the
+          per-app scoped-window variants, which key separately because
+          the option fingerprint is part of the cache key. *)
   obs : Ds_obs.Obs.t;
   mutable evaluations : int;  (** Config-solver invocations, for reporting. *)
 }

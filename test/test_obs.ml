@@ -390,6 +390,36 @@ let solver_tests =
            check_bool "greedy stage" true (List.mem "greedy" stages);
            check_bool "refit stage" true (List.mem "refit" stages);
            check_bool "polish stage" true (List.mem "polish" stages));
+    Alcotest.test_case
+      "same seed, identical design with the config cache on vs off" `Slow
+      (fun () ->
+         let solve obs config_cache_size =
+           Design_solver.solve
+             ~params:{ fast_params with Design_solver.config_cache_size }
+             ~obs (Fixtures.peer_env ()) (Experiments.Envs.peer_apps ())
+             Likelihood.default
+         in
+         let obs = Obs.create ~metrics:true () in
+         let uncached = solve Obs.noop 0 in
+         let cached = solve obs 256 in
+         match uncached, cached with
+         | Some uncached, Some cached ->
+           check_string "identical design"
+             (Design.Design_io.to_string
+                uncached.Design_solver.best.Candidate.design)
+             (Design.Design_io.to_string
+                cached.Design_solver.best.Candidate.design);
+           Alcotest.(check (float 1e-6)) "identical cost"
+             (Money.to_dollars (Candidate.cost uncached.Design_solver.best))
+             (Money.to_dollars (Candidate.cost cached.Design_solver.best));
+           check_int "identical evaluation count"
+             uncached.Design_solver.evaluations cached.Design_solver.evaluations;
+           let reg = Option.get (Obs.metrics obs) in
+           let count name = Metrics.count (Metrics.counter reg name) in
+           check_bool "cache was exercised" true (count "config.cache_hits" > 0);
+           check_int "every solve is a hit or a miss" (count "config.solves")
+             (count "config.cache_hits" + count "config.cache_misses")
+         | _ -> Alcotest.fail "solver found no design");
     Alcotest.test_case "risk simulation is obs-invariant" `Quick (fun () ->
         let prov =
           Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ()))
@@ -407,9 +437,57 @@ let solver_tests =
         check_int "years counted" 200
           (Metrics.count (Metrics.counter reg "risk.years"))) ]
 
+(* ------------------------------------------------------------------ *)
+(* Sink export to files                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let io_tests =
+  [ Alcotest.test_case "write_file round-trips contents" `Quick (fun () ->
+        let path = Filename.temp_file "ds_obs_test" ".json" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+            (match Obs.write_file path "{\"ok\":true}" with
+             | Ok () -> ()
+             | Error msg -> Alcotest.fail msg);
+            let ic = open_in_bin path in
+            let contents =
+              Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                  really_input_string ic (in_channel_length ic))
+            in
+            check_string "contents" "{\"ok\":true}" contents));
+    Alcotest.test_case "write_file reports unwritable paths as Error" `Quick
+      (fun () ->
+         match Obs.write_file "/nonexistent-dir/ds_obs_test.json" "x" with
+         | Ok () -> Alcotest.fail "expected Error for an unwritable path"
+         | Error msg ->
+           check_bool "names the path" true
+             (contains msg "/nonexistent-dir/ds_obs_test.json"));
+    (* End-to-end guard for the CLI: an unwritable sink path must not
+       exit 0, or CI silently loses the artifact it asked for. The dstool
+       binary is a declared test dependency, built next to the test
+       executable's directory regardless of the invocation cwd. *)
+    Alcotest.test_case "dstool exits nonzero when a sink path is unwritable"
+      `Slow (fun () ->
+          let dstool =
+            Filename.concat
+              (Filename.dirname Sys.executable_name)
+              (Filename.concat Filename.parent_dir_name "bin/dstool.exe")
+          in
+          let run extra =
+            Sys.command
+              (Printf.sprintf
+                 "%s solve --env peer --budget quick %s >/dev/null 2>/dev/null"
+                 (Filename.quote dstool) extra)
+          in
+          check_int "clean run exits 0" 0 (run "");
+          check_bool "unwritable --progress exits nonzero" true
+            (run "--progress /nonexistent-dir/p.csv" <> 0);
+          check_bool "unwritable --trace exits nonzero" true
+            (run "--trace /nonexistent-dir/t.json" <> 0)) ]
+
 let suites =
   [ ("obs.metrics", metrics_tests);
     ("obs.trace", trace_tests);
     ("obs.progress", progress_tests);
     ("obs.hooks", hook_tests);
-    ("obs.solver", solver_tests) ]
+    ("obs.solver", solver_tests);
+    ("obs.io", io_tests) ]

@@ -307,8 +307,168 @@ let design_solver_tests =
              (D.assignments design)
          | None -> Alcotest.fail "no feasible design") ]
 
+(* ------------------------------------------------------------------ *)
+(* Memo: the bounded LRU behind the configuration-solver cache          *)
+(* ------------------------------------------------------------------ *)
+
+let memo_tests =
+  [ Alcotest.test_case "find counts misses then hits" `Quick (fun () ->
+        let m = Solver.Memo.create ~capacity:4 () in
+        check_bool "empty miss" true (Solver.Memo.find m "a" = None);
+        check_bool "no eviction" false (Solver.Memo.add m "a" 1);
+        check_bool "hit" true (Solver.Memo.find m "a" = Some 1);
+        check_int "hits" 1 (Solver.Memo.hits m);
+        check_int "misses" 1 (Solver.Memo.misses m);
+        check_int "length" 1 (Solver.Memo.length m));
+    Alcotest.test_case "eviction drops the least recently used" `Quick
+      (fun () ->
+         let m = Solver.Memo.create ~capacity:2 () in
+         ignore (Solver.Memo.add m "a" 1);
+         ignore (Solver.Memo.add m "b" 2);
+         (* Touch "a" so "b" becomes the eviction candidate. *)
+         check_bool "refresh a" true (Solver.Memo.find m "a" = Some 1);
+         check_bool "adding c evicts" true (Solver.Memo.add m "c" 3);
+         check_bool "b evicted" true (Solver.Memo.find m "b" = None);
+         check_bool "a survives" true (Solver.Memo.find m "a" = Some 1);
+         check_bool "c present" true (Solver.Memo.find m "c" = Some 3);
+         check_int "one eviction" 1 (Solver.Memo.evictions m);
+         check_int "at capacity" 2 (Solver.Memo.length m));
+    Alcotest.test_case "re-adding a key refreshes without evicting" `Quick
+      (fun () ->
+         let m = Solver.Memo.create ~capacity:2 () in
+         ignore (Solver.Memo.add m "a" 1);
+         ignore (Solver.Memo.add m "b" 2);
+         (* "a" is the LRU; re-adding it must refresh, not grow. *)
+         check_bool "no eviction on refresh" false (Solver.Memo.add m "a" 10);
+         check_bool "adding c evicts b" true (Solver.Memo.add m "c" 3);
+         check_bool "b evicted" true (Solver.Memo.find m "b" = None);
+         check_bool "a updated" true (Solver.Memo.find m "a" = Some 10));
+    Alcotest.test_case "clear empties entries but keeps counters" `Quick
+      (fun () ->
+         let m = Solver.Memo.create ~capacity:2 () in
+         ignore (Solver.Memo.add m "a" 1);
+         check_bool "hit" true (Solver.Memo.find m "a" = Some 1);
+         Solver.Memo.clear m;
+         check_int "empty" 0 (Solver.Memo.length m);
+         check_bool "gone" true (Solver.Memo.find m "a" = None);
+         check_int "hits kept" 1 (Solver.Memo.hits m);
+         check_int "capacity kept" 2 (Solver.Memo.capacity m));
+    Alcotest.test_case "zero capacity is rejected" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Memo.create: capacity must be positive")
+          (fun () -> ignore (Solver.Memo.create ~capacity:0 ()))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: the cache key must collide exactly on Design.equal     *)
+(* ------------------------------------------------------------------ *)
+
+module Backup = Protection.Backup
+module Assignment = Design.Assignment
+module Device_catalog = Resources.Device_catalog
+
+(* Small menus keep the recipe domain tiny, so random pairs of recipes
+   coincide often enough to exercise the "equal designs, equal
+   fingerprints" direction and not just injectivity. *)
+let snapshot_wins = [| Time.hours 6.; Time.hours 12. |]
+let tape_wins = [| Time.days 7.; Time.days 14. |]
+
+let chain ~snap ~tape =
+  Backup.with_tape_win
+    (Backup.with_snapshot_win Backup.default snapshot_wins.(snap))
+    tape_wins.(tape)
+
+(* A recipe drives two placements from the fixture helpers: the B app
+   mirrored + backed up (windows retuned as the configuration solver
+   would), and the S app on tape alone at a chosen site. *)
+type recipe = (int * int) option * (int * int) option
+
+let build_design ?(reverse = false) ((b_spec, s_spec) : recipe) =
+  let add_b design =
+    match b_spec with
+    | None -> design
+    | Some (snap, tape) ->
+      let technique =
+        Technique.with_backup_chain T.async_failover_backup (chain ~snap ~tape)
+      in
+      Fixtures.ok (Fixtures.assign_full ~technique Fixtures.b_app design)
+  in
+  let add_s design =
+    match s_spec with
+    | None -> design
+    | Some (site, tape) ->
+      let technique =
+        Technique.with_backup_chain T.tape_backup (chain ~snap:0 ~tape)
+      in
+      let asg =
+        Assignment.v ~app:Fixtures.s_app ~technique
+          ~primary:(Fixtures.slot site 0) ~backup:(Fixtures.tape site) ()
+      in
+      Fixtures.ok
+        (D.add design asg ~primary_model:Device_catalog.xp1200
+           ~tape_model:Device_catalog.tape_high ())
+  in
+  let design = D.empty (Fixtures.peer_env ()) in
+  if reverse then add_b (add_s design) else add_s (add_b design)
+
+let gen_recipe : recipe QCheck2.Gen.t =
+  QCheck2.Gen.(
+    pair
+      (option (pair (int_range 0 1) (int_range 0 1)))
+      (option (pair (int_range 1 2) (int_range 0 1))))
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let fingerprint_tests =
+  [ prop "fingerprint collides exactly when Design.equal holds" ~count:400
+      QCheck2.Gen.(pair gen_recipe gen_recipe)
+      (fun (r1, r2) ->
+         let d1 = build_design r1 and d2 = build_design r2 in
+         Bool.equal (D.equal d1 d2)
+           (String.equal (D.fingerprint d1) (D.fingerprint d2)));
+    prop "construction order changes neither equality nor fingerprint"
+      gen_recipe
+      (fun recipe ->
+         let fwd = build_design recipe
+         and rev = build_design ~reverse:true recipe in
+         D.equal fwd rev
+         && String.equal (D.fingerprint fwd) (D.fingerprint rev));
+    prop "retuning one backup window changes the fingerprint"
+      QCheck2.Gen.(
+        pair (pair (int_range 0 1) (int_range 0 1))
+          (option (pair (int_range 1 2) (int_range 0 1))))
+      (fun ((snap, tape), s_spec) ->
+         let d1 = build_design (Some (snap, tape), s_spec)
+         and d2 = build_design (Some (1 - snap, tape), s_spec) in
+         (not (D.equal d1 d2))
+         && not (String.equal (D.fingerprint d1) (D.fingerprint d2)));
+    (* Uniform random complete designs: same seed builds structurally
+       equal designs from scratch; distinct seeds almost always differ.
+       Either way the fingerprint must agree with Design.equal. *)
+    prop "sampled designs: fingerprint agrees with Design.equal" ~count:150
+      QCheck2.Gen.(pair (int_range 0 20) (int_range 0 20))
+      (fun (s1, s2) ->
+         let sample seed =
+           let rec go attempt =
+             let rng = Rng.of_int (seed + (attempt * 7919)) in
+             match
+               Heuristics.Random_search.sample_design rng (Fixtures.peer_env ())
+                 (peer_apps ())
+             with
+             | Some design -> design
+             | None -> go (attempt + 1)
+           in
+           go 0
+         in
+         let d1 = sample s1 and d2 = sample s2 in
+         Bool.equal (D.equal d1 d2)
+           (String.equal (D.fingerprint d1) (D.fingerprint d2))
+         && (s1 <> s2 || D.equal d1 d2)) ]
+
 let suites =
   [ ("solver.layout", layout_tests);
     ("solver.config", config_tests);
     ("solver.reconfigure", reconfigure_tests);
-    ("solver.design_solver", design_solver_tests) ]
+    ("solver.design_solver", design_solver_tests);
+    ("solver.memo", memo_tests);
+    ("solver.fingerprint", fingerprint_tests) ]
