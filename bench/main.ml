@@ -251,6 +251,59 @@ let cache_speedup () =
      exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel refit                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Head-to-head: the same refit-heavy search run sequentially and on 4
+   domains. The parallel refit is deterministic by construction (probe
+   RNG streams pre-split in probe order, probe results merged in probe
+   order), so this section first proves the byte-identity contract and
+   then reports the speedup. A breadth of 4 gives every domain a probe
+   per round. CI's bench-smoke job gates on "refit parallel" not being
+   slower than "refit sequential"; the speedup itself depends on the
+   host's core count (a single-core runner can at best break even). *)
+let parallel_refit_speedup () =
+  section "Parallel refit (sequential vs 4 domains)";
+  let refit_params =
+    { budgets.E.Budgets.solver with
+      Design_solver.breadth = 4; depth = 4; refit_rounds = 12;
+      patience = 13; polish = None }
+  in
+  let run label domains =
+    timed label (fun () ->
+        Design_solver.solve ~obs
+          ~params:{ refit_params with Design_solver.domains }
+          (E.Envs.peer_sites ()) (E.Envs.peer_apps ()) Likelihood.default)
+  in
+  let sequential = run "refit sequential" 1 in
+  let parallel = run "refit parallel" 4 in
+  (match sequential, parallel with
+   | Some s, Some p ->
+     let bytes o =
+       Design.Design_io.to_string o.Design_solver.best.Solver.Candidate.design
+     in
+     if bytes s <> bytes p
+        || s.Design_solver.evaluations <> p.Design_solver.evaluations
+     then begin
+       prerr_endline
+         "FATAL: parallel refit changed the solver result (design or \
+          evaluation count differs between 1 and 4 domains)";
+       exit 1
+     end;
+     let seconds label = List.assoc label !sections in
+     Format.fprintf fmt
+       "domain transparency: OK (byte-identical designs, %d evaluations \
+        each)@.speedup: %.2fx on %d cores (sequential %.1fs, 4 domains \
+        %.1fs)@."
+       s.Design_solver.evaluations
+       (seconds "refit sequential" /. seconds "refit parallel")
+       (Domain.recommended_domain_count ())
+       (seconds "refit sequential") (seconds "refit parallel")
+   | _ ->
+     prerr_endline "FATAL: parallel-refit benchmark found no feasible design";
+     exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -348,6 +401,13 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* Same knob for the parallel-refit head-to-head. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_PARALLEL" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    parallel_refit_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -367,6 +427,7 @@ let () =
   frontier ();
   timed "ablations" ablations;
   cache_speedup ();
+  parallel_refit_speedup ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

@@ -89,6 +89,32 @@ let apply_cache no_cache (budget : E.Budgets.t) =
         { budget.E.Budgets.solver with Design_solver.config_cache_size = 0 } }
   else budget
 
+(* Like the memo cache, the parallel refit is result-transparent: probe
+   RNG streams are pre-split in probe order and probe results merge in
+   probe order, so the domain count only changes wall time. *)
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ ->
+      Error
+        (`Msg (Printf.sprintf "expected a positive domain count, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_term =
+  Arg.(value & opt domains_conv 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Run each refit round's probe walks on N OCaml domains \
+                 (default 1, sequential). Deterministic: a fixed seed \
+                 yields the byte-identical design whatever N is; only \
+                 wall time changes. Counts above the refit breadth are \
+                 clamped to it.")
+
+let apply_domains domains (budget : E.Budgets.t) =
+  { budget with
+    E.Budgets.solver = { budget.E.Budgets.solver with Design_solver.domains } }
+
 let obs_of (trace, metrics, progress) =
   if trace = None && (not metrics) && progress = None then Obs.noop
   else
@@ -221,9 +247,11 @@ let output_term =
                  $(b,dstool audit --design)).")
 
 let solve_cmd =
-  let run env apps seed budget likelihood output no_cache obs_flags =
+  let run env apps seed budget likelihood output no_cache domains obs_flags =
     let env, workloads = resolve_env env apps in
-    let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
+    let budget =
+      apply_domains domains (apply_cache no_cache (E.Budgets.with_seed budget seed))
+    in
     let obs = obs_of obs_flags in
     match
       Design_solver.solve ~params:budget.E.Budgets.solver ~obs env workloads
@@ -264,7 +292,8 @@ let solve_cmd =
        ~doc:"Run the automated design tool on an environment and print the \
              chosen data protection design.")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ output_term $ no_cache_term $ obs_terms))
+               $ likelihood_term $ output_term $ no_cache_term $ domains_term
+               $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -325,7 +354,8 @@ let risk_cmd =
     Arg.(value & opt int 10_000
          & info [ "years" ] ~docv:"N" ~doc:"Simulated years.")
   in
-  let run env apps seed budget likelihood design years no_cache obs_flags =
+  let run env apps seed budget likelihood design years no_cache domains
+      obs_flags =
     let env, workloads = resolve_env env apps in
     let obs = obs_of obs_flags in
     let provision =
@@ -341,7 +371,10 @@ let risk_cmd =
                 (Format.asprintf "design is infeasible: %a"
                    Design.Provision.pp_infeasibility e)))
       | None ->
-        let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
+        let budget =
+          apply_domains domains
+            (apply_cache no_cache (E.Budgets.with_seed budget seed))
+        in
         (match
            Design_solver.solve ~params:budget.E.Budgets.solver ~obs env
              workloads likelihood
@@ -371,7 +404,7 @@ let risk_cmd =
              (tail risk beyond the expected-value objective).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
                $ likelihood_term $ design_term $ years_term $ no_cache_term
-               $ obs_terms))
+               $ domains_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* ablate                                                              *)
@@ -435,9 +468,13 @@ let compare_cmd =
              ~doc:"Also run the simulated-annealing and tabu-search \
                    baselines (related-work comparisons, not in the paper).")
   in
-  let run env apps seed budget likelihood metaheuristics no_cache obs_flags =
+  let run env apps seed budget likelihood metaheuristics no_cache domains
+      obs_flags =
     let env, workloads = resolve_env env apps in
-    let budget = apply_cache no_cache (E.Budgets.with_seed budget seed) in
+    let budget =
+      apply_domains domains
+        (apply_cache no_cache (E.Budgets.with_seed budget seed))
+    in
     let obs = obs_of obs_flags in
     let entries =
       E.Compare.run ~budgets:budget ~metaheuristics ~obs env workloads
@@ -454,7 +491,7 @@ let compare_cmd =
              (Figure 3).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
                $ likelihood_term $ metaheuristics_term $ no_cache_term
-               $ obs_terms))
+               $ domains_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)

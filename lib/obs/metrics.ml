@@ -1,8 +1,14 @@
-type counter = { mutable n : int }
+(* Domain-safe instruments: the design solver's parallel refit bumps
+   counters from worker domains concurrently, so counters and gauges are
+   Atomic-backed, histograms take a per-instrument lock, and instrument
+   creation is serialized by a registry lock. *)
 
-type gauge = { mutable v : float }
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
 
 type histogram = {
+  lock : Mutex.t;
   mutable observed : int;
   mutable sum : float;
   mutable lo : float;
@@ -14,9 +20,12 @@ type instrument =
   | Gauge of gauge
   | Histogram of histogram
 
-type registry = (string, instrument) Hashtbl.t
+type registry = {
+  tbl : (string, instrument) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create () : registry = Hashtbl.create 64
+let create () : registry = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -24,51 +33,58 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let lookup reg name make select =
-  match Hashtbl.find_opt reg name with
-  | Some instr ->
-    (match select instr with
-     | Some x -> x
-     | None ->
-       invalid_arg
-         (Printf.sprintf "Obs.Metrics: %S is already a %s" name
-            (kind_name instr)))
+  let instr =
+    Mutex.protect reg.lock (fun () ->
+        match Hashtbl.find_opt reg.tbl name with
+        | Some instr -> instr
+        | None ->
+          let instr = make () in
+          Hashtbl.add reg.tbl name instr;
+          instr)
+  in
+  match select instr with
+  | Some x -> x
   | None ->
-    let instr = make () in
-    Hashtbl.add reg name instr;
-    (match select instr with
-     | Some x -> x
-     | None -> assert false)
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %S is already a %s" name
+         (kind_name instr))
 
 let counter reg name =
   lookup reg name
-    (fun () -> Counter { n = 0 })
+    (fun () -> Counter (Atomic.make 0))
     (function Counter c -> Some c | _ -> None)
 
 let gauge reg name =
   lookup reg name
-    (fun () -> Gauge { v = 0. })
+    (fun () -> Gauge (Atomic.make 0.))
     (function Gauge g -> Some g | _ -> None)
 
 let histogram reg name =
   lookup reg name
-    (fun () -> Histogram { observed = 0; sum = 0.; lo = 0.; hi = 0. })
+    (fun () ->
+       Histogram
+         { lock = Mutex.create (); observed = 0; sum = 0.; lo = 0.; hi = 0. })
     (function Histogram h -> Some h | _ -> None)
 
-let incr c = c.n <- c.n + 1
-let add c k = c.n <- c.n + k
-let count c = c.n
+let incr c = Atomic.incr c
+let add c k = ignore (Atomic.fetch_and_add c k)
+let count c = Atomic.get c
 
-let set g v = g.v <- v
-let gauge_add g dv = g.v <- g.v +. dv
-let value g = g.v
+let set g v = Atomic.set g v
 
-let observe h s =
-  if not (Float.is_nan s || s < 0.) then begin
-    if h.observed = 0 then begin h.lo <- s; h.hi <- s end
-    else begin h.lo <- Float.min h.lo s; h.hi <- Float.max h.hi s end;
-    h.observed <- h.observed + 1;
-    h.sum <- h.sum +. s
-  end
+let rec gauge_add g dv =
+  let v = Atomic.get g in
+  if not (Atomic.compare_and_set g v (v +. dv)) then gauge_add g dv
+
+let value g = Atomic.get g
+
+let observe (h : histogram) s =
+  if not (Float.is_nan s || s < 0.) then
+    Mutex.protect h.lock (fun () ->
+        if h.observed = 0 then begin h.lo <- s; h.hi <- s end
+        else begin h.lo <- Float.min h.lo s; h.hi <- Float.max h.hi s end;
+        h.observed <- h.observed + 1;
+        h.sum <- h.sum +. s)
 
 let observations h = h.observed
 let total h = h.sum
@@ -83,18 +99,19 @@ let time h f =
   Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
 
 let names reg =
-  Hashtbl.fold (fun name _ acc -> name :: acc) reg []
+  Mutex.protect reg.lock (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) reg.tbl [])
   |> List.sort String.compare
 
 let sorted reg =
-  List.map (fun name -> (name, Hashtbl.find reg name)) (names reg)
+  List.map (fun name -> (name, Hashtbl.find reg.tbl name)) (names reg)
 
 let pp ppf reg =
   List.iter
     (fun (name, instr) ->
        match instr with
-       | Counter c -> Format.fprintf ppf "%-44s %12d@." name c.n
-       | Gauge g -> Format.fprintf ppf "%-44s %12.6g@." name g.v
+       | Counter c -> Format.fprintf ppf "%-44s %12d@." name (Atomic.get c)
+       | Gauge g -> Format.fprintf ppf "%-44s %12.6g@." name (Atomic.get g)
        | Histogram h ->
          Format.fprintf ppf
            "%-44s n=%d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs@." name
@@ -131,8 +148,8 @@ let to_json reg =
        if i > 0 then Buffer.add_char buf ',';
        Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape name));
        (match instr with
-        | Counter c -> Buffer.add_string buf (string_of_int c.n)
-        | Gauge g -> Buffer.add_string buf (json_float g.v)
+        | Counter c -> Buffer.add_string buf (string_of_int (Atomic.get c))
+        | Gauge g -> Buffer.add_string buf (json_float (Atomic.get g))
         | Histogram h ->
           Buffer.add_string buf
             (Printf.sprintf

@@ -6,7 +6,13 @@
     name hash once; hot paths should hold on to the returned instrument.
 
     Time comes from the OS monotonic clock (CLOCK_MONOTONIC), never from
-    the wall clock, so histograms survive NTP steps. *)
+    the wall clock, so histograms survive NTP steps.
+
+    Every instrument is domain-safe: counters and gauges are
+    Atomic-backed, histogram updates take a per-instrument lock and
+    instrument creation is serialized, so hooks may fire concurrently
+    from worker domains (the design solver's parallel refit does) without
+    losing updates. *)
 
 type registry
 type counter

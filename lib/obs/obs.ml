@@ -19,6 +19,8 @@ let metrics t = t.metrics
 let trace t = t.trace
 let progress t = t.progress
 
+let without_trace t = if t.trace = None then t else { t with trace = None }
+
 let metrics_on t = t.metrics <> None
 
 let incr t name =

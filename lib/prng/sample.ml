@@ -19,7 +19,9 @@ let weighted_index g weights =
       else acc +. w)
       0. weights
   in
-  if total <= 0. then Rng.int g n
+  if total <= 0. then
+    (* All weights are exactly zero: uniform fallback (documented). *)
+    Rng.int g n
   else begin
     let target = Rng.float g total in
     let rec scan i acc =
@@ -28,7 +30,16 @@ let weighted_index g weights =
         let acc = acc +. weights.(i) in
         if target < acc then i else scan (i + 1) acc
     in
-    scan 0 0.
+    let i = scan 0 0. in
+    (* The [i = n - 1] rounding fallback can land on an index whose
+       weight is exactly [0.] (trailing zero weights when float
+       accumulation puts [target] past every partial sum). A positive
+       total guarantees a positive weight exists; clamp to the last
+       one so zero-weight items are never chosen. *)
+    if weights.(i) > 0. then i
+    else
+      let rec back j = if weights.(j) > 0. then j else back (j - 1) in
+      back (n - 1)
   end
 
 let weighted g items =

@@ -20,7 +20,13 @@ val weighted : Rng.t -> ('a * float) list -> 'a
     @raise Invalid_argument on an empty list or a negative weight. *)
 
 val weighted_index : Rng.t -> float array -> int
-(** Index form of {!weighted}. *)
+(** Index form of {!weighted}. Guarantees an index of positive weight
+    whenever any weight is positive — the roulette scan's last-index
+    rounding fallback is clamped to the last positive-weight entry.
+    When {e every} weight is exactly [0.] the draw falls back to a
+    uniform choice over all [n] indices (zero-weight items included);
+    callers that must never see such items should guard the all-zero
+    case themselves. *)
 
 val shuffle : Rng.t -> 'a list -> 'a list
 (** Fisher-Yates shuffle; uniform over permutations. *)

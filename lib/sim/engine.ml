@@ -39,11 +39,15 @@ type t = {
   mutable ran : bool;
 }
 
-let next_eid = ref 0
+(* Engines are created concurrently by the design solver's parallel refit
+   probes; the id well is atomic so every engine stays distinct. The ids
+   only tag resources with their owner — no result depends on which
+   numbers a run hands out. *)
+let next_eid = Atomic.make 0
 
 let create ?(policy = Priority) ?(obs = Obs.noop) () =
-  incr next_eid;
-  { eid = !next_eid; policy; obs; jobs = []; next_jid = 0; ran = false }
+  let eid = 1 + Atomic.fetch_and_add next_eid 1 in
+  { eid; policy; obs; jobs = []; next_jid = 0; ran = false }
 
 let resource t name = { owner = t.eid; rname = name; busy = false }
 

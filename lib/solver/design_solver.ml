@@ -17,6 +17,7 @@ type params = {
   options : Config_solver.options;
   polish : Config_solver.options option;
   config_cache_size : int;
+  domains : int;
 }
 
 let default_params =
@@ -28,7 +29,8 @@ let default_params =
     seed = 42;
     options = Config_solver.search_options;
     polish = Some Config_solver.default_options;
-    config_cache_size = 1024 }
+    config_cache_size = 1024;
+    domains = 1 }
 
 type outcome = {
   best : Candidate.t;
@@ -110,6 +112,62 @@ let probe state params start =
     Obs.incr obs "solver.probe_improved";
   final
 
+(* One refit round: [breadth] probe walks, each on its own pre-split RNG
+   stream and its own fork of the master state. The pre-split (in probe
+   index order, on the coordinator) fixes every probe's randomness before
+   any runs, so scheduling the probes across [params.domains] domains —
+   or running them in order on one — produces bit-identical results. The
+   forks are merged back (and the best candidate chosen) in probe index
+   order; [Candidate.better] keeps its first argument on cost ties, so
+   ties break toward the lowest probe index. *)
+let run_probes state params current =
+  let n = params.breadth in
+  let rngs = Array.init n (fun _ -> Rng.split state.Reconfigure.rng) in
+  let workers = max 1 (min params.domains n) in
+  let obs =
+    (* The span collector assumes single-threaded nesting; worker domains
+       get a trace-stripped capability (metrics stay on — they are
+       atomic). Results are unaffected: instrumentation never draws RNG. *)
+    if workers = 1 then state.Reconfigure.obs
+    else Obs.without_trace state.Reconfigure.obs
+  in
+  let locals =
+    Array.map (fun rng -> Reconfigure.fork ~obs state ~rng) rngs
+  in
+  let results = Array.make n None in
+  let run_one i =
+    match Reconfigure.reconfigure locals.(i) current with
+    | Some neighbor -> results.(i) <- Some (probe locals.(i) params neighbor)
+    | None -> ()
+  in
+  if workers = 1 then
+    for i = 0 to n - 1 do run_one i done
+  else begin
+    (* Strided assignment: domain [k] runs probes [k], [k + workers], ...
+       The coordinator takes stride 0; each probe touches only its own
+       slots of [locals] and [results]. *)
+    let stride k =
+      let i = ref k in
+      while !i < n do
+        run_one !i;
+        i := !i + workers
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun j -> Domain.spawn (fun () -> stride (j + 1)))
+    in
+    stride 0;
+    List.iter Domain.join spawned
+  end;
+  Array.iter (fun local -> Reconfigure.merge ~into:state local) locals;
+  Array.fold_left
+    (fun best result ->
+       match best, result with
+       | None, r -> r
+       | b, None -> b
+       | Some b, Some r -> Some (Candidate.better b r))
+    None results
+
 let refit state params start =
   Obs.with_span state.Reconfigure.obs "solver.refit" @@ fun () ->
   let obs = state.Reconfigure.obs in
@@ -117,19 +175,16 @@ let refit state params start =
     if round >= params.refit_rounds || without_improvement >= params.patience
     then (best, round)
     else begin
-      let branch_best =
-        List.init params.breadth (fun _ ->
-            match Reconfigure.reconfigure state current with
-            | Some neighbor -> Some (probe state params neighbor)
-            | None -> None)
-        |> List.filter_map Fun.id
-        |> Candidate.best_of
-      in
+      let branch_best = run_probes state params current in
       let evaluations = state.Reconfigure.evaluations in
       match branch_best with
       | None ->
+        (* A round where every probe failed is a round without
+           improvement, not the end of the search: later rounds draw
+           fresh randomness and can still find feasible moves. (This
+           used to return, silently abandoning the remaining rounds.) *)
         Obs.refit_rejected obs ~evaluations;
-        (best, round + 1)
+        rounds best best (round + 1) (without_improvement + 1)
       | Some candidate ->
         if Money.compare (Candidate.cost candidate) (Candidate.cost best) < 0
         then begin

@@ -39,12 +39,25 @@ type params = {
           shared by the greedy, refit and polish stages. [0] disables
           caching ([dstool --no-config-cache]). Result-transparent
           either way: a fixed seed yields a byte-identical design. *)
+  domains : int;
+      (** Number of OCaml domains running each refit round's [breadth]
+          probe walks ([dstool --domains]). [1] (the default) runs them
+          in order on the calling domain; higher values spawn
+          [min domains breadth - 1] extra domains with probes assigned
+          by stride. Bit-for-bit deterministic in the domain count:
+          every probe's RNG stream is pre-split from the round's
+          generator in probe-index order before any probe runs, each
+          probe works on a fork of the search state, and forks are
+          merged back (cost ties broken toward the lowest probe index)
+          in probe-index order. A fixed seed therefore yields a
+          byte-identical design and the same evaluation count whatever
+          [domains] is. Values [< 1] behave like [1]. *)
 }
 
 val default_params : params
 (** b = 3, d = 5, 12 refit rounds, patience 3, 5 restarts, seed 42,
     search-grade configuration options, full-strength final polish,
-    1024-entry configuration-solver cache. *)
+    1024-entry configuration-solver cache, 1 domain (sequential). *)
 
 type outcome = {
   best : Candidate.t;

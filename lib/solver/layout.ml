@@ -14,12 +14,24 @@ module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
 
 module History = struct
+  (* A history is a local overlay over an optional parent: reads sum
+     down the chain, writes stay local. The parallel refit forks one
+     overlay per probe off the round's base history — the base is only
+     read while probes run (each domain writes its own overlay), and
+     the coordinator absorbs the overlays back in probe-index order
+     once the round joins. *)
   type t = {
     counts : (App.id * Slot.Array_slot.t, int) Hashtbl.t;
     trials : (App.id, int) Hashtbl.t;
+    parent : t option;
   }
 
-  let create () = { counts = Hashtbl.create 64; trials = Hashtbl.create 16 }
+  let create () =
+    { counts = Hashtbl.create 64; trials = Hashtbl.create 16; parent = None }
+
+  let fork parent =
+    { counts = Hashtbl.create 16; trials = Hashtbl.create 8;
+      parent = Some parent }
 
   let record t app_id slot =
     let key = (app_id, slot) in
@@ -28,14 +40,30 @@ module History = struct
     Hashtbl.replace t.trials app_id
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.trials app_id))
 
+  let rec slot_count t key =
+    Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+    + (match t.parent with None -> 0 | Some p -> slot_count p key)
+
+  let rec trial_count t app_id =
+    Option.value ~default:0 (Hashtbl.find_opt t.trials app_id)
+    + (match t.parent with None -> 0 | Some p -> trial_count p app_id)
+
   let usage t app_id slot =
-    match Hashtbl.find_opt t.trials app_id with
-    | None | Some 0 -> 0.
-    | Some trials ->
-      let count =
-        Option.value ~default:0 (Hashtbl.find_opt t.counts (app_id, slot))
-      in
-      float_of_int count /. float_of_int trials
+    match trial_count t app_id with
+    | 0 -> 0.
+    | trials ->
+      float_of_int (slot_count t (app_id, slot)) /. float_of_int trials
+
+  let absorb ~into src =
+    (match src.parent with
+     | Some p when p == into -> ()
+     | _ -> invalid_arg "Layout.History.absorb: [src] is not a fork of [into]");
+    let bump tbl key n =
+      Hashtbl.replace tbl key
+        (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    in
+    Hashtbl.iter (fun key n -> bump into.counts key n) src.counts;
+    Hashtbl.iter (fun app n -> bump into.trials app n) src.trials
 end
 
 type choice = {

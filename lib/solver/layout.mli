@@ -30,6 +30,18 @@ module History : sig
   val record : t -> App.id -> Slot.Array_slot.t -> unit
   val usage : t -> App.id -> Slot.Array_slot.t -> float
   (** Fraction of this app's past layouts using the slot; 0 before any. *)
+
+  val fork : t -> t
+  (** A local overlay over the parent: {!usage} reads through to the
+      parent's counts, {!record} writes stay in the overlay. The
+      parallel refit gives each probe its own fork so worker domains
+      never write the shared base (which they all read). *)
+
+  val absorb : into:t -> t -> unit
+  (** Fold a fork's local records back into its parent. Addition is
+      commutative, so absorbing the round's forks in probe-index order
+      is deterministic regardless of which domain ran which probe.
+      @raise Invalid_argument when [src] is not a fork of [into]. *)
 end
 
 type choice = {

@@ -4,7 +4,12 @@
    find and add are O(1), eviction pops the list tail. Keys are the
    canonical fingerprints produced by Design/Likelihood/Config_solver, so
    a hit is guaranteed to carry the value computed for semantically
-   identical inputs. *)
+   identical inputs.
+
+   A single mutex serializes every operation: the design solver shares
+   one cache across the worker domains of its parallel refit stage, and
+   the linked list cannot tolerate interleaved rewiring. The critical
+   sections are pointer surgery only — values are computed outside. *)
 
 type 'a node = {
   key : string;
@@ -15,6 +20,7 @@ type 'a node = {
 
 type 'a t = {
   capacity : int;
+  lock : Mutex.t;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;  (* most recently used *)
   mutable tail : 'a node option;  (* eviction candidate *)
@@ -26,6 +32,7 @@ type 'a t = {
 let create ?(capacity = 1024) () =
   if capacity < 1 then invalid_arg "Memo.create: capacity must be positive";
   { capacity;
+    lock = Mutex.create ();
     tbl = Hashtbl.create (min capacity 64);
     head = None;
     tail = None;
@@ -51,6 +58,7 @@ let push_front t node =
   t.head <- Some node
 
 let find t key =
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
   | None ->
     t.misses <- t.misses + 1;
@@ -62,6 +70,7 @@ let find t key =
     Some node.value
 
 let add t key value =
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
   | Some node ->
     node.value <- value;
@@ -83,13 +92,19 @@ let add t key value =
     end
     else false
 
-let length t = Hashtbl.length t.tbl
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
 let capacity t = t.capacity
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 
 let clear t =
+  Mutex.protect t.lock @@ fun () ->
   Hashtbl.reset t.tbl;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  (* A reset cache has no history: stale hit/miss/eviction counts would
+     otherwise leak into the config.cache_* metrics of the next run. *)
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

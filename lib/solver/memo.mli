@@ -6,7 +6,12 @@
     design solver creates one per solve and shares it across the greedy,
     refit and polish stages through [Config_solver.options].
 
-    Not thread-safe: one cache per solver run, like the RNG. *)
+    Domain-safe: a single internal mutex serializes find/add/clear, so
+    the worker domains of the parallel refit stage can share one cache.
+    Values for a given key are identical by construction (the
+    configuration solver is a pure function of the fingerprinted
+    inputs), so concurrent fills are result-transparent — only the
+    hit/miss split depends on scheduling. *)
 
 type 'a t
 
@@ -32,4 +37,6 @@ val evictions : 'a t -> int
     configuration solver when observability is on. *)
 
 val clear : 'a t -> unit
-(** Drop every entry (counters are kept). *)
+(** Drop every entry and zero the hit/miss/eviction counters: a reset
+    cache has no history, and keeping the old counts would report stale
+    [config.cache_*] figures for whatever runs after the reset. *)

@@ -23,9 +23,21 @@ let state ?(options = Config_solver.search_options) ?(obs = Obs.noop) ~rng
   { rng; history = Layout.History.create (); likelihood; options; obs;
     evaluations = 0 }
 
+let fork ?obs state ~rng =
+  { rng;
+    history = Layout.History.fork state.history;
+    likelihood = state.likelihood;
+    options = state.options;  (* shares the memo cache, which is mutexed *)
+    obs = Option.value ~default:state.obs obs;
+    evaluations = 0 }
+
+let merge ~into probe =
+  into.evaluations <- into.evaluations + probe.evaluations;
+  Layout.History.absorb ~into:into.history probe.history
+
 let count_evaluation state =
   state.evaluations <- state.evaluations + 1;
-  Obs.incr state.obs "solver.evaluations" 
+  Obs.incr state.obs "solver.evaluations"
 
 let eligible_techniques app =
   Technique_catalog.eligible_for (App.category app)

@@ -37,6 +37,21 @@ val state :
   Likelihood.t ->
   state
 
+val fork : ?obs:Ds_obs.Obs.t -> state -> rng:Rng.t -> state
+(** A probe-local state for the parallel refit: its own RNG stream, a
+    {!Layout.History.fork} of the parent's layout history, and a zeroed
+    evaluation counter. The likelihood and configuration options
+    (including the shared, mutex-guarded memo cache) are shared with the
+    parent. [obs] overrides the observability capability — worker
+    domains pass a trace-stripped one ({!Ds_obs.Obs.without_trace})
+    because the span collector is not domain-safe. *)
+
+val merge : into:state -> state -> unit
+(** Fold a fork's results back into its parent: add its evaluation
+    count and absorb its layout-history records. Called by the
+    coordinator in probe-index order after the round's domains join, so
+    the merged state is identical however probes were scheduled. *)
+
 val count_evaluation : state -> unit
 (** Bump the configuration-solver call counter (and the
     [solver.evaluations] metric). Every [Config_solver.solve] performed

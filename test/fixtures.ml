@@ -61,6 +61,19 @@ let feasible = function
   | Error e ->
     Alcotest.failf "unexpected infeasibility: %a" Design.Provision.pp_infeasibility e
 
+(* Domain count the solver tests run with. CI sets DS_TEST_DOMAINS=4 to
+   exercise the parallel refit; the default single domain keeps local
+   runs cheap. Results are domain-count-invariant by design, so the
+   whole suite must pass identically under either setting. *)
+let test_domains =
+  match Sys.getenv_opt "DS_TEST_DOMAINS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None ->
+       invalid_arg ("DS_TEST_DOMAINS must be a positive integer, got " ^ s))
+
 (* The canonical two-app world: B mirrored+backed up, S tape-only, both
    primaries at site 1. *)
 let two_app_design () =

@@ -33,7 +33,8 @@ let fast_params =
       { Config_solver.search_options with
         Config_solver.max_growth_steps = 2;
         window_scope = Config_solver.Skip };
-    polish = None }
+    polish = None;
+    domains = Fixtures.test_domains }
 
 let pipeline_tests =
   [ Alcotest.test_case "solve, save, reload, audit: identical cost" `Slow

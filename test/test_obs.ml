@@ -330,9 +330,68 @@ let fast_options =
 let fast_params =
   { Design_solver.default_params with
     Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
-    stage1_restarts = 2; options = fast_options }
+    stage1_restarts = 2; options = fast_options;
+    domains = Fixtures.test_domains }
 
 let solver_tests =
+  [ Alcotest.test_case
+      "same seed, byte-identical design with 1 domain vs 4" `Slow
+      (fun () ->
+         (* The determinism contract of the parallel refit: the domain
+            count schedules work, it must never steer it. Probe RNG
+            streams are pre-split in index order and probe results merge
+            in index order, so sequential and 4-domain runs agree to the
+            byte — and do exactly the same amount of search work. *)
+         let solve domains =
+           let params =
+             { fast_params with
+               Design_solver.breadth = 4; refit_rounds = 3; patience = 2;
+               domains }
+           in
+           Design_solver.solve ~params (Fixtures.peer_env ())
+             (Experiments.Envs.peer_apps ()) Likelihood.default
+         in
+         match solve 1, solve 4 with
+         | Some seq, Some par ->
+           check_string "byte-identical design"
+             (Design.Design_io.to_string seq.Design_solver.best.Candidate.design)
+             (Design.Design_io.to_string par.Design_solver.best.Candidate.design);
+           Alcotest.(check (float 1e-9)) "identical cost"
+             (Money.to_dollars (Candidate.cost seq.Design_solver.best))
+             (Money.to_dollars (Candidate.cost par.Design_solver.best));
+           check_int "identical evaluation count"
+             seq.Design_solver.evaluations par.Design_solver.evaluations;
+           check_int "identical refit rounds" seq.Design_solver.refit_rounds_run
+             par.Design_solver.refit_rounds_run
+         | _ -> Alcotest.fail "solver found no design");
+    Alcotest.test_case "Metrics.incr is domain-safe" `Quick (fun () ->
+        (* 4 domains x 25k increments on one counter, plus concurrent
+           gauge_add and histogram observes: nothing may be lost. With
+           the old plain-int cells this dropped updates. *)
+        let reg = Metrics.create () in
+        let per_domain = 25_000 in
+        let worker () =
+          (* Look the instruments up inside the domain: registry lookup
+             itself must also be safe under contention. *)
+          let c = Metrics.counter reg "race.count" in
+          let g = Metrics.gauge reg "race.gauge" in
+          let h = Metrics.histogram reg "race.hist" in
+          for _ = 1 to per_domain do
+            Metrics.incr c;
+            Metrics.gauge_add g 1.;
+            Metrics.observe h 0.5
+          done
+        in
+        let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+        List.iter Domain.join domains;
+        check_int "no lost counter increments" (4 * per_domain)
+          (Metrics.count (Metrics.counter reg "race.count"));
+        Alcotest.(check (float 1e-6)) "no lost gauge adds"
+          (float_of_int (4 * per_domain))
+          (Metrics.value (Metrics.gauge reg "race.gauge"));
+        check_int "no lost observations" (4 * per_domain)
+          (Metrics.observations (Metrics.histogram reg "race.hist"))) ]
+  @
   [ Alcotest.test_case
       "same seed, identical design with instrumentation on vs off" `Slow
       (fun () ->

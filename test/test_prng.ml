@@ -154,6 +154,60 @@ let sample_tests =
          let g = Rng.of_int 11 in
          let arr = Array.of_list ws in
          let i = Sample.weighted_index g arr in
-         i >= 0 && i < Array.length arr) ]
+         i >= 0 && i < Array.length arr);
+    Alcotest.test_case "weighted_index never lands on a trailing zero" `Quick
+      (fun () ->
+         (* The roulette scan's rounding fallback is the last index; with
+            [| 1.; 0. |] that index has zero weight, so the clamp to the
+            last positive-weight entry is what keeps index 1 out. *)
+         let g = Rng.of_int 12 in
+         for _ = 1 to 2000 do
+           check_int "only the positive entry" 0
+             (Sample.weighted_index g [| 1.; 0. |])
+         done;
+         for _ = 1 to 2000 do
+           check_int "trailing zero block" 1
+             (Sample.weighted_index g [| 0.; 0.5; 0.; 0.; 0. |])
+         done);
+    prop "weighted_index returns a positive-weight index when one exists"
+      QCheck2.Gen.(
+        pair small_nat
+          (list_size (int_range 1 12)
+             (oneof [ pure 0.; float_range 0.01 5. ])))
+      (fun (seed, ws) ->
+         let arr = Array.of_list ws in
+         let g = Rng.of_int (13 + seed) in
+         let some_positive = Array.exists (fun w -> w > 0.) arr in
+         let ok = ref true in
+         for _ = 1 to 50 do
+           let i = Sample.weighted_index g arr in
+           if some_positive && arr.(i) <= 0. then ok := false
+         done;
+         !ok);
+    prop "weighted_index frequencies track the weights"
+      QCheck2.Gen.(
+        pair small_nat (list_size (int_range 2 6) (float_range 0.5 4.)))
+      (fun (seed, ws) ->
+         let arr = Array.of_list ws in
+         let n = Array.length arr in
+         let total = Array.fold_left ( +. ) 0. arr in
+         let draws = 20_000 in
+         let g = Rng.of_int (1031 * (seed + 1)) in
+         let counts = Array.make n 0 in
+         for _ = 1 to draws do
+           let i = Sample.weighted_index g arr in
+           counts.(i) <- counts.(i) + 1
+         done;
+         (* Weights are bounded in [0.5, 4], so every expected fraction
+            is at least 0.5/(6*4) ~ 2%; a 3-sigma-ish absolute tolerance
+            on 20k draws separates signal from noise comfortably. *)
+         let ok = ref true in
+         Array.iteri
+           (fun i w ->
+              let expected = w /. total in
+              let got = float_of_int counts.(i) /. float_of_int draws in
+              if Float.abs (got -. expected) > 0.02 then ok := false)
+           arr;
+         !ok) ]
 
 let suites = [ ("prng.rng", rng_tests); ("prng.sample", sample_tests) ]

@@ -30,7 +30,8 @@ let fast_options =
 let fast_params =
   { Design_solver.default_params with
     Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
-    stage1_restarts = 2; options = fast_options }
+    stage1_restarts = 2; options = fast_options;
+    domains = Fixtures.test_domains }
 
 let layout_tests =
   [ Alcotest.test_case "enumerate_primaries offers every fitting slot/model"
@@ -290,6 +291,35 @@ let design_solver_tests =
         check_bool "no design" true
           (Design_solver.solve ~params:fast_params env (peer_apps ()) likelihood
            = None));
+    Alcotest.test_case "a failed round does not abort the remaining rounds"
+      `Slow (fun () ->
+          (* Regression: the refit loop used to return outright when a
+             round produced no feasible candidate, silently abandoning
+             every remaining round. A failed round must instead count
+             against patience like a non-improving one. breadth = 0
+             makes every round fail deterministically, so the fixed
+             solver runs until patience (3 rounds) while the old one
+             stopped after 1. *)
+          let params =
+            { fast_params with
+              Design_solver.breadth = 0; refit_rounds = 10; patience = 3 }
+          in
+          let state =
+            Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 23)
+              likelihood
+          in
+          match
+            Design_solver.greedy state fast_params (Fixtures.peer_env ())
+              (peer_apps ())
+          with
+          | None -> Alcotest.fail "greedy failed"
+          | Some start ->
+            let refined, rounds_run = Design_solver.refit state params start in
+            check_int "failed rounds count against patience, not the search"
+              3 rounds_run;
+            check_bool "incumbent unchanged" true
+              (Money.compare (Candidate.cost refined) (Candidate.cost start)
+               = 0));
     Alcotest.test_case "high-outage apps get failover in the solution" `Slow
       (fun () ->
          match
@@ -343,16 +373,43 @@ let memo_tests =
          check_bool "adding c evicts b" true (Solver.Memo.add m "c" 3);
          check_bool "b evicted" true (Solver.Memo.find m "b" = None);
          check_bool "a updated" true (Solver.Memo.find m "a" = Some 10));
-    Alcotest.test_case "clear empties entries but keeps counters" `Quick
+    Alcotest.test_case "clear empties entries and zeros the counters" `Quick
       (fun () ->
          let m = Solver.Memo.create ~capacity:2 () in
          ignore (Solver.Memo.add m "a" 1);
+         ignore (Solver.Memo.add m "b" 2);
          check_bool "hit" true (Solver.Memo.find m "a" = Some 1);
+         ignore (Solver.Memo.add m "c" 3) (* evicts *);
          Solver.Memo.clear m;
          check_int "empty" 0 (Solver.Memo.length m);
+         (* A reset cache has no history: stale counters would misreport
+            the config.cache_* metrics of whatever runs next. *)
+         check_int "hits zeroed" 0 (Solver.Memo.hits m);
+         check_int "misses zeroed" 0 (Solver.Memo.misses m);
+         check_int "evictions zeroed" 0 (Solver.Memo.evictions m);
+         check_int "capacity kept" 2 (Solver.Memo.capacity m);
          check_bool "gone" true (Solver.Memo.find m "a" = None);
-         check_int "hits kept" 1 (Solver.Memo.hits m);
-         check_int "capacity kept" 2 (Solver.Memo.capacity m));
+         check_int "post-clear miss counted" 1 (Solver.Memo.misses m));
+    Alcotest.test_case "concurrent fills keep the table consistent" `Quick
+      (fun () ->
+         (* 4 domains hammer a small shared cache with overlapping keys:
+            the linked list must stay consistent (no crash, no lost
+            structure) and the bookkeeping must balance. *)
+         let m = Solver.Memo.create ~capacity:8 () in
+         let worker d () =
+           for i = 0 to 999 do
+             let key = "k" ^ string_of_int ((i + d) mod 16) in
+             (match Solver.Memo.find m key with
+              | Some _ -> ()
+              | None -> ignore (Solver.Memo.add m key (i * d)));
+             ignore (Solver.Memo.length m)
+           done
+         in
+         let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+         List.iter Domain.join domains;
+         check_bool "within capacity" true (Solver.Memo.length m <= 8);
+         check_int "every lookup hit or missed" 4000
+           (Solver.Memo.hits m + Solver.Memo.misses m));
     Alcotest.test_case "zero capacity is rejected" `Quick (fun () ->
         Alcotest.check_raises "invalid"
           (Invalid_argument "Memo.create: capacity must be positive")
