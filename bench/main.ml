@@ -304,10 +304,11 @@ let parallel_refit_speedup () =
      exit 1)
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks                                           *)
+(* Exec pool: Monte Carlo years and experiment sweeps                  *)
 (* ------------------------------------------------------------------ *)
 
-(* A deterministic feasible design to benchmark kernels on. *)
+(* A deterministic feasible design to benchmark kernels on (also the
+   bechamel fixture below). *)
 let kernel_fixture () =
   let env = E.Envs.peer_sites () in
   let apps = E.Envs.peer_apps () in
@@ -321,6 +322,89 @@ let kernel_fixture () =
     | None -> build (seed + 1)
   in
   build 99
+
+(* Head-to-head: the same Monte Carlo risk simulation run sequentially
+   and on a 4-domain Exec pool. Year_sim pre-splits one RNG stream per
+   fixed-size chunk of years in chunk order, so the pool width is pure
+   scheduling — the section proves the identity (the full yearly arrays,
+   not just the aggregates) and then reports the speedup. CI's
+   bench-smoke job gates on "year_sim parallel" not being slower than
+   "year_sim sequential". *)
+let year_sim_speedup () =
+  section "Exec pool: Monte Carlo years (sequential vs 4 domains)";
+  let _, prov = kernel_fixture () in
+  let likelihood = Likelihood.default in
+  let years = 400_000 in
+  let run label domains =
+    timed label (fun () ->
+        Risk.Year_sim.simulate ~years ~obs ~pool:(Exec.create ~domains ())
+          (Prng.Rng.of_int 42) prov likelihood)
+  in
+  let sequential = run "year_sim sequential" 1 in
+  let parallel = run "year_sim parallel" 4 in
+  if sequential.Risk.Year_sim.years <> parallel.Risk.Year_sim.years then begin
+    prerr_endline
+      "FATAL: Exec pool changed the Monte Carlo sample (yearly results \
+       differ between 1 and 4 domains)";
+    exit 1
+  end;
+  let seconds label = List.assoc label !sections in
+  Format.fprintf fmt
+    "domain transparency: OK (identical %d-year samples)@.speedup: %.2fx \
+     on %d cores (sequential %.1fs, 4 domains %.1fs)@."
+    years
+    (seconds "year_sim sequential" /. seconds "year_sim parallel")
+    (Domain.recommended_domain_count ())
+    (seconds "year_sim sequential") (seconds "year_sim parallel")
+
+(* Head-to-head: the same sensitivity sweep with its points scheduled
+   sequentially and on a 4-domain Exec pool (each point's solver runs
+   single-domain either way; the sweep level is where the parallelism
+   lives). Points are compared fatally before reporting the speedup.
+   CI's bench-smoke job gates on "sweep parallel" not being slower than
+   "sweep sequential". *)
+let sweep_speedup () =
+  section "Exec pool: sensitivity sweep (sequential vs 4 domains)";
+  let sweep_rates = [ 2.; 1.; 0.5; 0.25 ] in
+  let trimmed =
+    { budgets with
+      E.Budgets.solver =
+        { budgets.E.Budgets.solver with
+          Design_solver.refit_rounds = 2; depth = 2; breadth = 2;
+          stage1_restarts = 2 } }
+  in
+  let run label domains =
+    timed label (fun () ->
+        E.Sensitivity.run
+          ~budgets:(E.Budgets.with_domains trimmed domains)
+          ~rates:sweep_rates ~apps:4 E.Sensitivity.Object_failure)
+  in
+  let sequential = run "sweep sequential" 1 in
+  let parallel = run "sweep parallel" 4 in
+  let totals points =
+    List.map
+      (fun (p : E.Sensitivity.point) ->
+         (p.E.Sensitivity.rate, Option.map Summary.total p.E.Sensitivity.summary))
+      points
+  in
+  if totals sequential <> totals parallel then begin
+    prerr_endline
+      "FATAL: Exec pool changed the sensitivity sweep (points differ \
+       between 1 and 4 domains)";
+    exit 1
+  end;
+  let seconds label = List.assoc label !sections in
+  Format.fprintf fmt
+    "domain transparency: OK (identical %d-point sweeps)@.speedup: %.2fx \
+     on %d cores (sequential %.1fs, 4 domains %.1fs)@."
+    (List.length sweep_rates)
+    (seconds "sweep sequential" /. seconds "sweep parallel")
+    (Domain.recommended_domain_count ())
+    (seconds "sweep sequential") (seconds "sweep parallel")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
 
 let bechamel_suite () =
   section "Microbenchmarks (bechamel)";
@@ -408,6 +492,14 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* And for the Exec-pool head-to-heads (year_sim + sweep). *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_EXEC" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    year_sim_speedup ();
+    sweep_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -428,6 +520,8 @@ let () =
   timed "ablations" ablations;
   cache_speedup ();
   parallel_refit_speedup ();
+  year_sim_speedup ();
+  sweep_speedup ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

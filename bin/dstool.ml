@@ -89,9 +89,10 @@ let apply_cache no_cache (budget : E.Budgets.t) =
         { budget.E.Budgets.solver with Design_solver.config_cache_size = 0 } }
   else budget
 
-(* Like the memo cache, the parallel refit is result-transparent: probe
-   RNG streams are pre-split in probe order and probe results merge in
-   probe order, so the domain count only changes wall time. *)
+(* Like the memo cache, the Exec pool is result-transparent: every
+   consumer pre-splits RNG streams in task order and merges results in
+   task order, so the domain count only changes wall time (DESIGN.md
+   §10). *)
 let domains_conv =
   let parse s =
     match int_of_string_opt s with
@@ -105,15 +106,14 @@ let domains_conv =
 let domains_term =
   Arg.(value & opt domains_conv 1
        & info [ "domains" ] ~docv:"N"
-           ~doc:"Run each refit round's probe walks on N OCaml domains \
-                 (default 1, sequential). Deterministic: a fixed seed \
-                 yields the byte-identical design whatever N is; only \
-                 wall time changes. Counts above the refit breadth are \
+           ~doc:"Run the command's parallelizable work — refit probe \
+                 walks, simulated years, experiment sweep points — on N \
+                 OCaml domains (default 1, sequential). Deterministic: a \
+                 fixed seed yields byte-identical output whatever N is; \
+                 only wall time changes. Counts above the task count are \
                  clamped to it.")
 
-let apply_domains domains (budget : E.Budgets.t) =
-  { budget with
-    E.Budgets.solver = { budget.E.Budgets.solver with Design_solver.domains } }
+let apply_domains = Fun.flip E.Budgets.with_domains
 
 let obs_of (trace, metrics, progress) =
   if trace = None && (not metrics) && progress = None then Obs.noop
@@ -387,7 +387,8 @@ let risk_cmd =
     | Error msg -> `Error (false, msg)
     | Ok prov ->
       let rng = Prng.Rng.of_int seed in
-      let sim = Risk.Year_sim.simulate ~years ~obs rng prov likelihood in
+      let pool = Exec.create ~domains () in
+      let sim = Risk.Year_sim.simulate ~years ~obs ~pool rng prov likelihood in
       Format.fprintf fmt "%a@." Risk.Year_sim.pp sim;
       let analytic = Cost.Penalty.expected_annual prov likelihood in
       Format.fprintf fmt "analytic expectation: %s@."
@@ -430,8 +431,8 @@ let ablate_cmd =
     Arg.(value & pos 0 which_conv `All
          & info [] ~docv:"WHICH" ~doc:"stages, config, vault, scheduling or all.")
   in
-  let run seed budget which =
-    let budgets = E.Budgets.with_seed budget seed in
+  let run seed budget which domains =
+    let budgets = apply_domains domains (E.Budgets.with_seed budget seed) in
     let sections =
       [ (`Stages, "Design-solver stages (peer sites)",
          fun () -> E.Ablation.solver_stages ~budgets ());
@@ -455,7 +456,7 @@ let ablate_cmd =
   Cmd.v
     (Cmd.info "ablate"
        ~doc:"Ablation studies of the tool's own design choices.")
-    Term.(const run $ seed_term $ budget_term $ which_term)
+    Term.(const run $ seed_term $ budget_term $ which_term $ domains_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -528,15 +529,15 @@ let scale_cmd =
          & info [ "rounds" ] ~docv:"R1,R2,..."
              ~doc:"Scaling rounds (4 applications each).")
   in
-  let run seed budget rounds =
-    let budget = E.Budgets.with_seed budget seed in
+  let run seed budget rounds domains =
+    let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
     let points = E.Scalability.run ~budgets:budget ~rounds () in
     E.Report.figure4 fmt points
   in
   Cmd.v
     (Cmd.info "scale"
        ~doc:"Scalability experiment on four fully connected sites (Figure 4).")
-    Term.(const run $ seed_term $ budget_term $ rounds_term)
+    Term.(const run $ seed_term $ budget_term $ rounds_term $ domains_term)
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)
@@ -561,15 +562,16 @@ let sensitivity_cmd =
   let apps_count_term =
     Arg.(value & opt int 16 & info [ "apps" ] ~docv:"N" ~doc:"Applications.")
   in
-  let run seed budget axis apps =
-    let budget = E.Budgets.with_seed budget seed in
+  let run seed budget axis apps domains =
+    let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
     let points = E.Sensitivity.run ~budgets:budget ~apps axis in
     E.Report.sensitivity fmt axis points
   in
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Failure-likelihood sensitivity sweeps (Figures 5-7).")
-    Term.(const run $ seed_term $ budget_term $ axis_term $ apps_count_term)
+    Term.(const run $ seed_term $ budget_term $ axis_term $ apps_count_term
+          $ domains_term)
 
 (* ------------------------------------------------------------------ *)
 (* diff                                                                *)
@@ -611,9 +613,9 @@ let frontier_cmd =
          & info [ "multipliers" ] ~docv:"M1,M2,..."
              ~doc:"Risk-aversion multipliers applied to the penalty rates.")
   in
-  let run env apps seed budget likelihood multipliers =
+  let run env apps seed budget likelihood multipliers domains =
     let env, workloads = resolve_env env apps in
-    let budget = E.Budgets.with_seed budget seed in
+    let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
     let points =
       E.Frontier.run ~budgets:budget ~multipliers env workloads likelihood
     in
@@ -625,7 +627,7 @@ let frontier_cmd =
        ~doc:"Sweep a risk-aversion multiplier and trace the outlay vs \
              expected-penalty trade-off frontier.")
     Term.(const run $ env_term $ apps_term $ seed_term $ budget_term
-          $ likelihood_term $ multipliers_term)
+          $ likelihood_term $ multipliers_term $ domains_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

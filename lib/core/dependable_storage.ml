@@ -131,6 +131,12 @@ module Trace = struct
   module Characterize = Ds_trace.Characterize
 end
 
+module Exec = Ds_exec.Exec
+(** Deterministic domain-pool executor. [Exec.create ~domains:4 ()] gives
+    a pool you can hand to [Risk.Year_sim.simulate ~pool] or set on
+    experiment budgets via [Experiments.Budgets.with_domains]; every
+    consumer's results are identical at any width (DESIGN.md Â§10). *)
+
 module Obs = Ds_obs.Obs
 (** Observability capability: metrics, span tracing and solver progress.
     Pass [~obs:(Obs.create ~metrics:true ())] (or any sink combination)

@@ -1,0 +1,69 @@
+module Rng = Ds_prng.Rng
+module Obs = Ds_obs.Obs
+
+type pool = { domains : int }
+
+let create ?(domains = 1) () =
+  if domains < 1 then invalid_arg "Exec.create: domains must be >= 1";
+  { domains }
+
+let sequential = { domains = 1 }
+
+let domains pool = pool.domains
+
+let workers pool ~tasks = max 1 (min pool.domains tasks)
+
+let worker_obs pool ~tasks obs =
+  if workers pool ~tasks > 1 then Obs.without_trace obs else obs
+
+let mapi pool f tasks =
+  let n = Array.length tasks in
+  let w = workers pool ~tasks:n in
+  if w = 1 then Array.mapi f tasks
+  else begin
+    (* Slot [i] belongs to task [i] alone: the strided schedule below
+       assigns disjoint index sets to the domains, so the two arrays
+       are written race-free without locks. *)
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let run_one i =
+      match f i tasks.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    (* Strided assignment: domain [k] runs tasks [k], [k + w], ... The
+       coordinator takes stride 0. Which domain runs which task is
+       irrelevant to the output — results land by task index. *)
+    let stride k =
+      let i = ref k in
+      while !i < n do
+        run_one !i;
+        i := !i + w
+      done
+    in
+    let spawned =
+      List.init (w - 1) (fun j -> Domain.spawn (fun () -> stride (j + 1)))
+    in
+    stride 0;
+    List.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (e, backtrace) -> Printexc.raise_with_backtrace e backtrace
+        | None -> ())
+      failures;
+    Array.map Option.get results
+  end
+
+let map pool f tasks = mapi pool (fun _ x -> f x) tasks
+
+let map_rng pool ~rng f tasks =
+  let n = Array.length tasks in
+  (* Pre-split in index order on the calling domain: every task's
+     stream is fixed here, before any task runs anywhere. *)
+  let rngs = Array.make n rng in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  mapi pool (fun i x -> f rngs.(i) x) tasks
+
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))

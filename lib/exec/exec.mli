@@ -1,0 +1,81 @@
+(** Deterministic domain-pool executor.
+
+    Every parallel layer in this tree (the design solver's refit probes,
+    the Monte Carlo year simulation, the experiment sweeps) has the same
+    shape: a fixed array of independent tasks whose results must not
+    depend on how they are scheduled. This module owns that contract
+    once, instead of each layer re-deriving it by hand:
+
+    - {b RNG pre-splitting.} {!map_rng} splits one generator per task
+      off the caller's stream {e in task-index order, before any task
+      runs}, so every task's randomness is fixed independent of which
+      domain executes it or in what order tasks finish.
+    - {b Index-order merge.} Results come back as an array indexed like
+      the input: position [i] holds task [i]'s result, whatever the
+      schedule. Callers that fold results do so in task-index order,
+      making tie-breaking schedule-independent.
+    - {b Trace-stripped observability.} {!worker_obs} strips the span
+      collector (which assumes single-threaded nesting) from a
+      capability exactly when the pool will actually run tasks off the
+      calling domain; metrics and progress sinks are domain-safe and
+      stay on.
+    - {b Exception capture.} A task that raises does not tear down a
+      worker domain mid-pool: exceptions are caught where they occur
+      and re-raised on the calling domain after every domain joins —
+      the lowest-index failure wins, with its original backtrace.
+      Which {e other} tasks ran by then is unspecified (a sequential
+      pool stops at the failure; a parallel pool has already started
+      later tasks).
+
+    The contract, identical to the parallel refit's (DESIGN.md §10):
+    {b the domain count is pure scheduling — a fixed seed yields
+    bit-identical results whatever [domains] is.} *)
+
+module Rng = Ds_prng.Rng
+module Obs = Ds_obs.Obs
+
+type pool
+(** A scheduling handle: how many OCaml domains a [map] may use.
+    Pools are cheap immutable values, reusable across any number of
+    calls; domains are spawned per call (and only when both the pool
+    and the task count allow more than one worker). *)
+
+val create : ?domains:int -> unit -> pool
+(** [create ~domains ()] makes a pool of at most [domains] workers
+    (default [1]). [domains = 1] degrades every map below to a plain
+    sequential loop with zero [Domain.spawn].
+    @raise Invalid_argument when [domains < 1]. *)
+
+val sequential : pool
+(** [create ~domains:1 ()]. *)
+
+val domains : pool -> int
+
+val workers : pool -> tasks:int -> int
+(** The number of domains a map over [tasks] tasks will actually use:
+    [max 1 (min (domains pool) tasks)] — never more domains than
+    tasks. *)
+
+val worker_obs : pool -> tasks:int -> Obs.t -> Obs.t
+(** The observability capability tasks should run under: [obs]
+    unchanged when [workers pool ~tasks = 1] (single-threaded, spans
+    nest fine), {!Ds_obs.Obs.without_trace} otherwise. Instrumentation
+    never draws RNG, so this cannot steer results. *)
+
+val map : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f tasks] is [Array.map f tasks], scheduled across
+    [workers pool ~tasks] domains. [(map pool f tasks).(i) = f tasks.(i)]
+    for every [i]; tasks must not share mutable state unless that state
+    is domain-safe. *)
+
+val mapi : pool -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_rng : pool -> rng:Rng.t -> (Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_rng pool ~rng f tasks] first advances [rng] by splitting one
+    independent stream per task (in task-index order, on the calling
+    domain), then maps [f stream.(i) tasks.(i)] like {!map}. The
+    per-task draws are therefore a function of [rng]'s state and the
+    task count alone — never of the domain count. *)
+
+val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)

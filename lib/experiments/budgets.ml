@@ -5,13 +5,15 @@ type t = {
   human_attempts : int;
   random_attempts : int;
   space_samples : int;
+  domains : int;
 }
 
 let default =
   { solver = Design_solver.default_params;
     human_attempts = 30;
     random_attempts = 150;
-    space_samples = 20_000 }
+    space_samples = 20_000;
+    domains = 1 }
 
 let quick =
   { solver =
@@ -19,7 +21,13 @@ let quick =
         Design_solver.refit_rounds = 4; depth = 3; stage1_restarts = 3 };
     human_attempts = 10;
     random_attempts = 40;
-    space_samples = 4_000 }
+    space_samples = 4_000;
+    domains = 1 }
 
 let with_seed t seed =
   { t with solver = { t.solver with Design_solver.seed } }
+
+let with_domains t domains =
+  { t with domains; solver = { t.solver with Design_solver.domains } }
+
+let sequential t = with_domains t 1

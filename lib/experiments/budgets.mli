@@ -11,8 +11,24 @@ type t = {
   human_attempts : int;
   random_attempts : int;
   space_samples : int;  (** Random designs for the Figure 2 histogram. *)
+  domains : int;
+      (** Width of the [Exec] pool the experiment harness schedules its
+          work items on (comparison arms, frontier multipliers,
+          sensitivity rates, scalability rounds). 1 (the default)
+          runs everything on the calling domain. Purely scheduling:
+          results are identical at every width (DESIGN.md §10). *)
 }
 
 val default : t
 val quick : t
 val with_seed : t -> int -> t
+
+val with_domains : t -> int -> t
+(** Sets both the harness pool width ({!field-domains}) and the design
+    solver's probe-level [domains] knob. An experiment that schedules
+    solver runs on a parallel pool drops the inner knob back to 1
+    ({!sequential}) so the two levels do not multiply. *)
+
+val sequential : t -> t
+(** [with_domains t 1]: the budgets with all parallelism stripped —
+    what experiments hand to work items already running on a pool. *)

@@ -8,45 +8,76 @@ module Design_solver = Ds_solver.Design_solver
 module Human = Ds_heuristics.Human
 module Random_search = Ds_heuristics.Random_search
 module Heuristic_result = Ds_heuristics.Heuristic_result
+module Obs = Ds_obs.Obs
+module Exec = Ds_exec.Exec
 
 type entry = {
   label : string;
   summary : Summary.t option;
 }
 
+(* Each arm seeds its generator at the shared budget seed plus its own
+   offset, so no two arms replay the same stream. The offsets are part of
+   the fixed-seed contract: changing one changes that arm's published
+   numbers. *)
+let solver_seed_offset = 0
+let random_seed_offset = 1
+let human_seed_offset = 2
+let annealing_seed_offset = 3
+let tabu_seed_offset = 4
+
+let arm_seed_offsets =
+  [ ("design tool", solver_seed_offset);
+    ("random", random_seed_offset);
+    ("human", human_seed_offset);
+    ("annealing", annealing_seed_offset);
+    ("tabu", tabu_seed_offset) ]
+
 let of_candidate label = function
   | Some c -> { label; summary = Some (Candidate.summary c) }
   | None -> { label; summary = None }
 
-let run ?(budgets = Budgets.default) ?(metaheuristics = false) ?obs env apps
-    likelihood =
-  let solver_entry =
-    Design_solver.solve ~params:budgets.Budgets.solver ?obs env apps likelihood
-    |> Option.map (fun o -> o.Design_solver.best)
-    |> of_candidate "design tool"
-  in
+let run ?(budgets = Budgets.default) ?(metaheuristics = false)
+    ?(obs = Obs.noop) env apps likelihood =
   let seed = budgets.Budgets.solver.Design_solver.seed in
-  let random_entry =
-    (Random_search.run ~attempts:budgets.Budgets.random_attempts ?obs
-       ~seed:(seed + 1) env apps likelihood).Heuristic_result.best
-    |> of_candidate "random"
+  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  (* Arms scheduled on a parallel pool run their solvers single-domain:
+     the parallelism lives at one level only. *)
+  let inner =
+    if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
   in
-  let human_entry =
-    (Human.run ~attempts:budgets.Budgets.human_attempts ?obs ~seed:(seed + 2)
-       env apps likelihood).Heuristic_result.best
-    |> of_candidate "human"
-  in
-  let extras =
+  let arms =
+    [ ( "design tool",
+        fun obs ->
+          Design_solver.solve ~params:inner.Budgets.solver ~obs env apps
+            likelihood
+          |> Option.map (fun o -> o.Design_solver.best) );
+      ( "random",
+        fun obs ->
+          (Random_search.run ~attempts:budgets.Budgets.random_attempts ~obs
+             ~seed:(seed + random_seed_offset) env apps likelihood)
+            .Heuristic_result.best );
+      ( "human",
+        fun obs ->
+          (Human.run ~attempts:budgets.Budgets.human_attempts ~obs
+             ~seed:(seed + human_seed_offset) env apps likelihood)
+            .Heuristic_result.best ) ]
+    @
     if not metaheuristics then []
     else
-      [ (Ds_heuristics.Annealing.run ?obs ~seed:(seed + 3) env apps likelihood)
-          .Heuristic_result.best
-        |> of_candidate "annealing";
-        (Ds_heuristics.Tabu.run ?obs ~seed:(seed + 4) env apps likelihood)
-          .Heuristic_result.best
-        |> of_candidate "tabu" ]
+      [ ( "annealing",
+          fun obs ->
+            (Ds_heuristics.Annealing.run ~obs
+               ~seed:(seed + annealing_seed_offset) env apps likelihood)
+              .Heuristic_result.best );
+        ( "tabu",
+          fun obs ->
+            (Ds_heuristics.Tabu.run ~obs ~seed:(seed + tabu_seed_offset) env
+               apps likelihood)
+              .Heuristic_result.best ) ]
   in
-  [ solver_entry; random_entry; human_entry ] @ extras
+  let obs = Exec.worker_obs pool ~tasks:(List.length arms) obs in
+  Exec.map_list pool (fun (label, arm) -> of_candidate label (arm obs)) arms
 
 let run_peer ?budgets () =
   run ?budgets (Envs.peer_sites ()) (Envs.peer_apps ()) Likelihood.default

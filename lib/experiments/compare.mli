@@ -12,6 +12,11 @@ type entry = {
   summary : Summary.t option;  (** [None] when no feasible design found. *)
 }
 
+val arm_seed_offsets : (string * int) list
+(** Per-arm RNG seed offsets, added to the budget's solver seed so no two
+    arms replay the same stream. Pairwise distinct (asserted by the test
+    suite); part of the fixed-seed output contract. *)
+
 val run :
   ?budgets:Budgets.t ->
   ?metaheuristics:bool ->
@@ -22,7 +27,12 @@ val run :
   entry list
 (** Entries in order: design tool, random, human — plus simulated
     annealing and tabu search when [metaheuristics] is set (the
-    related-work baselines, not part of the paper's Figure 3). *)
+    related-work baselines, not part of the paper's Figure 3).
+
+    Arms are scheduled on an [Exec] pool [budgets.domains] wide (results
+    are identical at every width; merge order is arm order). On a
+    parallel pool each arm's own solver runs single-domain and [obs] is
+    trace-stripped ([Exec.worker_obs]). *)
 
 val run_peer : ?budgets:Budgets.t -> unit -> entry list
 (** Figure 3's setting: the peer-sites case study. *)

@@ -7,6 +7,7 @@ module Outlay = Ds_cost.Outlay
 module Penalty = Ds_cost.Penalty
 module Candidate = Ds_solver.Candidate
 module Design_solver = Ds_solver.Design_solver
+module Exec = Ds_exec.Exec
 
 type point = {
   aversion : float;
@@ -27,11 +28,15 @@ let scale_app factor (app : App.t) =
 
 let run ?(budgets = Budgets.default) ?(multipliers = default_multipliers) env
     apps likelihood =
-  List.filter_map
+  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let inner =
+    if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
+  in
+  Exec.map_list pool
     (fun aversion ->
        let scaled = List.map (scale_app aversion) apps in
        match
-         Design_solver.solve ~params:budgets.Budgets.solver env scaled
+         Design_solver.solve ~params:inner.Budgets.solver env scaled
            likelihood
        with
        | None -> None
@@ -55,6 +60,7 @@ let run ?(budgets = Budgets.default) ?(multipliers = default_multipliers) env
                      Money.add eval.Evaluate.penalty.Penalty.outage_total
                        eval.Evaluate.penalty.Penalty.loss_total })))
     multipliers
+  |> List.filter_map Fun.id
 
 let run_peer ?budgets () =
   run ?budgets (Envs.peer_sites ()) (Envs.peer_apps ()) Likelihood.default

@@ -26,7 +26,10 @@ val run :
   Ds_workload.App.t list ->
   Ds_failure.Likelihood.t ->
   point list
-(** Infeasible settings are skipped. *)
+(** Infeasible settings are skipped. Multipliers are solved on an [Exec]
+    pool [budgets.domains] wide (identical points at every width, in
+    multiplier order); on a parallel pool each solve runs
+    single-domain. *)
 
 val run_peer : ?budgets:Budgets.t -> unit -> point list
 

@@ -1,6 +1,7 @@
 module Money = Ds_units.Money
 module Likelihood = Ds_failure.Likelihood
 module Summary = Ds_cost.Summary
+module Exec = Ds_exec.Exec
 
 type point = {
   apps : int;
@@ -18,10 +19,16 @@ let find entries label =
 
 let run ?(budgets = Budgets.default) ?(rounds = [ 1; 2; 3; 4; 5 ]) () =
   let env = Envs.quad_sites () in
-  List.map
+  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  (* Rounds are the outer unit of work; each round's Compare (and the
+     solvers underneath) runs sequentially when the pool is parallel. *)
+  let inner =
+    if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
+  in
+  Exec.map_list pool
     (fun round ->
        let apps = Envs.scaled_apps ~rounds:round in
-       let entries = Compare.run ~budgets env apps Likelihood.default in
+       let entries = Compare.run ~budgets:inner env apps Likelihood.default in
        { apps = List.length apps;
          design_tool = Option.bind (find entries "design tool") total;
          random = Option.bind (find entries "random") total;

@@ -13,4 +13,7 @@ type point = {
 
 val run : ?budgets:Budgets.t -> ?rounds:int list -> unit -> point list
 (** Default rounds 1..5 (4 to 20 applications). Every heuristic gets the
-    same iteration budgets at every scale. *)
+    same iteration budgets at every scale. Rounds run on an [Exec] pool
+    [budgets.domains] wide (identical points at every width, in round
+    order); on a parallel pool each round's comparison — arms and
+    solvers — runs sequentially. *)

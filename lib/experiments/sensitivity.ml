@@ -3,6 +3,7 @@ module Likelihood = Ds_failure.Likelihood
 module Summary = Ds_cost.Summary
 module Candidate = Ds_solver.Candidate
 module Design_solver = Ds_solver.Design_solver
+module Exec = Ds_exec.Exec
 
 type axis = Object_failure | Array_failure | Site_failure
 
@@ -40,11 +41,15 @@ let run ?(budgets = Budgets.default) ?rates ?(apps = 16) axis =
   let env = Envs.quad_sites () in
   let rounds = (apps + 3) / 4 in
   let workloads = Envs.scaled_apps ~rounds in
-  List.map
+  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let inner =
+    if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
+  in
+  Exec.map_list pool
     (fun rate ->
        let likelihood = likelihood_for axis rate in
        let summary =
-         Design_solver.solve ~params:budgets.Budgets.solver env workloads
+         Design_solver.solve ~params:inner.Budgets.solver env workloads
            likelihood
          |> Option.map (fun o -> Candidate.summary o.Design_solver.best)
        in

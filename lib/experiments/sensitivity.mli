@@ -28,4 +28,6 @@ type point = {
 
 val run : ?budgets:Budgets.t -> ?rates:float list -> ?apps:int -> axis -> point list
 (** Runs the design tool at each rate (default: the paper's sweep,
-    16 applications). *)
+    16 applications). Rates are solved on an [Exec] pool
+    [budgets.domains] wide (identical points at every width, in rate
+    order); on a parallel pool each solve runs single-domain. *)

@@ -9,21 +9,30 @@ type entry = {
   event : event;
 }
 
+(* The stream is shared across domains when experiment arms run on an
+   [Exec] pool (each arm's solver emits its own progress events), so
+   every access takes the lock. Event order between concurrent arms is
+   whatever the schedule produced; events within one arm stay ordered. *)
 type stream = {
+  lock : Mutex.t;
   mutable rev_entries : entry list;
   mutable best : float option;
   mutable accepted : int;
   mutable rejected : int;
 }
 
-let create () = { rev_entries = []; best = None; accepted = 0; rejected = 0 }
+let create () =
+  { lock = Mutex.create (); rev_entries = []; best = None; accepted = 0;
+    rejected = 0 }
 
 let push s evaluations event =
   s.rev_entries <- { evaluations; event } :: s.rev_entries
 
-let stage s ~evaluations name = push s evaluations (Stage name)
+let stage s ~evaluations name =
+  Mutex.protect s.lock (fun () -> push s evaluations (Stage name))
 
 let incumbent s ~evaluations cost =
+  Mutex.protect s.lock @@ fun () ->
   let improves =
     match s.best with None -> true | Some best -> cost < best
   in
@@ -33,17 +42,19 @@ let incumbent s ~evaluations cost =
   end
 
 let accepted s ~evaluations =
+  Mutex.protect s.lock @@ fun () ->
   s.accepted <- s.accepted + 1;
   push s evaluations Accepted
 
 let rejected s ~evaluations =
+  Mutex.protect s.lock @@ fun () ->
   s.rejected <- s.rejected + 1;
   push s evaluations Rejected
 
-let entries s = List.rev s.rev_entries
-let best s = s.best
-let accepted_count s = s.accepted
-let rejected_count s = s.rejected
+let entries s = Mutex.protect s.lock (fun () -> List.rev s.rev_entries)
+let best s = Mutex.protect s.lock (fun () -> s.best)
+let accepted_count s = Mutex.protect s.lock (fun () -> s.accepted)
+let rejected_count s = Mutex.protect s.lock (fun () -> s.rejected)
 
 let to_csv s =
   let buf = Buffer.create 1024 in

@@ -5,7 +5,12 @@
     incumbent-cost improvements, and refit acceptance decisions. The CSV
     export is the input for convergence plots; the incumbent column is
     monotonically non-increasing by construction ({!incumbent} drops
-    samples that do not improve on the best seen). *)
+    samples that do not improve on the best seen).
+
+    Streams are domain-safe (mutex-guarded): experiment arms running on
+    an [Exec] pool may share one. Events from concurrent recorders
+    interleave in schedule order; each recorder's own events stay
+    ordered. *)
 
 type event =
   | Stage of string  (** Search stage transition. *)

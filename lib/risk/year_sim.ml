@@ -6,6 +6,7 @@ module Scenario = Ds_failure.Scenario
 module Penalty = Ds_cost.Penalty
 module Simulate = Ds_recovery.Simulate
 module Obs = Ds_obs.Obs
+module Exec = Ds_exec.Exec
 
 type yearly = {
   outage : Money.t;
@@ -15,6 +16,7 @@ type yearly = {
 
 type t = {
   years : yearly array;
+  sorted_totals : float array;
   mean : Money.t;
   p50 : Money.t;
   p90 : Money.t;
@@ -36,7 +38,7 @@ let poisson rng lambda =
     go 0 1.
   end
 
-let sorted_totals years =
+let sort_totals years =
   let totals =
     Array.map (fun y -> Money.to_dollars (Money.add y.outage y.loss)) years
   in
@@ -48,7 +50,15 @@ let percentile_of_sorted totals q =
   let idx = int_of_float (q *. float_of_int (n - 1)) in
   Money.dollars totals.(max 0 (min (n - 1) idx))
 
-let simulate ?params ?(years = 10_000) ?(obs = Obs.noop) rng prov likelihood =
+(* Years are simulated in fixed-size chunks, each on its own RNG stream
+   pre-split (in chunk order) from the caller's generator. The chunk
+   size is a constant — never a function of the pool — so the drawn
+   sample depends only on the generator state and the year count: the
+   domain count is pure scheduling. *)
+let chunk_years = 1_024
+
+let simulate ?params ?(years = 10_000) ?(obs = Obs.noop)
+    ?(pool = Exec.sequential) rng prov likelihood =
   if years <= 0 then invalid_arg "Year_sim.simulate: years must be positive";
   Obs.with_span obs "risk.year_sim" @@ fun () ->
   Obs.add obs "risk.years" years;
@@ -69,7 +79,7 @@ let simulate ?params ?(years = 10_000) ?(obs = Obs.noop) rng prov likelihood =
         in
         (scen.Scenario.annual_rate, outage, loss))
   in
-  let run_year () =
+  let run_year rng =
     List.fold_left
       (fun acc (rate, outage, loss) ->
          let k = poisson rng rate in
@@ -81,16 +91,26 @@ let simulate ?params ?(years = 10_000) ?(obs = Obs.noop) rng prov likelihood =
       { outage = Money.zero; loss = Money.zero; events = 0 }
       per_event
   in
-  let years_arr = Array.init years (fun _ -> run_year ()) in
+  let chunks = (years + chunk_years - 1) / chunk_years in
+  let sizes =
+    Array.init chunks (fun i -> min chunk_years (years - (i * chunk_years)))
+  in
+  let years_arr =
+    Exec.map_rng pool ~rng
+      (fun rng size -> Array.init size (fun _ -> run_year rng))
+      sizes
+    |> Array.to_list |> Array.concat
+  in
   Obs.add obs "risk.events"
     (Array.fold_left (fun acc y -> acc + y.events) 0 years_arr);
-  let totals = sorted_totals years_arr in
+  let totals = sort_totals years_arr in
   let sum = Array.fold_left ( +. ) 0. totals in
   let quiet =
     Array.fold_left (fun acc y -> if y.events = 0 then acc + 1 else acc) 0
       years_arr
   in
   { years = years_arr;
+    sorted_totals = totals;
     mean = Money.dollars (sum /. float_of_int years);
     p50 = percentile_of_sorted totals 0.5;
     p90 = percentile_of_sorted totals 0.9;
@@ -100,7 +120,7 @@ let simulate ?params ?(years = 10_000) ?(obs = Obs.noop) rng prov likelihood =
 
 let percentile t q =
   if q < 0. || q > 1. then invalid_arg "Year_sim.percentile: q outside [0, 1]";
-  percentile_of_sorted (sorted_totals t.years) q
+  percentile_of_sorted t.sorted_totals q
 
 let pp ppf t =
   Format.fprintf ppf

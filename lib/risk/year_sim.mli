@@ -25,6 +25,9 @@ type yearly = {
 
 type t = {
   years : yearly array;  (** One entry per simulated year, in order. *)
+  sorted_totals : float array;
+      (** Annual totals (outage + loss, in dollars) sorted ascending —
+          computed once by {!simulate} and reused by {!percentile}. *)
   mean : Money.t;  (** Mean annual penalty (outage + loss). *)
   p50 : Money.t;
   p90 : Money.t;
@@ -37,18 +40,26 @@ val simulate :
   ?params:Ds_recovery.Recovery_params.t ->
   ?years:int ->
   ?obs:Ds_obs.Obs.t ->
+  ?pool:Ds_exec.Exec.pool ->
   Rng.t ->
   Provision.t ->
   Likelihood.t ->
   t
-(** Default 10,000 years. Deterministic for a given generator state;
-    [obs] (a [risk.year_sim] span, [risk.years] / [risk.events]
-    counters, and the per-scenario recovery simulation's metrics) never
-    affects the drawn sample.
+(** Default 10,000 years. The years loop runs in fixed-size chunks
+    scheduled across [pool] (default sequential), one RNG stream
+    pre-split per chunk in chunk order: the drawn sample is a function
+    of the generator state and [years] alone, so a fixed seed yields
+    bit-identical results whatever the pool's domain count is. (The
+    chunked pre-split changed the stream layout once, at the version
+    boundary — fixed-seed samples differ from pre-[pool] releases; see
+    DESIGN.md §10.) [obs] (a [risk.year_sim] span, [risk.years] /
+    [risk.events] counters, and the per-scenario recovery simulation's
+    metrics) never affects the drawn sample.
     @raise Invalid_argument when [years <= 0]. *)
 
 val percentile : t -> float -> Money.t
-(** [percentile t 0.95] is the 95th percentile of annual penalty cost.
+(** [percentile t 0.95] is the 95th percentile of annual penalty cost,
+    read off the stored {!field-sorted_totals} (no re-sort).
     @raise Invalid_argument outside [0, 1]. *)
 
 val pp : Format.formatter -> t -> unit

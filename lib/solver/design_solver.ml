@@ -6,6 +6,7 @@ module Likelihood = Ds_failure.Likelihood
 module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
 module Obs = Ds_obs.Obs
+module Exec = Ds_exec.Exec
 
 type params = {
   breadth : int;
@@ -113,60 +114,37 @@ let probe state params start =
   final
 
 (* One refit round: [breadth] probe walks, each on its own pre-split RNG
-   stream and its own fork of the master state. The pre-split (in probe
-   index order, on the coordinator) fixes every probe's randomness before
-   any runs, so scheduling the probes across [params.domains] domains —
-   or running them in order on one — produces bit-identical results. The
-   forks are merged back (and the best candidate chosen) in probe index
-   order; [Candidate.better] keeps its first argument on cost ties, so
-   ties break toward the lowest probe index. *)
+   stream and its own fork of the master state, scheduled across
+   [params.domains] domains by {!Exec}. The executor owns the
+   determinism machinery (index-order RNG pre-split, index-order result
+   merge, trace-stripped capabilities for worker domains); this function
+   only states what a probe is and how forks fold back. Forks are merged
+   in probe-index order, and [Candidate.better] keeps its first argument
+   on cost ties, so ties break toward the lowest probe index — the
+   domain count is pure scheduling. *)
 let run_probes state params current =
-  let n = params.breadth in
-  let rngs = Array.init n (fun _ -> Rng.split state.Reconfigure.rng) in
-  let workers = max 1 (min params.domains n) in
-  let obs =
-    (* The span collector assumes single-threaded nesting; worker domains
-       get a trace-stripped capability (metrics stay on — they are
-       atomic). Results are unaffected: instrumentation never draws RNG. *)
-    if workers = 1 then state.Reconfigure.obs
-    else Obs.without_trace state.Reconfigure.obs
+  let pool = Exec.create ~domains:(max 1 params.domains) () in
+  let obs = Exec.worker_obs pool ~tasks:params.breadth state.Reconfigure.obs in
+  let outcomes =
+    Exec.map_rng pool ~rng:state.Reconfigure.rng
+      (fun rng () ->
+         let local = Reconfigure.fork ~obs state ~rng in
+         let result =
+           match Reconfigure.reconfigure local current with
+           | Some neighbor -> Some (probe local params neighbor)
+           | None -> None
+         in
+         (local, result))
+      (Array.make params.breadth ())
   in
-  let locals =
-    Array.map (fun rng -> Reconfigure.fork ~obs state ~rng) rngs
-  in
-  let results = Array.make n None in
-  let run_one i =
-    match Reconfigure.reconfigure locals.(i) current with
-    | Some neighbor -> results.(i) <- Some (probe locals.(i) params neighbor)
-    | None -> ()
-  in
-  if workers = 1 then
-    for i = 0 to n - 1 do run_one i done
-  else begin
-    (* Strided assignment: domain [k] runs probes [k], [k + workers], ...
-       The coordinator takes stride 0; each probe touches only its own
-       slots of [locals] and [results]. *)
-    let stride k =
-      let i = ref k in
-      while !i < n do
-        run_one !i;
-        i := !i + workers
-      done
-    in
-    let spawned =
-      List.init (workers - 1) (fun j -> Domain.spawn (fun () -> stride (j + 1)))
-    in
-    stride 0;
-    List.iter Domain.join spawned
-  end;
-  Array.iter (fun local -> Reconfigure.merge ~into:state local) locals;
+  Array.iter (fun (local, _) -> Reconfigure.merge ~into:state local) outcomes;
   Array.fold_left
-    (fun best result ->
+    (fun best (_, result) ->
        match best, result with
        | None, r -> r
        | b, None -> b
        | Some b, Some r -> Some (Candidate.better b r))
-    None results
+    None outcomes
 
 let refit state params start =
   Obs.with_span state.Reconfigure.obs "solver.refit" @@ fun () ->

@@ -42,16 +42,16 @@ type params = {
   domains : int;
       (** Number of OCaml domains running each refit round's [breadth]
           probe walks ([dstool --domains]). [1] (the default) runs them
-          in order on the calling domain; higher values spawn
-          [min domains breadth - 1] extra domains with probes assigned
-          by stride. Bit-for-bit deterministic in the domain count:
-          every probe's RNG stream is pre-split from the round's
-          generator in probe-index order before any probe runs, each
-          probe works on a fork of the search state, and forks are
-          merged back (cost ties broken toward the lowest probe index)
-          in probe-index order. A fixed seed therefore yields a
-          byte-identical design and the same evaluation count whatever
-          [domains] is. Values [< 1] behave like [1]. *)
+          in order on the calling domain. The probes are scheduled by
+          {!Ds_exec.Exec}, whose pre-split/index-order-merge contract
+          makes the domain count pure scheduling: every probe's RNG
+          stream is pre-split from the round's generator in probe-index
+          order before any probe runs, each probe works on a fork of
+          the search state, and forks are merged back (cost ties broken
+          toward the lowest probe index) in probe-index order. A fixed
+          seed therefore yields a byte-identical design and the same
+          evaluation count whatever [domains] is. Values [< 1] behave
+          like [1]. *)
 }
 
 val default_params : params

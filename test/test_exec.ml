@@ -1,0 +1,112 @@
+(* Tests for the deterministic domain-pool executor: scheduling never
+   changes results, exceptions cross the domain boundary, and the
+   capability handed to workers is trace-free. *)
+
+open Dependable_storage
+module Rng = Prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:50 gen f)
+
+exception Boom of int
+
+let api_tests =
+  [ Alcotest.test_case "create rejects a non-positive domain count" `Quick
+      (fun () ->
+         Alcotest.check_raises "domains = 0"
+           (Invalid_argument "Exec.create: domains must be >= 1") (fun () ->
+             ignore (Exec.create ~domains:0 ())));
+    Alcotest.test_case "empty input maps to empty output" `Quick (fun () ->
+        List.iter
+          (fun domains ->
+             let pool = Exec.create ~domains () in
+             check_int
+               (Printf.sprintf "%d domains" domains)
+               0
+               (Array.length (Exec.map pool (fun x -> x + 1) [||])))
+          [ 1; 4 ]);
+    Alcotest.test_case "more domains than tasks" `Quick (fun () ->
+        let pool = Exec.create ~domains:8 () in
+        Alcotest.(check (array int))
+          "three tasks on eight domains" [| 1; 2; 3 |]
+          (Exec.map pool (fun x -> x + 1) [| 0; 1; 2 |]);
+        check_int "workers clamp to the task count" 3
+          (Exec.workers pool ~tasks:3));
+    Alcotest.test_case "mapi passes the task index" `Quick (fun () ->
+        let pool = Exec.create ~domains:4 () in
+        Alcotest.(check (array int))
+          "index plus value" [| 10; 21; 32; 43; 54 |]
+          (Exec.mapi pool (fun i x -> (10 * (i + 1)) + x) [| 0; 1; 2; 3; 4 |]));
+    Alcotest.test_case "a worker exception re-raises on the caller" `Quick
+      (fun () ->
+         let pool = Exec.create ~domains:4 () in
+         match
+           Exec.mapi pool
+             (fun i x -> if i = 2 then raise (Boom i) else x)
+             [| 0; 1; 2; 3 |]
+         with
+         | _ -> Alcotest.fail "expected the worker's exception"
+         | exception Boom 2 -> ());
+    Alcotest.test_case "the lowest-index failure wins" `Quick (fun () ->
+        let pool = Exec.create ~domains:4 () in
+        match
+          Exec.mapi pool
+            (fun i x -> if i = 1 || i = 3 then raise (Boom i) else x)
+            [| 0; 1; 2; 3 |]
+        with
+        | _ -> Alcotest.fail "expected a worker exception"
+        | exception Boom i -> check_int "index-1 failure reported" 1 i) ]
+
+let determinism_tests =
+  [ prop "output order equals input order at any domain count"
+      QCheck2.Gen.(pair (int_range 1 6) (list small_int))
+      (fun (domains, xs) ->
+         let pool = Exec.create ~domains () in
+         Exec.map_list pool (fun x -> (2 * x) + 1) xs
+         = List.map (fun x -> (2 * x) + 1) xs);
+    Alcotest.test_case "map_rng draws identical streams at 1 and 4 domains"
+      `Quick (fun () ->
+        let tasks = Array.init 10 (fun i -> i) in
+        let run domains =
+          Exec.map_rng (Exec.create ~domains ()) ~rng:(Rng.of_int 7)
+            (fun rng i -> (i, Rng.int rng 1_000_000, Rng.unit_float rng))
+            tasks
+        in
+        check_bool "identical results" true (run 1 = run 4));
+    Alcotest.test_case "stress: many tiny tasks across domains" `Quick
+      (fun () ->
+         (* CI's DS_TEST_DOMAINS=4 leg runs this with a real pool; the
+            floor of 4 keeps it a parallel stress test locally too. *)
+         let domains = max 4 Fixtures.test_domains in
+         let n = 20_000 in
+         let tasks = Array.init n (fun i -> i) in
+         let out =
+           Exec.map (Exec.create ~domains ()) (fun i -> (i * i) mod 97) tasks
+         in
+         check_int "length" n (Array.length out);
+         Array.iteri
+           (fun i v ->
+              if v <> i * i mod 97 then
+                Alcotest.failf "task %d: got %d, want %d" i v (i * i mod 97))
+           out) ]
+
+let obs_tests =
+  [ Alcotest.test_case "worker_obs strips tracing for parallel pools" `Quick
+      (fun () ->
+        let obs = Obs.create ~trace:true () in
+        check_bool "fixture traces" true (Option.is_some (Obs.trace obs));
+        let parallel = Exec.create ~domains:4 () in
+        check_bool "stripped on a parallel pool" true
+          (Option.is_none (Obs.trace (Exec.worker_obs parallel ~tasks:8 obs)));
+        check_bool "kept when tasks clamp the pool to one worker" true
+          (Option.is_some (Obs.trace (Exec.worker_obs parallel ~tasks:1 obs)));
+        check_bool "kept on the sequential pool" true
+          (Option.is_some (Obs.trace (Exec.worker_obs Exec.sequential ~tasks:8 obs)))) ]
+
+let suites =
+  [ ("exec.api", api_tests);
+    ("exec.determinism", determinism_tests);
+    ("exec.obs", obs_tests) ]

@@ -22,7 +22,8 @@ let tiny =
         stage1_restarts = 2 };
     human_attempts = 4;
     random_attempts = 6;
-    space_samples = 200 }
+    space_samples = 200;
+    domains = 1 }
 
 let env_tests =
   [ Alcotest.test_case "peer sites match Section 4.3" `Quick (fun () ->
@@ -119,7 +120,25 @@ let compare_tests =
          | Some r -> Alcotest.(check (float 1e-9)) "3x" 3. r
          | None -> Alcotest.fail "no ratio");
         check_bool "missing entry" true
-          (E.Compare.ratio entries ~baseline:"random" "design tool" = None)) ]
+          (E.Compare.ratio entries ~baseline:"random" "design tool" = None));
+    Alcotest.test_case "arm seed offsets are pairwise distinct" `Quick
+      (fun () ->
+         let offsets = List.map snd E.Compare.arm_seed_offsets in
+         check_int "five arms" 5 (List.length offsets);
+         check_int "no two arms share a stream" (List.length offsets)
+           (List.length (List.sort_uniq Int.compare offsets)));
+    Alcotest.test_case "arm pool width never changes the entries" `Slow
+      (fun () ->
+        let run domains =
+          E.Compare.run
+            ~budgets:(E.Budgets.with_domains tiny domains)
+            ~metaheuristics:true (E.Envs.peer_sites ()) (E.Envs.peer_apps ())
+            Likelihood.default
+        in
+        let sequential = run 1 and parallel = run 4 in
+        check_int "five entries" 5 (List.length parallel);
+        check_bool "identical entries at 1 and 4 domains" true
+          (sequential = parallel)) ]
 
 let case_study_tests =
   [ Alcotest.test_case "table 4 rows are complete and consistent" `Slow (fun () ->

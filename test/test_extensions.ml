@@ -326,7 +326,8 @@ let tiny_budgets =
         options = fast_options };
     human_attempts = 3;
     random_attempts = 5;
-    space_samples = 100 }
+    space_samples = 100;
+    domains = 1 }
 
 let ablation_tests =
   [ Alcotest.test_case "solver stages never get worse with more search" `Slow

@@ -9,6 +9,7 @@ let () =
          Test_design.suites;
          Test_sim.suites;
          Test_obs.suites;
+         Test_exec.suites;
          Test_failure.suites;
          Test_recovery.suites;
          Test_cost.suites;

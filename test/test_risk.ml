@@ -85,7 +85,33 @@ let risk_tests =
             must sit well above the mean. *)
          let prov = prov_of (Fixtures.two_app_design ()) in
          let sim = Year_sim.simulate ~years:5_000 (Rng.of_int 16) prov likelihood in
-         check_bool "p99 > mean" true Money.(sim.Year_sim.mean < sim.Year_sim.p99)) ]
+         check_bool "p99 > mean" true Money.(sim.Year_sim.mean < sim.Year_sim.p99));
+    Alcotest.test_case "pool width never changes the sample" `Quick (fun () ->
+        (* 3,000 years spans multiple chunks, so the 4-domain run really
+           interleaves; every yearly record must still match the
+           sequential run exactly. *)
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let run domains =
+          Year_sim.simulate ~years:3_000 ~pool:(Exec.create ~domains ())
+            (Rng.of_int 17) prov likelihood
+        in
+        let sequential = run 1 and parallel = run 4 in
+        check_bool "identical yearly records" true
+          (sequential.Year_sim.years = parallel.Year_sim.years);
+        check_bool "identical sorted totals" true
+          (sequential.Year_sim.sorted_totals = parallel.Year_sim.sorted_totals));
+    Alcotest.test_case "percentile reads the stored sorted totals" `Quick
+      (fun () ->
+         let prov = prov_of (Fixtures.two_app_design ()) in
+         let sim = Year_sim.simulate ~years:2_000 (Rng.of_int 18) prov likelihood in
+         List.iter
+           (fun (q, field) ->
+              Alcotest.(check (float 0.))
+                (Printf.sprintf "percentile %.2f equals the stored field" q)
+                (Money.to_dollars field)
+                (Money.to_dollars (Year_sim.percentile sim q)))
+           [ (0.5, sim.Year_sim.p50); (0.9, sim.Year_sim.p90);
+             (0.99, sim.Year_sim.p99); (1., sim.Year_sim.worst) ]) ]
 
 let fast_options =
   { Config_solver.search_options with

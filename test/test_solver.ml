@@ -279,6 +279,18 @@ let design_solver_tests =
           |> Option.map (fun o -> Money.to_dollars (Candidate.cost o.Design_solver.best))
         in
         Alcotest.(check (option (float 1e-3))) "same cost" (run ()) (run ()));
+    Alcotest.test_case "refit is byte-identical at 1 and 4 domains" `Slow
+      (fun () ->
+         let run domains =
+           Design_solver.solve
+             ~params:{ fast_params with Design_solver.domains }
+             (Fixtures.peer_env ()) (peer_apps ()) likelihood
+           |> Option.map (fun o ->
+               (Design.Design_io.to_string o.Design_solver.best.Candidate.design,
+                o.Design_solver.evaluations))
+         in
+         Alcotest.(check (option (pair string int)))
+           "same design text and evaluation count" (run 1) (run 4));
     Alcotest.test_case "solve fails gracefully when impossible" `Quick (fun () ->
         (* One compute slot per site cannot host 8 applications. *)
         let env =
