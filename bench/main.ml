@@ -402,6 +402,66 @@ let sweep_speedup () =
     (Domain.recommended_domain_count ())
     (seconds "sweep sequential") (seconds "sweep parallel")
 
+(* Head-to-head: the same 6-restart portfolio run on a sequential pool
+   and on 4 domains. Restart streams are pre-split in restart order and
+   restarts commit in restart order, so the pool width is pure
+   scheduling; racing may only cut losing refit rounds short, never
+   change the winner. The section proves both identities fatally
+   (sequential vs parallel designs, and racing on vs off at 4 domains)
+   before reporting the speedup. CI's bench-smoke job gates on
+   "portfolio parallel" not being slower than "portfolio sequential". *)
+let portfolio_speedup () =
+  section "Portfolio meta-solver (6 restarts: sequential vs 4 domains)";
+  let params =
+    { budgets.E.Budgets.solver with
+      Design_solver.breadth = 3; depth = 3; refit_rounds = 8;
+      patience = 9; polish = None }
+  in
+  let restarts = 6 in
+  let run label ~race domains =
+    timed label (fun () ->
+        Search.run ~restarts ~race ~params ~pool:(Exec.create ~domains ())
+          ~obs (E.Envs.peer_sites ()) (E.Envs.peer_apps ())
+          Likelihood.default)
+  in
+  let sequential = run "portfolio sequential" ~race:false 1 in
+  let parallel = run "portfolio parallel" ~race:false 4 in
+  let raced = run "portfolio racing" ~race:true 4 in
+  match sequential, parallel, raced with
+  | Some s, Some p, Some r ->
+    let bytes (res : Search.result) =
+      Design.Design_io.to_string res.Search.best.Solver.Candidate.design
+    in
+    if bytes s <> bytes p || s.Search.winner <> p.Search.winner
+       || s.Search.total_evaluations <> p.Search.total_evaluations
+    then begin
+      prerr_endline
+        "FATAL: portfolio changed its result between 1 and 4 domains \
+         (design, winner or evaluation count differs)";
+      exit 1
+    end;
+    if bytes s <> bytes r || s.Search.winner <> r.Search.winner then begin
+      prerr_endline
+        "FATAL: racing changed the portfolio winner (design or winner \
+         index differs from the unraced run)";
+      exit 1
+    end;
+    let seconds label = List.assoc label !sections in
+    Format.fprintf fmt
+      "domain transparency: OK (byte-identical designs, winner restart %d, \
+       %d evaluations each)@.racing transparency: OK (same winner, %d of \
+       %d restarts raced off)@.speedup: %.2fx on %d cores (sequential \
+       %.1fs, 4 domains %.1fs, 4 domains racing %.1fs)@."
+      s.Search.winner s.Search.total_evaluations r.Search.raced_off
+      r.Search.restarts_run
+      (seconds "portfolio sequential" /. seconds "portfolio parallel")
+      (Domain.recommended_domain_count ())
+      (seconds "portfolio sequential") (seconds "portfolio parallel")
+      (seconds "portfolio racing")
+  | _ ->
+    prerr_endline "FATAL: portfolio benchmark found no feasible design";
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
@@ -500,6 +560,13 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* And for the portfolio head-to-head. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_PORTFOLIO" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    portfolio_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -522,6 +589,7 @@ let () =
   parallel_refit_speedup ();
   year_sim_speedup ();
   sweep_speedup ();
+  portfolio_speedup ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

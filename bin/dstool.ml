@@ -115,6 +115,45 @@ let domains_term =
 
 let apply_domains = Fun.flip E.Budgets.with_domains
 
+(* Portfolio knobs (solve and compare): --restarts turns the run into a
+   multi-start portfolio (Search.run); --race and --budget-evals shape
+   it. Like --domains, --race never changes the returned winner. *)
+let restarts_term =
+  Arg.(value & opt domains_conv 1
+       & info [ "restarts" ] ~docv:"N"
+           ~doc:"Run N independent design-solver restarts from pre-split \
+                 RNG streams (a portfolio; default 1 = a single run) and \
+                 keep the cheapest design. Restart 0 replays the plain \
+                 fixed-seed run, so more restarts never return a costlier \
+                 design. Deterministic: the winner is byte-identical \
+                 whatever $(b,--domains) is.")
+
+let race_term =
+  Arg.(value & flag
+       & info [ "race" ]
+           ~doc:"Let portfolio restarts abandon refit rounds they can no \
+                 longer win (lower bound: current cost minus the largest \
+                 improvement observed so far, against the best cost \
+                 already published). The returned winner is identical \
+                 with racing on or off; raced restarts just stop \
+                 sooner.")
+
+let budget_evals_term =
+  Arg.(value & opt (some int) None
+       & info [ "budget-evals" ] ~docv:"N"
+           ~doc:"Anytime budget for the portfolio: stop admitting \
+                 restarts once the committed configuration-solver calls \
+                 reach N and return the best design so far. The first \
+                 restart always runs.")
+
+let portfolio_terms =
+  Term.(const (fun restarts race evals -> (restarts, race, evals))
+        $ restarts_term $ race_term $ budget_evals_term)
+
+let apply_portfolio (restarts, race, evals) budget =
+  if restarts = 1 && (not race) && evals = None then budget
+  else E.Budgets.with_portfolio ~race ?max_evaluations:evals budget restarts
+
 let obs_of (trace, metrics, progress) =
   if trace = None && (not metrics) && progress = None then Obs.noop
   else
@@ -142,16 +181,30 @@ let report_obs (trace, metrics, progress) obs =
    | _ -> ());
   (match progress, Obs.progress obs with
    | Some path, Some stream ->
-     if write path (Obs.Progress.to_csv stream) then
-     Format.fprintf fmt
-       "@.progress: %d refit rounds accepted, %d rejected%s; CSV written \
-        to %s@."
-       (Obs.Progress.accepted_count stream)
-       (Obs.Progress.rejected_count stream)
-       (match Obs.Progress.best stream with
-        | Some best -> Printf.sprintf ", best $%.0f" best
-        | None -> "")
-       path
+     if write path (Obs.Progress.to_csv stream) then begin
+       Format.fprintf fmt
+         "@.progress: %d refit rounds accepted, %d rejected%s; CSV written \
+          to %s@."
+         (Obs.Progress.accepted_count stream)
+         (Obs.Progress.rejected_count stream)
+         (match Obs.Progress.best stream with
+          | Some best -> Printf.sprintf ", best $%.0f" best
+          | None -> "")
+         path;
+       (* Portfolio runs interleave incumbent-improvement events from
+          the meta-solver; surface them as one line each (absent on
+          single runs). *)
+       List.iter
+         (fun (e : Obs.Progress.entry) ->
+            match e.Obs.Progress.event with
+            | Obs.Progress.Portfolio { restart; cost } ->
+              Format.fprintf fmt
+                "  restart %d improved the incumbent to $%.0f (%d \
+                 evaluations in)@."
+                restart cost e.Obs.Progress.evaluations
+            | _ -> ())
+         (Obs.Progress.entries stream)
+     end
    | _ -> ());
   (match Obs.metrics obs with
    | Some registry when metrics ->
@@ -247,36 +300,63 @@ let output_term =
                  $(b,dstool audit --design)).")
 
 let solve_cmd =
-  let run env apps seed budget likelihood output no_cache domains obs_flags =
+  let run env apps seed budget likelihood output no_cache domains portfolio
+      obs_flags =
     let env, workloads = resolve_env env apps in
     let budget =
-      apply_domains domains (apply_cache no_cache (E.Budgets.with_seed budget seed))
+      apply_portfolio portfolio
+        (apply_domains domains
+           (apply_cache no_cache (E.Budgets.with_seed budget seed)))
     in
     let obs = obs_of obs_flags in
-    match
-      Design_solver.solve ~params:budget.E.Budgets.solver ~obs env workloads
-        likelihood
-    with
-    | Some outcome ->
-      print_solution outcome.Design_solver.best;
+    (* A single restart runs the design solver directly; more run the
+       portfolio meta-solver on a pool [--domains] wide (restart 0
+       replays the direct run, so the result can only get cheaper). *)
+    let solved =
+      if budget.E.Budgets.restarts = 1 then
+        Design_solver.solve ~params:budget.E.Budgets.solver ~obs env workloads
+          likelihood
+        |> Option.map (fun o -> (o, None))
+      else
+        let pool = Exec.create ~domains () in
+        Search.run ~restarts:budget.E.Budgets.restarts
+          ~race:budget.E.Budgets.race
+          ?max_evaluations:budget.E.Budgets.portfolio_evaluations
+          ~params:budget.E.Budgets.solver ~pool ~obs env workloads likelihood
+        |> Option.map (fun r -> (r.Search.outcome, Some r))
+    in
+    match solved with
+    | Some (outcome, portfolio_result) ->
+      let best =
+        match portfolio_result with
+        | None -> outcome.Design_solver.best
+        | Some r -> r.Search.best
+      in
+      print_solution best;
       Format.fprintf fmt "@.service levels achieved:@.%a" Cost.Slo_report.pp
-        (Cost.Slo_report.of_evaluation
-           outcome.Design_solver.best.Candidate.eval);
-      Format.fprintf fmt
-        "@.search: %d configuration-solver calls, %d refit rounds, refit %s@."
-        outcome.Design_solver.evaluations outcome.Design_solver.refit_rounds_run
-        (if outcome.Design_solver.improved_by_refit then
-           "improved the greedy design"
-         else "kept the greedy design");
+        (Cost.Slo_report.of_evaluation best.Candidate.eval);
+      (match portfolio_result with
+       | None ->
+         Format.fprintf fmt
+           "@.search: %d configuration-solver calls, %d refit rounds, refit \
+            %s@."
+           outcome.Design_solver.evaluations
+           outcome.Design_solver.refit_rounds_run
+           (if outcome.Design_solver.improved_by_refit then
+              "improved the greedy design"
+            else "kept the greedy design")
+       | Some r ->
+         Format.fprintf fmt
+           "@.portfolio: winner restart %d of %d run (%d raced off), %d \
+            configuration-solver calls total@."
+           r.Search.winner r.Search.restarts_run r.Search.raced_off
+           r.Search.total_evaluations);
       let obs_status = report_obs obs_flags obs in
       let output_status =
         match output with
         | None -> Ok ()
         | Some path ->
-          (match
-             Design.Design_io.write_file path
-               outcome.Design_solver.best.Candidate.design
-           with
+          (match Design.Design_io.write_file path best.Candidate.design with
            | Ok () ->
              Format.fprintf fmt "design written to %s@." path;
              Ok ()
@@ -293,7 +373,7 @@ let solve_cmd =
              chosen data protection design.")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
                $ likelihood_term $ output_term $ no_cache_term $ domains_term
-               $ obs_terms))
+               $ portfolio_terms $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -470,11 +550,12 @@ let compare_cmd =
                    baselines (related-work comparisons, not in the paper).")
   in
   let run env apps seed budget likelihood metaheuristics no_cache domains
-      obs_flags =
+      portfolio obs_flags =
     let env, workloads = resolve_env env apps in
     let budget =
-      apply_domains domains
-        (apply_cache no_cache (E.Budgets.with_seed budget seed))
+      apply_portfolio portfolio
+        (apply_domains domains
+           (apply_cache no_cache (E.Budgets.with_seed budget seed)))
     in
     let obs = obs_of obs_flags in
     let entries =
@@ -492,7 +573,7 @@ let compare_cmd =
              (Figure 3).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
                $ likelihood_term $ metaheuristics_term $ no_cache_term
-               $ domains_term $ obs_terms))
+               $ domains_term $ portfolio_terms $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)

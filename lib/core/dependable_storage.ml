@@ -112,6 +112,13 @@ module Solver = struct
   module Exhaustive = Ds_solver.Exhaustive
 end
 
+module Search = Ds_search.Search
+(** Multi-start portfolio meta-solver: [Search.run ~restarts:8 ~pool env
+    apps likelihood] races independent design-solver restarts on an
+    [Exec] pool and returns the cheapest design (cost ties to the lowest
+    restart index). Deterministic in the domain count; see DESIGN.md
+    §11. *)
+
 module Heuristics = struct
   module Heuristic_result = Ds_heuristics.Heuristic_result
   module Human = Ds_heuristics.Human

@@ -6,6 +6,9 @@ type t = {
   random_attempts : int;
   space_samples : int;
   domains : int;
+  restarts : int;
+  race : bool;
+  portfolio_evaluations : int option;
 }
 
 let default =
@@ -13,7 +16,10 @@ let default =
     human_attempts = 30;
     random_attempts = 150;
     space_samples = 20_000;
-    domains = 1 }
+    domains = 1;
+    restarts = 1;
+    race = false;
+    portfolio_evaluations = None }
 
 let quick =
   { solver =
@@ -22,7 +28,10 @@ let quick =
     human_attempts = 10;
     random_attempts = 40;
     space_samples = 4_000;
-    domains = 1 }
+    domains = 1;
+    restarts = 1;
+    race = false;
+    portfolio_evaluations = None }
 
 let with_seed t seed =
   { t with solver = { t.solver with Design_solver.seed } }
@@ -31,3 +40,7 @@ let with_domains t domains =
   { t with domains; solver = { t.solver with Design_solver.domains } }
 
 let sequential t = with_domains t 1
+
+let with_portfolio ?(race = false) ?max_evaluations t restarts =
+  if restarts < 1 then invalid_arg "Budgets.with_portfolio: restarts >= 1";
+  { t with restarts; race; portfolio_evaluations = max_evaluations }

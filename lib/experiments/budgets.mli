@@ -17,6 +17,19 @@ type t = {
           sensitivity rates, scalability rounds). 1 (the default)
           runs everything on the calling domain. Purely scheduling:
           results are identical at every width (DESIGN.md §10). *)
+  restarts : int;
+      (** Portfolio restarts per randomized arm (default 1 = no
+          portfolio): the design-tool arm becomes a
+          {!Ds_search.Search.run} portfolio and the annealing / tabu
+          arms rerun best-of-[restarts] from distinct seed streams.
+          The random and human arms already do their own multi-start
+          ([random_attempts] / [human_attempts]). *)
+  race : bool;
+      (** Portfolio racing ({!Ds_search.Search.run}'s [race]); winner
+          unchanged, raced restarts finish sooner. Default [false]. *)
+  portfolio_evaluations : int option;
+      (** Portfolio evaluation cap ({!Ds_search.Search.run}'s
+          [max_evaluations]); [None] (default) = uncapped. *)
 }
 
 val default : t
@@ -32,3 +45,8 @@ val with_domains : t -> int -> t
 val sequential : t -> t
 (** [with_domains t 1]: the budgets with all parallelism stripped —
     what experiments hand to work items already running on a pool. *)
+
+val with_portfolio : ?race:bool -> ?max_evaluations:int -> t -> int -> t
+(** [with_portfolio t n] gives every randomized arm an [n]-restart
+    portfolio budget ([dstool compare --restarts]).
+    @raise Invalid_argument when [n < 1]. *)

@@ -5,6 +5,7 @@ module Summary = Ds_cost.Summary
 module Money = Ds_units.Money
 module Candidate = Ds_solver.Candidate
 module Design_solver = Ds_solver.Design_solver
+module Search = Ds_search.Search
 module Human = Ds_heuristics.Human
 module Random_search = Ds_heuristics.Random_search
 module Heuristic_result = Ds_heuristics.Heuristic_result
@@ -37,6 +38,29 @@ let of_candidate label = function
   | Some c -> { label; summary = Some (Candidate.summary c) }
   | None -> { label; summary = None }
 
+(* Best-of-[restarts] for the single-shot metaheuristic arms. Restart
+   [r]'s seed is the arm's stream plus [r] strides of the offset table
+   size, so no restart of any arm ever collides with another arm's
+   stream ([offset + 5r mod 5] identifies the arm). [Candidate.better]
+   keeps its first argument on ties: the lowest restart wins, as in the
+   portfolio. Restart 0 replays the pre-portfolio stream, so
+   [restarts = 1] reproduces historical results exactly. *)
+let best_of_restarts restarts run_one =
+  let rec loop r best =
+    if r >= restarts then best
+    else
+      let best =
+        match best, run_one r with
+        | None, c -> c
+        | b, None -> b
+        | Some b, Some c -> Some (Candidate.better b c)
+      in
+      loop (r + 1) best
+  in
+  loop 0 None
+
+let arm_count = List.length arm_seed_offsets
+
 let run ?(budgets = Budgets.default) ?(metaheuristics = false)
     ?(obs = Obs.noop) env apps likelihood =
   let seed = budgets.Budgets.solver.Design_solver.seed in
@@ -46,12 +70,23 @@ let run ?(budgets = Budgets.default) ?(metaheuristics = false)
   let inner =
     if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
   in
+  let restarts = max 1 budgets.Budgets.restarts in
   let arms =
     [ ( "design tool",
         fun obs ->
-          Design_solver.solve ~params:inner.Budgets.solver ~obs env apps
-            likelihood
-          |> Option.map (fun o -> o.Design_solver.best) );
+          if restarts = 1 then
+            Design_solver.solve ~params:inner.Budgets.solver ~obs env apps
+              likelihood
+            |> Option.map (fun o -> o.Design_solver.best)
+          else
+            (* The arm itself may already sit on a parallel pool, so the
+               portfolio runs its restarts sequentially; restart 0
+               replays the single-solve stream, so this arm can only get
+               cheaper as [restarts] grows. *)
+            Search.run ~restarts ~race:budgets.Budgets.race
+              ?max_evaluations:budgets.Budgets.portfolio_evaluations
+              ~params:inner.Budgets.solver ~obs env apps likelihood
+            |> Option.map (fun r -> r.Search.best) );
       ( "random",
         fun obs ->
           (Random_search.run ~attempts:budgets.Budgets.random_attempts ~obs
@@ -67,14 +102,18 @@ let run ?(budgets = Budgets.default) ?(metaheuristics = false)
     else
       [ ( "annealing",
           fun obs ->
-            (Ds_heuristics.Annealing.run ~obs
-               ~seed:(seed + annealing_seed_offset) env apps likelihood)
-              .Heuristic_result.best );
+            best_of_restarts restarts (fun r ->
+                (Ds_heuristics.Annealing.run ~obs
+                   ~seed:(seed + annealing_seed_offset + (arm_count * r))
+                   env apps likelihood)
+                  .Heuristic_result.best) );
         ( "tabu",
           fun obs ->
-            (Ds_heuristics.Tabu.run ~obs ~seed:(seed + tabu_seed_offset) env
-               apps likelihood)
-              .Heuristic_result.best ) ]
+            best_of_restarts restarts (fun r ->
+                (Ds_heuristics.Tabu.run ~obs
+                   ~seed:(seed + tabu_seed_offset + (arm_count * r))
+                   env apps likelihood)
+                  .Heuristic_result.best) ) ]
   in
   let obs = Exec.worker_obs pool ~tasks:(List.length arms) obs in
   Exec.map_list pool (fun (label, arm) -> of_candidate label (arm obs)) arms

@@ -32,7 +32,17 @@ val run :
     Arms are scheduled on an [Exec] pool [budgets.domains] wide (results
     are identical at every width; merge order is arm order). On a
     parallel pool each arm's own solver runs single-domain and [obs] is
-    trace-stripped ([Exec.worker_obs]). *)
+    trace-stripped ([Exec.worker_obs]).
+
+    With [budgets.restarts > 1] every randomized arm gets the same
+    restart budget: the design-tool arm becomes a
+    {!Ds_search.Search.run} portfolio (honoring [budgets.race] and
+    [budgets.portfolio_evaluations]) and the annealing / tabu arms keep
+    their best of [restarts] runs from pairwise-distinct seed streams
+    (restart [r] of offset-[k] arm seeds at [seed + k + 5r]). Restart 0
+    always replays the [restarts = 1] stream, so raising the budget can
+    only improve an arm, and results for [restarts = 1] are unchanged
+    from earlier releases. *)
 
 val run_peer : ?budgets:Budgets.t -> unit -> entry list
 (** Figure 3's setting: the peer-sites case study. *)

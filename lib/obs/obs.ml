@@ -68,6 +68,11 @@ let incumbent t ~evaluations cost =
   | None -> ()
   | Some s -> Progress.incumbent s ~evaluations cost
 
+let portfolio_incumbent t ~evaluations ~restart cost =
+  match t.progress with
+  | None -> ()
+  | Some s -> Progress.portfolio_incumbent s ~evaluations ~restart cost
+
 let refit_accepted t ~evaluations =
   match t.progress with
   | None -> ()

@@ -62,6 +62,11 @@ val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> '
 
 val stage : t -> evaluations:int -> string -> unit
 val incumbent : t -> evaluations:int -> float -> unit
+
+val portfolio_incumbent : t -> evaluations:int -> restart:int -> float -> unit
+(** A portfolio restart improved the shared incumbent (tracked
+    independently of the per-restart {!incumbent} line). *)
+
 val refit_accepted : t -> evaluations:int -> unit
 val refit_rejected : t -> evaluations:int -> unit
 

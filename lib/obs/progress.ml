@@ -3,6 +3,7 @@ type event =
   | Incumbent of float
   | Accepted
   | Rejected
+  | Portfolio of { restart : int; cost : float }
 
 type entry = {
   evaluations : int;
@@ -17,13 +18,14 @@ type stream = {
   lock : Mutex.t;
   mutable rev_entries : entry list;
   mutable best : float option;
+  mutable portfolio_best : float option;
   mutable accepted : int;
   mutable rejected : int;
 }
 
 let create () =
-  { lock = Mutex.create (); rev_entries = []; best = None; accepted = 0;
-    rejected = 0 }
+  { lock = Mutex.create (); rev_entries = []; best = None;
+    portfolio_best = None; accepted = 0; rejected = 0 }
 
 let push s evaluations event =
   s.rev_entries <- { evaluations; event } :: s.rev_entries
@@ -41,6 +43,20 @@ let incumbent s ~evaluations cost =
     push s evaluations (Incumbent cost)
   end
 
+(* Tracked separately from [best]: the solver-level incumbent stream and
+   the portfolio-level one can interleave (each restart's solver records
+   its own incumbents), and the portfolio line must stay monotone on its
+   own axis. *)
+let portfolio_incumbent s ~evaluations ~restart cost =
+  Mutex.protect s.lock @@ fun () ->
+  let improves =
+    match s.portfolio_best with None -> true | Some best -> cost < best
+  in
+  if improves then begin
+    s.portfolio_best <- Some cost;
+    push s evaluations (Portfolio { restart; cost })
+  end
+
 let accepted s ~evaluations =
   Mutex.protect s.lock @@ fun () ->
   s.accepted <- s.accepted + 1;
@@ -53,6 +69,7 @@ let rejected s ~evaluations =
 
 let entries s = Mutex.protect s.lock (fun () -> List.rev s.rev_entries)
 let best s = Mutex.protect s.lock (fun () -> s.best)
+let portfolio_best s = Mutex.protect s.lock (fun () -> s.portfolio_best)
 let accepted_count s = Mutex.protect s.lock (fun () -> s.accepted)
 let rejected_count s = Mutex.protect s.lock (fun () -> s.rejected)
 
@@ -68,6 +85,9 @@ let to_csv s =
            Printf.sprintf "%d,incumbent,,%.2f\n" e.evaluations cost
          | Accepted -> Printf.sprintf "%d,accept,,\n" e.evaluations
          | Rejected -> Printf.sprintf "%d,reject,,\n" e.evaluations
+         | Portfolio { restart; cost } ->
+           Printf.sprintf "%d,portfolio,%d,%.2f\n" e.evaluations restart
+             cost
        in
        Buffer.add_string buf line)
     (entries s);

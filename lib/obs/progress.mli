@@ -17,6 +17,8 @@ type event =
   | Incumbent of float  (** New best total cost, in dollars. *)
   | Accepted  (** A refit round improved the incumbent. *)
   | Rejected  (** A refit round failed to improve. *)
+  | Portfolio of { restart : int; cost : float }
+      (** A portfolio restart improved the shared incumbent. *)
 
 type entry = {
   evaluations : int;  (** Configuration-solver calls so far. *)
@@ -35,15 +37,27 @@ val incumbent : stream -> evaluations:int -> float -> unit
 val accepted : stream -> evaluations:int -> unit
 val rejected : stream -> evaluations:int -> unit
 
+val portfolio_incumbent :
+  stream -> evaluations:int -> restart:int -> float -> unit
+(** Recorded only when strictly below the best portfolio cost recorded
+    so far. The portfolio incumbent line is tracked independently of
+    {!incumbent} — restart-local solver incumbents and the shared
+    portfolio incumbent interleave in one stream without perturbing each
+    other's monotonicity. *)
+
 val entries : stream -> entry list
 (** In recording order. *)
 
 val best : stream -> float option
 (** Lowest incumbent recorded. *)
 
+val portfolio_best : stream -> float option
+(** Lowest portfolio incumbent recorded. *)
+
 val accepted_count : stream -> int
 val rejected_count : stream -> int
 
 val to_csv : stream -> string
 (** Header [evaluations,event,stage,cost]; [stage] is populated on stage
-    rows, [cost] on incumbent rows. *)
+    rows, [cost] on incumbent rows. Portfolio rows put the restart index
+    in the [stage] column and the new best cost in [cost]. *)

@@ -1,0 +1,102 @@
+(** Multi-start portfolio meta-solver.
+
+    The design tool (Algorithm 1) is a randomized search: solution
+    quality is seed-dependent, and the cheapest way to both better
+    designs and busier hardware is independent restarts. [run] launches
+    up to [restarts] {!Ds_solver.Design_solver.solve} runs, each from
+    its own pre-split RNG stream, schedules them on an {!Ds_exec.Exec}
+    pool, and returns the cheapest completed candidate (cost ties broken
+    toward the lowest restart index).
+
+    {b Determinism.} Restart streams are split from the master generator
+    in restart-index order before anything runs; restarts execute in
+    waves of pool width and are {e committed} in restart-index order, so
+    budget decisions depend only on the committed prefix — never on
+    which domain finished first. With racing off, every field of the
+    result is a function of (seed, restarts, budgets) alone: byte-
+    identical at any domain count. With racing on, the returned winner
+    is unchanged (see below) but which restarts raced off — and
+    therefore the per-restart statistics — may vary with scheduling.
+
+    {b Racing.} A restart abandons its remaining refit rounds once its
+    lower bound (current cost minus the maximum improvement any
+    completed restart has achieved from its greedy start to its final
+    cost) can no longer strictly beat an incumbent published by a
+    lower-index restart. Abandoned restarts still polish and still
+    compete for the win. Because any published incumbent is a completed
+    restart's final cost — hence no lower than the eventual winner's —
+    pruning is winner-preserving whenever the observed-gain bound holds
+    (no restart's remaining improvement exceeds the largest observed
+    gain); DESIGN.md §11 states the argument and its limits.
+
+    {b Budgets.} [run] is an anytime search: [restarts] caps the
+    portfolio, [max_evaluations] stops admitting restarts once the
+    committed configuration-solver calls reach the cap, and [patience]
+    stops after that many consecutive committed restarts without an
+    incumbent improvement. The first restart is always admitted, and
+    exhaustion returns the incumbent so far rather than raising. *)
+
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Likelihood = Ds_failure.Likelihood
+module Candidate = Ds_solver.Candidate
+module Design_solver = Ds_solver.Design_solver
+
+type report = {
+  index : int;  (** Restart index (also its RNG stream index). *)
+  cost : float option;
+      (** Final total annual cost in dollars; [None] when the restart
+          found no feasible design. *)
+  evaluations : int;  (** Configuration-solver calls this restart made. *)
+  raced_off : bool;  (** Whether racing cut its refit rounds short. *)
+  improved : bool;
+      (** Whether committing it improved the portfolio incumbent. *)
+}
+
+type result = {
+  best : Candidate.t;  (** The cheapest design any restart produced. *)
+  winner : int;  (** Its restart index. *)
+  outcome : Design_solver.outcome;  (** The winning restart's outcome. *)
+  restarts_run : int;  (** Restarts committed (admitted by the budget). *)
+  total_evaluations : int;  (** Sum over committed restarts. *)
+  raced_off : int;  (** Committed restarts racing cut short. *)
+  reports : report list;  (** One per committed restart, index order. *)
+}
+
+val restart_streams : seed:int -> restarts:int -> Ds_prng.Rng.t array
+(** The portfolio's RNG streams: stream 0 is a copy of the master
+    generator [Rng.of_int seed] — so restart 0 replays the stream a
+    plain [Design_solver.solve] with the same seed would use, making the
+    portfolio winner never worse than the single run — and streams
+    [1 .. restarts-1] are split off the master in index order. Exposed
+    for tests (pairwise distinctness). *)
+
+val run :
+  ?restarts:int ->
+  ?race:bool ->
+  ?max_evaluations:int ->
+  ?patience:int ->
+  ?params:Design_solver.params ->
+  ?pool:Ds_exec.Exec.pool ->
+  ?obs:Ds_obs.Obs.t ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  result option
+(** Run the portfolio. Defaults: [restarts = 4], [race = false], no
+    evaluation cap, no stale-incumbent patience, default solver params,
+    sequential pool. [None] only when {e every} committed restart failed
+    to find a feasible design.
+
+    On a pool wider than one domain each restart's own solver is forced
+    to [domains = 1] (the portfolio owns the parallelism; restart
+    results are unchanged because the solver's domain count is pure
+    scheduling). [obs] records a [portfolio.run] span, per-restart
+    [portfolio.restart] spans (on single-domain pools; worker domains
+    run trace-stripped like every [Exec] consumer), the
+    [portfolio.restarts] / [portfolio.raced_off] counters and
+    [portfolio.incumbent_cost] gauge, and incumbent-improvement progress
+    events ({!Ds_obs.Obs.portfolio_incumbent}) emitted at commit time in
+    restart-index order.
+
+    @raise Invalid_argument when [restarts < 1]. *)

@@ -9,6 +9,7 @@ module Provision = Ds_design.Provision
 module Likelihood = Ds_failure.Likelihood
 module Evaluate = Ds_cost.Evaluate
 module Obs = Ds_obs.Obs
+module Exec = Ds_exec.Exec
 
 type window_scope =
   | All_apps
@@ -122,8 +123,18 @@ let evaluate ~options ?obs design likelihood =
 (* Coordinate-descent over the window menus, one app at a time in
    descending penalty order; each combination is evaluated against the
    full candidate (Section 3.2: exhaustive search over the discretized
-   ranges). *)
-let optimize_windows ~options ~obs design likelihood current_eval =
+   ranges).
+
+   Each app's combinations are evaluated in parallel on [pool]. That is
+   result-transparent because the sequential fold's running best never
+   leaks into a later trial: [with_windows] overwrites the app's three
+   window fields wholesale and [Design.add] re-sorts assignments
+   canonically, so a trial built from the fold's current best design is
+   byte-identical to one built from the app-entry design. The fold is
+   therefore an argmin over independent trials, taken here in combo-index
+   order with the strict-[<] first-wins tie-breaking of the original
+   loop. *)
+let optimize_windows ~options ~obs ~pool design likelihood current_eval =
   let scope_ids =
     match options.window_scope with
     | All_apps ->
@@ -147,45 +158,68 @@ let optimize_windows ~options ~obs design likelihood current_eval =
                 options.fulls_menu)
            options.tape_menu)
       options.snapshot_menu
+    |> Array.of_list
   in
+  let wobs = Exec.worker_obs pool ~tasks:(Array.length combos) obs in
   List.fold_left
     (fun (design, eval) (asg : Assignment.t) ->
-       List.fold_left
-         (fun (best_design, best_eval) (snapshot_win, tape_win, fulls_every) ->
-            match
-              with_windows best_design asg ~snapshot_win ~tape_win ~fulls_every
-            with
-            | Error _ -> (best_design, best_eval)
-            | Ok trial ->
-              Obs.incr obs "config.window_trials";
-              (match evaluate ~options ~obs trial likelihood with
-               | Error _ -> (best_design, best_eval)
-               | Ok trial_eval ->
-                 if Money.compare (Evaluate.total trial_eval)
-                      (Evaluate.total best_eval) < 0
-                 then (trial, trial_eval)
-                 else (best_design, best_eval)))
-         (design, eval) combos)
+       let trials =
+         Exec.map pool
+           (fun (snapshot_win, tape_win, fulls_every) ->
+              match
+                with_windows design asg ~snapshot_win ~tape_win ~fulls_every
+              with
+              | Error _ -> None
+              | Ok trial ->
+                Obs.incr wobs "config.window_trials";
+                (match evaluate ~options ~obs:wobs trial likelihood with
+                 | Error _ -> None
+                 | Ok trial_eval -> Some (trial, trial_eval)))
+           combos
+       in
+       Array.fold_left
+         (fun (best_design, best_eval) trial ->
+            match trial with
+            | None -> (best_design, best_eval)
+            | Some (trial, trial_eval) ->
+              if Money.compare (Evaluate.total trial_eval)
+                   (Evaluate.total best_eval) < 0
+              then (trial, trial_eval)
+              else (best_design, best_eval))
+         (design, eval) trials)
     (design, current_eval) candidates
 
 (* Add one resource unit at a time while it reduces total cost
    (Section 3.2.2: "continues to add resources until it no longer
-   produces any cost savings"). *)
-let grow_resources ~options ~obs eval likelihood =
+   produces any cost savings"). Each round's candidate moves are
+   independent (all grown from the round-entry provisioning), so they
+   evaluate in parallel on [pool]; the winner is picked in move-index
+   order with the original strict-[<] first-wins tie-breaking. *)
+let grow_resources ~options ~obs ~pool eval likelihood =
   let recovery = options.recovery in
   let rec loop eval steps =
     if steps >= options.max_growth_steps then eval
     else begin
-      let moves = Provision.growth_moves eval.Evaluate.provision in
-      let improved =
-        List.fold_left
-          (fun best move ->
+      let moves =
+        Array.of_list (Provision.growth_moves eval.Evaluate.provision)
+      in
+      let wobs = Exec.worker_obs pool ~tasks:(Array.length moves) obs in
+      let trials =
+        Exec.map pool
+          (fun move ->
              match Provision.grow eval.Evaluate.provision move with
-             | None -> best
+             | None -> None
              | Some prov ->
-               let trial =
-                 Evaluate.provisioned ~params:recovery ~obs prov likelihood
-               in
+               Some (Evaluate.provisioned ~params:recovery ~obs:wobs prov
+                       likelihood))
+          moves
+      in
+      let improved =
+        Array.fold_left
+          (fun best trial ->
+             match trial with
+             | None -> best
+             | Some trial ->
                let better_than_incumbent =
                  match best with
                  | Some incumbent ->
@@ -194,7 +228,7 @@ let grow_resources ~options ~obs eval likelihood =
                    Money.compare (Evaluate.total trial) (Evaluate.total eval) < 0
                in
                if better_than_incumbent then Some trial else best)
-          None moves
+          None trials
       in
       match improved with
       | Some better ->
@@ -205,19 +239,22 @@ let grow_resources ~options ~obs eval likelihood =
   in
   loop eval 0
 
-let solve_fresh ~options ~obs design likelihood =
+let solve_fresh ~options ~obs ~pool design likelihood =
   match evaluate ~options ~obs design likelihood with
   | Error _ as e -> e
   | Ok eval ->
-    let design, eval = optimize_windows ~options ~obs design likelihood eval in
-    let eval = grow_resources ~options ~obs eval likelihood in
+    let design, eval =
+      optimize_windows ~options ~obs ~pool design likelihood eval
+    in
+    let eval = grow_resources ~options ~obs ~pool eval likelihood in
     Ok (Candidate.v design eval)
 
-let solve ?(options = default_options) ?(obs = Obs.noop) design likelihood =
+let solve ?(options = default_options) ?(obs = Obs.noop)
+    ?(pool = Exec.sequential) design likelihood =
   Obs.with_span obs "config.solve" @@ fun () ->
   Obs.incr obs "config.solves";
   match options.memo with
-  | None -> solve_fresh ~options ~obs design likelihood
+  | None -> solve_fresh ~options ~obs ~pool design likelihood
   | Some memo ->
     let key = cache_key ~options design likelihood in
     (match Memo.find memo key with
@@ -226,6 +263,6 @@ let solve ?(options = default_options) ?(obs = Obs.noop) design likelihood =
        result
      | None ->
        Obs.incr obs "config.cache_misses";
-       let result = solve_fresh ~options ~obs design likelihood in
+       let result = solve_fresh ~options ~obs ~pool design likelihood in
        if Memo.add memo key result then Obs.incr obs "config.cache_evictions";
        result)

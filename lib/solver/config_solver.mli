@@ -62,6 +62,7 @@ val search_options : options
 val solve :
   ?options:options ->
   ?obs:Ds_obs.Obs.t ->
+  ?pool:Ds_exec.Exec.pool ->
   Design.t ->
   Likelihood.t ->
   (Candidate.t, Provision.infeasibility) result
@@ -71,6 +72,15 @@ val solve :
     [config.solves], [config.window_trials] and [config.growth_steps]
     counters, and flows into the cost evaluator and recovery simulator;
     it never changes the result.
+
+    [pool] (default sequential) spreads the window-trial and
+    growth-move evaluations across domains. The pool is pure
+    scheduling: trials are independent within a coordinate-descent /
+    growth round and winners are folded in task-index order with the
+    sequential loop's tie-breaking, so results are byte-identical at
+    every domain count (spans are stripped on worker domains, as in the
+    parallel refit). Since the pool cannot change results, memoized
+    entries remain valid across pools.
 
     With [options.memo] set, results are memoized on the canonical
     (options, design, likelihood) fingerprint: hits return the cached

@@ -38,13 +38,16 @@ type outcome = {
   evaluations : int;
   refit_rounds_run : int;
   improved_by_refit : bool;
+  greedy_cost : Money.t;
+  raced_off : bool;
 }
 
 let cost_dollars c = Money.to_dollars (Candidate.cost c)
+let pool_of params = Exec.create ~domains:(max 1 params.domains) ()
 
 (* Stage 1. Applications with stringent requirements are placed first —
    the draw is weighted by the sum of penalty rates. *)
-let greedy state params env apps =
+let greedy_stage ~pool state params env apps =
   Obs.with_span state.Reconfigure.obs "solver.greedy" @@ fun () ->
   let obs = state.Reconfigure.obs in
   let rec attempt restart =
@@ -73,8 +76,8 @@ let greedy state params env apps =
            other config-solver call, so it counts as an evaluation. *)
         Reconfigure.count_evaluation state;
         (match
-           Config_solver.solve ~options:state.Reconfigure.options ~obs design
-             state.Reconfigure.likelihood
+           Config_solver.solve ~options:state.Reconfigure.options ~obs ~pool
+             design state.Reconfigure.likelihood
          with
          | Ok candidate -> Some candidate
          | Error _ -> attempt (restart + 1))
@@ -82,6 +85,9 @@ let greedy state params env apps =
     end
   in
   attempt 0
+
+let greedy state params env apps =
+  greedy_stage ~pool:(pool_of params) state params env apps
 
 (* One depth-first probe from a neighbor (the inner while-loop of
    Algorithm 1): at each level evaluate [breadth] reconfigurations, step
@@ -122,8 +128,7 @@ let probe state params start =
    in probe-index order, and [Candidate.better] keeps its first argument
    on cost ties, so ties break toward the lowest probe index — the
    domain count is pure scheduling. *)
-let run_probes state params current =
-  let pool = Exec.create ~domains:(max 1 params.domains) () in
+let run_probes ~pool state params current =
   let obs = Exec.worker_obs pool ~tasks:params.breadth state.Reconfigure.obs in
   let outcomes =
     Exec.map_rng pool ~rng:state.Reconfigure.rng
@@ -146,14 +151,23 @@ let run_probes state params current =
        | Some b, Some r -> Some (Candidate.better b r))
     None outcomes
 
-let refit state params start =
+(* The refit loop proper. [abandon] is the portfolio racing hook: probed
+   at the top of every round with the incumbent's cost, a [true] cuts
+   the remaining rounds short (the caller learns it raced off via the
+   third component). [abandon] must never consult the RNG; the rounds it
+   does run are byte-identical to an unraced run's prefix. *)
+let refit_loop ~pool ?abandon state params start =
   Obs.with_span state.Reconfigure.obs "solver.refit" @@ fun () ->
   let obs = state.Reconfigure.obs in
+  let abandoned best =
+    match abandon with None -> false | Some f -> f (cost_dollars best)
+  in
   let rec rounds current best round without_improvement =
     if round >= params.refit_rounds || without_improvement >= params.patience
-    then (best, round)
+    then (best, round, false)
+    else if abandoned best then (best, round, true)
     else begin
-      let branch_best = run_probes state params current in
+      let branch_best = run_probes ~pool state params current in
       let evaluations = state.Reconfigure.evaluations in
       match branch_best with
       | None ->
@@ -178,9 +192,19 @@ let refit state params start =
   in
   rounds start start 0 0
 
-let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
+let refit state params start =
+  let best, rounds, _raced = refit_loop ~pool:(pool_of params) state params start in
+  (best, rounds)
+
+let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
+    likelihood =
   Obs.with_span obs "solver.solve" @@ fun () ->
-  let rng = Rng.of_int params.seed in
+  let rng =
+    match rng with Some rng -> rng | None -> Rng.of_int params.seed
+  in
+  (* One pool for the whole solve: refit probes, the greedy re-evaluation
+     and the polish pass all schedule onto it. *)
+  let pool = pool_of params in
   (* One evaluation cache for the whole solve: greedy, refit and polish
      all hit the same entries. The cache is result-transparent (the
      configuration solver is RNG-free), so this changes wall time only. *)
@@ -192,16 +216,22 @@ let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
   let options = { params.options with Config_solver.memo } in
   let state = Reconfigure.state ~options ~obs ~rng likelihood in
   Obs.stage obs ~evaluations:0 "greedy";
-  match greedy state params env apps with
+  match greedy_stage ~pool state params env apps with
   | None -> None
   | Some greedy_best ->
     Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
       (cost_dollars greedy_best);
     Obs.stage obs ~evaluations:state.Reconfigure.evaluations "refit";
-    let refined, rounds_run = refit state params greedy_best in
+    let refined, rounds_run, raced_off =
+      refit_loop ~pool ?abandon state params greedy_best
+    in
     let best = Candidate.better refined greedy_best in
     (* Final polish: the search ran with cheap configuration options; give
-       the winning design the full window search and growth budget. *)
+       the winning design the full window search and growth budget. The
+       window trials and growth moves spread across [pool] (pure
+       scheduling — the parallel argmin keeps the sequential loop's
+       tie-breaking). Raced-off runs are polished too: the portfolio
+       compares finished candidates only. *)
     let best =
       match params.polish with
       | None -> best
@@ -211,7 +241,7 @@ let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
         let options = { polish_options with Config_solver.memo } in
         (match
            Obs.with_span obs "solver.polish" (fun () ->
-               Config_solver.solve ~options ~obs best.Candidate.design
+               Config_solver.solve ~options ~obs ~pool best.Candidate.design
                  state.Reconfigure.likelihood)
          with
          | Ok polished -> Candidate.better polished best
@@ -224,4 +254,6 @@ let solve ?(params = default_params) ?(obs = Obs.noop) env apps likelihood =
         evaluations = state.Reconfigure.evaluations;
         refit_rounds_run = rounds_run;
         improved_by_refit =
-          Money.compare (Candidate.cost refined) (Candidate.cost greedy_best) < 0 }
+          Money.compare (Candidate.cost refined) (Candidate.cost greedy_best) < 0;
+        greedy_cost = Candidate.cost greedy_best;
+        raced_off }

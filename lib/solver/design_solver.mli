@@ -69,6 +69,13 @@ type outcome = {
           metric when observability is on. *)
   refit_rounds_run : int;
   improved_by_refit : bool;  (** Whether stage 2 beat the greedy design. *)
+  greedy_cost : Ds_units.Money.t;
+      (** Total cost of the stage-1 design the refit started from. The
+          portfolio meta-solver uses [greedy_cost - cost best] as an
+          observed refit-improvement sample for its racing bound. *)
+  raced_off : bool;
+      (** Whether the [abandon] hook cut the refit rounds short. Always
+          [false] without the hook. *)
 }
 
 val greedy : Reconfigure.state -> params -> Env.t -> App.t list -> Candidate.t option
@@ -80,12 +87,23 @@ val refit : Reconfigure.state -> params -> Candidate.t -> Candidate.t * int
 val solve :
   ?params:params ->
   ?obs:Ds_obs.Obs.t ->
+  ?rng:Ds_prng.Rng.t ->
+  ?abandon:(float -> bool) ->
   Env.t ->
   App.t list ->
   Likelihood.t ->
   outcome option
 (** The full design tool. [None] when no feasible complete design was
     found within the restart budget.
+
+    [rng] overrides the generator (default [Rng.of_int params.seed]) —
+    the portfolio meta-solver hands each restart a pre-split stream.
+    [abandon], probed with the incumbent's cost in dollars at the top of
+    every refit round, lets a caller cut the remaining rounds short
+    (racing); the run still polishes and returns a complete outcome with
+    [raced_off = true]. [abandon] must not consult the RNG: the rounds a
+    raced run does execute are byte-identical to the unraced run's
+    prefix.
 
     [obs] (default: the noop sink) records [solver.*] spans and counters,
     the incumbent-cost-vs-evaluation progress stream, the

@@ -58,7 +58,23 @@ let api_tests =
             [| 0; 1; 2; 3 |]
         with
         | _ -> Alcotest.fail "expected a worker exception"
-        | exception Boom i -> check_int "index-1 failure reported" 1 i) ]
+        | exception Boom i -> check_int "index-1 failure reported" 1 i);
+    Alcotest.test_case "a pool stays usable after a worker exception" `Quick
+      (fun () ->
+         (* Regression: domains are spawned per call, so a raising map
+            must leave no poisoned state behind — the very next map on
+            the same pool value runs normally. *)
+         let pool = Exec.create ~domains:4 () in
+         (match
+            Exec.mapi pool
+              (fun i x -> if i = 2 then raise (Boom i) else x)
+              [| 0; 1; 2; 3 |]
+          with
+          | _ -> Alcotest.fail "expected the worker's exception"
+          | exception Boom 2 -> ());
+         Alcotest.(check (array int))
+           "subsequent map on the same pool" [| 1; 2; 3; 4; 5 |]
+           (Exec.map pool (fun x -> x + 1) [| 0; 1; 2; 3; 4 |])) ]
 
 let determinism_tests =
   [ prop "output order equals input order at any domain count"

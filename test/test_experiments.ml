@@ -23,7 +23,10 @@ let tiny =
     human_attempts = 4;
     random_attempts = 6;
     space_samples = 200;
-    domains = 1 }
+    domains = 1;
+    restarts = 1;
+    race = false;
+    portfolio_evaluations = None }
 
 let env_tests =
   [ Alcotest.test_case "peer sites match Section 4.3" `Quick (fun () ->

@@ -327,7 +327,10 @@ let tiny_budgets =
     human_attempts = 3;
     random_attempts = 5;
     space_samples = 100;
-    domains = 1 }
+    domains = 1;
+    restarts = 1;
+    race = false;
+    portfolio_evaluations = None }
 
 let ablation_tests =
   [ Alcotest.test_case "solver stages never get worse with more search" `Slow

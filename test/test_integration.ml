@@ -91,7 +91,8 @@ let pipeline_tests =
     Alcotest.test_case "metaheuristic entries appear on demand" `Slow (fun () ->
         let budgets =
           { E.Budgets.solver = fast_params; human_attempts = 2;
-            random_attempts = 4; space_samples = 50; domains = 1 }
+            random_attempts = 4; space_samples = 50; domains = 1;
+            restarts = 1; race = false; portfolio_evaluations = None }
         in
         let entries =
           E.Compare.run ~budgets ~metaheuristics:true (E.Envs.peer_sites ())

@@ -1,0 +1,176 @@
+(* Tests for ds_search: the deterministic multi-start portfolio
+   meta-solver. Stream-splitting discipline, determinism across pool
+   widths, racing transparency and the anytime budgets. *)
+
+open Dependable_storage
+open Dependable_storage.Units
+module Rng = Prng.Rng
+module Candidate = Solver.Candidate
+module Config_solver = Solver.Config_solver
+module Design_solver = Solver.Design_solver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Failure.Likelihood.default
+let peer_apps () = Ds_experiments.Envs.peer_apps ()
+
+(* Cheap settings, as in the solver tests: the portfolio multiplies
+   whatever its restarts cost. *)
+let fast_options =
+  { Config_solver.search_options with
+    Config_solver.max_growth_steps = 2;
+    window_scope = Config_solver.Skip }
+
+let fast_params =
+  { Design_solver.default_params with
+    Design_solver.breadth = 2; depth = 2; refit_rounds = 2; patience = 1;
+    stage1_restarts = 2; options = fast_options; domains = 1 }
+
+let design_text (c : Candidate.t) =
+  Design.Design_io.to_string c.Candidate.design
+
+let cost_dollars (c : Candidate.t) = Money.to_dollars (Candidate.cost c)
+
+let run ?restarts ?race ?max_evaluations ?patience ?(seed = 9) ?(domains = 1)
+    () =
+  Search.run ?restarts ?race ?max_evaluations ?patience
+    ~params:{ fast_params with Design_solver.seed }
+    ~pool:(Exec.create ~domains ())
+    (Fixtures.peer_env ()) (peer_apps ()) likelihood
+
+let single ?(seed = 9) () =
+  Design_solver.solve ~params:{ fast_params with Design_solver.seed }
+    (Fixtures.peer_env ()) (peer_apps ()) likelihood
+
+let stream_tests =
+  [ Alcotest.test_case "restart streams are pairwise distinct" `Quick
+      (fun () ->
+         let streams = Search.restart_streams ~seed:42 ~restarts:8 in
+         let draws rng = List.init 8 (fun _ -> Rng.int rng 1_000_000) in
+         let seqs = Array.map draws streams in
+         Array.iteri
+           (fun i si ->
+              Array.iteri
+                (fun j sj ->
+                   if i < j && si = sj then
+                     Alcotest.failf "streams %d and %d coincide" i j)
+                seqs)
+           seqs);
+    Alcotest.test_case "stream 0 replays the master seed" `Quick (fun () ->
+        (* Restart 0 must be exactly the single-solve run: its stream is
+           a copy of the master taken before any split. *)
+        let streams = Search.restart_streams ~seed:42 ~restarts:4 in
+        let fresh = Rng.of_int 42 in
+        for _ = 1 to 16 do
+          check_int "same draw" (Rng.int fresh 1_000_000)
+            (Rng.int streams.(0) 1_000_000)
+        done);
+    Alcotest.test_case "restarts below one are rejected" `Quick (fun () ->
+        Alcotest.check_raises "streams"
+          (Invalid_argument "Search.restart_streams: restarts must be >= 1")
+          (fun () -> ignore (Search.restart_streams ~seed:1 ~restarts:0));
+        Alcotest.check_raises "run"
+          (Invalid_argument "Search.run: restarts must be >= 1") (fun () ->
+            ignore (run ~restarts:0 ()))) ]
+
+let portfolio_tests =
+  [ Alcotest.test_case "restarts:1 matches the single fixed-seed solve" `Slow
+      (fun () ->
+         match run ~restarts:1 (), single () with
+         | Some r, Some o ->
+           check_int "winner is restart 0" 0 r.Search.winner;
+           check_int "restarts run" 1 r.Search.restarts_run;
+           Alcotest.(check string) "same design text"
+             (design_text o.Design_solver.best)
+             (design_text r.Search.best);
+           check_int "same evaluation count" o.Design_solver.evaluations
+             r.Search.total_evaluations
+         | _ -> Alcotest.fail "no feasible design");
+    Alcotest.test_case "the winner never costs more than the single run"
+      `Slow (fun () ->
+          match run ~restarts:6 (), single () with
+          | Some r, Some o ->
+            check_bool "portfolio at least as cheap" true
+              Money.(Candidate.cost r.Search.best
+                     <= Candidate.cost o.Design_solver.best)
+          | _ -> Alcotest.fail "no feasible design");
+    Alcotest.test_case "byte-identical at 1 and 4 domains" `Slow (fun () ->
+        (* race:false is fully deterministic: designs, winner and the
+           per-restart statistics are all width-invariant. *)
+        let go domains =
+          match run ~restarts:4 ~domains () with
+          | Some r ->
+            (design_text r.Search.best, r.Search.winner,
+             r.Search.total_evaluations, r.Search.restarts_run)
+          | None -> Alcotest.fail "no feasible design"
+        in
+        Alcotest.(check (pair (pair string int) (pair int int)))
+          "same design, winner and statistics"
+          (let a, b, c, d = go 1 in ((a, b), (c, d)))
+          (let a, b, c, d = go 4 in ((a, b), (c, d))));
+    Alcotest.test_case "racing winner is byte-identical at 1 and 4 domains"
+      `Slow (fun () ->
+          (* With racing only the winner is pinned (which restarts race
+             off may vary with scheduling on a real pool). *)
+          let go domains =
+            match run ~restarts:4 ~race:true ~domains () with
+            | Some r -> (design_text r.Search.best, r.Search.winner)
+            | None -> Alcotest.fail "no feasible design"
+          in
+          Alcotest.(check (pair string int)) "same design and winner" (go 1)
+            (go 4));
+    QCheck_alcotest.to_alcotest
+      (* Winner preservation is conditional on the observed-gain
+         hypothesis (DESIGN.md §11): a restart is only raced off when
+         the largest improvement any restart has shown cannot close its
+         gap to the incumbent, which presumes no later restart improves
+         more than that. The hypothesis holds for ~90% of seeds under
+         these cheap parameters (54 of seeds 1..60); the menu below is
+         drawn from the verified ones, so a failure here means a racing
+         regression, not a false positive. *)
+      (QCheck2.Test.make ~name:"racing preserves the winner (verified seeds)"
+         ~count:4
+         QCheck2.Gen.(oneofl [ 3; 9; 21; 42 ])
+         (fun seed ->
+            let go race =
+              match run ~restarts:4 ~race ~seed () with
+              | Some r -> (design_text r.Search.best, r.Search.winner)
+              | None -> QCheck2.Test.fail_report "no feasible design"
+            in
+            go false = go true));
+    Alcotest.test_case "an exhausted evaluation budget returns the incumbent"
+      `Slow (fun () ->
+          (* Restart 0 is always admitted; a one-evaluation cap rejects
+             everything after it, so the portfolio degrades to the
+             single fixed-seed solve instead of failing. *)
+          match run ~restarts:6 ~max_evaluations:1 (), single () with
+          | Some r, Some o ->
+            check_int "only restart 0 committed" 1 r.Search.restarts_run;
+            check_int "winner is restart 0" 0 r.Search.winner;
+            Alcotest.(check string) "incumbent is the single-solve design"
+              (design_text o.Design_solver.best)
+              (design_text r.Search.best)
+          | _ -> Alcotest.fail "no feasible design");
+    Alcotest.test_case "patience stops the portfolio but keeps the incumbent"
+      `Slow (fun () ->
+          match run ~restarts:6 ~patience:1 () with
+          | None -> Alcotest.fail "no feasible design"
+          | Some r ->
+            check_bool "a prefix of the restarts ran" true
+              (r.Search.restarts_run >= 1 && r.Search.restarts_run <= 6);
+            (* The returned best really is the cheapest committed
+               restart; ties go to the lowest index. *)
+            List.iter
+              (fun (rep : Search.report) ->
+                 match rep.Search.cost with
+                 | Some c ->
+                   check_bool "no committed restart beats the winner" true
+                     (c >= cost_dollars r.Search.best
+                      || rep.Search.index = r.Search.winner)
+                 | None -> ())
+              r.Search.reports) ]
+
+let suites =
+  [ ("search.streams", stream_tests);
+    ("search.portfolio", portfolio_tests) ]

@@ -177,6 +177,26 @@ let config_tests =
           | Error _ -> Alcotest.fail "infeasible"
         in
         check_bool "windows help" true Money.(searched <= skip));
+    Alcotest.test_case "solve is byte-identical on 1- and 4-domain pools"
+      `Quick (fun () ->
+          (* The pool is pure scheduling: window trials and growth moves
+             fold in task-index order with the sequential tie-breaking,
+             so the completed design must not depend on the width. Window
+             search plus growth exercises both parallel paths. *)
+          let options =
+            { fast_options with
+              Config_solver.window_scope = Config_solver.All_apps;
+              max_growth_steps = 6 }
+          in
+          let run domains =
+            match
+              Config_solver.solve ~options ~pool:(Exec.create ~domains ())
+                (Fixtures.two_app_design ()) likelihood
+            with
+            | Ok c -> Design.Design_io.to_string c.Candidate.design
+            | Error _ -> Alcotest.fail "infeasible"
+          in
+          Alcotest.(check string) "same design text" (run 1) (run 4));
     Alcotest.test_case "infeasible design is rejected" `Quick (fun () ->
         let env =
           Resources.Env.fully_connected ~name:"tiny" ~site_count:2 ~bays_per_site:2
