@@ -59,11 +59,25 @@ let obs = Obs.create ~metrics:true ()
 
 let sections : (string * float) list ref = ref []
 
+(* Per-section allocation deltas (Gc.quick_stat across the section, main
+   domain only — worker-domain allocation lands in the exec.* metrics),
+   keyed like [sections] and joined back in [write_results]. *)
+let section_gc : (string * (float * float * int * int)) list ref = ref []
+
 let timed label f =
+  let gc0 = Gc.quick_stat () in
   let t0 = Obs.Metrics.now_s () in
   let r = f () in
   let dt = Obs.Metrics.now_s () -. t0 in
+  let gc1 = Gc.quick_stat () in
   sections := (label, dt) :: !sections;
+  section_gc :=
+    ( label,
+      ( gc1.Gc.minor_words -. gc0.Gc.minor_words,
+        gc1.Gc.major_words -. gc0.Gc.major_words,
+        gc1.Gc.minor_collections - gc0.Gc.minor_collections,
+        gc1.Gc.major_collections - gc0.Gc.major_collections ) )
+    :: !section_gc;
   (match Obs.metrics obs with
    | Some reg -> Obs.Metrics.observe (Obs.Metrics.histogram reg "bench.section_s") dt
    | None -> ());
@@ -94,15 +108,29 @@ let write_results ~total () =
   List.iteri
     (fun i (label, dt) ->
        if i > 0 then Buffer.add_char buf ',';
+       let minor, major, minor_col, major_col =
+         match List.assoc_opt label !section_gc with
+         | Some gc -> gc
+         | None -> (0., 0., 0, 0)
+       in
        Buffer.add_string buf
-         (Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.3f}"
-            (json_escape label) dt))
+         (Printf.sprintf
+            "{\"name\":\"%s\",\"seconds\":%.3f,\"minor_words\":%.0f,\
+             \"major_words\":%.0f,\"minor_collections\":%d,\
+             \"major_collections\":%d}"
+            (json_escape label) dt minor major minor_col major_col))
     (List.rev !sections);
   Buffer.add_string buf "],";
   (match Obs.metrics obs with
    | Some reg ->
      Buffer.add_string buf
-       (Printf.sprintf "\"metrics\":%s," (Obs.Metrics.to_json reg))
+       (Printf.sprintf "\"metrics\":%s," (Obs.Metrics.to_json reg));
+     (* The same registry folded into a ds-prof/1 report (stage list is
+        empty — the harness traces nothing — but the pool-accounting and
+        lock-wait sections carry the parallel head-to-heads' story). *)
+     Buffer.add_string buf
+       (Printf.sprintf "\"profile\":%s,"
+          (Obs.Prof.to_json (Obs.Prof.capture ~label:"bench" ~registry:reg ())))
    | None -> ());
   Buffer.add_string buf (Printf.sprintf "\"total_seconds\":%.3f}" total);
   let oc = open_out path in

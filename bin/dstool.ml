@@ -68,8 +68,19 @@ let progress_term =
                  evaluations, stage transitions, refit accept/reject) to \
                  FILE as CSV.")
 
-let obs_terms = Term.(const (fun t m p -> (t, m, p))
-                      $ trace_term $ metrics_term $ progress_term)
+let profile_term =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Write a structured profiling report (ds-prof/1 JSON: \
+                 per-stage wall/allocation breakdown, domain-pool \
+                 utilization, lock-wait totals, histogram percentiles) to \
+                 FILE and print it. Forces metrics and trace collection \
+                 on; results are unchanged (instrumentation never draws \
+                 from the RNG).")
+
+let obs_terms = Term.(const (fun t m p prof -> (t, m, p, prof))
+                      $ trace_term $ metrics_term $ progress_term
+                      $ profile_term)
 
 (* The configuration-solver memo cache is result-transparent (same seed,
    byte-identical design), so it is on by default; the escape hatch
@@ -154,17 +165,20 @@ let apply_portfolio (restarts, race, evals) budget =
   if restarts = 1 && (not race) && evals = None then budget
   else E.Budgets.with_portfolio ~race ?max_evaluations:evals budget restarts
 
-let obs_of (trace, metrics, progress) =
-  if trace = None && (not metrics) && progress = None then Obs.noop
-  else
-    Obs.create ~metrics ~trace:(trace <> None) ~progress:(progress <> None) ()
+let obs_of (trace, metrics, progress, profile) =
+  (* --profile needs both the registry (pool/lock accounting) and the
+     span collector (stage breakdown), whatever else was asked for. *)
+  let metrics = metrics || profile <> None in
+  let trace = trace <> None || profile <> None in
+  if (not trace) && (not metrics) && progress = None then Obs.noop
+  else Obs.create ~metrics ~trace ~progress:(progress <> None) ()
 
 (* Emit whatever sinks were requested; shared by solve/compare/risk.
    A bad path must not discard the run that produced the data — the
    search result already printed — but it must not exit 0 either, or CI
    silently loses the artifact it asked for: failures surface as a
    nonzero exit through the returned [Error]. *)
-let report_obs (trace, metrics, progress) obs =
+let report_obs (trace, metrics, progress, profile) obs =
   let errors = ref [] in
   let write path contents =
     match Obs.write_file path contents with
@@ -210,6 +224,16 @@ let report_obs (trace, metrics, progress) obs =
    | Some registry when metrics ->
      Format.fprintf fmt "@.metrics:@.%a" Obs.Metrics.pp registry
    | _ -> ());
+  (match profile with
+   | None -> ()
+   | Some path ->
+     let report =
+       Obs.Prof.capture ~label:"dstool"
+         ?registry:(Obs.metrics obs) ?trace:(Obs.trace obs) ()
+     in
+     if write path (Obs.Prof.to_json report) then
+       Format.fprintf fmt "@.%a@.profile written to %s@." Obs.Prof.pp report
+         path);
   match List.rev !errors with
   | [] -> Ok ()
   | errors -> Error (String.concat "; " errors)
@@ -711,6 +735,143 @@ let frontier_cmd =
           $ likelihood_term $ multipliers_term $ domains_term)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed menu of workloads worth profiling, run under a fully
+   instrumented capability (metrics + trace) and rendered as a ds-prof/1
+   report. [refit] reproduces the bench harness's parallel-refit shape —
+   the workload whose parallel leg is slower than sequential on the
+   checked-in bench — so the report attributes exactly that regression:
+   worker busy/idle, memo lock waits, spawn/join overhead, Gc deltas. *)
+let profile_cmd =
+  let workload_conv =
+    let parse = function
+      | "refit" -> Ok `Refit
+      | "solve" -> Ok `Solve
+      | "year_sim" -> Ok `Year_sim
+      | "portfolio" -> Ok `Portfolio
+      | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown workload %S (refit|solve|year_sim|portfolio)" s))
+    in
+    let print ppf w =
+      Format.pp_print_string ppf
+        (match w with
+         | `Refit -> "refit"
+         | `Solve -> "solve"
+         | `Year_sim -> "year_sim"
+         | `Portfolio -> "portfolio")
+    in
+    Arg.conv (parse, print)
+  in
+  let workload_term =
+    Arg.(value & pos 0 workload_conv `Refit
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"What to profile: $(b,refit) (the bench harness's \
+                   refit-heavy solve, default), $(b,solve) (a budgeted \
+                   solve), $(b,year_sim) (solve + Monte Carlo year \
+                   simulation) or $(b,portfolio) (4 multi-start \
+                   restarts).")
+  in
+  let out_term =
+    Arg.(value & opt string "profile.json"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the ds-prof/1 JSON report.")
+  in
+  let trace_out_term =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Also write the Chrome trace-event JSON (one lane per \
+                   worker domain) to FILE.")
+  in
+  let years_term =
+    Arg.(value & opt int 10_000
+         & info [ "years" ] ~docv:"N"
+             ~doc:"Simulated years for the year_sim workload.")
+  in
+  let run env apps seed budget likelihood workload out trace_out domains
+      years =
+    let env, workloads = resolve_env env apps in
+    let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
+    let obs = Obs.create ~metrics:true ~trace:true () in
+    let solve_with params =
+      Design_solver.solve ~params ~obs env workloads likelihood
+    in
+    let label, ran =
+      match workload with
+      | `Refit ->
+        (* The bench harness's parallel-refit shape (bench/main.ml):
+           refit dominates, polish off, so the report is almost pure
+           probe-map behavior. *)
+        let params =
+          { budget.E.Budgets.solver with
+            Design_solver.breadth = 4;
+            depth = 4;
+            refit_rounds = 12;
+            patience = 13;
+            polish = None }
+        in
+        ("refit", solve_with params <> None)
+      | `Solve -> ("solve", solve_with budget.E.Budgets.solver <> None)
+      | `Year_sim ->
+        ( "year_sim",
+          match solve_with budget.E.Budgets.solver with
+          | None -> false
+          | Some outcome ->
+            let pool = Exec.create ~domains () in
+            let prov =
+              outcome.Design_solver.best.Candidate.eval
+                .Cost.Evaluate.provision
+            in
+            ignore
+              (Risk.Year_sim.simulate ~years ~obs ~pool
+                 (Prng.Rng.of_int seed) prov likelihood);
+            true )
+      | `Portfolio ->
+        let pool = Exec.create ~domains () in
+        ( "portfolio",
+          Search.run ~restarts:4 ~params:budget.E.Budgets.solver ~pool ~obs
+            env workloads likelihood
+          <> None )
+    in
+    if not ran then `Error (false, "no feasible design found")
+    else begin
+      let report =
+        Obs.Prof.capture ~label ?registry:(Obs.metrics obs)
+          ?trace:(Obs.trace obs) ()
+      in
+      Format.fprintf fmt "%a" Obs.Prof.pp report;
+      let trace_status =
+        match (trace_out, Obs.trace obs) with
+        | Some path, Some collector ->
+          Obs.write_file path (Obs.Trace.to_chrome_json collector)
+        | _ -> Ok ()
+      in
+      match (Obs.write_file out (Obs.Prof.to_json report), trace_status) with
+      | Ok (), Ok () ->
+        Format.fprintf fmt "@.profile written to %s%s@." out
+          (match trace_out with
+           | Some p -> Printf.sprintf ", trace to %s" p
+           | None -> "");
+        `Ok ()
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a representative workload fully instrumented and write a \
+             structured profiling report: per-stage wall/allocation \
+             breakdown, domain-pool utilization (worker busy/idle, \
+             spawn/join), lock-wait totals and histogram percentiles, \
+             plus an optional per-domain-lane Chrome trace.")
+    Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
+               $ likelihood_term $ workload_term $ out_term $ trace_out_term
+               $ domains_term $ years_term))
+
+(* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -760,7 +921,7 @@ let main =
   Cmd.group
     (Cmd.info "dstool" ~version:"1.0.0" ~doc)
     [ catalogs_cmd; solve_cmd; audit_cmd; compare_cmd; sample_cmd; scale_cmd;
-      sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd; trace_cmd;
-      diff_cmd ]
+      sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd; profile_cmd;
+      trace_cmd; diff_cmd ]
 
 let () = exit (Cmd.eval main)

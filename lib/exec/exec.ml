@@ -67,3 +67,173 @@ let map_rng pool ~rng f tasks =
   mapi pool (fun i x -> f rngs.(i) x) tasks
 
 let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Observed maps: the same schedule, plus pool accounting and          *)
+(* per-domain trace lanes.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented obs = Obs.metrics_on obs || Obs.trace obs <> None
+
+let now_s = Obs.Metrics.now_s
+
+(* Everything the caller-side accounting needs about one finished map.
+   Collected into plain per-worker arrays (disjoint slots, like the
+   result array) and emitted from the calling domain only after every
+   worker has joined — observers never race, and the emission order is
+   deterministic. *)
+type acct = {
+  busy : float array;  (* per worker: summed task run time *)
+  tasks_run : int array;
+  minor : float array;  (* per worker: Gc.quick_stat deltas *)
+  major : float array;
+  minor_col : int array;
+  major_col : int array;
+}
+
+let emit_acct obs a ~w ~wall ~spawn_s ~join_s =
+  Obs.observe obs "exec.map_wall_s" wall;
+  (match spawn_s with Some s -> Obs.observe obs "exec.spawn_s" s | None -> ());
+  (match join_s with Some s -> Obs.observe obs "exec.join_s" s | None -> ());
+  let busy_lo = ref Float.infinity and busy_hi = ref 0. in
+  let run_lo = ref max_int and run_hi = ref 0 in
+  let completed = ref 0 in
+  let minor = ref 0. and major = ref 0. in
+  let minor_col = ref 0 and major_col = ref 0 in
+  for k = 0 to w - 1 do
+    Obs.observe obs "exec.worker_busy_s" a.busy.(k);
+    Obs.observe obs "exec.worker_idle_s" (Float.max 0. (wall -. a.busy.(k)));
+    busy_lo := Float.min !busy_lo a.busy.(k);
+    busy_hi := Float.max !busy_hi a.busy.(k);
+    run_lo := min !run_lo a.tasks_run.(k);
+    run_hi := max !run_hi a.tasks_run.(k);
+    completed := !completed + a.tasks_run.(k);
+    minor := !minor +. a.minor.(k);
+    major := !major +. a.major.(k);
+    minor_col := !minor_col + a.minor_col.(k);
+    major_col := !major_col + a.major_col.(k)
+  done;
+  Obs.add obs "exec.tasks_completed" !completed;
+  Obs.observe obs "exec.busy_imbalance_s" (!busy_hi -. !busy_lo);
+  Obs.observe obs "exec.task_imbalance" (float_of_int (!run_hi - !run_lo));
+  Obs.gauge_add obs "exec.minor_words" !minor;
+  Obs.gauge_add obs "exec.major_words" !major;
+  Obs.add obs "exec.minor_collections" !minor_col;
+  Obs.add obs "exec.major_collections" !major_col
+
+let mapi_obs pool ?(label = "exec.map") ~obs f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if not (instrumented obs) then mapi pool (fun i x -> f obs i x) tasks
+  else begin
+    let w = workers pool ~tasks:n in
+    Obs.incr obs "exec.maps";
+    Obs.add obs "exec.tasks" n;
+    (match Obs.metrics obs with
+     | None -> ()
+     | Some reg ->
+       Obs.Metrics.gauge_max
+         (Obs.Metrics.gauge reg "exec.workers_max")
+         (float_of_int w));
+    Obs.with_span obs
+      ~args:[ ("tasks", string_of_int n); ("workers", string_of_int w) ]
+      label
+      (fun () ->
+         let results = Array.make n None in
+         let failures = Array.make n None in
+         let a =
+           { busy = Array.make w 0.;
+             tasks_run = Array.make w 0;
+             minor = Array.make w 0.;
+             major = Array.make w 0.;
+             minor_col = Array.make w 0;
+             major_col = Array.make w 0 }
+         in
+         (* Runs on worker [k]'s own domain under that worker's lane
+            capability; busy time and Gc deltas land in slot [k]. *)
+         let run_one wobs k i =
+           let t0 = now_s () in
+           (match
+              Obs.with_span wobs
+                ~args:[ ("task", string_of_int i) ]
+                "task"
+                (fun () -> f wobs i tasks.(i))
+            with
+            | v -> results.(i) <- Some v
+            | exception e ->
+              failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+           a.busy.(k) <- a.busy.(k) +. (now_s () -. t0);
+           a.tasks_run.(k) <- a.tasks_run.(k) + 1
+         in
+         let stride wobs k =
+           let gc0 = Gc.quick_stat () in
+           Obs.with_span wobs
+             ~args:[ ("worker", string_of_int k) ]
+             "worker"
+             (fun () ->
+                let i = ref k in
+                while !i < n do
+                  run_one wobs k !i;
+                  i := !i + w
+                done);
+           let gc1 = Gc.quick_stat () in
+           a.minor.(k) <- gc1.Gc.minor_words -. gc0.Gc.minor_words;
+           a.major.(k) <- gc1.Gc.major_words -. gc0.Gc.major_words;
+           a.minor_col.(k) <-
+             gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+           a.major_col.(k) <-
+             gc1.Gc.major_collections - gc0.Gc.major_collections
+         in
+         let t_region = now_s () in
+         if w = 1 then begin
+           stride obs 0;
+           emit_acct obs a ~w ~wall:(now_s () -. t_region) ~spawn_s:None
+             ~join_s:None
+         end
+         else begin
+           (* Lanes are created here, while [label]'s span is open, so
+              worker spans root under it; the coordinator (worker 0)
+              records straight into the caller's collector, same
+              thread. Merging runs after every join, in worker-index
+              order — deterministic span list, no concurrent access. *)
+           let lanes =
+             Array.init w (fun k ->
+                 if k = 0 then (obs, None) else Obs.fork_lane obs ~tid:(k + 1))
+           in
+           let t_spawn = now_s () in
+           let spawned =
+             List.init (w - 1) (fun j ->
+                 let wobs, _ = lanes.(j + 1) in
+                 Domain.spawn (fun () -> stride wobs (j + 1)))
+           in
+           let spawn_s = now_s () -. t_spawn in
+           stride obs 0;
+           let t_join = now_s () in
+           List.iter Domain.join spawned;
+           for k = 1 to w - 1 do
+             Obs.merge_lane obs (snd lanes.(k))
+           done;
+           let t_end = now_s () in
+           emit_acct obs a ~w ~wall:(t_end -. t_region)
+             ~spawn_s:(Some spawn_s)
+             ~join_s:(Some (t_end -. t_join))
+         end;
+         Array.iter
+           (function
+             | Some (e, backtrace) ->
+               Printexc.raise_with_backtrace e backtrace
+             | None -> ())
+           failures;
+         Array.map Option.get results)
+  end
+
+let map_rng_obs pool ?label ~obs ~rng f tasks =
+  let n = Array.length tasks in
+  (* Same pre-split contract as {!map_rng}: streams are fixed in
+     task-index order before anything runs, and the accounting above
+     never draws from them — instrumentation cannot steer results. *)
+  let rngs = Array.make n rng in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  mapi_obs pool ?label ~obs (fun wobs i x -> f wobs rngs.(i) x) tasks

@@ -79,3 +79,63 @@ val map_rng : pool -> rng:Rng.t -> (Rng.t -> 'a -> 'b) -> 'a array -> 'b array
 
 val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
+
+(** {1 Observed maps}
+
+    The same deterministic schedule, plus pool accounting and
+    per-domain trace lanes. With an all-off capability these delegate
+    to the plain maps above (zero overhead); with sinks attached they
+    additionally record, per map, into [obs]'s registry:
+
+    - counters [exec.maps], [exec.tasks] (submitted),
+      [exec.tasks_completed], [exec.minor_collections],
+      [exec.major_collections];
+    - gauges [exec.workers_max] (running maximum pool width),
+      [exec.minor_words] / [exec.major_words] (accumulated Gc deltas
+      across workers);
+    - histograms [exec.map_wall_s] (whole parallel region),
+      [exec.spawn_s] / [exec.join_s] (domain fork/join overhead, only
+      when more than one worker ran), [exec.worker_busy_s] /
+      [exec.worker_idle_s] (one sample per worker per map; idle is
+      region wall minus that worker's busy time),
+      [exec.busy_imbalance_s] and [exec.task_imbalance] (max − min
+      across workers; the strided schedule bounds the latter by 1).
+
+    With a trace sink, the region is a span named [label] wrapping one
+    ["worker"] span per worker and one ["task"] span per task; worker
+    domains record into per-lane collectors ({!Ds_obs.Obs.fork_lane},
+    one [tid] per domain) that are merged back in worker-index order
+    after every domain joins, so Chrome export shows one lane per
+    domain and the merge order — hence the exported span list — is
+    deterministic.
+
+    Accounting is collected into per-worker slots (disjoint, like the
+    result array) and emitted from the calling domain after the join,
+    and it never draws RNG: the fixed-seed result contract is exactly
+    that of the plain maps. *)
+
+val mapi_obs :
+  pool ->
+  ?label:string ->
+  obs:Obs.t ->
+  (Obs.t -> int -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [mapi_obs pool ~obs f tasks] is {!mapi} where task [i] runs as
+    [f wobs i tasks.(i)] under its worker's capability [wobs] — the
+    caller's [obs] on the coordinator, a trace-lane fork of it on
+    spawned domains (metrics and progress sinks are shared; they are
+    domain-safe). [label] names the region span (default
+    ["exec.map"]). *)
+
+val map_rng_obs :
+  pool ->
+  ?label:string ->
+  obs:Obs.t ->
+  rng:Rng.t ->
+  (Obs.t -> Rng.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** {!map_rng} with the same worker-capability plumbing as
+    {!mapi_obs}: streams are pre-split in task-index order before
+    anything runs, and the accounting never draws from them. *)

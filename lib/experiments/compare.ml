@@ -115,8 +115,10 @@ let run ?(budgets = Budgets.default) ?(metaheuristics = false)
                    env apps likelihood)
                   .Heuristic_result.best) ) ]
   in
-  let obs = Exec.worker_obs pool ~tasks:(List.length arms) obs in
-  Exec.map_list pool (fun (label, arm) -> of_candidate label (arm obs)) arms
+  Exec.mapi_obs pool ~label:"compare.arms" ~obs
+    (fun wobs _ (label, arm) -> of_candidate label (arm wobs))
+    (Array.of_list arms)
+  |> Array.to_list
 
 let run_peer ?budgets () =
   run ?budgets (Envs.peer_sites ()) (Envs.peer_apps ()) Likelihood.default

@@ -1,0 +1,65 @@
+(* Contention-accounting mutex wrapper.
+
+   The fast path is a [Mutex.try_lock]: an uncontended acquisition costs
+   one atomic bump on top of the bare mutex and never reads the clock.
+   Only when the lock is actually held elsewhere do we time the blocking
+   [Mutex.lock] and accumulate the wait. Stats cells are atomics so
+   worker domains can hammer one lock while another domain reads the
+   totals — no lock is ever taken to *report* lock contention.
+
+   Deliberately dependency-free within ds_obs (the clock aside):
+   [Metrics] uses it for its own registry and histogram mutexes, so this
+   module cannot itself depend on [Metrics]. Sinks that want per-wait
+   samples (e.g. a [*.lock_wait_s] histogram) attach a callback with
+   {!set_on_wait} instead. *)
+
+type stats = {
+  acquisitions : int Atomic.t;
+  contended : int Atomic.t;
+  wait_ns : int Atomic.t;  (* 2^62 ns is ~146 years: an int cannot wrap *)
+  on_wait : (float -> unit) option Atomic.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  stats : stats;
+}
+
+let create_stats () =
+  { acquisitions = Atomic.make 0;
+    contended = Atomic.make 0;
+    wait_ns = Atomic.make 0;
+    on_wait = Atomic.make None }
+
+let create ?stats () =
+  { mutex = Mutex.create ();
+    stats = (match stats with Some s -> s | None -> create_stats ()) }
+
+let stats t = t.stats
+
+let set_on_wait stats f = Atomic.set stats.on_wait f
+
+let now_ns () = Monotonic_clock.now ()
+
+let lock t =
+  ignore (Atomic.fetch_and_add t.stats.acquisitions 1);
+  if not (Mutex.try_lock t.mutex) then begin
+    let t0 = now_ns () in
+    Mutex.lock t.mutex;
+    let waited = Int64.to_int (Int64.sub (now_ns ()) t0) in
+    ignore (Atomic.fetch_and_add t.stats.contended 1);
+    ignore (Atomic.fetch_and_add t.stats.wait_ns (max 0 waited));
+    match Atomic.get t.stats.on_wait with
+    | None -> ()
+    | Some f -> f (float_of_int (max 0 waited) *. 1e-9)
+  end
+
+let unlock t = Mutex.unlock t.mutex
+
+let protect t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+let acquisitions stats = Atomic.get stats.acquisitions
+let contended stats = Atomic.get stats.contended
+let wait_s stats = float_of_int (Atomic.get stats.wait_ns) *. 1e-9

@@ -1,0 +1,54 @@
+(** Contention-accounting mutex wrapper.
+
+    A [Lockstat.t] is a mutex whose acquisitions are counted and whose
+    {e blocking} acquisitions are timed: an uncontended [try_lock]
+    succeeds without touching the clock, so the wrapper adds one atomic
+    increment to the fast path and measures only real waits. The stats
+    live in atomics and can be read from any domain at any time without
+    taking the lock being measured.
+
+    One [stats] cell may back several locks (e.g. every histogram lock
+    in a {!Metrics.registry} shares one), aggregating their contention
+    into a single figure. *)
+
+type stats
+(** Shared accounting cell: acquisition / contended counters and the
+    accumulated wait. Domain-safe. *)
+
+type t
+(** A mutex plus the [stats] cell it reports into. *)
+
+val create_stats : unit -> stats
+
+val create : ?stats:stats -> unit -> t
+(** A fresh unlocked mutex. Without [?stats] it gets a private cell;
+    pass a shared one to aggregate several locks. *)
+
+val stats : t -> stats
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect t f] runs [f] holding the lock ([Mutex.protect] semantics:
+    unlocks on return or raise), counting the acquisition and timing
+    the wait iff the lock was contended. *)
+
+val lock : t -> unit
+val unlock : t -> unit
+(** Explicit acquire / release for call sites where [protect]'s closure
+    would allocate on a hot path. [lock] does the accounting. *)
+
+val set_on_wait : stats -> (float -> unit) option -> unit
+(** Install (or clear) a per-wait callback: every {e contended}
+    acquisition reports its wait in seconds, e.g. into a
+    [*.lock_wait_s] histogram. The callback runs on the acquiring
+    domain while the lock is held — it must be domain-safe, cheap, and
+    must never try to take the same lock (so never install a callback
+    that observes into an instrument guarded by the lock it watches). *)
+
+val acquisitions : stats -> int
+(** Total acquisitions, contended or not. *)
+
+val contended : stats -> int
+(** Acquisitions that found the lock held and had to block. *)
+
+val wait_s : stats -> float
+(** Total seconds spent blocked across all contended acquisitions. *)

@@ -1,18 +1,58 @@
 (* Domain-safe instruments: the design solver's parallel refit bumps
    counters from worker domains concurrently, so counters and gauges are
    Atomic-backed, histograms take a per-instrument lock, and instrument
-   creation is serialized by a registry lock. *)
+   creation is serialized by a registry lock. Both mutexes are
+   [Lockstat]-wrapped, so the registry can report its own contention.
+
+   Renderers never read mutable instrument state directly: they go
+   through {!snapshot}, which copies each instrument under its lock —
+   a dump racing concurrent observers sees a consistent (count, sum,
+   lo, hi, buckets) tuple, never a torn one. *)
 
 type counter = int Atomic.t
 
 type gauge = float Atomic.t
 
+(* Histogram buckets are quarter-powers-of-two spanning 2^-26 s (~15 ns)
+   to 2^6 s (64 s): bucket 0 is the underflow range [0, 2^-26), buckets
+   1..128 cover the log-spaced span, bucket 129 is overflow. The ~19%
+   bucket width bounds the raw percentile error; linear interpolation
+   inside the bucket and clamping into [lo, hi] tighten it further. *)
+let min_exponent = -26
+let max_exponent = 6
+let buckets_per_octave = 4
+
+let log_buckets = (max_exponent - min_exponent) * buckets_per_octave
+let bucket_count = log_buckets + 2
+let min_edge = 2. ** float_of_int min_exponent
+let max_edge = 2. ** float_of_int max_exponent
+
+let bucket_of s =
+  if s < min_edge then 0
+  else if s >= max_edge then bucket_count - 1
+  else
+    let raw =
+      int_of_float
+        (Float.floor
+           ((Float.log2 s -. float_of_int min_exponent)
+            *. float_of_int buckets_per_octave))
+    in
+    1 + max 0 (min (log_buckets - 1) raw)
+
+(* Lower edge of bucket [b] for b in [1, log_buckets]; bucket b covers
+   [edge b, edge (b + 1)). *)
+let edge b =
+  2.
+  ** (float_of_int min_exponent
+      +. (float_of_int (b - 1) /. float_of_int buckets_per_octave))
+
 type histogram = {
-  lock : Mutex.t;
+  lock : Lockstat.t;
   mutable observed : int;
   mutable sum : float;
   mutable lo : float;
   mutable hi : float;
+  buckets : int array;
 }
 
 type instrument =
@@ -22,10 +62,16 @@ type instrument =
 
 type registry = {
   tbl : (string, instrument) Hashtbl.t;
-  lock : Mutex.t;
+  lock : Lockstat.t;
+  hist_lock_stats : Lockstat.stats;
+      (* One shared cell: per-histogram contention aggregated across
+         every histogram in the registry. *)
 }
 
-let create () : registry = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+let create () : registry =
+  { tbl = Hashtbl.create 64;
+    lock = Lockstat.create ();
+    hist_lock_stats = Lockstat.create_stats () }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -34,7 +80,7 @@ let kind_name = function
 
 let lookup reg name make select =
   let instr =
-    Mutex.protect reg.lock (fun () ->
+    Lockstat.protect reg.lock (fun () ->
         match Hashtbl.find_opt reg.tbl name with
         | Some instr -> instr
         | None ->
@@ -63,7 +109,12 @@ let histogram reg name =
   lookup reg name
     (fun () ->
        Histogram
-         { lock = Mutex.create (); observed = 0; sum = 0.; lo = 0.; hi = 0. })
+         { lock = Lockstat.create ~stats:reg.hist_lock_stats ();
+           observed = 0;
+           sum = 0.;
+           lo = 0.;
+           hi = 0.;
+           buckets = Array.make bucket_count 0 })
     (function Histogram h -> Some h | _ -> None)
 
 let incr c = Atomic.incr c
@@ -76,15 +127,20 @@ let rec gauge_add g dv =
   let v = Atomic.get g in
   if not (Atomic.compare_and_set g v (v +. dv)) then gauge_add g dv
 
+let rec gauge_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then gauge_max g v
+
 let value g = Atomic.get g
 
 let observe (h : histogram) s =
   if not (Float.is_nan s || s < 0.) then
-    Mutex.protect h.lock (fun () ->
+    Lockstat.protect h.lock (fun () ->
         if h.observed = 0 then begin h.lo <- s; h.hi <- s end
         else begin h.lo <- Float.min h.lo s; h.hi <- Float.max h.hi s end;
         h.observed <- h.observed + 1;
-        h.sum <- h.sum +. s)
+        h.sum <- h.sum +. s;
+        h.buckets.(bucket_of s) <- h.buckets.(bucket_of s) + 1)
 
 let observations h = h.observed
 let total h = h.sum
@@ -92,31 +148,122 @@ let mean h = if h.observed = 0 then 0. else h.sum /. float_of_int h.observed
 let hist_min h = h.lo
 let hist_max h = h.hi
 
+(* Percentile from the bucket counts of a consistent histogram state
+   (caller holds the lock or owns a snapshot): find the bucket holding
+   the target rank, interpolate linearly between its edges, clamp into
+   the exact [lo, hi] envelope. *)
+let percentile_of ~observed ~lo ~hi (buckets : int array) q =
+  if observed = 0 then 0.
+  else begin
+    let target = Float.max 1. (Float.round (q *. float_of_int observed)) in
+    let b = ref 0 and cum = ref 0 in
+    while
+      !b < bucket_count - 1
+      && float_of_int (!cum + buckets.(!b)) < target
+    do
+      cum := !cum + buckets.(!b);
+      b := !b + 1
+    done;
+    let b = !b in
+    let in_bucket = buckets.(b) in
+    let frac =
+      if in_bucket = 0 then 1.
+      else (target -. float_of_int !cum) /. float_of_int in_bucket
+    in
+    let b_lo, b_hi =
+      if b = 0 then (0., min_edge)
+      else if b = bucket_count - 1 then (max_edge, Float.max max_edge hi)
+      else (edge b, edge (b + 1))
+    in
+    let v = b_lo +. (frac *. (b_hi -. b_lo)) in
+    Float.min hi (Float.max lo v)
+  end
+
+let percentile (h : histogram) q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg "Obs.Metrics.percentile: q outside [0, 1]";
+  Lockstat.protect h.lock (fun () ->
+      percentile_of ~observed:h.observed ~lo:h.lo ~hi:h.hi h.buckets q)
+
 let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 let time h f =
   let t0 = now_s () in
   Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
 
-let names reg =
-  Mutex.protect reg.lock (fun () ->
-      Hashtbl.fold (fun name _ acc -> name :: acc) reg.tbl [])
-  |> List.sort String.compare
+(* ------------------------------------------------------------------ *)
+(* Consistent snapshots: every read of mutable instrument state for     *)
+(* rendering goes through here.                                         *)
+(* ------------------------------------------------------------------ *)
 
-let sorted reg =
-  List.map (fun name -> (name, Hashtbl.find reg.tbl name)) (names reg)
+type histogram_snapshot = {
+  snap_count : int;
+  snap_total : float;
+  snap_mean : float;
+  snap_min : float;
+  snap_max : float;
+  snap_p50 : float;
+  snap_p90 : float;
+  snap_p99 : float;
+}
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+let snapshot_histogram (h : histogram) =
+  Lockstat.protect h.lock (fun () ->
+      let pct = percentile_of ~observed:h.observed ~lo:h.lo ~hi:h.hi h.buckets in
+      { snap_count = h.observed;
+        snap_total = h.sum;
+        snap_mean =
+          (if h.observed = 0 then 0. else h.sum /. float_of_int h.observed);
+        snap_min = h.lo;
+        snap_max = h.hi;
+        snap_p50 = pct 0.5;
+        snap_p90 = pct 0.9;
+        snap_p99 = pct 0.99 })
+
+let snapshot reg =
+  (* Bindings are copied under the registry lock (names and instrument
+     identities never change once created, so reading each instrument's
+     state after releasing it is safe — instrument locks take over). *)
+  let bindings =
+    Lockstat.protect reg.lock (fun () ->
+        Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) reg.tbl [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.map
+    (fun (name, instr) ->
+       let v =
+         match instr with
+         | Counter c -> Counter_value (Atomic.get c)
+         | Gauge g -> Gauge_value (Atomic.get g)
+         | Histogram h -> Histogram_value (snapshot_histogram h)
+       in
+       (name, v))
+    bindings
+
+let names reg = List.map fst (snapshot reg)
+
+let lock_stats reg =
+  [ ("metrics.registry", Lockstat.stats reg.lock);
+    ("metrics.histograms", reg.hist_lock_stats) ]
 
 let pp ppf reg =
   List.iter
-    (fun (name, instr) ->
-       match instr with
-       | Counter c -> Format.fprintf ppf "%-44s %12d@." name (Atomic.get c)
-       | Gauge g -> Format.fprintf ppf "%-44s %12.6g@." name (Atomic.get g)
-       | Histogram h ->
+    (fun (name, v) ->
+       match v with
+       | Counter_value c -> Format.fprintf ppf "%-44s %12d@." name c
+       | Gauge_value g -> Format.fprintf ppf "%-44s %12.6g@." name g
+       | Histogram_value h ->
          Format.fprintf ppf
-           "%-44s n=%d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs@." name
-           h.observed h.sum (mean h) h.lo h.hi)
-    (sorted reg)
+           "%-44s n=%d total=%.6fs mean=%.6fs min=%.6fs p50=%.6fs \
+            p90=%.6fs p99=%.6fs max=%.6fs@."
+           name h.snap_count h.snap_total h.snap_mean h.snap_min h.snap_p50
+           h.snap_p90 h.snap_p99 h.snap_max)
+    (snapshot reg)
 
 (* JSON string escaping for instrument names. *)
 let escape s =
@@ -140,22 +287,27 @@ let json_float x =
     Printf.sprintf "%.1f" x
   else Printf.sprintf "%.9g" x
 
+let histogram_snapshot_json h =
+  Printf.sprintf
+    "{\"count\":%d,\"total_s\":%s,\"mean_s\":%s,\"min_s\":%s,\"max_s\":%s,\
+     \"p50_s\":%s,\"p90_s\":%s,\"p99_s\":%s}"
+    h.snap_count (json_float h.snap_total) (json_float h.snap_mean)
+    (json_float h.snap_min) (json_float h.snap_max) (json_float h.snap_p50)
+    (json_float h.snap_p90) (json_float h.snap_p99)
+
+let json_escape = escape
+
 let to_json reg =
   let buf = Buffer.create 1024 in
   Buffer.add_char buf '{';
   List.iteri
-    (fun i (name, instr) ->
+    (fun i (name, v) ->
        if i > 0 then Buffer.add_char buf ',';
        Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape name));
-       (match instr with
-        | Counter c -> Buffer.add_string buf (string_of_int (Atomic.get c))
-        | Gauge g -> Buffer.add_string buf (json_float (Atomic.get g))
-        | Histogram h ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               "{\"count\":%d,\"total_s\":%s,\"mean_s\":%s,\"min_s\":%s,\"max_s\":%s}"
-               h.observed (json_float h.sum) (json_float (mean h))
-               (json_float h.lo) (json_float h.hi))))
-    (sorted reg);
+       match v with
+       | Counter_value c -> Buffer.add_string buf (string_of_int c)
+       | Gauge_value g -> Buffer.add_string buf (json_float g)
+       | Histogram_value h -> Buffer.add_string buf (histogram_snapshot_json h))
+    (snapshot reg);
   Buffer.add_char buf '}';
   Buffer.contents buf

@@ -12,7 +12,19 @@
     Atomic-backed, histogram updates take a per-instrument lock and
     instrument creation is serialized, so hooks may fire concurrently
     from worker domains (the design solver's parallel refit does) without
-    losing updates. *)
+    losing updates. Renderers ({!pp}, {!to_json}) read through
+    {!snapshot}, which copies each instrument under its lock — dumping a
+    registry while workers observe into it can never show a torn
+    (count, sum, min, max) tuple.
+
+    Histograms bucket their samples into fixed quarter-power-of-two
+    ranges spanning ~15 ns to 64 s, giving {!percentile} estimates
+    accurate to a bucket width (~19%, tightened by interpolation and by
+    clamping into the exact observed [min, max]).
+
+    The registry's own mutexes (instrument creation, per-histogram
+    update) are {!Lockstat}-wrapped; {!lock_stats} reports how much the
+    instrumentation itself contends. *)
 
 type registry
 type counter
@@ -34,6 +46,11 @@ val count : counter -> int
 
 val set : gauge -> float -> unit
 val gauge_add : gauge -> float -> unit
+
+val gauge_max : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] exceeds its current value (CAS loop;
+    domain-safe running maximum). *)
+
 val value : gauge -> float
 
 val observe : histogram -> float -> unit
@@ -48,6 +65,12 @@ val hist_min : histogram -> float
 val hist_max : histogram -> float
 (** 0 when empty. *)
 
+val percentile : histogram -> float -> float
+(** [percentile h q] estimates the [q]-quantile ([q] in [0, 1]) of the
+    observed samples from the bucket counts: linear interpolation inside
+    the covering bucket, clamped into the exact observed [min, max].
+    0 when empty. @raise Invalid_argument when [q] is outside [0, 1]. *)
+
 val now_s : unit -> float
 (** Monotonic time in seconds since an arbitrary origin. *)
 
@@ -55,13 +78,53 @@ val time : histogram -> (unit -> 'a) -> 'a
 (** Run the thunk and {!observe} its monotonic duration, exceptions
     included. *)
 
+(** {1 Snapshots} — consistent point-in-time copies for rendering. *)
+
+type histogram_snapshot = {
+  snap_count : int;
+  snap_total : float;
+  snap_mean : float;
+  snap_min : float;
+  snap_max : float;
+  snap_p50 : float;
+  snap_p90 : float;
+  snap_p99 : float;
+}
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+val snapshot : registry -> (string * value) list
+(** Every instrument, sorted by name, each copied under its own lock.
+    Safe to call while worker domains observe concurrently. *)
+
+val snapshot_histogram : histogram -> histogram_snapshot
+
 val names : registry -> string list
 (** Sorted registered names. *)
 
+val lock_stats : registry -> (string * Lockstat.stats) list
+(** Contention of the registry's own mutexes:
+    [("metrics.registry", _)] (instrument creation) and
+    [("metrics.histograms", _)] (all histogram updates, aggregated). *)
+
 val pp : Format.formatter -> registry -> unit
-(** Plain-text rendering, one instrument per line, sorted by name. *)
+(** Plain-text rendering, one instrument per line, sorted by name;
+    histograms include p50/p90/p99. *)
 
 val to_json : registry -> string
 (** JSON object keyed by instrument name; counters render as integers,
     gauges as numbers, histograms as
-    [{"count":n,"total_s":t,"mean_s":m,"min_s":a,"max_s":b}]. *)
+    [{"count":n,"total_s":t,"mean_s":m,"min_s":a,"max_s":b,
+      "p50_s":_,"p90_s":_,"p99_s":_}]. *)
+
+(**/**)
+
+val histogram_snapshot_json : histogram_snapshot -> string
+(** The single-histogram JSON object above — shared with {!Prof}'s
+    report serializer. *)
+
+val json_escape : string -> string
+val json_float : float -> string

@@ -1,6 +1,8 @@
 module Metrics = Metrics
 module Trace = Trace
 module Progress = Progress
+module Lockstat = Lockstat
+module Prof = Prof
 
 type t = {
   metrics : Metrics.registry option;
@@ -20,6 +22,18 @@ let trace t = t.trace
 let progress t = t.progress
 
 let without_trace t = if t.trace = None then t else { t with trace = None }
+
+let fork_lane t ~tid =
+  match t.trace with
+  | None -> (t, None)
+  | Some parent ->
+    let lane = Trace.worker parent ~tid in
+    ({ t with trace = Some lane }, Some lane)
+
+let merge_lane t lane =
+  match (t.trace, lane) with
+  | Some parent, Some lane -> Trace.merge ~into:parent lane
+  | _ -> ()
 
 let metrics_on t = t.metrics <> None
 

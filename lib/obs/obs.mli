@@ -14,6 +14,8 @@
 module Metrics = Metrics
 module Trace = Trace
 module Progress = Progress
+module Lockstat = Lockstat
+module Prof = Prof
 
 type t
 
@@ -40,6 +42,17 @@ val without_trace : t -> t
     domains (the design solver's parallel refit probes) takes this
     stripped capability so concurrent spans cannot corrupt the
     collector. Metrics and progress sinks are untouched. *)
+
+val fork_lane : t -> tid:int -> t * Trace.collector option
+(** A worker-domain capability: same (domain-safe) metrics and progress
+    sinks, but its own {!Trace.worker} lane collector tagged [tid] in
+    place of the parent's. Without a trace sink this is [(t, None)].
+    The lane handle must be folded back with {!merge_lane} after the
+    worker's domain joins, in worker-index order. *)
+
+val merge_lane : t -> Trace.collector option -> unit
+(** Fold a joined worker lane's spans back into [t]'s collector.
+    No-op when either side has no trace. *)
 
 (** {1 Metric hooks} — no-ops without a metrics sink. *)
 

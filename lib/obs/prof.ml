@@ -1,0 +1,301 @@
+(* Structured profiling report: one capture folds the trace's span tree
+   (wall + allocation per stage), the Exec pool-accounting metrics, the
+   lock-wait counters and the full histogram set into a record that
+   renders as text (`dstool profile`) or JSON (the artifact CI uploads
+   and the next perf PR is judged against).
+
+   Reads only Metrics snapshots and completed Trace spans — capturing a
+   profile never perturbs the run that produced it. *)
+
+type stage = {
+  path : string;
+  stage_name : string;
+  depth : int;
+  calls : int;
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+type pool = {
+  maps : int;
+  tasks_submitted : int;
+  tasks_completed : int;
+  workers_max : int;
+  busy_s : float;
+  idle_s : float;
+  spawn_s : float;
+  join_s : float;
+  map_wall_s : float;
+}
+
+type lock = {
+  lock_name : string;
+  acquisitions : int;
+  contended : int;
+  wait_s : float;
+}
+
+type t = {
+  label : string;
+  stages : stage list;
+  pool : pool option;
+  locks : lock list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Metrics.histogram_snapshot) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate completed spans by path, first occurrence (in start order,
+   lanes interleaved by time) fixing the display order — the same rule
+   as [Trace.pp_tree], with allocation folded in. *)
+let stages_of_collector c =
+  let spans =
+    List.sort
+      (fun (a : Trace.span) b -> Int64.compare a.Trace.start_ns b.Trace.start_ns)
+      (Trace.spans c)
+  in
+  let table : (string, stage) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+       let wall = Int64.to_float s.Trace.dur_ns *. 1e-9 in
+       let a = s.Trace.alloc in
+       match Hashtbl.find_opt table s.Trace.path with
+       | Some st ->
+         Hashtbl.replace table s.Trace.path
+           { st with
+             calls = st.calls + 1;
+             wall_s = st.wall_s +. wall;
+             minor_words = st.minor_words +. a.Trace.minor_words;
+             major_words = st.major_words +. a.Trace.major_words;
+             minor_collections =
+               st.minor_collections + a.Trace.minor_collections;
+             major_collections =
+               st.major_collections + a.Trace.major_collections }
+       | None ->
+         Hashtbl.add table s.Trace.path
+           { path = s.Trace.path;
+             stage_name = s.Trace.name;
+             depth = s.Trace.depth;
+             calls = 1;
+             wall_s = wall;
+             minor_words = a.Trace.minor_words;
+             major_words = a.Trace.major_words;
+             minor_collections = a.Trace.minor_collections;
+             major_collections = a.Trace.major_collections };
+         order := s.Trace.path :: !order)
+    spans;
+  List.rev_map (Hashtbl.find table) !order
+
+let assoc_counter counters name =
+  match List.assoc_opt name counters with Some n -> n | None -> 0
+
+let assoc_hist_total histograms name =
+  match List.assoc_opt name histograms with
+  | Some (h : Metrics.histogram_snapshot) -> h.Metrics.snap_total
+  | None -> 0.
+
+let pool_of ~counters ~gauges ~histograms =
+  let maps = assoc_counter counters "exec.maps" in
+  if maps = 0 then None
+  else
+    Some
+      { maps;
+        tasks_submitted = assoc_counter counters "exec.tasks";
+        tasks_completed = assoc_counter counters "exec.tasks_completed";
+        workers_max =
+          (match List.assoc_opt "exec.workers_max" gauges with
+           | Some w -> int_of_float w
+           | None -> 0);
+        busy_s = assoc_hist_total histograms "exec.worker_busy_s";
+        idle_s = assoc_hist_total histograms "exec.worker_idle_s";
+        spawn_s = assoc_hist_total histograms "exec.spawn_s";
+        join_s = assoc_hist_total histograms "exec.join_s";
+        map_wall_s = assoc_hist_total histograms "exec.map_wall_s" }
+
+let locks_of reg ~counters ~gauges =
+  let self =
+    List.map
+      (fun (name, stats) ->
+         { lock_name = name;
+           acquisitions = Lockstat.acquisitions stats;
+           contended = Lockstat.contended stats;
+           wait_s = Lockstat.wait_s stats })
+      (Metrics.lock_stats reg)
+  in
+  (* The solver mirrors its memo-cache lock here (design_solver.ml). *)
+  let memo =
+    if assoc_counter counters "memo.lock_acquisitions" = 0 then []
+    else
+      [ { lock_name = "solver.memo";
+          acquisitions = assoc_counter counters "memo.lock_acquisitions";
+          contended = assoc_counter counters "memo.lock_contended";
+          wait_s =
+            (match List.assoc_opt "memo.lock_wait_total_s" gauges with
+             | Some s -> s
+             | None -> 0.) } ]
+  in
+  memo @ self
+
+let capture ?(label = "profile") ?registry ?trace () =
+  let counters, gauges, histograms =
+    match registry with
+    | None -> ([], [], [])
+    | Some reg ->
+      List.fold_left
+        (fun (cs, gs, hs) (name, v) ->
+           match v with
+           | Metrics.Counter_value n -> ((name, n) :: cs, gs, hs)
+           | Metrics.Gauge_value x -> (cs, (name, x) :: gs, hs)
+           | Metrics.Histogram_value h -> (cs, gs, (name, h) :: hs))
+        ([], [], []) (List.rev (Metrics.snapshot reg))
+  in
+  { label;
+    stages = (match trace with None -> [] | Some c -> stages_of_collector c);
+    pool = pool_of ~counters ~gauges ~histograms;
+    locks =
+      (match registry with
+       | None -> []
+       | Some reg -> locks_of reg ~counters ~gauges);
+    counters;
+    gauges;
+    histograms }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mwords w = w /. 1e6
+
+let pp_stage ppf st =
+  Format.fprintf ppf "%s%-*s x%-6d %10.3f s  %10.2f Mw minor  %8.2f Mw \
+                      major  %d/%d gc@."
+    (String.make (2 * st.depth) ' ')
+    (max 1 (34 - (2 * st.depth)))
+    st.stage_name st.calls st.wall_s (mwords st.minor_words)
+    (mwords st.major_words) st.minor_collections st.major_collections
+
+let utilization p =
+  let denom = p.busy_s +. p.idle_s in
+  if denom <= 0. then 0. else p.busy_s /. denom
+
+let pp ppf t =
+  Format.fprintf ppf "profile: %s@." t.label;
+  if t.stages <> [] then begin
+    Format.fprintf ppf "@.stages (wall / allocation by span path):@.";
+    List.iter (pp_stage ppf) t.stages
+  end;
+  (match t.pool with
+   | None -> ()
+   | Some p ->
+     Format.fprintf ppf
+       "@.pool: %d maps, %d/%d tasks completed, <=%d workers@.  busy \
+        %.3fs, idle %.3fs (utilization %.1f%%), spawn %.3fs, join %.3fs, \
+        region wall %.3fs@."
+       p.maps p.tasks_completed p.tasks_submitted p.workers_max p.busy_s
+       p.idle_s
+       (100. *. utilization p)
+       p.spawn_s p.join_s p.map_wall_s);
+  if t.locks <> [] then begin
+    Format.fprintf ppf "@.locks:@.";
+    List.iter
+      (fun l ->
+         Format.fprintf ppf
+           "  %-24s %9d acquisitions  %7d contended  %10.6fs waited@."
+           l.lock_name l.acquisitions l.contended l.wait_s)
+      t.locks
+  end;
+  (match
+     List.filter
+       (fun (_, (h : Metrics.histogram_snapshot)) -> h.Metrics.snap_count > 0)
+       t.histograms
+     |> List.sort
+          (fun (_, (a : Metrics.histogram_snapshot)) (_, b) ->
+             Float.compare b.Metrics.snap_total a.Metrics.snap_total)
+   with
+   | [] -> ()
+   | ranked ->
+     Format.fprintf ppf "@.top histograms (by total):@.";
+     List.iteri
+       (fun i (name, (h : Metrics.histogram_snapshot)) ->
+          if i < 12 then
+            Format.fprintf ppf
+              "  %-34s n=%-8d total=%.4fs p50=%.6fs p90=%.6fs p99=%.6fs \
+               max=%.6fs@."
+              name h.Metrics.snap_count h.Metrics.snap_total
+              h.Metrics.snap_p50 h.Metrics.snap_p90 h.Metrics.snap_p99
+              h.Metrics.snap_max)
+       ranked)
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let str = Metrics.json_escape in
+  let num = Metrics.json_float in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":\"ds-prof/1\",\"label\":\"%s\"," (str t.label));
+  Buffer.add_string buf "\"stages\":[";
+  List.iteri
+    (fun i st ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf
+            "{\"path\":\"%s\",\"depth\":%d,\"calls\":%d,\"wall_s\":%s,\
+             \"minor_words\":%s,\"major_words\":%s,\
+             \"minor_collections\":%d,\"major_collections\":%d}"
+            (str st.path) st.depth st.calls (num st.wall_s)
+            (num st.minor_words) (num st.major_words) st.minor_collections
+            st.major_collections))
+    t.stages;
+  Buffer.add_string buf "],";
+  (match t.pool with
+   | None -> Buffer.add_string buf "\"pool\":null,"
+   | Some p ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "\"pool\":{\"maps\":%d,\"tasks_submitted\":%d,\
+           \"tasks_completed\":%d,\"workers_max\":%d,\"busy_s\":%s,\
+           \"idle_s\":%s,\"spawn_s\":%s,\"join_s\":%s,\"map_wall_s\":%s,\
+           \"utilization\":%s},"
+          p.maps p.tasks_submitted p.tasks_completed p.workers_max
+          (num p.busy_s) (num p.idle_s) (num p.spawn_s) (num p.join_s)
+          (num p.map_wall_s)
+          (num (utilization p))));
+  Buffer.add_string buf "\"locks\":[";
+  List.iteri
+    (fun i l ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf
+            "{\"name\":\"%s\",\"acquisitions\":%d,\"contended\":%d,\
+             \"wait_s\":%s}"
+            (str l.lock_name) l.acquisitions l.contended (num l.wait_s)))
+    t.locks;
+  Buffer.add_string buf "],\"counters\":{";
+  List.iteri
+    (fun i (name, n) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (str name) n))
+    t.counters;
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (name, v) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (str name) (num v)))
+    t.gauges;
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, h) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf "\"%s\":%s" (str name)
+            (Metrics.histogram_snapshot_json h)))
+    t.histograms;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

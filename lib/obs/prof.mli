@@ -1,0 +1,70 @@
+(** Structured profiling reports.
+
+    {!capture} folds a run's observability state — the trace's completed
+    span tree (wall time and allocation per stage), the [exec.*] pool
+    accounting, lock-wait counters and every histogram — into one
+    record; {!pp} renders it for terminals, {!to_json} as the
+    ["ds-prof/1"] document that [dstool profile] writes and CI gates on.
+
+    Capture only reads {!Metrics.snapshot} and completed {!Trace} spans:
+    it never perturbs the run being profiled and is safe to call while
+    worker domains are still observing (though stages from a live trace
+    cover only spans closed so far). *)
+
+type stage = {
+  path : string;  (** "/"-joined span path, as in {!Trace.span.path} *)
+  stage_name : string;
+  depth : int;
+  calls : int;
+  wall_s : float;  (** summed across calls and lanes *)
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+type pool = {
+  maps : int;  (** instrumented parallel maps run *)
+  tasks_submitted : int;
+  tasks_completed : int;
+  workers_max : int;  (** widest pool seen *)
+  busy_s : float;  (** total worker task time, all workers *)
+  idle_s : float;  (** total worker wait inside parallel regions *)
+  spawn_s : float;  (** domain spawn overhead *)
+  join_s : float;  (** join + lane-merge overhead *)
+  map_wall_s : float;  (** total parallel-region wall time *)
+}
+
+type lock = {
+  lock_name : string;
+  acquisitions : int;
+  contended : int;  (** acquisitions that had to block *)
+  wait_s : float;  (** total time blocked *)
+}
+
+type t = {
+  label : string;
+  stages : stage list;  (** first-occurrence order, as {!Trace.pp_tree} *)
+  pool : pool option;  (** [None] when no instrumented map ran *)
+  locks : lock list;
+  counters : (string * int) list;  (** full registry, sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * Metrics.histogram_snapshot) list;
+}
+
+val capture :
+  ?label:string ->
+  ?registry:Metrics.registry ->
+  ?trace:Trace.collector ->
+  unit ->
+  t
+
+val utilization : pool -> float
+(** [busy / (busy + idle)], 0 on an empty pool. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Single-object ["ds-prof/1"] document: [stages] array, [pool] object
+    (or null), [locks] array, then the full [counters]/[gauges]/
+    [histograms] maps. *)

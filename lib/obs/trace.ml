@@ -1,3 +1,10 @@
+type alloc = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type span = {
   name : string;
   args : (string * string) list;
@@ -5,38 +12,92 @@ type span = {
   dur_ns : int64;
   depth : int;
   path : string;  (* "/"-joined ancestor names, self included *)
+  tid : int;  (* lane: 1 = the creating thread, 2.. = worker lanes *)
+  alloc : alloc;  (* Gc.quick_stat deltas across the span, this domain *)
 }
 
+(* A collector is single-threaded by construction: spans nest by dynamic
+   scope on one thread of control. Worker domains get their own lane
+   collectors ({!worker}) sharing the parent's clock origin; completed
+   lanes are folded back with {!merge} after the domains join. *)
 type collector = {
   origin : int64;
-  mutable stack : string list;  (* open span names, innermost first *)
+  tid : int;
+  base_path : string option;  (* enclosing parent-lane path, if any *)
+  mutable stack : string list;  (* open span paths, innermost first *)
   mutable spans : span list;  (* completed, reverse completion order *)
   mutable completed : int;
 }
 
 let create () =
-  { origin = Monotonic_clock.now (); stack = []; spans = []; completed = 0 }
+  { origin = Monotonic_clock.now ();
+    tid = 1;
+    base_path = None;
+    stack = [];
+    spans = [];
+    completed = 0 }
+
+let tid c = c.tid
+
+(* The parent's currently open path (if any) seeds the lane's nesting so
+   merged worker spans aggregate under the span that forked them. *)
+let worker parent ~tid =
+  { origin = parent.origin;
+    tid;
+    base_path =
+      (match parent.stack with
+       | path :: _ -> Some path
+       | [] -> parent.base_path);
+    stack = [];
+    spans = [];
+    completed = 0 }
+
+let merge ~into child =
+  into.spans <- child.spans @ into.spans;
+  into.completed <- into.completed + child.completed
 
 let rel c now = Int64.sub now c.origin
 
+let alloc_delta (before : Gc.stat) (after : Gc.stat) =
+  { minor_words = after.Gc.minor_words -. before.Gc.minor_words;
+    major_words = after.Gc.major_words -. before.Gc.major_words;
+    minor_collections = after.Gc.minor_collections - before.Gc.minor_collections;
+    major_collections = after.Gc.major_collections - before.Gc.major_collections }
+
 let with_span c ?(args = []) name f =
-  let path =
+  let parent =
     match c.stack with
-    | [] -> name
-    | parent :: _ -> parent ^ "/" ^ name
+    | path :: _ -> Some path
+    | [] -> c.base_path
   in
-  let depth = List.length c.stack in
+  let path =
+    match parent with None -> name | Some parent -> parent ^ "/" ^ name
+  in
+  let depth =
+    List.length c.stack + (match c.base_path with None -> 0 | Some _ -> 1)
+  in
+  let gc0 = Gc.quick_stat () in
   let start_ns = rel c (Monotonic_clock.now ()) in
   c.stack <- path :: c.stack;
   Fun.protect
     ~finally:(fun () ->
         let dur_ns = Int64.sub (rel c (Monotonic_clock.now ())) start_ns in
+        let alloc = alloc_delta gc0 (Gc.quick_stat ()) in
         c.stack <- List.tl c.stack;
-        c.spans <- { name; args; start_ns; dur_ns; depth; path } :: c.spans;
+        c.spans <-
+          { name; args; start_ns; dur_ns; depth; path; tid = c.tid; alloc }
+          :: c.spans;
         c.completed <- c.completed + 1)
     f
 
 let span_count c = c.completed
+
+let spans c =
+  List.rev c.spans
+  |> List.sort (fun (a : span) (b : span) ->
+      match compare a.tid b.tid with
+      | 0 -> Int64.compare a.start_ns b.start_ns
+      | n -> n)
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -65,26 +126,27 @@ let to_chrome_json c =
        Buffer.add_string buf
          (Printf.sprintf
             "{\"name\":\"%s\",\"cat\":\"ds\",\"ph\":\"X\",\"ts\":%.3f,\
-             \"dur\":%.3f,\"pid\":1,\"tid\":1"
-            (escape s.name) (us s.start_ns) (us s.dur_ns));
-       (match s.args with
-        | [] -> ()
-        | args ->
-          Buffer.add_string buf ",\"args\":{";
-          List.iteri
-            (fun j (k, v) ->
-               if j > 0 then Buffer.add_char buf ',';
-               Buffer.add_string buf
-                 (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
-            args;
-          Buffer.add_char buf '}');
-       Buffer.add_char buf '}')
-    (List.rev c.spans);
+             \"dur\":%.3f,\"pid\":1,\"tid\":%d"
+            (escape s.name) (us s.start_ns) (us s.dur_ns) s.tid);
+       Buffer.add_string buf ",\"args\":{";
+       List.iter
+         (fun (k, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"," (escape k) (escape v)))
+         s.args;
+       Buffer.add_string buf
+         (Printf.sprintf
+            "\"minor_words\":%.0f,\"major_words\":%.0f,\
+             \"minor_collections\":%d,\"major_collections\":%d}}"
+            s.alloc.minor_words s.alloc.major_words
+            s.alloc.minor_collections s.alloc.major_collections))
+    (spans c);
   Buffer.add_char buf ']';
   Buffer.contents buf
 
 (* Aggregate completed spans by path. First-occurrence order (in span
-   start order) keeps the tree stable and readable. *)
+   start order, lanes interleaved by time) keeps the tree stable and
+   readable; a path seen on several lanes folds into one line. *)
 let pp_tree ppf c =
   let spans =
     List.rev c.spans

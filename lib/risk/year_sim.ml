@@ -96,8 +96,8 @@ let simulate ?params ?(years = 10_000) ?(obs = Obs.noop)
     Array.init chunks (fun i -> min chunk_years (years - (i * chunk_years)))
   in
   let years_arr =
-    Exec.map_rng pool ~rng
-      (fun rng size -> Array.init size (fun _ -> run_year rng))
+    Exec.map_rng_obs pool ~label:"risk.years" ~obs ~rng
+      (fun _wobs rng size -> Array.init size (fun _ -> run_year rng))
       sizes
     |> Array.to_list |> Array.concat
   in

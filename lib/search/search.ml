@@ -166,10 +166,9 @@ let run ?(restarts = 4) ?(race = false) ?max_evaluations ?patience
   while (not !stop) && !next < restarts do
     let wave = min width (restarts - !next) in
     let indices = Array.init wave (fun k -> !next + k) in
-    let wobs = Exec.worker_obs pool ~tasks:wave obs in
     let outcomes =
-      Exec.map pool
-        (fun idx ->
+      Exec.mapi_obs pool ~label:"portfolio.wave" ~obs
+        (fun wobs _ idx ->
            let abandon = if race then Some (abandon_hook shared idx) else None in
            let outcome =
              Obs.with_span wobs "portfolio.restart"

@@ -160,12 +160,11 @@ let optimize_windows ~options ~obs ~pool design likelihood current_eval =
       options.snapshot_menu
     |> Array.of_list
   in
-  let wobs = Exec.worker_obs pool ~tasks:(Array.length combos) obs in
   List.fold_left
     (fun (design, eval) (asg : Assignment.t) ->
        let trials =
-         Exec.map pool
-           (fun (snapshot_win, tape_win, fulls_every) ->
+         Exec.mapi_obs pool ~label:"config.windows" ~obs
+           (fun wobs _ (snapshot_win, tape_win, fulls_every) ->
               match
                 with_windows design asg ~snapshot_win ~tape_win ~fulls_every
               with
@@ -203,10 +202,9 @@ let grow_resources ~options ~obs ~pool eval likelihood =
       let moves =
         Array.of_list (Provision.growth_moves eval.Evaluate.provision)
       in
-      let wobs = Exec.worker_obs pool ~tasks:(Array.length moves) obs in
       let trials =
-        Exec.map pool
-          (fun move ->
+        Exec.mapi_obs pool ~label:"config.growth" ~obs
+          (fun wobs _ move ->
              match Provision.grow eval.Evaluate.provision move with
              | None -> None
              | Some prov ->

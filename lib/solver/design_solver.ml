@@ -123,17 +123,18 @@ let probe state params start =
    stream and its own fork of the master state, scheduled across
    [params.domains] domains by {!Exec}. The executor owns the
    determinism machinery (index-order RNG pre-split, index-order result
-   merge, trace-stripped capabilities for worker domains); this function
-   only states what a probe is and how forks fold back. Forks are merged
+   merge, per-domain trace lanes merged in worker-index order) and the
+   pool accounting ([exec.*] metrics); this function only states what a
+   probe is and how forks fold back. Forks are merged
    in probe-index order, and [Candidate.better] keeps its first argument
    on cost ties, so ties break toward the lowest probe index — the
    domain count is pure scheduling. *)
 let run_probes ~pool state params current =
-  let obs = Exec.worker_obs pool ~tasks:params.breadth state.Reconfigure.obs in
   let outcomes =
-    Exec.map_rng pool ~rng:state.Reconfigure.rng
-      (fun rng () ->
-         let local = Reconfigure.fork ~obs state ~rng in
+    Exec.map_rng_obs pool ~label:"solver.probes" ~obs:state.Reconfigure.obs
+      ~rng:state.Reconfigure.rng
+      (fun wobs rng () ->
+         let local = Reconfigure.fork ~obs:wobs state ~rng in
          let result =
            match Reconfigure.reconfigure local current with
            | Some neighbor -> Some (probe local params neighbor)
@@ -214,10 +215,32 @@ let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
     else None
   in
   let options = { params.options with Config_solver.memo } in
+  (* Contention accounting for the shared cache: a per-wait histogram
+     fed from the lock's own hook, and the lifetime counters mirrored
+     after the solve. The hook's histogram lock carries no hook itself,
+     so observing a wait can never re-enter the memo lock. *)
+  (match (memo, Obs.metrics obs) with
+   | Some cache, Some reg ->
+     let wait_h = Obs.Metrics.histogram reg "memo.lock_wait_s" in
+     Obs.Lockstat.set_on_wait (Memo.lock_stats cache)
+       (Some (fun s -> Obs.Metrics.observe wait_h s))
+   | _ -> ());
+  let mirror_memo_stats () =
+    match memo with
+    | None -> ()
+    | Some cache when Obs.metrics_on obs ->
+      let stats = Memo.lock_stats cache in
+      Obs.add obs "memo.lock_acquisitions" (Obs.Lockstat.acquisitions stats);
+      Obs.add obs "memo.lock_contended" (Obs.Lockstat.contended stats);
+      Obs.gauge_add obs "memo.lock_wait_total_s" (Obs.Lockstat.wait_s stats)
+    | Some _ -> ()
+  in
   let state = Reconfigure.state ~options ~obs ~rng likelihood in
   Obs.stage obs ~evaluations:0 "greedy";
   match greedy_stage ~pool state params env apps with
-  | None -> None
+  | None ->
+    mirror_memo_stats ();
+    None
   | Some greedy_best ->
     Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
       (cost_dollars greedy_best);
@@ -249,6 +272,7 @@ let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
     in
     Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
       (cost_dollars best);
+    mirror_memo_stats ();
     Some
       { best;
         evaluations = state.Reconfigure.evaluations;

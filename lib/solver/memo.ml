@@ -9,7 +9,13 @@
    A single mutex serializes every operation: the design solver shares
    one cache across the worker domains of its parallel refit stage, and
    the linked list cannot tolerate interleaved rewiring. The critical
-   sections are pointer surgery only — values are computed outside. *)
+   sections are pointer surgery only — values are computed outside.
+
+   The mutex is a [Lockstat]-wrapped lock, so the cache can report how
+   often — and for how long — the refit workers contend on it; the
+   design solver mirrors {!lock_stats} into the memo.* metrics. *)
+
+module Lockstat = Ds_obs.Lockstat
 
 type 'a node = {
   key : string;
@@ -20,7 +26,7 @@ type 'a node = {
 
 type 'a t = {
   capacity : int;
-  lock : Mutex.t;
+  lock : Lockstat.t;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;  (* most recently used *)
   mutable tail : 'a node option;  (* eviction candidate *)
@@ -32,7 +38,7 @@ type 'a t = {
 let create ?(capacity = 1024) () =
   if capacity < 1 then invalid_arg "Memo.create: capacity must be positive";
   { capacity;
-    lock = Mutex.create ();
+    lock = Lockstat.create ();
     tbl = Hashtbl.create (min capacity 64);
     head = None;
     tail = None;
@@ -58,7 +64,7 @@ let push_front t node =
   t.head <- Some node
 
 let find t key =
-  Mutex.protect t.lock @@ fun () ->
+  Lockstat.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
   | None ->
     t.misses <- t.misses + 1;
@@ -70,7 +76,7 @@ let find t key =
     Some node.value
 
 let add t key value =
-  Mutex.protect t.lock @@ fun () ->
+  Lockstat.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
   | Some node ->
     node.value <- value;
@@ -92,14 +98,15 @@ let add t key value =
     end
     else false
 
-let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+let length t = Lockstat.protect t.lock (fun () -> Hashtbl.length t.tbl)
+let lock_stats t = Lockstat.stats t.lock
 let capacity t = t.capacity
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 
 let clear t =
-  Mutex.protect t.lock @@ fun () ->
+  Lockstat.protect t.lock @@ fun () ->
   Hashtbl.reset t.tbl;
   t.head <- None;
   t.tail <- None;

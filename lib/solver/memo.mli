@@ -36,6 +36,12 @@ val evictions : 'a t -> int
 (** Lifetime counters, mirrored into the [config.cache_*] metrics by the
     configuration solver when observability is on. *)
 
+val lock_stats : 'a t -> Ds_obs.Lockstat.stats
+(** Contention stats of the cache's internal mutex (acquisitions,
+    contended acquisitions, total blocked time). The design solver
+    mirrors these into the [memo.lock_*] metrics and hooks a per-wait
+    [memo.lock_wait_s] histogram via {!Ds_obs.Lockstat.set_on_wait}. *)
+
 val clear : 'a t -> unit
 (** Drop every entry and zero the hit/miss/eviction counters: a reset
     cache has no history, and keeping the old counts would report stale

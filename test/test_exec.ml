@@ -109,6 +109,123 @@ let determinism_tests =
                 Alcotest.failf "task %d: got %d, want %d" i v (i * i mod 97))
            out) ]
 
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+
+let acct_tests =
+  [ Alcotest.test_case "mapi_obs matches mapi and balances the accounting"
+      `Quick (fun () ->
+          let obs = Obs.create ~metrics:true ~trace:true () in
+          let pool = Exec.create ~domains:4 () in
+          let n = 10 in
+          let tasks = Array.init n (fun i -> i) in
+          let f i x = (10 * (i + 1)) + x in
+          Alcotest.(check (array int)) "same results as mapi"
+            (Exec.mapi pool f tasks)
+            (Exec.mapi_obs pool ~label:"region" ~obs (fun _ i x -> f i x)
+               tasks);
+          let reg = Option.get (Obs.metrics obs) in
+          let count name = Metrics.count (Metrics.counter reg name) in
+          check_int "one map" 1 (count "exec.maps");
+          check_int "submitted" n (count "exec.tasks");
+          check_int "completed" n (count "exec.tasks_completed");
+          let w = Exec.workers pool ~tasks:n in
+          Alcotest.(check (float 1e-9)) "widest pool" (float_of_int w)
+            (Metrics.value (Metrics.gauge reg "exec.workers_max"));
+          let hist name = Metrics.histogram reg name in
+          check_int "one busy sample per worker" w
+            (Metrics.observations (hist "exec.worker_busy_s"));
+          check_int "one idle sample per worker" w
+            (Metrics.observations (hist "exec.worker_idle_s"));
+          check_int "one wall sample per map" 1
+            (Metrics.observations (hist "exec.map_wall_s"));
+          check_int "spawn timed once" 1
+            (Metrics.observations (hist "exec.spawn_s"));
+          check_int "join timed once" 1
+            (Metrics.observations (hist "exec.join_s"));
+          check_bool "strided schedule: task imbalance <= 1" true
+            (Metrics.hist_max (hist "exec.task_imbalance") <= 1.);
+          (* Busy time is measured inside the region, so it can never
+             exceed the region wall times the pool width — the same
+             invariant CI gates on in the uploaded profile. *)
+          check_bool "busy fits inside wall x workers" true
+            (Metrics.total (hist "exec.worker_busy_s")
+             <= Metrics.total (hist "exec.map_wall_s")
+                *. float_of_int w *. 1.01));
+    Alcotest.test_case "mapi_obs merges one trace lane per domain" `Quick
+      (fun () ->
+         let obs = Obs.create ~trace:true () in
+         let pool = Exec.create ~domains:4 () in
+         let n = 10 in
+         ignore
+           (Exec.mapi_obs pool ~label:"region" ~obs
+              (fun _ i x -> i + x)
+              (Array.init n (fun i -> i)));
+         let spans = Trace.spans (Option.get (Obs.trace obs)) in
+         let named name =
+           List.filter (fun (s : Trace.span) -> s.Trace.name = name) spans
+         in
+         check_int "one region span" 1 (List.length (named "region"));
+         let workers = named "worker" in
+         check_int "one worker span per domain" 4 (List.length workers);
+         List.iter
+           (fun (s : Trace.span) ->
+              Alcotest.(check string) "rooted under the region"
+                "region/worker" s.Trace.path)
+           workers;
+         Alcotest.(check (list int)) "one lane per domain, coordinator on 1"
+           [ 1; 2; 3; 4 ]
+           (List.sort_uniq compare
+              (List.map (fun (s : Trace.span) -> s.Trace.tid) workers));
+         let task_spans = named "task" in
+         check_int "one task span per task" n (List.length task_spans);
+         List.iter
+           (fun (s : Trace.span) ->
+              Alcotest.(check string) "nested in a worker"
+                "region/worker/task" s.Trace.path)
+           task_spans);
+    Alcotest.test_case
+      "map_rng_obs draws identical streams at any width, profiled or not"
+      `Quick (fun () ->
+          let tasks = Array.init 10 (fun i -> i) in
+          let run domains obs =
+            Exec.map_rng_obs
+              (Exec.create ~domains ())
+              ~obs ~rng:(Rng.of_int 7)
+              (fun _ rng i -> (i, Rng.int rng 1_000_000, Rng.unit_float rng))
+              tasks
+          in
+          let plain =
+            Exec.map_rng
+              (Exec.create ~domains:1 ())
+              ~rng:(Rng.of_int 7)
+              (fun rng i -> (i, Rng.int rng 1_000_000, Rng.unit_float rng))
+              tasks
+          in
+          check_bool "uninstrumented delegate agrees" true
+            (run 1 Obs.noop = plain);
+          check_bool "1-domain profiled agrees" true
+            (run 1 (Obs.create ~metrics:true ~trace:true ()) = plain);
+          check_bool "4-domain profiled agrees" true
+            (run 4 (Obs.create ~metrics:true ~trace:true ()) = plain));
+    Alcotest.test_case
+      "mapi_obs re-raises the lowest-index failure, accounting intact" `Quick
+      (fun () ->
+         let obs = Obs.create ~metrics:true () in
+         let pool = Exec.create ~domains:4 () in
+         (match
+            Exec.mapi_obs pool ~obs
+              (fun _ i x -> if i = 1 || i = 3 then raise (Boom i) else x)
+              [| 0; 1; 2; 3 |]
+          with
+          | _ -> Alcotest.fail "expected a worker exception"
+          | exception Boom i -> check_int "index-1 failure reported" 1 i);
+         let reg = Option.get (Obs.metrics obs) in
+         (* A failed task still ran on its worker: the accounting counts
+            it, so submitted == completed holds even on a raising map. *)
+         check_int "failed tasks still count as run" 4
+           (Metrics.count (Metrics.counter reg "exec.tasks_completed"))) ]
+
 let obs_tests =
   [ Alcotest.test_case "worker_obs strips tracing for parallel pools" `Quick
       (fun () ->
@@ -125,4 +242,5 @@ let obs_tests =
 let suites =
   [ ("exec.api", api_tests);
     ("exec.determinism", determinism_tests);
+    ("exec.accounting", acct_tests);
     ("exec.obs", obs_tests) ]

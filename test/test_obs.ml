@@ -195,7 +195,199 @@ let metrics_tests =
     Alcotest.test_case "json escapes awkward names" `Quick (fun () ->
         let reg = Metrics.create () in
         Metrics.incr (Metrics.counter reg "weird \"name\"\\path");
-        check_bool "well-formed" true (json_well_formed (Metrics.to_json reg))) ]
+        check_bool "well-formed" true (json_well_formed (Metrics.to_json reg)));
+    Alcotest.test_case "dumping while domains observe never shows a torn \
+                        histogram" `Quick (fun () ->
+        (* Four writer domains hammer one histogram with a constant
+           sample while the main domain snapshots continuously: a torn
+           read would show a count that disagrees with the sum, or a
+           [lo, hi] envelope that excludes the only value ever
+           observed. *)
+        let reg = Metrics.create () in
+        let per_domain = 10_000 in
+        let finished = Atomic.make 0 in
+        let writers =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  let c = Metrics.counter reg "race.dump.count" in
+                  let h = Metrics.histogram reg "race.dump.hist" in
+                  for _ = 1 to per_domain do
+                    Metrics.incr c;
+                    Metrics.observe h 0.25
+                  done;
+                  Atomic.incr finished))
+        in
+        let dumps = ref 0 in
+        while Atomic.get finished < 4 do
+          incr dumps;
+          (match List.assoc_opt "race.dump.hist" (Metrics.snapshot reg) with
+           | None | Some (Metrics.Counter_value _ | Metrics.Gauge_value _) ->
+             ()
+           | Some (Metrics.Histogram_value h) ->
+             if h.Metrics.snap_count > 0 then begin
+               if h.Metrics.snap_min <> 0.25 || h.Metrics.snap_max <> 0.25
+               then
+                 Alcotest.failf "torn envelope: min=%g max=%g (count=%d)"
+                   h.Metrics.snap_min h.Metrics.snap_max h.Metrics.snap_count;
+               let want = 0.25 *. float_of_int h.Metrics.snap_count in
+               if Float.abs (h.Metrics.snap_total -. want) > 1e-6 then
+                 Alcotest.failf "torn sum: total=%g, count says %g"
+                   h.Metrics.snap_total want;
+               if h.Metrics.snap_p50 <> 0.25 then
+                 Alcotest.failf "torn percentile: p50=%g" h.Metrics.snap_p50
+             end);
+          if !dumps mod 32 = 0 then
+            check_bool "json stays well-formed under fire" true
+              (json_well_formed (Metrics.to_json reg))
+        done;
+        List.iter Domain.join writers;
+        check_int "no lost increments" (4 * per_domain)
+          (Metrics.count (Metrics.counter reg "race.dump.count"));
+        check_int "no lost observations" (4 * per_domain)
+          (Metrics.observations (Metrics.histogram reg "race.dump.hist"))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles                                               *)
+(* ------------------------------------------------------------------ *)
+
+let percentile_tests =
+  [ Alcotest.test_case "a constant sample pins every percentile" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         let h = Metrics.histogram reg "const" in
+         for _ = 1 to 10 do Metrics.observe h 0.25 done;
+         List.iter
+           (fun q ->
+              Alcotest.(check (float 1e-12))
+                (Printf.sprintf "p%g" (q *. 100.))
+                0.25 (Metrics.percentile h q))
+           [ 0.; 0.5; 0.9; 0.99; 1. ]);
+    Alcotest.test_case "uniform 1..1000 ms lands within a bucket width" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         let h = Metrics.histogram reg "uniform" in
+         for k = 1 to 1000 do
+           Metrics.observe h (float_of_int k /. 1000.)
+         done;
+         (* Quarter-power-of-two buckets are ~19% wide; interpolation
+            inside the covering bucket and clamping into [min, max] can
+            only tighten the estimate. *)
+         let within name want got tol =
+           if Float.abs (got -. want) > tol then
+             Alcotest.failf "%s: got %.6f, want %.6f +/- %.6f" name got want
+               tol
+         in
+         within "p50" 0.5 (Metrics.percentile h 0.5) 0.12;
+         within "p90" 0.9 (Metrics.percentile h 0.9) 0.2;
+         within "p99" 0.99 (Metrics.percentile h 0.99) 0.2;
+         within "p0 stays near min" 0.001 (Metrics.percentile h 0.) 0.0003;
+         Alcotest.(check (float 1e-9)) "p100 clamps to max" 1.
+           (Metrics.percentile h 1.));
+    Alcotest.test_case "overflow and underflow clamp to the observed envelope"
+      `Quick (fun () ->
+          let reg = Metrics.create () in
+          let over = Metrics.histogram reg "over" in
+          Metrics.observe over 100. (* beyond the 64 s bucket span *);
+          Alcotest.(check (float 1e-9)) "overflow median" 100.
+            (Metrics.percentile over 0.5);
+          let under = Metrics.histogram reg "under" in
+          Metrics.observe under 1e-9 (* below the ~15 ns bucket floor *);
+          Alcotest.(check (float 1e-15)) "underflow median" 1e-9
+            (Metrics.percentile under 0.5));
+    Alcotest.test_case "empty histogram and out-of-range q" `Quick (fun () ->
+        let reg = Metrics.create () in
+        let h = Metrics.histogram reg "h" in
+        Alcotest.(check (float 1e-12)) "empty" 0. (Metrics.percentile h 0.5);
+        Alcotest.check_raises "q > 1"
+          (Invalid_argument "Obs.Metrics.percentile: q outside [0, 1]")
+          (fun () -> ignore (Metrics.percentile h 2.));
+        Alcotest.check_raises "q < 0"
+          (Invalid_argument "Obs.Metrics.percentile: q outside [0, 1]")
+          (fun () -> ignore (Metrics.percentile h (-0.1))));
+    Alcotest.test_case "renderers expose the percentile columns" `Quick
+      (fun () ->
+         let reg = Metrics.create () in
+         let h = Metrics.histogram reg "h" in
+         List.iter (Metrics.observe h) [ 0.1; 0.2; 0.4 ];
+         let json = Metrics.to_json reg in
+         check_bool "well-formed" true (json_well_formed json);
+         List.iter
+           (fun needle -> check_bool needle true (contains json needle))
+           [ "\"p50_s\":"; "\"p90_s\":"; "\"p99_s\":" ];
+         let text = Format.asprintf "%a" Metrics.pp reg in
+         List.iter
+           (fun needle -> check_bool needle true (contains text needle))
+           [ "p50="; "p90="; "p99=" ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lockstat                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lockstat_tests =
+  [ Alcotest.test_case "uncontended protects count without waits" `Quick
+      (fun () ->
+         let l = Obs.Lockstat.create () in
+         check_int "result" 7 (Obs.Lockstat.protect l (fun () -> 7));
+         Obs.Lockstat.protect l (fun () -> ());
+         let s = Obs.Lockstat.stats l in
+         check_int "acquisitions" 2 (Obs.Lockstat.acquisitions s);
+         check_int "contended" 0 (Obs.Lockstat.contended s);
+         Alcotest.(check (float 1e-12)) "no wait" 0. (Obs.Lockstat.wait_s s));
+    Alcotest.test_case "a shared stats cell aggregates several locks" `Quick
+      (fun () ->
+         let s = Obs.Lockstat.create_stats () in
+         let l1 = Obs.Lockstat.create ~stats:s () in
+         let l2 = Obs.Lockstat.create ~stats:s () in
+         Obs.Lockstat.protect l1 (fun () -> ());
+         Obs.Lockstat.protect l2 (fun () -> ());
+         Obs.Lockstat.protect l2 (fun () -> ());
+         check_int "aggregated" 3 (Obs.Lockstat.acquisitions s));
+    Alcotest.test_case "protect unlocks on raise" `Quick (fun () ->
+        let l = Obs.Lockstat.create () in
+        (try Obs.Lockstat.protect l (fun () -> failwith "boom")
+         with Failure _ -> ());
+        check_int "still usable" 3 (Obs.Lockstat.protect l (fun () -> 3));
+        check_int "both counted" 2
+          (Obs.Lockstat.acquisitions (Obs.Lockstat.stats l)));
+    Alcotest.test_case "a blocked acquisition is contended, timed and hooked"
+      `Quick (fun () ->
+          let l = Obs.Lockstat.create () in
+          let s = Obs.Lockstat.stats l in
+          let hook_calls = Atomic.make 0 in
+          let hook_total = Atomic.make 0. in
+          Obs.Lockstat.set_on_wait s
+            (Some
+               (fun w ->
+                  Atomic.incr hook_calls;
+                  let rec add () =
+                    let v = Atomic.get hook_total in
+                    if not (Atomic.compare_and_set hook_total v (v +. w)) then
+                      add ()
+                  in
+                  add ()));
+          Obs.Lockstat.lock l;
+          let d =
+            Domain.spawn (fun () -> Obs.Lockstat.protect l (fun () -> 42))
+          in
+          (* The worker bumps the acquisition counter before trying the
+             mutex; once that write is visible, grant it a generous
+             grace period to reach the blocking path, then release. *)
+          while Obs.Lockstat.acquisitions s < 2 do
+            Domain.cpu_relax ()
+          done;
+          let t0 = Metrics.now_s () in
+          while Metrics.now_s () -. t0 < 0.2 do
+            Domain.cpu_relax ()
+          done;
+          Obs.Lockstat.unlock l;
+          check_int "worker result" 42 (Domain.join d);
+          check_int "contended" 1 (Obs.Lockstat.contended s);
+          check_bool "wait recorded" true (Obs.Lockstat.wait_s s > 0.);
+          check_int "hook fired once" 1 (Atomic.get hook_calls);
+          Alcotest.(check (float 1e-6)) "hook total equals the stat"
+            (Obs.Lockstat.wait_s s)
+            (Atomic.get hook_total);
+          Obs.Lockstat.set_on_wait s None) ]
 
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
@@ -236,6 +428,80 @@ let trace_tests =
          check_bool "parent line" true (contains tree "solve");
          check_bool "child aggregated x3" true (contains tree "x3");
          check_bool "child indented" true (contains tree "  step")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain trace lanes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lane_tests =
+  [ Alcotest.test_case "worker lanes root under the forking span and merge"
+      `Quick (fun () ->
+          let c = Trace.create () in
+          Trace.with_span c "region" (fun () ->
+              (* Forked while "region" is open, so lane spans nest under
+                 it. Lanes are plain collectors; driving them from one
+                 thread here keeps the test deterministic. *)
+              let l2 = Trace.worker c ~tid:2 in
+              let l3 = Trace.worker c ~tid:3 in
+              Trace.with_span l2 "worker" (fun () ->
+                  Trace.with_span l2 "task" (fun () -> ()));
+              Trace.with_span l3 "worker" (fun () -> ());
+              Trace.merge ~into:c l2;
+              Trace.merge ~into:c l3);
+          check_int "all lanes' spans counted" 4 (Trace.span_count c);
+          let spans = Trace.spans c in
+          Alcotest.(check (list int)) "sorted by lane"
+            [ 1; 2; 2; 3 ]
+            (List.map (fun (s : Trace.span) -> s.Trace.tid) spans);
+          List.iter
+            (fun (s : Trace.span) ->
+               match s.Trace.name with
+               | "region" ->
+                 check_string "root path" "region" s.Trace.path;
+                 check_int "root depth" 0 s.Trace.depth
+               | "worker" ->
+                 check_string "lane path" "region/worker" s.Trace.path;
+                 check_int "lane depth" 1 s.Trace.depth
+               | "task" ->
+                 check_string "nested path" "region/worker/task" s.Trace.path;
+                 check_int "nested depth" 2 s.Trace.depth
+               | other -> Alcotest.failf "unexpected span %S" other)
+            spans;
+          let json = Trace.to_chrome_json c in
+          check_bool "chrome export well-formed" true (json_well_formed json);
+          List.iter
+            (fun needle -> check_bool needle true (contains json needle))
+            [ "\"tid\":1"; "\"tid\":2"; "\"tid\":3"; "\"minor_words\":" ];
+          (* The same path on two lanes folds into one tree line. *)
+          let tree = Format.asprintf "%a" Trace.pp_tree c in
+          check_bool "lanes aggregate in the tree" true (contains tree "x2"));
+    Alcotest.test_case "fork_lane and merge_lane are inert without a trace"
+      `Quick (fun () ->
+          let obs = Obs.create ~metrics:true () in
+          let wobs, lane = Obs.fork_lane obs ~tid:2 in
+          check_bool "no lane handle" true (lane = None);
+          check_int "capability still works" 5
+            (Obs.with_span wobs "x" (fun () -> 5));
+          Obs.merge_lane obs lane (* no-op, must not raise *));
+    Alcotest.test_case "fork_lane gives each worker its own tid" `Quick
+      (fun () ->
+         let obs = Obs.create ~trace:true () in
+         let parent = Option.get (Obs.trace obs) in
+         Obs.with_span obs "region" (fun () ->
+             let wobs, lane = Obs.fork_lane obs ~tid:2 in
+             let lane_c = Option.get lane in
+             check_int "lane tid" 2 (Trace.tid lane_c);
+             check_bool "fresh collector" true
+               (not (lane_c == parent));
+             Obs.with_span wobs "worker" (fun () -> ());
+             Obs.merge_lane obs lane);
+         let spans = Trace.spans parent in
+         check_int "both spans merged" 2 (List.length spans);
+         check_bool "lane span rooted under region" true
+           (List.exists
+              (fun (s : Trace.span) ->
+                 s.Trace.path = "region/worker" && s.Trace.tid = 2)
+              spans)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Progress                                                            *)
@@ -479,6 +745,63 @@ let solver_tests =
            check_int "every solve is a hit or a miss" (count "config.solves")
              (count "config.cache_hits" + count "config.cache_misses")
          | _ -> Alcotest.fail "solver found no design");
+    Alcotest.test_case
+      "full profiling is transparent at 1 and 4 domains" `Slow (fun () ->
+        (* The profiling layer's core contract: metrics, trace lanes and
+           the lock-wait hooks never steer the search — at any domain
+           count, a fully profiled solve is byte-identical to a bare
+           one, and the profile it leaves behind is coherent. *)
+        List.iter
+          (fun domains ->
+             let params =
+               { fast_params with
+                 Design_solver.breadth = 4; refit_rounds = 3; patience = 2;
+                 domains }
+             in
+             let solve obs =
+               Design_solver.solve ~params ~obs (Fixtures.peer_env ())
+                 (Experiments.Envs.peer_apps ()) Likelihood.default
+             in
+             let plain = solve Obs.noop in
+             let obs =
+               Obs.create ~metrics:true ~trace:true ~progress:true ()
+             in
+             let full = solve obs in
+             (match plain, full with
+              | Some plain, Some full ->
+                check_string
+                  (Printf.sprintf "byte-identical design (%d domains)" domains)
+                  (Design.Design_io.to_string
+                     plain.Design_solver.best.Candidate.design)
+                  (Design.Design_io.to_string
+                     full.Design_solver.best.Candidate.design);
+                check_int
+                  (Printf.sprintf "identical evaluations (%d domains)" domains)
+                  plain.Design_solver.evaluations full.Design_solver.evaluations
+              | _ -> Alcotest.fail "solver found no design");
+             let p =
+               Obs.Prof.capture ?registry:(Obs.metrics obs)
+                 ?trace:(Obs.trace obs) ()
+             in
+             (match p.Obs.Prof.pool with
+              | None -> Alcotest.fail "no pool accounting captured"
+              | Some pl ->
+                check_int
+                  (Printf.sprintf "tasks all completed (%d domains)" domains)
+                  pl.Obs.Prof.tasks_submitted pl.Obs.Prof.tasks_completed;
+                check_bool "busy fits inside wall x workers" true
+                  (pl.Obs.Prof.busy_s
+                   <= pl.Obs.Prof.map_wall_s
+                      *. float_of_int pl.Obs.Prof.workers_max
+                      *. 1.01));
+             check_bool "memo lock row present" true
+               (List.exists
+                  (fun (l : Obs.Prof.lock) ->
+                     l.Obs.Prof.lock_name = "solver.memo")
+                  p.Obs.Prof.locks);
+             check_bool "profile json well-formed" true
+               (json_well_formed (Obs.Prof.to_json p)))
+          [ 1; 4 ]);
     Alcotest.test_case "risk simulation is obs-invariant" `Quick (fun () ->
         let prov =
           Fixtures.feasible (Provision.minimum (Fixtures.two_app_design ()))
@@ -495,6 +818,76 @@ let solver_tests =
         let reg = Option.get (Obs.metrics obs) in
         check_int "years counted" 200
           (Metrics.count (Metrics.counter reg "risk.years"))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Prof: structured profiling reports                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prof_tests =
+  [ Alcotest.test_case "an empty capture is well-formed" `Quick (fun () ->
+        let p = Obs.Prof.capture () in
+        check_bool "no pool" true (p.Obs.Prof.pool = None);
+        check_bool "no stages" true (p.Obs.Prof.stages = []);
+        check_bool "no locks" true (p.Obs.Prof.locks = []);
+        let json = Obs.Prof.to_json p in
+        check_bool "json" true (json_well_formed json);
+        check_bool "schema tag" true
+          (contains json "\"schema\":\"ds-prof/1\""));
+    Alcotest.test_case "capture folds an instrumented parallel map" `Quick
+      (fun () ->
+         let obs = Obs.create ~metrics:true ~trace:true () in
+         let pool = Exec.create ~domains:4 () in
+         let n = 12 in
+         let out =
+           Exec.mapi_obs pool ~label:"region" ~obs
+             (fun _ i x -> i + x)
+             (Array.init n (fun i -> i))
+         in
+         check_int "mapped" n (Array.length out);
+         let p =
+           Obs.Prof.capture ~label:"test" ?registry:(Obs.metrics obs)
+             ?trace:(Obs.trace obs) ()
+         in
+         (match p.Obs.Prof.pool with
+          | None -> Alcotest.fail "no pool section"
+          | Some pl ->
+            check_int "one map" 1 pl.Obs.Prof.maps;
+            check_int "submitted" n pl.Obs.Prof.tasks_submitted;
+            check_int "completed" n pl.Obs.Prof.tasks_completed;
+            check_int "widest pool" 4 pl.Obs.Prof.workers_max;
+            check_bool "busy fits inside wall x workers" true
+              (pl.Obs.Prof.busy_s <= pl.Obs.Prof.map_wall_s *. 4. *. 1.01);
+            let u = Obs.Prof.utilization pl in
+            check_bool "utilization in [0, 1]" true (u >= 0. && u <= 1.));
+         let stage path =
+           List.find_opt (fun s -> s.Obs.Prof.path = path) p.Obs.Prof.stages
+         in
+         (match stage "region" with
+          | None -> Alcotest.fail "region stage missing"
+          | Some s -> check_int "one region call" 1 s.Obs.Prof.calls);
+         (match stage "region/worker" with
+          | None -> Alcotest.fail "worker stage missing"
+          | Some s -> check_int "one call per worker" 4 s.Obs.Prof.calls);
+         (match stage "region/worker/task" with
+          | None -> Alcotest.fail "task stage missing"
+          | Some s -> check_int "one call per task" n s.Obs.Prof.calls);
+         check_bool "registry lock row" true
+           (List.exists
+              (fun (l : Obs.Prof.lock) ->
+                 l.Obs.Prof.lock_name = "metrics.registry")
+              p.Obs.Prof.locks);
+         let json = Obs.Prof.to_json p in
+         check_bool "json" true (json_well_formed json);
+         List.iter
+           (fun needle -> check_bool needle true (contains json needle))
+           [ "\"schema\":\"ds-prof/1\"";
+             "\"pool\":{";
+             "\"utilization\":";
+             "\"region/worker/task\"" ];
+         let text = Format.asprintf "%a" Obs.Prof.pp p in
+         List.iter
+           (fun needle -> check_bool needle true (contains text needle))
+           [ "region"; "pool:"; "locks:" ]) ]
 
 (* ------------------------------------------------------------------ *)
 (* Sink export to files                                                 *)
@@ -545,8 +938,12 @@ let io_tests =
 
 let suites =
   [ ("obs.metrics", metrics_tests);
+    ("obs.percentile", percentile_tests);
+    ("obs.lockstat", lockstat_tests);
     ("obs.trace", trace_tests);
+    ("obs.lanes", lane_tests);
     ("obs.progress", progress_tests);
     ("obs.hooks", hook_tests);
     ("obs.solver", solver_tests);
+    ("obs.prof", prof_tests);
     ("obs.io", io_tests) ]
