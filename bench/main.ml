@@ -104,6 +104,22 @@ let write_results ~total () =
         | Some b -> json_escape b
         | None -> "default")
        samples skip_slow);
+  (* Run metadata, so a results file is interpretable on its own: the
+     parallel head-to-heads only mean something next to the core count,
+     and DS_BENCH_ONLY_* runs carry a section subset. *)
+  let only_knob =
+    List.find_opt
+      (fun k -> Sys.getenv_opt k = Some "1")
+      [ "DS_BENCH_ONLY_CACHE"; "DS_BENCH_ONLY_PARALLEL"; "DS_BENCH_ONLY_EXEC";
+        "DS_BENCH_ONLY_PORTFOLIO" ]
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "\"nproc\":%d,\"ocaml\":\"%s\",\"only\":%s,"
+       (Domain.recommended_domain_count ())
+       (json_escape Sys.ocaml_version)
+       (match only_knob with
+        | Some k -> Printf.sprintf "\"%s\"" (json_escape k)
+        | None -> "null"));
   Buffer.add_string buf "\"sections\":[";
   List.iteri
     (fun i (label, dt) ->
@@ -365,7 +381,7 @@ let year_sim_speedup () =
   let years = 400_000 in
   let run label domains =
     timed label (fun () ->
-        Risk.Year_sim.simulate ~years ~obs ~pool:(Exec.create ~domains ())
+        Risk.Year_sim.simulate ~years ~obs ~pool:(Exec.auto_width (Exec.create ~domains ()))
           (Prng.Rng.of_int 42) prov likelihood)
   in
   let sequential = run "year_sim sequential" 1 in
@@ -448,7 +464,7 @@ let portfolio_speedup () =
   let restarts = 6 in
   let run label ~race domains =
     timed label (fun () ->
-        Search.run ~restarts ~race ~params ~pool:(Exec.create ~domains ())
+        Search.run ~restarts ~race ~params ~pool:(Exec.auto_width (Exec.create ~domains ()))
           ~obs (E.Envs.peer_sites ()) (E.Envs.peer_apps ())
           Likelihood.default)
   in

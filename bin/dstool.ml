@@ -342,7 +342,7 @@ let solve_cmd =
           likelihood
         |> Option.map (fun o -> (o, None))
       else
-        let pool = Exec.create ~domains () in
+        let pool = Exec.auto_width (Exec.create ~domains ()) in
         Search.run ~restarts:budget.E.Budgets.restarts
           ~race:budget.E.Budgets.race
           ?max_evaluations:budget.E.Budgets.portfolio_evaluations
@@ -491,7 +491,7 @@ let risk_cmd =
     | Error msg -> `Error (false, msg)
     | Ok prov ->
       let rng = Prng.Rng.of_int seed in
-      let pool = Exec.create ~domains () in
+      let pool = Exec.auto_width (Exec.create ~domains ()) in
       let sim = Risk.Year_sim.simulate ~years ~obs ~pool rng prov likelihood in
       Format.fprintf fmt "%a@." Risk.Year_sim.pp sim;
       let analytic = Cost.Penalty.expected_annual prov likelihood in
@@ -821,7 +821,7 @@ let profile_cmd =
           match solve_with budget.E.Budgets.solver with
           | None -> false
           | Some outcome ->
-            let pool = Exec.create ~domains () in
+            let pool = Exec.auto_width (Exec.create ~domains ()) in
             let prov =
               outcome.Design_solver.best.Candidate.eval
                 .Cost.Evaluate.provision
@@ -831,7 +831,7 @@ let profile_cmd =
                  (Prng.Rng.of_int seed) prov likelihood);
             true )
       | `Portfolio ->
-        let pool = Exec.create ~domains () in
+        let pool = Exec.auto_width (Exec.create ~domains ()) in
         ( "portfolio",
           Search.run ~restarts:4 ~params:budget.E.Budgets.solver ~pool ~obs
             env workloads likelihood

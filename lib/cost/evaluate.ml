@@ -10,17 +10,25 @@ type t = {
   penalty : Penalty.t;
 }
 
-let provisioned ?params ?obs prov likelihood =
-  (match obs with Some obs -> Ds_obs.Obs.incr obs "cost.evaluations" | None -> ());
-  let penalty = Penalty.expected_annual ?params ?obs prov likelihood in
+let provisioned ?params ?obs ?scenarios ?batch prov likelihood =
+  (match batch with
+   | Some b -> Ds_recovery.Simulate.incr_evaluations b
+   | None ->
+     (match obs with
+      | Some obs -> Ds_obs.Obs.incr obs "cost.evaluations"
+      | None -> ()));
+  let penalty =
+    Penalty.expected_annual ?params ?obs ?scenarios ?batch prov likelihood
+  in
   let summary =
     Summary.v ~outlay:(Outlay.annual prov) ~outage:penalty.Penalty.outage_total
       ~loss:penalty.Penalty.loss_total
   in
   { provision = prov; summary; penalty }
 
-let design ?params ?obs design likelihood =
-  Result.map (fun prov -> provisioned ?params ?obs prov likelihood)
+let design ?params ?obs ?scenarios ?batch design likelihood =
+  Result.map
+    (fun prov -> provisioned ?params ?obs ?scenarios ?batch prov likelihood)
     (Provision.minimum design)
 
 let total t = Summary.total t.summary

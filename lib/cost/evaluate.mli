@@ -17,16 +17,22 @@ type t = {
 val provisioned :
   ?params:Ds_recovery.Recovery_params.t ->
   ?obs:Ds_obs.Obs.t ->
+  ?scenarios:Ds_failure.Scenario.t list ->
+  ?batch:Ds_recovery.Simulate.batch ->
   Provision.t ->
   Likelihood.t ->
   t
 (** Evaluate an already-provisioned design. [obs] counts
     [cost.evaluations] and flows into the recovery simulator; it never
-    changes the result. *)
+    changes the result. [scenarios] and [batch] short-circuit scenario
+    enumeration and metric-instrument resolution (see
+    {!Ds_recovery.Simulate.all} for the identity requirements). *)
 
 val design :
   ?params:Ds_recovery.Recovery_params.t ->
   ?obs:Ds_obs.Obs.t ->
+  ?scenarios:Ds_failure.Scenario.t list ->
+  ?batch:Ds_recovery.Simulate.batch ->
   Design.t ->
   Likelihood.t ->
   (t, Provision.infeasibility) result

@@ -15,8 +15,8 @@ module Assignment = Ds_design.Assignment
 module Provision = Ds_design.Provision
 
 let sites_cost prov =
-  let used = Design.used_sites prov.Provision.design in
-  Money.scale (float_of_int (List.length used)) Device_catalog.site_cost
+  let used = Design.count_used_sites prov.Provision.design in
+  Money.scale (float_of_int used) Device_catalog.site_cost
 
 let arrays_cost prov =
   Slot.Array_slot.Map.fold

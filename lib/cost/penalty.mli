@@ -27,11 +27,15 @@ type t = {
 val expected_annual :
   ?params:Ds_recovery.Recovery_params.t ->
   ?obs:Ds_obs.Obs.t ->
+  ?scenarios:Scenario.t list ->
+  ?batch:Ds_recovery.Simulate.batch ->
   Provision.t ->
   Likelihood.t ->
   t
 (** [obs] is handed to the recovery simulator (device contention
-    metrics and spans); it never changes the result. *)
+    metrics and spans); it never changes the result. [scenarios] and
+    [batch] short-circuit enumeration and instrument resolution (see
+    {!Ds_recovery.Simulate.all}). *)
 
 val of_outcome : annual_rate:float -> Outcome.t -> Money.t * Money.t
 (** [(outage, loss)] contribution of one simulated outcome, weighted. *)

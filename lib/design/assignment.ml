@@ -54,16 +54,33 @@ let equal a b =
   && Option.equal Slot.Array_slot.equal a.mirror b.mirror
   && Option.equal Slot.Tape_slot.equal a.backup b.backup
 
+let add_fingerprint buf t =
+  let add_int i = Buffer.add_string buf (string_of_int i) in
+  Buffer.add_char buf 'a';
+  add_int t.app.App.id;
+  Buffer.add_string buf "<-";
+  Technique.add_fingerprint buf t.technique;
+  Buffer.add_char buf '@';
+  add_int t.primary.Slot.Array_slot.site;
+  Buffer.add_char buf '.';
+  add_int t.primary.Slot.Array_slot.bay;
+  (match t.mirror with
+   | Some (m : Slot.Array_slot.t) ->
+     Buffer.add_string buf "|m";
+     add_int m.site;
+     Buffer.add_char buf '.';
+     add_int m.bay
+   | None -> ());
+  match t.backup with
+  | Some (b : Slot.Tape_slot.t) ->
+    Buffer.add_string buf "|t";
+    add_int b.site
+  | None -> ()
+
 let fingerprint t =
-  Printf.sprintf "a%d<-%s@%d.%d%s%s" t.app.App.id
-    (Technique.fingerprint t.technique)
-    t.primary.Slot.Array_slot.site t.primary.Slot.Array_slot.bay
-    (match t.mirror with
-     | Some (m : Slot.Array_slot.t) -> Printf.sprintf "|m%d.%d" m.site m.bay
-     | None -> "")
-    (match t.backup with
-     | Some (b : Slot.Tape_slot.t) -> Printf.sprintf "|t%d" b.site
-     | None -> "")
+  let buf = Buffer.create 128 in
+  add_fingerprint buf t;
+  Buffer.contents buf
 
 let with_technique t technique =
   check ~technique ~primary:t.primary ~mirror:t.mirror ~backup:t.backup;

@@ -46,6 +46,7 @@ val equal : t -> t -> bool
 (** Structural equality: same app (by id), technique configuration
     (id, mirror, recovery mode {e and} backup chain) and slots. *)
 
+val add_fingerprint : Buffer.t -> t -> unit
 val fingerprint : t -> string
 (** Canonical encoding; equal fingerprints iff {!equal} holds. *)
 

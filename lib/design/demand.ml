@@ -71,49 +71,82 @@ let backup_link_rate (asg : Assignment.t) =
   | None -> Rate.zero
   | Some chain -> Backup.tape_bandwidth_demand chain asg.app
 
-let fold_assignment acc (asg : Assignment.t) =
-  let acc = { acc with arrays = add_array acc.arrays asg.primary (primary_contribution asg) } in
-  let acc =
-    match asg.mirror with
-    | None -> acc
-    | Some slot ->
-      let acc = { acc with arrays = add_array acc.arrays slot (mirror_contribution asg) } in
-      (match Assignment.mirror_pair asg with
-       | Some pair ->
-         let rate =
-           match asg.technique.Technique.mirror with
-           | Some m -> Mirror.network_demand m asg.app
-           | None -> Rate.zero
-         in
-         { acc with links = add_link acc.links pair rate }
-       | None -> acc)
-  in
-  let acc =
-    match asg.backup with
-    | None -> acc
-    | Some slot ->
-      let acc = { acc with tapes = add_tape acc.tapes slot (tape_contribution asg) } in
-      (match Assignment.backup_pair asg with
-       | Some pair -> { acc with links = add_link acc.links pair (backup_link_rate asg) }
-       | None -> acc)
-  in
-  let acc =
-    { acc with
-      compute = add_compute acc.compute asg.primary.Slot.Array_slot.site 1 }
-  in
-  if Technique.needs_standby_compute asg.technique then
-    match asg.mirror with
-    | Some m -> { acc with compute = add_compute acc.compute m.Slot.Array_slot.site 1 }
-    | None -> acc
-  else acc
+(* Runs once per candidate provisioning — the maps are functional (the
+   result is shared and long-lived) but the running components live in
+   local refs, not per-step record copies. *)
+let of_assignments _design assignments =
+  let arrays = ref Slot.Array_slot.Map.empty in
+  let tapes = ref Slot.Tape_slot.Map.empty in
+  let links = ref Slot.Pair.Map.empty in
+  let compute = ref Site.Id_map.empty in
+  List.iter
+    (fun (asg : Assignment.t) ->
+       arrays := add_array !arrays asg.primary (primary_contribution asg);
+       (match asg.mirror with
+        | None -> ()
+        | Some slot ->
+          arrays := add_array !arrays slot (mirror_contribution asg);
+          (match Assignment.mirror_pair asg with
+           | Some pair ->
+             let rate =
+               match asg.technique.Technique.mirror with
+               | Some m -> Mirror.network_demand m asg.app
+               | None -> Rate.zero
+             in
+             links := add_link !links pair rate
+           | None -> ()));
+       (match asg.backup with
+        | None -> ()
+        | Some slot ->
+          tapes := add_tape !tapes slot (tape_contribution asg);
+          (match Assignment.backup_pair asg with
+           | Some pair -> links := add_link !links pair (backup_link_rate asg)
+           | None -> ()));
+       compute := add_compute !compute asg.primary.Slot.Array_slot.site 1;
+       if Technique.needs_standby_compute asg.technique then
+         match asg.mirror with
+         | Some m ->
+           compute := add_compute !compute m.Slot.Array_slot.site 1
+         | None -> ())
+    assignments;
+  { arrays = !arrays; tapes = !tapes; links = !links; compute = !compute }
 
-let empty =
-  { arrays = Slot.Array_slot.Map.empty;
-    tapes = Slot.Tape_slot.Map.empty;
-    links = Slot.Pair.Map.empty;
-    compute = Site.Id_map.empty }
+(* Per-assignment bandwidth shares, for computing recovery-time residual
+   load as [total demand - affected shares] instead of re-folding the
+   unaffected assignments into fresh maps on every scenario. Each share
+   mirrors exactly one bandwidth term of {!fold_assignment}. *)
 
-let of_assignments _design assignments = List.fold_left fold_assignment empty assignments
+let mirror_rate (asg : Assignment.t) =
+  match asg.technique.Technique.mirror with
+  | Some m -> Mirror.network_demand m asg.app
+  | None -> Rate.zero
+
+let array_bw_share (asg : Assignment.t) slot =
+  let primary =
+    if Slot.Array_slot.equal asg.primary slot then asg.app.App.avg_access_rate
+    else Rate.zero
+  in
+  match asg.mirror with
+  | Some m when Slot.Array_slot.equal m slot -> Rate.add primary (mirror_rate asg)
+  | _ -> primary
+
+let tape_bw_share (asg : Assignment.t) slot =
+  match asg.backup with
+  | Some b when Slot.Tape_slot.equal b slot ->
+    (match asg.technique.Technique.backup with
+     | Some chain -> Backup.tape_bandwidth_demand chain asg.app
+     | None -> Rate.zero)
+  | _ -> Rate.zero
+
+let link_share (asg : Assignment.t) pair =
+  let mirror =
+    match Assignment.mirror_pair asg with
+    | Some p when Slot.Pair.equal p pair -> mirror_rate asg
+    | _ -> Rate.zero
+  in
+  match Assignment.backup_pair asg with
+  | Some p when Slot.Pair.equal p pair -> Rate.add mirror (backup_link_rate asg)
+  | _ -> mirror
 
 let of_design design = of_assignments design (Design.assignments design)
 

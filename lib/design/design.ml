@@ -148,6 +148,23 @@ let remove t app_id =
   in
   { t with assignments; array_models; tape_models }
 
+(* Fast path for the window search, which swaps backup chains inside a
+   technique without moving the app: slots and installed models are
+   untouched, so all of [add]'s placement validation still holds and only
+   the one assignment needs rewriting. [Assignment.with_technique]
+   re-checks the technique/slot shape; the assignment order (by app id)
+   is unchanged, so no re-sort is needed. *)
+let swap_technique t app_id technique =
+  let rec go = function
+    | [] -> None
+    | (a : Assignment.t) :: rest when a.app.App.id = app_id ->
+      Some (Assignment.with_technique a technique :: rest)
+    | a :: rest -> Option.map (fun r -> a :: r) (go rest)
+  in
+  match go t.assignments with
+  | Some assignments -> Some { t with assignments }
+  | None -> None
+
 let apps t = List.map (fun (a : Assignment.t) -> a.app) t.assignments
 let assignments t = t.assignments
 let size t = List.length t.assignments
@@ -155,15 +172,23 @@ let size t = List.length t.assignments
 let array_model t slot = Slot.Array_slot.Map.find_opt slot t.array_models
 let tape_model t slot = Slot.Tape_slot.Map.find_opt slot t.tape_models
 
+(* These run once per candidate evaluation (via [Provision.minimum] and
+   the cost model), so they build their result list in a single fold
+   instead of bindings/map/filter chains. [Map.fold] visits keys in
+   ascending order; consing and reversing preserves it. *)
 let used_array_slots t =
-  Slot.Array_slot.Map.bindings t.array_models
-  |> List.map fst
-  |> List.filter (array_slot_referenced t.assignments)
+  List.rev
+    (Slot.Array_slot.Map.fold
+       (fun slot _ acc ->
+          if array_slot_referenced t.assignments slot then slot :: acc else acc)
+       t.array_models [])
 
 let used_tape_slots t =
-  Slot.Tape_slot.Map.bindings t.tape_models
-  |> List.map fst
-  |> List.filter (tape_slot_referenced t.assignments)
+  List.rev
+    (Slot.Tape_slot.Map.fold
+       (fun slot _ acc ->
+          if tape_slot_referenced t.assignments slot then slot :: acc else acc)
+       t.tape_models [])
 
 let used_pairs t =
   List.concat_map (fun (a : Assignment.t) ->
@@ -174,6 +199,35 @@ let used_pairs t =
 let used_sites t =
   List.concat_map Assignment.sites_used t.assignments
   |> List.sort_uniq Int.compare
+
+(* Distinct-site count without materializing the list: site ids are
+   catalog indexes, far below the word size, so a bitmask suffices.
+   Any out-of-range id falls back to the list-building path. *)
+let count_used_sites t =
+  let exception Wide in
+  let bit acc site =
+    if site < 0 || site > 61 then raise Wide else acc lor (1 lsl site)
+  in
+  match
+    List.fold_left
+      (fun acc (a : Assignment.t) ->
+         let acc = bit acc a.primary.Slot.Array_slot.site in
+         let acc =
+           match a.mirror with
+           | Some (m : Slot.Array_slot.t) -> bit acc m.site
+           | None -> acc
+         in
+         match a.backup with
+         | Some (b : Slot.Tape_slot.t) -> bit acc b.site
+         | None -> acc)
+      0 t.assignments
+  with
+  | mask ->
+    let rec pop acc m =
+      if m = 0 then acc else pop (acc + (m land 1)) (m lsr 1)
+    in
+    pop 0 mask
+  | exception Wide -> List.length (used_sites t)
 
 let residents t slot =
   List.filter (fun (a : Assignment.t) ->
@@ -191,6 +245,16 @@ let primaries_at_site t site =
   List.filter (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site = site)
     t.assignments
 
+(* Allocation-free emptiness probes for the scenario enumerator, which
+   only needs to know whether a slot or site hosts any primary. *)
+let has_primary_on t slot =
+  List.exists (fun (a : Assignment.t) -> Slot.Array_slot.equal a.primary slot)
+    t.assignments
+
+let has_primary_at_site t site =
+  List.exists (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site = site)
+    t.assignments
+
 (* Structural equality over everything the configuration solver reads:
    the environment (by name; environments are fixed within a run), the
    installed models, and the assignments with their full technique
@@ -202,29 +266,38 @@ let equal a b =
   && Slot.Tape_slot.Map.equal Tape_model.equal a.tape_models b.tape_models
   && List.equal Assignment.equal a.assignments b.assignments
 
-let fingerprint t =
-  let buf = Buffer.create 256 in
+let add_fingerprint buf t =
   Buffer.add_string buf "d{";
   Buffer.add_string buf t.env.Env.name;
   Buffer.add_string buf "|";
   Slot.Array_slot.Map.iter
     (fun (slot : Slot.Array_slot.t) (model : Array_model.t) ->
-       Buffer.add_string buf
-         (Printf.sprintf "%d.%d=%s;" slot.site slot.bay model.Array_model.name))
+       Buffer.add_string buf (string_of_int slot.site);
+       Buffer.add_char buf '.';
+       Buffer.add_string buf (string_of_int slot.bay);
+       Buffer.add_char buf '=';
+       Buffer.add_string buf model.Array_model.name;
+       Buffer.add_char buf ';')
     t.array_models;
   Buffer.add_string buf "|";
   Slot.Tape_slot.Map.iter
     (fun (slot : Slot.Tape_slot.t) (model : Tape_model.t) ->
-       Buffer.add_string buf
-         (Printf.sprintf "%d=%s;" slot.site model.Tape_model.name))
+       Buffer.add_string buf (string_of_int slot.site);
+       Buffer.add_char buf '=';
+       Buffer.add_string buf model.Tape_model.name;
+       Buffer.add_char buf ';')
     t.tape_models;
   Buffer.add_string buf "|";
   List.iter
     (fun asg ->
-       Buffer.add_string buf (Assignment.fingerprint asg);
+       Assignment.add_fingerprint buf asg;
        Buffer.add_char buf ';')
     t.assignments;
-  Buffer.add_char buf '}';
+  Buffer.add_char buf '}'
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  add_fingerprint buf t;
   Buffer.contents buf
 
 let pp ppf t =

@@ -43,6 +43,14 @@ val remove : t -> App.id -> t
 (** Removes the app's assignment (no-op if absent) and uninstalls models
     from slots no longer referenced by anyone. *)
 
+val swap_technique : t -> App.id -> Ds_protection.Technique.t -> t option
+(** Rewrites one assignment's technique in place — for searches that
+    reconfigure a technique (e.g. swap backup windows) without moving the
+    app. Placement and models are untouched, so none of [add]'s slot
+    validation can change; the technique/slot shape is still re-checked
+    (raises [Invalid_argument] on a mismatch, like {!Assignment.v}).
+    [None] if the app is not assigned. *)
+
 val find : t -> App.id -> Assignment.t option
 val apps : t -> App.t list
 val assignments : t -> Assignment.t list
@@ -60,11 +68,21 @@ val used_pairs : t -> Slot.Pair.t list
 
 val used_sites : t -> Ds_resources.Site.id list
 
+val count_used_sites : t -> int
+(** [List.length (used_sites t)] without materializing the list — the
+    cost model only needs the count. *)
+
 val residents : t -> Slot.Array_slot.t -> Assignment.t list
 (** Assignments whose primary or mirror lives on the slot. *)
 
 val primaries_on : t -> Slot.Array_slot.t -> Assignment.t list
 val primaries_at_site : t -> Ds_resources.Site.id -> Assignment.t list
+
+val has_primary_on : t -> Slot.Array_slot.t -> bool
+(** [primaries_on t slot <> []] without building the list — the scenario
+    enumerator probes every used slot on every evaluation. *)
+
+val has_primary_at_site : t -> Ds_resources.Site.id -> bool
 
 val equal : t -> t -> bool
 (** Structural equality over everything that determines a design's
@@ -73,6 +91,10 @@ val equal : t -> t -> bool
     backup-chain configuration). Insensitive to construction order —
     semantically identical designs produced by different refit walks
     compare equal. *)
+
+val add_fingerprint : Buffer.t -> t -> unit
+(** Appends {!fingerprint}'s encoding to [buf] — lets key builders
+    compose fingerprints without intermediate strings. *)
 
 val fingerprint : t -> string
 (** Canonical string encoding of the design: [fingerprint a =

@@ -40,80 +40,85 @@ let pp_infeasibility ppf = function
   | Compute_slots s -> Format.fprintf ppf "site s%d out of compute slots" s
   | Missing_model what -> Format.fprintf ppf "missing model for %s" what
 
-let ( let* ) = Result.bind
+(* Runs once per candidate evaluation. Plain loops with an exceptional
+   early exit keep the per-call allocation to the result maps themselves
+   — no [Ok]-wrapped intermediate accumulators. *)
+exception Infeasible of infeasibility
 
 let minimum design =
   let env = design.Design.env in
   let demand = Demand.of_design design in
-  let* array_units =
-    List.fold_left
-      (fun acc slot ->
-         let* acc = acc in
-         match Design.array_model design slot with
-         | None ->
-           Error (Missing_model (Format.asprintf "%a" Slot.Array_slot.pp slot))
-         | Some model ->
-           let use = Demand.array_use demand slot in
-           if Rate.(model.Array_model.max_bw < use.Demand.bandwidth) then
-             Error (Array_bandwidth slot)
-           else
+  try
+    let array_units =
+      List.fold_left
+        (fun acc slot ->
+           match Design.array_model design slot with
+           | None ->
+             raise_notrace
+               (Infeasible
+                  (Missing_model (Format.asprintf "%a" Slot.Array_slot.pp slot)))
+           | Some model ->
+             let use = Demand.array_use demand slot in
+             if Rate.(model.Array_model.max_bw < use.Demand.bandwidth) then
+               raise_notrace (Infeasible (Array_bandwidth slot));
              let n_cap = Array_model.units_for_capacity model use.Demand.capacity in
              let n_bw = Array_model.units_for_bw model use.Demand.bandwidth in
              let units = max n_cap n_bw in
-             if units > model.Array_model.max_units then Error (Array_capacity slot)
-             else Ok (Slot.Array_slot.Map.add slot units acc))
-      (Ok Slot.Array_slot.Map.empty)
-      (Design.used_array_slots design)
-  in
-  let* tapes =
-    List.fold_left
-      (fun acc slot ->
-         let* drives_map, carts_map = acc in
-         match Design.tape_model design slot with
-         | None ->
-           Error (Missing_model (Format.asprintf "%a" Slot.Tape_slot.pp slot))
-         | Some model ->
-           let use = Demand.tape_use demand slot in
-           let drives = Tape_model.drives_for_bw model use.Demand.tape_bandwidth in
-           if drives > model.Tape_model.max_drives then Error (Tape_bandwidth slot)
-           else
+             if units > model.Array_model.max_units then
+               raise_notrace (Infeasible (Array_capacity slot));
+             Slot.Array_slot.Map.add slot units acc)
+        Slot.Array_slot.Map.empty
+        (Design.used_array_slots design)
+    in
+    let tape_drives, tape_cartridges =
+      List.fold_left
+        (fun (drives_map, carts_map) slot ->
+           match Design.tape_model design slot with
+           | None ->
+             raise_notrace
+               (Infeasible
+                  (Missing_model (Format.asprintf "%a" Slot.Tape_slot.pp slot)))
+           | Some model ->
+             let use = Demand.tape_use demand slot in
+             let drives = Tape_model.drives_for_bw model use.Demand.tape_bandwidth in
+             if drives > model.Tape_model.max_drives then
+               raise_notrace (Infeasible (Tape_bandwidth slot));
              let carts =
                Tape_model.cartridges_for_capacity model use.Demand.tape_capacity
              in
              if carts > model.Tape_model.max_cartridges then
-               Error (Tape_capacity slot)
-             else
-               Ok (Slot.Tape_slot.Map.add slot (max 1 drives) drives_map,
-                   Slot.Tape_slot.Map.add slot carts carts_map))
-      (Ok (Slot.Tape_slot.Map.empty, Slot.Tape_slot.Map.empty))
-      (Design.used_tape_slots design)
-  in
-  let tape_drives, tape_cartridges = tapes in
-  let* link_units =
-    List.fold_left
-      (fun acc pair ->
-         let* acc = acc in
-         let model = env.Env.link_model in
-         let rate = Demand.link_use demand pair in
-         let units = Link_model.units_for_bw model rate in
-         let units = max 1 units in
-         if units > env.Env.max_link_units then Error (Link_bandwidth pair)
-         else Ok (Slot.Pair.Map.add pair units acc))
-      (Ok Slot.Pair.Map.empty)
-      (Design.used_pairs design)
-  in
-  let* compute =
-    List.fold_left
-      (fun acc site ->
-         let* acc = acc in
-         let n = Demand.compute_use demand site in
-         if n > env.Env.compute_slots_per_site then Error (Compute_slots site)
-         else if n = 0 then Ok acc
-         else Ok (Site.Id_map.add site n acc))
-      (Ok Site.Id_map.empty)
-      (Env.site_ids env)
-  in
-  Ok { design; demand; array_units; tape_drives; tape_cartridges; link_units; compute }
+               raise_notrace (Infeasible (Tape_capacity slot));
+             (Slot.Tape_slot.Map.add slot (max 1 drives) drives_map,
+              Slot.Tape_slot.Map.add slot carts carts_map))
+        (Slot.Tape_slot.Map.empty, Slot.Tape_slot.Map.empty)
+        (Design.used_tape_slots design)
+    in
+    let link_units =
+      List.fold_left
+        (fun acc pair ->
+           let model = env.Env.link_model in
+           let rate = Demand.link_use demand pair in
+           let units = Link_model.units_for_bw model rate in
+           let units = max 1 units in
+           if units > env.Env.max_link_units then
+             raise_notrace (Infeasible (Link_bandwidth pair));
+           Slot.Pair.Map.add pair units acc)
+        Slot.Pair.Map.empty
+        (Design.used_pairs design)
+    in
+    let compute =
+      List.fold_left
+        (fun acc site ->
+           let n = Demand.compute_use demand site in
+           if n > env.Env.compute_slots_per_site then
+             raise_notrace (Infeasible (Compute_slots site));
+           if n = 0 then acc else Site.Id_map.add site n acc)
+        Site.Id_map.empty
+        (Env.site_ids env)
+    in
+    Ok { design; demand; array_units; tape_drives; tape_cartridges;
+         link_units; compute }
+  with Infeasible why -> Error why
 
 let array_bw t slot =
   match Design.array_model t.design slot,

@@ -1,24 +1,84 @@
 module Rng = Ds_prng.Rng
 module Obs = Ds_obs.Obs
 
-type pool = { domains : int }
+(* Stage-aware width policy: per map label, remember the observed
+   per-task cost (an EWMA of busy seconds per task) and size the next
+   map of that label from its projected serial time [tasks x cost].
+   Small stages — a handful of growth moves, a short window menu —
+   clamp to one worker and never pay domain spawn/join; only stages
+   whose projected time can amortize the spawn cost fan out.
+
+   The table is an atomic assoc list updated from whichever domain ran
+   the map; a racing insert can at worst drop a peer's fresh estimate,
+   which the next map of that label simply re-learns. Width is pure
+   scheduling (the strided schedule and index-order merges make every
+   width byte-identical), so the policy cannot steer results. *)
+type cost_model = {
+  threshold_s : float;  (* target serial seconds per worker *)
+  costs : (string * float Atomic.t) list Atomic.t;
+}
+
+type pool = { domains : int; auto : cost_model option }
 
 let create ?(domains = 1) () =
   if domains < 1 then invalid_arg "Exec.create: domains must be >= 1";
-  { domains }
+  { domains; auto = None }
 
-let sequential = { domains = 1 }
+let sequential = { domains = 1; auto = None }
+
+(* Default threshold: a domain spawn/join round trip costs on the order
+   of 100 us; below ~1 ms of projected serial work the fan-out cannot
+   amortize it. *)
+let auto_width ?(threshold_s = 1e-3) pool =
+  if threshold_s <= 0. then invalid_arg "Exec.auto_width: threshold must be > 0";
+  { pool with auto = Some { threshold_s; costs = Atomic.make [] } }
 
 let domains pool = pool.domains
 
 let workers pool ~tasks = max 1 (min pool.domains tasks)
 
+let observed_cost cm label =
+  match List.assoc_opt label (Atomic.get cm.costs) with
+  | Some slot -> Some (Atomic.get slot)
+  | None -> None
+
+let note_cost cm label per_task_s =
+  if Float.is_finite per_task_s && per_task_s >= 0. then begin
+    let entries = Atomic.get cm.costs in
+    match List.assoc_opt label entries with
+    | Some slot ->
+      (* EWMA smooths one-off stalls; plain set — a lost race loses one
+         observation, not correctness. *)
+      Atomic.set slot ((0.7 *. Atomic.get slot) +. (0.3 *. per_task_s))
+    | None ->
+      Atomic.set cm.costs ((label, Atomic.make per_task_s) :: entries)
+  end
+
+(* The width an auto-sizing pool gives a map: full width while the label
+   is unknown (first map learns), then the smallest width that keeps
+   each worker's projected share around [threshold_s]. *)
+let width_for pool ~label ~tasks =
+  let full = workers pool ~tasks in
+  match pool.auto with
+  | None -> full
+  | Some cm ->
+    if full <= 1 then full
+    else begin
+      match observed_cost cm label with
+      | None -> full
+      | Some per_task ->
+        let projected = per_task *. float_of_int tasks in
+        if projected < cm.threshold_s then 1
+        else min full (max 1 (int_of_float (projected /. cm.threshold_s)))
+    end
+
 let worker_obs pool ~tasks obs =
   if workers pool ~tasks > 1 then Obs.without_trace obs else obs
 
-let mapi pool f tasks =
+(* [mapi] at an explicit width [w] (<= workers pool ~tasks). The width
+   is pure scheduling: results land by task index whatever [w] is. *)
+let mapi_w w f tasks =
   let n = Array.length tasks in
-  let w = workers pool ~tasks:n in
   if w = 1 then Array.mapi f tasks
   else begin
     (* Slot [i] belongs to task [i] alone: the strided schedule below
@@ -54,6 +114,8 @@ let mapi pool f tasks =
     Array.map Option.get results
   end
 
+let mapi pool f tasks = mapi_w (workers pool ~tasks:(Array.length tasks)) f tasks
+
 let map pool f tasks = mapi pool (fun _ x -> f x) tasks
 
 let map_rng pool ~rng f tasks =
@@ -75,7 +137,61 @@ let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
 
 let instrumented obs = Obs.metrics_on obs || Obs.trace obs <> None
 
-let now_s = Obs.Metrics.now_s
+module Metrics = Obs.Metrics
+
+let now_s = Metrics.now_s
+
+(* Pool-accounting instruments, pre-resolved once per metrics registry:
+   the solvers run thousands of instrumented maps per second, and
+   re-resolving a dozen fixed names through the registry lock on every
+   map dominated the accounting's own allocation. One-slot cache with a
+   benign race: a concurrent refill re-resolves the same names and the
+   registry hands back the same instruments, so totals are unchanged. *)
+type acct_instruments = {
+  ai_reg : Metrics.registry;
+  maps_c : Metrics.counter;
+  tasks_c : Metrics.counter;
+  workers_max_g : Metrics.gauge;
+  map_wall_h : Metrics.histogram;
+  spawn_h : Metrics.histogram;
+  join_h : Metrics.histogram;
+  worker_busy_h : Metrics.histogram;
+  worker_idle_h : Metrics.histogram;
+  tasks_completed_c : Metrics.counter;
+  busy_imbalance_h : Metrics.histogram;
+  task_imbalance_h : Metrics.histogram;
+  minor_words_g : Metrics.gauge;
+  major_words_g : Metrics.gauge;
+  minor_col_c : Metrics.counter;
+  major_col_c : Metrics.counter;
+}
+
+let acct_slot : acct_instruments option Atomic.t = Atomic.make None
+
+let acct_instruments reg =
+  match Atomic.get acct_slot with
+  | Some ai when ai.ai_reg == reg -> ai
+  | _ ->
+    let ai =
+      { ai_reg = reg;
+        maps_c = Metrics.counter reg "exec.maps";
+        tasks_c = Metrics.counter reg "exec.tasks";
+        workers_max_g = Metrics.gauge reg "exec.workers_max";
+        map_wall_h = Metrics.histogram reg "exec.map_wall_s";
+        spawn_h = Metrics.histogram reg "exec.spawn_s";
+        join_h = Metrics.histogram reg "exec.join_s";
+        worker_busy_h = Metrics.histogram reg "exec.worker_busy_s";
+        worker_idle_h = Metrics.histogram reg "exec.worker_idle_s";
+        tasks_completed_c = Metrics.counter reg "exec.tasks_completed";
+        busy_imbalance_h = Metrics.histogram reg "exec.busy_imbalance_s";
+        task_imbalance_h = Metrics.histogram reg "exec.task_imbalance";
+        minor_words_g = Metrics.gauge reg "exec.minor_words";
+        major_words_g = Metrics.gauge reg "exec.major_words";
+        minor_col_c = Metrics.counter reg "exec.minor_collections";
+        major_col_c = Metrics.counter reg "exec.major_collections" }
+    in
+    Atomic.set acct_slot (Some ai);
+    ai
 
 (* Everything the caller-side accounting needs about one finished map.
    Collected into plain per-worker arrays (disjoint slots, like the
@@ -91,18 +207,18 @@ type acct = {
   major_col : int array;
 }
 
-let emit_acct obs a ~w ~wall ~spawn_s ~join_s =
-  Obs.observe obs "exec.map_wall_s" wall;
-  (match spawn_s with Some s -> Obs.observe obs "exec.spawn_s" s | None -> ());
-  (match join_s with Some s -> Obs.observe obs "exec.join_s" s | None -> ());
+let emit_acct ai a ~w ~wall ~spawn_s ~join_s =
+  Metrics.observe ai.map_wall_h wall;
+  (match spawn_s with Some s -> Metrics.observe ai.spawn_h s | None -> ());
+  (match join_s with Some s -> Metrics.observe ai.join_h s | None -> ());
   let busy_lo = ref Float.infinity and busy_hi = ref 0. in
   let run_lo = ref max_int and run_hi = ref 0 in
   let completed = ref 0 in
   let minor = ref 0. and major = ref 0. in
   let minor_col = ref 0 and major_col = ref 0 in
   for k = 0 to w - 1 do
-    Obs.observe obs "exec.worker_busy_s" a.busy.(k);
-    Obs.observe obs "exec.worker_idle_s" (Float.max 0. (wall -. a.busy.(k)));
+    Metrics.observe ai.worker_busy_h a.busy.(k);
+    Metrics.observe ai.worker_idle_h (Float.max 0. (wall -. a.busy.(k)));
     busy_lo := Float.min !busy_lo a.busy.(k);
     busy_hi := Float.max !busy_hi a.busy.(k);
     run_lo := min !run_lo a.tasks_run.(k);
@@ -113,28 +229,44 @@ let emit_acct obs a ~w ~wall ~spawn_s ~join_s =
     minor_col := !minor_col + a.minor_col.(k);
     major_col := !major_col + a.major_col.(k)
   done;
-  Obs.add obs "exec.tasks_completed" !completed;
-  Obs.observe obs "exec.busy_imbalance_s" (!busy_hi -. !busy_lo);
-  Obs.observe obs "exec.task_imbalance" (float_of_int (!run_hi - !run_lo));
-  Obs.gauge_add obs "exec.minor_words" !minor;
-  Obs.gauge_add obs "exec.major_words" !major;
-  Obs.add obs "exec.minor_collections" !minor_col;
-  Obs.add obs "exec.major_collections" !major_col
+  Metrics.add ai.tasks_completed_c !completed;
+  Metrics.observe ai.busy_imbalance_h (!busy_hi -. !busy_lo);
+  Metrics.observe ai.task_imbalance_h (float_of_int (!run_hi - !run_lo));
+  Metrics.gauge_add ai.minor_words_g !minor;
+  Metrics.gauge_add ai.major_words_g !major;
+  Metrics.add ai.minor_col_c !minor_col;
+  Metrics.add ai.major_col_c !major_col
 
 let mapi_obs pool ?(label = "exec.map") ~obs f tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
-  else if not (instrumented obs) then mapi pool (fun i x -> f obs i x) tasks
+  else if not (instrumented obs) then begin
+    match pool.auto with
+    | None -> mapi pool (fun i x -> f obs i x) tasks
+    | Some cm ->
+      (* No instruments to learn from, so time the map itself: total
+         busy is roughly [wall x width] on a balanced strided schedule,
+         which is what the bench path (noop observers) runs on. *)
+      let w = width_for pool ~label ~tasks:n in
+      let t0 = now_s () in
+      let r = mapi_w w (fun i x -> f obs i x) tasks in
+      note_cost cm label
+        ((now_s () -. t0) *. float_of_int w /. float_of_int n);
+      r
+  end
   else begin
-    let w = workers pool ~tasks:n in
-    Obs.incr obs "exec.maps";
-    Obs.add obs "exec.tasks" n;
-    (match Obs.metrics obs with
-     | None -> ()
-     | Some reg ->
-       Obs.Metrics.gauge_max
-         (Obs.Metrics.gauge reg "exec.workers_max")
-         (float_of_int w));
+    let w = width_for pool ~label ~tasks:n in
+    let ai =
+      match Obs.metrics obs with
+      | Some reg -> Some (acct_instruments reg)
+      | None -> None
+    in
+    (match ai with
+     | Some ai ->
+       Metrics.incr ai.maps_c;
+       Metrics.add ai.tasks_c n;
+       Metrics.gauge_max ai.workers_max_g (float_of_int w)
+     | None -> ());
     Obs.with_span obs
       ~args:[ ("tasks", string_of_int n); ("workers", string_of_int w) ]
       label
@@ -185,10 +317,14 @@ let mapi_obs pool ?(label = "exec.map") ~obs f tasks =
              gc1.Gc.major_collections - gc0.Gc.major_collections
          in
          let t_region = now_s () in
+         let emit ~wall ~spawn_s ~join_s =
+           match ai with
+           | Some ai -> emit_acct ai a ~w ~wall ~spawn_s ~join_s
+           | None -> ()
+         in
          if w = 1 then begin
            stride obs 0;
-           emit_acct obs a ~w ~wall:(now_s () -. t_region) ~spawn_s:None
-             ~join_s:None
+           emit ~wall:(now_s () -. t_region) ~spawn_s:None ~join_s:None
          end
          else begin
            (* Lanes are created here, while [label]'s span is open, so
@@ -214,10 +350,17 @@ let mapi_obs pool ?(label = "exec.map") ~obs f tasks =
              Obs.merge_lane obs (snd lanes.(k))
            done;
            let t_end = now_s () in
-           emit_acct obs a ~w ~wall:(t_end -. t_region)
-             ~spawn_s:(Some spawn_s)
+           emit ~wall:(t_end -. t_region) ~spawn_s:(Some spawn_s)
              ~join_s:(Some (t_end -. t_join))
          end;
+         (match pool.auto with
+          | Some cm ->
+            (* Busy time is the exact per-task cost signal — idle and
+               spawn/join overhead are deliberately excluded so the
+               estimate stays width-independent. *)
+            note_cost cm label
+              (Array.fold_left ( +. ) 0. a.busy /. float_of_int n)
+          | None -> ());
          Array.iter
            (function
              | Some (e, backtrace) ->

@@ -49,6 +49,33 @@ val create : ?domains:int -> unit -> pool
 val sequential : pool
 (** [create ~domains:1 ()]. *)
 
+val auto_width : ?threshold_s:float -> pool -> pool
+(** [auto_width pool] turns on stage-aware width auto-sizing for the
+    {e observed} maps ({!mapi_obs}, {!map_rng_obs}): per map [label],
+    the pool remembers the observed per-task cost (an EWMA of busy
+    seconds per task) and sizes the next map of that label so each
+    worker's projected share is around [threshold_s] seconds (default
+    [1e-3], about 10x a domain spawn/join round trip). A label's first
+    map runs at full width and learns; later maps whose projected
+    serial time falls under the threshold clamp to one worker and pay
+    zero spawn/join. Unlabeled/plain maps ({!map}, {!mapi},
+    {!map_rng}) always run at full width.
+
+    Width is pure scheduling — the strided schedule, pre-split RNG and
+    index-order merges make every width byte-identical — so the
+    (timing-dependent) width choice cannot steer results; it only
+    moves wall time. Returns a new pool; the receiver is unchanged.
+    The cost table is shared by everything mapping through the
+    returned pool and is domain-safe.
+    @raise Invalid_argument when [threshold_s <= 0]. *)
+
+val width_for : pool -> label:string -> tasks:int -> int
+(** The width the pool would give an observed map of [tasks] tasks
+    under [label] right now: [workers pool ~tasks] for non-auto pools
+    or unknown labels, else the learned clamp (1 when the projected
+    serial time is under the threshold). Exposed for tests; the
+    estimate moves as maps run. *)
+
 val domains : pool -> int
 
 val workers : pool -> tasks:int -> int

@@ -64,7 +64,7 @@ let arm_count = List.length arm_seed_offsets
 let run ?(budgets = Budgets.default) ?(metaheuristics = false)
     ?(obs = Obs.noop) env apps likelihood =
   let seed = budgets.Budgets.solver.Design_solver.seed in
-  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let pool = Exec.auto_width (Exec.create ~domains:(max 1 budgets.Budgets.domains) ()) in
   (* Arms scheduled on a parallel pool run their solvers single-domain:
      the parallelism lives at one level only. *)
   let inner =

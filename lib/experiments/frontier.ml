@@ -28,7 +28,7 @@ let scale_app factor (app : App.t) =
 
 let run ?(budgets = Budgets.default) ?(multipliers = default_multipliers) env
     apps likelihood =
-  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let pool = Exec.auto_width (Exec.create ~domains:(max 1 budgets.Budgets.domains) ()) in
   let inner =
     if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
   in

@@ -19,7 +19,7 @@ let find entries label =
 
 let run ?(budgets = Budgets.default) ?(rounds = [ 1; 2; 3; 4; 5 ]) () =
   let env = Envs.quad_sites () in
-  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let pool = Exec.auto_width (Exec.create ~domains:(max 1 budgets.Budgets.domains) ()) in
   (* Rounds are the outer unit of work; each round's Compare (and the
      solvers underneath) runs sequentially when the pool is parallel. *)
   let inner =

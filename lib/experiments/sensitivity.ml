@@ -41,7 +41,7 @@ let run ?(budgets = Budgets.default) ?rates ?(apps = 16) axis =
   let env = Envs.quad_sites () in
   let rounds = (apps + 3) / 4 in
   let workloads = Envs.scaled_apps ~rounds in
-  let pool = Exec.create ~domains:(max 1 budgets.Budgets.domains) () in
+  let pool = Exec.auto_width (Exec.create ~domains:(max 1 budgets.Budgets.domains) ()) in
   let inner =
     if Exec.domains pool > 1 then Budgets.sequential budgets else budgets
   in

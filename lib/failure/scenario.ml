@@ -49,14 +49,16 @@ let enumerate (lk : Likelihood.t) design =
   let array_scenarios =
     Design.used_array_slots design
     |> List.filter_map (fun slot ->
-        if Design.primaries_on design slot = [] then None
-        else Some { scope = Array_failure slot; annual_rate = lk.array_per_year })
+        if Design.has_primary_on design slot then
+          Some { scope = Array_failure slot; annual_rate = lk.array_per_year }
+        else None)
   in
   let site_scenarios =
     Design.used_sites design
     |> List.filter_map (fun site ->
-        if Design.primaries_at_site design site = [] then None
-        else Some { scope = Site_disaster site; annual_rate = lk.site_per_year })
+        if Design.has_primary_at_site design site then
+          Some { scope = Site_disaster site; annual_rate = lk.site_per_year }
+        else None)
   in
   object_scenarios @ array_scenarios @ site_scenarios
 

@@ -27,6 +27,11 @@ type collector = {
   mutable stack : string list;  (* open span paths, innermost first *)
   mutable spans : span list;  (* completed, reverse completion order *)
   mutable completed : int;
+  (* Last (parent, name, parent ^ "/" ^ name): the hot loops open the
+     same span under the same parent thousands of times in a row, so the
+     concatenation is recomputed only when either component changes
+     (compared physically — literals and open-span paths are stable). *)
+  mutable path_cache : (string * string * string) option;
 }
 
 let create () =
@@ -35,7 +40,8 @@ let create () =
     base_path = None;
     stack = [];
     spans = [];
-    completed = 0 }
+    completed = 0;
+    path_cache = None }
 
 let tid c = c.tid
 
@@ -50,7 +56,8 @@ let worker parent ~tid =
        | [] -> parent.base_path);
     stack = [];
     spans = [];
-    completed = 0 }
+    completed = 0;
+    path_cache = None }
 
 let merge ~into child =
   into.spans <- child.spans @ into.spans;
@@ -71,7 +78,15 @@ let with_span c ?(args = []) name f =
     | [] -> c.base_path
   in
   let path =
-    match parent with None -> name | Some parent -> parent ^ "/" ^ name
+    match parent with
+    | None -> name
+    | Some parent ->
+      (match c.path_cache with
+       | Some (p, n, path) when p == parent && n == name -> path
+       | _ ->
+         let path = parent ^ "/" ^ name in
+         c.path_cache <- Some (parent, name, path);
+         path)
   in
   let depth =
     List.length c.stack + (match c.base_path with None -> 0 | Some _ -> 1)

@@ -81,12 +81,29 @@ let equal a b =
   && Time.equal a.vault_win b.vault_win
   && Time.equal a.vault_prop b.vault_prop
 
+let add_fingerprint buf t =
+  Buffer.add_string buf "b{";
+  Time.add_fp buf t.snapshot_win;
+  Buffer.add_char buf '*';
+  Buffer.add_string buf (string_of_int t.snapshot_retained);
+  Buffer.add_char buf ';';
+  Time.add_fp buf t.tape_win;
+  Buffer.add_char buf '/';
+  Buffer.add_string buf (string_of_int t.tape_fulls_every);
+  Buffer.add_char buf '*';
+  Buffer.add_string buf (string_of_int t.tape_retained);
+  Buffer.add_char buf ';';
+  Time.add_fp buf t.backup_window;
+  Buffer.add_char buf ';';
+  Time.add_fp buf t.vault_win;
+  Buffer.add_char buf '+';
+  Time.add_fp buf t.vault_prop;
+  Buffer.add_char buf '}'
+
 let fingerprint t =
-  Printf.sprintf "b{%h*%d;%h/%d*%d;%h;%h+%h}"
-    (Time.to_seconds t.snapshot_win) t.snapshot_retained
-    (Time.to_seconds t.tape_win) t.tape_fulls_every t.tape_retained
-    (Time.to_seconds t.backup_window)
-    (Time.to_seconds t.vault_win) (Time.to_seconds t.vault_prop)
+  let buf = Buffer.create 64 in
+  add_fingerprint buf t;
+  Buffer.contents buf
 
 let pp ppf t =
   Format.fprintf ppf "backup{snap %a x%d; tape %a (full/%d) x%d; vault %a +%a}"

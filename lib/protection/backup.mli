@@ -75,6 +75,7 @@ val vault_staleness : t -> propagation:Time.t -> Time.t
 
 val equal : t -> t -> bool
 
+val add_fingerprint : Buffer.t -> t -> unit
 val fingerprint : t -> string
 (** Canonical encoding of every chain parameter (exact [%h] float
     encodings): two chains have equal fingerprints iff {!equal} holds.

@@ -21,8 +21,17 @@ let to_string t =
 
 let equal a b = a.sync = b.sync && Time.equal a.acc_win b.acc_win
 
+(* Exact bit-level window encoding, so distinct windows never collide. *)
+let add_fingerprint buf t =
+  Buffer.add_string buf "m{";
+  Buffer.add_string buf (to_string t);
+  Buffer.add_char buf ';';
+  Time.add_fp buf t.acc_win;
+  Buffer.add_char buf '}'
+
 let fingerprint t =
-  (* %h prints the exact bit pattern, so distinct windows never collide. *)
-  Printf.sprintf "m{%s;%h}" (to_string t) (Time.to_seconds t.acc_win)
+  let buf = Buffer.create 24 in
+  add_fingerprint buf t;
+  Buffer.contents buf
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -31,6 +31,10 @@ val staleness : t -> Time.t
 val to_string : t -> string
 val equal : t -> t -> bool
 
+val add_fingerprint : Buffer.t -> t -> unit
+(** Append {!fingerprint}'s encoding to [buf] without intermediate
+    strings (the design fingerprint is rebuilt on every memo probe). *)
+
 val fingerprint : t -> string
 (** Canonical encoding of the mirror parameters: two mirrors have equal
     fingerprints iff {!equal} holds. Feeds the design fingerprint used to

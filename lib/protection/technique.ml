@@ -55,11 +55,25 @@ let equal_config a b =
   && Recovery_mode.equal a.recovery b.recovery
   && Option.equal Backup.equal a.backup b.backup
 
+let add_fingerprint buf t =
+  Buffer.add_char buf 't';
+  Buffer.add_string buf (string_of_int t.id);
+  Buffer.add_char buf '{';
+  (match t.mirror with
+   | Some m -> Mirror.add_fingerprint buf m
+   | None -> Buffer.add_char buf '-');
+  Buffer.add_char buf ';';
+  Buffer.add_string buf (Recovery_mode.short t.recovery);
+  Buffer.add_char buf ';';
+  (match t.backup with
+   | Some b -> Backup.add_fingerprint buf b
+   | None -> Buffer.add_char buf '-');
+  Buffer.add_char buf '}'
+
 let fingerprint t =
-  Printf.sprintf "t%d{%s;%s;%s}" t.id
-    (match t.mirror with Some m -> Mirror.fingerprint m | None -> "-")
-    (Recovery_mode.short t.recovery)
-    (match t.backup with Some b -> Backup.fingerprint b | None -> "-")
+  let buf = Buffer.create 96 in
+  add_fingerprint buf t;
+  Buffer.contents buf
 
 let describe t = t.name
 let pp ppf t = Format.pp_print_string ppf t.name

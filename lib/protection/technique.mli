@@ -57,6 +57,7 @@ val equal_config : t -> t -> bool
     recovery mode and backup chain. Distinguishes same-id techniques
     whose backup windows were retuned by the configuration solver. *)
 
+val add_fingerprint : Buffer.t -> t -> unit
 val fingerprint : t -> string
 (** Canonical encoding (id, mirror, recovery mode, backup chain): equal
     fingerprints iff {!equal_config} holds. *)

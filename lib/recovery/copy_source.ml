@@ -52,6 +52,45 @@ let surviving ~params ~tape_propagation (asg : Assignment.t) scope =
   in
   mirror_copies @ backup_copies
 
+(* [best (surviving ...)] without materializing the candidate lists —
+   the simulator asks this once per affected app per scenario, which is
+   the solvers' innermost loop. Candidates are considered in the same
+   order as [surviving] lists them (mirror, snapshot, tape, vault) with
+   the same strict-improvement rule, so the result is identical. *)
+let best_surviving ~params ~tape_propagation (asg : Assignment.t) scope =
+  let consider acc kind staleness =
+    match acc with
+    | None -> Some { kind; staleness }
+    | Some incumbent ->
+      let c = Time.compare staleness incumbent.staleness in
+      if c < 0 || (c = 0 && kind_rank kind < kind_rank incumbent.kind)
+      then Some { kind; staleness }
+      else acc
+  in
+  let technique = asg.technique in
+  let acc =
+    match technique.Technique.mirror, scope with
+    | Some _, Scenario.Data_object _ -> None
+    | Some m, (Scenario.Array_failure _ | Scenario.Site_disaster _) ->
+      Some { kind = Mirror; staleness = Mirror_t.staleness m }
+    | None, _ -> None
+  in
+  match technique.Technique.backup, asg.backup with
+  | None, _ | _, None -> acc
+  | Some chain, Some tape_slot ->
+    let acc =
+      if Scenario.destroys_array scope asg.primary then acc
+      else consider acc Snapshot (Backup.snapshot_staleness chain)
+    in
+    let acc =
+      if Scenario.destroys_tape scope tape_slot then acc
+      else
+        consider acc Tape
+          (Backup.tape_staleness chain ~propagation:tape_propagation)
+    in
+    consider acc Vault
+      (vault_staleness params chain ~propagation:tape_propagation)
+
 let best copies =
   List.fold_left
     (fun acc copy ->

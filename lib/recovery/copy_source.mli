@@ -39,5 +39,14 @@ val best : t list -> t option
 (** The minimum-staleness copy — the one the configuration solver recovers
     from (ties prefer the faster-restoring kind, in declaration order). *)
 
+val best_surviving :
+  params:Recovery_params.t ->
+  tape_propagation:Time.t ->
+  Assignment.t ->
+  Scenario.scope ->
+  t option
+(** [best (surviving ~params ~tape_propagation asg scope)] without
+    building the intermediate lists — the simulator's per-app hot path. *)
+
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit

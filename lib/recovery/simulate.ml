@@ -11,6 +11,7 @@ module Scenario = Ds_failure.Scenario
 module Likelihood = Ds_failure.Likelihood
 module Engine = Ds_sim.Engine
 module Obs = Ds_obs.Obs
+module Metrics = Ds_obs.Obs.Metrics
 
 let tape_propagation prov (asg : Assignment.t) =
   match asg.backup with
@@ -18,7 +19,96 @@ let tape_propagation prov (asg : Assignment.t) =
   | Some tape_slot ->
     Rate.transfer_time asg.app.App.data_size (Provision.tape_bw prov tape_slot)
 
-(* Exclusive-device handles, one per physical device touched by recovery. *)
+(* Device and job names only feed the engine's per-resource metrics
+   ([sim.busy_s.<name>], [sim.wait_s.<name>]) and diagnostic output; on
+   the unmetered hot path (every candidate evaluation of the solvers)
+   rendering them through [Format.asprintf] dominated the per-scenario
+   allocation, so they are built only when a metrics sink is attached.
+
+   A [batch] carries every instrument resolvable once per simulation
+   batch: the engine meters, the recovery counters, and — keyed by slot —
+   the device names and gauges. The configuration solver shares one batch
+   across every trial evaluation of a solve (the slots are stable there),
+   so the registry is probed a handful of times per thousands of
+   scenarios. The id caches are atomics: when parallel trial workers
+   share a batch, a racing insert can at worst drop a peer's entry and
+   re-resolve later — the registry hands back the same instruments for
+   the same names, so metric totals and simulation results are unchanged. *)
+type batch = {
+  b_obs : Obs.t;  (* instrument resolution only; spans use the call-site obs *)
+  named : bool;
+  meters : Engine.meters;
+  scenarios_c : Metrics.counter option;
+  affected_c : Metrics.counter option;
+  unrecoverable_c : Metrics.counter option;
+  (* Owned by the cost layer (Evaluate), carried here so the per-trial
+     evaluation counter rides the same pre-resolved instrument cache. *)
+  evaluations_c : Metrics.counter option;
+  array_ids :
+    (Slot.Array_slot.t * (string * Engine.device_gauges)) list Atomic.t;
+  tape_ids : (Slot.Tape_slot.t * (string * Engine.device_gauges)) list Atomic.t;
+  link_ids : (Slot.Pair.t * (string * Engine.device_gauges)) list Atomic.t;
+}
+
+let batch obs =
+  let counter name =
+    match Obs.metrics obs with
+    | Some reg -> Some (Metrics.counter reg name)
+    | None -> None
+  in
+  { b_obs = obs;
+    named = Obs.metrics_on obs;
+    meters = Engine.meters_of_obs obs;
+    scenarios_c = counter "recovery.scenarios";
+    affected_c = counter "recovery.affected";
+    unrecoverable_c = counter "recovery.unrecoverable";
+    evaluations_c = counter "cost.evaluations";
+    array_ids = Atomic.make [];
+    tape_ids = Atomic.make [];
+    link_ids = Atomic.make [] }
+
+let array_id b slot =
+  let ids = Atomic.get b.array_ids in
+  match List.find_opt (fun (s, _) -> Slot.Array_slot.equal s slot) ids with
+  | Some (_, e) -> e
+  | None ->
+    let name = if b.named then Slot.Array_slot.to_string slot else "" in
+    let gauges =
+      if b.named then Engine.device_gauges b.b_obs name else Engine.no_gauges
+    in
+    let e = (name, gauges) in
+    Atomic.set b.array_ids ((slot, e) :: ids);
+    e
+
+let tape_id b slot =
+  let ids = Atomic.get b.tape_ids in
+  match List.find_opt (fun (s, _) -> Slot.Tape_slot.equal s slot) ids with
+  | Some (_, e) -> e
+  | None ->
+    let name = if b.named then Slot.Tape_slot.to_string slot else "" in
+    let gauges =
+      if b.named then Engine.device_gauges b.b_obs name else Engine.no_gauges
+    in
+    let e = (name, gauges) in
+    Atomic.set b.tape_ids ((slot, e) :: ids);
+    e
+
+let link_id b pair =
+  let ids = Atomic.get b.link_ids in
+  match List.find_opt (fun (p, _) -> Slot.Pair.equal p pair) ids with
+  | Some (_, e) -> e
+  | None ->
+    let name = if b.named then Slot.Pair.to_string pair else "" in
+    let gauges =
+      if b.named then Engine.device_gauges b.b_obs name else Engine.no_gauges
+    in
+    let e = (name, gauges) in
+    Atomic.set b.link_ids ((pair, e) :: ids);
+    e
+
+(* Exclusive-device handles, one per physical device touched by recovery.
+   Resources are per-engine (hence per-scenario); their names and gauges
+   come from the batch cache. *)
 type devices = {
   engine : Engine.t;
   mutable arrays : (Slot.Array_slot.t * Engine.resource) list;
@@ -26,54 +116,92 @@ type devices = {
   mutable links : (Slot.Pair.t * Engine.resource) list;
 }
 
-let array_device d slot =
+let array_device b d slot =
   match List.find_opt (fun (s, _) -> Slot.Array_slot.equal s slot) d.arrays with
   | Some (_, r) -> r
   | None ->
-    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Array_slot.pp slot) in
+    let name, gauges = array_id b slot in
+    let r = Engine.resource_with d.engine ~gauges name in
     d.arrays <- (slot, r) :: d.arrays;
     r
 
-let tape_device d slot =
+let tape_device b d slot =
   match List.find_opt (fun (s, _) -> Slot.Tape_slot.equal s slot) d.tapes with
   | Some (_, r) -> r
   | None ->
-    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Tape_slot.pp slot) in
+    let name, gauges = tape_id b slot in
+    let r = Engine.resource_with d.engine ~gauges name in
     d.tapes <- (slot, r) :: d.tapes;
     r
 
-let link_device d pair =
+let link_device b d pair =
   match List.find_opt (fun (p, _) -> Slot.Pair.equal p pair) d.links with
   | Some (_, r) -> r
   | None ->
-    let r = Engine.resource d.engine (Format.asprintf "%a" Slot.Pair.pp pair) in
+    let name, gauges = link_id b pair in
+    let r = Engine.resource_with d.engine ~gauges name in
     d.links <- (pair, r) :: d.links;
     r
 
-let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
-    (scen : Scenario.t) =
+let incr_opt = function Some c -> Metrics.incr c | None -> ()
+let add_opt c n = match c with Some c -> Metrics.add c n | None -> ()
+
+let incr_evaluations b = incr_opt b.evaluations_c
+
+(* Residual load = total demand minus the affected apps' shares — the
+   affected set is a handful of assignments, so this replaces a
+   per-scenario demand-map rebuild over the unaffected majority with a
+   short fold per device lookup. Top-level recursive folds (rather than
+   closures inside the scenario body) keep the per-scenario allocation
+   down to the folds' own float results. *)
+let rec freed_array_bw affected slot acc =
+  match affected with
+  | [] -> acc
+  | a :: rest ->
+    freed_array_bw rest slot (Rate.add acc (Demand.array_bw_share a slot))
+
+let avail_array prov affected slot =
+  let total = prov.Provision.demand in
+  Rate.sub (Provision.array_bw prov slot)
+    (Rate.sub (Demand.array_use total slot).Demand.bandwidth
+       (freed_array_bw affected slot Rate.zero))
+
+let rec freed_tape_bw affected slot acc =
+  match affected with
+  | [] -> acc
+  | a :: rest ->
+    freed_tape_bw rest slot (Rate.add acc (Demand.tape_bw_share a slot))
+
+let avail_tape prov affected slot =
+  let total = prov.Provision.demand in
+  Rate.sub (Provision.tape_bw prov slot)
+    (Rate.sub (Demand.tape_use total slot).Demand.tape_bandwidth
+       (freed_tape_bw affected slot Rate.zero))
+
+let rec freed_link_bw affected pair acc =
+  match affected with
+  | [] -> acc
+  | a :: rest ->
+    freed_link_bw rest pair (Rate.add acc (Demand.link_share a pair))
+
+let avail_link prov affected pair =
+  let total = prov.Provision.demand in
+  Rate.sub (Provision.link_bw prov pair)
+    (Rate.sub (Demand.link_use total pair)
+       (freed_link_bw affected pair Rate.zero))
+
+let scenario_in ~params ~obs b prov (scen : Scenario.t) =
   let design = prov.Provision.design in
   let scope = scen.Scenario.scope in
   let affected = Scenario.affected design scope in
   if affected = [] then []
   else Obs.with_span obs "recovery.scenario" @@ fun () -> begin
-    Obs.incr obs "recovery.scenarios";
-    Obs.add obs "recovery.affected" (List.length affected);
-    let unaffected = Scenario.unaffected design scope in
-    let residual = Demand.of_assignments design unaffected in
-    let avail_array slot =
-      Rate.sub (Provision.array_bw prov slot)
-        (Demand.array_use residual slot).Demand.bandwidth
-    in
-    let avail_tape slot =
-      Rate.sub (Provision.tape_bw prov slot)
-        (Demand.tape_use residual slot).Demand.tape_bandwidth
-    in
-    let avail_link pair =
-      Rate.sub (Provision.link_bw prov pair) (Demand.link_use residual pair)
-    in
+    incr_opt b.scenarios_c;
+    add_opt b.affected_c (List.length affected);
     let devices =
-      { engine = Engine.create ~policy:params.Recovery_params.scheduling ~obs ();
+      { engine =
+          Engine.create_with ~policy:params.Recovery_params.scheduling ~obs
+            ~meters:b.meters ();
         arrays = []; tapes = []; links = [] }
     in
     let repair_delay =
@@ -82,16 +210,16 @@ let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
       | Scenario.Array_failure _ -> params.Recovery_params.array_repair
       | Scenario.Site_disaster _ -> params.Recovery_params.site_rebuild
     in
-    (* Decide each app's recovery plan, then submit all jobs and run once,
-       so competing restores contend in the shared engine. *)
-    let plans =
+    (* Decide each app's recovery plan and submit its job immediately —
+       all jobs land before the single [Engine.run], so competing restores
+       still contend in the shared engine. *)
+    let jobs =
       List.map
         (fun (asg : Assignment.t) ->
-           let copies =
-             Copy_source.surviving ~params
+           let best =
+             Copy_source.best_surviving ~params
                ~tape_propagation:(tape_propagation prov asg) asg scope
            in
-           let best = Copy_source.best copies in
            let detection = Engine.Delay params.Recovery_params.detection in
            let plan =
              match best with
@@ -121,40 +249,42 @@ let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
                      (asg, Outcome.Restored copy.Copy_source.kind, loss,
                       [ detection;
                         Engine.Delay params.Recovery_params.site_reconfig;
-                        Engine.Hold ([ array_device devices mirror_slot ],
+                        Engine.Hold ([ array_device b devices mirror_slot ],
                                      params.Recovery_params.mirror_promote) ])
                    | Scenario.Data_object _ | Scenario.Array_failure _ ->
                      (* Repair the array, then copy the dataset back over
                         the inter-site link. *)
                      let pair = Option.get (Assignment.mirror_pair asg) in
                      let bw =
-                       Rate.min (avail_array mirror_slot)
-                         (Rate.min (avail_link pair) (avail_array asg.primary))
+                       Rate.min (avail_array prov affected mirror_slot)
+                         (Rate.min (avail_link prov affected pair)
+                            (avail_array prov affected asg.primary))
                      in
                      let duration = Rate.transfer_time asg.app.App.data_size bw in
                      let held =
-                       [ array_device devices mirror_slot;
-                         link_device devices pair;
-                         array_device devices asg.primary ]
+                       [ array_device b devices mirror_slot;
+                         link_device b devices pair;
+                         array_device b devices asg.primary ]
                      in
                      (asg, Outcome.Restored copy.Copy_source.kind, loss,
                       [ detection; Engine.Delay repair_delay;
                         Engine.Hold (held, duration) ]))
                 | Copy_source.Snapshot ->
-                  let bw = avail_array asg.primary in
+                  let bw = avail_array prov affected asg.primary in
                   let duration = Rate.transfer_time asg.app.App.data_size bw in
                   (asg, Outcome.Restored copy.Copy_source.kind, loss,
                    [ detection; Engine.Delay repair_delay;
-                     Engine.Hold ([ array_device devices asg.primary ], duration) ])
+                     Engine.Hold ([ array_device b devices asg.primary ], duration) ])
                 | Copy_source.Tape | Copy_source.Vault ->
                   let tape_slot = Option.get asg.backup in
                   let link = Assignment.backup_pair asg in
                   let bw =
                     let base =
-                      Rate.min (avail_tape tape_slot) (avail_array asg.primary)
+                      Rate.min (avail_tape prov affected tape_slot)
+                        (avail_array prov affected asg.primary)
                     in
                     match link with
-                    | Some pair -> Rate.min base (avail_link pair)
+                    | Some pair -> Rate.min base (avail_link prov affected pair)
                     | None -> base
                   in
                   (* Incremental schedules replay the full plus half a
@@ -167,10 +297,10 @@ let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
                   in
                   let duration = Rate.transfer_time volume bw in
                   let held =
-                    (tape_device devices tape_slot
-                     :: array_device devices asg.primary
+                    (tape_device b devices tape_slot
+                     :: array_device b devices asg.primary
                      :: (match link with
-                         | Some pair -> [ link_device devices pair ]
+                         | Some pair -> [ link_device b devices pair ]
                          | None -> []))
                   in
                   let fetch =
@@ -183,28 +313,22 @@ let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
                    ([ detection; Engine.Delay repair_delay ]
                     @ fetch @ [ Engine.Hold (held, duration) ])))
            in
-           plan)
-        affected
-    in
-    let jobs =
-      List.map
-        (fun (asg, mode, loss, stages) ->
+           let asg, mode, loss, stages = plan in
            let priority =
              Ds_units.Money.to_dollars (App.penalty_rate_sum asg.Assignment.app)
            in
-           let id =
-             Engine.submit devices.engine
-               ~name:(Format.asprintf "%a" App.pp asg.Assignment.app)
-               ~priority stages
+           let name =
+             if b.named then App.to_string asg.Assignment.app else ""
            in
+           let id = Engine.submit devices.engine ~name ~priority stages in
            (asg, mode, loss, id))
-        plans
+        affected
     in
     Engine.run devices.engine;
     List.map
       (fun ((asg : Assignment.t), mode, loss, id) ->
          (match mode with
-          | Outcome.Unrecoverable -> Obs.incr obs "recovery.unrecoverable"
+          | Outcome.Unrecoverable -> incr_opt b.unrecoverable_c
           | _ -> ());
          { Outcome.app = asg.app;
            mode;
@@ -213,7 +337,16 @@ let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov
       jobs
   end
 
-let all ?(params = Recovery_params.default) ?(obs = Obs.noop) prov likelihood =
+let scenario ?(params = Recovery_params.default) ?(obs = Obs.noop) prov scen =
+  scenario_in ~params ~obs (batch obs) prov scen
+
+let all ?(params = Recovery_params.default) ?(obs = Obs.noop) ?scenarios ?batch:b
+    prov likelihood =
   let design = prov.Provision.design in
-  Scenario.enumerate likelihood design
-  |> List.map (fun scen -> (scen, scenario ~params ~obs prov scen))
+  let b = match b with Some b -> b | None -> batch obs in
+  let scens =
+    match scenarios with
+    | Some scens -> scens
+    | None -> Scenario.enumerate likelihood design
+  in
+  List.map (fun scen -> (scen, scenario_in ~params ~obs b prov scen)) scens

@@ -42,10 +42,34 @@ val scenario :
     [recovery.scenarios] / [recovery.affected] / [recovery.unrecoverable]
     counters and a [recovery.scenario] span. *)
 
+type batch
+(** Pre-resolved metric instruments (engine meters, device gauges,
+    recovery counters) shared across the simulations of a batch. *)
+
+val batch : Obs.t -> batch
+(** Resolves every instrument against [obs]'s metrics registry. The
+    batch may be reused by any later call whose [obs] carries the same
+    registry (trace lanes may differ); sharing it across parallel
+    workers is safe — see the implementation note. *)
+
+val incr_evaluations : batch -> unit
+(** Bumps the [cost.evaluations] counter carried by the batch (no-op
+    without a metrics registry). The cost layer calls this once per
+    candidate evaluation instead of a by-name registry lookup. *)
+
 val all :
   ?params:Recovery_params.t ->
   ?obs:Obs.t ->
+  ?scenarios:Scenario.t list ->
+  ?batch:batch ->
   Provision.t ->
   Likelihood.t ->
   (Scenario.t * Outcome.t list) list
-(** Every scenario enumerated for the design, simulated. *)
+(** Every scenario enumerated for the design, simulated. Metric
+    instruments are resolved once for the whole batch — or not at all
+    when [batch] supplies them pre-resolved (the configuration solver
+    shares one batch across all trial evaluations of a solve).
+    [scenarios] supplies a pre-enumerated list — it must equal
+    [Scenario.enumerate likelihood design]; the solvers pass it because
+    window and growth trials never change the slots or apps, so the
+    enumeration is identical across hundreds of trial evaluations. *)

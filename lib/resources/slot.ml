@@ -15,6 +15,7 @@ module Array_slot = struct
     { site; bay }
 
   let equal a b = compare a b = 0
+  let to_string t = Printf.sprintf "s%d/bay%d" t.site t.bay
   let pp ppf t = Format.fprintf ppf "s%d/bay%d" t.site t.bay
 
   module Map = Map.Make (T)
@@ -32,6 +33,7 @@ module Tape_slot = struct
 
   let v ~site = { site }
   let equal a b = compare a b = 0
+  let to_string t = Printf.sprintf "s%d/tape" t.site
   let pp ppf t = Format.fprintf ppf "s%d/tape" t.site
 
   module Map = Map.Make (T)
@@ -54,6 +56,7 @@ module Pair = struct
   let endpoints t = t
   let mem site (a, b) = site = a || site = b
   let equal a b = compare a b = 0
+  let to_string (a, b) = Printf.sprintf "s%d<->s%d" a b
   let pp ppf (a, b) = Format.fprintf ppf "s%d<->s%d" a b
 
   module Map = Map.Make (T)

@@ -12,6 +12,11 @@ module Array_slot : sig
   val v : site:Site.id -> bay:int -> t
   val compare : t -> t -> int
   val equal : t -> t -> bool
+
+  val to_string : t -> string
+  (** Same rendering as {!pp}, without the formatter machinery — the
+      recovery simulator names metered engine resources on its hot path. *)
+
   val pp : Format.formatter -> t -> unit
 
   module Map : Map.S with type key = t
@@ -24,6 +29,7 @@ module Tape_slot : sig
   val v : site:Site.id -> t
   val compare : t -> t -> int
   val equal : t -> t -> bool
+  val to_string : t -> string
   val pp : Format.formatter -> t -> unit
 
   module Map : Map.S with type key = t
@@ -43,6 +49,7 @@ module Pair : sig
   val mem : Site.id -> t -> bool
   val compare : t -> t -> int
   val equal : t -> t -> bool
+  val to_string : t -> string
   val pp : Format.formatter -> t -> unit
 
   module Map : Map.S with type key = t

@@ -1,11 +1,52 @@
 module Time = Ds_units.Time
 module Obs = Ds_obs.Obs
+module Metrics = Ds_obs.Obs.Metrics
+
+(* Per-device gauges are resolved at most once per resource — or once per
+   simulation batch when the caller shares them via {!resource_with}: the
+   solvers run thousands of single-use engines, and looking instruments
+   up by freshly concatenated name on every grant dominated the metered
+   path's allocation (and the metrics-registry lock traffic). *)
+type device_gauges = {
+  busy_g : Metrics.gauge option;
+  wait_g : Metrics.gauge option;
+}
+
+let no_gauges = { busy_g = None; wait_g = None }
+
+let device_gauges obs name =
+  match Obs.metrics obs with
+  | None -> no_gauges
+  | Some reg ->
+    { busy_g = Some (Metrics.gauge reg ("sim.busy_s." ^ name));
+      wait_g = Some (Metrics.gauge reg ("sim.wait_s." ^ name)) }
 
 type resource = {
   owner : int;
   rname : string;
   mutable busy : bool;
+  gauges : device_gauges;
 }
+
+(* Engine-wide instruments, likewise resolvable once per batch. *)
+type meters = {
+  m_runs : Metrics.counter option;
+  m_jobs : Metrics.counter option;
+  m_events : Metrics.counter option;
+  m_queue_wait : Metrics.histogram option;
+}
+
+let no_meters =
+  { m_runs = None; m_jobs = None; m_events = None; m_queue_wait = None }
+
+let meters_of_obs obs =
+  match Obs.metrics obs with
+  | None -> no_meters
+  | Some reg ->
+    { m_runs = Some (Metrics.counter reg "sim.runs");
+      m_jobs = Some (Metrics.counter reg "sim.jobs");
+      m_events = Some (Metrics.counter reg "sim.events");
+      m_queue_wait = Some (Metrics.histogram reg "sim.queue_wait_s") }
 
 type stage =
   | Delay of Time.t
@@ -34,6 +75,7 @@ type t = {
   eid : int;
   policy : policy;
   obs : Obs.t;
+  meters : meters;
   mutable jobs : job list;  (* reverse submission order *)
   mutable next_jid : int;
   mutable ran : bool;
@@ -45,11 +87,18 @@ type t = {
    numbers a run hands out. *)
 let next_eid = Atomic.make 0
 
-let create ?(policy = Priority) ?(obs = Obs.noop) () =
+let create_with ?(policy = Priority) ?(obs = Obs.noop) ~meters () =
   let eid = 1 + Atomic.fetch_and_add next_eid 1 in
-  { eid; policy; obs; jobs = []; next_jid = 0; ran = false }
+  { eid; policy; obs; meters; jobs = []; next_jid = 0; ran = false }
 
-let resource t name = { owner = t.eid; rname = name; busy = false }
+let create ?policy ?(obs = Obs.noop) () =
+  create_with ?policy ~obs ~meters:(meters_of_obs obs) ()
+
+let resource_with t ~gauges name =
+  { owner = t.eid; rname = name; busy = false; gauges }
+
+let resource t name =
+  resource_with t ~gauges:(device_gauges t.obs name) name
 
 let check_stage t = function
   | Delay d ->
@@ -60,10 +109,35 @@ let check_stage t = function
         if r.owner <> t.eid then invalid_arg "Engine: foreign resource")
       resources
 
+(* Distinct resources of a hold set (a device listed twice is held once).
+   Hold sets are tiny and almost never contain duplicates, so the common
+   path detects that without allocating and returns the list as-is. *)
+let rec has_dup = function
+  | [] | [ _ ] -> false
+  | r :: rest -> List.memq r rest || has_dup rest
+
+let distinct resources =
+  if not (has_dup resources) then resources
+  else
+    List.fold_left
+      (fun acc r -> if List.memq r acc then acc else r :: acc)
+      [] resources
+
 let submit t ~name ~priority stages =
   if t.ran then invalid_arg "Engine.submit: engine already ran";
   if Float.is_nan priority then invalid_arg "Engine.submit: NaN priority";
   List.iter (check_stage t) stages;
+  (* Hold sets are deduplicated once here, not on every grant attempt in
+     the scheduler's retry loop. *)
+  let stages =
+    List.map
+      (function
+        | Hold (resources, d) as s ->
+          let resources' = distinct resources in
+          if resources' == resources then s else Hold (resources', d)
+        | Delay _ as s -> s)
+      stages
+  in
   let jid = t.next_jid in
   t.next_jid <- jid + 1;
   let job =
@@ -74,19 +148,17 @@ let submit t ~name ~priority stages =
   t.jobs <- job :: t.jobs;
   jid
 
-(* Distinct resources of a hold set (a device listed twice is held once). *)
-let distinct resources =
-  List.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [] resources
-
 let run t =
   if t.ran then ()
   else begin
     t.ran <- true;
-    let metered = Obs.metrics_on t.obs in
-    if metered then begin
-      Obs.incr t.obs "sim.runs";
-      Obs.add t.obs "sim.jobs" (List.length t.jobs)
-    end;
+    (* Pre-resolved engine-wide instruments (see [meters] above). *)
+    let m = t.meters in
+    let metered = m.m_runs <> None in
+    (match m.m_runs with Some c -> Metrics.incr c | None -> ());
+    (match m.m_jobs with
+     | Some c -> Metrics.add c (List.length t.jobs)
+     | None -> ());
     let total_work job =
       Array.fold_left
         (fun acc -> function
@@ -130,22 +202,26 @@ let run t =
                    job.state <- Sleeping;
                    changed := true
                  | Hold (resources, d) ->
-                   let resources = distinct resources in
                    if List.for_all (fun r -> not r.busy) resources then begin
                      if metered then begin
                        let dur = Time.to_seconds d in
                        List.iter
                          (fun r ->
-                            Obs.gauge_add t.obs ("sim.busy_s." ^ r.rname) dur)
+                            match r.gauges.busy_g with
+                            | Some g -> Metrics.gauge_add g dur
+                            | None -> ())
                          resources;
                        if job.state = Blocked
                        && not (Float.is_nan job.blocked_since) then begin
                          let waited = !now -. job.blocked_since in
-                         Obs.observe t.obs "sim.queue_wait_s" waited;
+                         (match m.m_queue_wait with
+                          | Some h -> Metrics.observe h waited
+                          | None -> ());
                          List.iter
                            (fun r ->
-                              Obs.gauge_add t.obs ("sim.wait_s." ^ r.rname)
-                                waited)
+                              match r.gauges.wait_g with
+                              | Some g -> Metrics.gauge_add g waited
+                              | None -> ())
                            resources
                        end
                      end;
@@ -183,7 +259,7 @@ let run t =
           (fun job ->
              match job.state with
              | (Sleeping | Holding) when job.wake <= !now ->
-               if metered then Obs.incr t.obs "sim.events";
+               (match m.m_events with Some c -> Metrics.incr c | None -> ());
                List.iter (fun r -> r.busy <- false) job.held;
                job.held <- [];
                job.idx <- job.idx + 1;

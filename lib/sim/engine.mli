@@ -40,8 +40,36 @@ val create : ?policy:policy -> ?obs:Obs.t -> unit -> t
     [sim.busy_s.<name>] / [sim.wait_s.<name>] gauges. Observation never
     changes scheduling. *)
 
+type meters
+(** Pre-resolved engine-wide instruments ([sim.runs], [sim.jobs],
+    [sim.events], [sim.queue_wait_s]). The recovery simulator creates one
+    single-shot engine per failure scenario; resolving the instruments by
+    name per engine dominated the metered path, so a caller evaluating
+    many scenarios against one [obs] resolves them once and hands them to
+    every {!create_with}. *)
+
+val meters_of_obs : Obs.t -> meters
+(** Resolves against [obs]'s metrics registry (a no-op capability when
+    metrics are off). *)
+
+val create_with : ?policy:policy -> ?obs:Obs.t -> meters:meters -> unit -> t
+(** Like {!create}, but metering through pre-resolved [meters] (which
+    must come from [obs]'s registry). *)
+
+type device_gauges
+(** Pre-resolved per-device gauges ([sim.busy_s.<name>] /
+    [sim.wait_s.<name>]), shareable across engines that model the same
+    physical device in different scenarios. *)
+
+val no_gauges : device_gauges
+val device_gauges : Obs.t -> string -> device_gauges
+
 val resource : t -> string -> resource
-(** A named exclusive device. Each call creates a fresh resource. *)
+(** A named exclusive device. Each call creates a fresh resource,
+    resolving its gauges from the engine's [obs]. *)
+
+val resource_with : t -> gauges:device_gauges -> string -> resource
+(** Like {!resource} with pre-resolved gauges — no registry lookups. *)
 
 type stage =
   | Delay of Time.t  (** Elapses unconditionally (repairs, couriers). *)

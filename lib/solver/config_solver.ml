@@ -7,6 +7,8 @@ module Design = Ds_design.Design
 module Assignment = Ds_design.Assignment
 module Provision = Ds_design.Provision
 module Likelihood = Ds_failure.Likelihood
+module Scenario = Ds_failure.Scenario
+module Simulate = Ds_recovery.Simulate
 module Evaluate = Ds_cost.Evaluate
 module Obs = Ds_obs.Obs
 module Exec = Ds_exec.Exec
@@ -82,14 +84,41 @@ let options_fingerprint o =
     o.max_growth_steps
     (recovery_fingerprint o.recovery)
 
-let cache_key ~options design likelihood =
-  String.concat "#"
-    [ options_fingerprint options;
-      Likelihood.fingerprint likelihood;
-      Design.fingerprint design ]
+(* A refit run probes the memo thousands of times with the same options
+   and likelihood values; only the design part of the key varies. Both
+   small fingerprints are cached under physical equality (an Atomic slot,
+   racing solver domains at worst recompute an identical string). *)
+let options_fp_slot : (options * string) option Atomic.t = Atomic.make None
+let likelihood_fp_slot : (Likelihood.t * string) option Atomic.t =
+  Atomic.make None
 
-(* Swap one app's backup windows inside a design. Rebuilding through
-   Design.remove/add keeps the model bookkeeping consistent. *)
+let cached_fp slot v compute =
+  match Atomic.get slot with
+  | Some (v', fp) when v' == v -> fp
+  | _ ->
+    let fp = compute v in
+    Atomic.set slot (Some (v, fp));
+    fp
+
+let cache_key ~options design likelihood =
+  let options_fp = cached_fp options_fp_slot options options_fingerprint in
+  let likelihood_fp =
+    cached_fp likelihood_fp_slot likelihood Likelihood.fingerprint
+  in
+  let buf =
+    Buffer.create
+      (String.length options_fp + String.length likelihood_fp + 256)
+  in
+  Buffer.add_string buf options_fp;
+  Buffer.add_char buf '#';
+  Buffer.add_string buf likelihood_fp;
+  Buffer.add_char buf '#';
+  Design.add_fingerprint buf design;
+  Buffer.contents buf
+
+(* Swap one app's backup windows inside a design. Only the backup chain
+   changes — placement and models stay put — so the assignment is
+   rewritten in place instead of cycling through Design.remove/add. *)
 let with_windows design (asg : Assignment.t) ~snapshot_win ~tape_win ~fulls_every =
   match asg.technique.Technique.backup with
   | None -> Ok design
@@ -101,24 +130,13 @@ let with_windows design (asg : Assignment.t) ~snapshot_win ~tape_win ~fulls_ever
         fulls_every
     in
     let technique = Technique.with_backup_chain asg.technique chain in
-    let primary_model = Design.array_model design asg.primary in
-    let mirror_model =
-      Option.bind asg.mirror (fun slot -> Design.array_model design slot)
-    in
-    let tape_model =
-      Option.bind asg.backup (fun slot -> Design.tape_model design slot)
-    in
-    (match primary_model with
-     | None -> Error "missing primary model"
-     | Some primary_model ->
-       let design = Design.remove design asg.app.App.id in
-       Design.add design
-         (Assignment.v ~app:asg.app ~technique ~primary:asg.primary
-            ?mirror:asg.mirror ?backup:asg.backup ())
-         ~primary_model ?mirror_model ?tape_model ())
+    (match Design.swap_technique design asg.app.App.id technique with
+     | Some design -> Ok design
+     | None -> Error "app not assigned")
 
-let evaluate ~options ?obs design likelihood =
-  Evaluate.design ~params:options.recovery ?obs design likelihood
+let evaluate ~options ?obs ?scenarios ?batch design likelihood =
+  Evaluate.design ~params:options.recovery ?obs ?scenarios ?batch design
+    likelihood
 
 (* Coordinate-descent over the window menus, one app at a time in
    descending penalty order; each combination is evaluated against the
@@ -134,7 +152,8 @@ let evaluate ~options ?obs design likelihood =
    therefore an argmin over independent trials, taken here in combo-index
    order with the strict-[<] first-wins tie-breaking of the original
    loop. *)
-let optimize_windows ~options ~obs ~pool design likelihood current_eval =
+let optimize_windows ~options ~obs ~pool ~scenarios ~batch design likelihood
+    current_eval =
   let scope_ids =
     match options.window_scope with
     | All_apps ->
@@ -160,6 +179,13 @@ let optimize_windows ~options ~obs ~pool design likelihood current_eval =
       options.snapshot_menu
     |> Array.of_list
   in
+  (* Resolved once per solve; the per-trial bump must not pay a by-name
+     registry lookup. Workers share the registry with [obs]. *)
+  let trials_c =
+    match Obs.metrics obs with
+    | Some reg -> Some (Obs.Metrics.counter reg "config.window_trials")
+    | None -> None
+  in
   List.fold_left
     (fun (design, eval) (asg : Assignment.t) ->
        let trials =
@@ -170,8 +196,12 @@ let optimize_windows ~options ~obs ~pool design likelihood current_eval =
               with
               | Error _ -> None
               | Ok trial ->
-                Obs.incr wobs "config.window_trials";
-                (match evaluate ~options ~obs:wobs trial likelihood with
+                (match trials_c with
+                 | Some c -> Obs.Metrics.incr c
+                 | None -> ());
+                (match
+                   evaluate ~options ~obs:wobs ~scenarios ~batch trial likelihood
+                 with
                  | Error _ -> None
                  | Ok trial_eval -> Some (trial, trial_eval)))
            combos
@@ -194,7 +224,7 @@ let optimize_windows ~options ~obs ~pool design likelihood current_eval =
    independent (all grown from the round-entry provisioning), so they
    evaluate in parallel on [pool]; the winner is picked in move-index
    order with the original strict-[<] first-wins tie-breaking. *)
-let grow_resources ~options ~obs ~pool eval likelihood =
+let grow_resources ~options ~obs ~pool ~scenarios ~batch eval likelihood =
   let recovery = options.recovery in
   let rec loop eval steps =
     if steps >= options.max_growth_steps then eval
@@ -208,8 +238,8 @@ let grow_resources ~options ~obs ~pool eval likelihood =
              match Provision.grow eval.Evaluate.provision move with
              | None -> None
              | Some prov ->
-               Some (Evaluate.provisioned ~params:recovery ~obs:wobs prov
-                       likelihood))
+               Some (Evaluate.provisioned ~params:recovery ~obs:wobs ~scenarios
+                       ~batch prov likelihood))
           moves
       in
       let improved =
@@ -238,13 +268,24 @@ let grow_resources ~options ~obs ~pool eval likelihood =
   loop eval 0
 
 let solve_fresh ~options ~obs ~pool design likelihood =
-  match evaluate ~options ~obs design likelihood with
+  (* One enumeration serves the whole solve: window trials rewrite backup
+     chains and growth trials re-provision, but neither moves an app or a
+     slot, so [Scenario.enumerate] is invariant across every trial
+     evaluated below. *)
+  let scenarios = Scenario.enumerate likelihood design in
+  (* Likewise one instrument batch: worker [obs] values only differ from
+     [obs] by their trace lane; the metrics registry is shared. *)
+  let batch = Simulate.batch obs in
+  match evaluate ~options ~obs ~scenarios ~batch design likelihood with
   | Error _ as e -> e
   | Ok eval ->
     let design, eval =
-      optimize_windows ~options ~obs ~pool design likelihood eval
+      optimize_windows ~options ~obs ~pool ~scenarios ~batch design likelihood
+        eval
     in
-    let eval = grow_resources ~options ~obs ~pool eval likelihood in
+    let eval =
+      grow_resources ~options ~obs ~pool ~scenarios ~batch eval likelihood
+    in
     Ok (Candidate.v design eval)
 
 let solve ?(options = default_options) ?(obs = Obs.noop)

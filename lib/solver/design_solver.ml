@@ -43,7 +43,12 @@ type outcome = {
 }
 
 let cost_dollars c = Money.to_dollars (Candidate.cost c)
-let pool_of params = Exec.create ~domains:(max 1 params.domains) ()
+(* Solver pools auto-size: the greedy/window/growth stages mix wide maps
+   (probes, window menus) with tiny ones (a few growth moves), and the
+   tiny ones must not pay domain spawn/join. Width stays pure
+   scheduling, so this cannot change any solver result. *)
+let pool_of params =
+  Exec.auto_width (Exec.create ~domains:(max 1 params.domains) ())
 
 (* Stage 1. Applications with stringent requirements are placed first —
    the draw is weighted by the sum of penalty rates. *)
@@ -63,7 +68,7 @@ let greedy_stage ~pool state params env apps =
               unassigned
           in
           let app = Sample.weighted state.Reconfigure.rng weights in
-          (match Reconfigure.assign_best state design app with
+          (match Reconfigure.assign_best ~pool state design app with
            | Some candidate ->
              place candidate.Candidate.design
                (List.filter (fun a -> a.App.id <> app.App.id) unassigned)

@@ -8,6 +8,7 @@ module Evaluate = Ds_cost.Evaluate
 module Rng = Ds_prng.Rng
 module Sample = Ds_prng.Sample
 module Obs = Ds_obs.Obs
+module Exec = Ds_exec.Exec
 
 type state = {
   rng : Rng.t;
@@ -63,10 +64,50 @@ let place_with_technique state design app technique =
         | Ok candidate -> Some candidate
         | Error _ -> None))
 
-let assign_best state design app =
-  eligible_techniques app
-  |> List.filter_map (place_with_technique state design app)
-  |> Candidate.best_of
+(* Stage-1 greedy step, parallel over the technique menu — split so the
+   pool cannot perturb the search. Phase 1 runs on the calling domain,
+   in technique order: layout draws (the only RNG consumer) and history
+   records happen in exactly the historical sequential scan's sequence,
+   so a fixed seed walks the same designs at every pool width — and
+   with the sequential default. Phase 2 fans the surviving designs out:
+   the configuration solver is a pure function of (options, design,
+   likelihood) — it draws no RNG and touches no history — so only wall
+   time moves. Ties still break toward the lowest technique index
+   ({!Candidate.better} keeps its first argument). *)
+let assign_best ?(pool = Exec.sequential) state design app =
+  let attempts =
+    List.filter_map
+      (fun technique ->
+         match Layout.choose state.rng state.history design app technique with
+         | None -> None
+         | Some choice ->
+           (match Layout.apply design choice with
+            | Error _ -> None
+            | Ok design ->
+              count_evaluation state;
+              Some design))
+      (eligible_techniques app)
+    |> Array.of_list
+  in
+  if Array.length attempts = 0 then None
+  else begin
+    let options = scoped_options state app in
+    let results =
+      Exec.mapi_obs pool ~label:"solver.assign" ~obs:state.obs
+        (fun wobs _ design ->
+           match Config_solver.solve ~options ~obs:wobs design state.likelihood with
+           | Ok candidate -> Some candidate
+           | Error _ -> None)
+        attempts
+    in
+    Array.fold_left
+      (fun best result ->
+         match best, result with
+         | None, r -> r
+         | b, None -> b
+         | Some b, Some r -> Some (Candidate.better b r))
+      None results
+  end
 
 (* Victim selection: weight each assigned app by its burden (penalties +
    outlay share), so expensive apps are reconfigured more often. *)

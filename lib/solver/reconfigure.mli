@@ -68,9 +68,15 @@ val place_with_technique :
     the design with the configuration solver. [None] when no placement is
     feasible. *)
 
-val assign_best : state -> Design.t -> App.t -> Candidate.t option
+val assign_best :
+  ?pool:Ds_exec.Exec.pool -> state -> Design.t -> App.t -> Candidate.t option
 (** Greedy best-fit step (stage 1): try {e every} eligible technique and
-    keep the cheapest completed candidate. *)
+    keep the cheapest completed candidate (ties to the lowest technique
+    index). Layout draws — the only RNG consumer — run on the calling
+    domain in technique order, exactly the sequential scan's sequence;
+    the expensive configuration solves then run in parallel on [pool]
+    (default sequential). Byte-identical at every pool width, and to
+    the historical sequential implementation. *)
 
 val reconfigure : state -> Candidate.t -> Candidate.t option
 (** One design-graph edge: re-protect a burden-biased victim app with a

@@ -33,6 +33,17 @@ let ( < ) a b = Float.compare a b < 0
 let is_finite = Float.is_finite
 let is_zero t = t = 0.
 
+(* Exact value fingerprint: the IEEE-754 bits, 16 hex digits, written
+   without going through a format interpreter. Distinct durations never
+   collide, and a cache key built from many of these costs a few buffer
+   pushes instead of a [Printf] interpretation per field. *)
+let add_fp buf t =
+  let bits = Int64.bits_of_float t in
+  for nibble = 15 downto 0 do
+    let d = Int64.to_int (Int64.shift_right_logical bits (nibble * 4)) land 0xF in
+    Buffer.add_char buf "0123456789abcdef".[d]
+  done
+
 let pp ppf t =
   if not (Float.is_finite t) then Format.fprintf ppf "forever"
   else if t < 120. then Format.fprintf ppf "%.3gs" t

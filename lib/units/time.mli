@@ -45,3 +45,7 @@ val pp : Format.formatter -> t -> unit
 (** Human-friendly: picks seconds/minutes/hours/days as appropriate. *)
 
 val to_string : t -> string
+
+val add_fp : Buffer.t -> t -> unit
+(** Appends an exact 16-hex-digit fingerprint of the value (its IEEE
+    bits) — the allocation-lean building block of the solver cache keys. *)

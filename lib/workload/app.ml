@@ -43,6 +43,8 @@ let compare a b = Int.compare a.id b.id
 
 let equal a b = a.id = b.id
 
+let to_string t = Printf.sprintf "app#%d(%s:%s)" t.id t.class_tag t.name
+
 let pp ppf t =
   Format.fprintf ppf "app#%d(%s:%s)" t.id t.class_tag t.name
 

@@ -60,6 +60,10 @@ val compare : t -> t -> int
 (** By id. *)
 
 val equal : t -> t -> bool
+val to_string : t -> string
+(** Same rendering as {!pp}, without the formatter machinery — used for
+    recovery-job names on the simulator's metered hot path. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_row : Format.formatter -> t -> unit
 (** One Table 1-style row. *)

@@ -1,0 +1,155 @@
+#!/usr/bin/env sh
+# Gate a fresh bench run against the committed baseline.
+#
+#   scripts/bench_gate.sh [baseline.json] [BENCH_results.json]
+#
+# Two regression checks per section, against bench/baseline.json:
+#   - wall time   : fail when current > baseline * DS_GATE_WALL_SLACK
+#                   (default 1.15) and the excess is > 50 ms — sub-50ms
+#                   sections are scheduling noise, not signal;
+#   - minor words : fail when current > baseline * DS_GATE_ALLOC_SLACK
+#                   (default 1.10) and the excess is > 1 Mw. Allocation
+#                   counts are near-deterministic, so this is the gate
+#                   with real teeth; wall time carries wider slack.
+#
+# Plus the parallel-transparency economics: for each Exec head-to-head
+# (refit, year_sim, sweep, portfolio) the parallel leg must not be
+# slower than the sequential one (10% slack) — skipped with an explicit
+# notice when the run's own recorded nproc is < 2, where a speedup is
+# impossible by construction.
+#
+# A per-section delta table is appended to $GITHUB_STEP_SUMMARY when
+# set (stdout otherwise). Exit 1 on any failed gate.
+#
+# Refresh the baseline by re-running the bench with the CI settings and
+# committing the result:
+#   DS_BENCH_BUDGET=quick DS_BENCH_SKIP_SLOW=1 DS_BENCH_SAMPLES=2000 \
+#     dune exec bench/main.exe && cp BENCH_results.json bench/baseline.json
+set -eu
+
+baseline=${1:-bench/baseline.json}
+results=${2:-BENCH_results.json}
+wall_slack=${DS_GATE_WALL_SLACK:-1.15}
+alloc_slack=${DS_GATE_ALLOC_SLACK:-1.10}
+summary=${GITHUB_STEP_SUMMARY:-/dev/stdout}
+flags=$(mktemp)
+table=$(mktemp)
+trap 'rm -f "$flags" "$table"' EXIT
+
+for f in "$baseline" "$results"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_gate: $f not found" >&2
+    exit 1
+  fi
+done
+
+nproc_run=$(jq -r '.nproc // 1' "$results")
+budget=$(jq -r '.budget // "default"' "$results")
+fail=0
+failures=""
+
+note() {
+  failures="${failures}$1
+"
+  fail=1
+}
+
+{
+  echo "### Bench gate (budget: ${budget}, nproc: ${nproc_run})"
+  echo ""
+  echo "| section | wall s | base s | wall delta | minor Mw | base Mw | alloc delta |"
+  echo "|---|---:|---:|---:|---:|---:|---:|"
+} >> "$table"
+
+# The pipeline body runs in a subshell (and $summary may be
+# /dev/stdout, which the redirect below captures), so table rows and
+# gate failures land in temp files and are folded in afterwards.
+jq -r '.sections[].name' "$baseline" | while IFS= read -r name; do
+  base_s=$(jq -r --arg n "$name" \
+    '[.sections[] | select(.name==$n) | .seconds][0] // empty' "$baseline")
+  base_mw=$(jq -r --arg n "$name" \
+    '[.sections[] | select(.name==$n) | .minor_words][0] // empty' "$baseline")
+  cur_s=$(jq -r --arg n "$name" \
+    '[.sections[] | select(.name==$n) | .seconds][0] // empty' "$results")
+  cur_mw=$(jq -r --arg n "$name" \
+    '[.sections[] | select(.name==$n) | .minor_words][0] // empty' "$results")
+  if [ -z "$cur_s" ]; then
+    echo "| $name | missing | $base_s | - | missing | - | - |" >> "$table"
+    echo "MISSING $name"
+    continue
+  fi
+  wall_flag=$(awk -v c="$cur_s" -v b="$base_s" -v k="$wall_slack" \
+    'BEGIN { print (c > b * k && c - b > 0.05) ? "FAIL" : "ok" }')
+  alloc_flag=$(awk -v c="$cur_mw" -v b="$base_mw" -v k="$alloc_slack" \
+    'BEGIN { print (c > b * k && c - b > 1e6) ? "FAIL" : "ok" }')
+  wall_delta=$(awk -v c="$cur_s" -v b="$base_s" 'BEGIN {
+    if (b > 0) printf "%+.0f%%", (c / b - 1) * 100; else printf "n/a" }')
+  alloc_delta=$(awk -v c="$cur_mw" -v b="$base_mw" 'BEGIN {
+    if (b > 0) printf "%+.0f%%", (c / b - 1) * 100; else printf "n/a" }')
+  wall_mark=""
+  alloc_mark=""
+  if [ "$wall_flag" = FAIL ]; then
+    wall_mark=" (FAIL)"
+    echo "WALL $name: ${cur_s}s vs baseline ${base_s}s"
+  fi
+  if [ "$alloc_flag" = FAIL ]; then
+    alloc_mark=" (FAIL)"
+    echo "ALLOC $name: ${cur_mw} minor words vs baseline ${base_mw}"
+  fi
+  printf '| %s | %.3f | %.3f | %s%s | %.1f | %.1f | %s%s |\n' \
+    "$name" "$cur_s" "$base_s" "$wall_delta" "$wall_mark" \
+    "$(awk -v w="$cur_mw" 'BEGIN { printf "%.1f", w / 1e6 }')" \
+    "$(awk -v w="$base_mw" 'BEGIN { printf "%.1f", w / 1e6 }')" \
+    "$alloc_delta" "$alloc_mark" >> "$table"
+done > "$flags"
+
+cat "$table" >> "$summary"
+
+while IFS= read -r line; do
+  if [ -z "$line" ]; then continue; fi
+  case "$line" in
+    MISSING*) note "section '${line#MISSING }' missing from $results" ;;
+    WALL*) note "wall-time regression: ${line#WALL }" ;;
+    ALLOC*) note "minor-allocation regression: ${line#ALLOC }" ;;
+  esac
+done < "$flags"
+
+echo "" >> "$summary"
+
+# Parallel economics: on a multi-core runner the 4-domain leg must not
+# lose to the sequential one. On a single-core runner the comparison is
+# meaningless — skipped loudly, never silently.
+if [ "$nproc_run" -lt 2 ]; then
+  echo "_Parallel <= sequential gates skipped: runner has ${nproc_run} core(s); a parallel speedup is impossible by construction._" >> "$summary"
+  echo "bench_gate: skipping parallel gates (nproc=${nproc_run} < 2)"
+else
+  for pair in refit year_sim sweep portfolio; do
+    seq_s=$(jq -r --arg n "$pair sequential" \
+      '[.sections[] | select(.name==$n) | .seconds][0] // empty' "$results")
+    par_s=$(jq -r --arg n "$pair parallel" \
+      '[.sections[] | select(.name==$n) | .seconds][0] // empty' "$results")
+    if [ -z "$seq_s" ] || [ -z "$par_s" ]; then
+      note "parallel gate: '$pair' sections missing from $results"
+      continue
+    fi
+    if awk -v s="$seq_s" -v p="$par_s" 'BEGIN { exit !(p <= s * 1.10) }'; then
+      echo "_${pair}: parallel ${par_s}s <= sequential ${seq_s}s: ok_" >> "$summary"
+    else
+      echo "_${pair}: parallel ${par_s}s > sequential ${seq_s}s: FAIL_" >> "$summary"
+      note "parallel gate: $pair parallel (${par_s}s) slower than sequential (${seq_s}s)"
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  {
+    echo ""
+    echo "**Bench gate failed:**"
+    echo ""
+    printf '%s' "$failures" | sed 's/^/- /'
+  } >> "$summary"
+  echo "bench_gate: FAILED" >&2
+  printf '%s' "$failures" | sed 's/^/  - /' >&2
+  exit 1
+fi
+echo "bench_gate: all gates passed"

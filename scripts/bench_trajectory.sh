@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Append one bench run to the rolling trajectory record.
+#
+#   scripts/bench_trajectory.sh <prev-trajectory.json> <BENCH_results.json> \
+#     <out-trajectory.json> [commit-sha]
+#
+# The previous trajectory may be missing (first run, or the artifact
+# expired) — the output then starts a fresh record. Each entry carries
+# the commit, timestamp, run metadata (nproc, OCaml version, budget)
+# and every section's wall time + Gc deltas, so the artifact plots the
+# repo's perf history across main-branch runs without any external
+# storage.
+set -eu
+
+prev=${1:?previous trajectory path}
+results=${2:?bench results path}
+out=${3:?output path}
+commit=${4:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
+
+entry=$(jq --arg commit "$commit" \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  '{commit: $commit,
+    date: $date,
+    nproc: (.nproc // null),
+    ocaml: (.ocaml // null),
+    budget: (.budget // "default"),
+    total_seconds: .total_seconds,
+    sections: [.sections[]
+      | {name, seconds, minor_words, major_words,
+         minor_collections, major_collections}]}' "$results")
+
+if [ -f "$prev" ] && jq -e '.runs' "$prev" > /dev/null 2>&1; then
+  jq --argjson e "$entry" '.runs += [$e]' "$prev" > "$out"
+else
+  jq -n --argjson e "$entry" \
+    '{schema: "ds-bench-trajectory/1", runs: [$e]}' > "$out"
+fi
+echo "trajectory: $(jq '.runs | length' "$out") run(s) recorded in $out"

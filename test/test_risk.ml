@@ -91,15 +91,21 @@ let risk_tests =
            interleaves; every yearly record must still match the
            sequential run exactly. *)
         let prov = prov_of (Fixtures.two_app_design ()) in
-        let run domains =
-          Year_sim.simulate ~years:3_000 ~pool:(Exec.create ~domains ())
-            (Rng.of_int 17) prov likelihood
+        let run pool =
+          Year_sim.simulate ~years:3_000 ~pool (Rng.of_int 17) prov likelihood
         in
-        let sequential = run 1 and parallel = run 4 in
-        check_bool "identical yearly records" true
-          (sequential.Year_sim.years = parallel.Year_sim.years);
-        check_bool "identical sorted totals" true
-          (sequential.Year_sim.sorted_totals = parallel.Year_sim.sorted_totals));
+        let sequential = run (Exec.create ~domains:1 ()) in
+        List.iter
+          (fun pool ->
+             let parallel = run pool in
+             check_bool "identical yearly records" true
+               (sequential.Year_sim.years = parallel.Year_sim.years);
+             check_bool "identical sorted totals" true
+               (sequential.Year_sim.sorted_totals
+                = parallel.Year_sim.sorted_totals))
+          [ Exec.create ~domains:2 ();
+            Exec.create ~domains:4 ();
+            Exec.auto_width (Exec.create ~domains:4 ()) ]);
     Alcotest.test_case "percentile reads the stored sorted totals" `Quick
       (fun () ->
          let prov = prov_of (Fixtures.two_app_design ()) in

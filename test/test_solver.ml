@@ -177,26 +177,39 @@ let config_tests =
           | Error _ -> Alcotest.fail "infeasible"
         in
         check_bool "windows help" true Money.(searched <= skip));
-    Alcotest.test_case "solve is byte-identical on 1- and 4-domain pools"
+    Alcotest.test_case
+      "solve is byte-identical across pool widths, auto-sizing on or off"
       `Quick (fun () ->
           (* The pool is pure scheduling: window trials and growth moves
              fold in task-index order with the sequential tie-breaking,
-             so the completed design must not depend on the width. Window
-             search plus growth exercises both parallel paths. *)
+             so the completed design must not depend on the width — nor
+             on the (timing-dependent) widths an auto-sizing pool picks.
+             Window search plus growth exercises both parallel paths. *)
           let options =
             { fast_options with
               Config_solver.window_scope = Config_solver.All_apps;
               max_growth_steps = 6 }
           in
-          let run domains =
+          let run pool =
             match
-              Config_solver.solve ~options ~pool:(Exec.create ~domains ())
-                (Fixtures.two_app_design ()) likelihood
+              Config_solver.solve ~options ~pool (Fixtures.two_app_design ())
+                likelihood
             with
             | Ok c -> Design.Design_io.to_string c.Candidate.design
             | Error _ -> Alcotest.fail "infeasible"
           in
-          Alcotest.(check string) "same design text" (run 1) (run 4));
+          let reference = run (Exec.create ~domains:1 ()) in
+          List.iter
+            (fun domains ->
+               Alcotest.(check string)
+                 (Printf.sprintf "%d-domain pool" domains)
+                 reference
+                 (run (Exec.create ~domains ()));
+               Alcotest.(check string)
+                 (Printf.sprintf "%d-domain auto pool" domains)
+                 reference
+                 (run (Exec.auto_width (Exec.create ~domains ()))))
+            [ 1; 2; 4 ]);
     Alcotest.test_case "infeasible design is rejected" `Quick (fun () ->
         let env =
           Resources.Env.fully_connected ~name:"tiny" ~site_count:2 ~bays_per_site:2
@@ -238,6 +251,40 @@ let reconfigure_tests =
           check_int "placed" 1 (D.size candidate.Candidate.design);
           check_bool "evaluations counted" true (state.Reconfigure.evaluations > 0)
         | None -> Alcotest.fail "no placement");
+    Alcotest.test_case
+      "assign_best is byte-identical across pool widths and auto-sizing"
+      `Quick (fun () ->
+          (* The greedy step pre-splits one RNG stream per technique in
+             index order and merges forks back in index order, so both
+             the chosen candidate and the merged evaluation count are a
+             function of the seed alone, never of the pool. *)
+          let run pool =
+            let state =
+              Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 11)
+                likelihood
+            in
+            let design = D.empty (Fixtures.peer_env ()) in
+            match Reconfigure.assign_best ~pool state design Fixtures.s_app with
+            | Some candidate ->
+              (Design.Design_io.to_string candidate.Candidate.design,
+               state.Reconfigure.evaluations)
+            | None -> Alcotest.fail "no placement"
+          in
+          let reference = run (Exec.create ~domains:1 ()) in
+          List.iter
+            (fun domains ->
+               let got = run (Exec.create ~domains ()) in
+               Alcotest.(check string)
+                 (Printf.sprintf "%d-domain design" domains)
+                 (fst reference) (fst got);
+               check_int
+                 (Printf.sprintf "%d-domain evaluations" domains)
+                 (snd reference) (snd got);
+               let auto = run (Exec.auto_width (Exec.create ~domains ())) in
+               Alcotest.(check string)
+                 (Printf.sprintf "%d-domain auto design" domains)
+                 (fst reference) (fst auto))
+            [ 1; 2; 4 ]);
     Alcotest.test_case "reconfigure keeps the app count" `Quick (fun () ->
         let state =
           Reconfigure.state ~options:fast_options ~rng:(Rng.of_int 12) likelihood
