@@ -111,7 +111,7 @@ let write_results ~total () =
     List.find_opt
       (fun k -> Sys.getenv_opt k = Some "1")
       [ "DS_BENCH_ONLY_CACHE"; "DS_BENCH_ONLY_PARALLEL"; "DS_BENCH_ONLY_EXEC";
-        "DS_BENCH_ONLY_PORTFOLIO" ]
+        "DS_BENCH_ONLY_PORTFOLIO"; "DS_BENCH_ONLY_TAIL" ]
   in
   Buffer.add_string buf
     (Printf.sprintf "\"nproc\":%d,\"ocaml\":\"%s\",\"only\":%s,"
@@ -401,6 +401,54 @@ let year_sim_speedup () =
     (Domain.recommended_domain_count ())
     (seconds "year_sim sequential") (seconds "year_sim parallel")
 
+(* Head-to-head: the rare-event tail engine run sequentially and on a
+   4-domain Exec pool. Tail_sim enumerates (stratum, chunk) tasks
+   stratum-major with one pre-split RNG stream per task, so the pool
+   width is pure scheduling — the section compares the estimates, CIs,
+   ESS and certification verdict fatally (any divergence means the
+   determinism contract broke, not just noise) before reporting the
+   speedup. CI's bench-smoke job gates on "risk tail parallel" not
+   being slower than "risk tail sequential". *)
+let tail_speedup () =
+  section "Rare-event tail engine (sequential vs 4 domains)";
+  let _, prov = kernel_fixture () in
+  let likelihood = Likelihood.default in
+  let years = 200_000 in
+  let run label domains =
+    timed label (fun () ->
+        Risk.Tail_sim.simulate ~years ~obs
+          ~pool:(Exec.auto_width (Exec.create ~domains ()))
+          (Prng.Rng.of_int 42) prov likelihood)
+  in
+  let sequential = run "risk tail sequential" 1 in
+  let parallel = run "risk tail parallel" 4 in
+  let fingerprint (t : Risk.Tail_sim.t) =
+    let e (est : Risk.Tail_sim.estimate) =
+      (est.Risk.Tail_sim.value, est.Risk.Tail_sim.lower, est.Risk.Tail_sim.upper)
+    in
+    ( e t.Risk.Tail_sim.mean_total,
+      e t.Risk.Tail_sim.mean_downtime,
+      e t.Risk.Tail_sim.unavailability,
+      t.Risk.Tail_sim.ess,
+      (Risk.Tail_sim.certify t ~availability:0.99999999999)
+        .Risk.Tail_sim.verdict )
+  in
+  if fingerprint sequential <> fingerprint parallel then begin
+    prerr_endline
+      "FATAL: Exec pool changed the tail estimates (estimate, CI, ESS or \
+       verdict differs between 1 and 4 domains)";
+    exit 1
+  end;
+  let seconds label = List.assoc label !sections in
+  Format.fprintf fmt
+    "domain transparency: OK (identical estimates, CIs, ESS %.1f and \
+     verdict over %d years)@.speedup: %.2fx on %d cores (sequential %.1fs, \
+     4 domains %.1fs)@."
+    sequential.Risk.Tail_sim.ess years
+    (seconds "risk tail sequential" /. seconds "risk tail parallel")
+    (Domain.recommended_domain_count ())
+    (seconds "risk tail sequential") (seconds "risk tail parallel")
+
 (* Head-to-head: the same sensitivity sweep with its points scheduled
    sequentially and on a 4-domain Exec pool (each point's solver runs
    single-domain either way; the sweep level is where the parallelism
@@ -611,6 +659,13 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* And for the rare-event tail head-to-head. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_TAIL" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    tail_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -632,6 +687,7 @@ let () =
   cache_speedup ();
   parallel_refit_speedup ();
   year_sim_speedup ();
+  tail_speedup ();
   sweep_speedup ();
   portfolio_speedup ();
   timed "microbenchmarks" bechamel_suite;

@@ -458,8 +458,49 @@ let risk_cmd =
     Arg.(value & opt int 10_000
          & info [ "years" ] ~docv:"N" ~doc:"Simulated years.")
   in
-  let run env apps seed budget likelihood design years no_cache domains
-      obs_flags =
+  (* Rare-event tail engine (Risk.Tail_sim): --sla turns it on and
+     certifies; --tilt/--strata shape the importance sampling. Like
+     every Exec consumer the engine is deterministic in --domains. *)
+  let sla_term =
+    Arg.(value & opt (some float) None
+         & info [ "sla" ] ~docv:"A"
+             ~doc:"Certify the design against an availability SLA (e.g. \
+                   $(b,0.99999999999) for eleven nines): run the \
+                   variance-reduced rare-event engine over $(b,--years) \
+                   simulated years and report pass/fail/inconclusive with \
+                   the confidence bound that decided it.")
+  in
+  let tilt_term =
+    Arg.(value & opt float 8.
+         & info [ "tilt" ] ~docv:"T"
+             ~doc:"Importance-sampling rate tilt: tilted strata inflate \
+                   their scenario class's failure rates by T (exact \
+                   likelihood-ratio reweighting keeps every estimate \
+                   unbiased under the nominal rates). Default 8.")
+  in
+  let strata_conv =
+    let parse = function
+      | "scope" -> Ok Risk.Tail_sim.By_scope
+      | "none" -> Ok Risk.Tail_sim.Nominal_only
+      | s -> Error (`Msg (Printf.sprintf "unknown strata %S (scope|none)" s))
+    in
+    let print ppf = function
+      | Risk.Tail_sim.By_scope -> Format.pp_print_string ppf "scope"
+      | Risk.Tail_sim.Nominal_only -> Format.pp_print_string ppf "none"
+    in
+    Arg.conv (parse, print)
+  in
+  let strata_term =
+    Arg.(value & opt strata_conv Risk.Tail_sim.By_scope
+         & info [ "strata" ] ~docv:"STRATA"
+             ~doc:"Stratification of the tail engine: $(b,scope) (one \
+                   tilted stratum per failure-scope class — object, \
+                   array, site — plus an untilted nominal stratum; \
+                   default) or $(b,none) (a single untilted stratum, \
+                   plain Monte Carlo with unit weights).")
+  in
+  let run env apps seed budget likelihood design years sla tilt strategy
+      no_cache domains obs_flags =
     let env, workloads = resolve_env env apps in
     let obs = obs_of obs_flags in
     let provision =
@@ -499,17 +540,44 @@ let risk_cmd =
         (Units.Money.to_string
            (Units.Money.add analytic.Cost.Penalty.outage_total
               analytic.Cost.Penalty.loss_total));
-      (match report_obs obs_flags obs with
-       | Ok () -> `Ok ()
-       | Error msg -> `Error (false, msg))
+      let tail_status =
+        match sla with
+        | None -> Ok ()
+        | Some availability when availability <= 0. || availability >= 1. ->
+          Error
+            (Printf.sprintf "--sla %g: availability must be in (0, 1)"
+               availability)
+        | Some availability ->
+          (* The tail stream splits off the year_sim generator after the
+             naive run: Year_sim pre-splits one stream per chunk, so the
+             parent has advanced by a fixed (years-dependent,
+             pool-independent) amount and the tail sample stays
+             byte-identical at every --domains. *)
+          (match
+             Risk.Tail_sim.simulate ~years ~tilt ~strategy ~obs ~pool
+               (Prng.Rng.split rng) prov likelihood
+           with
+           | exception Invalid_argument msg -> Error msg
+           | tail ->
+             Format.fprintf fmt "@.%a@." Risk.Tail_sim.pp tail;
+             let cert = Risk.Tail_sim.certify tail ~availability in
+             Format.fprintf fmt "@.%a@." Risk.Tail_sim.pp_certification cert;
+             Ok ())
+      in
+      (match tail_status, report_obs obs_flags obs with
+       | Ok (), Ok () -> `Ok ()
+       | Error msg, _ | _, Error msg -> `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "risk"
        ~doc:"Monte Carlo distribution of annual penalty cost for a design \
-             (tail risk beyond the expected-value objective).")
+             (tail risk beyond the expected-value objective), plus an \
+             importance-sampled rare-event engine that certifies the \
+             design against deep availability SLAs ($(b,--sla)).")
     Term.(ret (const run $ env_term $ apps_term $ seed_term $ budget_term
-               $ likelihood_term $ design_term $ years_term $ no_cache_term
-               $ domains_term $ obs_terms))
+               $ likelihood_term $ design_term $ years_term $ sla_term
+               $ tilt_term $ strata_term $ no_cache_term $ domains_term
+               $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* ablate                                                              *)

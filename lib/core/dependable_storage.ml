@@ -129,6 +129,7 @@ end
 
 module Risk = struct
   module Year_sim = Ds_risk.Year_sim
+  module Tail_sim = Ds_risk.Tail_sim
 end
 
 module Trace = struct

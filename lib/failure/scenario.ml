@@ -11,6 +11,20 @@ type scope =
 
 type t = { scope : scope; annual_rate : float }
 
+type scope_class = Object | Array | Site
+
+let scope_class = function
+  | Data_object _ -> Object
+  | Array_failure _ -> Array
+  | Site_disaster _ -> Site
+
+let all_classes = [ Object; Array; Site ]
+
+let class_name = function
+  | Object -> "object"
+  | Array -> "array"
+  | Site -> "site"
+
 let hits scope (asg : Assignment.t) =
   match scope with
   | Data_object id -> asg.app.App.id = id

@@ -20,6 +20,23 @@ type scope =
 
 type t = { scope : scope; annual_rate : float }
 
+type scope_class = Object | Array | Site
+(** The three failure-scope families, erased of their instance: every
+    scope is a data-object failure, a disk-array failure or a site
+    disaster. The rare-event risk engine ({!Ds_risk.Tail_sim})
+    stratifies its importance sampling by this classification — one
+    stratum tilts the rates of one class — so the strata partition the
+    scenario space exactly. *)
+
+val scope_class : scope -> scope_class
+
+val all_classes : scope_class list
+(** [[Object; Array; Site]], in that fixed order (strata enumeration
+    relies on the order being stable). *)
+
+val class_name : scope_class -> string
+(** ["object"], ["array"] or ["site"] — stratum labels and CLI values. *)
+
 val enumerate : Likelihood.t -> Design.t -> t list
 (** Scenarios with at least one affected application; array and site
     scenarios cover every bay / site hosting a primary copy. *)

@@ -67,3 +67,54 @@ let take_distinct g n items =
 let bernoulli g p =
   let p = Float.max 0. (Float.min 1. p) in
   Rng.unit_float g < p
+
+(* Below this rate Knuth's product loop is both exact and cheap; above
+   it [exp (-.lambda)] loses precision long before it underflows at
+   lambda ~ 745, so the accumulator moves to log space. The value is
+   far under any danger zone — at 30, [exp (-30.)] ~ 9.4e-14 is still
+   a perfectly representable normal double — it just keeps the common
+   small-rate path multiplication-only. *)
+let poisson_direct_cutoff = 30.
+
+let poisson g lambda =
+  if Float.is_nan lambda || lambda = Float.infinity then
+    invalid_arg "Sample.poisson: rate must be finite";
+  if lambda <= 0. then 0
+  else if lambda < poisson_direct_cutoff then begin
+    (* Knuth: count draws until the product of uniforms falls under
+       exp(-lambda). *)
+    let limit = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. Rng.unit_float g in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+  else begin
+    (* The same stopping rule in log space: sum exponential(1) arrivals
+       (-log u) until they exceed [lambda]; the count of completed
+       arrivals is Poisson(lambda). Never underflows, exact for any
+       finite rate; expected cost is O(lambda) draws, fine for the
+       tilted rates the risk engine produces (hundreds, not millions).
+       [Rng.unit_float] can return 0., whose log is -infinity — that
+       single arrival overshoots any rate and just stops the loop. *)
+    let rec go k acc =
+      let acc = acc -. log (Rng.unit_float g) in
+      if acc > lambda then k else go (k + 1) acc
+    in
+    go 0 0.
+  end
+
+let poisson_log_weight ~rate ~tilted k =
+  if Float.is_nan rate || rate < 0. || Float.is_nan tilted || tilted < 0. then
+    invalid_arg "Sample.poisson_log_weight: rates must be non-negative";
+  if k < 0 then invalid_arg "Sample.poisson_log_weight: negative count";
+  if rate = tilted then 0.
+  else if rate = 0. then
+    (* Target assigns probability only to k = 0. *)
+    if k = 0 then tilted else Float.neg_infinity
+  else if tilted = 0. then
+    invalid_arg
+      "Sample.poisson_log_weight: tilted rate 0 cannot propose for a \
+       positive rate"
+  else (tilted -. rate) +. (float_of_int k *. (log rate -. log tilted))

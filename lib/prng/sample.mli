@@ -37,3 +37,27 @@ val take_distinct : Rng.t -> int -> 'a list -> 'a list
 
 val bernoulli : Rng.t -> float -> bool
 (** [bernoulli g p] is true with probability [p] (clamped to [0,1]). *)
+
+val poisson : Rng.t -> float -> int
+(** [poisson g lambda] draws a Poisson([lambda]) count. Exact at every
+    finite rate: Knuth's product loop below a small cutoff (identical
+    draw sequence to the historical {!Ds_risk.Year_sim} sampler, so
+    fixed-seed simulations are unchanged for per-year scenario rates)
+    and a log-space arrival accumulator above it — the regime where
+    [exp (-.lambda)] underflows to [0.] (lambda ≳ 745) and the product
+    loop would degenerate into a wrong-distribution count near 745.
+    Rates [<= 0.] return 0. Expected cost is O([lambda]) uniform draws.
+    @raise Invalid_argument on a NaN or infinite rate. *)
+
+val poisson_log_weight : rate:float -> tilted:float -> int -> float
+(** [poisson_log_weight ~rate ~tilted k] is the log likelihood ratio
+    [log (P_rate(k) / P_tilted(k))] of observing [k] events under the
+    nominal Poisson([rate]) versus the tilted proposal
+    Poisson([tilted]): [(tilted - rate) + k * (log rate - log tilted)].
+    This is the per-scenario reweighting term of the rare-event risk
+    engine ({!Ds_risk.Tail_sim}): summing it over scenarios and
+    exponentiating turns tilted samples back into unbiased estimates
+    under the nominal rates. [0.] when the rates are equal (including
+    both zero); [-infinity] for [k > 0] under [rate = 0.].
+    @raise Invalid_argument on negative/NaN rates, [k < 0], or a zero
+    [tilted] rate proposing for a positive [rate]. *)

@@ -1,5 +1,6 @@
 module Money = Ds_units.Money
 module Rng = Ds_prng.Rng
+module Sample = Ds_prng.Sample
 module Provision = Ds_design.Provision
 module Likelihood = Ds_failure.Likelihood
 module Scenario = Ds_failure.Scenario
@@ -25,19 +26,6 @@ type t = {
   quiet_fraction : float;
 }
 
-(* Knuth's Poisson sampler; scenario rates here are at most a few per
-   year, where it is both exact and fast. *)
-let poisson rng lambda =
-  if lambda <= 0. then 0
-  else begin
-    let limit = exp (-.lambda) in
-    let rec go k p =
-      let p = p *. Rng.unit_float rng in
-      if p <= limit then k else go (k + 1) p
-    in
-    go 0 1.
-  end
-
 let sort_totals years =
   let totals =
     Array.map (fun y -> Money.to_dollars (Money.add y.outage y.loss)) years
@@ -45,9 +33,14 @@ let sort_totals years =
   Array.sort Float.compare totals;
   totals
 
+(* Conservative nearest-rank: index ceil(q*n) clamped to [0, n-1] — the
+   smallest order statistic whose empirical CDF strictly exceeds q.
+   Never biased low (the previous floor of q*(n-1) read p99 of 100
+   years at index 98), and q = 1 lands on the worst year exactly. *)
 let percentile_of_sorted totals q =
   let n = Array.length totals in
-  let idx = int_of_float (q *. float_of_int (n - 1)) in
+  if n = 0 then invalid_arg "Year_sim.percentile_of_sorted: empty";
+  let idx = int_of_float (Float.ceil (q *. float_of_int n)) in
   Money.dollars totals.(max 0 (min (n - 1) idx))
 
 (* Years are simulated in fixed-size chunks, each on its own RNG stream
@@ -82,7 +75,7 @@ let simulate ?params ?(years = 10_000) ?(obs = Obs.noop)
   let run_year rng =
     List.fold_left
       (fun acc (rate, outage, loss) ->
-         let k = poisson rng rate in
+         let k = Sample.poisson rng rate in
          if k = 0 then acc
          else
            { outage = Money.add acc.outage (Money.scale (float_of_int k) outage);

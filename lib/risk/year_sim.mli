@@ -59,7 +59,23 @@ val simulate :
 
 val percentile : t -> float -> Money.t
 (** [percentile t 0.95] is the 95th percentile of annual penalty cost,
-    read off the stored {!field-sorted_totals} (no re-sort).
+    read off the stored {!field-sorted_totals} (no re-sort), under the
+    convention of {!percentile_of_sorted}.
     @raise Invalid_argument outside [0, 1]. *)
+
+val percentile_of_sorted : float array -> float -> Money.t
+(** Conservative nearest-rank percentile of an ascending-sorted array:
+    the element at 0-based index [ceil (q * n)], clamped to
+    [[0, n-1]]. When [q * n] lands on an integer (the usual
+    q = 0.5/0.9/0.99 on round year counts) this is the smallest order
+    statistic whose empirical CDF strictly exceeds [q]; otherwise it
+    rounds one rank {e up} from the classical nearest-rank. Either
+    way it is deliberately never biased low (a risk report must not
+    understate a tail): with 100 sorted years, [q = 0.99] reads index
+    99, not the floor-truncated 98 of earlier releases. [q = 1.] is
+    always the last (worst) element, so [percentile t 1.0] equals
+    {!field-worst}; [q = 0.] is the first. {!Ds_risk.Tail_sim}
+    applies the weighted analogue of the same convention.
+    @raise Invalid_argument on an empty array. *)
 
 val pp : Format.formatter -> t -> unit

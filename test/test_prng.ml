@@ -210,4 +210,120 @@ let sample_tests =
            arr;
          !ok) ]
 
-let suites = [ ("prng.rng", rng_tests); ("prng.sample", sample_tests) ]
+let poisson_tests =
+  [ Alcotest.test_case "lambda 0 and invalid rates" `Quick (fun () ->
+        let g = Rng.of_int 20 in
+        check_int "zero rate" 0 (Sample.poisson g 0.);
+        check_int "negative rate" 0 (Sample.poisson g (-3.));
+        Alcotest.check_raises "nan"
+          (Invalid_argument "Sample.poisson: rate must be finite") (fun () ->
+            ignore (Sample.poisson g Float.nan));
+        Alcotest.check_raises "infinity"
+          (Invalid_argument "Sample.poisson: rate must be finite") (fun () ->
+            ignore (Sample.poisson g Float.infinity)));
+    Alcotest.test_case "small-rate branch matches the historical sampler"
+      `Quick (fun () ->
+        (* Below the cutoff the draw sequence must stay byte-identical to
+           the product-form Knuth loop Year_sim always used, or every
+           fixed-seed Monte Carlo sample in the repo silently shifts. *)
+        let knuth g lambda =
+          let limit = exp (-.lambda) in
+          let rec go k p =
+            let p = p *. Rng.unit_float g in
+            if p <= limit then k else go (k + 1) p
+          in
+          go 0 1.
+        in
+        let a = Rng.of_int 21 in
+        let b = Rng.copy a in
+        for _ = 1 to 2_000 do
+          check_int "same draw" (knuth a 5.) (Sample.poisson b 5.)
+        done);
+    Alcotest.test_case "mean and variance at lambda 20 (direct branch)"
+      `Quick (fun () ->
+        let g = Rng.of_int 22 in
+        let n = 20_000 in
+        let sum = ref 0. and sumsq = ref 0. in
+        for _ = 1 to n do
+          let k = float_of_int (Sample.poisson g 20.) in
+          sum := !sum +. k;
+          sumsq := !sumsq +. (k *. k)
+        done;
+        let mean = !sum /. float_of_int n in
+        let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+        check_bool "mean near 20" true (Float.abs (mean -. 20.) < 0.3);
+        check_bool "variance near 20" true (var > 18. && var < 22.));
+    Alcotest.test_case "regression: lambda 800 no longer underflows" `Quick
+      (fun () ->
+        (* exp (-800.) is 0., so the historical product loop terminated
+           once the running product underflowed — around 745 events,
+           whatever the rate. The log-space accumulator must track the
+           true rate: a (790, 810) window on the sample mean is ~13
+           standard errors wide at n = 4000 yet excludes the underflow
+           plateau by a mile. *)
+        let g = Rng.of_int 23 in
+        let n = 4_000 in
+        let sum = ref 0. and sumsq = ref 0. in
+        for _ = 1 to n do
+          let k = float_of_int (Sample.poisson g 800.) in
+          sum := !sum +. k;
+          sumsq := !sumsq +. (k *. k)
+        done;
+        let mean = !sum /. float_of_int n in
+        let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+        check_bool "mean near 800" true (mean > 790. && mean < 810.);
+        check_bool "variance near 800" true (var > 700. && var < 900.));
+    Alcotest.test_case "log_weight identities" `Quick (fun () ->
+        let check_float = Alcotest.(check (float 1e-12)) in
+        check_float "equal rates" 0.
+          (Sample.poisson_log_weight ~rate:3. ~tilted:3. 7);
+        check_float "known value"
+          (1. -. (3. *. log 2.))
+          (Sample.poisson_log_weight ~rate:1. ~tilted:2. 3);
+        check_float "zero rate, zero count" 2.5
+          (Sample.poisson_log_weight ~rate:0. ~tilted:2.5 0);
+        check_bool "zero rate, positive count" true
+          (Sample.poisson_log_weight ~rate:0. ~tilted:2.5 4
+           = Float.neg_infinity);
+        Alcotest.check_raises "tilted 0 for positive rate"
+          (Invalid_argument
+             "Sample.poisson_log_weight: tilted rate 0 cannot propose for \
+              a positive rate") (fun () ->
+            ignore (Sample.poisson_log_weight ~rate:1. ~tilted:0. 0));
+        Alcotest.check_raises "negative count"
+          (Invalid_argument "Sample.poisson_log_weight: negative count")
+          (fun () ->
+            ignore (Sample.poisson_log_weight ~rate:1. ~tilted:2. (-1))));
+    Alcotest.test_case "log_weight reweights a tilted sample exactly" `Quick
+      (fun () ->
+        (* E_tilted [w * 1{K = k}] = P_rate (k): importance-sample a
+           Poisson(4) pmf from a Poisson(8) proposal and compare a few
+           point masses against the direct formula. *)
+        let rate = 4. and tilted = 8. in
+        let g = Rng.of_int 24 in
+        let n = 60_000 in
+        let est = Array.make 12 0. in
+        for _ = 1 to n do
+          let k = Sample.poisson g tilted in
+          if k < Array.length est then
+            est.(k) <-
+              est.(k) +. exp (Sample.poisson_log_weight ~rate ~tilted k)
+        done;
+        let pmf k =
+          let rec fact n = if n <= 1 then 1. else float_of_int n *. fact (n - 1) in
+          exp (-.rate) *. (rate ** float_of_int k) /. fact k
+        in
+        List.iter
+          (fun k ->
+             let got = est.(k) /. float_of_int n in
+             let expected = pmf k in
+             check_bool
+               (Printf.sprintf "pmf at %d" k)
+               true
+               (Float.abs (got -. expected) < 0.25 *. expected))
+          [ 2; 4; 6; 8 ]) ]
+
+let suites =
+  [ ("prng.rng", rng_tests);
+    ("prng.sample", sample_tests);
+    ("prng.poisson", poisson_tests) ]

@@ -119,6 +119,249 @@ let risk_tests =
            [ (0.5, sim.Year_sim.p50); (0.9, sim.Year_sim.p90);
              (0.99, sim.Year_sim.p99); (1., sim.Year_sim.worst) ]) ]
 
+let percentile_tests =
+  [ Alcotest.test_case "singleton array answers every q" `Quick (fun () ->
+        List.iter
+          (fun q ->
+             Alcotest.(check (float 0.))
+               (Printf.sprintf "q=%.2f" q)
+               5.
+               (Money.to_dollars (Year_sim.percentile_of_sorted [| 5. |] q)))
+          [ 0.; 0.25; 0.5; 0.99; 1. ]);
+    Alcotest.test_case "q=0 is the first element, q=1 the last" `Quick
+      (fun () ->
+        let totals = [| 1.; 2.; 3.; 4. |] in
+        Alcotest.(check (float 0.)) "q=0" 1.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.));
+        Alcotest.(check (float 0.)) "q=1" 4.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 1.)));
+    Alcotest.test_case "regression: p99 of 100 sorted years reads index 99"
+      `Quick (fun () ->
+        (* The floor-truncated index [q * (n - 1)] of earlier releases
+           read index 98 here — a risk report understating its own
+           worst percentile. *)
+        let totals = Array.init 100 float_of_int in
+        Alcotest.(check (float 0.)) "p99" 99.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.99));
+        Alcotest.(check (float 0.)) "p50" 50.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.5)));
+    Alcotest.test_case "duplicated totals keep the conservative rank" `Quick
+      (fun () ->
+        let totals = [| 1.; 1.; 2.; 2. |] in
+        Alcotest.(check (float 0.)) "median of duplicates" 2.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.5));
+        Alcotest.(check (float 0.)) "q=0.25 rounds up" 1.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.25));
+        Alcotest.(check (float 0.)) "q just above a jump" 2.
+          (Money.to_dollars (Year_sim.percentile_of_sorted totals 0.51)));
+    Alcotest.test_case "empty array raises" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Year_sim.percentile_of_sorted: empty") (fun () ->
+            ignore (Year_sim.percentile_of_sorted [||] 0.5))) ]
+
+module Tail_sim = Risk.Tail_sim
+
+let zero_likelihood =
+  Likelihood.v ~data_object_per_year:0. ~array_per_year:0. ~site_per_year:0.
+
+let trace_likelihood =
+  Likelihood.v ~data_object_per_year:1e-9 ~array_per_year:1e-9
+    ~site_per_year:1e-9
+
+let eleven_nines = 0.99999999999
+
+let tail_tests =
+  [ Alcotest.test_case "pool width never changes estimates or verdicts"
+      `Quick (fun () ->
+        (* 3,000 years across 4 strata spans several chunks per stratum;
+           the full sample arrays, every estimate, the ESS and the
+           certification verdict must be byte-identical whatever the
+           domain count (the acceptance contract of DESIGN.md §14). *)
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let run pool =
+          Tail_sim.simulate ~years:3_000 ~pool (Rng.of_int 31) prov likelihood
+        in
+        let reference = run (Exec.create ~domains:1 ()) in
+        let cert_ref = Tail_sim.certify reference ~availability:eleven_nines in
+        List.iter
+          (fun pool ->
+             let other = run pool in
+             check_bool "identical samples" true
+               (reference.Tail_sim.samples = other.Tail_sim.samples);
+             check_bool "identical estimates" true
+               (reference.Tail_sim.mean_total = other.Tail_sim.mean_total
+                && reference.Tail_sim.mean_downtime
+                   = other.Tail_sim.mean_downtime
+                && reference.Tail_sim.unavailability
+                   = other.Tail_sim.unavailability);
+             Alcotest.(check (float 0.)) "identical ESS"
+               reference.Tail_sim.ess other.Tail_sim.ess;
+             check_bool "identical scenario coverage" true
+               (reference.Tail_sim.scenario_events
+                = other.Tail_sim.scenario_events);
+             let cert = Tail_sim.certify other ~availability:eleven_nines in
+             check_bool "identical verdict" true
+               (cert_ref.Tail_sim.verdict = cert.Tail_sim.verdict
+                && cert_ref.Tail_sim.deciding_bound
+                   = cert.Tail_sim.deciding_bound))
+          [ Exec.create ~domains:2 ();
+            Exec.create ~domains:4 ();
+            Exec.auto_width (Exec.create ~domains:4 ()) ]);
+    Alcotest.test_case "mixture estimate agrees with the analytic mean" `Slow
+      (fun () ->
+        (* The balance-heuristic weighting must keep the tilted strata
+           unbiased for the plain expectation: the stratified estimate
+           has to land near Penalty.expected_annual and its 99% CI has
+           to cover it (fixed seed, so this is a regression anchor, not
+           a flaky coin flip). *)
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let analytic = Penalty.expected_annual prov likelihood in
+        let expected =
+          Money.to_dollars
+            (Money.add analytic.Penalty.outage_total
+               analytic.Penalty.loss_total)
+        in
+        let t =
+          Tail_sim.simulate ~years:20_000 (Rng.of_int 32) prov likelihood
+        in
+        let e = t.Tail_sim.mean_total in
+        check_bool
+          (Printf.sprintf "within 10%% (analytic %.4g, estimate %.4g)"
+             expected e.Tail_sim.value)
+          true
+          (Float.abs (e.Tail_sim.value -. expected) <= 0.1 *. expected);
+        check_bool
+          (Printf.sprintf "CI [%.4g, %.4g] covers the analytic mean"
+             e.Tail_sim.lower e.Tail_sim.upper)
+          true
+          (e.Tail_sim.lower <= expected && expected <= e.Tail_sim.upper));
+    Alcotest.test_case "nominal-only strategy is plain Monte Carlo" `Quick
+      (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t =
+          Tail_sim.simulate ~years:1_000 ~strategy:Tail_sim.Nominal_only
+            (Rng.of_int 33) prov likelihood
+        in
+        check_int "one stratum" 1 (Array.length t.Tail_sim.strata);
+        check_bool "unit weights" true
+          (Array.for_all
+             (fun (s : Tail_sim.year_sample) -> s.Tail_sim.log_weight = 0.)
+             t.Tail_sim.samples.(0));
+        Alcotest.(check (float 1e-6)) "ESS equals years" 1_000.
+          t.Tail_sim.ess);
+    Alcotest.test_case "tilting raises tail resolution, weights stay bounded"
+      `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t =
+          Tail_sim.simulate ~years:2_000 (Rng.of_int 34) prov likelihood
+        in
+        (* Mixture weights are bounded by 1/share_nominal by
+           construction; with 4 strata that is ~4. *)
+        let bound = -.log t.Tail_sim.strata.(0).Tail_sim.share +. 1e-9 in
+        Array.iter
+          (Array.iter (fun (s : Tail_sim.year_sample) ->
+               check_bool "log weight within mixture bound" true
+                 (s.Tail_sim.log_weight <= bound)))
+          t.Tail_sim.samples;
+        let p99 = Money.to_dollars (Tail_sim.tail_percentile t 0.99) in
+        let p999 = Money.to_dollars (Tail_sim.tail_percentile t 0.999) in
+        let p9999 = Money.to_dollars (Tail_sim.tail_percentile t 0.9999) in
+        check_bool "percentiles ordered" true (p99 <= p999 && p999 <= p9999);
+        let exc_low =
+          (Tail_sim.exceedance t (Money.dollars 1.)).Tail_sim.value
+        in
+        let exc_high =
+          (Tail_sim.exceedance t (Money.dollars 1e9)).Tail_sim.value
+        in
+        check_bool "exceedance decreasing and in [0,1]" true
+          (exc_low >= exc_high && exc_low <= 1. && exc_high >= 0.));
+    Alcotest.test_case "certify fails default rates at eleven nines" `Quick
+      (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t =
+          Tail_sim.simulate ~years:2_000 (Rng.of_int 35) prov likelihood
+        in
+        let cert = Tail_sim.certify t ~availability:eleven_nines in
+        check_bool "verdict" true (cert.Tail_sim.verdict = Tail_sim.Fail);
+        Alcotest.(check (float 0.)) "deciding bound is the lower CI bound"
+          cert.Tail_sim.unavailability.Tail_sim.lower
+          cert.Tail_sim.deciding_bound;
+        (* ~1.2 events/yr and a sub-millisecond budget: any event year
+           breaches, so P(breach) ~ 1 - exp (-1.2) ~ 0.70. *)
+        check_bool
+          (Printf.sprintf "breach probability %.3f near 0.70"
+             cert.Tail_sim.breach_probability.Tail_sim.value)
+          true
+          (Float.abs
+             (cert.Tail_sim.breach_probability.Tail_sim.value
+              -. (1. -. exp (-1.2)))
+           < 0.05));
+    Alcotest.test_case "certify passes a failure-free world" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t =
+          Tail_sim.simulate ~years:500 (Rng.of_int 36) prov zero_likelihood
+        in
+        let cert = Tail_sim.certify t ~availability:eleven_nines in
+        check_bool "verdict" true (cert.Tail_sim.verdict = Tail_sim.Pass);
+        check_bool "nothing uncovered" true (cert.Tail_sim.uncovered = []);
+        Alcotest.(check (float 0.)) "unavailability is exactly zero" 0.
+          cert.Tail_sim.unavailability.Tail_sim.value);
+    Alcotest.test_case
+      "coverage guard: unsampled scenarios block a cheap pass" `Quick
+      (fun () ->
+        (* Rates of 1e-9/yr over 400 years sample nothing even tilted:
+           the CI collapses to [0, 0], which must NOT certify — the
+           guard downgrades it to Inconclusive and names the holes. *)
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t =
+          Tail_sim.simulate ~years:400 (Rng.of_int 37) prov trace_likelihood
+        in
+        let cert = Tail_sim.certify t ~availability:eleven_nines in
+        check_bool "verdict" true
+          (cert.Tail_sim.verdict = Tail_sim.Inconclusive);
+        check_bool "uncovered scenarios listed" true
+          (cert.Tail_sim.uncovered <> []));
+    Alcotest.test_case "obs gauges record ESS and CI width" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let obs = Obs.create ~metrics:true () in
+        let t =
+          Tail_sim.simulate ~years:500 ~obs (Rng.of_int 38) prov likelihood
+        in
+        match Obs.metrics obs with
+        | None -> Alcotest.fail "metrics registry missing"
+        | Some reg ->
+          Alcotest.(check (float 1e-9)) "risk.tail.ess gauge"
+            t.Tail_sim.ess
+            (Obs.Metrics.value (Obs.Metrics.gauge reg "risk.tail.ess"));
+          Alcotest.(check (float 1e-9)) "risk.tail.ci_width gauge"
+            (t.Tail_sim.mean_total.Tail_sim.upper
+             -. t.Tail_sim.mean_total.Tail_sim.lower)
+            (Obs.Metrics.value (Obs.Metrics.gauge reg "risk.tail.ci_width")));
+    Alcotest.test_case "argument validation" `Quick (fun () ->
+        let prov = prov_of (Fixtures.two_app_design ()) in
+        let t = Tail_sim.simulate ~years:100 (Rng.of_int 39) prov likelihood in
+        Alcotest.check_raises "years 0"
+          (Invalid_argument "Tail_sim.simulate: years must be positive")
+          (fun () ->
+            ignore (Tail_sim.simulate ~years:0 (Rng.of_int 1) prov likelihood));
+        Alcotest.check_raises "years below stratum count"
+          (Invalid_argument
+             "Tail_sim.simulate: 2 years cannot cover 4 strata (one year \
+              per stratum minimum)") (fun () ->
+            ignore (Tail_sim.simulate ~years:2 (Rng.of_int 1) prov likelihood));
+        Alcotest.check_raises "tilt 0"
+          (Invalid_argument
+             "Tail_sim.simulate: tilt must be positive and finite") (fun () ->
+            ignore
+              (Tail_sim.simulate ~years:100 ~tilt:0. (Rng.of_int 1) prov
+                 likelihood));
+        Alcotest.check_raises "availability 1"
+          (Invalid_argument "Tail_sim.certify: availability must be in (0, 1)")
+          (fun () -> ignore (Tail_sim.certify t ~availability:1.));
+        Alcotest.check_raises "percentile out of range"
+          (Invalid_argument "Tail_sim.tail_percentile: q outside [0, 1]")
+          (fun () -> ignore (Tail_sim.tail_percentile t 1.5))) ]
+
 let fast_options =
   { Config_solver.search_options with
     Config_solver.max_growth_steps = 1;
@@ -182,4 +425,7 @@ let annealing_tests =
         check_bool "none" true (result.Heuristic_result.best = None)) ]
 
 let suites =
-  [ ("risk.year_sim", risk_tests); ("heuristics.annealing", annealing_tests) ]
+  [ ("risk.year_sim", risk_tests);
+    ("risk.percentile", percentile_tests);
+    ("risk.tail_sim", tail_tests);
+    ("heuristics.annealing", annealing_tests) ]
