@@ -111,7 +111,8 @@ let write_results ~total () =
     List.find_opt
       (fun k -> Sys.getenv_opt k = Some "1")
       [ "DS_BENCH_ONLY_CACHE"; "DS_BENCH_ONLY_PARALLEL"; "DS_BENCH_ONLY_EXEC";
-        "DS_BENCH_ONLY_PORTFOLIO"; "DS_BENCH_ONLY_TAIL" ]
+        "DS_BENCH_ONLY_PORTFOLIO"; "DS_BENCH_ONLY_TAIL";
+        "DS_BENCH_ONLY_FLEET" ]
   in
   Buffer.add_string buf
     (Printf.sprintf "\"nproc\":%d,\"ocaml\":\"%s\",\"only\":%s,"
@@ -555,6 +556,114 @@ let portfolio_speedup () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Fleet coordinator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Head-to-head at fleet scale: a 1,024-application fleet (128 four-site
+   pods) solved cold on a sequential pool and on 4 domains — shard RNG
+   streams are pre-split in shard-index order and shard designs merge in
+   index order, so the pool width is pure scheduling and the merged
+   designs must be byte-identical. Then the warm-start story: a
+   forced-dirty re-solve of the unchanged fleet must never come back
+   costlier than the incumbent (the anytime floor), and a re-solve after
+   a single application drifts must reuse every untouched shard and
+   spend at least 5x fewer configuration-solver calls than the cold
+   solve. All three properties are checked fatally — a violation is a
+   broken contract, not noise. CI's bench-smoke job gates on "fleet
+   parallel" not being slower than "fleet sequential". *)
+let fleet_speedup () =
+  section "Fleet coordinator (1,024 apps over 128 pods: cold, parallel, warm)";
+  let pods = 128 and apps_per_pod = 8 in
+  let env = E.Envs.fleet_sites ~pods () in
+  let apps = E.Envs.fleet_apps ~pods ~apps_per_pod in
+  let likelihood = Likelihood.default in
+  (* Shard solves dominate; a trimmed per-shard budget keeps 128 of them
+     in seconds while leaving the coordinator paths (partition, merge,
+     reconcile, warm reuse) fully exercised. *)
+  let trimmed =
+    { budgets.E.Budgets.solver with
+      Design_solver.refit_rounds = 2; depth = 2; breadth = 2;
+      stage1_restarts = 2 }
+  in
+  let run label domains =
+    timed label (fun () ->
+        Fleet.solve ~obs ~params:{ trimmed with Design_solver.domains } env
+          apps likelihood)
+  in
+  let sequential = run "fleet sequential" 1 in
+  let parallel = run "fleet parallel" 4 in
+  let bytes (r : Fleet.t) = Design.Design_io.to_string r.Fleet.design in
+  if bytes sequential <> bytes parallel
+     || sequential.Fleet.evaluations <> parallel.Fleet.evaluations
+  then begin
+    prerr_endline
+      "FATAL: fleet coordinator changed its result between 1 and 4 domains \
+       (merged design or evaluation count differs)";
+    exit 1
+  end;
+  let warm_params = { trimmed with Design_solver.domains = 4 } in
+  (* Anytime floor: force one app dirty without changing it — the warm
+     re-solve starts from the incumbent's rebased design, so it can
+     polish the fleet cheaper but never return it costlier. *)
+  let floored =
+    timed "fleet warm floor" (fun () ->
+        Fleet.resolve ~obs ~params:warm_params ~dirty:[ 1 ]
+          ~incumbent:parallel env apps likelihood)
+  in
+  if Money.to_dollars floored.Fleet.cost
+     > Money.to_dollars parallel.Fleet.cost +. 1e-6
+  then begin
+    prerr_endline
+      "FATAL: warm fleet re-solve returned a costlier design than its \
+       incumbent (the anytime floor broke)";
+    exit 1
+  end;
+  (* Incremental re-solve: drift one app and re-solve warm. Only the
+     dirty app's shard may spend solver calls. *)
+  let drift_id = 5 in
+  let drifted =
+    List.map
+      (fun a ->
+         if a.Workload.App.id = drift_id then Workload.App.drift ~factor:2. a
+         else a)
+      apps
+  in
+  let warm =
+    timed "fleet warm drift" (fun () ->
+        Fleet.resolve ~obs ~params:warm_params ~incumbent:parallel env drifted
+          likelihood)
+  in
+  let shard_count = List.length warm.Fleet.shard_results in
+  let reused =
+    List.length (List.filter (fun r -> r.Fleet.reused) warm.Fleet.shard_results)
+  in
+  if warm.Fleet.evaluations * 5 > sequential.Fleet.evaluations then begin
+    prerr_endline
+      (Printf.sprintf
+         "FATAL: warm fleet re-solve after a single-app drift spent %d \
+          evaluations against %d cold — less than the required 5x saving"
+         warm.Fleet.evaluations sequential.Fleet.evaluations);
+    exit 1
+  end;
+  let seconds label = List.assoc label !sections in
+  Format.fprintf fmt
+    "domain transparency: OK (byte-identical merged designs over %d apps, \
+     %d evaluations each)@.anytime floor: OK (warm cost %s <= incumbent \
+     %s)@.warm re-solve: %d of %d shards reused, %d evaluations vs %d cold \
+     (%.1fx fewer)@.speedup: %.2fx on %d cores (sequential %.1fs, 4 \
+     domains %.1fs); warm drift re-solve %.2fs@."
+    (List.length apps) sequential.Fleet.evaluations
+    (Money.to_string floored.Fleet.cost)
+    (Money.to_string parallel.Fleet.cost)
+    reused shard_count warm.Fleet.evaluations sequential.Fleet.evaluations
+    (float_of_int sequential.Fleet.evaluations
+     /. float_of_int (max 1 warm.Fleet.evaluations))
+    (seconds "fleet sequential" /. seconds "fleet parallel")
+    (Domain.recommended_domain_count ())
+    (seconds "fleet sequential") (seconds "fleet parallel")
+    (seconds "fleet warm drift")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -666,6 +775,13 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* And for the fleet-coordinator head-to-head. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_FLEET" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    fleet_speedup ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -690,6 +806,7 @@ let () =
   tail_speedup ();
   sweep_speedup ();
   portfolio_speedup ();
+  fleet_speedup ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

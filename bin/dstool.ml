@@ -702,15 +702,187 @@ let scale_cmd =
          & info [ "rounds" ] ~docv:"R1,R2,..."
              ~doc:"Scaling rounds (4 applications each).")
   in
-  let run seed budget rounds domains =
+  let fleet_pods_term =
+    Arg.(value & opt (some (list int)) None
+         & info [ "fleet-pods" ] ~docv:"P1,P2,..."
+             ~doc:"Switch the sweep to the sharded fleet coordinator: one \
+                   cold fleet solve per pod count (each pod is 4 fully \
+                   connected sites holding $(b,--apps-per-pod) \
+                   applications) instead of the Figure 4 rounds. \
+                   $(b,--fleet-pods 128) reaches 1,024 applications.")
+  in
+  let apps_per_pod_term =
+    Arg.(value & opt int 8
+         & info [ "apps-per-pod" ] ~docv:"N"
+             ~doc:"Applications per pod on the fleet axis (default 8; \
+                   ignored without $(b,--fleet-pods)).")
+  in
+  let run seed budget rounds domains fleet_pods apps_per_pod =
     let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
-    let points = E.Scalability.run ~budgets:budget ~rounds () in
-    E.Report.figure4 fmt points
+    match fleet_pods with
+    | Some pods ->
+      let points =
+        E.Scalability.run_fleet ~budgets:budget ~apps_per_pod ~pods ()
+      in
+      E.Report.fleet_scale fmt points
+    | None ->
+      let points = E.Scalability.run ~budgets:budget ~rounds () in
+      E.Report.figure4 fmt points
   in
   Cmd.v
     (Cmd.info "scale"
-       ~doc:"Scalability experiment on four fully connected sites (Figure 4).")
-    Term.(const run $ seed_term $ budget_term $ rounds_term $ domains_term)
+       ~doc:"Scalability experiment: Figure 4 rounds on four fully \
+             connected sites, or (with $(b,--fleet-pods)) the sharded \
+             fleet coordinator past 1,000 applications.")
+    Term.(const run $ seed_term $ budget_term $ rounds_term $ domains_term
+          $ fleet_pods_term $ apps_per_pod_term)
+
+(* ------------------------------------------------------------------ *)
+(* fleet                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let pods_term =
+    Arg.(value & opt int 16
+         & info [ "pods" ] ~docv:"N"
+             ~doc:"Four-site pods in the fleet environment (fleet size = \
+                   pods x $(b,--apps-per-pod)).")
+  in
+  let apps_per_pod_term =
+    Arg.(value & opt int 8
+         & info [ "apps-per-pod" ] ~docv:"N"
+             ~doc:"Applications per pod (default 8).")
+  in
+  let shards_term =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard count (default: one shard per failure domain, \
+                   i.e. one per pod). More shards than domains makes \
+                   shards contend for sites and exercises the reconcile \
+                   pass.")
+  in
+  let drift_term =
+    Arg.(value & opt (some int) None
+         & info [ "drift" ] ~docv:"APP_ID"
+             ~doc:"After the cold solve, scale application APP_ID's \
+                   penalty and update rates by $(b,--drift-factor) and \
+                   warm re-solve the fleet: only the dirty app's shard \
+                   re-enters the solver, every other shard is reused \
+                   byte-for-byte.")
+  in
+  let drift_factor_term =
+    Arg.(value & opt float 2.
+         & info [ "drift-factor" ] ~docv:"X"
+             ~doc:"Multiplier applied by $(b,--drift) (default 2).")
+  in
+  let shard_mode (r : Fleet.shard_result) =
+    if r.Fleet.reused then "reused"
+    else
+      match r.Fleet.outcome with
+      | Some _ -> "solved"
+      | None -> "infeasible"
+  in
+  let print_fleet label started (result : Fleet.t) =
+    let seconds = Obs.Metrics.now_s () -. started in
+    let napps = List.length result.Fleet.apps in
+    Format.fprintf fmt
+      "%s: cost %s, %d evaluations, %d conflicts, %d reconcile passes, %d \
+       unplaced, %.2fs (%.1f apps/s)@."
+      label
+      (Units.Money.to_string result.Fleet.cost)
+      result.Fleet.evaluations result.Fleet.conflicts
+      result.Fleet.reconcile_passes
+      (List.length result.Fleet.unplaced)
+      seconds
+      (if seconds > 0. then float_of_int napps /. seconds else 0.)
+  in
+  let print_shards (result : Fleet.t) =
+    Format.fprintf fmt "%-6s %6s %-20s %12s %8s %s@." "shard" "apps" "sites"
+      "cost" "evals" "mode";
+    List.iter
+      (fun (r : Fleet.shard_result) ->
+         let sites =
+           String.concat ","
+             (List.map (Printf.sprintf "P%d") r.Fleet.shard.Fleet.sites)
+         in
+         let cost, evals =
+           match r.Fleet.outcome with
+           | Some o ->
+             (Units.Money.to_string
+                (Cost.Summary.total
+                   (Candidate.summary o.Design_solver.best)),
+              string_of_int o.Design_solver.evaluations)
+           | None -> ("-", "-")
+         in
+         Format.fprintf fmt "%-6d %6d %-20s %12s %8s %s@."
+           r.Fleet.shard.Fleet.index
+           (List.length r.Fleet.shard.Fleet.apps)
+           sites cost evals (shard_mode r))
+      result.Fleet.shard_results
+  in
+  let run pods apps_per_pod shards drift drift_factor seed budget domains
+      likelihood obs_flags =
+    let budget = apply_domains domains (E.Budgets.with_seed budget seed) in
+    let params =
+      { budget.E.Budgets.solver with
+        Design_solver.domains = max 1 budget.E.Budgets.domains }
+    in
+    let env = E.Envs.fleet_sites ~pods () in
+    let apps = E.Envs.fleet_apps ~pods ~apps_per_pod in
+    let obs = obs_of obs_flags in
+    Format.fprintf fmt "fleet: %d applications over %d pods (%d sites)@."
+      (List.length apps) pods (List.length (Resources.Env.site_ids env));
+    let started = Obs.Metrics.now_s () in
+    let cold = Fleet.solve ~params ?shards ~obs env apps likelihood in
+    print_fleet "cold solve" started cold;
+    if List.length cold.Fleet.shard_results <= 32 then print_shards cold;
+    let drift_status =
+      match drift with
+      | None -> Ok ()
+      | Some app_id when not (List.exists (fun a -> a.Workload.App.id = app_id) apps) ->
+        Error (Printf.sprintf "--drift: no application with id %d (fleet ids \
+                               are 1..%d)" app_id (List.length apps))
+      | Some app_id ->
+        let apps' =
+          List.map
+            (fun a ->
+               if a.Workload.App.id = app_id then
+                 Workload.App.drift ~factor:drift_factor a
+               else a)
+            apps
+        in
+        let started = Obs.Metrics.now_s () in
+        let warm = Fleet.resolve ~params ~obs ~incumbent:cold env apps' likelihood in
+        Format.fprintf fmt
+          "@.drifted app %d by x%g; %d of %d shards reused byte-for-byte@."
+          app_id drift_factor
+          (List.length
+             (List.filter (fun r -> r.Fleet.reused) warm.Fleet.shard_results))
+          (List.length warm.Fleet.shard_results);
+        print_fleet "warm re-solve" started warm;
+        Format.fprintf fmt
+          "warm used %d evaluations vs %d cold (%.1fx fewer)@."
+          warm.Fleet.evaluations cold.Fleet.evaluations
+          (if warm.Fleet.evaluations > 0 then
+             float_of_int cold.Fleet.evaluations
+             /. float_of_int warm.Fleet.evaluations
+           else Float.infinity);
+        Ok ()
+    in
+    let obs_status = report_obs obs_flags obs in
+    match drift_status, obs_status with
+    | Ok (), Ok () -> `Ok ()
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Solve a pod-structured fleet with the sharded coordinator: \
+             per-failure-domain shard solves in parallel, index-order \
+             merge, bounded reconcile. With $(b,--drift), demonstrate the \
+             warm incremental re-solve.")
+    Term.(ret (const run $ pods_term $ apps_per_pod_term $ shards_term
+               $ drift_term $ drift_factor_term $ seed_term $ budget_term
+               $ domains_term $ likelihood_term $ obs_terms))
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)
@@ -989,7 +1161,7 @@ let main =
   Cmd.group
     (Cmd.info "dstool" ~version:"1.0.0" ~doc)
     [ catalogs_cmd; solve_cmd; audit_cmd; compare_cmd; sample_cmd; scale_cmd;
-      sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd; profile_cmd;
-      trace_cmd; diff_cmd ]
+      fleet_cmd; sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd;
+      profile_cmd; trace_cmd; diff_cmd ]
 
 let () = exit (Cmd.eval main)

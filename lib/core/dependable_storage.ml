@@ -112,6 +112,14 @@ module Solver = struct
   module Exhaustive = Ds_solver.Exhaustive
 end
 
+module Fleet = Ds_fleet.Fleet
+(** Fleet-scale coordinator: [Fleet.solve env apps likelihood] partitions
+    thousands of apps over the environment's failure domains, solves
+    shards in parallel on an [Exec] pool and reconciles shared-resource
+    contention; [Fleet.resolve ~incumbent] re-solves only the shards a
+    workload drift touched, reusing the rest byte-for-byte. Deterministic
+    in the domain count; see DESIGN.md §15. *)
+
 module Search = Ds_search.Search
 (** Multi-start portfolio meta-solver: [Search.run ~restarts:8 ~pool env
     apps likelihood] races independent design-solver restarts on an

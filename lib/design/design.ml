@@ -255,6 +255,70 @@ let has_primary_at_site t site =
   List.exists (fun (a : Assignment.t) -> a.primary.Slot.Array_slot.site = site)
     t.assignments
 
+(* Re-anchor a design onto refreshed inputs (warm-start, fleet merge).
+   Assignments are carried by app id in sorted order onto an empty
+   design over [env]; device models are matched by name against [env]'s
+   catalogs so a re-priced catalog entry is picked up without touching
+   the placement. Apps that vanished from [apps] are dropped silently
+   (there is nothing to re-place); an assignment that can no longer be
+   carried — model name gone from the catalog, slot outside [env],
+   connectivity or technique-shape validation failure — is dropped and
+   its id reported as forced-dirty for the warm-start path to re-place.
+   With unchanged inputs the rebased design is byte-identical. *)
+let rebase ~env ~apps t =
+  let fresh_app id =
+    List.find_opt (fun (a : App.t) -> a.App.id = id) apps
+  in
+  let array_model_named name =
+    List.find_opt (fun (m : Array_model.t) -> String.equal m.Array_model.name name)
+      env.Env.array_models
+  in
+  let tape_model_named name =
+    List.find_opt (fun (m : Tape_model.t) -> String.equal m.Tape_model.name name)
+      env.Env.tape_models
+  in
+  let carry (design, forced) (asg : Assignment.t) =
+    let id = asg.app.App.id in
+    match fresh_app id with
+    | None -> (design, forced)
+    | Some app ->
+      let slot_model slot =
+        Option.bind
+          (Slot.Array_slot.Map.find_opt slot t.array_models)
+          (fun (m : Array_model.t) -> array_model_named m.Array_model.name)
+      in
+      let carried =
+        match slot_model asg.primary with
+        | None -> None
+        | Some primary_model ->
+          let mirror_model = Option.bind asg.mirror slot_model in
+          let tape_model =
+            Option.bind asg.backup (fun b ->
+                Option.bind
+                  (Slot.Tape_slot.Map.find_opt b t.tape_models)
+                  (fun (m : Tape_model.t) -> tape_model_named m.Tape_model.name))
+          in
+          if (asg.mirror <> None && mirror_model = None)
+          || (asg.backup <> None && tape_model = None)
+          then None
+          else
+            match
+              Assignment.v ~app ~technique:asg.technique ~primary:asg.primary
+                ?mirror:asg.mirror ?backup:asg.backup ()
+            with
+            | exception Invalid_argument _ -> None
+            | asg ->
+              (match add design asg ~primary_model ?mirror_model ?tape_model () with
+               | Ok design -> Some design
+               | Error _ -> None)
+      in
+      (match carried with
+       | Some design -> (design, forced)
+       | None -> (design, id :: forced))
+  in
+  let design, forced = List.fold_left carry (empty env, []) t.assignments in
+  (design, List.rev forced)
+
 (* Structural equality over everything the configuration solver reads:
    the environment (by name; environments are fixed within a run), the
    installed models, and the assignments with their full technique

@@ -84,6 +84,19 @@ val has_primary_on : t -> Slot.Array_slot.t -> bool
 
 val has_primary_at_site : t -> Ds_resources.Site.id -> bool
 
+val rebase : env:Env.t -> apps:App.t list -> t -> t * App.id list
+(** Re-anchor the design onto refreshed inputs: every assignment is
+    carried by app id onto an empty design over [env], substituting the
+    current [App.t] from [apps] and re-resolving device models by name
+    against [env]'s catalogs (so a re-priced catalog entry takes effect
+    without moving anything). Returns the carried design plus the ids
+    that could {e not} be carried — model name gone, slot outside
+    [env], connectivity or technique-shape validation failure — which
+    the warm-start path must re-place. Apps absent from [apps] are
+    dropped silently (retired); apps in [apps] with no assignment are
+    simply not in the result. With unchanged inputs the rebased design
+    is byte-identical to the original. *)
+
 val equal : t -> t -> bool
 (** Structural equality over everything that determines a design's
     evaluation: environment (by name), installed models (by name per

@@ -20,3 +20,36 @@ let quad_sites () =
     ~link_model:Catalog.link_high ~max_link_units:16 ~compute_slots_per_site:8 ()
 
 let scaled_apps ~rounds = W.balanced_rounds ~rounds
+
+(* The fleet environment: [pods] islands of four fully connected sites
+   with no inter-pod links, so each pod is its own failure domain (the
+   natural shard for [Ds_fleet.Fleet]). Per-site resources match
+   [quad_sites]; a pod holds roughly 32 apps (8 compute slots x 4
+   sites), so ~1,000 apps need ~32 pods and the fleet bench's
+   8-apps-per-pod profile uses 128. *)
+let fleet_sites ~pods () =
+  if pods < 1 then invalid_arg "Envs.fleet_sites: need a pod";
+  let site_count = 4 * pods in
+  let sites =
+    List.init site_count (fun i ->
+        Ds_resources.Site.v ~id:(i + 1) ~name:(Printf.sprintf "S%d" (i + 1)) ())
+  in
+  let links =
+    List.concat_map
+      (fun pod ->
+         let base = (4 * pod) + 1 in
+         List.concat_map
+           (fun a ->
+              List.filter_map
+                (fun b ->
+                   if a < b then Some (Ds_resources.Slot.Pair.v a b) else None)
+                (List.init 4 (fun i -> base + i)))
+           (List.init 4 (fun i -> base + i)))
+      (List.init pods Fun.id)
+  in
+  Env.v ~name:(Printf.sprintf "fleet-sites-%dp" pods) ~sites ~bays_per_site:2
+    ~array_models:Catalog.array_models ~tape_slots_per_site:1
+    ~tape_models:Catalog.tape_models ~link_model:Catalog.link_high
+    ~max_link_units:16 ~links ~compute_slots_per_site:8 ()
+
+let fleet_apps ~pods ~apps_per_pod = W.mix ~count:(pods * apps_per_pod)

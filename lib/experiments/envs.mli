@@ -20,3 +20,13 @@ val quad_sites : unit -> Env.t
 val scaled_apps : rounds:int -> App.t list
 (** Four applications per round, one from each Table 1 class — the
     Figure 4 scaling unit. *)
+
+val fleet_sites : pods:int -> unit -> Env.t
+(** [pods] islands of four fully connected sites (per-site resources as
+    {!quad_sites}) with no inter-pod links — each pod is a failure
+    domain, the natural fleet shard. Sites are numbered 1..4[pods] in
+    pod order. @raise Invalid_argument when [pods < 1]. *)
+
+val fleet_apps : pods:int -> apps_per_pod:int -> App.t list
+(** A balanced Table 1 mix of [pods * apps_per_pod] applications with
+    ids 1..n — the fleet-scale workload. *)

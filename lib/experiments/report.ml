@@ -97,12 +97,27 @@ let opt_money ppf = function
 
 let figure4 ppf points =
   Format.fprintf ppf "Figure 4. Scalability (four fully connected sites)@.";
-  Format.fprintf ppf "%-6s %12s %12s %12s@." "apps" "design" "random" "human";
+  Format.fprintf ppf "%-6s %12s %12s %12s %9s %9s@." "apps" "design" "random"
+    "human" "wall-s" "apps/s";
   List.iter
     (fun (p : Scalability.point) ->
-       Format.fprintf ppf "%-6d %a %a %a@." p.Scalability.apps opt_money
-         p.Scalability.design_tool opt_money p.Scalability.random opt_money
-         p.Scalability.human)
+       Format.fprintf ppf "%-6d %a %a %a %9.2f %9.1f@." p.Scalability.apps
+         opt_money p.Scalability.design_tool opt_money p.Scalability.random
+         opt_money p.Scalability.human p.Scalability.seconds
+         p.Scalability.apps_per_sec)
+    points
+
+let fleet_scale ppf points =
+  Format.fprintf ppf "Fleet scalability (sharded coordinator)@.";
+  Format.fprintf ppf "%-6s %7s %12s %8s %9s %9s %9s %9s@." "apps" "shards"
+    "cost" "evals" "conflicts" "unplaced" "wall-s" "apps/s";
+  List.iter
+    (fun (p : Scalability.fleet_point) ->
+       Format.fprintf ppf "%-6d %7d %12s %8d %9d %9d %9.2f %9.1f@."
+         p.Scalability.apps p.Scalability.shards
+         (Money.to_string p.Scalability.cost) p.Scalability.evaluations
+         p.Scalability.conflicts p.Scalability.unplaced p.Scalability.seconds
+         p.Scalability.apps_per_sec)
     points
 
 let sensitivity ppf axis points =

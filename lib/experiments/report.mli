@@ -22,7 +22,12 @@ val figure3 : Format.formatter -> Compare.entry list -> unit
 (** Stacked cost comparison of the heuristics (Figure 3). *)
 
 val figure4 : Format.formatter -> Scalability.point list -> unit
-(** Cost vs number of applications (Figure 4). *)
+(** Cost vs number of applications (Figure 4), with per-round wall time
+    and throughput columns. *)
+
+val fleet_scale : Format.formatter -> Scalability.fleet_point list -> unit
+(** Fleet-coordinator scaling table: cost, evaluations, reconcile
+    casualties and throughput per fleet size. *)
 
 val sensitivity :
   Format.formatter -> Sensitivity.axis -> Sensitivity.point list -> unit

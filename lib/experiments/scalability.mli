@@ -1,6 +1,11 @@
-(** Scalability experiment (Figure 4): solution cost of each heuristic as
+(** Scalability experiments.
+
+    {!run} is the paper's Figure 4: solution cost of each heuristic as
     applications scale four at a time (one per Table 1 class) in a fixed
-    four-site environment. *)
+    four-site environment — now with per-round wall time and throughput.
+    {!run_fleet} extends the axis past 1,000 applications on the sharded
+    fleet coordinator ({!Ds_fleet.Fleet}), which Figure 4's single-design
+    solver cannot reach. *)
 
 module Money = Ds_units.Money
 
@@ -9,11 +14,43 @@ type point = {
   design_tool : Money.t option;  (** [None]: no feasible design found. *)
   random : Money.t option;
   human : Money.t option;
+  seconds : float;  (** Wall time of the whole round (all three arms). *)
+  apps_per_sec : float;  (** [apps / seconds] ([0.] on a zero round). *)
 }
+
+val total_of : Compare.entry list -> string -> Money.t option
+(** Total cost of the named comparison arm; [None] when that arm found
+    no feasible design. A {e missing} arm is a harness bug, not an
+    infeasible design — @raise Invalid_argument naming the label and
+    the labels actually present (it used to degrade silently to
+    [None]). *)
 
 val run : ?budgets:Budgets.t -> ?rounds:int list -> unit -> point list
 (** Default rounds 1..5 (4 to 20 applications). Every heuristic gets the
     same iteration budgets at every scale. Rounds run on an [Exec] pool
-    [budgets.domains] wide (identical points at every width, in round
-    order); on a parallel pool each round's comparison — arms and
-    solvers — runs sequentially. *)
+    [budgets.domains] wide (identical costs at every width, in round
+    order; wall times are measurements and vary); on a parallel pool
+    each round's comparison — arms and solvers — runs sequentially. *)
+
+type fleet_point = {
+  apps : int;
+  shards : int;
+  cost : Money.t;
+  evaluations : int;
+  conflicts : int;  (** Merge conflicts + capacity evictions reconciled. *)
+  unplaced : int;  (** Apps the reconcile budget could not place. *)
+  seconds : float;
+  apps_per_sec : float;
+}
+
+val run_fleet :
+  ?budgets:Budgets.t ->
+  ?apps_per_pod:int ->
+  ?pods:int list ->
+  unit ->
+  fleet_point list
+(** Cold {!Ds_fleet.Fleet.solve} per pod count (default pods
+    [[4; 16; 64]], 8 apps per pod — 32 to 512 apps; [dstool scale
+    --fleet-pods 128] reaches 1,024). Shards run [budgets.domains] wide
+    inside each point; points run sequentially in list order. Costs are
+    identical at every width. *)

@@ -87,6 +87,11 @@ let portfolio_incumbent t ~evaluations ~restart cost =
   | None -> ()
   | Some s -> Progress.portfolio_incumbent s ~evaluations ~restart cost
 
+let shard_done t ~evaluations ~shard cost =
+  match t.progress with
+  | None -> ()
+  | Some s -> Progress.shard_done s ~evaluations ~shard cost
+
 let refit_accepted t ~evaluations =
   match t.progress with
   | None -> ()

@@ -80,6 +80,9 @@ val portfolio_incumbent : t -> evaluations:int -> restart:int -> float -> unit
 (** A portfolio restart improved the shared incumbent (tracked
     independently of the per-restart {!incumbent} line). *)
 
+val shard_done : t -> evaluations:int -> shard:int -> float -> unit
+(** A fleet shard's solve completed at the given cost (dollars). *)
+
 val refit_accepted : t -> evaluations:int -> unit
 val refit_rejected : t -> evaluations:int -> unit
 

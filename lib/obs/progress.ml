@@ -4,6 +4,7 @@ type event =
   | Accepted
   | Rejected
   | Portfolio of { restart : int; cost : float }
+  | Shard of { shard : int; cost : float }
 
 type entry = {
   evaluations : int;
@@ -57,6 +58,12 @@ let portfolio_incumbent s ~evaluations ~restart cost =
     push s evaluations (Portfolio { restart; cost })
   end
 
+(* Shard completions are reported unconditionally (not incumbent-gated):
+   the fleet coordinator emits one per shard in index order after the
+   parallel join, and the stream is the record of which shard cost what. *)
+let shard_done s ~evaluations ~shard cost =
+  Mutex.protect s.lock (fun () -> push s evaluations (Shard { shard; cost }))
+
 let accepted s ~evaluations =
   Mutex.protect s.lock @@ fun () ->
   s.accepted <- s.accepted + 1;
@@ -88,6 +95,8 @@ let to_csv s =
          | Portfolio { restart; cost } ->
            Printf.sprintf "%d,portfolio,%d,%.2f\n" e.evaluations restart
              cost
+         | Shard { shard; cost } ->
+           Printf.sprintf "%d,shard,%d,%.2f\n" e.evaluations shard cost
        in
        Buffer.add_string buf line)
     (entries s);

@@ -19,6 +19,8 @@ type event =
   | Rejected  (** A refit round failed to improve. *)
   | Portfolio of { restart : int; cost : float }
       (** A portfolio restart improved the shared incumbent. *)
+  | Shard of { shard : int; cost : float }
+      (** A fleet shard's solve completed at this cost. *)
 
 type entry = {
   evaluations : int;  (** Configuration-solver calls so far. *)
@@ -45,6 +47,11 @@ val portfolio_incumbent :
     portfolio incumbent interleave in one stream without perturbing each
     other's monotonicity. *)
 
+val shard_done : stream -> evaluations:int -> shard:int -> float -> unit
+(** A fleet shard finished solving at the given cost (dollars). Always
+    recorded — the fleet coordinator emits one per shard in index order
+    after the parallel join, so the stream documents every shard. *)
+
 val entries : stream -> entry list
 (** In recording order. *)
 
@@ -60,4 +67,5 @@ val rejected_count : stream -> int
 val to_csv : stream -> string
 (** Header [evaluations,event,stage,cost]; [stage] is populated on stage
     rows, [cost] on incumbent rows. Portfolio rows put the restart index
-    in the [stage] column and the new best cost in [cost]. *)
+    in the [stage] column and the new best cost in [cost]; shard rows do
+    the same with the shard index. *)

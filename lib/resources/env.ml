@@ -69,6 +69,34 @@ let chain ?locations ?max_sync_distance_km ~name ~site_count ~bays_per_site
 
 let site_ids t = List.map (fun (s : Site.t) -> s.id) t.sites
 
+(* Sub-environment for sharded solving: the kept sites with every link
+   internal to them. The restricted name encodes the kept site ids so
+   designs over different shards of the same parent environment never
+   share a fingerprint (Design.equal and the config-solver memo key
+   both identify environments by name). *)
+let restrict t ~sites:kept =
+  if kept = [] then invalid_arg "Env.restrict: no sites";
+  let keep = List.sort_uniq Int.compare kept in
+  let known = site_ids t in
+  List.iter
+    (fun id ->
+       if not (List.mem id known) then
+         invalid_arg (Printf.sprintf "Env.restrict: unknown site %d" id))
+    keep;
+  let sites = List.filter (fun (s : Site.t) -> List.mem s.id keep) t.sites in
+  let links =
+    List.filter
+      (fun pair ->
+         let a, b = Slot.Pair.endpoints pair in
+         List.mem a keep && List.mem b keep)
+      t.links
+  in
+  let name =
+    Printf.sprintf "%s/%s" t.name
+      (String.concat "-" (List.map string_of_int keep))
+  in
+  { t with name; sites; links }
+
 let site t id = List.find (fun (s : Site.t) -> s.id = id) t.sites
 
 let connected t a b =

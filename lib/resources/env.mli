@@ -74,6 +74,15 @@ val chain :
     campus or metro topologies where only adjacent sites have dark fiber;
     mirrors can then only target a neighbor. *)
 
+val restrict : t -> sites:Site.id list -> t
+(** The sub-environment induced by the given sites: those sites, the
+    links with both endpoints among them, and everything else (models,
+    per-site slot counts, link class) unchanged. The result's name
+    appends the sorted kept site ids to the parent's name, so designs
+    over different shards never collide in {!Ds_design.Design.equal} or
+    the configuration-solver memo key (both identify environments by
+    name). @raise Invalid_argument on an empty or unknown site list. *)
+
 val site_ids : t -> Site.id list
 val site : t -> Site.id -> Site.t
 (** @raise Not_found for an unknown id. *)

@@ -51,8 +51,10 @@ let pool_of params =
   Exec.auto_width (Exec.create ~domains:(max 1 params.domains) ())
 
 (* Stage 1. Applications with stringent requirements are placed first —
-   the draw is weighted by the sum of penalty rates. *)
-let greedy_stage ~pool state params env apps =
+   the draw is weighted by the sum of penalty rates. [start] is the
+   design placement begins from: empty for a cold solve, the stripped
+   incumbent for a warm re-solve (every restart re-starts from it). *)
+let greedy_from ~pool state params start apps =
   Obs.with_span state.Reconfigure.obs "solver.greedy" @@ fun () ->
   let obs = state.Reconfigure.obs in
   let rec attempt restart =
@@ -74,7 +76,7 @@ let greedy_stage ~pool state params env apps =
                (List.filter (fun a -> a.App.id <> app.App.id) unassigned)
            | None -> None)
       in
-      match place (Design.empty env) apps with
+      match place start apps with
       | Some design ->
         (* The per-step candidates were evaluated against partial designs;
            re-evaluate the complete one. This is search work like any
@@ -91,13 +93,16 @@ let greedy_stage ~pool state params env apps =
   in
   attempt 0
 
+let greedy_stage ~pool state params env apps =
+  greedy_from ~pool state params (Design.empty env) apps
+
 let greedy state params env apps =
   greedy_stage ~pool:(pool_of params) state params env apps
 
 (* One depth-first probe from a neighbor (the inner while-loop of
    Algorithm 1): at each level evaluate [breadth] reconfigurations, step
    to the best when it improves, and remember the best node seen. *)
-let probe state params start =
+let probe ?victims state params start =
   let obs = state.Reconfigure.obs in
   Obs.incr obs "solver.probes";
   let rec descend current best level =
@@ -105,7 +110,8 @@ let probe state params start =
     else begin
       Obs.incr obs "solver.probe_steps";
       let children =
-        List.init params.breadth (fun _ -> Reconfigure.reconfigure state current)
+        List.init params.breadth
+          (fun _ -> Reconfigure.reconfigure ?victims state current)
         |> List.filter_map Fun.id
       in
       match Candidate.best_of children with
@@ -134,15 +140,15 @@ let probe state params start =
    in probe-index order, and [Candidate.better] keeps its first argument
    on cost ties, so ties break toward the lowest probe index — the
    domain count is pure scheduling. *)
-let run_probes ~pool state params current =
+let run_probes ?victims ~pool state params current =
   let outcomes =
     Exec.map_rng_obs pool ~label:"solver.probes" ~obs:state.Reconfigure.obs
       ~rng:state.Reconfigure.rng
       (fun wobs rng () ->
          let local = Reconfigure.fork ~obs:wobs state ~rng in
          let result =
-           match Reconfigure.reconfigure local current with
-           | Some neighbor -> Some (probe local params neighbor)
+           match Reconfigure.reconfigure ?victims local current with
+           | Some neighbor -> Some (probe ?victims local params neighbor)
            | None -> None
          in
          (local, result))
@@ -162,7 +168,7 @@ let run_probes ~pool state params current =
    the remaining rounds short (the caller learns it raced off via the
    third component). [abandon] must never consult the RNG; the rounds it
    does run are byte-identical to an unraced run's prefix. *)
-let refit_loop ~pool ?abandon state params start =
+let refit_loop ?victims ~pool ?abandon state params start =
   Obs.with_span state.Reconfigure.obs "solver.refit" @@ fun () ->
   let obs = state.Reconfigure.obs in
   let abandoned best =
@@ -173,7 +179,7 @@ let refit_loop ~pool ?abandon state params start =
     then (best, round, false)
     else if abandoned best then (best, round, true)
     else begin
-      let branch_best = run_probes ~pool state params current in
+      let branch_best = run_probes ?victims ~pool state params current in
       let evaluations = state.Reconfigure.evaluations in
       match branch_best with
       | None ->
@@ -202,28 +208,26 @@ let refit state params start =
   let best, rounds, _raced = refit_loop ~pool:(pool_of params) state params start in
   (best, rounds)
 
-let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
-    likelihood =
-  Obs.with_span obs "solver.solve" @@ fun () ->
-  let rng =
-    match rng with Some rng -> rng | None -> Rng.of_int params.seed
-  in
-  (* One pool for the whole solve: refit probes, the greedy re-evaluation
-     and the polish pass all schedule onto it. *)
-  let pool = pool_of params in
-  (* One evaluation cache for the whole solve: greedy, refit and polish
-     all hit the same entries. The cache is result-transparent (the
-     configuration solver is RNG-free), so this changes wall time only. *)
+(* One evaluation cache for a whole solve (or re-solve): greedy, refit
+   and polish all hit the same entries. The cache is result-transparent
+   (the configuration solver is RNG-free), so this changes wall time
+   only. [memo] lets a caller — the fleet coordinator's repeated warm
+   re-solves — share one cache across solver invocations; fingerprint
+   keys cover options, design and likelihood, so sharing is safe.
+
+   Contention accounting for the shared cache: a per-wait histogram fed
+   from the lock's own hook, and the lifetime counters mirrored after
+   the solve. The hook's histogram lock carries no hook itself, so
+   observing a wait can never re-enter the memo lock. *)
+let install_memo ?memo params obs =
   let memo =
-    if params.config_cache_size > 0 then
-      Some (Config_solver.create_cache ~size:params.config_cache_size ())
-    else None
+    match memo with
+    | Some _ as shared -> shared
+    | None ->
+      if params.config_cache_size > 0 then
+        Some (Config_solver.create_cache ~size:params.config_cache_size ())
+      else None
   in
-  let options = { params.options with Config_solver.memo } in
-  (* Contention accounting for the shared cache: a per-wait histogram
-     fed from the lock's own hook, and the lifetime counters mirrored
-     after the solve. The hook's histogram lock carries no hook itself,
-     so observing a wait can never re-enter the memo lock. *)
   (match (memo, Obs.metrics obs) with
    | Some cache, Some reg ->
      let wait_h = Obs.Metrics.histogram reg "memo.lock_wait_s" in
@@ -240,6 +244,19 @@ let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
       Obs.gauge_add obs "memo.lock_wait_total_s" (Obs.Lockstat.wait_s stats)
     | Some _ -> ()
   in
+  (memo, mirror_memo_stats)
+
+let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
+    likelihood =
+  Obs.with_span obs "solver.solve" @@ fun () ->
+  let rng =
+    match rng with Some rng -> rng | None -> Rng.of_int params.seed
+  in
+  (* One pool for the whole solve: refit probes, the greedy re-evaluation
+     and the polish pass all schedule onto it. *)
+  let pool = pool_of params in
+  let memo, mirror_memo_stats = install_memo params obs in
+  let options = { params.options with Config_solver.memo } in
   let state = Reconfigure.state ~options ~obs ~rng likelihood in
   Obs.stage obs ~evaluations:0 "greedy";
   match greedy_stage ~pool state params env apps with
@@ -286,3 +303,134 @@ let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
           Money.compare (Candidate.cost refined) (Candidate.cost greedy_best) < 0;
         greedy_cost = Candidate.cost greedy_best;
         raced_off }
+
+module Int_set = Set.Make (Int)
+
+let ids_of apps = List.map (fun (a : App.t) -> a.App.id) apps
+
+(* Warm-start re-solve. The incumbent is first rebased onto the current
+   inputs (Design.rebase): assignments carry over by app id with models
+   re-resolved by name, so price drift lands without moving anything,
+   and assignments that can no longer be carried join the dirty set.
+   The complete rebased design — when it is complete — is re-evaluated
+   once with windows kept (Skip scope) and becomes the {e floor}: the
+   final answer is [Candidate.better floor refined], and since [better]
+   keeps its first argument on ties, an unimproved search returns the
+   incumbent's bytes unchanged. Only dirty apps are stripped,
+   greedy-re-placed and eligible as refit victims; the polish runs with
+   windows scoped to the dirty set. Untouched assignments are therefore
+   never rewritten, and the evaluation bill scales with the dirty set,
+   not the fleet. *)
+let resolve ?(params = default_params) ?(obs = Obs.noop) ?rng ?memo ~incumbent
+    ~dirty env apps likelihood =
+  Obs.with_span obs "solver.resolve" @@ fun () ->
+  let rng =
+    match rng with Some rng -> rng | None -> Rng.of_int params.seed
+  in
+  let pool = pool_of params in
+  let memo, mirror_memo_stats = install_memo ?memo params obs in
+  let options = { params.options with Config_solver.memo } in
+  let state = Reconfigure.state ~options ~obs ~rng likelihood in
+  let rebased, forced = Design.rebase ~env ~apps incumbent in
+  let present = Int_set.of_list (ids_of apps) in
+  let carried = Int_set.of_list (ids_of (Design.apps rebased)) in
+  (* Dirty = caller-declared (current apps only; stale ids are dropped)
+     + assignments rebase could not carry + apps with no assignment to
+     carry (new arrivals). *)
+  let dirty_set =
+    Int_set.union
+      (Int_set.of_list (List.filter (fun id -> Int_set.mem id present) dirty))
+      (Int_set.union (Int_set.of_list forced) (Int_set.diff present carried))
+  in
+  Obs.add obs "solver.resolve_dirty" (Int_set.cardinal dirty_set);
+  Obs.add obs "solver.resolve_forced" (List.length forced);
+  (* The anytime floor: the rebased incumbent re-costed under the
+     current inputs, windows and placement kept (Skip leaves the design
+     bytes alone; provisioning still grows from scratch, which is where
+     workload drift shows up in its cost). Only a complete rebase can
+     floor the search — with new apps present the incumbent is not a
+     candidate at all. *)
+  let floor =
+    if Int_set.subset present carried then begin
+      Reconfigure.count_evaluation state;
+      let floor_options =
+        { (Option.value params.polish ~default:params.options) with
+          Config_solver.window_scope = Config_solver.Skip; memo }
+      in
+      match Config_solver.solve ~options:floor_options ~obs ~pool rebased
+              likelihood with
+      | Ok floor -> Some floor
+      | Error _ -> None
+    end
+    else None
+  in
+  let finish ~refit_cost ~seed_cost ~rounds best =
+    Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
+      (cost_dollars best);
+    Some
+      { best;
+        evaluations = state.Reconfigure.evaluations;
+        refit_rounds_run = rounds;
+        improved_by_refit = Money.compare refit_cost seed_cost < 0;
+        greedy_cost = seed_cost;
+        raced_off = false }
+  in
+  let outcome =
+  if Int_set.is_empty dirty_set then
+    (* Nothing changed (or only prices did): the floor is the answer. *)
+    Option.bind floor (fun best ->
+        finish ~refit_cost:(Candidate.cost best)
+          ~seed_cost:(Candidate.cost best) ~rounds:0 best)
+  else begin
+    Obs.stage obs ~evaluations:state.Reconfigure.evaluations "re-place";
+    let stripped =
+      Int_set.fold (fun id design -> Design.remove design id) dirty_set rebased
+    in
+    let dirty_apps =
+      List.filter (fun (a : App.t) -> Int_set.mem a.App.id dirty_set) apps
+    in
+    match greedy_from ~pool state params stripped dirty_apps with
+    | None ->
+      (* Could not re-place the dirty apps: fall back to the floor
+         (incumbent unchanged) rather than failing the fleet. *)
+      Option.bind floor (fun best ->
+          finish ~refit_cost:(Candidate.cost best)
+            ~seed_cost:(Candidate.cost best) ~rounds:0 best)
+    | Some seeded ->
+      Obs.incumbent obs ~evaluations:state.Reconfigure.evaluations
+        (cost_dollars seeded);
+      Obs.stage obs ~evaluations:state.Reconfigure.evaluations "refit";
+      let victims id = Int_set.mem id dirty_set in
+      let refined, rounds_run, _raced =
+        refit_loop ~victims ~pool state params seeded
+      in
+      let best = Candidate.better refined seeded in
+      let best =
+        match params.polish with
+        | None -> best
+        | Some polish_options ->
+          Obs.stage obs ~evaluations:state.Reconfigure.evaluations "polish";
+          Reconfigure.count_evaluation state;
+          let options =
+            { polish_options with
+              Config_solver.window_scope =
+                Config_solver.Only (Int_set.elements dirty_set);
+              memo }
+          in
+          (match
+             Obs.with_span obs "solver.polish" (fun () ->
+                 Config_solver.solve ~options ~obs ~pool best.Candidate.design
+                   likelihood)
+           with
+           | Ok polished -> Candidate.better polished best
+           | Error _ -> best)
+      in
+      (* The floor argument comes first: on a cost tie the incumbent's
+         bytes win, so an unimproved re-solve is churn-free. *)
+      let best = match floor with Some f -> Candidate.better f best | None -> best in
+      finish ~refit_cost:(Candidate.cost refined)
+        ~seed_cost:(Candidate.cost seeded) ~rounds:rounds_run best
+  end
+  in
+  mirror_memo_stats ();
+  outcome

@@ -112,3 +112,46 @@ val solve :
     into the recovery simulator. Instrumentation never touches the RNG: a
     fixed seed returns the identical design with observability on or off,
     and with the configuration cache on or off. *)
+
+val resolve :
+  ?params:params ->
+  ?obs:Ds_obs.Obs.t ->
+  ?rng:Ds_prng.Rng.t ->
+  ?memo:Config_solver.cache ->
+  incumbent:Ds_design.Design.t ->
+  dirty:App.id list ->
+  Env.t ->
+  App.t list ->
+  Likelihood.t ->
+  outcome option
+(** Warm-start re-solve from [incumbent] after the inputs drifted.
+
+    The incumbent is rebased onto the current [env]/[apps]
+    ({!Ds_design.Design.rebase}): assignments carry over by app id with
+    device models re-resolved by name, so a re-priced catalog entry
+    takes effect without moving anything. The effective dirty set is
+    [dirty] (ids absent from [apps] are ignored) plus any assignment
+    rebase could not carry plus any app with nothing to carry (new
+    arrivals). Only dirty apps are stripped and greedy-re-placed
+    (penalty-weighted, with stage-1 restarts), only they are eligible
+    refit victims, and the final polish re-opens windows for the dirty
+    set alone — untouched assignments are never rewritten, and the
+    evaluation bill scales with the dirty set, not the fleet size.
+
+    {b Anytime floor}: when the rebased incumbent still covers every
+    app, it is re-costed once under the current inputs (windows and
+    placement kept) and the result is never costlier than that floor —
+    on a cost tie the incumbent's bytes win, so an unimproved re-solve
+    (in particular one with an empty effective dirty set) returns a
+    byte-identical design. With new apps present the incumbent is
+    incomplete, not a candidate, and no floor applies. [None] only when
+    there is no floor and the dirty apps cannot be placed.
+
+    [outcome.greedy_cost] is the re-placement seed's cost (the floor's
+    when re-placement fell back to it); [raced_off] is always [false].
+
+    [memo] shares a configuration-solver cache across re-solves (the
+    fleet coordinator passes one per reconcile sequence); by default a
+    fresh cache of [params.config_cache_size] entries is used. Same
+    determinism contract as {!solve}: fixed seed, byte-identical at
+    every [params.domains]. *)

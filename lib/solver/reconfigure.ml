@@ -110,20 +110,33 @@ let assign_best ?(pool = Exec.sequential) state design app =
   end
 
 (* Victim selection: weight each assigned app by its burden (penalties +
-   outlay share), so expensive apps are reconfigured more often. *)
-let pick_victim state (candidate : Candidate.t) =
+   outlay share), so expensive apps are reconfigured more often.
+   [victims] restricts the draw to a subset of apps — the warm-start
+   path confines refit moves to the dirty set so untouched assignments
+   are never rewritten. Without the filter (or with an all-true one
+   over an unchanged design) the draw consumes the identical RNG
+   stream, so existing callers are byte-identical. *)
+let pick_victim ?victims state (candidate : Candidate.t) =
+  let eligible =
+    match victims with
+    | None -> Design.apps candidate.Candidate.design
+    | Some keep ->
+      List.filter (fun (app : App.t) -> keep app.App.id)
+        (Design.apps candidate.Candidate.design)
+  in
   let weights =
-    Design.apps candidate.Candidate.design
-    |> List.map (fun app ->
-        (app,
-         Money.to_dollars (Evaluate.app_burden candidate.Candidate.eval app.App.id)))
+    List.map
+      (fun app ->
+         (app,
+          Money.to_dollars (Evaluate.app_burden candidate.Candidate.eval app.App.id)))
+      eligible
   in
   match weights with
   | [] -> None
   | _ -> Some (Sample.weighted state.rng weights)
 
-let reconfigure state (candidate : Candidate.t) =
-  match pick_victim state candidate with
+let reconfigure ?victims state (candidate : Candidate.t) =
+  match pick_victim ?victims state candidate with
   | None -> None
   | Some app ->
     let stripped = Design.remove candidate.Candidate.design app.App.id in

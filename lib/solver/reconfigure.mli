@@ -78,7 +78,14 @@ val assign_best :
     (default sequential). Byte-identical at every pool width, and to
     the historical sequential implementation. *)
 
-val reconfigure : state -> Candidate.t -> Candidate.t option
+val reconfigure :
+  ?victims:(App.id -> bool) -> state -> Candidate.t -> Candidate.t option
 (** One design-graph edge: re-protect a burden-biased victim app with a
     cost-biased technique and a fresh biased layout. [None] when the move
-    fails to produce a feasible candidate. *)
+    fails to produce a feasible candidate (or no app passes the filter).
+
+    [victims] restricts the victim draw to the apps it accepts — the
+    warm-start path confines refit to the dirty set, leaving untouched
+    assignments untouched. Omitted (every assigned app eligible), the
+    RNG stream and results are byte-identical to the historical
+    unfiltered behavior. *)

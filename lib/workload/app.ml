@@ -43,6 +43,36 @@ let compare a b = Int.compare a.id b.id
 
 let equal a b = a.id = b.id
 
+(* Structural equality for drift detection: every field the solver or
+   cost model reads. [equal] stays id-only (assignment bookkeeping);
+   this is what the fleet coordinator uses to decide whether an app's
+   entry actually changed between re-solves. All the numeric fields are
+   plain floats underneath, so (=) on the record would work too — this
+   spells the fields out so a new field is a visible decision here. *)
+let same a b =
+  a.id = b.id && String.equal a.name b.name
+  && String.equal a.class_tag b.class_tag
+  && Money.equal a.outage_penalty_rate b.outage_penalty_rate
+  && Money.equal a.loss_penalty_rate b.loss_penalty_rate
+  && Size.equal a.data_size b.data_size
+  && Rate.equal a.avg_update_rate b.avg_update_rate
+  && Rate.equal a.peak_update_rate b.peak_update_rate
+  && Rate.equal a.unique_update_rate b.unique_update_rate
+  && Rate.equal a.avg_access_rate b.avg_access_rate
+
+(* Workload drift: intensity scaled by a positive factor. Penalty rates
+   and all four traffic rates scale together, so the constructor's
+   peak >= avg >= unique invariants are preserved by construction. *)
+let drift ?(factor = 2.) t =
+  if factor <= 0. then invalid_arg "App.drift: factor must be positive";
+  { t with
+    outage_penalty_rate = Money.scale factor t.outage_penalty_rate;
+    loss_penalty_rate = Money.scale factor t.loss_penalty_rate;
+    avg_update_rate = Rate.scale factor t.avg_update_rate;
+    peak_update_rate = Rate.scale factor t.peak_update_rate;
+    unique_update_rate = Rate.scale factor t.unique_update_rate;
+    avg_access_rate = Rate.scale factor t.avg_access_rate }
+
 let to_string t = Printf.sprintf "app#%d(%s:%s)" t.id t.class_tag t.name
 
 let pp ppf t =

@@ -60,6 +60,21 @@ val compare : t -> t -> int
 (** By id. *)
 
 val equal : t -> t -> bool
+(** By id — two revisions of the same app compare equal. Use {!same} to
+    detect workload drift. *)
+
+val same : t -> t -> bool
+(** Structural equality over every field (id, names, penalty rates,
+    size, all traffic rates). [same a b] implies the solver and cost
+    model cannot distinguish [a] from [b]; the fleet coordinator uses
+    the negation as its dirty test between re-solves. *)
+
+val drift : ?factor:float -> t -> t
+(** The same app with penalty and traffic rates scaled by [factor]
+    (default [2.]) — a workload-intensity change that keeps the
+    constructor's rate invariants by construction. Identity at
+    [factor = 1.]. @raise Invalid_argument when [factor <= 0]. *)
+
 val to_string : t -> string
 (** Same rendering as {!pp}, without the formatter machinery — used for
     recovery-job names on the simulator's metered hot path. *)

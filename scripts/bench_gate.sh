@@ -13,7 +13,7 @@
 #                   with real teeth; wall time carries wider slack.
 #
 # Plus the parallel-transparency economics: for each Exec head-to-head
-# (refit, year_sim, risk tail, sweep, portfolio) the parallel leg must
+# (refit, year_sim, risk tail, sweep, portfolio, fleet) the parallel leg must
 # not be slower than the sequential one (10% slack) — skipped with an
 # explicit notice when the run's own recorded nproc is < 2, where a
 # speedup is impossible by construction.
@@ -123,7 +123,7 @@ if [ "$nproc_run" -lt 2 ]; then
   echo "_Parallel <= sequential gates skipped: runner has ${nproc_run} core(s); a parallel speedup is impossible by construction._" >> "$summary"
   echo "bench_gate: skipping parallel gates (nproc=${nproc_run} < 2)"
 else
-  for pair in refit year_sim "risk tail" sweep portfolio; do
+  for pair in refit year_sim "risk tail" sweep portfolio fleet; do
     seq_s=$(jq -r --arg n "$pair sequential" \
       '[.sections[] | select(.name==$n) | .seconds][0] // empty' "$results")
     par_s=$(jq -r --arg n "$pair parallel" \

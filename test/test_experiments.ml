@@ -222,10 +222,62 @@ let report_tests =
          check_bool "renders infeasible" true (String.length s > 0);
          let pts =
            [ { E.Scalability.apps = 4; design_tool = Some (Money.m 1.);
-               random = None; human = None } ]
+               random = None; human = None; seconds = 0.5;
+               apps_per_sec = 8. } ]
          in
          let s = Format.asprintf "%a" (fun ppf () -> E.Report.figure4 ppf pts) () in
-         check_bool "figure4" true (String.length s > 0)) ]
+         check_bool "figure4" true (String.length s > 0);
+         let fleet_pts =
+           [ { E.Scalability.apps = 32; shards = 4; cost = Money.m 12.;
+               evaluations = 900; conflicts = 1; unplaced = 0;
+               seconds = 1.5; apps_per_sec = 21.3 } ]
+         in
+         let s =
+           Format.asprintf "%a" (fun ppf () -> E.Report.fleet_scale ppf fleet_pts)
+             ()
+         in
+         check_bool "fleet_scale" true (String.length s > 0)) ]
+
+let scalability_tests =
+  [ Alcotest.test_case "total_of raises on a missing arm" `Quick (fun () ->
+        (* A missing label is a harness bug, not an infeasible design:
+           it must fail loudly (it used to degrade to None and render as
+           "infeasible" in Figure 4). *)
+        let entries = [ { E.Compare.label = "human"; summary = None } ] in
+        check_bool "present arm, infeasible design" true
+          (E.Scalability.total_of entries "human" = None);
+        (match E.Scalability.total_of entries "design tool" with
+         | exception Invalid_argument msg ->
+           check_bool "names the missing label" true
+             (String.length msg > 0
+              && (let has sub =
+                    let n = String.length sub and m = String.length msg in
+                    let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+                    go 0
+                  in
+                  has "design tool" && has "human"))
+         | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "run reports wall time and throughput" `Slow (fun () ->
+        match E.Scalability.run ~budgets:tiny ~rounds:[ 1 ] () with
+        | [ p ] ->
+          check_int "four apps" 4 p.E.Scalability.apps;
+          check_bool "non-negative wall" true (p.E.Scalability.seconds >= 0.);
+          check_bool "throughput consistent" true
+            (p.E.Scalability.seconds = 0.
+             || Float.abs
+                  (p.E.Scalability.apps_per_sec
+                   -. (4. /. p.E.Scalability.seconds))
+                < 1e-6)
+        | other -> Alcotest.failf "expected one point, got %d" (List.length other));
+    Alcotest.test_case "run_fleet covers the pod axis" `Slow (fun () ->
+        match E.Scalability.run_fleet ~budgets:tiny ~apps_per_pod:2 ~pods:[ 2 ] () with
+        | [ p ] ->
+          check_int "four apps" 4 p.E.Scalability.apps;
+          check_int "one shard per pod" 2 p.E.Scalability.shards;
+          check_bool "positive cost" true (Money.to_dollars p.E.Scalability.cost > 0.);
+          check_bool "evaluations counted" true (p.E.Scalability.evaluations > 0);
+          check_int "nothing unplaced" 0 p.E.Scalability.unplaced
+        | other -> Alcotest.failf "expected one point, got %d" (List.length other)) ]
 
 let suites =
   [ ("experiments.envs", env_tests);
@@ -234,4 +286,5 @@ let suites =
     ("experiments.case_study", case_study_tests);
     ("experiments.sensitivity", sensitivity_tests);
     ("experiments.frontier", frontier_tests);
-    ("experiments.report", report_tests) ]
+    ("experiments.report", report_tests);
+    ("experiments.scalability", scalability_tests) ]

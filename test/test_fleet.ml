@@ -1,0 +1,295 @@
+(* Tests for the fleet coordinator: failure-domain discovery, stable
+   partitioning, environment restriction, incumbent rebase, and the
+   sharded solve/re-solve with its determinism and anytime-floor
+   contracts. *)
+
+open Dependable_storage
+module App = Workload.App
+module Env = Resources.Env
+module D = Design.Design
+module Likelihood = Failure.Likelihood
+module Money = Units.Money
+module Design_solver = Solver.Design_solver
+module E = Experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let likelihood = Likelihood.default
+
+(* Small per-shard budgets keep the fleet tests quick; the coordinator
+   paths under test (partition, merge, reconcile, reuse) do not depend
+   on search depth. *)
+let fast_params =
+  { Design_solver.default_params with
+    Design_solver.breadth = 2; depth = 2; refit_rounds = 1; patience = 1;
+    stage1_restarts = 2;
+    options =
+      { Solver.Config_solver.search_options with
+        Solver.Config_solver.max_growth_steps = 2 } }
+
+let fleet_env ~pods = E.Envs.fleet_sites ~pods ()
+let fleet_apps ~pods ~apps_per_pod = E.Envs.fleet_apps ~pods ~apps_per_pod
+
+let bytes (r : Fleet.t) = Design.Design_io.to_string r.Fleet.design
+
+let domain_tests =
+  [ Alcotest.test_case "pods are failure domains" `Quick (fun () ->
+        Alcotest.(check (list (list int)))
+          "two pods, sites in ascending order"
+          [ [ 1; 2; 3; 4 ]; [ 5; 6; 7; 8 ] ]
+          (Fleet.failure_domains (fleet_env ~pods:2)));
+    Alcotest.test_case "a fully connected env is one domain" `Quick (fun () ->
+        Alcotest.(check (list (list int))) "single component"
+          [ [ 1; 2; 3; 4 ] ]
+          (Fleet.failure_domains (Fixtures.quad_env ()))) ]
+
+let restrict_tests =
+  [ Alcotest.test_case "restrict keeps the chosen sites and their links"
+      `Quick (fun () ->
+          let env = fleet_env ~pods:2 in
+          let sub = Env.restrict env ~sites:[ 5; 6; 7; 8 ] in
+          Alcotest.(check (list int)) "sites kept" [ 5; 6; 7; 8 ]
+            (Env.site_ids sub);
+          (* The second pod is fully connected internally: 6 pairs. *)
+          check_int "internal links kept" 6 (List.length (Env.pairs sub)));
+    Alcotest.test_case "restrict renames the sub-environment" `Quick (fun () ->
+        (* Design fingerprints and memo keys identify an env by name, so
+           two different restrictions of one fleet env must never share
+           a name. *)
+        let env = fleet_env ~pods:2 in
+        let a = Env.restrict env ~sites:[ 1; 2; 3; 4 ] in
+        let b = Env.restrict env ~sites:[ 5; 6; 7; 8 ] in
+        check_bool "distinct names" true (a.Env.name <> b.Env.name));
+    Alcotest.test_case "restrict rejects unknown or empty site sets" `Quick
+      (fun () ->
+         let env = fleet_env ~pods:1 in
+         check_bool "unknown site" true
+           (match Env.restrict env ~sites:[ 9 ] with
+            | exception Invalid_argument _ -> true
+            | _ -> false);
+         check_bool "empty" true
+           (match Env.restrict env ~sites:[] with
+            | exception Invalid_argument _ -> true
+            | _ -> false)) ]
+
+let partition_tests =
+  [ Alcotest.test_case "default partition: one shard per failure domain"
+      `Quick (fun () ->
+          let env = fleet_env ~pods:2 in
+          let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+          let shards = Fleet.partition env apps in
+          check_int "two shards" 2 (List.length shards);
+          List.iteri
+            (fun i (s : Fleet.shard) ->
+               check_int "indexed in order" i s.Fleet.index;
+               List.iter
+                 (fun (a : App.t) ->
+                    check_int "id mod shards routes the app" i (a.App.id mod 2))
+                 s.Fleet.apps)
+            shards;
+          check_int "every app in exactly one shard"
+            (List.length apps)
+            (List.fold_left
+               (fun n (s : Fleet.shard) -> n + List.length s.Fleet.apps)
+               0 shards));
+    Alcotest.test_case "partition is stable under churn" `Quick (fun () ->
+        (* Adding an app must not reshuffle anyone else's shard — warm
+           reuse depends on untouched shards keeping identical app
+           lists. *)
+        let env = fleet_env ~pods:2 in
+        let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+        let arrival =
+          Workload.Workload_catalog.instantiate
+            Workload.Workload_catalog.web_service ~id:99
+        in
+        let more = fleet_apps ~pods:2 ~apps_per_pod:4 @ [ arrival ] in
+        let before = Fleet.partition env apps in
+        let after = Fleet.partition env more in
+        List.iter2
+          (fun (b : Fleet.shard) (a : Fleet.shard) ->
+             let ids (s : Fleet.shard) =
+               List.filter (fun id -> id <> 99)
+                 (List.map (fun (x : App.t) -> x.App.id) s.Fleet.apps)
+             in
+             Alcotest.(check (list int)) "same members (minus the arrival)"
+               (ids b) (ids a))
+          before after);
+    Alcotest.test_case "more shards than domains share sites" `Quick (fun () ->
+        let env = Fixtures.quad_env () in
+        let apps = fleet_apps ~pods:1 ~apps_per_pod:8 in
+        let shards = Fleet.partition ~shards:2 env apps in
+        check_int "two shards" 2 (List.length shards);
+        match shards with
+        | [ a; b ] ->
+          Alcotest.(check (list int)) "same domain" a.Fleet.sites b.Fleet.sites
+        | _ -> Alcotest.fail "expected two shards");
+    Alcotest.test_case "invalid shard counts are rejected" `Quick (fun () ->
+        check_bool "zero shards" true
+          (match Fleet.partition ~shards:0 (Fixtures.quad_env ()) [] with
+           | exception Invalid_argument _ -> true
+           | _ -> false)) ]
+
+let rebase_tests =
+  [ Alcotest.test_case "rebase onto identical inputs is the identity" `Quick
+      (fun () ->
+         let design = Fixtures.two_app_design () in
+         let apps = [ Fixtures.b_app; Fixtures.s_app ] in
+         let rebased, forced = D.rebase ~env:(Fixtures.peer_env ()) ~apps design in
+         check_bool "nothing forced" true (forced = []);
+         Alcotest.(check string) "same bytes"
+           (Design.Design_io.to_string design)
+           (Design.Design_io.to_string rebased));
+    Alcotest.test_case "rebase drops retired apps" `Quick (fun () ->
+        let design = Fixtures.two_app_design () in
+        let rebased, forced =
+          D.rebase ~env:(Fixtures.peer_env ()) ~apps:[ Fixtures.b_app ] design
+        in
+        check_bool "nothing forced" true (forced = []);
+        check_int "one assignment left" 1 (D.size rebased));
+    Alcotest.test_case "rebase swaps in the fresh app revision" `Quick
+      (fun () ->
+         let design = Fixtures.two_app_design () in
+         let drifted = App.drift ~factor:2. Fixtures.s_app in
+         let rebased, forced =
+           D.rebase ~env:(Fixtures.peer_env ())
+             ~apps:[ Fixtures.b_app; drifted ] design
+         in
+         check_bool "nothing forced" true (forced = []);
+         match
+           List.find_opt
+             (fun (a : Design.Assignment.t) ->
+                a.Design.Assignment.app.App.id = Fixtures.s_app.App.id)
+             (D.assignments rebased)
+         with
+         | Some asg ->
+           check_bool "carries the drifted revision" true
+             (App.same asg.Design.Assignment.app drifted)
+         | None -> Alcotest.fail "assignment lost in rebase") ]
+
+let dirty_tests =
+  [ Alcotest.test_case "dirty_between flags drift and arrivals only" `Quick
+      (fun () ->
+         let apps = fleet_apps ~pods:2 ~apps_per_pod:2 in
+         Alcotest.(check (list int)) "identical lists are clean" []
+           (Fleet.dirty_between ~previous:apps apps);
+         let drifted =
+           List.map
+             (fun (a : App.t) -> if a.App.id = 2 then App.drift ~factor:2. a else a)
+             apps
+         in
+         Alcotest.(check (list int)) "drift flagged" [ 2 ]
+           (Fleet.dirty_between ~previous:apps drifted);
+         let arrival =
+           Workload.Workload_catalog.instantiate
+             Workload.Workload_catalog.web_service ~id:42
+         in
+         Alcotest.(check (list int)) "arrival flagged" [ 42 ]
+           (Fleet.dirty_between ~previous:apps (apps @ [ arrival ]));
+         Alcotest.(check (list int)) "retirement is not dirty" []
+           (Fleet.dirty_between ~previous:apps (List.tl apps))) ]
+
+let solve_tests =
+  [ Alcotest.test_case "fleet solve places every app across pods" `Slow
+      (fun () ->
+         let env = fleet_env ~pods:2 in
+         let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+         let r = Fleet.solve ~params:fast_params env apps likelihood in
+         check_int "all placed" (List.length apps) (D.size r.Fleet.design);
+         check_bool "no unplaced" true (r.Fleet.unplaced = []);
+         check_int "one shard per pod" 2 (List.length r.Fleet.shard_results);
+         check_bool "positive cost" true (Money.to_dollars r.Fleet.cost > 0.);
+         check_bool "evaluations counted" true (r.Fleet.evaluations > 0);
+         (* Disjoint pods, clean merge: the fleet cost must equal one
+            global evaluation of the merged design (separability). *)
+         match Cost.Evaluate.design r.Fleet.design likelihood with
+         | Ok eval ->
+           Alcotest.(check (float 1.)) "separable cost"
+             (Money.to_dollars (Cost.Summary.total eval.Cost.Evaluate.summary))
+             (Money.to_dollars r.Fleet.cost)
+         | Error _ -> Alcotest.fail "merged design infeasible");
+    Alcotest.test_case "fleet solve is byte-identical at 1/2/4/test domains"
+      `Slow (fun () ->
+          let env = fleet_env ~pods:2 in
+          let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+          let run domains =
+            let r =
+              Fleet.solve
+                ~params:{ fast_params with Design_solver.domains } env apps
+                likelihood
+            in
+            (bytes r, r.Fleet.evaluations)
+          in
+          let reference = run 1 in
+          List.iter
+            (fun domains ->
+               Alcotest.(check (pair string int))
+                 (Printf.sprintf "same at %d domains" domains) reference
+                 (run domains))
+            [ 2; 4; Fixtures.test_domains ]);
+    Alcotest.test_case "contending shards reconcile on shared sites" `Slow
+      (fun () ->
+         (* Two shards over one quad domain: both solve against the full
+            site set, so the merge must arbitrate slot/model clashes and
+            over-subscription. Every app still ends up placed or is
+            reported unplaced — never silently dropped. *)
+         let env = Fixtures.quad_env () in
+         let apps = fleet_apps ~pods:1 ~apps_per_pod:8 in
+         let r = Fleet.solve ~params:fast_params ~shards:2 env apps likelihood in
+         check_int "placed + unplaced covers the fleet" (List.length apps)
+           (D.size r.Fleet.design + List.length r.Fleet.unplaced);
+         check_bool "cost positive" true (Money.to_dollars r.Fleet.cost > 0.)) ]
+
+let resolve_tests =
+  [ Alcotest.test_case "unchanged fleet reuses every shard" `Slow (fun () ->
+        let env = fleet_env ~pods:2 in
+        let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+        let cold = Fleet.solve ~params:fast_params env apps likelihood in
+        let warm =
+          Fleet.resolve ~params:fast_params ~incumbent:cold env apps likelihood
+        in
+        check_int "all shards reused" 2
+          (List.length (List.filter (fun r -> r.Fleet.reused) warm.Fleet.shard_results));
+        check_int "zero evaluations" 0 warm.Fleet.evaluations;
+        Alcotest.(check string) "byte-identical design" (bytes cold) (bytes warm));
+    Alcotest.test_case "drift re-solves only the dirty shard" `Slow (fun () ->
+        let env = fleet_env ~pods:2 in
+        let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+        let cold = Fleet.solve ~params:fast_params env apps likelihood in
+        let drifted =
+          List.map
+            (fun (a : App.t) -> if a.App.id = 3 then App.drift ~factor:2. a else a)
+            apps
+        in
+        let warm =
+          Fleet.resolve ~params:fast_params ~incumbent:cold env drifted
+            likelihood
+        in
+        check_int "one shard re-solved" 1
+          (List.length
+             (List.filter (fun r -> not r.Fleet.reused) warm.Fleet.shard_results));
+        check_int "every app still placed" (List.length apps)
+          (D.size warm.Fleet.design);
+        check_bool "fewer evaluations than cold" true
+          (warm.Fleet.evaluations < cold.Fleet.evaluations));
+    Alcotest.test_case "forced-dirty re-solve never costs more than the \
+                        incumbent" `Slow (fun () ->
+        let env = fleet_env ~pods:2 in
+        let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+        let cold = Fleet.solve ~params:fast_params env apps likelihood in
+        let warm =
+          Fleet.resolve ~params:fast_params ~dirty:[ 1 ] ~incumbent:cold env
+            apps likelihood
+        in
+        check_bool "anytime floor" true
+          (Money.to_dollars warm.Fleet.cost
+           <= Money.to_dollars cold.Fleet.cost +. 1e-6)) ]
+
+let suites =
+  [ ("fleet.domains", domain_tests);
+    ("fleet.restrict", restrict_tests);
+    ("fleet.partition", partition_tests);
+    ("fleet.rebase", rebase_tests);
+    ("fleet.dirty", dirty_tests);
+    ("fleet.solve", solve_tests);
+    ("fleet.resolve", resolve_tests) ]

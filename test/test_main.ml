@@ -14,6 +14,7 @@ let () =
          Test_recovery.suites;
          Test_cost.suites;
          Test_solver.suites;
+         Test_fleet.suites;
          Test_search.suites;
          Test_heuristics.suites;
          Test_experiments.suites;

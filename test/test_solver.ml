@@ -417,6 +417,103 @@ let design_solver_tests =
          | None -> Alcotest.fail "no feasible design") ]
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start re-solve                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_tests =
+  let cold () =
+    match
+      Design_solver.solve ~params:fast_params (Fixtures.peer_env ())
+        (peer_apps ()) likelihood
+    with
+    | Some o -> o
+    | None -> Alcotest.fail "cold solve found no design"
+  in
+  let bytes d = Design.Design_io.to_string d in
+  [ Alcotest.test_case "empty dirty set is a byte-identical no-op" `Slow
+      (fun () ->
+         (* Nothing drifted and nothing is dirty: the anytime floor is
+            the incumbent itself and ties keep its bytes, so the
+            re-solve must return the incumbent unchanged. *)
+         let incumbent = (cold ()).Design_solver.best.Candidate.design in
+         match
+           Design_solver.resolve ~params:fast_params ~incumbent ~dirty:[]
+             (Fixtures.peer_env ()) (peer_apps ()) likelihood
+         with
+         | Some o ->
+           Alcotest.(check string) "same bytes" (bytes incumbent)
+             (bytes o.Design_solver.best.Candidate.design)
+         | None -> Alcotest.fail "resolve failed");
+    Alcotest.test_case "forced-dirty re-solve never returns a costlier design"
+      `Slow (fun () ->
+          let outcome = cold () in
+          let incumbent = outcome.Design_solver.best.Candidate.design in
+          match
+            Design_solver.resolve ~params:fast_params ~incumbent ~dirty:[ 3 ]
+              (Fixtures.peer_env ()) (peer_apps ()) likelihood
+          with
+          | Some o ->
+            check_bool "never above the incumbent" true
+              Money.(Candidate.cost o.Design_solver.best
+                     <= Candidate.cost outcome.Design_solver.best)
+          | None -> Alcotest.fail "resolve failed");
+    Alcotest.test_case "single-app drift re-solves only the dirty app" `Slow
+      (fun () ->
+         let outcome = cold () in
+         let incumbent = outcome.Design_solver.best.Candidate.design in
+         let drifted =
+           List.map
+             (fun (a : App.t) -> if a.App.id = 3 then App.drift ~factor:4. a else a)
+             (peer_apps ())
+         in
+         match
+           Design_solver.resolve ~params:fast_params ~incumbent ~dirty:[ 3 ]
+             (Fixtures.peer_env ()) drifted likelihood
+         with
+         | Some o ->
+           check_int "every app still placed" 8
+             (D.size o.Design_solver.best.Candidate.design);
+           check_bool "cheaper than a cold solve of the whole fleet" true
+             (o.Design_solver.evaluations < outcome.Design_solver.evaluations)
+         | None -> Alcotest.fail "resolve failed");
+    Alcotest.test_case "new arrivals join the dirty set" `Slow (fun () ->
+        let apps = peer_apps () in
+        let seven = List.filteri (fun i _ -> i < 7) apps in
+        let incumbent =
+          match
+            Design_solver.solve ~params:fast_params (Fixtures.peer_env ())
+              seven likelihood
+          with
+          | Some o -> o.Design_solver.best.Candidate.design
+          | None -> Alcotest.fail "cold solve found no design"
+        in
+        match
+          Design_solver.resolve ~params:fast_params ~incumbent ~dirty:[]
+            (Fixtures.peer_env ()) apps likelihood
+        with
+        | Some o ->
+          check_int "arrival placed" 8 (D.size o.Design_solver.best.Candidate.design)
+        | None -> Alcotest.fail "resolve failed");
+    Alcotest.test_case "resolve is byte-identical at 1 and 4 domains" `Slow
+      (fun () ->
+         let incumbent = (cold ()).Design_solver.best.Candidate.design in
+         let drifted =
+           List.map
+             (fun (a : App.t) -> if a.App.id = 2 then App.drift ~factor:3. a else a)
+             (peer_apps ())
+         in
+         let run domains =
+           Design_solver.resolve
+             ~params:{ fast_params with Design_solver.domains } ~incumbent
+             ~dirty:[ 2 ] (Fixtures.peer_env ()) drifted likelihood
+           |> Option.map (fun o ->
+               (bytes o.Design_solver.best.Candidate.design,
+                o.Design_solver.evaluations))
+         in
+         Alcotest.(check (option (pair string int)))
+           "same design text and evaluation count" (run 1) (run 4)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Memo: the bounded LRU behind the configuration-solver cache          *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,5 +703,6 @@ let suites =
     ("solver.config", config_tests);
     ("solver.reconfigure", reconfigure_tests);
     ("solver.design_solver", design_solver_tests);
+    ("solver.resolve", resolve_tests);
     ("solver.memo", memo_tests);
     ("solver.fingerprint", fingerprint_tests) ]
