@@ -112,7 +112,7 @@ let write_results ~total () =
       (fun k -> Sys.getenv_opt k = Some "1")
       [ "DS_BENCH_ONLY_CACHE"; "DS_BENCH_ONLY_PARALLEL"; "DS_BENCH_ONLY_EXEC";
         "DS_BENCH_ONLY_PORTFOLIO"; "DS_BENCH_ONLY_TAIL";
-        "DS_BENCH_ONLY_FLEET" ]
+        "DS_BENCH_ONLY_FLEET"; "DS_BENCH_ONLY_SERVE" ]
   in
   Buffer.add_string buf
     (Printf.sprintf "\"nproc\":%d,\"ocaml\":\"%s\",\"only\":%s,"
@@ -664,6 +664,113 @@ let fleet_speedup () =
     (seconds "fleet warm drift")
 
 (* ------------------------------------------------------------------ *)
+(* dstool server round trips                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon on an ephemeral port, sharing the harness
+   metrics registry, driven by one closed-loop client. The same quick
+   solve is issued twice: request #2 must beat request #1 (it runs
+   against the resident configuration cache) and both must return the
+   design a direct in-process solve produces, byte for byte — the
+   service determinism contract (DESIGN.md §16). scripts/bench_gate.sh
+   gates "serve warm solve" <= "serve cold solve". *)
+let serve_roundtrips () =
+  section "dstool serve (cold vs warm round trips)";
+  let registry =
+    match Obs.metrics obs with Some r -> r | None -> Obs.Metrics.create ()
+  in
+  let d =
+    Server.Daemon.create ~registry
+      { Server.Daemon.default_config with Server.Daemon.port = 0 }
+  in
+  let server = Thread.create (fun () -> Server.Daemon.run d) () in
+  let c = Server.Client.connect ~port:(Server.Daemon.port d) () in
+  let params =
+    Server.Json.Obj
+      [ ("budget", Server.Json.Str "quick"); ("seed", Server.Json.Num 42.) ]
+  in
+  let design_of label = function
+    | Ok r ->
+      Option.get
+        (Option.bind (Server.Json.member "design" r) Server.Json.str_opt)
+    | Error msg ->
+      prerr_endline (Printf.sprintf "FATAL: %s failed: %s" label msg);
+      exit 1
+  in
+  let solve label =
+    design_of label
+      (timed label (fun () -> Server.Client.call c ~method_:"solve" params))
+  in
+  let cold = solve "serve cold solve" in
+  let warm = solve "serve warm solve" in
+  (* Closed-loop warm round trips: the steady-state service rate. *)
+  let lat = Obs.Metrics.histogram registry "serve.client_round_trip_s" in
+  let rounds = 16 in
+  let t0 = Obs.Metrics.now_s () in
+  for _ = 1 to rounds do
+    ignore
+      (design_of "serve steady-state solve"
+         (Obs.Metrics.time lat (fun () ->
+              Server.Client.call c ~method_:"solve" params)))
+  done;
+  let dt = Obs.Metrics.now_s () -. t0 in
+  let rps = float_of_int rounds /. dt in
+  Obs.Metrics.set (Obs.Metrics.gauge registry "serve.warm_rps") rps;
+  let hits =
+    match Server.Client.call c ~method_:"metrics" (Server.Json.Obj []) with
+    | Ok m ->
+      Option.value ~default:0.
+        (Option.bind
+           (Server.Json.member "config.cache_hits" m)
+           Server.Json.num_opt)
+    | Error _ -> 0.
+  in
+  ignore (Server.Client.call c ~method_:"shutdown" (Server.Json.Obj []));
+  Server.Client.close c;
+  Thread.join server;
+  let direct =
+    let budget = E.Budgets.with_seed E.Budgets.quick 42 in
+    match
+      Design_solver.solve ~params:budget.E.Budgets.solver
+        (E.Envs.peer_sites ()) (E.Envs.peer_apps ()) Likelihood.default
+    with
+    | Some o ->
+      Design.Design_io.to_string o.Design_solver.best.Solver.Candidate.design
+    | None ->
+      prerr_endline "FATAL: direct solve found no design";
+      exit 1
+  in
+  if cold <> direct || warm <> direct then begin
+    prerr_endline
+      "FATAL: server designs are not byte-identical to a direct solve";
+    exit 1
+  end;
+  if hits <= 0. then begin
+    prerr_endline
+      "FATAL: a repeated identical request missed the resident config cache";
+    exit 1
+  end;
+  let seconds label = List.assoc label !sections in
+  let cold_s = seconds "serve cold solve" in
+  let warm_s = seconds "serve warm solve" in
+  if warm_s >= cold_s then begin
+    prerr_endline
+      (Printf.sprintf
+         "FATAL: warm server request (%.3fs) not faster than cold (%.3fs) \
+          despite %d resident-cache hits"
+         warm_s cold_s (int_of_float hits));
+    exit 1
+  end;
+  Format.fprintf fmt
+    "round trips: cold %.3fs, warm %.3fs (%.1fx); steady state %.1f req/s \
+     (p50 %.1f ms, p99 %.1f ms over %d warm requests); designs \
+     byte-identical to a direct solve, %d resident-cache hits@."
+    cold_s warm_s (cold_s /. warm_s) rps
+    (1e3 *. Obs.Metrics.percentile lat 0.5)
+    (1e3 *. Obs.Metrics.percentile lat 0.99)
+    rounds (int_of_float hits)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -782,6 +889,13 @@ let () =
     write_results ~total:(Obs.Metrics.now_s () -. t0) ();
     exit 0
   end;
+  (* And for the server round trips. *)
+  if Sys.getenv_opt "DS_BENCH_ONLY_SERVE" = Some "1" then begin
+    let t0 = Obs.Metrics.now_s () in
+    serve_roundtrips ();
+    write_results ~total:(Obs.Metrics.now_s () -. t0) ();
+    exit 0
+  end;
   Format.fprintf fmt "dependable-storage reproduction harness@.";
   Format.fprintf fmt "budget: %s, figure-2 samples: %d%s@."
     (match Sys.getenv_opt "DS_BENCH_BUDGET" with Some b -> b | None -> "default")
@@ -807,6 +921,7 @@ let () =
   sweep_speedup ();
   portfolio_speedup ();
   fleet_speedup ();
+  serve_roundtrips ();
   timed "microbenchmarks" bechamel_suite;
   let total = Obs.Metrics.now_s () -. t0 in
   Format.fprintf fmt "@.total harness time: %.1fs@." total;

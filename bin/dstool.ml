@@ -1155,6 +1155,117 @@ let trace_cmd =
                $ float_opt "scale" 1. "Scale factor for the derived app."))
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let port_term =
+  Arg.(value & opt int Server.Daemon.default_config.Server.Daemon.port
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port (default 7411; 0 picks an ephemeral port).")
+
+let host_term =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"Bind / connect address.")
+
+let serve_cmd =
+  let concurrency_term =
+    Arg.(value & opt int 2
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Worker threads serving heavy requests (solve, \
+                   resolve, fleet, risk) concurrently.")
+  in
+  let queue_term =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission-queue depth: heavy requests beyond N \
+                   waiting are rejected with the $(i,overloaded) error \
+                   instead of queuing unboundedly.")
+  in
+  let cache_size_term =
+    Arg.(value & opt int 4096
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Resident configuration-cache capacity, shared across \
+                   requests (resizable at runtime via the \
+                   $(i,cache_resize) method).")
+  in
+  let run host port concurrency queue budget_evals domains cache_size =
+    let config =
+      { Server.Daemon.host; port; concurrency; queue_depth = queue;
+        budget_evals; cache_capacity = cache_size; domains }
+    in
+    match Server.Daemon.create config with
+    | exception Unix.Unix_error (e, _, _) ->
+      `Error
+        (false,
+         Printf.sprintf "cannot listen on %s:%d: %s" host port
+           (Unix.error_message e))
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | daemon ->
+      (* Flushed before serving so scripts (CI smoke, tests) can wait
+         for the line and read the ephemeral port out of it. *)
+      Format.fprintf fmt "dstool server listening on %s:%d@." host
+        (Server.Daemon.port daemon);
+      Server.Daemon.run daemon;
+      Format.fprintf fmt "dstool server drained, exiting@.";
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the design tool as a long-running JSON-RPC service: a \
+             resident solver pool and configuration cache serve solve / \
+             resolve / risk / fleet / metrics requests over \
+             newline-delimited JSON-RPC 2.0 on TCP until a shutdown \
+             request drains it.")
+    Term.(ret (const run $ host_term $ port_term $ concurrency_term
+               $ queue_term $ budget_evals_term $ domains_term
+               $ cache_size_term))
+
+let client_cmd =
+  let method_term =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"METHOD"
+             ~doc:"RPC method: solve, resolve, fleet, risk, metrics, \
+                   health, cache_resize or shutdown.")
+  in
+  let params_term =
+    Arg.(value & pos 1 string "{}"
+         & info [] ~docv:"PARAMS"
+             ~doc:"Request parameters as a JSON object (default {}).")
+  in
+  let run host port method_ params =
+    match Server.Json.of_string params with
+    | Error msg -> `Error (false, "PARAMS: " ^ msg)
+    | Ok params ->
+      (match Server.Client.connect ~host ~port () with
+       | exception Unix.Unix_error (e, _, _) ->
+         `Error
+           (false,
+            Printf.sprintf "cannot connect to %s:%d: %s" host port
+              (Unix.error_message e))
+       | client ->
+         let result =
+           Server.Client.call
+             ~on_note:(fun ~method_ params ->
+               Format.fprintf fmt "note %s: %s@." method_
+                 (Server.Json.to_string params))
+             client ~method_ params
+         in
+         Server.Client.close client;
+         (match result with
+          | Ok v ->
+            Format.fprintf fmt "%s@." (Server.Json.to_string v);
+            `Ok ()
+          | Error msg -> `Error (false, msg)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one JSON-RPC request to a running $(b,dstool serve) \
+             and print the result (progress notifications stream to \
+             stdout as they arrive).")
+    Term.(ret (const run $ host_term $ port_term $ method_term
+               $ params_term))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "automated design of dependable storage solutions (DSN'06)" in
@@ -1162,6 +1273,6 @@ let main =
     (Cmd.info "dstool" ~version:"1.0.0" ~doc)
     [ catalogs_cmd; solve_cmd; audit_cmd; compare_cmd; sample_cmd; scale_cmd;
       fleet_cmd; sensitivity_cmd; ablate_cmd; risk_cmd; frontier_cmd;
-      profile_cmd; trace_cmd; diff_cmd ]
+      profile_cmd; trace_cmd; diff_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

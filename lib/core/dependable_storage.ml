@@ -161,3 +161,15 @@ module Obs = Ds_obs.Obs
     default everywhere is the cost-free noop sink. *)
 
 module Experiments = Ds_experiments
+
+module Server = struct
+  module Json = Ds_server.Json
+  module Protocol = Ds_server.Protocol
+  module Daemon = Ds_server.Daemon
+  module Client = Ds_server.Client
+end
+(** The design tool as a long-running service: [Server.Daemon] serves
+    solve / resolve / risk / fleet requests over newline-delimited
+    JSON-RPC on TCP with a resident pool and configuration cache;
+    [Server.Client] is the matching blocking client ([dstool serve] /
+    [dstool client]). See DESIGN.md §16. *)

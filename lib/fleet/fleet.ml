@@ -374,8 +374,20 @@ let resolve ?(params = Design_solver.default_params)
              List.filter (fun id -> Int_set.mem id dirty_set)
                (ids_of shard.apps)
            in
+           (* Catalog drift is checked before the (deep) structural env
+              comparison: a repriced model with an unchanged name is a
+              structural difference too, but the explicit revision gives
+              an O(1) answer plus a dedicated counter, so operators can
+              tell "shards re-solved because pricing moved" apart from
+              topology edits. *)
+           let catalog_drift =
+             shard.env.Env.catalog_revision
+             <> prev.shard.env.Env.catalog_revision
+           in
+           if catalog_drift then Obs.incr obs "fleet.catalog_drift";
            let untouched =
              shard_dirty = []
+             && (not catalog_drift)
              && List.equal Int.equal (ids_of shard.apps)
                   (ids_of prev.shard.apps)
              && shard.env = prev.shard.env

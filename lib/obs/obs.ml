@@ -17,6 +17,12 @@ let create ?(metrics = false) ?(trace = false) ?(progress = false) () =
     trace = (if trace then Some (Trace.create ()) else None);
     progress = (if progress then Some (Progress.create ()) else None) }
 
+(* [create] makes fresh sinks; [attach] wraps existing ones. The server
+   hands every request the same resident metrics registry but its own
+   progress stream, which [create]'s fresh-registry-per-capability shape
+   cannot express. *)
+let attach ?metrics ?trace ?progress () = { metrics; trace; progress }
+
 let metrics t = t.metrics
 let trace t = t.trace
 let progress t = t.progress

@@ -27,6 +27,16 @@ val create : ?metrics:bool -> ?trace:bool -> ?progress:bool -> unit -> t
 (** Enable the requested sinks (all default to [false];
     [create ()] is an all-off capability equivalent to {!noop}). *)
 
+val attach :
+  ?metrics:Metrics.registry ->
+  ?trace:Trace.collector ->
+  ?progress:Progress.stream ->
+  unit -> t
+(** A capability wrapping {e existing} sinks instead of fresh ones — a
+    long-running server hands every request the same resident metrics
+    registry while giving each its own progress stream, a mix {!create}
+    cannot express. Omitted sinks stay off. *)
+
 val metrics : t -> Metrics.registry option
 val trace : t -> Trace.collector option
 val progress : t -> Progress.stream option

@@ -17,6 +17,7 @@ type entry = {
    whatever the schedule produced; events within one arm stay ordered. *)
 type stream = {
   lock : Mutex.t;
+  on_event : (entry -> unit) option;
   mutable rev_entries : entry list;
   mutable best : float option;
   mutable portfolio_best : float option;
@@ -24,55 +25,75 @@ type stream = {
   mutable rejected : int;
 }
 
-let create () =
-  { lock = Mutex.create (); rev_entries = []; best = None;
+let create ?on_event () =
+  { lock = Mutex.create (); on_event; rev_entries = []; best = None;
     portfolio_best = None; accepted = 0; rejected = 0 }
 
 let push s evaluations event =
-  s.rev_entries <- { evaluations; event } :: s.rev_entries
+  let e = { evaluations; event } in
+  s.rev_entries <- e :: s.rev_entries;
+  Some e
+
+(* The hook fires outside the stream lock: a subscriber that blocks (a
+   server flushing the event down a socket) must not stall concurrent
+   recorders, and a hook that reads the stream back must not deadlock.
+   Events recorded by concurrent recorders may therefore reach the hook
+   in an order that differs from the recorded one; one recorder's own
+   events arrive in order only when its calls do not race. *)
+let notify s = function
+  | Some e -> (match s.on_event with Some f -> f e | None -> ())
+  | None -> ()
 
 let stage s ~evaluations name =
-  Mutex.protect s.lock (fun () -> push s evaluations (Stage name))
+  notify s (Mutex.protect s.lock (fun () -> push s evaluations (Stage name)))
 
 let incumbent s ~evaluations cost =
-  Mutex.protect s.lock @@ fun () ->
-  let improves =
-    match s.best with None -> true | Some best -> cost < best
-  in
-  if improves then begin
-    s.best <- Some cost;
-    push s evaluations (Incumbent cost)
-  end
+  notify s
+    (Mutex.protect s.lock @@ fun () ->
+     let improves =
+       match s.best with None -> true | Some best -> cost < best
+     in
+     if improves then begin
+       s.best <- Some cost;
+       push s evaluations (Incumbent cost)
+     end
+     else None)
 
 (* Tracked separately from [best]: the solver-level incumbent stream and
    the portfolio-level one can interleave (each restart's solver records
    its own incumbents), and the portfolio line must stay monotone on its
    own axis. *)
 let portfolio_incumbent s ~evaluations ~restart cost =
-  Mutex.protect s.lock @@ fun () ->
-  let improves =
-    match s.portfolio_best with None -> true | Some best -> cost < best
-  in
-  if improves then begin
-    s.portfolio_best <- Some cost;
-    push s evaluations (Portfolio { restart; cost })
-  end
+  notify s
+    (Mutex.protect s.lock @@ fun () ->
+     let improves =
+       match s.portfolio_best with None -> true | Some best -> cost < best
+     in
+     if improves then begin
+       s.portfolio_best <- Some cost;
+       push s evaluations (Portfolio { restart; cost })
+     end
+     else None)
 
 (* Shard completions are reported unconditionally (not incumbent-gated):
    the fleet coordinator emits one per shard in index order after the
    parallel join, and the stream is the record of which shard cost what. *)
 let shard_done s ~evaluations ~shard cost =
-  Mutex.protect s.lock (fun () -> push s evaluations (Shard { shard; cost }))
+  notify s
+    (Mutex.protect s.lock (fun () ->
+         push s evaluations (Shard { shard; cost })))
 
 let accepted s ~evaluations =
-  Mutex.protect s.lock @@ fun () ->
-  s.accepted <- s.accepted + 1;
-  push s evaluations Accepted
+  notify s
+    (Mutex.protect s.lock @@ fun () ->
+     s.accepted <- s.accepted + 1;
+     push s evaluations Accepted)
 
 let rejected s ~evaluations =
-  Mutex.protect s.lock @@ fun () ->
-  s.rejected <- s.rejected + 1;
-  push s evaluations Rejected
+  notify s
+    (Mutex.protect s.lock @@ fun () ->
+     s.rejected <- s.rejected + 1;
+     push s evaluations Rejected)
 
 let entries s = Mutex.protect s.lock (fun () -> List.rev s.rev_entries)
 let best s = Mutex.protect s.lock (fun () -> s.best)
@@ -80,24 +101,39 @@ let portfolio_best s = Mutex.protect s.lock (fun () -> s.portfolio_best)
 let accepted_count s = Mutex.protect s.lock (fun () -> s.accepted)
 let rejected_count s = Mutex.protect s.lock (fun () -> s.rejected)
 
+let csv_header = "evaluations,event,stage,cost\n"
+
+let csv_line e =
+  match e.event with
+  | Stage name -> Printf.sprintf "%d,stage,%s,\n" e.evaluations name
+  | Incumbent cost -> Printf.sprintf "%d,incumbent,,%.2f\n" e.evaluations cost
+  | Accepted -> Printf.sprintf "%d,accept,,\n" e.evaluations
+  | Rejected -> Printf.sprintf "%d,reject,,\n" e.evaluations
+  | Portfolio { restart; cost } ->
+    Printf.sprintf "%d,portfolio,%d,%.2f\n" e.evaluations restart cost
+  | Shard { shard; cost } ->
+    Printf.sprintf "%d,shard,%d,%.2f\n" e.evaluations shard cost
+
 let to_csv s =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "evaluations,event,stage,cost\n";
-  List.iter
-    (fun e ->
-       let line =
-         match e.event with
-         | Stage name -> Printf.sprintf "%d,stage,%s,\n" e.evaluations name
-         | Incumbent cost ->
-           Printf.sprintf "%d,incumbent,,%.2f\n" e.evaluations cost
-         | Accepted -> Printf.sprintf "%d,accept,,\n" e.evaluations
-         | Rejected -> Printf.sprintf "%d,reject,,\n" e.evaluations
-         | Portfolio { restart; cost } ->
-           Printf.sprintf "%d,portfolio,%d,%.2f\n" e.evaluations restart
-             cost
-         | Shard { shard; cost } ->
-           Printf.sprintf "%d,shard,%d,%.2f\n" e.evaluations shard cost
-       in
-       Buffer.add_string buf line)
-    (entries s);
+  Buffer.add_string buf csv_header;
+  List.iter (fun e -> Buffer.add_string buf (csv_line e)) (entries s);
   Buffer.contents buf
+
+(* Streaming writer: [to_csv] materializes the whole trajectory at the
+   end of a run, which is useless to a live observer — a server client
+   watching a long solve would see nothing until exit. This variant
+   writes the header now and one CSV line per event, flushing after
+   every write, so the reader side of a pipe or socket sees each event
+   before the producer finishes. The channel mutex serializes hooks
+   firing from concurrent recorder threads (the hook itself runs outside
+   the stream lock). *)
+let streaming oc =
+  let out_lock = Mutex.create () in
+  let write line =
+    Mutex.protect out_lock (fun () ->
+        output_string oc line;
+        flush oc)
+  in
+  write csv_header;
+  create ~on_event:(fun e -> write (csv_line e)) ()

@@ -29,7 +29,24 @@ type entry = {
 
 type stream
 
-val create : unit -> stream
+val create : ?on_event:(entry -> unit) -> unit -> stream
+(** [on_event] fires once per recorded entry (suppressed non-improving
+    incumbent samples never reach it), {e outside} the stream's lock: a
+    subscriber that blocks — a server flushing the event down a socket —
+    does not stall concurrent recorders, and a hook that reads the
+    stream back cannot deadlock. Consequently, events pushed by
+    {e concurrent} recorders may reach the hook in an order that differs
+    from the recorded one; a single recorder's events arrive in order.
+    The hook must not raise. *)
+
+val streaming : out_channel -> stream
+(** A stream whose events are also written to [oc] as CSV — the
+    {!csv_header} immediately, then one {!csv_line} per event — with a
+    flush after every write, so the reader side of a pipe or socket sees
+    each event before the producer finishes (live progress for server
+    clients; [to_csv] only materializes at the end). Writes are
+    mutex-serialized across recorder threads. The channel stays open:
+    closing it is the caller's job, after the last recorder is done. *)
 
 val stage : stream -> evaluations:int -> string -> unit
 val incumbent : stream -> evaluations:int -> float -> unit
@@ -69,3 +86,10 @@ val to_csv : stream -> string
     rows, [cost] on incumbent rows. Portfolio rows put the restart index
     in the [stage] column and the new best cost in [cost]; shard rows do
     the same with the shard index. *)
+
+val csv_header : string
+(** The header line {!to_csv} starts with (newline-terminated). *)
+
+val csv_line : entry -> string
+(** One {!to_csv} row (newline-terminated) — the per-event unit the
+    {!streaming} writer flushes. *)

@@ -10,11 +10,12 @@ type t = {
   links : Slot.Pair.t list;
   compute_slots_per_site : int;
   max_sync_distance_km : float option;
+  catalog_revision : int;
 }
 
-let v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
-    ~tape_slots_per_site ~tape_models ~link_model ~max_link_units ~links
-    ~compute_slots_per_site () =
+let v ?max_sync_distance_km ?(catalog_revision = 0) ~name ~sites ~bays_per_site
+    ~array_models ~tape_slots_per_site ~tape_models ~link_model ~max_link_units
+    ~links ~compute_slots_per_site () =
   if sites = [] then invalid_arg "Env.v: no sites";
   if bays_per_site < 0 || tape_slots_per_site < 0 || compute_slots_per_site < 0
   then invalid_arg "Env.v: negative slot count";
@@ -32,16 +33,24 @@ let v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
     links;
   { name; sites; bays_per_site; array_models; tape_slots_per_site; tape_models;
     link_model; max_link_units; links; compute_slots_per_site;
-    max_sync_distance_km }
+    max_sync_distance_km; catalog_revision }
+
+(* Repricing helper: bump the revision whenever the device catalog's
+   economics change without any structural edit. Structural equality on
+   [t] already distinguishes repriced models, but the revision gives
+   fleet reuse checks (and their drift counters) an explicit, cheap
+   signal that survives past [Design.rebase]'s by-name model
+   re-resolution. *)
+let with_catalog_revision t catalog_revision = { t with catalog_revision }
 
 let make_sites ?(locations = []) site_count =
   List.init site_count (fun i ->
       Site.v ?location:(List.nth_opt locations i) ~id:(i + 1)
         ~name:(Printf.sprintf "S%d" (i + 1)) ())
 
-let fully_connected ?locations ?max_sync_distance_km ~name ~site_count
-    ~bays_per_site ~array_models ~tape_models ~link_model ~max_link_units
-    ~compute_slots_per_site () =
+let fully_connected ?locations ?max_sync_distance_km ?catalog_revision ~name
+    ~site_count ~bays_per_site ~array_models ~tape_models ~link_model
+    ~max_link_units ~compute_slots_per_site () =
   if site_count < 1 then invalid_arg "Env.fully_connected: need a site";
   let sites = make_sites ?locations site_count in
   let links =
@@ -51,21 +60,21 @@ let fully_connected ?locations ?max_sync_distance_km ~name ~site_count
           sites)
       sites
   in
-  v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
-    ~tape_slots_per_site:1 ~tape_models ~link_model ~max_link_units ~links
-    ~compute_slots_per_site ()
+  v ?max_sync_distance_km ?catalog_revision ~name ~sites ~bays_per_site
+    ~array_models ~tape_slots_per_site:1 ~tape_models ~link_model
+    ~max_link_units ~links ~compute_slots_per_site ()
 
-let chain ?locations ?max_sync_distance_km ~name ~site_count ~bays_per_site
-    ~array_models ~tape_models ~link_model ~max_link_units
+let chain ?locations ?max_sync_distance_km ?catalog_revision ~name ~site_count
+    ~bays_per_site ~array_models ~tape_models ~link_model ~max_link_units
     ~compute_slots_per_site () =
   if site_count < 1 then invalid_arg "Env.chain: need a site";
   let sites = make_sites ?locations site_count in
   let links =
     List.init (max 0 (site_count - 1)) (fun i -> Slot.Pair.v (i + 1) (i + 2))
   in
-  v ?max_sync_distance_km ~name ~sites ~bays_per_site ~array_models
-    ~tape_slots_per_site:1 ~tape_models ~link_model ~max_link_units ~links
-    ~compute_slots_per_site ()
+  v ?max_sync_distance_km ?catalog_revision ~name ~sites ~bays_per_site
+    ~array_models ~tape_slots_per_site:1 ~tape_models ~link_model
+    ~max_link_units ~links ~compute_slots_per_site ()
 
 let site_ids t = List.map (fun (s : Site.t) -> s.id) t.sites
 

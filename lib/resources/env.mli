@@ -22,10 +22,18 @@ type t = {
           deployments cap its distance. When set, sync-mirror assignments
           between located sites farther apart than this are rejected
           (asynchronous mirroring is unaffected). [None] = no cap. *)
+  catalog_revision : int;
+      (** Monotone version of the device catalog's economics (prices,
+          outlay splits). A repriced model with an unchanged name changes
+          the structural value but not the topology; bumping the revision
+          makes the change explicit and cheap to check, so fleet reuse
+          logic can count catalog drift without deep-comparing model
+          lists. Default 0. *)
 }
 
 val v :
   ?max_sync_distance_km:float ->
+  ?catalog_revision:int ->
   name:string ->
   sites:Site.t list ->
   bays_per_site:int ->
@@ -45,6 +53,7 @@ val v :
 val fully_connected :
   ?locations:(float * float) list ->
   ?max_sync_distance_km:float ->
+  ?catalog_revision:int ->
   name:string ->
   site_count:int ->
   bays_per_site:int ->
@@ -60,6 +69,7 @@ val fully_connected :
 val chain :
   ?locations:(float * float) list ->
   ?max_sync_distance_km:float ->
+  ?catalog_revision:int ->
   name:string ->
   site_count:int ->
   bays_per_site:int ->
@@ -73,6 +83,11 @@ val chain :
 (** Sites in a line — S1-S2-...-Sn, links only between neighbors. Models
     campus or metro topologies where only adjacent sites have dark fiber;
     mirrors can then only target a neighbor. *)
+
+val with_catalog_revision : t -> int -> t
+(** The same environment under a new catalog revision — pair with
+    repriced [array_models]/[tape_models] so fleet reuse checks see the
+    drift explicitly. *)
 
 val restrict : t -> sites:Site.id list -> t
 (** The sub-environment induced by the given sites: those sites, the

@@ -1,0 +1,64 @@
+(* Minimal blocking JSON-RPC client for the dstool server.
+
+   One request in flight at a time per connection: [call] writes the
+   request line, then reads server lines until the response carrying
+   the matching id arrives, handing any interleaved notifications
+   (progress events) to [on_note] along the way. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call ?on_note t ~method_ params =
+  let id = Json.Num (float_of_int t.next_id) in
+  t.next_id <- t.next_id + 1;
+  match
+    output_string t.oc (Protocol.request ~id ~method_ ~params);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception Sys_error msg -> Error ("write failed: " ^ msg)
+  | () ->
+    (* Ids are ours and sequential, so the first reply line with a
+       matching id is the answer; replies to other ids cannot occur on
+       a connection this client owns. *)
+    let rec await () =
+      match input_line t.ic with
+      | exception End_of_file -> Error "server closed the connection"
+      | exception Sys_error msg -> Error ("read failed: " ^ msg)
+      | line ->
+        (match Protocol.parse_incoming line with
+         | Error msg -> Error msg
+         | Ok (Protocol.Note { method_; params }) ->
+           (match on_note with
+            | Some f -> f ~method_ params
+            | None -> ());
+           await ()
+         | Ok (Protocol.Reply { id = rid; result }) ->
+           if rid = id then
+             match result with
+             | Ok v -> Ok v
+             | Error e -> Error (Format.asprintf "%a" Protocol.pp_rpc_error e)
+           else await ())
+    in
+    await ()

@@ -1,0 +1,26 @@
+(** Blocking JSON-RPC client for the dstool server (DESIGN.md §16).
+
+    One request in flight at a time per connection. Used by
+    [dstool client], the serve-smoke CI job and the bench harness's
+    closed-loop clients; tests drive the daemon through it too, so the
+    client exercises the same framing the server emits. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP connect (default host [127.0.0.1]).
+    @raise Unix.Unix_error when nothing listens there. *)
+
+val close : t -> unit
+
+val call :
+  ?on_note:(method_:string -> Json.t -> unit) ->
+  t ->
+  method_:string ->
+  Json.t ->
+  (Json.t, string) result
+(** Send one request and block until its response arrives.
+    Notifications interleaved before the response (progress events for
+    this request) are handed to [on_note] in arrival order; without the
+    callback they are discarded. [Error] carries the server's RPC error
+    rendered as text, or the transport failure. *)

@@ -1,0 +1,825 @@
+(* The design tool as a long-running service (DESIGN.md §16).
+
+   A one-shot [dstool] run pays the full setup bill every time: pool
+   creation, a cold configuration cache, a fresh metrics registry. The
+   daemon keeps all three resident and serves requests over
+   newline-delimited JSON-RPC 2.0 on TCP.
+
+   Threading (systhreads, not domains — request handling is mostly
+   waiting on the solver, whose own [Exec] pool provides the domain
+   parallelism):
+
+     - an accept loop on the calling thread, select()ing over the
+       listen socket and a self-pipe so [stop] can interrupt it;
+     - one reader thread per connection, answering cheap methods
+       (health / metrics / cache_resize / shutdown) inline and pushing
+       heavy ones (solve / resolve / fleet / risk / sleep) through the
+       bounded admission queue — a full queue answers [overloaded]
+       immediately rather than blocking the reader;
+     - [concurrency] worker threads draining the queue.
+
+   Shutdown drains: the phase moves Running -> Draining (stop
+   accepting, reject newly read heavy requests with [shutting_down],
+   finish everything admitted) -> Stopped (workers exit, connections
+   are shut down to wake their readers, [run] returns).
+
+   Determinism: every request carries its own seed and runs the same
+   machinery the CLI does. The shared memo cache is result-transparent
+   (identical keys map to identical values) and the resident pool is
+   pure scheduling, so a request's design is byte-identical whether
+   served alone, under concurrent load, or computed by [dstool solve]. *)
+
+module Metrics = Ds_obs.Metrics
+module Obs = Ds_obs.Obs
+module Progress = Ds_obs.Progress
+module Rng = Ds_prng.Rng
+module Env = Ds_resources.Env
+module App = Ds_workload.App
+module Workload_catalog = Ds_workload.Workload_catalog
+module Likelihood = Ds_failure.Likelihood
+module Design_io = Ds_design.Design_io
+module Provision = Ds_design.Provision
+module Summary = Ds_cost.Summary
+module Evaluate = Ds_cost.Evaluate
+module Candidate = Ds_solver.Candidate
+module Design_solver = Ds_solver.Design_solver
+module Config_solver = Ds_solver.Config_solver
+module Memo = Ds_solver.Memo
+module Search = Ds_search.Search
+module Fleet = Ds_fleet.Fleet
+module Year_sim = Ds_risk.Year_sim
+module Tail_sim = Ds_risk.Tail_sim
+module Exec = Ds_exec.Exec
+module Budgets = Ds_experiments.Budgets
+module Envs = Ds_experiments.Envs
+module Money = Ds_units.Money
+
+type config = {
+  host : string;
+  port : int;
+  concurrency : int;
+  queue_depth : int;
+  budget_evals : int option;
+  cache_capacity : int;
+  domains : int;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 7411;
+    concurrency = 2;
+    queue_depth = 16;
+    budget_evals = None;
+    cache_capacity = 4096;
+    domains = 1 }
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  out_lock : Mutex.t;
+  (* Checked under [out_lock] before every write, flipped before the fd
+     is closed: the kernel reuses descriptor numbers, so a worker still
+     holding a job for a dead connection must never write to the raw fd
+     again — it could be someone else's socket by then. *)
+  mutable alive : bool;
+}
+
+type job = {
+  j_conn : conn;
+  j_req : Protocol.request;
+  enqueued_at : float;
+}
+
+type phase = Running | Draining | Stopped
+
+type fleet_entry = {
+  mutable f_env : Env.t;
+  mutable f_apps : App.t list;
+  f_params : Design_solver.params;
+  f_likelihood : Likelihood.t;
+  mutable incumbent : Fleet.t;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  registry : Metrics.registry;
+  memo : Config_solver.cache;
+  pool : Exec.pool;
+  started_at : float;
+  lock : Mutex.t;
+  work : Condition.t;  (* workers wait for jobs *)
+  idle : Condition.t;  (* the drain waits for queue empty && inflight 0 *)
+  queue : job Queue.t;
+  mutable inflight : int;
+  mutable phase : phase;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  wake_r : Unix.file_descr;  (* self-pipe: [stop] interrupts the select *)
+  wake_w : Unix.file_descr;
+  fleets : (string, fleet_entry) Hashtbl.t;  (* guarded by [lock] *)
+}
+
+let port t = t.bound_port
+let registry t = t.registry
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ ->
+    (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+     with Not_found | Invalid_argument _ ->
+       invalid_arg (Printf.sprintf "Daemon.create: unknown host %S" host))
+
+let create ?registry config =
+  if config.concurrency < 1 then
+    invalid_arg "Daemon.create: concurrency must be positive";
+  if config.queue_depth < 1 then
+    invalid_arg "Daemon.create: queue_depth must be positive";
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (resolve_host config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  { config;
+    listen_fd;
+    bound_port;
+    registry;
+    memo = Config_solver.create_cache ~size:(max 1 config.cache_capacity) ();
+    pool = Exec.auto_width (Exec.create ~domains:(max 1 config.domains) ());
+    started_at = Metrics.now_s ();
+    lock = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    queue = Queue.create ();
+    inflight = 0;
+    phase = Running;
+    conns = [];
+    readers = [];
+    wake_r;
+    wake_w;
+    fleets = Hashtbl.create 8 }
+
+(* ---- Wire helpers ------------------------------------------------- *)
+
+let send conn line =
+  try
+    Mutex.protect conn.out_lock (fun () ->
+        if conn.alive then begin
+          output_string conn.oc line;
+          output_char conn.oc '\n';
+          flush conn.oc
+        end)
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let send_reply conn id = function
+  | Ok result -> send conn (Protocol.response ~id result)
+  | Error (code, message) ->
+    send conn (Protocol.error_response ~id ~code message)
+
+let observe_request t method_ ~since =
+  let dt = Metrics.now_s () -. since in
+  Metrics.observe (Metrics.histogram t.registry "server.request_s") dt;
+  Metrics.observe
+    (Metrics.histogram t.registry (Printf.sprintf "server.%s_s" method_))
+    dt
+
+(* ---- Request-parameter parsing ------------------------------------ *)
+
+let ( let* ) = Result.bind
+let bad msg = Error (Protocol.invalid_params, msg)
+let lift r = Result.map_error (fun m -> (Protocol.invalid_params, m)) r
+let int_json n = Json.Num (float_of_int n)
+let money_json m = Json.Num (Money.to_dollars m)
+
+(* Mirrors [dstool]'s --env/--apps resolution exactly: requests and CLI
+   runs describing the same problem must build the same Env/App values,
+   or the byte-identity contract is vacuous. *)
+let env_of params =
+  let* name = lift (Json.get_str ~default:"peer" "env" params) in
+  let apps = Option.bind (Json.member "apps" params) Json.int_opt in
+  match name with
+  | "peer" ->
+    let workloads =
+      match apps with
+      | None -> Envs.peer_apps ()
+      | Some n -> Workload_catalog.mix ~count:n
+    in
+    Ok (Envs.peer_sites (), workloads)
+  | "quad" ->
+    let n = Option.value ~default:16 apps in
+    Ok (Envs.quad_sites (), Workload_catalog.mix ~count:n)
+  | s -> bad (Printf.sprintf "unknown environment %S (peer|quad)" s)
+
+let likelihood_of params =
+  let d = Likelihood.default in
+  let rate key dflt =
+    match Json.member key params with
+    | None -> Ok dflt
+    | Some v ->
+      (match Json.num_opt v with
+       | Some f -> Ok f
+       | None -> bad (key ^ " must be a number"))
+  in
+  let* obj = rate "object_rate" d.Likelihood.data_object_per_year in
+  let* arr = rate "array_rate" d.Likelihood.array_per_year in
+  let* site = rate "site_rate" d.Likelihood.site_per_year in
+  Ok
+    (Likelihood.v ~data_object_per_year:obj ~array_per_year:arr
+       ~site_per_year:site)
+
+(* Same seed/budget/portfolio shaping as [dstool solve]; the server's
+   --budget-evals becomes the default portfolio cap for requests that
+   ask for restarts without a cap of their own. *)
+let budget_of t params =
+  let* seed = lift (Json.get_int ~default:42 "seed" params) in
+  let* budget_name = lift (Json.get_str ~default:"default" "budget" params) in
+  let* base =
+    match budget_name with
+    | "quick" -> Ok Budgets.quick
+    | "default" -> Ok Budgets.default
+    | s -> bad (Printf.sprintf "unknown budget %S (quick|default)" s)
+  in
+  let* restarts = lift (Json.get_int ~default:1 "restarts" params) in
+  let* race = lift (Json.get_bool ~default:false "race" params) in
+  if restarts < 1 then bad "restarts must be positive"
+  else begin
+    let evals =
+      match Option.bind (Json.member "max_evaluations" params) Json.int_opt with
+      | Some n -> Some n
+      | None -> if restarts > 1 then t.config.budget_evals else None
+    in
+    let budget = Budgets.with_seed base seed in
+    if restarts = 1 && (not race) && evals = None then Ok budget
+    else Ok (Budgets.with_portfolio ~race ?max_evaluations:evals budget restarts)
+  end
+
+(* ---- Progress notifications --------------------------------------- *)
+
+let progress_json id (e : Progress.entry) =
+  let base =
+    [ ("id", id); ("evaluations", int_json e.Progress.evaluations) ]
+  in
+  let rest =
+    match e.Progress.event with
+    | Progress.Stage s -> [ ("event", Json.Str "stage"); ("stage", Json.Str s) ]
+    | Progress.Incumbent c ->
+      [ ("event", Json.Str "incumbent"); ("cost_dollars", Json.Num c) ]
+    | Progress.Accepted -> [ ("event", Json.Str "accept") ]
+    | Progress.Rejected -> [ ("event", Json.Str "reject") ]
+    | Progress.Portfolio { restart; cost } ->
+      [ ("event", Json.Str "portfolio"); ("restart", int_json restart);
+        ("cost_dollars", Json.Num cost) ]
+    | Progress.Shard { shard; cost } ->
+      [ ("event", Json.Str "shard"); ("shard", int_json shard);
+        ("cost_dollars", Json.Num cost) ]
+  in
+  Json.Obj (base @ rest)
+
+(* Every request records into the resident registry; a request that
+   asked for progress additionally streams each event down its own
+   connection as a notification tagged with the request id, so a client
+   multiplexing several in-flight calls can route them. *)
+let request_obs t conn id ~progress =
+  if not progress then Obs.attach ~metrics:t.registry ()
+  else
+    let stream =
+      Progress.create
+        ~on_event:(fun e ->
+          send conn
+            (Protocol.notification ~method_:"progress"
+               ~params:(progress_json id e)))
+        ()
+    in
+    Obs.attach ~metrics:t.registry ~progress:stream ()
+
+(* ---- Method handlers ---------------------------------------------- *)
+
+let outcome_json (o : Design_solver.outcome) portfolio =
+  let best, extra =
+    match portfolio with
+    | None -> (o.Design_solver.best, [])
+    | Some (r : Search.result) ->
+      ( r.Search.best,
+        [ ("winner", int_json r.Search.winner);
+          ("restarts_run", int_json r.Search.restarts_run);
+          ("portfolio_raced_off", int_json r.Search.raced_off);
+          ("total_evaluations", int_json r.Search.total_evaluations) ] )
+  in
+  Json.Obj
+    ([ ("design", Json.Str (Design_io.to_string best.Candidate.design));
+       ( "cost_dollars",
+         money_json (Summary.total (Candidate.summary best)) );
+       ("evaluations", int_json o.Design_solver.evaluations);
+       ("refit_rounds", int_json o.Design_solver.refit_rounds_run);
+       ("improved_by_refit", Json.Bool o.Design_solver.improved_by_refit);
+       ("raced_off", Json.Bool o.Design_solver.raced_off) ]
+     @ extra)
+
+(* Budget semantics (DESIGN.md §16): [max_evaluations] binds portfolio
+   requests through [Search.run]'s anytime admission; [deadline_s]
+   binds single solves through the [abandon] race hook, which returns
+   the anytime incumbent with [raced_off = true] instead of failing. *)
+let handle_solve t conn (req : Protocol.request) =
+  let params = req.Protocol.params in
+  let* env, workloads = env_of params in
+  let* likelihood = likelihood_of params in
+  let* budget = budget_of t params in
+  let* want_progress = lift (Json.get_bool ~default:false "progress" params) in
+  let deadline_s = Option.bind (Json.member "deadline_s" params) Json.num_opt in
+  let obs = request_obs t conn req.Protocol.id ~progress:want_progress in
+  let abandon =
+    Option.map
+      (fun limit ->
+        let deadline = Metrics.now_s () +. limit in
+        fun (_ : float) -> Metrics.now_s () > deadline)
+      deadline_s
+  in
+  if budget.Budgets.restarts = 1 then
+    match
+      Design_solver.solve ~params:budget.Budgets.solver ~obs ?abandon
+        ~memo:t.memo env workloads likelihood
+    with
+    | Some o -> Ok (outcome_json o None)
+    | None -> Error (Protocol.internal_error, "no feasible design found")
+  else
+    match
+      Search.run ~restarts:budget.Budgets.restarts ~race:budget.Budgets.race
+        ?max_evaluations:budget.Budgets.portfolio_evaluations
+        ~params:budget.Budgets.solver ~pool:t.pool ~obs env workloads
+        likelihood
+    with
+    | Some r -> Ok (outcome_json r.Search.outcome (Some r))
+    | None -> Error (Protocol.internal_error, "no feasible design found")
+
+let fleet_json (f : Fleet.t) =
+  Json.Obj
+    [ ("cost_dollars", money_json f.Fleet.cost);
+      ("evaluations", int_json f.Fleet.evaluations);
+      ("conflicts", int_json f.Fleet.conflicts);
+      ("reconcile_passes", int_json f.Fleet.reconcile_passes);
+      ("unplaced", Json.List (List.map int_json f.Fleet.unplaced));
+      ("shards", int_json (List.length f.Fleet.shard_results));
+      ( "shards_reused",
+        int_json
+          (List.length
+             (List.filter
+                (fun (r : Fleet.shard_result) -> r.Fleet.reused)
+                f.Fleet.shard_results)) ) ]
+
+let handle_fleet t conn (req : Protocol.request) =
+  let params = req.Protocol.params in
+  let* name = lift (Json.get_str ~default:"default" "name" params) in
+  let* pods = lift (Json.get_int ~default:4 "pods" params) in
+  let* apps_per_pod = lift (Json.get_int ~default:8 "apps_per_pod" params) in
+  let shards = Option.bind (Json.member "shards" params) Json.int_opt in
+  let* likelihood = likelihood_of params in
+  let* budget = budget_of t params in
+  let* want_progress = lift (Json.get_bool ~default:false "progress" params) in
+  if pods < 1 || apps_per_pod < 1 then
+    bad "pods and apps_per_pod must be positive"
+  else begin
+    let f_params =
+      { budget.Budgets.solver with
+        Design_solver.domains = max 1 t.config.domains }
+    in
+    match Envs.fleet_sites ~pods () with
+    | exception Invalid_argument msg -> bad msg
+    | env ->
+      let apps = Envs.fleet_apps ~pods ~apps_per_pod in
+      let obs = request_obs t conn req.Protocol.id ~progress:want_progress in
+      (match Fleet.solve ~params:f_params ?shards ~obs env apps likelihood with
+       | exception Invalid_argument msg -> bad msg
+       | fleet ->
+         Mutex.protect t.lock (fun () ->
+             Hashtbl.replace t.fleets name
+               { f_env = env;
+                 f_apps = apps;
+                 f_params;
+                 f_likelihood = likelihood;
+                 incumbent = fleet });
+         Ok (fleet_json fleet))
+  end
+
+let drift_of params =
+  match Json.member "drift" params with
+  | None -> Ok []
+  | Some v ->
+    (match Json.list_opt v with
+     | None -> bad "drift must be a list of {app_id, factor} objects"
+     | Some items ->
+       List.fold_left
+         (fun acc item ->
+           let* acc = acc in
+           let* app_id = lift (Json.get_int "app_id" item) in
+           let* factor = lift (Json.get_num ~default:2. "factor" item) in
+           Ok ((app_id, factor) :: acc))
+         (Ok []) items
+       |> Result.map List.rev)
+
+(* Warm-start re-solve of a named fleet held server-side: apply the
+   requested drift to the resident apps, re-solve against the resident
+   incumbent, and keep the result as the new incumbent. Entry mutations
+   happen under the daemon lock; concurrent resolves of the same fleet
+   serialize their state updates (last writer wins on the incumbent). *)
+let handle_resolve t conn (req : Protocol.request) =
+  let params = req.Protocol.params in
+  let* name = lift (Json.get_str ~default:"default" "name" params) in
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.fleets name) with
+  | None ->
+    bad
+      (Printf.sprintf "unknown fleet %S (create it with the fleet method)"
+         name)
+  | Some entry ->
+    let* drift = drift_of params in
+    let dirty =
+      match Json.member "dirty" params with
+      | Some (Json.List ids) -> Some (List.filter_map Json.int_opt ids)
+      | _ -> None
+    in
+    let* catalog_revision =
+      match Json.member "catalog_revision" params with
+      | None -> Ok None
+      | Some v ->
+        (match Json.int_opt v with
+         | Some n -> Ok (Some n)
+         | None -> bad "catalog_revision must be an integer")
+    in
+    let* want_progress = lift (Json.get_bool ~default:false "progress" params) in
+    let env =
+      match catalog_revision with
+      | Some rev -> Env.with_catalog_revision entry.f_env rev
+      | None -> entry.f_env
+    in
+    let apps' =
+      if drift = [] then entry.f_apps
+      else
+        List.map
+          (fun a ->
+            match List.assoc_opt a.App.id drift with
+            | Some factor -> App.drift ~factor a
+            | None -> a)
+          entry.f_apps
+    in
+    let obs = request_obs t conn req.Protocol.id ~progress:want_progress in
+    let warm =
+      Fleet.resolve ~params:entry.f_params ~obs ?dirty
+        ~incumbent:entry.incumbent env apps' entry.f_likelihood
+    in
+    Mutex.protect t.lock (fun () ->
+        entry.f_env <- env;
+        entry.f_apps <- apps';
+        entry.incumbent <- warm);
+    Ok (fleet_json warm)
+
+let handle_risk t conn (req : Protocol.request) =
+  let params = req.Protocol.params in
+  let* env, workloads = env_of params in
+  let* likelihood = likelihood_of params in
+  let* budget = budget_of t params in
+  let* seed = lift (Json.get_int ~default:42 "seed" params) in
+  let* years = lift (Json.get_int ~default:10_000 "years" params) in
+  let* tilt = lift (Json.get_num ~default:8. "tilt" params) in
+  let* strata = lift (Json.get_str ~default:"scope" "strata" params) in
+  let* strategy =
+    match strata with
+    | "scope" -> Ok Tail_sim.By_scope
+    | "none" -> Ok Tail_sim.Nominal_only
+    | s -> bad (Printf.sprintf "unknown strata %S (scope|none)" s)
+  in
+  let sla = Option.bind (Json.member "sla" params) Json.num_opt in
+  if years < 1 then bad "years must be positive"
+  else begin
+    let obs = request_obs t conn req.Protocol.id ~progress:false in
+    let* prov =
+      match Option.bind (Json.member "design" params) Json.str_opt with
+      | Some text ->
+        (match Design_io.of_string env workloads text with
+         | Error msg -> bad ("design: " ^ msg)
+         | Ok design ->
+           (match Provision.minimum design with
+            | Ok prov -> Ok prov
+            | Error e ->
+              bad
+                (Format.asprintf "design is infeasible: %a"
+                   Provision.pp_infeasibility e)))
+      | None ->
+        (match
+           Design_solver.solve ~params:budget.Budgets.solver ~obs ~memo:t.memo
+             env workloads likelihood
+         with
+         | Some o ->
+           Ok o.Design_solver.best.Candidate.eval.Evaluate.provision
+         | None -> Error (Protocol.internal_error, "no feasible design found"))
+    in
+    let rng = Rng.of_int seed in
+    let sim = Year_sim.simulate ~years ~obs ~pool:t.pool rng prov likelihood in
+    let base =
+      [ ("years", int_json years);
+        ("mean_dollars", money_json sim.Year_sim.mean);
+        ("p50_dollars", money_json sim.Year_sim.p50);
+        ("p90_dollars", money_json sim.Year_sim.p90);
+        ("p99_dollars", money_json sim.Year_sim.p99);
+        ("worst_dollars", money_json sim.Year_sim.worst);
+        ("quiet_fraction", Json.Num sim.Year_sim.quiet_fraction) ]
+    in
+    match sla with
+    | None -> Ok (Json.Obj base)
+    | Some availability when availability <= 0. || availability >= 1. ->
+      bad "sla must be in (0, 1)"
+    | Some availability ->
+      (* Split after the naive run, exactly like the CLI: Year_sim
+         pre-splits one stream per chunk, so the parent has advanced by
+         a fixed pool-independent amount and the tail sample stays
+         byte-identical at every width. *)
+      (match
+         Tail_sim.simulate ~years ~tilt ~strategy ~obs ~pool:t.pool
+           (Rng.split rng) prov likelihood
+       with
+       | exception Invalid_argument msg -> bad msg
+       | tail ->
+         let cert = Tail_sim.certify tail ~availability in
+         Ok
+           (Json.Obj
+              (base
+              @ [ ( "certification",
+                    Json.Obj
+                      [ ( "verdict",
+                          Json.Str
+                            (Tail_sim.verdict_to_string
+                               cert.Tail_sim.verdict) );
+                        ("availability", Json.Num cert.Tail_sim.availability);
+                        ( "downtime_budget_h",
+                          Json.Num cert.Tail_sim.downtime_budget );
+                        ( "deciding_bound",
+                          Json.Num cert.Tail_sim.deciding_bound );
+                        ("ess", Json.Num cert.Tail_sim.ess);
+                        ( "uncovered",
+                          Json.List
+                            (List.map
+                               (fun s -> Json.Str s)
+                               cert.Tail_sim.uncovered) );
+                        ("reason", Json.Str cert.Tail_sim.reason) ] ) ])))
+  end
+
+(* Test and bench aid: occupies a worker for a deterministic duration,
+   which is how the admission tests fill the queue and how drain tests
+   leave a request in flight. Not part of the documented surface. *)
+let handle_sleep (req : Protocol.request) =
+  let* seconds = lift (Json.get_num ~default:0.05 "seconds" req.Protocol.params) in
+  if seconds < 0. || seconds > 60. then bad "seconds must be in [0, 60]"
+  else begin
+    Thread.delay seconds;
+    Ok (Json.Obj [ ("slept_s", Json.Num seconds) ])
+  end
+
+let health_json t =
+  let queued, inflight, phase =
+    Mutex.protect t.lock (fun () ->
+        (Queue.length t.queue, t.inflight, t.phase))
+  in
+  Json.Obj
+    [ ( "status",
+        Json.Str
+          (match phase with
+           | Running -> "ok"
+           | Draining -> "draining"
+           | Stopped -> "stopped") );
+      ("queued", int_json queued);
+      ("inflight", int_json inflight);
+      ("uptime_s", Json.Num (Metrics.now_s () -. t.started_at));
+      ("port", int_json t.bound_port);
+      ("cache_entries", int_json (Memo.length t.memo));
+      ("cache_capacity", int_json (Memo.capacity t.memo)) ]
+
+let metrics_json t =
+  let dump = Metrics.to_json t.registry in
+  match Json.of_string dump with Ok v -> v | Error _ -> Json.Str dump
+
+let handle_cache_resize t (req : Protocol.request) =
+  let* capacity = lift (Json.get_int "capacity" req.Protocol.params) in
+  match Memo.resize t.memo capacity with
+  | () ->
+    Ok
+      (Json.Obj
+         [ ("capacity", int_json (Memo.capacity t.memo));
+           ("entries", int_json (Memo.length t.memo)) ])
+  | exception Invalid_argument msg -> bad msg
+
+(* ---- Dispatch ----------------------------------------------------- *)
+
+let heavy = function
+  | "solve" | "resolve" | "fleet" | "risk" | "sleep" -> true
+  | _ -> false
+
+let handle_heavy t conn (req : Protocol.request) =
+  match req.Protocol.method_ with
+  | "solve" -> handle_solve t conn req
+  | "resolve" -> handle_resolve t conn req
+  | "fleet" -> handle_fleet t conn req
+  | "risk" -> handle_risk t conn req
+  | "sleep" -> handle_sleep req
+  | m -> Error (Protocol.method_not_found, "unknown method " ^ m)
+
+let run_job t (job : job) =
+  Metrics.observe
+    (Metrics.histogram t.registry "server.queue_wait_s")
+    (Metrics.now_s () -. job.enqueued_at);
+  let reply =
+    try handle_heavy t job.j_conn job.j_req
+    with exn -> Error (Protocol.internal_error, Printexc.to_string exn)
+  in
+  (match reply with
+   | Error _ -> Metrics.incr (Metrics.counter t.registry "server.errors")
+   | Ok _ -> ());
+  send_reply job.j_conn job.j_req.Protocol.id reply;
+  observe_request t job.j_req.Protocol.method_ ~since:job.enqueued_at
+
+let set_queue_gauge t =
+  Metrics.set
+    (Metrics.gauge t.registry "server.queue_depth")
+    (float_of_int (Queue.length t.queue))
+
+let rec worker_loop t =
+  let job =
+    Mutex.protect t.lock (fun () ->
+        while Queue.is_empty t.queue && t.phase <> Stopped do
+          Condition.wait t.work t.lock
+        done;
+        if Queue.is_empty t.queue then None
+        else begin
+          let job = Queue.pop t.queue in
+          t.inflight <- t.inflight + 1;
+          set_queue_gauge t;
+          Some job
+        end)
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+    run_job t job;
+    Mutex.protect t.lock (fun () ->
+        t.inflight <- t.inflight - 1;
+        if t.inflight = 0 && Queue.is_empty t.queue then
+          Condition.broadcast t.idle);
+    worker_loop t
+
+let admit t conn (req : Protocol.request) =
+  let enqueued_at = Metrics.now_s () in
+  let verdict =
+    Mutex.protect t.lock (fun () ->
+        if t.phase <> Running then `Shutting_down
+        else if Queue.length t.queue >= t.config.queue_depth then `Overloaded
+        else begin
+          Queue.push { j_conn = conn; j_req = req; enqueued_at } t.queue;
+          set_queue_gauge t;
+          Condition.signal t.work;
+          `Admitted
+        end)
+  in
+  match verdict with
+  | `Admitted -> ()
+  | `Shutting_down ->
+    send_reply conn req.Protocol.id
+      (Error (Protocol.shutting_down, "server is draining"))
+  | `Overloaded ->
+    Metrics.incr (Metrics.counter t.registry "server.overloaded");
+    send_reply conn req.Protocol.id
+      (Error
+         ( Protocol.overloaded,
+           Printf.sprintf "admission queue full (%d queued, %d workers)"
+             t.config.queue_depth t.config.concurrency ))
+
+let stop t =
+  let changed =
+    Mutex.protect t.lock (fun () ->
+        if t.phase = Running then begin
+          t.phase <- Draining;
+          true
+        end
+        else false)
+  in
+  if changed then
+    try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let handle_line t conn line =
+  if String.trim line <> "" then begin
+    Metrics.incr (Metrics.counter t.registry "server.requests");
+    match Protocol.parse_request line with
+    | Error (code, message) ->
+      Metrics.incr (Metrics.counter t.registry "server.errors");
+      send conn (Protocol.error_response ~id:Json.Null ~code message)
+    | Ok req ->
+      let inline reply =
+        let since = Metrics.now_s () in
+        send_reply conn req.Protocol.id reply;
+        observe_request t req.Protocol.method_ ~since
+      in
+      (match req.Protocol.method_ with
+       | "health" -> inline (Ok (health_json t))
+       | "metrics" -> inline (Ok (metrics_json t))
+       | "cache_resize" -> inline (handle_cache_resize t req)
+       | "shutdown" ->
+         (* Reply before draining so the client sees the acknowledgment
+            even when its connection is among those shut down. *)
+         inline (Ok (Json.Obj [ ("draining", Json.Bool true) ]));
+         stop t
+       | m when heavy m -> admit t conn req
+       | m ->
+         send_reply conn req.Protocol.id
+           (Error (Protocol.method_not_found, "unknown method " ^ m)))
+  end
+
+let close_conn t conn =
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns);
+  Mutex.protect conn.out_lock (fun () ->
+      if conn.alive then begin
+        conn.alive <- false;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+
+let rec reader_loop t conn =
+  match input_line conn.ic with
+  | line ->
+    handle_line t conn line;
+    reader_loop t conn
+  | exception (End_of_file | Sys_error _) -> close_conn t conn
+
+let rec accept_loop t =
+  let running = Mutex.protect t.lock (fun () -> t.phase = Running) in
+  if running then begin
+    (match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | readable, _, _ ->
+       if List.mem t.wake_r readable then
+         ignore (Unix.read t.wake_r (Bytes.create 8) 0 8);
+       if List.mem t.listen_fd readable then begin
+         match Unix.accept t.listen_fd with
+         | exception Unix.Unix_error _ -> ()
+         | fd, _ ->
+           let conn =
+             { fd;
+               ic = Unix.in_channel_of_descr fd;
+               oc = Unix.out_channel_of_descr fd;
+               out_lock = Mutex.create ();
+               alive = true }
+           in
+           Metrics.incr (Metrics.counter t.registry "server.connections");
+           Mutex.protect t.lock (fun () -> t.conns <- conn :: t.conns);
+           let th = Thread.create (fun () -> reader_loop t conn) () in
+           Mutex.protect t.lock (fun () -> t.readers <- th :: t.readers)
+       end);
+    accept_loop t
+  end
+
+let run t =
+  (* A client hanging up mid-response must surface as a failed write,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let workers =
+    List.init t.config.concurrency (fun _ ->
+        Thread.create (fun () -> worker_loop t) ())
+  in
+  accept_loop t;
+  (* Draining: refuse new connections immediately... *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* ...finish everything admitted (readers keep answering health /
+     metrics and rejecting heavy requests with [shutting_down])... *)
+  Mutex.protect t.lock (fun () ->
+      while not (Queue.is_empty t.queue && t.inflight = 0) do
+        Condition.wait t.idle t.lock
+      done;
+      t.phase <- Stopped;
+      Condition.broadcast t.work);
+  List.iter Thread.join workers;
+  (* ...then wake every blocked reader by shutting its socket down
+     (close alone would not interrupt a blocked read, and the fd number
+     must stay reserved until the reader is done with it). *)
+  let conns, readers =
+    Mutex.protect t.lock (fun () -> (t.conns, t.readers))
+  in
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join readers;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ())

@@ -1,0 +1,114 @@
+(* Newline-delimited JSON-RPC 2.0 framing.
+
+   One JSON value per line in both directions. Requests carry an [id]
+   (number or string); the server answers every identified request with
+   exactly one response carrying the same id, possibly preceded by
+   notifications (id-less method calls from the server — progress
+   events) that embed the subscribing request's id in their params so a
+   client multiplexing several in-flight calls can route them. *)
+
+(* Standard JSON-RPC error codes ... *)
+let parse_error = -32700
+let invalid_request = -32600
+let method_not_found = -32601
+let invalid_params = -32602
+let internal_error = -32603
+
+(* ... plus the server's own range: admission control and lifecycle. *)
+let overloaded = -32000
+let shutting_down = -32001
+
+type request = {
+  id : Json.t;  (* Null for notifications *)
+  method_ : string;
+  params : Json.t;
+}
+
+let parse_request line =
+  match Json.of_string line with
+  | Error msg -> Error (parse_error, "parse error: " ^ msg)
+  | Ok json ->
+    let id = Option.value ~default:Json.Null (Json.member "id" json) in
+    (match Json.member "method" json with
+     | Some (Json.Str method_) ->
+       let params =
+         Option.value ~default:(Json.Obj []) (Json.member "params" json)
+       in
+       (match id with
+        | Json.Null | Json.Num _ | Json.Str _ -> Ok { id; method_; params }
+        | _ -> Error (invalid_request, "id must be a number or a string"))
+     | Some _ -> Error (invalid_request, "method must be a string")
+     | None -> Error (invalid_request, "missing method"))
+
+let request ~id ~method_ ~params =
+  Json.to_string
+    (Json.Obj
+       [ ("jsonrpc", Json.Str "2.0"); ("id", id);
+         ("method", Json.Str method_); ("params", params) ])
+
+let response ~id result =
+  Json.to_string
+    (Json.Obj [ ("jsonrpc", Json.Str "2.0"); ("id", id); ("result", result) ])
+
+let error_response ~id ~code ?data message =
+  let err =
+    [ ("code", Json.Num (float_of_int code)); ("message", Json.Str message) ]
+  in
+  let err =
+    match data with Some d -> err @ [ ("data", d) ] | None -> err
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("jsonrpc", Json.Str "2.0"); ("id", id); ("error", Json.Obj err) ])
+
+let notification ~method_ ~params =
+  Json.to_string
+    (Json.Obj
+       [ ("jsonrpc", Json.Str "2.0"); ("method", Json.Str method_);
+         ("params", params) ])
+
+(* ---- Client side ------------------------------------------------- *)
+
+type rpc_error = { code : int; message : string; data : Json.t option }
+
+type incoming =
+  | Reply of { id : Json.t; result : (Json.t, rpc_error) result }
+  | Note of { method_ : string; params : Json.t }
+
+let parse_incoming line =
+  match Json.of_string line with
+  | Error msg -> Error ("malformed server line: " ^ msg)
+  | Ok json ->
+    (match Json.member "method" json with
+     | Some (Json.Str method_) ->
+       let params =
+         Option.value ~default:(Json.Obj []) (Json.member "params" json)
+       in
+       Ok (Note { method_; params })
+     | _ ->
+       let id = Option.value ~default:Json.Null (Json.member "id" json) in
+       (match Json.member "error" json with
+        | Some err ->
+          let code =
+            Option.value ~default:0
+              (Option.bind (Json.member "code" err) Json.int_opt)
+          in
+          let message =
+            Option.value ~default:"unknown error"
+              (Option.bind (Json.member "message" err) Json.str_opt)
+          in
+          Ok
+            (Reply
+               { id;
+                 result = Error { code; message; data = Json.member "data" err }
+               })
+        | None ->
+          (match Json.member "result" json with
+           | Some result -> Ok (Reply { id; result = Ok result })
+           | None -> Error "server line has neither result nor error")))
+
+let pp_rpc_error ppf e =
+  Format.fprintf ppf "server error %d: %s%s" e.code e.message
+    (match e.data with
+     | Some d -> " (" ^ Json.to_string d ^ ")"
+     | None -> "")

@@ -1,0 +1,56 @@
+(** Newline-delimited JSON-RPC 2.0 framing for the dstool server.
+
+    One compact JSON value per line in both directions. Requests carry
+    an [id] (number or string); the server answers every identified
+    request with exactly one response bearing the same id. Server
+    notifications (id-less calls — streaming progress events) embed the
+    subscribing request's id in their params, so a client with several
+    in-flight calls on one connection can route them. See DESIGN.md
+    §16 for the full protocol specification. *)
+
+(** {1 Error codes} *)
+
+val parse_error : int  (** -32700: unparseable request line. *)
+
+val invalid_request : int  (** -32600: not a JSON-RPC request. *)
+
+val method_not_found : int  (** -32601 *)
+
+val invalid_params : int  (** -32602 *)
+
+val internal_error : int  (** -32603: handler raised. *)
+
+val overloaded : int
+(** -32000: the bounded admission queue is full; retry later. *)
+
+val shutting_down : int
+(** -32001: the server is draining and accepts no new work. *)
+
+(** {1 Server side} *)
+
+type request = {
+  id : Json.t;  (** [Null] marks a notification (no response owed). *)
+  method_ : string;
+  params : Json.t;  (** [Obj []] when absent. *)
+}
+
+val parse_request : string -> (request, int * string) result
+(** Parse one request line. [Error (code, message)] is ready to feed
+    {!error_response} (with a [Null] id, since none was recovered). *)
+
+val response : id:Json.t -> Json.t -> string
+val error_response : id:Json.t -> code:int -> ?data:Json.t -> string -> string
+val notification : method_:string -> params:Json.t -> string
+
+(** {1 Client side} *)
+
+val request : id:Json.t -> method_:string -> params:Json.t -> string
+
+type rpc_error = { code : int; message : string; data : Json.t option }
+
+type incoming =
+  | Reply of { id : Json.t; result : (Json.t, rpc_error) result }
+  | Note of { method_ : string; params : Json.t }
+
+val parse_incoming : string -> (incoming, string) result
+val pp_rpc_error : Format.formatter -> rpc_error -> unit

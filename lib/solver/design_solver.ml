@@ -246,8 +246,8 @@ let install_memo ?memo params obs =
   in
   (memo, mirror_memo_stats)
 
-let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
-    likelihood =
+let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon ?memo env
+    apps likelihood =
   Obs.with_span obs "solver.solve" @@ fun () ->
   let rng =
     match rng with Some rng -> rng | None -> Rng.of_int params.seed
@@ -255,7 +255,7 @@ let solve ?(params = default_params) ?(obs = Obs.noop) ?rng ?abandon env apps
   (* One pool for the whole solve: refit probes, the greedy re-evaluation
      and the polish pass all schedule onto it. *)
   let pool = pool_of params in
-  let memo, mirror_memo_stats = install_memo params obs in
+  let memo, mirror_memo_stats = install_memo ?memo params obs in
   let options = { params.options with Config_solver.memo } in
   let state = Reconfigure.state ~options ~obs ~rng likelihood in
   Obs.stage obs ~evaluations:0 "greedy";

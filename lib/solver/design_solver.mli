@@ -89,12 +89,20 @@ val solve :
   ?obs:Ds_obs.Obs.t ->
   ?rng:Ds_prng.Rng.t ->
   ?abandon:(float -> bool) ->
+  ?memo:Config_solver.cache ->
   Env.t ->
   App.t list ->
   Likelihood.t ->
   outcome option
 (** The full design tool. [None] when no feasible complete design was
     found within the restart budget.
+
+    [memo] shares a caller-held configuration cache across solves (the
+    server keeps one resident for its whole lifetime); by default each
+    solve gets a fresh cache of [params.config_cache_size] entries (none
+    when that is 0). The cache is result-transparent, so sharing cannot
+    change the design — only the hit/miss split. An explicit [memo] wins
+    over [params.config_cache_size], including over 0.
 
     [rng] overrides the generator (default [Rng.of_int params.seed]) —
     the portfolio meta-solver hands each restart a pre-split stream.

@@ -25,7 +25,7 @@ type 'a node = {
 }
 
 type 'a t = {
-  capacity : int;
+  mutable capacity : int;
   lock : Lockstat.t;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;  (* most recently used *)
@@ -63,6 +63,16 @@ let push_front t node =
    | None -> t.tail <- Some node);
   t.head <- Some node
 
+(* Eviction shared by [add] and [resize]: pop the list tail. Must run
+   under the lock. *)
+let evict_lru t =
+  match t.tail with
+  | Some lru ->
+    unlink t lru;
+    Hashtbl.remove t.tbl lru.key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
 let find t key =
   Lockstat.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
@@ -88,15 +98,22 @@ let add t key value =
     Hashtbl.replace t.tbl key node;
     push_front t node;
     if Hashtbl.length t.tbl > t.capacity then begin
-      (match t.tail with
-       | Some lru ->
-         unlink t lru;
-         Hashtbl.remove t.tbl lru.key;
-         t.evictions <- t.evictions + 1
-       | None -> ());
+      evict_lru t;
       true
     end
     else false
+
+let resize t capacity =
+  if capacity < 1 then invalid_arg "Memo.resize: capacity must be positive";
+  Lockstat.protect t.lock @@ fun () ->
+  t.capacity <- capacity;
+  (* Shrinking below the current population evicts immediately, oldest
+     first — the same LRU order [add] uses — so a resident cache resized
+     by an admin RPC converges to the new bound right away instead of
+     only as new keys arrive. *)
+  while Hashtbl.length t.tbl > t.capacity do
+    evict_lru t
+  done
 
 let length t = Lockstat.protect t.lock (fun () -> Hashtbl.length t.tbl)
 let lock_stats t = Lockstat.stats t.lock

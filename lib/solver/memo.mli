@@ -27,6 +27,14 @@ val add : 'a t -> string -> 'a -> bool
     when the capacity is exceeded. Returns [true] iff an eviction
     happened. *)
 
+val resize : 'a t -> int -> unit
+(** Change the capacity in place. Shrinking below the current population
+    evicts immediately in LRU order (oldest first), counting into
+    {!evictions}, so a resident cache — the server's, resized by an
+    admin RPC — converges to the new bound right away. Growing never
+    drops entries. @raise Invalid_argument when the new capacity
+    is [< 1]. *)
+
 val length : 'a t -> int
 val capacity : 'a t -> int
 

@@ -141,6 +141,21 @@ else
   done
 fi
 
+# Server economics: a warm request runs against the resident
+# configuration cache, so it must not lose to the cold one. The bench
+# binary already fatals when warm >= cold; this re-checks the recorded
+# numbers so a stale or hand-edited results file cannot sneak through.
+serve_cold=$(jq -r '[.sections[] | select(.name=="serve cold solve") | .seconds][0] // empty' "$results")
+serve_warm=$(jq -r '[.sections[] | select(.name=="serve warm solve") | .seconds][0] // empty' "$results")
+if [ -z "$serve_cold" ] || [ -z "$serve_warm" ]; then
+  note "serve gate: 'serve cold solve'/'serve warm solve' sections missing from $results"
+elif awk -v c="$serve_cold" -v w="$serve_warm" 'BEGIN { exit !(w <= c) }'; then
+  echo "_serve: warm ${serve_warm}s <= cold ${serve_cold}s: ok_" >> "$summary"
+else
+  echo "_serve: warm ${serve_warm}s > cold ${serve_cold}s: FAIL_" >> "$summary"
+  note "serve gate: warm request (${serve_warm}s) slower than cold (${serve_cold}s)"
+fi
+
 if [ "$fail" -ne 0 ]; then
   {
     echo ""

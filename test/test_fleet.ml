@@ -283,7 +283,52 @@ let resolve_tests =
         in
         check_bool "anytime floor" true
           (Money.to_dollars warm.Fleet.cost
-           <= Money.to_dollars cold.Fleet.cost +. 1e-6)) ]
+           <= Money.to_dollars cold.Fleet.cost +. 1e-6));
+    Alcotest.test_case "a catalog revision bump invalidates every shard"
+      `Slow (fun () ->
+        (* Reprice the whole array catalog 1.5x and advance
+           [catalog_revision]: no incumbent shard may be trusted, and
+           the re-solved fleet must carry the new prices (the rebase
+           re-resolves device models by name). *)
+        let env = fleet_env ~pods:2 in
+        let apps = fleet_apps ~pods:2 ~apps_per_pod:4 in
+        let cold = Fleet.solve ~params:fast_params env apps likelihood in
+        let repriced =
+          List.map
+            (fun (m : Resources.Array_model.t) ->
+               { m with
+                 Resources.Array_model.fixed_cost =
+                   Money.scale 1.5 m.Resources.Array_model.fixed_cost;
+                 unit_cost = Money.scale 1.5 m.Resources.Array_model.unit_cost })
+            env.Env.array_models
+        in
+        let env' =
+          Env.with_catalog_revision
+            { env with Env.array_models = repriced }
+            (env.Env.catalog_revision + 1)
+        in
+        let reg = Obs.Metrics.create () in
+        let obs = Obs.attach ~metrics:reg () in
+        let warm =
+          Fleet.resolve ~params:fast_params ~obs ~incumbent:cold env' apps
+            likelihood
+        in
+        check_int "no shard reused" 0
+          (List.length
+             (List.filter (fun r -> r.Fleet.reused) warm.Fleet.shard_results));
+        check_int "drift counted per shard" 2
+          (Obs.Metrics.count (Obs.Metrics.counter reg "fleet.catalog_drift"));
+        check_bool "re-solve actually ran" true (warm.Fleet.evaluations > 0);
+        check_bool "new prices are dearer" true
+          (Money.to_dollars warm.Fleet.cost > Money.to_dollars cold.Fleet.cost);
+        (* The merged design's own models carry the reprice: one global
+           evaluation agrees with the fleet cost. *)
+        match Cost.Evaluate.design warm.Fleet.design likelihood with
+        | Ok eval ->
+          Alcotest.(check (float 1.)) "separable repriced cost"
+            (Money.to_dollars (Cost.Summary.total eval.Cost.Evaluate.summary))
+            (Money.to_dollars warm.Fleet.cost)
+        | Error _ -> Alcotest.fail "repriced merged design infeasible") ]
 
 let suites =
   [ ("fleet.domains", domain_tests);

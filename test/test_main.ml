@@ -24,4 +24,5 @@ let () =
          Test_sla.suites;
          Test_integration.suites;
          Test_misc.suites;
-         Test_extensions.suites ])
+         Test_extensions.suites;
+         Test_server.suites ])

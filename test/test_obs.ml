@@ -543,7 +543,47 @@ let progress_tests =
          check_bool "stage row" true (List.mem "0,stage,greedy," lines);
          check_bool "incumbent row" true (List.mem "3,incumbent,,42.50" lines);
          check_bool "accept row" true (List.mem "4,accept,," lines);
-         check_bool "reject row" true (List.mem "5,reject,," lines)) ]
+         check_bool "reject row" true (List.mem "5,reject,," lines));
+    Alcotest.test_case "on_event fires per entry and skips suppressed samples"
+      `Quick (fun () ->
+         let seen = ref [] in
+         let s =
+           Progress.create
+             ~on_event:(fun e -> seen := Progress.csv_line e :: !seen) ()
+         in
+         Progress.stage s ~evaluations:0 "greedy";
+         Progress.incumbent s ~evaluations:2 100.;
+         Progress.incumbent s ~evaluations:3 150. (* worse: suppressed *);
+         Progress.incumbent s ~evaluations:5 80.;
+         check_int "three events reached the hook" 3 (List.length !seen);
+         check_bool "suppressed sample never fired" true
+           (not (List.exists (fun l -> l = "3,incumbent,,150.00\n") !seen)));
+    Alcotest.test_case "streaming writer is visible before the producer ends"
+      `Quick (fun () ->
+         (* The flush-per-event contract: a reader on the other side of a
+            pipe sees each event while the producing stream is still
+            live (to_csv only materializes at the end). *)
+         let r, w = Unix.pipe () in
+         let oc = Unix.out_channel_of_descr w in
+         let s = Progress.streaming oc in
+         Progress.stage s ~evaluations:0 "greedy";
+         Progress.incumbent s ~evaluations:4 99.5;
+         (* The producer is NOT done: the stream is still open and the
+            channel unclosed; everything flushed must already be in the
+            pipe. *)
+         let buf = Bytes.create 4096 in
+         let n = Unix.read r buf 0 4096 in
+         let got = Bytes.sub_string buf 0 n in
+         check_string "reader sees header and both rows"
+           "evaluations,event,stage,cost\n0,stage,greedy,\n4,incumbent,,99.50\n"
+           got;
+         (* Still usable afterwards: a later event flushes too. *)
+         Progress.accepted s ~evaluations:6;
+         let n = Unix.read r buf 0 4096 in
+         check_string "later event flushed on its own"
+           "6,accept,,\n" (Bytes.sub_string buf 0 n);
+         close_out oc;
+         Unix.close r) ]
 
 (* ------------------------------------------------------------------ *)
 (* Hooks in the engine and the solver stack                            *)

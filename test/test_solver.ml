@@ -589,7 +589,41 @@ let memo_tests =
     Alcotest.test_case "zero capacity is rejected" `Quick (fun () ->
         Alcotest.check_raises "invalid"
           (Invalid_argument "Memo.create: capacity must be positive")
-          (fun () -> ignore (Solver.Memo.create ~capacity:0 ()))) ]
+          (fun () -> ignore (Solver.Memo.create ~capacity:0 ())));
+    Alcotest.test_case "resize below length evicts in LRU order" `Quick
+      (fun () ->
+         let m = Solver.Memo.create ~capacity:4 () in
+         ignore (Solver.Memo.add m "a" 1);
+         ignore (Solver.Memo.add m "b" 2);
+         ignore (Solver.Memo.add m "c" 3);
+         ignore (Solver.Memo.add m "d" 4);
+         (* Touch "a": recency is now b < c < d < a, oldest first. *)
+         check_bool "refresh a" true (Solver.Memo.find m "a" = Some 1);
+         Solver.Memo.resize m 2;
+         check_int "capacity updated" 2 (Solver.Memo.capacity m);
+         check_int "shrunk immediately" 2 (Solver.Memo.length m);
+         check_int "two evictions counted" 2 (Solver.Memo.evictions m);
+         check_bool "b (oldest) evicted" true (Solver.Memo.find m "b" = None);
+         check_bool "c (next) evicted" true (Solver.Memo.find m "c" = None);
+         check_bool "d survives" true (Solver.Memo.find m "d" = Some 4);
+         check_bool "a survives" true (Solver.Memo.find m "a" = Some 1));
+    Alcotest.test_case "growing a cache drops nothing" `Quick (fun () ->
+        let m = Solver.Memo.create ~capacity:2 () in
+        ignore (Solver.Memo.add m "a" 1);
+        ignore (Solver.Memo.add m "b" 2);
+        Solver.Memo.resize m 4;
+        check_int "capacity updated" 4 (Solver.Memo.capacity m);
+        check_int "entries kept" 2 (Solver.Memo.length m);
+        check_int "no evictions" 0 (Solver.Memo.evictions m);
+        ignore (Solver.Memo.add m "c" 3);
+        check_bool "no eviction at 4/4" false (Solver.Memo.add m "d" 4);
+        check_bool "eviction at 5/4" true (Solver.Memo.add m "e" 5);
+        check_bool "a (LRU) evicted" true (Solver.Memo.find m "a" = None));
+    Alcotest.test_case "resize to zero is rejected" `Quick (fun () ->
+        let m = Solver.Memo.create ~capacity:2 () in
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Memo.resize: capacity must be positive")
+          (fun () -> Solver.Memo.resize m 0)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprints: the cache key must collide exactly on Design.equal     *)
